@@ -1,0 +1,307 @@
+// Benchmarks regenerating every table and figure of "Fast Concurrent
+// Lock-Free Binary Search Trees" (Natarajan & Mittal, PPoPP 2014), plus
+// the ablations called out in DESIGN.md.
+//
+//	BenchmarkFig4Grid     — Figure 4's 4×3 grid (key range × workload) at a
+//	                        fixed goroutine count; full thread sweeps are
+//	                        cmd/bstbench's job.
+//	BenchmarkFig4Scaling  — Figure 4's x-axis: thread scaling on the
+//	                        highest-contention cell (1K keys, write-heavy).
+//	BenchmarkTable1       — Table 1's per-operation costs: allocs/op is
+//	                        reported directly by the Go benchmark runner.
+//	BenchmarkAblation*    — packed-vs-boxed encoding, reclamation on/off,
+//	                        uniform-vs-Zipf keys.
+//	BenchmarkSearchOnly   — §5's external-vs-internal path-length effect.
+//
+// Throughput comparisons should read ns/op inverted: lower ns/op = higher
+// ops/s. Each parallel benchmark pins its goroutine count via
+// b.SetParallelism (GOMAXPROCS is 1 on the reproduction host).
+package bst_test
+
+import (
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+
+	bst "repro"
+	"repro/internal/harness"
+	"repro/internal/keys"
+	"repro/internal/workload"
+)
+
+// benchCell runs a harness cell under the Go benchmark runner: the set is
+// built and prefilled outside the timer, then b.N operations are spread
+// over `goroutines` workers.
+func benchCell(b *testing.B, target harness.Target, keyRange int64, mix workload.Mix, goroutines int, cfgMut func(*harness.Config)) {
+	b.Helper()
+	cfg := harness.Config{
+		Threads:       goroutines,
+		KeyRange:      keyRange,
+		Mix:           mix,
+		Seed:          42,
+		Prefill:       true,
+		ArenaCapacity: 1 << 26,
+	}
+	if cfgMut != nil {
+		cfgMut(&cfg)
+	}
+	inst := target.New(cfg)
+	harness.Prefill(inst, cfg)
+
+	gomax := runtime.GOMAXPROCS(0)
+	par := goroutines / gomax
+	if par < 1 {
+		par = 1
+	}
+	b.SetParallelism(par)
+
+	var workerID atomic.Uint64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		id := workerID.Add(1)
+		acc := inst.NewAccessor()
+		gen := workload.NewGenerator(mix, keyRange, cfg.Seed+id*0x9e3779b9)
+		for pb.Next() {
+			op, k := gen.Next()
+			u := keys.Map(k)
+			switch op {
+			case workload.OpSearch:
+				acc.Search(u)
+			case workload.OpInsert:
+				acc.Insert(u)
+			default:
+				acc.Delete(u)
+			}
+		}
+	})
+}
+
+// BenchmarkFig4Grid is Figure 4 at a fixed mid-range goroutine count: one
+// sub-benchmark per graph per algorithm. Who wins each cell — and how the
+// winner changes as the tree grows and reads dominate — is the figure's
+// main result.
+func BenchmarkFig4Grid(b *testing.B) {
+	const goroutines = 8
+	for _, keyRange := range []int64{1_000, 10_000, 100_000, 1_000_000} {
+		for _, mix := range workload.Mixes {
+			for _, target := range harness.PaperTargets() {
+				name := fmt.Sprintf("range=%d/%s/%s", keyRange, mix.Name, target.Name)
+				b.Run(name, func(b *testing.B) {
+					benchCell(b, target, keyRange, mix, goroutines, nil)
+				})
+			}
+		}
+	}
+}
+
+// BenchmarkFig4Scaling is the x-axis of Figure 4's highest-contention
+// graph (1K keys, write-dominated): throughput as goroutines increase.
+func BenchmarkFig4Scaling(b *testing.B) {
+	for _, goroutines := range []int{1, 4, 16, 64} {
+		for _, target := range harness.PaperTargets() {
+			name := fmt.Sprintf("threads=%d/%s", goroutines, target.Name)
+			b.Run(name, func(b *testing.B) {
+				benchCell(b, target, 1_000, workload.WriteDominated, goroutines, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkTable1 measures uncontended single-operation cost per
+// algorithm. allocs/op corresponds to Table 1's "objects allocated"
+// column (plus Go-specific boxing, discussed in EXPERIMENTS.md); ns/op
+// tracks the atomic-instruction gap.
+func BenchmarkTable1(b *testing.B) {
+	algos := []struct {
+		name string
+		alg  bst.Algorithm
+	}{
+		{"efrb", bst.EllenEtAl},
+		{"hj", bst.HowleyJones},
+		{"nm", bst.NatarajanMittal},
+	}
+	for _, a := range algos {
+		b.Run("insert/"+a.name, func(b *testing.B) {
+			s := bst.New(bst.WithAlgorithm(a.alg), bst.WithCapacity(1<<27))
+			acc := s.NewAccessor()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.Insert(scrambled(i))
+			}
+		})
+		b.Run("delete/"+a.name, func(b *testing.B) {
+			s := bst.New(bst.WithAlgorithm(a.alg), bst.WithCapacity(1<<27))
+			acc := s.NewAccessor()
+			for i := 0; i < b.N; i++ {
+				acc.Insert(scrambled(i))
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				acc.Delete(scrambled(i))
+			}
+		})
+	}
+}
+
+// scrambled spreads sequential ids uniformly (bijective), avoiding the
+// degenerate sorted-input case of unbalanced BSTs.
+func scrambled(i int) int64 {
+	k := int64(uint64(i) * 0x9E3779B97F4A7C15)
+	if k > bst.MaxKey {
+		k -= 4
+	}
+	return k
+}
+
+// BenchmarkAblationEncoding: the packed-arena child word (paper-faithful
+// CAS+BTS) versus the GC-friendly boxed edge records, same algorithm.
+func BenchmarkAblationEncoding(b *testing.B) {
+	for _, name := range []string{harness.TargetNM, harness.TargetNMBoxed} {
+		target, _ := harness.TargetByName(name)
+		b.Run(name, func(b *testing.B) {
+			benchCell(b, target, 10_000, workload.WriteDominated, 8, nil)
+		})
+	}
+}
+
+// BenchmarkAblationReclaim: epoch-based node recycling on vs off (the
+// paper benchmarks with reclamation disabled).
+func BenchmarkAblationReclaim(b *testing.B) {
+	target, _ := harness.TargetByName(harness.TargetNM)
+	for _, reclaim := range []bool{false, true} {
+		b.Run(fmt.Sprintf("reclaim=%v", reclaim), func(b *testing.B) {
+			benchCell(b, target, 10_000, workload.WriteDominated, 8, func(c *harness.Config) {
+				c.Reclaim = reclaim
+			})
+		})
+	}
+}
+
+// BenchmarkAblationCASOnly: true BTS (atomic Or) versus the paper's
+// CAS-only fallback for tagging sibling edges.
+func BenchmarkAblationCASOnly(b *testing.B) {
+	target, _ := harness.TargetByName(harness.TargetNM)
+	for _, casOnly := range []bool{false, true} {
+		name := "bts"
+		if casOnly {
+			name = "cas-loop"
+		}
+		b.Run(name, func(b *testing.B) {
+			benchCell(b, target, 10_000, workload.WriteDominated, 8, func(c *harness.Config) {
+				c.CASOnly = casOnly
+			})
+		})
+	}
+}
+
+// BenchmarkAblationZipf: uniform versus skewed key popularity — skew
+// concentrates contention on a few hot paths.
+func BenchmarkAblationZipf(b *testing.B) {
+	target, _ := harness.TargetByName(harness.TargetNM)
+	for _, s := range []float64{0, 1.2, 2.0} {
+		name := "uniform"
+		if s > 0 {
+			name = fmt.Sprintf("zipf=%.1f", s)
+		}
+		b.Run(name, func(b *testing.B) {
+			cfg := harness.Config{
+				Threads: 8, KeyRange: 100_000, Mix: workload.WriteDominated,
+				Seed: 42, Prefill: true, ArenaCapacity: 1 << 26, ZipfS: s,
+			}
+			inst := target.New(cfg)
+			harness.Prefill(inst, cfg)
+			var workerID atomic.Uint64
+			b.ResetTimer()
+			b.RunParallel(func(pb *testing.PB) {
+				id := workerID.Add(1)
+				acc := inst.NewAccessor()
+				var gen *workload.Generator
+				if s > 1 {
+					gen = workload.NewZipfGenerator(cfg.Mix, cfg.KeyRange, cfg.Seed+id, s)
+				} else {
+					gen = workload.NewGenerator(cfg.Mix, cfg.KeyRange, cfg.Seed+id)
+				}
+				for pb.Next() {
+					op, k := gen.Next()
+					u := keys.Map(k)
+					switch op {
+					case workload.OpSearch:
+						acc.Search(u)
+					case workload.OpInsert:
+						acc.Insert(u)
+					default:
+						acc.Delete(u)
+					}
+				}
+			})
+		})
+	}
+}
+
+// BenchmarkExtensionKAry compares the future-work k-ary tree against the
+// binary NM tree: higher fan-out shortens search paths (fewer pointer
+// hops, better locality) at the price of copying multi-key leaves on
+// every update.
+func BenchmarkExtensionKAry(b *testing.B) {
+	for _, mix := range []workload.Mix{workload.ReadDominated, workload.WriteDominated} {
+		for _, name := range []string{harness.TargetNM, harness.TargetKST4, harness.TargetKST16} {
+			target, _ := harness.TargetByName(name)
+			b.Run(mix.Name+"/"+name, func(b *testing.B) {
+				benchCell(b, target, 100_000, mix, 4, nil)
+			})
+		}
+	}
+}
+
+// BenchmarkExtensionMap measures the dictionary-with-values extension:
+// fresh inserts, hits, and single-CAS value replacements.
+func BenchmarkExtensionMap(b *testing.B) {
+	b.Run("put-fresh", func(b *testing.B) {
+		m := bst.NewMap[int]()
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Put(scrambled(i), i)
+		}
+	})
+	b.Run("get-hit", func(b *testing.B) {
+		m := bst.NewMap[int]()
+		const n = 1 << 16
+		for i := 0; i < n; i++ {
+			m.Put(scrambled(i), i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Get(scrambled(i % n))
+		}
+	})
+	b.Run("put-replace", func(b *testing.B) {
+		m := bst.NewMap[int]()
+		const n = 1 << 16
+		for i := 0; i < n; i++ {
+			m.Put(scrambled(i), i)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			m.Put(scrambled(i%n), i)
+		}
+	})
+}
+
+// BenchmarkSearchOnly isolates §5's representation trade-off: the
+// external NM tree always walks to a leaf, the internal HJ tree can stop
+// early, and the balanced BCCO tree has the shortest worst-case paths.
+func BenchmarkSearchOnly(b *testing.B) {
+	searchMix := workload.Mix{Name: "search-only", Search: 100}
+	for _, name := range []string{harness.TargetNM, harness.TargetHJ, harness.TargetBCCO, harness.TargetEFRB} {
+		target, _ := harness.TargetByName(name)
+		b.Run(name, func(b *testing.B) {
+			benchCell(b, target, 100_000, searchMix, 4, nil)
+		})
+	}
+}

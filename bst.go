@@ -1,0 +1,302 @@
+// Package bst (import path "repro") is a library of concurrent binary
+// search trees reproducing "Fast Concurrent Lock-Free Binary Search Trees"
+// by Natarajan and Mittal (PPoPP 2014).
+//
+// The default algorithm is the paper's contribution — a lock-free external
+// BST that coordinates deletions by marking *edges* (flag and tag bits
+// packed beside each child address) so that an insert commits with a
+// single CAS and a delete with three atomic instructions. The baselines
+// the paper evaluates against (Ellen et al., Howley–Jones, Bronson et al.)
+// are included as selectable algorithms, all behind one interface.
+//
+// # Quick start
+//
+//	s := bst.New() // Natarajan–Mittal lock-free BST
+//	s.Insert(42)
+//	s.Contains(42) // true
+//	s.Delete(42)   // true
+//
+// All Set methods are safe for arbitrary concurrent use. For hot loops,
+// give each goroutine its own Accessor, which carries per-thread state
+// (node allocator, reusable seek record) and avoids a pooled-handle hop:
+//
+//	a := s.NewAccessor()
+//	for _, k := range batch { a.Insert(k) }
+//
+// Keys are int64. Values up to MaxKey are storable; the three largest
+// mapped values are reserved for the paper's sentinel keys ∞₀ < ∞₁ < ∞₂
+// and methods panic on keys above MaxKey.
+package bst
+
+import (
+	"fmt"
+
+	"repro/internal/bcco"
+	"repro/internal/cgl"
+	"repro/internal/core"
+	"repro/internal/efrb"
+	"repro/internal/hjbst"
+	"repro/internal/keys"
+	"repro/internal/kst"
+	"repro/internal/nmboxed"
+)
+
+// MaxKey is the largest storable key (the top of the int64 range is
+// reserved for the algorithm's sentinel keys).
+const MaxKey int64 = keys.MaxUser
+
+// Algorithm selects a concurrent BST implementation.
+type Algorithm int
+
+const (
+	// NatarajanMittal is the paper's lock-free external BST over a packed
+	// node arena: child words carry the flag/tag bits next to a 32-bit
+	// node index, so the paper's single-word CAS and BTS apply literally.
+	// This is the default and the fastest under write-heavy contention.
+	NatarajanMittal Algorithm = iota
+	// NatarajanMittalBoxed is the same algorithm with each edge boxed as
+	// an immutable {child, flag, tag} record behind an atomic pointer —
+	// the GC-friendly encoding, with no arena capacity to size but extra
+	// allocation on every mark.
+	NatarajanMittalBoxed
+	// EllenEtAl is the lock-free external BST of Ellen, Fatourou, Ruppert
+	// and van Breugel (PODC 2010), which coordinates via node-level
+	// flagging with Info records.
+	EllenEtAl
+	// HowleyJones is the lock-free internal BST of Howley and Jones
+	// (SPAA 2012); faster searches on large sets, costlier deletes.
+	HowleyJones
+	// Bronson is the lock-based optimistic relaxed-balance AVL tree of
+	// Bronson, Casper, Chafi and Olukotun (PPoPP 2010). The only balanced
+	// tree in the set — best worst-case search paths.
+	Bronson
+	// CoarseLock is a single-RWMutex sequential BST: the baseline floor.
+	CoarseLock
+	// KAry is a lock-free k-ary external search tree — the paper's named
+	// future-work direction (Section 6), with single-CAS leaf-replacement
+	// updates. Fan-out defaults to 4; set it with WithArity. Empty-leaf
+	// pruning is not implemented (the open problem the paper proposes to
+	// solve with edge marking), so prefer NatarajanMittal for unbounded
+	// fresh-key churn.
+	KAry
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case NatarajanMittal:
+		return "natarajan-mittal"
+	case NatarajanMittalBoxed:
+		return "natarajan-mittal-boxed"
+	case EllenEtAl:
+		return "ellen-et-al"
+	case HowleyJones:
+		return "howley-jones"
+	case Bronson:
+		return "bronson"
+	case CoarseLock:
+		return "coarse-lock"
+	case KAry:
+		return "k-ary"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Set is the concurrent dictionary interface.
+type Set interface {
+	// Insert adds key; it reports whether the set changed.
+	Insert(key int64) bool
+	// Delete removes key; it reports whether the set changed.
+	Delete(key int64) bool
+	// Contains reports whether key is present.
+	Contains(key int64) bool
+}
+
+// Accessor is a single-goroutine fast path into a Tree. It must not be
+// shared between goroutines.
+type Accessor interface {
+	Set
+}
+
+// backend is satisfied by every internal tree implementation.
+type backend interface {
+	Search(key uint64) bool
+	Insert(key uint64) bool
+	Delete(key uint64) bool
+	Size() int
+	Keys(yield func(uint64) bool)
+	Audit() error
+}
+
+// rawAccessor is the per-goroutine view every implementation provides.
+type rawAccessor interface {
+	Search(key uint64) bool
+	Insert(key uint64) bool
+	Delete(key uint64) bool
+}
+
+type config struct {
+	algo     Algorithm
+	capacity int
+	reclaim  bool
+	arity    int
+}
+
+// Option configures New.
+type Option func(*config)
+
+// WithAlgorithm selects the implementation (default NatarajanMittal).
+func WithAlgorithm(a Algorithm) Option { return func(c *config) { c.algo = a } }
+
+// WithCapacity bounds total node allocations for the arena-backed
+// NatarajanMittal algorithm (ignored by the others). Without reclamation
+// every insert permanently consumes two nodes; with WithReclamation the
+// bound applies to live nodes plus a small recycling float.
+func WithCapacity(nodes int) Option { return func(c *config) { c.capacity = nodes } }
+
+// WithReclamation enables epoch-based memory reclamation for the
+// arena-backed NatarajanMittal algorithm, recycling nodes spliced out of
+// the tree once no concurrent operation can reference them. The paper
+// benchmarks without reclamation; enable this for long-lived sets.
+func WithReclamation() Option { return func(c *config) { c.reclaim = true } }
+
+// WithArity sets the fan-out of the KAry algorithm (2–64, default 4);
+// other algorithms ignore it.
+func WithArity(k int) Option { return func(c *config) { c.arity = k } }
+
+// Tree is a concurrent ordered set of int64 keys. All methods are safe for
+// concurrent use unless noted.
+type Tree struct {
+	algo Algorithm
+	b    backend
+}
+
+// New creates a concurrent BST (Natarajan–Mittal unless overridden).
+func New(opts ...Option) *Tree {
+	cfg := config{algo: NatarajanMittal}
+	for _, o := range opts {
+		o(&cfg)
+	}
+	t := &Tree{algo: cfg.algo}
+	switch cfg.algo {
+	case NatarajanMittal:
+		t.b = core.New(core.Config{Capacity: cfg.capacity, Reclaim: cfg.reclaim})
+	case NatarajanMittalBoxed:
+		t.b = nmboxed.New()
+	case EllenEtAl:
+		t.b = efrb.New()
+	case HowleyJones:
+		t.b = hjbst.New()
+	case Bronson:
+		t.b = bcco.New()
+	case CoarseLock:
+		t.b = cgl.New()
+	case KAry:
+		arity := cfg.arity
+		if arity == 0 {
+			arity = 4
+		}
+		t.b = kst.New(arity)
+	default:
+		panic(fmt.Sprintf("bst: unknown algorithm %v", cfg.algo))
+	}
+	return t
+}
+
+// Algorithm reports which implementation backs the tree.
+func (t *Tree) Algorithm() Algorithm { return t.algo }
+
+func mapKey(k int64) uint64 {
+	if !keys.InRange(k) {
+		panic(fmt.Sprintf("bst: key %d exceeds MaxKey (%d)", k, MaxKey))
+	}
+	return keys.Map(k)
+}
+
+// Insert adds key; it reports whether the set changed.
+func (t *Tree) Insert(key int64) bool { return t.b.Insert(mapKey(key)) }
+
+// Delete removes key; it reports whether the set changed.
+func (t *Tree) Delete(key int64) bool { return t.b.Delete(mapKey(key)) }
+
+// Contains reports whether key is present.
+func (t *Tree) Contains(key int64) bool { return t.b.Search(mapKey(key)) }
+
+// Len returns the number of keys. It requires a quiescent tree (no
+// concurrent writers) to be exact.
+func (t *Tree) Len() int { return t.b.Size() }
+
+// Ascend visits keys in ascending order until yield returns false. It
+// requires a quiescent tree for an exact snapshot.
+func (t *Tree) Ascend(yield func(key int64) bool) {
+	t.b.Keys(func(u uint64) bool { return yield(keys.Unmap(u)) })
+}
+
+// Min returns the smallest key, or ok=false when empty (quiescent).
+func (t *Tree) Min() (key int64, ok bool) {
+	t.Ascend(func(k int64) bool {
+		key, ok = k, true
+		return false
+	})
+	return key, ok
+}
+
+// Max returns the largest key, or ok=false when empty (quiescent; linear
+// scan — the concurrent structures do not maintain parent pointers for a
+// cheap descent).
+func (t *Tree) Max() (key int64, ok bool) {
+	t.Ascend(func(k int64) bool {
+		key, ok = k, true
+		return true
+	})
+	return key, ok
+}
+
+// AscendRange visits keys in [from, to] in ascending order (quiescent).
+func (t *Tree) AscendRange(from, to int64, yield func(key int64) bool) {
+	t.Ascend(func(k int64) bool {
+		if k < from {
+			return true
+		}
+		if k > to {
+			return false
+		}
+		return yield(k)
+	})
+}
+
+// Validate checks the backing structure's invariants (quiescent);
+// primarily for tests and debugging.
+func (t *Tree) Validate() error { return t.b.Audit() }
+
+// NewAccessor returns a per-goroutine fast path. The accessor must not be
+// shared between goroutines; the Tree itself remains safe for shared use.
+func (t *Tree) NewAccessor() Accessor {
+	switch b := t.b.(type) {
+	case *core.Tree:
+		return accessor{b.NewHandle()}
+	case *nmboxed.Tree:
+		return accessor{b.NewHandle()}
+	case *efrb.Tree:
+		return accessor{b.NewHandle()}
+	case *hjbst.Tree:
+		return accessor{b.NewHandle()}
+	case *bcco.Tree:
+		return accessor{b.NewHandle()}
+	case *kst.Tree:
+		return accessor{b.NewHandle()}
+	default: // coarse lock: the tree is its own accessor
+		return accessor{t.b}
+	}
+}
+
+type accessor struct{ r rawAccessor }
+
+func (a accessor) Insert(key int64) bool   { return a.r.Insert(mapKey(key)) }
+func (a accessor) Delete(key int64) bool   { return a.r.Delete(mapKey(key)) }
+func (a accessor) Contains(key int64) bool { return a.r.Search(mapKey(key)) }
+
+// Algorithms lists all selectable implementations.
+func Algorithms() []Algorithm {
+	return []Algorithm{NatarajanMittal, NatarajanMittalBoxed, EllenEtAl, HowleyJones, Bronson, CoarseLock, KAry}
+}

@@ -1,0 +1,182 @@
+// bstbench regenerates Figure 4 of "Fast Concurrent Lock-Free Binary
+// Search Trees" (Natarajan & Mittal, PPoPP 2014): system throughput of
+// four concurrent BST implementations across key ranges (maximum tree
+// size), workload mixes and thread counts.
+//
+// Each (key range × workload) pair corresponds to one graph of Figure 4;
+// this tool prints one table per graph with a row per thread count and a
+// column per algorithm, followed by the paper-style relative-speedup
+// summary of NM-BST against each baseline.
+//
+// Examples:
+//
+//	bstbench                                  # full Figure 4 grid, quick cells
+//	bstbench -keyranges 1000 -workloads write-dominated -threads 1,2,4,8
+//	bstbench -duration 5s -reps 3             # slower, tighter cells
+//	bstbench -csv > fig4.csv                  # machine-readable series
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/harness"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		targetsFlag   = flag.String("targets", "nm,efrb,hj,bcco", "comma-separated algorithms (nm, nm-boxed, efrb, hj, bcco, cgl, kst4, kst16)")
+		keyRangesFlag = flag.String("keyranges", "1000,10000,100000,1000000", "comma-separated key ranges (paper: 1K,10K,100K,1M)")
+		workloadsFlag = flag.String("workloads", "write-dominated,mixed,read-dominated", "comma-separated workload mixes")
+		threadsFlag   = flag.String("threads", "1,2,4,8,16,32,64", "comma-separated thread counts")
+		duration      = flag.Duration("duration", 500*time.Millisecond, "measurement duration per cell")
+		reps          = flag.Int("reps", 1, "repetitions per cell (median reported)")
+		seed          = flag.Uint64("seed", 1, "base RNG seed")
+		zipfS         = flag.Float64("zipf", 0, "Zipf skew parameter (>1 enables skewed keys; 0 = uniform as in the paper)")
+		reclaim       = flag.Bool("reclaim", false, "enable epoch reclamation on the NM tree (ablation; paper runs without)")
+		csv           = flag.Bool("csv", false, "emit one CSV stream instead of tables")
+		noPrefill     = flag.Bool("no-prefill", false, "skip pre-population (paper pre-populates to half the key range)")
+	)
+	flag.Parse()
+
+	targets, err := parseTargets(*targetsFlag)
+	fatal(err)
+	keyRanges, err := parseInts(*keyRangesFlag)
+	fatal(err)
+	threads, err := parseInts(*threadsFlag)
+	fatal(err)
+	var mixes []workload.Mix
+	for _, name := range strings.Split(*workloadsFlag, ",") {
+		m, err := workload.MixByName(strings.TrimSpace(name))
+		fatal(err)
+		mixes = append(mixes, m)
+	}
+
+	fmt.Printf("# bstbench: Figure 4 reproduction — %d algorithms × %d key ranges × %d workloads × %d thread counts\n",
+		len(targets), len(keyRanges), len(mixes), len(threads))
+	fmt.Printf("# GOMAXPROCS=%d duration/cell=%v reps=%d zipf=%v reclaim=%v\n",
+		runtime.GOMAXPROCS(0), *duration, *reps, *zipfS, *reclaim)
+
+	var csvTable *stats.Table
+	if *csv {
+		csvTable = stats.NewTable("keyrange", "workload", "threads", "algorithm", "ops_per_sec")
+	}
+
+	for _, kr := range keyRanges {
+		for _, mix := range mixes {
+			if !*csv {
+				fmt.Printf("\n== key range %d, workload %s ==\n", kr, mix.Name)
+			}
+			header := append([]string{"threads"}, names(targets)...)
+			tbl := stats.NewTable(header...)
+			// throughput[target][threadIdx]
+			tp := make(map[string][]float64, len(targets))
+			for _, th := range threads {
+				row := []any{th}
+				for _, tg := range targets {
+					cfg := harness.Config{
+						Threads:  th,
+						Duration: *duration,
+						KeyRange: int64(kr),
+						Mix:      mix,
+						Seed:     *seed,
+						Prefill:  !*noPrefill,
+						ZipfS:    *zipfS,
+						Reclaim:  *reclaim,
+					}
+					runs := harness.RunRepeated(tg, cfg, *reps)
+					v := stats.Median(runs)
+					tp[tg.Name] = append(tp[tg.Name], v)
+					row = append(row, stats.HumanCount(v))
+					if *csv {
+						csvTable.AddRow(kr, mix.Name, th, tg.Name, v)
+					}
+				}
+				tbl.AddRow(row...)
+			}
+			if !*csv {
+				fmt.Print(tbl.String())
+				printSpeedups(tp, threads)
+			}
+		}
+	}
+	if *csv {
+		fmt.Print(csvTable.CSV())
+	}
+}
+
+// printSpeedups reports the paper-style "NM outperforms X by a%-b%" lines.
+func printSpeedups(tp map[string][]float64, threads []int) {
+	nm, ok := tp[harness.TargetNM]
+	if !ok {
+		return
+	}
+	for name, series := range tp {
+		if name == harness.TargetNM {
+			continue
+		}
+		lo, hi := 0.0, 0.0
+		for i := range series {
+			s := stats.Speedup(nm[i], series[i])
+			if i == 0 || s < lo {
+				lo = s
+			}
+			if i == 0 || s > hi {
+				hi = s
+			}
+		}
+		fmt.Printf("  nm vs %-8s: %+.0f%% .. %+.0f%% (across %d thread counts)\n", name, lo, hi, len(threads))
+	}
+}
+
+func parseTargets(s string) ([]harness.Target, error) {
+	var out []harness.Target
+	for _, name := range strings.Split(s, ",") {
+		t, err := harness.TargetByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("no targets given")
+	}
+	return out, nil
+}
+
+func names(ts []harness.Target) []string {
+	out := make([]string, len(ts))
+	for i, t := range ts {
+		out[i] = t.Name
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("value %d must be positive", v)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bstbench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,32 @@
+package main
+
+import "testing"
+
+func TestParseInts(t *testing.T) {
+	got, err := parseInts("1, 2,64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 64 {
+		t.Fatalf("parseInts = %v", got)
+	}
+	if _, err := parseInts("1,x"); err == nil {
+		t.Fatal("junk accepted")
+	}
+	if _, err := parseInts("0"); err == nil {
+		t.Fatal("non-positive accepted")
+	}
+}
+
+func TestParseTargets(t *testing.T) {
+	ts, err := parseTargets("nm, efrb")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ts) != 2 || ts[0].Name != "nm" || ts[1].Name != "efrb" {
+		t.Fatalf("parseTargets wrong: %v", names(ts))
+	}
+	if _, err := parseTargets("nm,bogus"); err == nil {
+		t.Fatal("bogus target accepted")
+	}
+}

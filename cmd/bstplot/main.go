@@ -1,0 +1,144 @@
+// bstplot renders bstbench CSV output as ASCII line charts — one chart per
+// (key range, workload) pair, i.e. one per graph of Figure 4.
+//
+// Usage:
+//
+//	bstbench -csv | bstplot
+//	bstbench -csv > fig4.csv && bstplot fig4.csv
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/plot"
+)
+
+type row struct {
+	keyRange  int64
+	workload  string
+	threads   float64
+	algorithm string
+	ops       float64
+}
+
+func main() {
+	var in io.Reader = os.Stdin
+	if len(os.Args) > 1 {
+		f, err := os.Open(os.Args[1])
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bstplot:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		in = f
+	}
+	rows, err := parse(in)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bstplot:", err)
+		os.Exit(1)
+	}
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "bstplot: no data rows (expected bstbench -csv output)")
+		os.Exit(1)
+	}
+
+	type graphKey struct {
+		kr int64
+		wl string
+	}
+	graphs := map[graphKey]map[string]*plot.Series{}
+	var order []graphKey
+	for _, r := range rows {
+		gk := graphKey{r.keyRange, r.workload}
+		if graphs[gk] == nil {
+			graphs[gk] = map[string]*plot.Series{}
+			order = append(order, gk)
+		}
+		s := graphs[gk][r.algorithm]
+		if s == nil {
+			s = &plot.Series{Name: r.algorithm}
+			graphs[gk][r.algorithm] = s
+		}
+		s.X = append(s.X, r.threads)
+		s.Y = append(s.Y, r.ops)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		if order[i].kr != order[j].kr {
+			return order[i].kr < order[j].kr
+		}
+		return order[i].wl < order[j].wl
+	})
+
+	for _, gk := range order {
+		var names []string
+		for name := range graphs[gk] {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		c := plot.Chart{
+			Title:  fmt.Sprintf("key range %d — %s", gk.kr, gk.wl),
+			XLabel: "threads (log scale)",
+			YLabel: "throughput (ops/s)",
+			LogX:   true,
+		}
+		for _, name := range names {
+			c.Series = append(c.Series, *graphs[gk][name])
+		}
+		fmt.Println(c.Render())
+	}
+}
+
+func parse(in io.Reader) ([]row, error) {
+	sc := bufio.NewScanner(in)
+	var rows []row
+	var header []string
+	col := map[string]int{}
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Split(line, ",")
+		if header == nil {
+			header = fields
+			for i, h := range fields {
+				col[strings.TrimSpace(h)] = i
+			}
+			for _, want := range []string{"keyrange", "workload", "threads", "algorithm", "ops_per_sec"} {
+				if _, ok := col[want]; !ok {
+					return nil, fmt.Errorf("missing CSV column %q (got %v)", want, header)
+				}
+			}
+			continue
+		}
+		if len(fields) < len(header) {
+			return nil, fmt.Errorf("short row: %q", line)
+		}
+		kr, err := strconv.ParseInt(fields[col["keyrange"]], 10, 64)
+		if err != nil {
+			return nil, err
+		}
+		th, err := strconv.ParseFloat(fields[col["threads"]], 64)
+		if err != nil {
+			return nil, err
+		}
+		ops, err := strconv.ParseFloat(fields[col["ops_per_sec"]], 64)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row{
+			keyRange:  kr,
+			workload:  fields[col["workload"]],
+			threads:   th,
+			algorithm: fields[col["algorithm"]],
+			ops:       ops,
+		})
+	}
+	return rows, sc.Err()
+}

@@ -1,0 +1,53 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleCSV = `keyrange,workload,threads,algorithm,ops_per_sec
+1000,write-dominated,1,nm,6350000.00
+1000,write-dominated,4,nm,6440000.00
+1000,write-dominated,1,efrb,4680000.00
+1000,write-dominated,4,efrb,4800000.00
+10000,mixed,1,nm,4620000.00
+`
+
+func TestParseCSV(t *testing.T) {
+	rows, err := parse(strings.NewReader(sampleCSV))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("parsed %d rows, want 5", len(rows))
+	}
+	r := rows[0]
+	if r.keyRange != 1000 || r.workload != "write-dominated" || r.threads != 1 ||
+		r.algorithm != "nm" || r.ops != 6350000 {
+		t.Fatalf("row 0 wrong: %+v", r)
+	}
+	if rows[4].keyRange != 10000 || rows[4].workload != "mixed" {
+		t.Fatalf("row 4 wrong: %+v", rows[4])
+	}
+}
+
+func TestParseSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# comment\n\n" + sampleCSV
+	rows, err := parse(strings.NewReader(in))
+	if err != nil || len(rows) != 5 {
+		t.Fatalf("rows=%d err=%v", len(rows), err)
+	}
+}
+
+func TestParseRejectsMissingColumns(t *testing.T) {
+	if _, err := parse(strings.NewReader("a,b,c\n1,2,3\n")); err == nil {
+		t.Fatal("bad header accepted")
+	}
+}
+
+func TestParseRejectsBadNumbers(t *testing.T) {
+	in := "keyrange,workload,threads,algorithm,ops_per_sec\nxx,mixed,1,nm,5\n"
+	if _, err := parse(strings.NewReader(in)); err == nil {
+		t.Fatal("bad keyrange accepted")
+	}
+}

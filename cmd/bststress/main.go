@@ -1,0 +1,155 @@
+// bststress is a correctness gate: it hammers every concurrent BST
+// implementation with adversarial concurrent workloads and fails loudly on
+// any violation of the sequential set semantics.
+//
+// Two checks run per round:
+//
+//  1. Counting invariant: per key, successful inserts minus successful
+//     deletes must equal the key's final presence (0 or 1).
+//  2. Linearizability: a recorded timestamped history over a small hot key
+//     set must admit a valid linearization (Wing & Gong check against the
+//     dictionary specification) — the paper's Section 3.3 claim.
+//
+// Exit status is non-zero if any round fails. Intended for CI and soak
+// runs (-duration 10m).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/check"
+	"repro/internal/harness"
+	"repro/internal/keys"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		duration    = flag.Duration("duration", 10*time.Second, "total stress budget")
+		workers     = flag.Int("workers", 8, "concurrent workers per round")
+		keySpace    = flag.Int64("keyspace", 64, "hot key range (small = high contention)")
+		targetsFlag = flag.String("targets", "nm,nm-boxed,efrb,hj,bcco,cgl,kst4,kst16", "implementations to stress")
+	)
+	flag.Parse()
+
+	var targets []harness.Target
+	for _, name := range strings.Split(*targetsFlag, ",") {
+		t, err := harness.TargetByName(strings.TrimSpace(name))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bststress:", err)
+			os.Exit(2)
+		}
+		targets = append(targets, t)
+	}
+
+	deadline := time.Now().Add(*duration)
+	round := 0
+	failures := 0
+	for time.Now().Before(deadline) {
+		round++
+		for _, target := range targets {
+			if err := countingRound(target, *workers, *keySpace, uint64(round)); err != nil {
+				failures++
+				fmt.Printf("FAIL [counting] %s round %d: %v\n", target.Name, round, err)
+			}
+			if err := linearizabilityRound(target, *workers, uint64(round)); err != nil {
+				failures++
+				fmt.Printf("FAIL [linearizability] %s round %d: %v\n", target.Name, round, err)
+			}
+		}
+		fmt.Printf("round %d complete (%d targets, %d failures so far)\n", round, len(targets), failures)
+	}
+	if failures > 0 {
+		fmt.Printf("bststress: %d failure(s) over %d rounds\n", failures, round)
+		os.Exit(1)
+	}
+	fmt.Printf("bststress: OK — %d rounds × %d targets, no violations\n", round, len(targets))
+}
+
+func countingRound(target harness.Target, workers int, keySpace int64, seed uint64) error {
+	inst := target.New(harness.Config{ArenaCapacity: 1 << 22})
+	ins := make([]atomic.Int64, keySpace)
+	del := make([]atomic.Int64, keySpace)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := inst.NewAccessor()
+			rng := rand.New(rand.NewSource(int64(seed)*1000 + int64(w)))
+			for i := 0; i < 30000; i++ {
+				k := rng.Int63n(keySpace)
+				u := keys.Map(k)
+				switch rng.Intn(3) {
+				case 0:
+					if acc.Insert(u) {
+						ins[k].Add(1)
+					}
+				case 1:
+					if acc.Delete(u) {
+						del[k].Add(1)
+					}
+				default:
+					acc.Search(u)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	acc := inst.NewAccessor()
+	for k := int64(0); k < keySpace; k++ {
+		diff := ins[k].Load() - del[k].Load()
+		present := acc.Search(keys.Map(k))
+		if !(diff == 0 && !present || diff == 1 && present) {
+			return fmt.Errorf("key %d: %d successful inserts, %d successful deletes, present=%v",
+				k, ins[k].Load(), del[k].Load(), present)
+		}
+	}
+	return nil
+}
+
+func linearizabilityRound(target harness.Target, workers int, seed uint64) error {
+	const (
+		opsEach  = 400
+		keySpace = 96
+	)
+	inst := target.New(harness.Config{ArenaCapacity: 1 << 20})
+	rec := trace.NewRecorder(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := inst.NewAccessor()
+			tape := rec.Worker(w)
+			gen := workload.NewGenerator(workload.Mix{Name: "hot", Search: 20, Insert: 40, Delete_: 40},
+				keySpace, seed*31+uint64(w)+1)
+			for i := 0; i < opsEach; i++ {
+				op, k := gen.Next()
+				u := keys.Map(k)
+				switch op {
+				case workload.OpSearch:
+					tape.Record(op, k, func() bool { return acc.Search(u) })
+				case workload.OpInsert:
+					tape.Record(op, k, func() bool { return acc.Insert(u) })
+				default:
+					tape.Record(op, k, func() bool { return acc.Delete(u) })
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	events := rec.Events()
+	if err := check.Linearizable(events, nil); err != nil {
+		return fmt.Errorf("%v (%s)", err, check.Stats(events))
+	}
+	return nil
+}

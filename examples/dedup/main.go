@@ -1,0 +1,114 @@
+// dedup: parallel stream deduplication — the write-dominated workload the
+// paper's evaluation stresses (0% search, 50% insert, 50% delete maps onto
+// membership structures that are written on every event).
+//
+// Scenario: several shards of a log pipeline emit events; duplicate event
+// IDs appear across shards (retries, at-least-once delivery). Workers call
+// Insert on a shared concurrent set — Insert's boolean answer *is* the
+// dedup decision, atomically, with no separate check-then-act race. A
+// trailing eviction stage deletes IDs once their retry horizon passes,
+// keeping the set bounded.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bst "repro"
+	"repro/internal/workload"
+)
+
+const (
+	shards        = 8
+	eventsPerShrd = 100_000
+	uniqueIDs     = 300_000 // duplicates guaranteed: 800k events over 300k IDs
+	evictAfter    = 200_000 // evict IDs this many global events later
+)
+
+func main() {
+	seen := bst.New(bst.WithReclamation(), bst.WithCapacity(1<<22))
+
+	var accepted, duplicates, evicted atomic.Int64
+	var globalSeq atomic.Int64
+	evictQueue := make(chan int64, 1<<16)
+
+	var shardWg, evictWg sync.WaitGroup
+	start := time.Now()
+
+	// Shard workers: deduplicate their event streams.
+	for s := 0; s < shards; s++ {
+		shardWg.Add(1)
+		go func(shard int) {
+			defer shardWg.Done()
+			a := seen.NewAccessor()
+			rng := workload.NewSplitMix64(uint64(shard) + 1)
+			for i := 0; i < eventsPerShrd; i++ {
+				id := int64(rng.Next() % uniqueIDs)
+				globalSeq.Add(1)
+				if a.Insert(id) {
+					accepted.Add(1)
+					select {
+					case evictQueue <- id: // schedule horizon eviction
+					default: // queue full: skip eviction for this ID
+					}
+				} else {
+					duplicates.Add(1)
+				}
+			}
+		}(s)
+	}
+
+	// Eviction worker: deletes IDs after the retry horizon, so the set
+	// tracks the recent window rather than growing forever.
+	stop := make(chan struct{})
+	evictWg.Add(1)
+	go func() {
+		defer evictWg.Done()
+		a := seen.NewAccessor()
+		type pending struct {
+			id  int64
+			seq int64
+		}
+		var backlog []pending
+		for {
+			select {
+			case id := <-evictQueue:
+				backlog = append(backlog, pending{id, globalSeq.Load()})
+			case <-stop:
+				return
+			}
+			for len(backlog) > 0 && globalSeq.Load()-backlog[0].seq > evictAfter {
+				if a.Delete(backlog[0].id) {
+					evicted.Add(1)
+				}
+				backlog = backlog[1:]
+			}
+		}
+	}()
+
+	shardWg.Wait()
+	close(stop)
+	evictWg.Wait()
+	elapsed := time.Since(start)
+
+	total := accepted.Load() + duplicates.Load()
+	fmt.Printf("processed %d events from %d shards in %v (%.1fM events/s)\n",
+		total, shards, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds()/1e6)
+	fmt.Printf("accepted  %d unique events\n", accepted.Load())
+	fmt.Printf("dropped   %d duplicates (%.1f%%)\n",
+		duplicates.Load(), float64(duplicates.Load())/float64(total)*100)
+	fmt.Printf("evicted   %d expired IDs; live set %d\n", evicted.Load(), seen.Len())
+
+	// Sanity: accepted - evicted must equal the live set.
+	if got, want := int64(seen.Len()), accepted.Load()-evicted.Load(); got != want {
+		fmt.Printf("INVARIANT VIOLATION: live=%d, accepted-evicted=%d\n", got, want)
+		return
+	}
+	if err := seen.Validate(); err != nil {
+		fmt.Println("VALIDATION FAILED:", err)
+		return
+	}
+	fmt.Println("dedup set validated: live = accepted - evicted")
+}

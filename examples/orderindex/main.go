@@ -1,0 +1,151 @@
+// orderindex: a concurrent ordered index for an in-memory event store.
+//
+// Scenario (the paper's motivating workload class — ordered data under
+// concurrent modification): ingestion goroutines append events keyed by
+// timestamp while query goroutines run point lookups and expiry goroutines
+// retire old events. An ordered dictionary is exactly what a BST provides
+// and what hash maps cannot: after the run we answer "earliest / latest
+// event" and time-window queries from the same structure the writers used.
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bst "repro"
+)
+
+const (
+	ingesters  = 4
+	queriers   = 2
+	expirers   = 1
+	eventsEach = 25_000
+	windowSize = 10_000 // expiry retires events older than this many ticks
+)
+
+func main() {
+	// Timestamps arrive in ascending order — the degenerate case for an
+	// *unbalanced* BST (every insert extends one long right spine, making
+	// operations O(n); the paper's evaluation uses uniformly random keys
+	// where expected depth is O(log n)). Ordered monotonic keys are
+	// exactly what the library's balanced baseline is for: the Bronson
+	// et al. relaxed AVL tree keeps the index logarithmic regardless of
+	// key order, behind the same Set interface.
+	index := bst.New(bst.WithAlgorithm(bst.Bronson))
+
+	var clock atomic.Int64 // logical time: one tick per ingested event
+	var ingested, expired, hits, misses atomic.Int64
+
+	start := time.Now()
+	var wg sync.WaitGroup
+
+	// Ingesters: each event gets a unique logical timestamp key.
+	for w := 0; w < ingesters; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := index.NewAccessor()
+			for i := 0; i < eventsEach; i++ {
+				ts := clock.Add(1)
+				if a.Insert(ts) {
+					ingested.Add(1)
+				}
+			}
+		}()
+	}
+
+	// Expirers: retire everything older than the sliding window.
+	done := make(chan struct{})
+	for w := 0; w < expirers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			a := index.NewAccessor()
+			next := int64(1)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				horizon := clock.Load() - windowSize
+				if next > horizon {
+					runtime.Gosched() // nothing old enough yet
+					continue
+				}
+				for next <= horizon {
+					if a.Delete(next) {
+						expired.Add(1)
+					}
+					next++
+				}
+			}
+		}()
+	}
+
+	// Queriers: point lookups biased to the live window.
+	for w := 0; w < queriers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			a := index.NewAccessor()
+			x := uint64(seed)
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				now := clock.Load()
+				if now == 0 {
+					continue
+				}
+				x = x*6364136223846793005 + 1442695040888963407
+				ts := now - int64(x%(windowSize*2))
+				if ts < 1 {
+					ts = 1
+				}
+				if a.Contains(ts) {
+					hits.Add(1)
+				} else {
+					misses.Add(1)
+				}
+			}
+		}(int64(w) + 1)
+	}
+
+	// Wait for the ingest goroutines to finish, then stop the rest.
+	waitIngest := make(chan struct{})
+	go func() {
+		for clock.Load() < int64(ingesters*eventsEach) {
+			time.Sleep(time.Millisecond)
+		}
+		close(waitIngest)
+	}()
+	<-waitIngest
+	close(done)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	// Quiescent ordered queries over the surviving window.
+	earliest, _ := index.Min()
+	latest, _ := index.Max()
+	var inWindow int
+	index.AscendRange(latest-windowSize, latest, func(int64) bool { inWindow++; return true })
+
+	fmt.Printf("ingested %d events in %v (%.0f events/s) with %d queriers and %d expirers\n",
+		ingested.Load(), elapsed.Round(time.Millisecond),
+		float64(ingested.Load())/elapsed.Seconds(), queriers, expirers)
+	fmt.Printf("expired  %d events; index now holds %d\n", expired.Load(), index.Len())
+	fmt.Printf("query    %d hits / %d misses during ingest\n", hits.Load(), misses.Load())
+	fmt.Printf("ordered  earliest=%d latest=%d, %d events in final window\n", earliest, latest, inWindow)
+
+	if err := index.Validate(); err != nil {
+		fmt.Println("VALIDATION FAILED:", err)
+		return
+	}
+	fmt.Println("index structure validated")
+}

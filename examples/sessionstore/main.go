@@ -1,0 +1,126 @@
+// sessionstore: a concurrent session table built on bst.Map — the
+// dictionary-with-values extension of the lock-free tree.
+//
+// Scenario: an API gateway tracks active sessions. Login handlers create
+// sessions (PutIfAbsent — the insert's atomicity prevents double-issue of
+// one session ID), request handlers look them up and *refresh* them (Put:
+// a single-CAS leaf replacement updates the session's lease), and a
+// reaper expires stale leases. Because the map is ordered by session ID,
+// an operator query like "scan an ID range" falls out of Ascend for free.
+package main
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bst "repro"
+	"repro/internal/workload"
+)
+
+// session is the value payload; stored immutably per leaf, replaced as a
+// whole on refresh (so readers never observe a torn session).
+type session struct {
+	User      int64
+	IssuedAt  int64 // logical ticks
+	RenewedAt int64
+}
+
+const (
+	loginWorkers   = 3
+	requestWorkers = 4
+	sessionsEach   = 20_000
+	leaseTicks     = 50_000
+)
+
+func main() {
+	store := bst.NewMap[session]()
+	var ticks atomic.Int64 // logical clock: one tick per request
+
+	var logins, refreshes, misses, reaped, doubleIssue atomic.Int64
+	var loginWg, reqWg sync.WaitGroup
+	start := time.Now()
+
+	// Login handlers: issue sessions with unique IDs (hash-scattered).
+	for w := 0; w < loginWorkers; w++ {
+		loginWg.Add(1)
+		go func(w int) {
+			defer loginWg.Done()
+			rng := workload.NewSplitMix64(uint64(w) + 1)
+			for i := 0; i < sessionsEach; i++ {
+				id := int64(rng.Next() % (1 << 40))
+				now := ticks.Add(1)
+				if store.PutIfAbsent(id, session{User: int64(w), IssuedAt: now, RenewedAt: now}) {
+					logins.Add(1)
+				} else {
+					doubleIssue.Add(1) // ID collision: correctly refused
+				}
+			}
+		}(w)
+	}
+
+	// Request handlers: replay the login workers' deterministic ID streams
+	// so lookups target sessions that (probably) exist, and refresh them.
+	stop := make(chan struct{})
+	for w := 0; w < requestWorkers; w++ {
+		reqWg.Add(1)
+		go func(w int) {
+			defer reqWg.Done()
+			rng := workload.NewSplitMix64(uint64(w%loginWorkers) + 1) // a login stream
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				id := int64(rng.Next() % (1 << 40))
+				now := ticks.Add(1)
+				if s, ok := store.Get(id); ok {
+					s.RenewedAt = now
+					store.Put(id, s) // refresh lease: one CAS
+					refreshes.Add(1)
+				} else {
+					misses.Add(1) // not issued yet (requests run ahead of logins)
+				}
+			}
+		}(w)
+	}
+
+	// Wait for logins to finish, then stop the request handlers so the
+	// reaper sweeps a quiescent store.
+	loginWg.Wait()
+	close(stop)
+	reqWg.Wait()
+
+	// Reaper: quiescent sweep expiring stale leases (ordered scan).
+	now := ticks.Load()
+	var stale []int64
+	store.Ascend(func(id int64, s session) bool {
+		if now-s.RenewedAt > leaseTicks {
+			stale = append(stale, id)
+		}
+		return true
+	})
+	for _, id := range stale {
+		if store.Delete(id) {
+			reaped.Add(1)
+		}
+	}
+
+	elapsed := time.Since(start)
+	fmt.Printf("issued   %d sessions (%d ID collisions refused) in %v\n",
+		logins.Load(), doubleIssue.Load(), elapsed.Round(time.Millisecond))
+	fmt.Printf("served   %d refreshes, %d misses\n", refreshes.Load(), misses.Load())
+	fmt.Printf("reaped   %d stale sessions; %d live\n", reaped.Load(), store.Len())
+
+	if got, want := int64(store.Len()), logins.Load()-reaped.Load(); got != want {
+		fmt.Printf("INVARIANT VIOLATION: live=%d, issued-reaped=%d\n", got, want)
+		return
+	}
+	if err := store.Validate(); err != nil {
+		fmt.Println("VALIDATION FAILED:", err)
+		return
+	}
+	fmt.Println("session store validated: live = issued - reaped")
+}

@@ -1,0 +1,153 @@
+// Package arena provides a chunked, concurrently growable object arena with
+// stable 32-bit indices.
+//
+// The Natarajan–Mittal algorithm steals two bits from every child address.
+// Go's garbage collector does not allow mark bits inside real pointers, so
+// the packed tree (internal/core) addresses nodes by arena index instead:
+// the index fits in 32 bits, leaving room for the flag and tag bits inside a
+// single uint64 child word (see internal/atomicx).
+//
+// Properties:
+//
+//   - Objects never move once allocated. Storage is a list of fixed-size
+//     chunks; growing the arena appends chunks and never copies.
+//   - Index 0 is reserved and never handed out, so it can encode nil.
+//   - Allocation is lock-free: goroutines reserve blocks of indices from a
+//     global counter with a single atomic add, then hand indices out from
+//     the block with no further synchronization (see Alloc).
+//   - Indices can be recycled through an Alloc free list. The arena itself
+//     performs no liveness tracking; safe recycling requires an external
+//     grace-period mechanism such as internal/reclaim.
+package arena
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+const (
+	chunkBits = 16
+	// ChunkSize is the number of objects per chunk.
+	ChunkSize = 1 << chunkBits
+	chunkMask = ChunkSize - 1
+)
+
+// DefaultBlock is the number of indices an Alloc reserves from the shared
+// counter at a time. Large enough that the shared atomic add is cold, small
+// enough that idle goroutines do not strand much memory.
+const DefaultBlock = 1024
+
+// Arena is a concurrently growable object store addressed by uint32 index.
+// The zero value is not usable; call New.
+type Arena[T any] struct {
+	next   atomic.Uint64 // next unreserved global index
+	chunks []atomic.Pointer[[ChunkSize]T]
+}
+
+// New creates an arena able to hold at least capacity objects (rounded up to
+// a whole number of chunks, minimum one chunk). Only chunk bookkeeping is
+// allocated eagerly; chunk payloads are allocated on demand.
+func New[T any](capacity int) *Arena[T] {
+	if capacity < 1 {
+		capacity = 1
+	}
+	nchunks := (capacity + ChunkSize) / ChunkSize // +1 slot for reserved index 0
+	if nchunks < 1 {
+		nchunks = 1
+	}
+	a := &Arena[T]{chunks: make([]atomic.Pointer[[ChunkSize]T], nchunks)}
+	a.ensure(0)
+	a.next.Store(1) // index 0 is the nil sentinel
+	return a
+}
+
+// Cap returns the maximum number of objects the arena can hold (including
+// the reserved nil slot).
+func (a *Arena[T]) Cap() int { return len(a.chunks) * ChunkSize }
+
+// Allocated returns the number of indices reserved so far (an upper bound on
+// live objects; block allocation may strand up to block-1 indices per Alloc).
+func (a *Arena[T]) Allocated() uint64 { return a.next.Load() }
+
+// Get returns the object at index idx. idx must have been returned by an
+// Alloc of this arena; Get(0) is invalid.
+func (a *Arena[T]) Get(idx uint32) *T {
+	return &a.chunks[idx>>chunkBits].Load()[idx&chunkMask]
+}
+
+// ensure makes chunk c exist, installing it with a CAS race that at most
+// wastes one chunk allocation per contender.
+func (a *Arena[T]) ensure(c uint64) {
+	if c >= uint64(len(a.chunks)) {
+		panic(fmt.Sprintf("arena: capacity exhausted (chunk %d of %d); size the arena for the workload", c, len(a.chunks)))
+	}
+	if a.chunks[c].Load() != nil {
+		return
+	}
+	fresh := new([ChunkSize]T)
+	a.chunks[c].CompareAndSwap(nil, fresh)
+}
+
+// reserve claims n consecutive indices and guarantees their chunks exist.
+func (a *Arena[T]) reserve(n uint64) (lo, hi uint64) {
+	hi = a.next.Add(n)
+	lo = hi - n
+	for c := lo >> chunkBits; c <= (hi-1)>>chunkBits; c++ {
+		a.ensure(c)
+	}
+	return lo, hi
+}
+
+// Alloc hands out indices from privately reserved blocks. It is not safe for
+// concurrent use; give each goroutine its own Alloc.
+type Alloc[T any] struct {
+	a         *Arena[T]
+	next, lim uint64
+	block     uint64
+	free      []uint32 // recycled indices, LIFO
+	fresh     uint64   // stats: indices taken from the shared counter
+	recycled  uint64   // stats: indices served from the free list
+}
+
+// NewAlloc creates an allocation handle that reserves block indices at a
+// time (DefaultBlock if block <= 0).
+func (a *Arena[T]) NewAlloc(block int) *Alloc[T] {
+	if block <= 0 {
+		block = DefaultBlock
+	}
+	return &Alloc[T]{a: a, block: uint64(block)}
+}
+
+// New returns an unused index and a pointer to its (possibly dirty) object.
+// Recycled objects are returned as-is; callers must fully reinitialize them.
+func (al *Alloc[T]) New() (uint32, *T) {
+	if n := len(al.free); n > 0 {
+		idx := al.free[n-1]
+		al.free = al.free[:n-1]
+		al.recycled++
+		return idx, al.a.Get(idx)
+	}
+	if al.next == al.lim {
+		al.next, al.lim = al.a.reserve(al.block)
+	}
+	idx := uint32(al.next)
+	al.next++
+	al.fresh++
+	return idx, al.a.Get(idx)
+}
+
+// Recycle returns an index to this handle's free list. The caller is
+// responsible for guaranteeing no other goroutine can still reach idx (for
+// lock-free structures that means a grace period, e.g. internal/reclaim).
+func (al *Alloc[T]) Recycle(idx uint32) {
+	if idx == 0 {
+		panic("arena: recycling nil index")
+	}
+	al.free = append(al.free, idx)
+}
+
+// Get is a convenience passthrough to the arena.
+func (al *Alloc[T]) Get(idx uint32) *T { return al.a.Get(idx) }
+
+// Stats reports how many indices this handle served fresh vs recycled.
+func (al *Alloc[T]) Stats() (fresh, recycled uint64) { return al.fresh, al.recycled }

@@ -1,0 +1,143 @@
+package arena
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+type obj struct {
+	id  uint64
+	pad [2]uint64
+}
+
+func TestIndexZeroReserved(t *testing.T) {
+	a := New[obj](100)
+	al := a.NewAlloc(4)
+	idx, _ := al.New()
+	if idx == 0 {
+		t.Fatal("allocator handed out the reserved nil index")
+	}
+}
+
+func TestStableAddresses(t *testing.T) {
+	a := New[obj](4 * ChunkSize)
+	al := a.NewAlloc(256)
+	type rec struct {
+		idx uint32
+		p   *obj
+	}
+	var recs []rec
+	// Allocate across several chunk boundaries.
+	for i := 0; i < 3*ChunkSize; i++ {
+		idx, p := al.New()
+		p.id = uint64(idx)
+		recs = append(recs, rec{idx, p})
+	}
+	for _, r := range recs {
+		if got := a.Get(r.idx); got != r.p {
+			t.Fatalf("index %d moved: %p != %p", r.idx, got, r.p)
+		}
+		if got := a.Get(r.idx).id; got != uint64(r.idx) {
+			t.Fatalf("index %d payload clobbered: %d", r.idx, got)
+		}
+	}
+}
+
+func TestUniqueIndices(t *testing.T) {
+	const (
+		workers = 8
+		each    = 5000
+	)
+	a := New[obj](workers*each + 10*DefaultBlock)
+	results := make([][]uint32, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			al := a.NewAlloc(64)
+			out := make([]uint32, 0, each)
+			for i := 0; i < each; i++ {
+				idx, p := al.New()
+				p.id = uint64(w)<<32 | uint64(idx)
+				out = append(out, idx)
+			}
+			results[w] = out
+		}(w)
+	}
+	wg.Wait()
+	seen := make(map[uint32]int)
+	for w, out := range results {
+		for _, idx := range out {
+			if idx == 0 {
+				t.Fatal("nil index handed out")
+			}
+			if prev, dup := seen[idx]; dup {
+				t.Fatalf("index %d handed to both worker %d and %d", idx, prev, w)
+			}
+			seen[idx] = w
+			if got := a.Get(idx).id; got != uint64(w)<<32|uint64(idx) {
+				t.Fatalf("worker %d index %d: payload %#x", w, idx, got)
+			}
+		}
+	}
+}
+
+func TestRecycle(t *testing.T) {
+	a := New[obj](100)
+	al := a.NewAlloc(8)
+	idx, p := al.New()
+	p.id = 7
+	al.Recycle(idx)
+	idx2, _ := al.New()
+	if idx2 != idx {
+		t.Fatalf("recycled index not reused: got %d want %d", idx2, idx)
+	}
+	fresh, recycled := al.Stats()
+	if fresh != 1 || recycled != 1 {
+		t.Fatalf("stats = (%d,%d), want (1,1)", fresh, recycled)
+	}
+}
+
+func TestRecycleNilPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Recycle(0) did not panic")
+		}
+	}()
+	New[obj](10).NewAlloc(0).Recycle(0)
+}
+
+func TestCapExhaustionPanics(t *testing.T) {
+	a := New[obj](1) // one chunk
+	al := a.NewAlloc(ChunkSize)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected capacity panic")
+		}
+	}()
+	for i := 0; i < 2*ChunkSize; i++ {
+		al.New()
+	}
+}
+
+func TestCapRounding(t *testing.T) {
+	f := func(capHint uint16) bool {
+		a := New[obj](int(capHint))
+		return a.Cap() >= int(capHint)+1 && a.Cap()%ChunkSize == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatedMonotonic(t *testing.T) {
+	a := New[obj](10 * DefaultBlock)
+	before := a.Allocated()
+	al := a.NewAlloc(0)
+	al.New()
+	if a.Allocated() < before+DefaultBlock {
+		t.Fatalf("block reservation not visible: %d -> %d", before, a.Allocated())
+	}
+}

@@ -1,0 +1,39 @@
+package atomicx
+
+import "sync/atomic"
+
+// CacheLine is the assumed cache line size in bytes. 64 is correct for all
+// x86-64 and most arm64 parts; over-padding on exotic hardware only wastes a
+// few bytes per counter.
+const CacheLine = 64
+
+// PaddedUint64 is an atomic counter padded to its own cache line so that
+// arrays of per-worker counters do not false-share.
+type PaddedUint64 struct {
+	v atomic.Uint64
+	_ [CacheLine - 8]byte
+}
+
+// Add atomically adds delta and returns the new value.
+func (p *PaddedUint64) Add(delta uint64) uint64 { return p.v.Add(delta) }
+
+// Load atomically reads the counter.
+func (p *PaddedUint64) Load() uint64 { return p.v.Load() }
+
+// Store atomically replaces the counter.
+func (p *PaddedUint64) Store(x uint64) { p.v.Store(x) }
+
+// Bool is an atomic boolean flag.
+type Bool struct{ v atomic.Uint32 }
+
+// Set stores b.
+func (b *Bool) Set(x bool) {
+	if x {
+		b.v.Store(1)
+	} else {
+		b.v.Store(0)
+	}
+}
+
+// Get loads the flag.
+func (b *Bool) Get() bool { return b.v.Load() != 0 }

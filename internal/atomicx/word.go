@@ -1,0 +1,57 @@
+// Package atomicx provides the packed child-word representation used by the
+// arena-based Natarajan–Mittal tree, plus small atomic utilities shared by
+// the concurrent tree implementations.
+//
+// The paper steals two bits (flag and tag) from each child address stored in
+// a node. Go's garbage collector forbids storing mark bits inside real
+// pointers, so the packed representation works on 32-bit arena indices
+// instead: a child field is a single uint64 word laid out as
+//
+//	bit 0      flag  — the edge's head node (a leaf) is being deleted
+//	bit 1      tag   — the edge's tail node (an internal node) is being deleted
+//	bits 2..33 index — arena index of the child node (0 means nil)
+//
+// Because the whole field is one machine word, the paper's single-word CAS
+// and BTS (bit-test-and-set) instructions translate directly to
+// atomic.Uint64 CompareAndSwap and Or.
+package atomicx
+
+// Bit layout of a packed child word.
+const (
+	FlagBit   uint64 = 1 << 0 // edge flagged: head (leaf) node marked for deletion
+	TagBit    uint64 = 1 << 1 // edge tagged: tail (internal) node marked for deletion
+	markBits         = FlagBit | TagBit
+	addrShift        = 2
+)
+
+// Pack builds a child word from an arena index and the two mark bits.
+func Pack(idx uint32, flag, tag bool) uint64 {
+	w := uint64(idx) << addrShift
+	if flag {
+		w |= FlagBit
+	}
+	if tag {
+		w |= TagBit
+	}
+	return w
+}
+
+// Addr extracts the arena index stored in a child word.
+func Addr(w uint64) uint32 { return uint32(w >> addrShift) }
+
+// Flag reports whether the edge is flagged (head node marked for deletion).
+func Flag(w uint64) bool { return w&FlagBit != 0 }
+
+// Tag reports whether the edge is tagged (tail node marked for deletion).
+func Tag(w uint64) bool { return w&TagBit != 0 }
+
+// Marked reports whether the edge carries either mark.
+func Marked(w uint64) bool { return w&markBits != 0 }
+
+// WithAddr returns w with its index replaced, marks preserved.
+func WithAddr(w uint64, idx uint32) uint64 {
+	return w&markBits | uint64(idx)<<addrShift
+}
+
+// ClearMarks returns w with both mark bits cleared.
+func ClearMarks(w uint64) uint64 { return w &^ markBits }

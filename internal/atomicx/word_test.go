@@ -1,0 +1,109 @@
+package atomicx
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestPackRoundTrip(t *testing.T) {
+	f := func(idx uint32, flag, tag bool) bool {
+		w := Pack(idx, flag, tag)
+		return Addr(w) == idx && Flag(w) == flag && Tag(w) == tag &&
+			Marked(w) == (flag || tag)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPackZeroIsNil(t *testing.T) {
+	if w := Pack(0, false, false); w != 0 {
+		t.Fatalf("Pack(0,false,false) = %#x, want 0", w)
+	}
+}
+
+func TestMaxIndexFits(t *testing.T) {
+	w := Pack(math.MaxUint32, true, true)
+	if Addr(w) != math.MaxUint32 {
+		t.Fatalf("max index mangled: got %#x", Addr(w))
+	}
+	if !Flag(w) || !Tag(w) {
+		t.Fatal("marks lost at max index")
+	}
+}
+
+func TestWithAddrPreservesMarks(t *testing.T) {
+	f := func(idx, idx2 uint32, flag, tag bool) bool {
+		w := WithAddr(Pack(idx, flag, tag), idx2)
+		return Addr(w) == idx2 && Flag(w) == flag && Tag(w) == tag
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClearMarks(t *testing.T) {
+	w := ClearMarks(Pack(42, true, true))
+	if Addr(w) != 42 || Marked(w) {
+		t.Fatalf("ClearMarks wrong: %#x", w)
+	}
+}
+
+// TestBTSSemantics checks that atomic Or on a packed word behaves like the
+// paper's BTS instruction: it sets the tag bit exactly once regardless of
+// how many goroutines race, and never disturbs the address or flag.
+func TestBTSSemantics(t *testing.T) {
+	var word atomic.Uint64
+	word.Store(Pack(1234, true, false))
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				word.Or(TagBit)
+			}
+		}()
+	}
+	wg.Wait()
+	w := word.Load()
+	if Addr(w) != 1234 || !Flag(w) || !Tag(w) {
+		t.Fatalf("BTS corrupted word: %#x", w)
+	}
+}
+
+func TestPaddedCounter(t *testing.T) {
+	var c PaddedUint64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 10000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Load(); got != 40000 {
+		t.Fatalf("counter = %d, want 40000", got)
+	}
+}
+
+func TestBool(t *testing.T) {
+	var b Bool
+	if b.Get() {
+		t.Fatal("zero value should be false")
+	}
+	b.Set(true)
+	if !b.Get() {
+		t.Fatal("Set(true) not observed")
+	}
+	b.Set(false)
+	if b.Get() {
+		t.Fatal("Set(false) not observed")
+	}
+}

@@ -1,0 +1,146 @@
+package bcco_test
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/bcco"
+	"repro/internal/keys"
+)
+
+// TestReadersDuringRotations targets the optimistic read protocol
+// specifically: a writer inserts monotonically ascending keys — the
+// rotation-heaviest load possible — while readers continuously look up
+// keys *below a published watermark*. Every such key was durably inserted
+// before the reader asked, so a miss would mean a rotation hid a key from
+// the hand-over-hand validation (the central correctness risk of the
+// version-based design).
+func TestReadersDuringRotations(t *testing.T) {
+	tr := bcco.New()
+	const total = 60_000
+	var watermark atomic.Int64 // all keys < watermark are inserted
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := tr.NewHandle()
+		for i := int64(0); i < total; i++ {
+			if !h.Insert(keys.Map(i)) {
+				failures.Add(1)
+				return
+			}
+			watermark.Store(i + 1)
+		}
+	}()
+
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func(seed uint64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			x := seed
+			for {
+				w := watermark.Load()
+				if w >= total {
+					return
+				}
+				if w == 0 {
+					runtime.Gosched()
+					continue
+				}
+				x = x*6364136223846793005 + 1442695040888963407
+				k := int64(x % uint64(w))
+				if !h.Search(keys.Map(k)) {
+					t.Errorf("key %d below watermark %d invisible during rotations", k, w)
+					failures.Add(1)
+					return
+				}
+			}
+		}(uint64(r) + 7)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatal("rotation visibility failures")
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if tr.Size() != total {
+		t.Fatalf("size = %d, want %d", tr.Size(), total)
+	}
+}
+
+// TestDeleteDuringRotations mixes the other write path in: one goroutine
+// inserts ascending keys, another deletes a trailing window, readers
+// check the watermarked middle region stays visible.
+func TestDeleteDuringRotations(t *testing.T) {
+	tr := bcco.New()
+	const total = 40_000
+	const lag = 10_000
+	var inserted, deleted atomic.Int64
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := tr.NewHandle()
+		for i := int64(0); i < total; i++ {
+			h.Insert(keys.Map(i))
+			inserted.Store(i + 1)
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := tr.NewHandle()
+		next := int64(0)
+		for next < total-lag {
+			if inserted.Load()-next > lag {
+				if !h.Delete(keys.Map(next)) {
+					t.Errorf("delete of inserted key %d failed", next)
+					return
+				}
+				deleted.Store(next + 1)
+				next++
+			} else {
+				runtime.Gosched()
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		h := tr.NewHandle()
+		x := uint64(13)
+		for inserted.Load() < total {
+			lo, hi := deleted.Load(), inserted.Load()
+			if hi-lo < 2 {
+				runtime.Gosched()
+				continue
+			}
+			x = x*6364136223846793005 + 1
+			k := lo + int64(x%uint64(hi-lo))
+			if !h.Search(keys.Map(k)) {
+				// The deleter may have legitimately consumed k between the
+				// watermark read and the search. The watermark reaches k
+				// no later than the start of delete(k), so a miss while k
+				// is still *above* the current watermark is a real bug.
+				if k > deleted.Load() {
+					t.Errorf("live key %d (deleted watermark %d) invisible", k, deleted.Load())
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := tr.Size(), total-int(deleted.Load()); got != want {
+		t.Fatalf("size = %d, want %d", got, want)
+	}
+}

@@ -1,0 +1,779 @@
+// Package bcco implements the lock-based concurrent binary search tree of
+// Bronson, Casper, Chafi and Olukotun ("A Practical Concurrent Binary
+// Search Tree", PPoPP 2010) — the BCCO-BST baseline of the paper's
+// evaluation.
+//
+// The design is a *partially external* relaxed-balance AVL tree with
+// optimistic, hand-over-hand version validation:
+//
+//   - Reads are invisible: a search descends without locks, reading a
+//     per-node version word before following a child pointer and
+//     re-validating it afterwards. If the version changed — a rotation
+//     moved the node down — the search retries from the node's parent.
+//     While a node is mid-rotation its version carries a "changing" bit
+//     and readers briefly wait.
+//   - Writes lock individual nodes (parent before child, validating the
+//     parent→child relation while holding the parent — this ordering is
+//     what makes the locking deadlock-free).
+//   - Deleting a node with two children merely clears its presence bit,
+//     leaving a *routing* node (this is the partial externality); nodes
+//     with fewer than two children are physically unlinked. Routing nodes
+//     are reclaimed when rebalancing finds them with at most one child.
+//   - Balancing is relaxed AVL: heights are hints repaired lazily by
+//     fixHeightAndRebalance walking toward the root performing single and
+//     double rotations under local locks.
+//
+// Adaptation note: the original distinguishes "grow" from "shrink" version
+// changes so that rotations moving a node up do not invalidate concurrent
+// descents. This implementation keeps that property (only the rotated-down
+// node's version is bumped) but folds the two counters into a single
+// change counter, trading a few extra read-retries for simplicity.
+package bcco
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/keys"
+)
+
+// Version word bits.
+const (
+	vUnlinked uint64 = 1 << 0 // node removed from the tree (permanent)
+	vChanging uint64 = 1 << 1 // node mid-rotation; readers wait
+	vCountInc uint64 = 1 << 2 // change-counter increment
+)
+
+type node struct {
+	key     uint64
+	height  atomic.Int32
+	version atomic.Uint64
+	present atomic.Bool // false ⇒ routing node (partially external)
+	parent  atomic.Pointer[node]
+	left    atomic.Pointer[node]
+	right   atomic.Pointer[node]
+	mu      sync.Mutex
+}
+
+func (n *node) child(left bool) *atomic.Pointer[node] {
+	if left {
+		return &n.left
+	}
+	return &n.right
+}
+
+func height(n *node) int32 {
+	if n == nil {
+		return 0
+	}
+	return n.height.Load()
+}
+
+// waitUntilNotChanging spins while n is mid-rotation.
+func waitUntilNotChanging(n *node) {
+	for i := 0; ; i++ {
+		v := n.version.Load()
+		if v&vChanging == 0 {
+			return
+		}
+		if i > 32 {
+			runtime.Gosched()
+		}
+	}
+}
+
+// Stats counts work performed through a Handle.
+type Stats struct {
+	Searches, Inserts, Deletes uint64
+	Retries                    uint64 // optimistic validation failures
+	Rotations                  uint64
+	Unlinks                    uint64 // routing/single-child nodes removed
+	NodesAlloc                 uint64
+}
+
+// Tree is the BCCO lock-based relaxed AVL tree.
+type Tree struct {
+	holder *node // static pseudo-root; the real tree is holder.right
+}
+
+// New creates an empty tree.
+func New() *Tree {
+	h := &node{key: keys.Inf2}
+	h.height.Store(0)
+	return &Tree{holder: h}
+}
+
+// Handle is a per-goroutine accessor carrying statistics.
+type Handle struct {
+	t     *Tree
+	Stats Stats
+}
+
+// NewHandle returns a per-goroutine accessor.
+func (t *Tree) NewHandle() *Handle { return &Handle{t: t} }
+
+// Convenience methods.
+
+// Search reports whether key is present.
+func (t *Tree) Search(key uint64) bool { h := Handle{t: t}; return h.Search(key) }
+
+// Insert adds key if absent.
+func (t *Tree) Insert(key uint64) bool { h := Handle{t: t}; return h.Insert(key) }
+
+// Delete removes key if present.
+func (t *Tree) Delete(key uint64) bool { h := Handle{t: t}; return h.Delete(key) }
+
+// Results of optimistic attempts.
+type result int8
+
+const (
+	rRetry result = iota // validation failed at this level; redo from parent
+	rFalse               // operation completed, returns false
+	rTrue                // operation completed, returns true
+)
+
+// Search descends optimistically; found means the node exists *and* its
+// presence bit is set (routing nodes are logically absent).
+func (h *Handle) Search(key uint64) bool {
+	h.Stats.Searches++
+	t := h.t
+	for {
+		right := t.holder.right.Load()
+		if right == nil {
+			return false
+		}
+		rv := right.version.Load()
+		if rv&vChanging != 0 {
+			waitUntilNotChanging(right)
+			continue
+		}
+		if t.holder.right.Load() != right {
+			h.Stats.Retries++
+			continue
+		}
+		if res := h.attemptGet(key, right, rv); res != rRetry {
+			return res == rTrue
+		}
+		h.Stats.Retries++
+	}
+}
+
+// attemptGet searches within the subtree rooted at n, whose version was
+// observed as nv. rRetry means the caller must re-descend into n's slot.
+func (h *Handle) attemptGet(key uint64, n *node, nv uint64) result {
+	for {
+		if key == n.key {
+			// Presence is a single atomic read: its change is the
+			// linearization point of the corresponding insert/delete.
+			if n.present.Load() {
+				return rTrue
+			}
+			return rFalse
+		}
+		dirLeft := key < n.key
+		child := n.child(dirLeft).Load()
+		if child == nil {
+			// Validate we did not read the nil while n was being moved.
+			if n.version.Load() != nv {
+				return rRetry
+			}
+			return rFalse
+		}
+		cv := child.version.Load()
+		if cv&vChanging != 0 {
+			waitUntilNotChanging(child)
+			if n.version.Load() != nv {
+				return rRetry
+			}
+			continue
+		}
+		if n.child(dirLeft).Load() != child || n.version.Load() != nv {
+			if n.version.Load() != nv {
+				return rRetry
+			}
+			continue
+		}
+		if res := h.attemptGet(key, child, cv); res != rRetry {
+			return res
+		}
+		h.Stats.Retries++
+		if n.version.Load() != nv {
+			return rRetry
+		}
+	}
+}
+
+// Insert adds key if absent. Inserting over a routing node just sets its
+// presence bit; otherwise a leaf is linked and the path rebalanced.
+func (h *Handle) Insert(key uint64) bool {
+	h.Stats.Inserts++
+	t := h.t
+	for {
+		right := t.holder.right.Load()
+		if right == nil {
+			// Empty tree: link the first real node under the holder.
+			t.holder.mu.Lock()
+			if t.holder.right.Load() == nil {
+				nn := h.newNode(key, t.holder)
+				t.holder.right.Store(nn)
+				t.holder.mu.Unlock()
+				return true
+			}
+			t.holder.mu.Unlock()
+			continue
+		}
+		rv := right.version.Load()
+		if rv&vChanging != 0 {
+			waitUntilNotChanging(right)
+			continue
+		}
+		if t.holder.right.Load() != right {
+			h.Stats.Retries++
+			continue
+		}
+		if res := h.attemptInsert(key, right, rv); res != rRetry {
+			return res == rTrue
+		}
+		h.Stats.Retries++
+	}
+}
+
+func (h *Handle) newNode(key uint64, parent *node) *node {
+	nn := &node{key: key}
+	nn.height.Store(1)
+	nn.present.Store(true)
+	nn.parent.Store(parent)
+	h.Stats.NodesAlloc++
+	return nn
+}
+
+func (h *Handle) attemptInsert(key uint64, n *node, nv uint64) result {
+	for {
+		if key == n.key {
+			n.mu.Lock()
+			if n.version.Load()&vUnlinked != 0 {
+				n.mu.Unlock()
+				return rRetry
+			}
+			if n.present.Load() {
+				n.mu.Unlock()
+				return rFalse
+			}
+			n.present.Store(true) // routing node resurrected
+			n.mu.Unlock()
+			return rTrue
+		}
+		dirLeft := key < n.key
+		child := n.child(dirLeft).Load()
+		if child == nil {
+			// Try to link a fresh leaf under n.
+			n.mu.Lock()
+			if n.version.Load() != nv {
+				n.mu.Unlock()
+				return rRetry
+			}
+			if n.child(dirLeft).Load() != nil {
+				// Someone linked here first; re-descend from n.
+				n.mu.Unlock()
+				continue
+			}
+			nn := h.newNode(key, n)
+			n.child(dirLeft).Store(nn)
+			n.mu.Unlock()
+			h.fixHeightAndRebalance(n)
+			return rTrue
+		}
+		cv := child.version.Load()
+		if cv&vChanging != 0 {
+			waitUntilNotChanging(child)
+			if n.version.Load() != nv {
+				return rRetry
+			}
+			continue
+		}
+		if n.child(dirLeft).Load() != child || n.version.Load() != nv {
+			if n.version.Load() != nv {
+				return rRetry
+			}
+			continue
+		}
+		if res := h.attemptInsert(key, child, cv); res != rRetry {
+			return res
+		}
+		h.Stats.Retries++
+		if n.version.Load() != nv {
+			return rRetry
+		}
+	}
+}
+
+// Delete removes key if present. Two-children nodes become routing nodes
+// (presence bit cleared); others are unlinked under parent+node locks.
+func (h *Handle) Delete(key uint64) bool {
+	h.Stats.Deletes++
+	t := h.t
+	for {
+		right := t.holder.right.Load()
+		if right == nil {
+			return false
+		}
+		rv := right.version.Load()
+		if rv&vChanging != 0 {
+			waitUntilNotChanging(right)
+			continue
+		}
+		if t.holder.right.Load() != right {
+			h.Stats.Retries++
+			continue
+		}
+		if res := h.attemptDelete(key, right, rv); res != rRetry {
+			return res == rTrue
+		}
+		h.Stats.Retries++
+	}
+}
+
+func (h *Handle) attemptDelete(key uint64, n *node, nv uint64) result {
+	for {
+		if key == n.key {
+			return h.removeNode(n)
+		}
+		dirLeft := key < n.key
+		child := n.child(dirLeft).Load()
+		if child == nil {
+			if n.version.Load() != nv {
+				return rRetry
+			}
+			return rFalse
+		}
+		cv := child.version.Load()
+		if cv&vChanging != 0 {
+			waitUntilNotChanging(child)
+			if n.version.Load() != nv {
+				return rRetry
+			}
+			continue
+		}
+		if n.child(dirLeft).Load() != child || n.version.Load() != nv {
+			if n.version.Load() != nv {
+				return rRetry
+			}
+			continue
+		}
+		if res := h.attemptDelete(key, child, cv); res != rRetry {
+			return res
+		}
+		h.Stats.Retries++
+		if n.version.Load() != nv {
+			return rRetry
+		}
+	}
+}
+
+// removeNode deletes the key stored at n: a two-children node keeps its
+// skeleton as a routing node; otherwise n is spliced out entirely.
+func (h *Handle) removeNode(n *node) result {
+	for {
+		if n.version.Load()&vUnlinked != 0 {
+			return rRetry
+		}
+		if n.left.Load() != nil && n.right.Load() != nil {
+			// Looks like two children: clear presence under n's lock.
+			n.mu.Lock()
+			if n.version.Load()&vUnlinked != 0 {
+				n.mu.Unlock()
+				return rRetry
+			}
+			if n.left.Load() == nil || n.right.Load() == nil {
+				n.mu.Unlock()
+				continue // shrank meanwhile; take the unlink path
+			}
+			if !n.present.Load() {
+				n.mu.Unlock()
+				return rFalse
+			}
+			n.present.Store(false)
+			n.mu.Unlock()
+			return rTrue
+		}
+
+		// At most one child: unlink under parent→node locks.
+		p := n.parent.Load()
+		p.mu.Lock()
+		if p.version.Load()&vUnlinked != 0 || n.parent.Load() != p {
+			p.mu.Unlock()
+			h.Stats.Retries++
+			continue
+		}
+		n.mu.Lock()
+		if n.version.Load()&vUnlinked != 0 {
+			n.mu.Unlock()
+			p.mu.Unlock()
+			return rRetry
+		}
+		if n.left.Load() != nil && n.right.Load() != nil {
+			// Grew a second child; handle on the next iteration.
+			n.mu.Unlock()
+			p.mu.Unlock()
+			continue
+		}
+		if !n.present.Load() {
+			n.mu.Unlock()
+			p.mu.Unlock()
+			return rFalse
+		}
+		h.unlinkLocked(p, n)
+		n.mu.Unlock()
+		p.mu.Unlock()
+		h.fixHeightAndRebalance(p)
+		return rTrue
+	}
+}
+
+// unlinkLocked splices n (≤1 child) out from under p. Both locks held.
+func (h *Handle) unlinkLocked(p, n *node) {
+	splice := n.left.Load()
+	if splice == nil {
+		splice = n.right.Load()
+	}
+	v := n.version.Load()
+	n.version.Store(v | vChanging)
+	if p.left.Load() == n {
+		p.left.Store(splice)
+	} else {
+		p.right.Store(splice)
+	}
+	if splice != nil {
+		splice.parent.Store(p)
+	}
+	n.present.Store(false)
+	n.version.Store((v + vCountInc) | vUnlinked)
+	h.Stats.Unlinks++
+}
+
+// ---- relaxed AVL repair ----
+
+// fixHeightAndRebalance walks from n toward the root repairing stale
+// heights, rotating unbalanced nodes and unlinking spent routing nodes.
+func (h *Handle) fixHeightAndRebalance(n *node) {
+	for n != nil && n != h.t.holder {
+		if n.version.Load()&vUnlinked != 0 {
+			return
+		}
+		l, r := n.left.Load(), n.right.Load()
+		hl, hr := height(l), height(r)
+		bal := hl - hr
+		routingSpent := !n.present.Load() && (l == nil || r == nil)
+
+		switch {
+		case routingSpent:
+			n = h.tryUnlinkRouting(n)
+		case bal > 1 || bal < -1:
+			n = h.tryRotate(n)
+		default:
+			newH := 1 + max32(hl, hr)
+			if newH == n.height.Load() {
+				return // nothing stale; repair complete
+			}
+			n.mu.Lock()
+			if n.version.Load()&vUnlinked != 0 {
+				n.mu.Unlock()
+				return
+			}
+			hl, hr = height(n.left.Load()), height(n.right.Load())
+			newH = 1 + max32(hl, hr)
+			if n.height.Load() == newH {
+				n.mu.Unlock()
+				return
+			}
+			n.height.Store(newH)
+			n.mu.Unlock()
+			n = n.parent.Load() // propagate the height change
+		}
+	}
+}
+
+// tryUnlinkRouting removes a presence-less node with ≤1 child; returns the
+// node from which repair should continue.
+func (h *Handle) tryUnlinkRouting(n *node) *node {
+	p := n.parent.Load()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	if p.version.Load()&vUnlinked != 0 || n.parent.Load() != p {
+		p.mu.Unlock()
+		return n // stale parent; recompute next round
+	}
+	n.mu.Lock()
+	ok := n.version.Load()&vUnlinked == 0 &&
+		!n.present.Load() &&
+		(n.left.Load() == nil || n.right.Load() == nil)
+	if ok {
+		h.unlinkLocked(p, n)
+	}
+	n.mu.Unlock()
+	p.mu.Unlock()
+	return p
+}
+
+func max32(a, b int32) int32 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// tryRotate performs a single or double rotation at n under parent→child
+// ordered locks; returns the node from which repair should continue.
+func (h *Handle) tryRotate(n *node) *node {
+	p := n.parent.Load()
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.version.Load()&vUnlinked != 0 || n.parent.Load() != p {
+		return n
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.version.Load()&vUnlinked != 0 {
+		return p
+	}
+
+	l, r := n.left.Load(), n.right.Load()
+	bal := height(l) - height(r)
+	switch {
+	case bal > 1:
+		// Left-heavy. l is non-nil (height ≥ 2).
+		l.mu.Lock()
+		defer l.mu.Unlock()
+		if height(l.left.Load()) >= height(l.right.Load()) {
+			h.rotateRight(p, n, l)
+			return n // n moved down; re-examine it, then ancestors
+		}
+		// Double rotation: rotate l's right child up twice.
+		lr := l.right.Load()
+		if lr == nil {
+			// Heights were stale; just repair them.
+			h.fixHeightLocked(n)
+			return p
+		}
+		lr.mu.Lock()
+		defer lr.mu.Unlock()
+		h.rotateLeft(n, l, lr) // within n's subtree: lr replaces l
+		h.rotateRight(p, n, lr)
+		return n
+	case bal < -1:
+		r.mu.Lock()
+		defer r.mu.Unlock()
+		if height(r.right.Load()) >= height(r.left.Load()) {
+			h.rotateLeft(p, n, r)
+			return n
+		}
+		rl := r.left.Load()
+		if rl == nil {
+			h.fixHeightLocked(n)
+			return p
+		}
+		rl.mu.Lock()
+		defer rl.mu.Unlock()
+		h.rotateRight(n, r, rl)
+		h.rotateLeft(p, n, rl)
+		return n
+	default:
+		// Heights changed under us; repair and continue upward.
+		h.fixHeightLocked(n)
+		return p
+	}
+}
+
+// fixHeightLocked recomputes n's height; n's lock must be held.
+func (h *Handle) fixHeightLocked(n *node) {
+	n.height.Store(1 + max32(height(n.left.Load()), height(n.right.Load())))
+}
+
+// rotateRight rotates l up over n (all of p, n, l locked):
+//
+//	    p            p
+//	    |            |
+//	    n            l
+//	   / \    →     / \
+//	  l   c        a   n
+//	 / \              / \
+//	a   b            b   c
+//
+// Only n moves down, so only n's version is bumped (readers inside l or a
+// are unaffected — the "grow" side of Bronson's grow/shrink distinction).
+func (h *Handle) rotateRight(p, n, l *node) {
+	h.Stats.Rotations++
+	v := n.version.Load()
+	n.version.Store(v | vChanging)
+
+	b := l.right.Load()
+	n.left.Store(b)
+	if b != nil {
+		b.parent.Store(n)
+	}
+	l.right.Store(n)
+	n.parent.Store(l)
+	if p.left.Load() == n {
+		p.left.Store(l)
+	} else {
+		p.right.Store(l)
+	}
+	l.parent.Store(p)
+
+	n.height.Store(1 + max32(height(n.left.Load()), height(n.right.Load())))
+	l.height.Store(1 + max32(height(l.left.Load()), height(n)))
+
+	n.version.Store((v + vCountInc) &^ vChanging)
+}
+
+// rotateLeft is the mirror image of rotateRight.
+func (h *Handle) rotateLeft(p, n, r *node) {
+	h.Stats.Rotations++
+	v := n.version.Load()
+	n.version.Store(v | vChanging)
+
+	b := r.left.Load()
+	n.right.Store(b)
+	if b != nil {
+		b.parent.Store(n)
+	}
+	r.left.Store(n)
+	n.parent.Store(r)
+	if p.left.Load() == n {
+		p.left.Store(r)
+	} else {
+		p.right.Store(r)
+	}
+	r.parent.Store(p)
+
+	n.height.Store(1 + max32(height(n.left.Load()), height(n.right.Load())))
+	r.height.Store(1 + max32(height(n), height(r.right.Load())))
+
+	n.version.Store((v + vCountInc) &^ vChanging)
+}
+
+// ---- quiescent inspection ----
+
+// Size counts present keys (quiescent only).
+func (t *Tree) Size() int {
+	n := 0
+	t.Keys(func(uint64) bool { n++; return true })
+	return n
+}
+
+// Keys visits present keys in ascending order (quiescent only). Routing
+// nodes are skipped.
+func (t *Tree) Keys(yield func(uint64) bool) {
+	if r := t.holder.right.Load(); r != nil {
+		t.visit(r, yield)
+	}
+}
+
+func (t *Tree) visit(n *node, yield func(uint64) bool) bool {
+	if l := n.left.Load(); l != nil && !t.visit(l, yield) {
+		return false
+	}
+	if n.present.Load() && !yield(n.key) {
+		return false
+	}
+	if r := n.right.Load(); r != nil && !t.visit(r, yield) {
+		return false
+	}
+	return true
+}
+
+// Height returns the root height (quiescent diagnostic).
+func (t *Tree) Height() int {
+	return int(height(t.holder.right.Load()))
+}
+
+// SpaceStats reports reachable-node accounting (quiescent): partially
+// external deletion leaves value-less routing nodes in place until
+// rebalancing unlinks them, so TotalNodes can exceed LiveKeys.
+type SpaceStats struct {
+	LiveKeys     int
+	RoutingNodes int
+	TotalNodes   int
+}
+
+// Space computes SpaceStats by walking the tree (quiescent only).
+func (t *Tree) Space() SpaceStats {
+	var s SpaceStats
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n == nil {
+			return
+		}
+		s.TotalNodes++
+		if n.present.Load() {
+			s.LiveKeys++
+		} else {
+			s.RoutingNodes++
+		}
+		walk(n.left.Load())
+		walk(n.right.Load())
+	}
+	walk(t.holder.right.Load())
+	return s
+}
+
+// Audit validates the structural invariants (quiescent only): strict key
+// ordering, parent back-pointers, height hints within relaxed-AVL slack,
+// and no changing/unlinked nodes reachable.
+func (t *Tree) Audit() error {
+	r := t.holder.right.Load()
+	if r == nil {
+		return nil
+	}
+	if r.parent.Load() != t.holder {
+		return fmt.Errorf("root's parent pointer is stale")
+	}
+	_, err := t.audit(r, 0, keys.Inf2)
+	return err
+}
+
+func (t *Tree) audit(n *node, lo, hi uint64) (int32, error) {
+	if n.key < lo || n.key > hi {
+		return 0, fmt.Errorf("key %#x outside [%#x, %#x]", n.key, lo, hi)
+	}
+	if v := n.version.Load(); v&(vUnlinked|vChanging) != 0 {
+		return 0, fmt.Errorf("reachable node %#x has version flags %#x in quiescent tree", n.key, v)
+	}
+	var hl, hr int32
+	if l := n.left.Load(); l != nil {
+		if l.parent.Load() != n {
+			return 0, fmt.Errorf("left child of %#x has stale parent", n.key)
+		}
+		if n.key == 0 {
+			return 0, fmt.Errorf("node with key 0 has a left child")
+		}
+		var err error
+		if hl, err = t.audit(l, lo, n.key-1); err != nil {
+			return 0, err
+		}
+	}
+	if r := n.right.Load(); r != nil {
+		if r.parent.Load() != n {
+			return 0, fmt.Errorf("right child of %#x has stale parent", n.key)
+		}
+		var err error
+		if hr, err = t.audit(r, n.key+1, hi); err != nil {
+			return 0, err
+		}
+	}
+	trueH := 1 + max32(hl, hr)
+	// Heights are repair hints, not invariants: racing fixups may leave
+	// them stale until the next operation touches the path. Only reject
+	// impossible values.
+	if got := n.height.Load(); got < 1 {
+		return 0, fmt.Errorf("node %#x has height hint %d", n.key, got)
+	}
+	return trueH, nil
+}

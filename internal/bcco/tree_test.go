@@ -1,0 +1,139 @@
+package bcco_test
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bcco"
+	"repro/internal/keys"
+	"repro/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(capacity int) settest.Set {
+		return bcco.New()
+	})
+}
+
+// TestBalanceSequential checks the relaxed-AVL property has teeth: after n
+// sequential ascending inserts (the worst case for an unbalanced BST, which
+// would produce height n), the height must be within a small factor of
+// log2(n).
+func TestBalanceSequential(t *testing.T) {
+	tr := bcco.New()
+	const n = 1 << 15
+	for i := 0; i < n; i++ {
+		if !tr.Insert(keys.Map(int64(i))) {
+			t.Fatalf("insert %d failed", i)
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	limit := 2*bits.Len(uint(n)) + 4
+	if h := tr.Height(); h > limit {
+		t.Fatalf("height %d after %d ascending inserts exceeds relaxed-AVL limit %d", h, n, limit)
+	}
+}
+
+func TestBalanceDescending(t *testing.T) {
+	tr := bcco.New()
+	const n = 1 << 14
+	for i := n; i > 0; i-- {
+		tr.Insert(keys.Map(int64(i)))
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	limit := 2*bits.Len(uint(n)) + 4
+	if h := tr.Height(); h > limit {
+		t.Fatalf("height %d exceeds %d", h, limit)
+	}
+}
+
+// TestRoutingNodeLifecycle verifies partial externality: deleting a
+// two-children node leaves a routing node that still routes correctly, is
+// invisible to searches, can be resurrected by a re-insert, and is
+// physically unlinked once it loses a child.
+func TestRoutingNodeLifecycle(t *testing.T) {
+	tr := bcco.New()
+	for _, k := range []int64{50, 25, 75} {
+		tr.Insert(keys.Map(k))
+	}
+	// 50 has two children: becomes a routing node.
+	if !tr.Delete(keys.Map(50)) {
+		t.Fatal("delete failed")
+	}
+	if tr.Search(keys.Map(50)) {
+		t.Fatal("routing node visible to search")
+	}
+	if !tr.Search(keys.Map(25)) || !tr.Search(keys.Map(75)) {
+		t.Fatal("routing node stopped routing")
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size = %d, want 2", tr.Size())
+	}
+	// Resurrect.
+	if !tr.Insert(keys.Map(50)) {
+		t.Fatal("re-insert over routing node failed")
+	}
+	if !tr.Search(keys.Map(50)) {
+		t.Fatal("resurrected key invisible")
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	tr := bcco.New()
+	h := tr.NewHandle()
+	for i := 0; i < 1024; i++ {
+		h.Insert(keys.Map(int64(i)))
+	}
+	if h.Stats.Rotations == 0 {
+		t.Fatal("1024 ascending inserts performed no rotations")
+	}
+	if h.Stats.NodesAlloc != 1024 {
+		t.Fatalf("allocated %d nodes, want 1024", h.Stats.NodesAlloc)
+	}
+	for i := 0; i < 1024; i++ {
+		h.Delete(keys.Map(int64(i)))
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestChurnKeepsTreeTidy(t *testing.T) {
+	// Sustained random churn must not accumulate unbounded routing nodes or
+	// corrupt the structure.
+	tr := bcco.New()
+	rng := rand.New(rand.NewSource(5))
+	model := map[int64]bool{}
+	for i := 0; i < 60000; i++ {
+		k := int64(rng.Intn(512))
+		u := keys.Map(k)
+		if rng.Intn(2) == 0 {
+			if got, want := tr.Insert(u), !model[k]; got != want {
+				t.Fatalf("op %d insert(%d) = %v want %v", i, k, got, want)
+			}
+			model[k] = true
+		} else {
+			if got, want := tr.Delete(u), model[k]; got != want {
+				t.Fatalf("op %d delete(%d) = %v want %v", i, k, got, want)
+			}
+			delete(model, k)
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Size(); got != len(model) {
+		t.Fatalf("size = %d, model %d", got, len(model))
+	}
+}

@@ -1,0 +1,170 @@
+// Package cgl is a coarse-grained-lock binary search tree: one RWMutex
+// around a plain sequential internal BST.
+//
+// It is not part of the paper's evaluation; it serves as (a) the obvious
+// floor every concurrent algorithm must beat under contention, and (b) a
+// trivially correct reference used by differential stress tests.
+package cgl
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/keys"
+)
+
+type node struct {
+	key         uint64
+	left, right *node
+}
+
+// Tree is a coarse-locked sequential BST. All methods are safe for
+// concurrent use.
+type Tree struct {
+	mu   sync.RWMutex
+	root *node
+	size int
+}
+
+// New creates an empty tree.
+func New() *Tree { return &Tree{} }
+
+// Search reports whether key is present (shared lock).
+func (t *Tree) Search(key uint64) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := t.root
+	for n != nil {
+		switch {
+		case key < n.key:
+			n = n.left
+		case key > n.key:
+			n = n.right
+		default:
+			return true
+		}
+	}
+	return false
+}
+
+// Insert adds key if absent (exclusive lock).
+func (t *Tree) Insert(key uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	link := &t.root
+	for *link != nil {
+		n := *link
+		switch {
+		case key < n.key:
+			link = &n.left
+		case key > n.key:
+			link = &n.right
+		default:
+			return false
+		}
+	}
+	*link = &node{key: key}
+	t.size++
+	return true
+}
+
+// Delete removes key if present (exclusive lock). A node with two children
+// is replaced by its in-order successor.
+func (t *Tree) Delete(key uint64) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	link := &t.root
+	for *link != nil && (*link).key != key {
+		n := *link
+		if key < n.key {
+			link = &n.left
+		} else {
+			link = &n.right
+		}
+	}
+	n := *link
+	if n == nil {
+		return false
+	}
+	switch {
+	case n.left == nil:
+		*link = n.right
+	case n.right == nil:
+		*link = n.left
+	default:
+		// Two children: splice in the successor (leftmost of right subtree).
+		slink := &n.right
+		for (*slink).left != nil {
+			slink = &(*slink).left
+		}
+		s := *slink
+		*slink = s.right
+		s.left, s.right = n.left, n.right
+		*link = s
+	}
+	t.size--
+	return true
+}
+
+// Size returns the number of stored keys.
+func (t *Tree) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.size
+}
+
+// Keys visits keys in ascending order under the shared lock.
+func (t *Tree) Keys(yield func(uint64) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	visit(t.root, yield)
+}
+
+func visit(n *node, yield func(uint64) bool) bool {
+	if n == nil {
+		return true
+	}
+	return visit(n.left, yield) && yield(n.key) && visit(n.right, yield)
+}
+
+// Audit validates BST ordering and the size counter.
+func (t *Tree) Audit() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n, err := audit(t.root, 0, ^uint64(0))
+	if err != nil {
+		return err
+	}
+	if n != t.size {
+		return fmt.Errorf("size counter %d, actual %d", t.size, n)
+	}
+	return nil
+}
+
+func audit(n *node, lo, hi uint64) (int, error) {
+	if n == nil {
+		return 0, nil
+	}
+	if n.key < lo || n.key > hi {
+		return 0, fmt.Errorf("key %#x outside [%#x, %#x]", n.key, lo, hi)
+	}
+	if keys.IsSentinel(n.key) {
+		return 0, fmt.Errorf("sentinel key %#x stored as user key", n.key)
+	}
+	var nl, nr int
+	var err error
+	if n.left != nil {
+		if n.key == 0 {
+			return 0, fmt.Errorf("key 0 has left child")
+		}
+		if nl, err = audit(n.left, lo, n.key-1); err != nil {
+			return 0, err
+		}
+	}
+	if n.right != nil {
+		if nr, err = audit(n.right, n.key+1, hi); err != nil {
+			return 0, err
+		}
+	}
+	return nl + nr + 1, nil
+}

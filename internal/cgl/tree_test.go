@@ -1,0 +1,49 @@
+package cgl_test
+
+import (
+	"testing"
+
+	"repro/internal/cgl"
+	"repro/internal/keys"
+	"repro/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(capacity int) settest.Set {
+		return cgl.New()
+	})
+}
+
+func TestTwoChildDelete(t *testing.T) {
+	tr := cgl.New()
+	for _, k := range []int64{50, 25, 75, 60, 90, 55, 65} {
+		tr.Insert(keys.Map(k))
+	}
+	if !tr.Delete(keys.Map(50)) {
+		t.Fatal("delete failed")
+	}
+	for _, k := range []int64{25, 75, 60, 90, 55, 65} {
+		if !tr.Search(keys.Map(k)) {
+			t.Fatalf("key %d lost", k)
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysOrdered(t *testing.T) {
+	tr := cgl.New()
+	for _, k := range []int64{5, 1, 9, 3, 7} {
+		tr.Insert(keys.Map(k))
+	}
+	last := int64(-1 << 62)
+	tr.Keys(func(u uint64) bool {
+		k := keys.Unmap(u)
+		if k <= last {
+			t.Fatalf("out of order: %d after %d", k, last)
+		}
+		last = k
+		return true
+	})
+}

@@ -1,0 +1,157 @@
+// Package check decides linearizability of concurrent set histories.
+//
+// The paper's correctness claim (Section 3.3) is that every execution of
+// the tree is linearizable against the sequential dictionary
+// specification. This checker verifies recorded histories against that
+// specification: because every dictionary operation touches exactly one
+// key and keys are independent in the sequential spec, a history is
+// linearizable iff its per-key projections each are — which reduces the
+// problem to checking a concurrent boolean register with insert (test-and-
+// set), delete (test-and-clear) and search (read) operations.
+//
+// Each per-key history is decided by the Wing & Gong depth-first search
+// with memoization on the set of already-linearized operations: an
+// operation may be linearized next only if no other pending operation
+// responded entirely before it was invoked.
+package check
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// MaxOpsPerKey bounds the per-key history length (the memoization mask is
+// one machine word).
+const MaxOpsPerKey = 63
+
+// Linearizable decides whether the history is linearizable starting from
+// the given initial key set (nil means the empty set). It returns nil when
+// a valid linearization exists for every key, and a descriptive error
+// naming the first offending key otherwise.
+func Linearizable(events []trace.Event, initial map[int64]bool) error {
+	for key, evs := range trace.PerKey(events) {
+		if len(evs) > MaxOpsPerKey {
+			return fmt.Errorf("key %d: history has %d operations (checker cap %d); use more keys or fewer ops", key, len(evs), MaxOpsPerKey)
+		}
+		if !checkKey(evs, initial[key]) {
+			return fmt.Errorf("key %d: no valid linearization for %d operations: %v", key, len(evs), evs)
+		}
+	}
+	return nil
+}
+
+// apply returns whether ev is legal in state, and the successor state.
+func apply(ev trace.Event, state bool) (ok, next bool) {
+	switch ev.Op {
+	case workload.OpInsert:
+		if ev.Out {
+			return !state, true // succeeds only when absent
+		}
+		return state, state // fails only when present
+	case workload.OpDelete:
+		if ev.Out {
+			return state, false // succeeds only when present
+		}
+		return !state, state // fails only when absent
+	default: // search
+		return ev.Out == state, state
+	}
+}
+
+// checkKey runs the Wing & Gong search over one key's events.
+func checkKey(evs []trace.Event, initial bool) bool {
+	n := len(evs)
+	if n == 0 {
+		return true
+	}
+	sort.Slice(evs, func(i, j int) bool { return evs[i].Start < evs[j].Start })
+
+	full := uint64(1)<<n - 1
+	// The state after linearizing a set of operations is a function of the
+	// set alone (successful inserts/deletes alternate), so memoizing failed
+	// masks is sound.
+	visited := make(map[uint64]struct{})
+
+	var dfs func(mask uint64, state bool) bool
+	dfs = func(mask uint64, state bool) bool {
+		if mask == full {
+			return true
+		}
+		if _, seen := visited[mask]; seen {
+			return false
+		}
+		visited[mask] = struct{}{}
+
+		// An operation can linearize next only if it was invoked before
+		// every pending operation's response.
+		minEnd := int64(1<<63 - 1)
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) == 0 && evs[i].End < minEnd {
+				minEnd = evs[i].End
+			}
+		}
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				continue
+			}
+			if evs[i].Start > minEnd {
+				break // evs sorted by start; later ones start even later
+			}
+			if ok, next := apply(evs[i], state); ok && dfs(mask|1<<i, next) {
+				return true
+			}
+		}
+		return false
+	}
+	return dfs(0, initial)
+}
+
+// Stats summarizes a history (diagnostic aid for failure messages).
+func Stats(events []trace.Event) string {
+	var ins, del, src int
+	keys := map[int64]struct{}{}
+	for _, e := range events {
+		keys[e.Key] = struct{}{}
+		switch e.Op {
+		case workload.OpInsert:
+			ins++
+		case workload.OpDelete:
+			del++
+		default:
+			src++
+		}
+	}
+	maxConc := maxConcurrency(events)
+	return fmt.Sprintf("%d events (%d insert, %d delete, %d search) over %d keys, max concurrency %d",
+		len(events), ins, del, src, len(keys), maxConc)
+}
+
+// maxConcurrency returns the largest number of simultaneously outstanding
+// operations in the history.
+func maxConcurrency(events []trace.Event) int {
+	type pt struct {
+		t     int64
+		delta int
+	}
+	pts := make([]pt, 0, 2*len(events))
+	for _, e := range events {
+		pts = append(pts, pt{e.Start, 1}, pt{e.End, -1})
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].t != pts[j].t {
+			return pts[i].t < pts[j].t
+		}
+		return pts[i].delta < pts[j].delta // close before open at the same instant
+	})
+	cur, best := 0, 0
+	for _, p := range pts {
+		cur += p.delta
+		if cur > best {
+			best = cur
+		}
+	}
+	return best
+}

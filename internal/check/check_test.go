@@ -1,0 +1,168 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// ev builds an event compactly for hand-written histories.
+func ev(op workload.OpKind, key int64, out bool, start, end int64) trace.Event {
+	return trace.Event{Op: op, Key: key, Out: out, Start: start, End: end}
+}
+
+func TestSequentialHistoryAccepted(t *testing.T) {
+	h := []trace.Event{
+		ev(workload.OpSearch, 1, false, 0, 1),
+		ev(workload.OpInsert, 1, true, 2, 3),
+		ev(workload.OpSearch, 1, true, 4, 5),
+		ev(workload.OpInsert, 1, false, 6, 7),
+		ev(workload.OpDelete, 1, true, 8, 9),
+		ev(workload.OpDelete, 1, false, 10, 11),
+		ev(workload.OpSearch, 1, false, 12, 13),
+	}
+	if err := Linearizable(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialViolationRejected(t *testing.T) {
+	// search=true with no prior insert is impossible.
+	h := []trace.Event{
+		ev(workload.OpSearch, 1, true, 0, 1),
+		ev(workload.OpInsert, 1, true, 2, 3),
+	}
+	if err := Linearizable(h, nil); err == nil {
+		t.Fatal("impossible history accepted")
+	}
+}
+
+func TestOverlapAllowsReordering(t *testing.T) {
+	// The search overlaps the insert, so it may linearize after it.
+	h := []trace.Event{
+		ev(workload.OpInsert, 1, true, 0, 10),
+		ev(workload.OpSearch, 1, true, 5, 6),
+	}
+	if err := Linearizable(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRealTimeOrderEnforced(t *testing.T) {
+	// The search completes strictly before the insert begins, so it cannot
+	// see the inserted key.
+	h := []trace.Event{
+		ev(workload.OpSearch, 1, true, 0, 1),
+		ev(workload.OpInsert, 1, true, 5, 6),
+	}
+	if err := Linearizable(h, nil); err == nil {
+		t.Fatal("real-time order violation accepted")
+	}
+}
+
+func TestDoubleInsertBothTrueRejected(t *testing.T) {
+	// Two non-overlapping successful inserts with no delete between.
+	h := []trace.Event{
+		ev(workload.OpInsert, 1, true, 0, 1),
+		ev(workload.OpInsert, 1, true, 2, 3),
+	}
+	if err := Linearizable(h, nil); err == nil {
+		t.Fatal("two successful inserts without delete accepted")
+	}
+}
+
+func TestConcurrentInsertsOneWins(t *testing.T) {
+	h := []trace.Event{
+		ev(workload.OpInsert, 1, true, 0, 10),
+		ev(workload.OpInsert, 1, false, 1, 9),
+	}
+	if err := Linearizable(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentInsertDeleteRace(t *testing.T) {
+	// insert(true) ∥ delete(true): delete must linearize after insert.
+	h := []trace.Event{
+		ev(workload.OpInsert, 1, true, 0, 10),
+		ev(workload.OpDelete, 1, true, 1, 9),
+		ev(workload.OpSearch, 1, false, 20, 21),
+	}
+	if err := Linearizable(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInitialStateRespected(t *testing.T) {
+	h := []trace.Event{
+		ev(workload.OpSearch, 7, true, 0, 1),
+		ev(workload.OpDelete, 7, true, 2, 3),
+	}
+	if err := Linearizable(h, nil); err == nil {
+		t.Fatal("history needs initial presence but empty initial accepted")
+	}
+	if err := Linearizable(h, map[int64]bool{7: true}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysIndependent(t *testing.T) {
+	// A violation on key 2 must be reported even if key 1 is fine.
+	h := []trace.Event{
+		ev(workload.OpInsert, 1, true, 0, 1),
+		ev(workload.OpSearch, 2, true, 2, 3),
+	}
+	err := Linearizable(h, nil)
+	if err == nil {
+		t.Fatal("cross-key contamination: violation missed")
+	}
+	if !strings.Contains(err.Error(), "key 2") {
+		t.Fatalf("error does not name the offending key: %v", err)
+	}
+}
+
+func TestHistoryCapEnforced(t *testing.T) {
+	var h []trace.Event
+	for i := int64(0); i < MaxOpsPerKey+1; i++ {
+		h = append(h, ev(workload.OpSearch, 1, false, 2*i, 2*i+1))
+	}
+	if err := Linearizable(h, nil); err == nil || !strings.Contains(err.Error(), "cap") {
+		t.Fatalf("cap not enforced: %v", err)
+	}
+}
+
+func TestDeepOverlapWindow(t *testing.T) {
+	// Many mutually overlapping operations: exercises memoization. All ops
+	// span [0, 100]; a valid order exists (I D I D ... then searches).
+	var h []trace.Event
+	for i := 0; i < 10; i++ {
+		out := true
+		op := workload.OpInsert
+		if i%2 == 1 {
+			op = workload.OpDelete
+		}
+		h = append(h, ev(op, 1, out, int64(i), 100))
+	}
+	for i := 0; i < 6; i++ {
+		h = append(h, ev(workload.OpSearch, 1, i%2 == 0, int64(20+i), 100))
+	}
+	if err := Linearizable(h, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsSummary(t *testing.T) {
+	h := []trace.Event{
+		ev(workload.OpInsert, 1, true, 0, 5),
+		ev(workload.OpSearch, 2, false, 1, 2),
+		ev(workload.OpDelete, 1, true, 6, 7),
+	}
+	s := Stats(h)
+	for _, want := range []string{"3 events", "1 insert", "1 delete", "1 search", "2 keys", "concurrency 2"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("Stats = %q missing %q", s, want)
+		}
+	}
+}

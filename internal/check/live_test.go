@@ -1,0 +1,60 @@
+package check_test
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/harness"
+	"repro/internal/keys"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// TestTreesLinearizable records real concurrent histories from every tree
+// implementation and verifies each against the sequential set
+// specification — the paper's Section 3.3 safety claim, tested end to end.
+func TestTreesLinearizable(t *testing.T) {
+	const (
+		workers  = 4
+		opsEach  = 500
+		keySpace = 128
+		rounds   = 3
+	)
+	for _, target := range harness.Targets() {
+		t.Run(target.Name, func(t *testing.T) {
+			for round := 0; round < rounds; round++ {
+				inst := target.New(harness.Config{ArenaCapacity: 1 << 20})
+				rec := trace.NewRecorder(workers)
+				var wg sync.WaitGroup
+				for w := 0; w < workers; w++ {
+					wg.Add(1)
+					go func(w int) {
+						defer wg.Done()
+						acc := inst.NewAccessor()
+						tape := rec.Worker(w)
+						gen := workload.NewGenerator(workload.Mix{Name: "hot", Search: 20, Insert: 40, Delete_: 40},
+							keySpace, uint64(round*100+w+1))
+						for i := 0; i < opsEach; i++ {
+							op, k := gen.Next()
+							u := keys.Map(k)
+							switch op {
+							case workload.OpSearch:
+								tape.Record(op, k, func() bool { return acc.Search(u) })
+							case workload.OpInsert:
+								tape.Record(op, k, func() bool { return acc.Insert(u) })
+							default:
+								tape.Record(op, k, func() bool { return acc.Delete(u) })
+							}
+						}
+					}(w)
+				}
+				wg.Wait()
+				events := rec.Events()
+				if err := check.Linearizable(events, nil); err != nil {
+					t.Fatalf("round %d: %v\nhistory: %s", round, err, check.Stats(events))
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestCASOnlyDeleteCost verifies the paper's CAS-only remark concretely:
+// with BTS replaced by a CAS loop, an uncontended delete still executes
+// exactly three atomic instructions (flag CAS, tag CAS, splice CAS).
+func TestCASOnlyDeleteCost(t *testing.T) {
+	tr := New(Config{Capacity: 1 << 20, CASOnly: true})
+	h := tr.NewHandle()
+	for _, k := range []int64{50, 25, 75, 60} {
+		h.Insert(keys.Map(k))
+	}
+
+	before := h.Stats
+	if !h.Delete(keys.Map(60)) {
+		t.Fatal("delete failed")
+	}
+	d := h.Stats
+	if got := d.Atomics() - before.Atomics(); got != 3 {
+		t.Fatalf("uncontended CAS-only delete executed %d atomics, want 3", got)
+	}
+	if d.BTS != before.BTS {
+		t.Fatal("CAS-only mode executed a BTS instruction")
+	}
+}
+
+// TestCASOnlyMatchesBTSResults runs identical operation sequences through
+// both modes and cross-checks the results (differential test).
+func TestCASOnlyMatchesBTSResults(t *testing.T) {
+	a := New(Config{Capacity: 1 << 20})
+	b := New(Config{Capacity: 1 << 20, CASOnly: true})
+	ha, hb := a.NewHandle(), b.NewHandle()
+
+	seq := []struct {
+		op  byte
+		key int64
+	}{}
+	rng := uint64(12345)
+	next := func() uint64 { rng = rng*6364136223846793005 + 1442695040888963407; return rng >> 33 }
+	for i := 0; i < 20000; i++ {
+		seq = append(seq, struct {
+			op  byte
+			key int64
+		}{byte(next() % 3), int64(next() % 200)})
+	}
+	for i, s := range seq {
+		u := keys.Map(s.key)
+		var ra, rb bool
+		switch s.op {
+		case 0:
+			ra, rb = ha.Insert(u), hb.Insert(u)
+		case 1:
+			ra, rb = ha.Delete(u), hb.Delete(u)
+		default:
+			ra, rb = ha.Search(u), hb.Search(u)
+		}
+		if ra != rb {
+			t.Fatalf("op %d: BTS mode returned %v, CAS-only returned %v", i, ra, rb)
+		}
+	}
+	if a.Size() != b.Size() {
+		t.Fatalf("sizes diverged: %d vs %d", a.Size(), b.Size())
+	}
+	if err := b.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

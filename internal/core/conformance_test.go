@@ -1,0 +1,26 @@
+package core_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(capacity int) settest.Set {
+		return core.New(core.Config{Capacity: 1 << 22})
+	})
+}
+
+func TestConformanceReclaim(t *testing.T) {
+	settest.Run(t, func(capacity int) settest.Set {
+		return core.New(core.Config{Capacity: 1 << 22, Reclaim: true})
+	})
+}
+
+func TestConformanceCASOnly(t *testing.T) {
+	settest.Run(t, func(capacity int) settest.Set {
+		return core.New(core.Config{Capacity: 1 << 22, CASOnly: true})
+	})
+}

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+)
+
+func newTest(t testing.TB) *Tree {
+	t.Helper()
+	return New(Config{Capacity: 1 << 20})
+}
+
+func TestEmptyTree(t *testing.T) {
+	tr := newTest(t)
+	if tr.Search(keys.Map(42)) {
+		t.Fatal("empty tree found a key")
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("empty tree size = %d", tr.Size())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatalf("empty tree audit: %v", err)
+	}
+	if tr.Delete(keys.Map(42)) {
+		t.Fatal("delete on empty tree returned true")
+	}
+}
+
+func TestInsertSearchDelete(t *testing.T) {
+	tr := newTest(t)
+	k := keys.Map(10)
+	if !tr.Insert(k) {
+		t.Fatal("first insert returned false")
+	}
+	if !tr.Search(k) {
+		t.Fatal("inserted key not found")
+	}
+	if tr.Insert(k) {
+		t.Fatal("duplicate insert returned true")
+	}
+	if !tr.Delete(k) {
+		t.Fatal("delete of present key returned false")
+	}
+	if tr.Search(k) {
+		t.Fatal("deleted key still found")
+	}
+	if tr.Delete(k) {
+		t.Fatal("second delete returned true")
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAscendingDescendingInserts(t *testing.T) {
+	for name, gen := range map[string]func(i int) int64{
+		"ascending":  func(i int) int64 { return int64(i) },
+		"descending": func(i int) int64 { return int64(1000 - i) },
+		"negative":   func(i int) int64 { return int64(-i) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			tr := newTest(t)
+			const n = 500
+			for i := 0; i < n; i++ {
+				if !tr.Insert(keys.Map(gen(i))) {
+					t.Fatalf("insert %d returned false", i)
+				}
+			}
+			if tr.Size() != n {
+				t.Fatalf("size = %d, want %d", tr.Size(), n)
+			}
+			if err := tr.Audit(); err != nil {
+				t.Fatal(err)
+			}
+			for i := 0; i < n; i++ {
+				if !tr.Search(keys.Map(gen(i))) {
+					t.Fatalf("key %d missing", gen(i))
+				}
+			}
+		})
+	}
+}
+
+func TestInOrderIteration(t *testing.T) {
+	tr := newTest(t)
+	want := []int64{5, -3, 99, 0, 7, 12, -100, 63}
+	for _, k := range want {
+		tr.Insert(keys.Map(k))
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []int64
+	tr.Keys(func(u uint64) bool {
+		got = append(got, keys.Unmap(u))
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("iterated %d keys, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: got %d want %d (keys not in order)", i, got[i], want[i])
+		}
+	}
+}
+
+func TestIterationEarlyStop(t *testing.T) {
+	tr := newTest(t)
+	for i := 0; i < 100; i++ {
+		tr.Insert(keys.Map(int64(i)))
+	}
+	n := 0
+	tr.Keys(func(uint64) bool {
+		n++
+		return n < 10
+	})
+	if n != 10 {
+		t.Fatalf("early stop visited %d keys, want 10", n)
+	}
+}
+
+func TestDeleteRebuildsRouting(t *testing.T) {
+	// Delete interior keys and check the remaining set is fully searchable.
+	tr := newTest(t)
+	for i := int64(0); i < 200; i++ {
+		tr.Insert(keys.Map(i))
+	}
+	for i := int64(0); i < 200; i += 2 {
+		if !tr.Delete(keys.Map(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 200; i++ {
+		want := i%2 == 1
+		if got := tr.Search(keys.Map(i)); got != want {
+			t.Fatalf("search %d = %v, want %v", i, got, want)
+		}
+	}
+	if tr.Size() != 100 {
+		t.Fatalf("size = %d, want 100", tr.Size())
+	}
+}
+
+func TestDeleteAllThenReuse(t *testing.T) {
+	tr := newTest(t)
+	for round := 0; round < 5; round++ {
+		for i := int64(0); i < 64; i++ {
+			if !tr.Insert(keys.Map(i)) {
+				t.Fatalf("round %d: insert %d failed", round, i)
+			}
+		}
+		for i := int64(63); i >= 0; i-- {
+			if !tr.Delete(keys.Map(i)) {
+				t.Fatalf("round %d: delete %d failed", round, i)
+			}
+		}
+		if tr.Size() != 0 {
+			t.Fatalf("round %d: size %d after deleting all", round, tr.Size())
+		}
+		if err := tr.Audit(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+}
+
+// TestModelEquivalence drives the tree with random operations and checks
+// every return value against a map-based model (property-based test).
+func TestModelEquivalence(t *testing.T) {
+	type op struct {
+		Kind byte
+		Key  int16 // small key space provokes structure reuse
+	}
+	f := func(ops []op) bool {
+		tr := newTest(t)
+		model := map[int64]bool{}
+		for _, o := range ops {
+			k := int64(o.Key)
+			u := keys.Map(k)
+			switch o.Kind % 3 {
+			case 0:
+				if got, want := tr.Insert(u), !model[k]; got != want {
+					t.Logf("insert(%d) = %v, model says %v", k, got, want)
+					return false
+				}
+				model[k] = true
+			case 1:
+				if got, want := tr.Delete(u), model[k]; got != want {
+					t.Logf("delete(%d) = %v, model says %v", k, got, want)
+					return false
+				}
+				delete(model, k)
+			default:
+				if got, want := tr.Search(u), model[k]; got != want {
+					t.Logf("search(%d) = %v, model says %v", k, got, want)
+					return false
+				}
+			}
+		}
+		if err := tr.Audit(); err != nil {
+			t.Log(err)
+			return false
+		}
+		n := 0
+		for range model {
+			n++
+		}
+		return tr.Size() == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomChurnLarge(t *testing.T) {
+	tr := newTest(t)
+	rng := rand.New(rand.NewSource(7))
+	model := map[int64]bool{}
+	for i := 0; i < 50000; i++ {
+		k := int64(rng.Intn(2000))
+		u := keys.Map(k)
+		switch rng.Intn(3) {
+		case 0:
+			if got, want := tr.Insert(u), !model[k]; got != want {
+				t.Fatalf("op %d: insert(%d) = %v want %v", i, k, got, want)
+			}
+			model[k] = true
+		case 1:
+			if got, want := tr.Delete(u), model[k]; got != want {
+				t.Fatalf("op %d: delete(%d) = %v want %v", i, k, got, want)
+			}
+			delete(model, k)
+		default:
+			if got, want := tr.Search(u), model[k]; got != want {
+				t.Fatalf("op %d: search(%d) = %v want %v", i, k, got, want)
+			}
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHandleStatsUncontended(t *testing.T) {
+	// Table 1 claims: insert = 2 objects, 1 atomic; delete = 0 objects,
+	// 3 atomics (flag CAS + BTS + splice CAS) — in the absence of contention.
+	tr := newTest(t)
+	h := tr.NewHandle()
+
+	h.Insert(keys.Map(50)) // pre-populate so the measured ops are generic
+	h.Insert(keys.Map(25))
+	h.Insert(keys.Map(75))
+
+	before := h.Stats
+	if !h.Insert(keys.Map(60)) {
+		t.Fatal("insert failed")
+	}
+	d := h.Stats
+	if got := d.NodesAlloc - before.NodesAlloc; got != 2 {
+		t.Fatalf("uncontended insert allocated %d objects, paper says 2", got)
+	}
+	if got := d.Atomics() - before.Atomics(); got != 1 {
+		t.Fatalf("uncontended insert executed %d atomics, paper says 1", got)
+	}
+
+	before = h.Stats
+	if !h.Delete(keys.Map(60)) {
+		t.Fatal("delete failed")
+	}
+	d = h.Stats
+	if got := d.NodesAlloc - before.NodesAlloc; got != 0 {
+		t.Fatalf("uncontended delete allocated %d objects, paper says 0", got)
+	}
+	if got := d.Atomics() - before.Atomics(); got != 3 {
+		t.Fatalf("uncontended delete executed %d atomics, paper says 3", got)
+	}
+}
+
+func TestSearchIsReadOnly(t *testing.T) {
+	tr := newTest(t)
+	h := tr.NewHandle()
+	for i := int64(0); i < 100; i++ {
+		h.Insert(keys.Map(i))
+	}
+	before := h.Stats
+	for i := int64(0); i < 200; i++ {
+		h.Search(keys.Map(i))
+	}
+	d := h.Stats
+	if d.Atomics() != before.Atomics() {
+		t.Fatal("search executed atomic instructions")
+	}
+	if d.NodesAlloc != before.NodesAlloc {
+		t.Fatal("search allocated nodes")
+	}
+}
+
+func TestSentinelKeysRejectedByAudit(t *testing.T) {
+	// The tree never stores sentinels as user keys; iteration must skip the
+	// three sentinel leaves even in a populated tree.
+	tr := newTest(t)
+	tr.Insert(keys.Map(1))
+	seen := 0
+	tr.Keys(func(u uint64) bool {
+		if keys.IsSentinel(u) {
+			t.Fatalf("iteration yielded sentinel %#x", u)
+		}
+		seen++
+		return true
+	})
+	if seen != 1 {
+		t.Fatalf("saw %d keys, want 1", seen)
+	}
+}

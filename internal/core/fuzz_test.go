@@ -1,0 +1,82 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// FuzzModelEquivalence interprets the fuzz input as an operation program
+// (one byte opcode + one byte key per step) and differentially checks the
+// tree against a map model, auditing the structure at the end. Run with
+// `go test -fuzz FuzzModelEquivalence ./internal/core` to explore; the
+// seed corpus executes under plain `go test`.
+func FuzzModelEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 2, 1})             // insert, delete, search key 1
+	f.Add([]byte{0, 5, 0, 3, 1, 5, 2, 3, 1, 3}) // interleaved
+	f.Add([]byte{0, 0, 0, 255, 1, 0, 1, 255})   // boundary keys
+	f.Fuzz(func(t *testing.T, program []byte) {
+		tr := New(Config{Capacity: 1 << 18})
+		h := tr.NewHandle()
+		model := map[int64]bool{}
+		for i := 0; i+1 < len(program); i += 2 {
+			op, kb := program[i]%3, program[i+1]
+			k := int64(kb)
+			u := keys.Map(k)
+			switch op {
+			case 0:
+				if got, want := h.Insert(u), !model[k]; got != want {
+					t.Fatalf("insert(%d) = %v, want %v", k, got, want)
+				}
+				model[k] = true
+			case 1:
+				if got, want := h.Delete(u), model[k]; got != want {
+					t.Fatalf("delete(%d) = %v, want %v", k, got, want)
+				}
+				delete(model, k)
+			default:
+				if got, want := h.Search(u), model[k]; got != want {
+					t.Fatalf("search(%d) = %v, want %v", k, got, want)
+				}
+			}
+		}
+		if err := tr.Audit(); err != nil {
+			t.Fatalf("audit after program: %v", err)
+		}
+		if tr.Size() != len(model) {
+			t.Fatalf("size %d, model %d", tr.Size(), len(model))
+		}
+	})
+}
+
+// FuzzReclaimEquivalence runs the same program shape against the
+// reclaiming configuration, whose recycling paths are the riskiest code.
+func FuzzReclaimEquivalence(f *testing.F) {
+	f.Add([]byte{0, 1, 1, 1, 0, 1, 1, 1, 0, 1, 1, 1})
+	f.Add([]byte{0, 9, 0, 8, 1, 9, 0, 9, 1, 8, 1, 9})
+	f.Fuzz(func(t *testing.T, program []byte) {
+		tr := New(Config{Capacity: 1 << 18, Reclaim: true})
+		h := tr.NewHandle()
+		defer h.Close()
+		model := map[int64]bool{}
+		for i := 0; i+1 < len(program); i += 2 {
+			op, kb := program[i]%2, program[i+1]%16 // tiny key space: heavy recycling
+			k := int64(kb)
+			u := keys.Map(k)
+			if op == 0 {
+				if got, want := h.Insert(u), !model[k]; got != want {
+					t.Fatalf("insert(%d) = %v, want %v", k, got, want)
+				}
+				model[k] = true
+			} else {
+				if got, want := h.Delete(u), model[k]; got != want {
+					t.Fatalf("delete(%d) = %v, want %v", k, got, want)
+				}
+				delete(model, k)
+			}
+		}
+		if err := tr.Audit(); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

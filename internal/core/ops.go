@@ -1,0 +1,439 @@
+package core
+
+import (
+	"runtime"
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/atomicx"
+	"repro/internal/reclaim"
+)
+
+// Stats counts the work a Handle has performed. All fields are maintained
+// without atomics (a Handle is single-goroutine); aggregate across handles
+// for totals. These counters regenerate Table 1 of the paper (objects
+// allocated and atomic instructions executed per operation).
+type Stats struct {
+	Searches uint64 // completed search operations
+	Inserts  uint64 // completed insert operations (hit or miss)
+	Deletes  uint64 // completed delete operations (hit or miss)
+
+	CASSucceeded uint64 // successful CAS instructions
+	CASFailed    uint64 // failed CAS instructions
+	BTS          uint64 // bit-test-and-set instructions
+	NodesAlloc   uint64 // tree nodes allocated (fresh or recycled)
+
+	Seeks        uint64 // seek-phase executions (≥1 per operation)
+	HelpAttempts uint64 // cleanup invocations on behalf of another delete
+	SpliceWins   uint64 // successful cleanup CASes (physical removals)
+	PrunedLeaves uint64 // leaves physically removed by this handle's splices
+	Recycled     uint64 // nodes retired for arena recycling
+}
+
+// add accumulates other into s.
+func (s *Stats) Add(o Stats) {
+	s.Searches += o.Searches
+	s.Inserts += o.Inserts
+	s.Deletes += o.Deletes
+	s.CASSucceeded += o.CASSucceeded
+	s.CASFailed += o.CASFailed
+	s.BTS += o.BTS
+	s.NodesAlloc += o.NodesAlloc
+	s.Seeks += o.Seeks
+	s.HelpAttempts += o.HelpAttempts
+	s.SpliceWins += o.SpliceWins
+	s.PrunedLeaves += o.PrunedLeaves
+	s.Recycled += o.Recycled
+}
+
+// Atomics returns the total number of atomic read-modify-write instructions
+// executed (CAS attempts plus BTS), the quantity Table 1 reports.
+func (s *Stats) Atomics() uint64 { return s.CASSucceeded + s.CASFailed + s.BTS }
+
+// Handle is a single goroutine's accessor to a Tree. It owns a private node
+// allocator, the per-thread seek record from the paper, spare nodes reused
+// across insert retries, and statistics. Handles are cheap; create one per
+// worker goroutine.
+type Handle struct {
+	t  *Tree
+	al *arena.Alloc[node]
+	sr seekRecord
+
+	// Spare nodes surviving a failed insert CAS, so a retried insert does
+	// not allocate again (keeps the paper's two-objects-per-insert bound).
+	spareInternal uint32
+	spareLeaf     uint32
+
+	slot *reclaim.Slot[uint32] // nil unless the tree reclaims memory
+
+	// stepHook, when non-nil, is invoked immediately before every atomic
+	// step of this handle's operations (and at each seek). It exists for
+	// the exhaustive interleaving explorer in schedule_test.go, which
+	// blocks here to drive operations one atomic step at a time; it is nil
+	// in production (a single predictable branch on the hot path).
+	stepHook func(point string)
+
+	Stats Stats
+}
+
+func (h *Handle) hook(point string) {
+	if h.stepHook != nil {
+		h.stepHook(point)
+	}
+}
+
+func (h *Handle) pin() {
+	if h.slot != nil {
+		h.slot.Pin()
+	}
+}
+
+func (h *Handle) unpin() {
+	if h.slot != nil {
+		h.slot.Unpin()
+	}
+}
+
+// Close releases the handle's reclamation slot, if any. After Close the
+// handle must not be used.
+func (h *Handle) Close() {
+	if h.slot != nil {
+		h.slot.Close()
+		h.slot = nil
+		runtime.SetFinalizer(h, nil)
+	}
+}
+
+// seek is Algorithm 1: traverse from the root to a leaf, maintaining the
+// four-pointer seek record. ancestor/successor track the tail/head of the
+// last *untagged* edge seen before the parent, so that cleanup can splice
+// around every node already being removed.
+func (h *Handle) seek(key uint64) {
+	t := h.t
+	ar := t.ar
+	sr := &h.sr
+	h.Stats.Seeks++
+	h.hook("seek")
+
+	sr.ancestor = t.r
+	sr.successor = t.s
+	sr.parent = t.s
+
+	// parentField is the child word of the edge (parent → leaf);
+	// currentField is the child word of the edge (leaf → current).
+	parentField := ar.Get(t.s).left.Load()
+	sr.leaf = atomicx.Addr(parentField)
+	currentField := ar.Get(sr.leaf).left.Load()
+	current := atomicx.Addr(currentField)
+
+	for current != 0 {
+		// The edge into the node about to become the parent is untagged:
+		// it is not being spliced out, so it can serve as ancestor.
+		if !atomicx.Tag(parentField) {
+			sr.ancestor = sr.parent
+			sr.successor = sr.leaf
+		}
+		sr.parent = sr.leaf
+		sr.leaf = current
+		parentField = currentField
+
+		cn := ar.Get(current)
+		if key < cn.key {
+			currentField = cn.left.Load()
+		} else {
+			currentField = cn.right.Load()
+		}
+		current = atomicx.Addr(currentField)
+	}
+}
+
+// Search reports whether key is present (Algorithm 2, lines 34–39). It is
+// wait-free for a fixed tree and lock-free in general; it never writes to
+// shared memory.
+func (h *Handle) Search(key uint64) bool {
+	h.pin()
+	h.seek(key)
+	found := h.t.ar.Get(h.sr.leaf).key == key
+	h.unpin()
+	h.Stats.Searches++
+	return found
+}
+
+// spares returns the two nodes an insert will link, allocating only if no
+// spares survive from a failed attempt.
+func (h *Handle) spares() (internalIdx uint32, leafIdx uint32) {
+	if h.spareInternal == 0 {
+		h.spareInternal, _ = h.al.New()
+		h.Stats.NodesAlloc++
+	}
+	if h.spareLeaf == 0 {
+		h.spareLeaf, _ = h.al.New()
+		h.Stats.NodesAlloc++
+	}
+	return h.spareInternal, h.spareLeaf
+}
+
+// Insert adds key to the tree; it returns false if the key was already
+// present (Algorithm 2, lines 40–59). A successful insert executes exactly
+// one atomic instruction: the CAS that swings the parent's child word from
+// the old leaf to the new internal node.
+func (h *Handle) Insert(key uint64) bool {
+	t := h.t
+	ar := t.ar
+	h.pin()
+	for {
+		h.seek(key)
+		leaf := h.sr.leaf
+		leafKey := ar.Get(leaf).key
+		if leafKey == key {
+			h.unpin()
+			h.Stats.Inserts++
+			return false // key already present
+		}
+
+		parent := h.sr.parent
+		pn := ar.Get(parent)
+		var childAddr *atomic.Uint64
+		if key < pn.key {
+			childAddr = &pn.left
+		} else {
+			childAddr = &pn.right
+		}
+
+		// Build the replacement subtree: a new internal node whose children
+		// are the existing leaf and a new leaf holding key, ordered by key.
+		// The internal node's routing key is the larger of the two.
+		ni, nl := h.spares()
+		niN, nlN := ar.Get(ni), ar.Get(nl)
+		nlN.key = key
+		nlN.left.Store(0)
+		nlN.right.Store(0)
+		if key < leafKey {
+			niN.key = leafKey
+			niN.left.Store(atomicx.Pack(nl, false, false))
+			niN.right.Store(atomicx.Pack(leaf, false, false))
+		} else {
+			niN.key = key
+			niN.left.Store(atomicx.Pack(leaf, false, false))
+			niN.right.Store(atomicx.Pack(nl, false, false))
+		}
+
+		h.hook("insert-cas")
+		if childAddr.CompareAndSwap(atomicx.Pack(leaf, false, false), atomicx.Pack(ni, false, false)) {
+			h.Stats.CASSucceeded++
+			h.spareInternal, h.spareLeaf = 0, 0
+			h.unpin()
+			h.Stats.Inserts++
+			return true
+		}
+		h.Stats.CASFailed++
+
+		// The CAS failed. If the edge to our leaf still exists but is
+		// marked, a delete owns parent; help it finish, then retry.
+		w := childAddr.Load()
+		if atomicx.Addr(w) == leaf && atomicx.Marked(w) {
+			h.Stats.HelpAttempts++
+			h.cleanup(key, &h.sr)
+		}
+	}
+}
+
+// deleteMode distinguishes the two phases of Algorithm 3.
+type deleteMode uint8
+
+const (
+	injection   deleteMode = iota // flag the edge into the target leaf
+	cleanupMode                   // physically remove the flagged leaf
+)
+
+// Delete removes key from the tree; it returns false if the key was not
+// present (Algorithm 3). The flagging CAS is the operation's commit point:
+// once it succeeds the delete is guaranteed to complete (possibly finished
+// by helpers). An uncontended delete executes exactly three atomic
+// instructions: flag CAS, sibling-tag BTS, splice CAS.
+func (h *Handle) Delete(key uint64) bool {
+	t := h.t
+	ar := t.ar
+	mode := injection
+	var leaf uint32
+
+	h.pin()
+	for {
+		h.seek(key)
+		sr := &h.sr
+		pn := ar.Get(sr.parent)
+		var childAddr *atomic.Uint64
+		if key < pn.key {
+			childAddr = &pn.left
+		} else {
+			childAddr = &pn.right
+		}
+
+		if mode == injection {
+			leaf = sr.leaf
+			if ar.Get(leaf).key != key {
+				h.unpin()
+				h.Stats.Deletes++
+				return false // key not present
+			}
+			// Inject: flag the edge (parent → leaf).
+			h.hook("flag-cas")
+			if childAddr.CompareAndSwap(atomicx.Pack(leaf, false, false), atomicx.Pack(leaf, true, false)) {
+				h.Stats.CASSucceeded++
+				mode = cleanupMode
+				if h.cleanup(key, sr) {
+					h.unpin()
+					h.Stats.Deletes++
+					return true
+				}
+			} else {
+				h.Stats.CASFailed++
+				w := childAddr.Load()
+				if atomicx.Addr(w) == leaf && atomicx.Marked(w) {
+					h.Stats.HelpAttempts++
+					h.cleanup(key, sr)
+				}
+			}
+		} else {
+			// Cleanup mode: if our flagged leaf is no longer the leaf on
+			// the access path, a helper already removed it.
+			if sr.leaf != leaf {
+				h.unpin()
+				h.Stats.Deletes++
+				return true
+			}
+			if h.cleanup(key, sr) {
+				h.unpin()
+				h.Stats.Deletes++
+				return true
+			}
+		}
+	}
+}
+
+// cleanup is Algorithm 4: physically remove the flagged leaf on the access
+// path for key (and every already-tagged internal node above it) by tagging
+// the sibling edge and splicing the sibling up to the ancestor with one CAS.
+// It is executed both by the owning delete and by helpers.
+func (h *Handle) cleanup(key uint64, sr *seekRecord) bool {
+	ar := h.t.ar
+	an := ar.Get(sr.ancestor)
+	pn := ar.Get(sr.parent)
+
+	// Address of the ancestor's child word currently holding successor.
+	var successorAddr *atomic.Uint64
+	if key < an.key {
+		successorAddr = &an.left
+	} else {
+		successorAddr = &an.right
+	}
+	// Addresses of the parent's two child words, oriented around key.
+	var childAddr, siblingAddr *atomic.Uint64
+	if key < pn.key {
+		childAddr = &pn.left
+		siblingAddr = &pn.right
+	} else {
+		childAddr = &pn.right
+		siblingAddr = &pn.left
+	}
+
+	if !atomicx.Flag(childAddr.Load()) {
+		// The leaf on key's side is not the delete target; the sibling is
+		// (we are helping a delete of the other child). The roles swap.
+		siblingAddr = childAddr
+	}
+
+	// Tag the sibling edge (BTS — cannot fail). From here on neither child
+	// word of parent can change, so parent can never again be an injection
+	// point.
+	h.hook("tag")
+	if h.t.cfg.CASOnly {
+		// CAS-only mode: emulate BTS with a bounded retry loop. The loop
+		// terminates because competitors only ever *set* bits on this word
+		// (marked edges never change), so a failed CAS means the tag is
+		// closer to — or already — set.
+		for {
+			w := siblingAddr.Load()
+			if atomicx.Tag(w) {
+				break
+			}
+			if siblingAddr.CompareAndSwap(w, w|atomicx.TagBit) {
+				h.Stats.CASSucceeded++
+				break
+			}
+			h.Stats.CASFailed++
+		}
+	} else {
+		siblingAddr.Or(atomicx.TagBit)
+		h.Stats.BTS++
+	}
+
+	// Splice the sibling up: ancestor's child swings from successor to the
+	// sibling node, preserving the sibling edge's flag bit (the sibling may
+	// itself be a leaf already flagged by another delete).
+	h.hook("splice-cas")
+	sw := siblingAddr.Load()
+	ok := successorAddr.CompareAndSwap(
+		atomicx.Pack(sr.successor, false, false),
+		atomicx.Pack(atomicx.Addr(sw), atomicx.Flag(sw), false),
+	)
+	if ok {
+		h.Stats.CASSucceeded++
+		h.Stats.SpliceWins++
+		if h.slot != nil || h.t.cfg.CountPrunedLeaves {
+			h.retireRemoved(sr, atomicx.Addr(sw))
+		}
+	} else {
+		h.Stats.CASFailed++
+	}
+	return ok
+}
+
+// retireRemoved walks the chain of nodes detached by a successful splice —
+// successor down to parent through tagged edges, plus the flagged leaf
+// hanging off each chain node — counting pruned leaves and, when
+// reclamation is on, retiring every removed node. Only the goroutine whose
+// splice CAS succeeded runs this, so each node is retired exactly once.
+func (h *Handle) retireRemoved(sr *seekRecord, survivor uint32) {
+	ar := h.t.ar
+	n := sr.successor
+	for {
+		nd := ar.Get(n)
+		l, r := nd.left.Load(), nd.right.Load()
+		la, ra := atomicx.Addr(l), atomicx.Addr(r)
+		h.retire(n)
+		if n == sr.parent {
+			// The splice kept survivor; the parent's other child is the
+			// delete target. Both children may be flagged here (two deletes
+			// targeting sibling leaves), so pick by identity, not by flag.
+			h.Stats.PrunedLeaves++
+			if la == survivor {
+				h.retire(ra)
+			} else {
+				h.retire(la)
+			}
+			return
+		}
+		// Interior chain node: exactly one flagged child (a leaf some
+		// delete targets) and one tagged child continuing toward parent.
+		var leafChild, next uint32
+		if atomicx.Flag(l) {
+			leafChild, next = la, ra
+		} else {
+			leafChild, next = ra, la
+		}
+		h.Stats.PrunedLeaves++
+		h.retire(leafChild)
+		if next == 0 || next == survivor {
+			return // defensive: never walk off the removed region
+		}
+		n = next
+	}
+}
+
+func (h *Handle) retire(idx uint32) {
+	if h.slot != nil {
+		h.slot.Retire(idx)
+		h.Stats.Recycled++
+	}
+}

@@ -1,0 +1,200 @@
+package core
+
+// Exhaustive schedule exploration: the real Insert/Delete/Search code is
+// driven one atomic step at a time through *every* interleaving (for
+// 2-operation scenarios) or a large random sample (3 operations), and
+// every complete schedule is validated three ways:
+//
+//  1. the history must be linearizable (internal/check),
+//  2. the final tree must pass the structural audit,
+//  3. the final membership must equal initial state + net successful ops.
+//
+// This catches protocol bugs that wall-clock stress cannot reliably hit —
+// e.g. a splice racing a flag at exactly one interleaving — because here
+// every interleaving at atomic-step granularity is actually executed.
+// The generic stepping machinery lives in internal/settest/explore.go.
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/keys"
+	"repro/internal/settest"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+// opSpec describes one concurrent operation of a scenario.
+type opSpec struct {
+	kind workload.OpKind
+	key  int64
+}
+
+func (o opSpec) String() string { return fmt.Sprintf("%v(%d)", o.kind, o.key) }
+
+// scenario is a fixed initial tree plus concurrent operations.
+type scenario struct {
+	name  string
+	setup []int64
+	ops   []opSpec
+}
+
+// builder returns a build function for the explorer plus access to the
+// tree built by the most recent call.
+func (sc scenario) builder(t *testing.T) (build func() []*settest.SteppedOp, lastTree func() *Tree) {
+	var tr *Tree
+	build = func() []*settest.SteppedOp {
+		tr = New(Config{Capacity: 1 << 16})
+		setupH := tr.NewHandle()
+		for _, k := range sc.setup {
+			if !setupH.Insert(keys.Map(k)) {
+				t.Fatalf("setup insert %d failed", k)
+			}
+		}
+		ops := make([]*settest.SteppedOp, len(sc.ops))
+		for i, spec := range sc.ops {
+			h := tr.NewHandle()
+			u := keys.Map(spec.key)
+			run := map[workload.OpKind]func() bool{
+				workload.OpInsert: func() bool { return h.Insert(u) },
+				workload.OpDelete: func() bool { return h.Delete(u) },
+				workload.OpSearch: func() bool { return h.Search(u) },
+			}[spec.kind]
+			ops[i] = settest.LaunchStepped(func(hook func(string)) { h.stepHook = hook }, run)
+		}
+		return ops
+	}
+	return build, func() *Tree { return tr }
+}
+
+// validateOutcome checks a completed schedule's results against the
+// sequential specification and the tree's structural invariants.
+func (sc scenario) validateOutcome(t *testing.T, schedule []int, ops []*settest.SteppedOp, tr *Tree) {
+	t.Helper()
+	fail := func(format string, args ...any) {
+		t.Fatalf("scenario %q schedule %v: "+format, append([]any{sc.name, schedule}, args...)...)
+	}
+	if err := tr.Audit(); err != nil {
+		fail("audit: %v", err)
+	}
+
+	initial := map[int64]bool{}
+	for _, k := range sc.setup {
+		initial[k] = true
+	}
+
+	// Linearizability of the recorded history (grant ticks as time).
+	events := make([]trace.Event, len(ops))
+	for i, op := range ops {
+		events[i] = trace.Event{
+			Worker: i,
+			Op:     sc.ops[i].kind,
+			Key:    sc.ops[i].key,
+			Out:    op.Result,
+			Start:  int64(op.FirstGrant),
+			End:    int64(op.LastGrant) + 1,
+		}
+	}
+	if err := check.Linearizable(events, initial); err != nil {
+		fail("%v", err)
+	}
+
+	// Final membership must equal initial + net successful changes.
+	net := map[int64]int{}
+	for i, op := range ops {
+		if !op.Result {
+			continue
+		}
+		switch sc.ops[i].kind {
+		case workload.OpInsert:
+			net[sc.ops[i].key]++
+		case workload.OpDelete:
+			net[sc.ops[i].key]--
+		}
+	}
+	seen := map[int64]bool{}
+	for _, spec := range sc.ops {
+		seen[spec.key] = true
+	}
+	for _, k := range sc.setup {
+		seen[k] = true
+	}
+	h := tr.NewHandle()
+	for k := range seen {
+		want := net[k] == 1 || (initial[k] && net[k] == 0)
+		if got := h.Search(keys.Map(k)); got != want {
+			fail("final membership of %d = %v, want %v (initial=%v net=%+d)", k, got, want, initial[k], net[k])
+		}
+	}
+}
+
+var twoOpScenarios = []scenario{
+	{"delete-delete-same-key", []int64{50, 25, 75}, []opSpec{
+		{workload.OpDelete, 25}, {workload.OpDelete, 25}}},
+	{"delete-delete-siblings", []int64{50, 25, 75}, []opSpec{
+		{workload.OpDelete, 25}, {workload.OpDelete, 50}}},
+	{"insert-insert-same-leaf", []int64{50}, []opSpec{
+		{workload.OpInsert, 25}, {workload.OpInsert, 75}}},
+	{"insert-insert-same-key", []int64{50}, []opSpec{
+		{workload.OpInsert, 25}, {workload.OpInsert, 25}}},
+	{"insert-vs-delete-parent", []int64{50, 25, 75}, []opSpec{
+		{workload.OpInsert, 30}, {workload.OpDelete, 25}}},
+	{"insert-vs-delete-same-key", []int64{50, 25}, []opSpec{
+		{workload.OpInsert, 25}, {workload.OpDelete, 25}}},
+	{"delete-vs-insert-sibling", []int64{50, 25, 75, 60}, []opSpec{
+		{workload.OpDelete, 60}, {workload.OpInsert, 70}}},
+	{"search-during-delete", []int64{50, 25, 75}, []opSpec{
+		{workload.OpSearch, 25}, {workload.OpDelete, 25}}},
+	{"empty-then-refill", []int64{50}, []opSpec{
+		{workload.OpDelete, 50}, {workload.OpInsert, 50}}},
+}
+
+// TestExhaustiveTwoOpSchedules explores every interleaving of the
+// canonical two-operation conflicts on tiny trees.
+func TestExhaustiveTwoOpSchedules(t *testing.T) {
+	for _, sc := range twoOpScenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			build, lastTree := sc.builder(t)
+			n := settest.ExploreExhaustive(t, build, func(t *testing.T, schedule []int, ops []*settest.SteppedOp) {
+				sc.validateOutcome(t, schedule, ops, lastTree())
+			})
+			if n < 2 {
+				t.Fatalf("only %d schedules explored; scenario has no concurrency", n)
+			}
+			t.Logf("validated %d schedules", n)
+		})
+	}
+}
+
+// TestRandomThreeOpSchedules samples random schedules of three-way
+// conflicts (exhaustive enumeration would be millions of replays).
+func TestRandomThreeOpSchedules(t *testing.T) {
+	scenarios := []scenario{
+		{"three-deletes-chain", []int64{40, 20, 60, 10, 30}, []opSpec{
+			{workload.OpDelete, 10}, {workload.OpDelete, 30}, {workload.OpDelete, 20}}},
+		{"two-deletes-one-insert", []int64{50, 25, 75}, []opSpec{
+			{workload.OpDelete, 25}, {workload.OpDelete, 75}, {workload.OpInsert, 60}}},
+		{"insert-delete-search", []int64{50, 25}, []opSpec{
+			{workload.OpInsert, 30}, {workload.OpDelete, 25}, {workload.OpSearch, 25}}},
+	}
+	const samples = 300
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			build, lastTree := sc.builder(t)
+			rng := rand.New(rand.NewSource(1))
+			for s := 0; s < samples; s++ {
+				prefix := []int{}
+				_, unfinished := settest.RunSchedule(t, build, nil)
+				steps := rng.Intn(12)
+				for i := 0; i < steps && len(unfinished) > 0; i++ {
+					prefix = append(prefix, unfinished[rng.Intn(len(unfinished))])
+					_, unfinished = settest.RunSchedule(t, build, prefix)
+				}
+				finalOps, _ := settest.RunSchedule(t, build, prefix)
+				sc.validateOutcome(t, prefix, finalOps, lastTree())
+			}
+		})
+	}
+}

@@ -1,0 +1,52 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestSpaceAccounting(t *testing.T) {
+	tr := New(Config{Capacity: 1 << 16})
+	s := tr.Space()
+	if s.LiveKeys != 0 || s.ReachableNodes != 5 {
+		t.Fatalf("empty tree space = %+v, want 0 keys, 5 sentinel nodes", s)
+	}
+	h := tr.NewHandle()
+	for i := int64(0); i < 100; i++ {
+		h.Insert(keys.Map(i))
+	}
+	s = tr.Space()
+	if s.LiveKeys != 100 {
+		t.Fatalf("LiveKeys = %d", s.LiveKeys)
+	}
+	// Every insert adds one leaf and one internal node: 200 plus the
+	// 5-node sentinel skeleton of Figure 3.
+	if s.ReachableNodes != 2*100+5 {
+		t.Fatalf("ReachableNodes = %d, want 205", s.ReachableNodes)
+	}
+	if s.ReservedSlots < 200 {
+		t.Fatalf("ReservedSlots = %d, want ≥ 200", s.ReservedSlots)
+	}
+}
+
+func TestSpaceReclaimPlateaus(t *testing.T) {
+	// Identical churn with and without reclamation: reserved slots must
+	// differ by an order of magnitude (the no-reclaim paper protocol leaks
+	// by design; reclamation recycles).
+	churn := func(tr *Tree) uint64 {
+		h := tr.NewHandle()
+		defer h.Close()
+		for i := 0; i < 30000; i++ {
+			k := keys.Map(int64(i % 64))
+			h.Insert(k)
+			h.Delete(k)
+		}
+		return tr.Space().ReservedSlots
+	}
+	leaky := churn(New(Config{Capacity: 1 << 20}))
+	tight := churn(New(Config{Capacity: 1 << 20, Reclaim: true}))
+	if tight*10 > leaky {
+		t.Fatalf("reclamation ineffective: reserved %d (reclaim) vs %d (none)", tight, leaky)
+	}
+}

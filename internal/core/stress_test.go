@@ -1,0 +1,400 @@
+package core
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/atomicx"
+	"repro/internal/keys"
+)
+
+// TestConcurrentDisjointInserts has workers insert disjoint key ranges in
+// parallel; every insert must succeed and the final tree must hold exactly
+// the union.
+func TestConcurrentDisjointInserts(t *testing.T) {
+	const (
+		workers = 8
+		each    = 2000
+	)
+	tr := newTest(t)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			for i := 0; i < each; i++ {
+				k := keys.Map(int64(w*each + i))
+				if !h.Insert(k) {
+					t.Errorf("worker %d: insert %d returned false", w, i)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if tr.Size() != workers*each {
+		t.Fatalf("size = %d, want %d", tr.Size(), workers*each)
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < workers*each; i++ {
+		if !tr.Search(keys.Map(int64(i))) {
+			t.Fatalf("key %d missing after concurrent insert", i)
+		}
+	}
+}
+
+// TestConcurrentInsertDeleteDisjoint interleaves inserters and deleters on
+// disjoint ranges: deleters chase keys their paired inserter publishes.
+func TestConcurrentInsertDeleteDisjoint(t *testing.T) {
+	const (
+		pairs = 4
+		each  = 3000
+	)
+	tr := newTest(t)
+	var wg sync.WaitGroup
+	for p := 0; p < pairs; p++ {
+		var published atomic.Int64
+		published.Store(-1)
+		wg.Add(2)
+		go func(p int, published *atomic.Int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			for i := 0; i < each; i++ {
+				if !h.Insert(keys.Map(int64(p*each + i))) {
+					t.Errorf("pair %d: insert %d failed", p, i)
+					return
+				}
+				published.Store(int64(i))
+			}
+		}(p, &published)
+		go func(p int, published *atomic.Int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			for i := 0; i < each; i++ {
+				for published.Load() < int64(i) {
+					runtime.Gosched() // key not inserted yet
+				}
+				if !h.Delete(keys.Map(int64(p*each + i))) {
+					t.Errorf("pair %d: delete %d failed", p, i)
+					return
+				}
+			}
+		}(p, &published)
+	}
+	wg.Wait()
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d, want 0", tr.Size())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentChurnCounting races workers over a small shared key space
+// (maximum contention) and validates the fundamental counting invariant:
+// per key, successful inserts minus successful deletes equals the key's
+// final presence.
+func TestConcurrentChurnCounting(t *testing.T) {
+	const (
+		workers  = 8
+		opsEach  = 20000
+		keySpace = 64 // tiny: forces constant conflicts, chained deletes
+	)
+	tr := newTest(t)
+	var ins, del [keySpace]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				k := rng.Intn(keySpace)
+				u := keys.Map(int64(k))
+				switch rng.Intn(3) {
+				case 0:
+					if h.Insert(u) {
+						ins[k].Add(1)
+					}
+				case 1:
+					if h.Delete(u) {
+						del[k].Add(1)
+					}
+				default:
+					h.Search(u)
+				}
+			}
+		}(int64(w) + 1)
+	}
+	wg.Wait()
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < keySpace; k++ {
+		diff := ins[k].Load() - del[k].Load()
+		present := tr.Search(keys.Map(int64(k)))
+		switch {
+		case diff == 0 && !present, diff == 1 && present:
+			// consistent
+		default:
+			t.Fatalf("key %d: inserts=%d deletes=%d present=%v — counting invariant violated",
+				k, ins[k].Load(), del[k].Load(), present)
+		}
+	}
+}
+
+// TestHelpingCompletesStalledDelete simulates a process that stalls
+// immediately after the injection CAS of a delete (the paper's helping
+// scenario): the edge to the victim leaf is flagged, but the stalled
+// process never runs cleanup. Any conflicting modify operation must finish
+// the removal on its behalf.
+func TestHelpingCompletesStalledDelete(t *testing.T) {
+	tr := newTest(t)
+	h := tr.NewHandle()
+	for _, k := range []int64{50, 25, 75, 60} {
+		h.Insert(keys.Map(k))
+	}
+
+	// Manually perform only the injection step of delete(60): seek, then
+	// flag the edge (parent → leaf60) and stop — as if the process died.
+	victim := keys.Map(60)
+	h.seek(victim)
+	leaf := h.sr.leaf
+	if tr.ar.Get(leaf).key != victim {
+		t.Fatal("setup: seek did not find victim leaf")
+	}
+	pn := tr.ar.Get(h.sr.parent)
+	childAddr := &pn.left
+	if victim >= pn.key {
+		childAddr = &pn.right
+	}
+	if !childAddr.CompareAndSwap(atomicx.Pack(leaf, false, false), atomicx.Pack(leaf, true, false)) {
+		t.Fatal("setup: injection CAS failed")
+	}
+
+	// A search still sees the key (logically the delete has not happened —
+	// its linearization point is the physical removal CAS).
+	if !tr.Search(victim) {
+		t.Fatal("flagged key should still be visible before cleanup")
+	}
+
+	// An insert landing on the same injection point must fail its CAS,
+	// detect the mark, help the stalled delete, and then succeed.
+	h2 := tr.NewHandle()
+	if !h2.Insert(keys.Map(61)) {
+		t.Fatal("conflicting insert failed")
+	}
+	if h2.Stats.HelpAttempts == 0 {
+		t.Fatal("insert did not help the stalled delete")
+	}
+	if tr.Search(victim) {
+		t.Fatal("stalled delete's victim still present: helping did not complete the removal")
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []int64{50, 25, 75, 61} {
+		if !tr.Search(keys.Map(k)) {
+			t.Fatalf("key %d lost during helping", k)
+		}
+	}
+}
+
+// TestMultiLeafPrune builds the chained-deletion scenario of Figure 2: a
+// path of tagged internal nodes each with a flagged leaf, removed by one
+// splice CAS. The splice winner's PrunedLeaves counter must report all of
+// them.
+func TestMultiLeafPrune(t *testing.T) {
+	tr := New(Config{Capacity: 1 << 20, CountPrunedLeaves: true})
+	h := tr.NewHandle()
+	// Build a right spine: 10 < 20 < 30 < 40. Deleting the largest leaves
+	// in ascending order with stalled cleanups would chain; instead, stall
+	// deletes of 40, 30, 20 after injection+tag, then complete one splice.
+	for _, k := range []int64{10, 20, 30, 40} {
+		h.Insert(keys.Map(k))
+	}
+
+	// Stall three deletes after their injection (flag) step. Each delete
+	// also tags the sibling edge to freeze its parent — we emulate the
+	// cleanup's BTS without the final CAS.
+	stall := func(key int64) {
+		u := keys.Map(key)
+		h.seek(u)
+		leaf := h.sr.leaf
+		if tr.ar.Get(leaf).key != u {
+			t.Fatalf("setup: key %d not found", key)
+		}
+		pn := tr.ar.Get(h.sr.parent)
+		childAddr, siblingAddr := &pn.left, &pn.right
+		if u >= pn.key {
+			childAddr, siblingAddr = &pn.right, &pn.left
+		}
+		if !childAddr.CompareAndSwap(atomicx.Pack(leaf, false, false), atomicx.Pack(leaf, true, false)) {
+			t.Fatalf("setup: flag CAS for %d failed", key)
+		}
+		siblingAddr.Or(atomicx.TagBit) // freeze parent, as cleanup's BTS would
+	}
+	// Flag the deepest leaf first, then walk upward so tags chain.
+	stall(10)
+	stall(20)
+	stall(30)
+
+	// Now run a real delete of 40: its cleanup must splice at the ancestor
+	// above the whole tagged chain, removing 10, 20, 30 and 40 at once.
+	h2 := tr.NewHandle()
+	if !h2.Delete(keys.Map(40)) {
+		t.Fatal("delete(40) failed")
+	}
+	if h2.Stats.PrunedLeaves < 4 {
+		t.Fatalf("splice pruned %d leaves, want 4 (multi-leaf removal)", h2.Stats.PrunedLeaves)
+	}
+	for _, k := range []int64{10, 20, 30, 40} {
+		if tr.Search(keys.Map(k)) {
+			t.Fatalf("key %d still present after chained prune", k)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d, want 0", tr.Size())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestReclaimChurn exercises the epoch-reclamation configuration: with a
+// bounded key space and sustained churn, arena slots must be recycled and
+// correctness must be preserved.
+func TestReclaimChurn(t *testing.T) {
+	tr := New(Config{Capacity: 1 << 20, Reclaim: true})
+	const (
+		workers = 4
+		opsEach = 30000
+	)
+	var wg sync.WaitGroup
+	recycled := make([]uint64, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(int64(w) * 31))
+			for i := 0; i < opsEach; i++ {
+				k := keys.Map(int64(rng.Intn(128)))
+				switch rng.Intn(2) {
+				case 0:
+					h.Insert(k)
+				default:
+					h.Delete(k)
+				}
+			}
+			recycled[w] = h.Stats.Recycled
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, r := range recycled {
+		total += r
+	}
+	if total == 0 {
+		t.Fatal("no nodes were retired under churn with reclamation enabled")
+	}
+}
+
+// TestReclaimBoundsMemory verifies recycling actually limits arena growth:
+// repeatedly inserting and deleting the same keys must reuse slots instead
+// of growing the arena linearly with operation count.
+func TestReclaimBoundsMemory(t *testing.T) {
+	tr := New(Config{Capacity: 1 << 20, Reclaim: true})
+	h := tr.NewHandle()
+	defer h.Close()
+	const rounds = 20000
+	for i := 0; i < rounds; i++ {
+		k := keys.Map(int64(i % 8))
+		h.Insert(k)
+		h.Delete(k)
+	}
+	fresh, recycled := h.alStats()
+	if recycled == 0 {
+		t.Fatal("allocator never served a recycled slot")
+	}
+	// Without recycling this loop would demand ~2 slots per round.
+	if fresh > rounds {
+		t.Fatalf("fresh allocations %d suggest recycling is ineffective (rounds=%d, recycled=%d)",
+			fresh, rounds, recycled)
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// alStats exposes allocator statistics for tests.
+func (h *Handle) alStats() (fresh, recycled uint64) { return h.al.Stats() }
+
+// TestConcurrentReadersDuringChurn checks searches never crash, hang, or
+// return corrupted results while the tree is being modified: a reader must
+// always be able to classify a key as present/absent without violating the
+// counting bounds established when the writers finish.
+func TestConcurrentReadersDuringChurn(t *testing.T) {
+	tr := newTest(t)
+	const keySpace = 256
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := keys.Map(int64(rng.Intn(keySpace)))
+				if rng.Intn(2) == 0 {
+					h.Insert(k)
+				} else {
+					h.Delete(k)
+				}
+			}
+		}(int64(w) + 100)
+	}
+	var reads atomic.Int64
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				h.Search(keys.Map(int64(rng.Intn(keySpace))))
+				reads.Add(1)
+			}
+		}(int64(r) + 200)
+	}
+	for reads.Load() < 50000 {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,207 @@
+// Package core implements the lock-free external binary search tree of
+// Natarajan and Mittal ("Fast Concurrent Lock-Free Binary Search Trees",
+// PPoPP 2014) — the paper's primary contribution, referred to as NM-BST.
+//
+// # Algorithm
+//
+// The tree is external (leaf-oriented): keys live in leaves; internal nodes
+// hold routing keys and always have exactly two children. Coordination
+// between operations marks *edges*, not nodes: two bits are stolen from each
+// child word —
+//
+//   - flag: the edge's head node (a leaf) is being deleted,
+//   - tag: only the edge's tail node (an internal node) is being deleted.
+//
+// A delete first flags the edge into its target leaf (one CAS: the
+// operation's linearization anchor), then tags the sibling edge of the
+// leaf's parent (one BTS, which cannot fail), and finally splices the
+// sibling up to the *ancestor* — the last node on the access path reached by
+// an untagged edge (one CAS). Because the splice bypasses every tagged node
+// between ancestor and parent, a single CAS can physically remove several
+// logically deleted leaves at once. An insert needs exactly one CAS.
+// Helping is performed only on behalf of deletes, by re-executing the
+// cleanup steps; no separate coordination records are ever allocated.
+//
+// # Representation
+//
+// Go's garbage collector forbids mark bits inside real pointers, so nodes
+// live in a chunked arena (internal/arena) and a child field is a single
+// atomic uint64 packing a 32-bit arena index plus the flag and tag bits
+// (internal/atomicx). This keeps the paper's instruction set intact: CAS is
+// atomic.Uint64.CompareAndSwap and BTS is atomic.Uint64.Or. A GC-friendly
+// boxed-pointer variant of the same algorithm, for comparison, is
+// internal/nmboxed.
+//
+// # Usage
+//
+// Tree methods (Insert/Delete/Search) are safe for arbitrary concurrent use.
+// For the hot path, each goroutine should obtain its own *Handle, which
+// carries a private node allocator, the reusable seek record the paper
+// describes, and operation statistics.
+//
+// Keys are the internal uint64 key space of internal/keys; the public
+// wrapper (package bst at the module root) maps user int64 keys into it.
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/arena"
+	"repro/internal/atomicx"
+	"repro/internal/keys"
+	"repro/internal/reclaim"
+)
+
+// node is a tree node. Exactly three fields, as in the paper: a key and two
+// packed child words. Internal nodes have both children non-nil; leaves have
+// both nil. The key, once initialized, never changes while the node is
+// reachable.
+type node struct {
+	key   uint64
+	left  atomic.Uint64
+	right atomic.Uint64
+}
+
+// seekRecord holds the four access-path addresses a seek returns
+// (Algorithm 1 of the paper). One record per Handle is reused across
+// operations, as in the paper's per-thread seek record.
+type seekRecord struct {
+	ancestor  uint32 // tail of the last untagged edge on the access path
+	successor uint32 // head of that edge
+	parent    uint32 // second-to-last node on the access path
+	leaf      uint32 // last node on the access path
+}
+
+// Config tunes a Tree.
+type Config struct {
+	// Capacity is the maximum number of arena slots (nodes) the tree may
+	// ever allocate. With reclamation disabled (the paper's experimental
+	// configuration) every insert permanently consumes two slots, so size
+	// this to roughly 2× the total number of inserts in the tree's
+	// lifetime. Default: 1 << 26.
+	Capacity int
+	// Reclaim enables epoch-based reclamation of spliced-out nodes: arena
+	// slots are recycled once no operation can still reference them. The
+	// paper's measurements run without reclamation; enable this for
+	// long-lived trees.
+	Reclaim bool
+	// CountPrunedLeaves makes successful cleanup splices walk the removed
+	// chain to count how many logically deleted leaves were physically
+	// removed, recording it in Stats. Implied by Reclaim (the walk happens
+	// anyway to retire nodes).
+	CountPrunedLeaves bool
+	// CASOnly replaces the BTS instruction (atomic Or) in cleanup with a
+	// CAS retry loop — the paper's remark that the algorithm "can be
+	// easily modified to use only CAS instructions", as an ablation for
+	// hardware without a one-shot fetch-or.
+	CASOnly bool
+}
+
+// DefaultCapacity is the arena capacity used when Config.Capacity is zero.
+const DefaultCapacity = 1 << 26
+
+// Tree is a lock-free external binary search tree over the internal uint64
+// key space. All methods are safe for concurrent use.
+type Tree struct {
+	ar  *arena.Arena[node]
+	r   uint32 // sentinel internal node ℝ, key ∞₂ (the root)
+	s   uint32 // sentinel internal node 𝕊, key ∞₁ (ℝ's left child)
+	cfg Config
+
+	epoch   *reclaim.Domain[uint32] // grace periods for arena-slot recycling; nil when !cfg.Reclaim
+	handles sync.Pool               // fallback handles for direct Tree method calls
+}
+
+// New creates an empty tree (containing only the three sentinel keys of
+// Figure 3 in the paper).
+func New(cfg Config) *Tree {
+	if cfg.Capacity == 0 {
+		cfg.Capacity = DefaultCapacity
+	}
+	t := &Tree{ar: arena.New[node](cfg.Capacity), cfg: cfg}
+	if cfg.Reclaim {
+		t.epoch = reclaim.NewDomain[uint32]()
+	}
+
+	boot := t.ar.NewAlloc(8)
+	newNode := func(key uint64, left, right uint64) uint32 {
+		idx, n := boot.New()
+		n.key = key
+		n.left.Store(left)
+		n.right.Store(right)
+		return idx
+	}
+	// Figure 3: ℝ(∞₂) has left child 𝕊(∞₁) and right child leaf(∞₂);
+	// 𝕊 has left child leaf(∞₀) and right child leaf(∞₁). Since every user
+	// key is smaller than ∞₀, the whole user tree grows under 𝕊's left
+	// child, and no outgoing edge of ℝ or 𝕊 is ever marked.
+	l0 := newNode(keys.Inf0, 0, 0)
+	l1 := newNode(keys.Inf1, 0, 0)
+	l2 := newNode(keys.Inf2, 0, 0)
+	t.s = newNode(keys.Inf1, atomicx.Pack(l0, false, false), atomicx.Pack(l1, false, false))
+	t.r = newNode(keys.Inf2, atomicx.Pack(t.s, false, false), atomicx.Pack(l2, false, false))
+
+	// Pooled handles back the convenience Tree methods. They reserve one
+	// arena slot at a time: sync.Pool may drop handles at any GC (and does
+	// so aggressively under the race detector), and a dropped handle
+	// strands its unused block.
+	t.handles.New = func() any { return t.newHandle(1) }
+	return t
+}
+
+// NewHandle returns a per-goroutine accessor. A Handle must not be used
+// concurrently; each worker goroutine should create its own.
+func (t *Tree) NewHandle() *Handle {
+	return t.newHandle(0)
+}
+
+func (t *Tree) newHandle(block int) *Handle {
+	h := &Handle{t: t, al: t.ar.NewAlloc(block)}
+	if t.cfg.Reclaim {
+		// Capture the allocator, not the handle: the epoch domain holds
+		// this closure, and referencing h through it would keep the handle
+		// reachable forever, so its finalizer could never run.
+		al := h.al
+		h.slot = t.epoch.Register(func(idx uint32) { al.Recycle(idx) })
+		// Safety net for handles that are dropped instead of Closed (the
+		// convenience-method pool sheds handles at GC): deregister the
+		// epoch slot so the domain's slot list cannot grow without bound.
+		runtime.SetFinalizer(h, func(h *Handle) {
+			if h.slot != nil {
+				h.slot.Close()
+			}
+		})
+	}
+	return h
+}
+
+// Search reports whether key is present, using a pooled handle. Hot paths
+// should call Handle.Search instead.
+func (t *Tree) Search(key uint64) bool {
+	h := t.handles.Get().(*Handle)
+	ok := h.Search(key)
+	t.handles.Put(h)
+	return ok
+}
+
+// Insert adds key if absent, using a pooled handle.
+func (t *Tree) Insert(key uint64) bool {
+	h := t.handles.Get().(*Handle)
+	ok := h.Insert(key)
+	t.handles.Put(h)
+	return ok
+}
+
+// Delete removes key if present, using a pooled handle.
+func (t *Tree) Delete(key uint64) bool {
+	h := t.handles.Get().(*Handle)
+	ok := h.Delete(key)
+	t.handles.Put(h)
+	return ok
+}
+
+// NodesAllocated returns the number of arena slots reserved so far
+// (diagnostic; includes block-allocation slack).
+func (t *Tree) NodesAllocated() uint64 { return t.ar.Allocated() }

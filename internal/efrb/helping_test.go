@@ -1,0 +1,126 @@
+package efrb
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestHelpingCompletesStalledDelete simulates a process that crashes right
+// after winning the DFLAG CAS of a delete (the EFRB protocol's first
+// step): the grandparent is flagged, the DInfo record published, but the
+// stalled process never marks or splices. Subsequent conflicting
+// operations must drive the delete to completion through help().
+func TestHelpingCompletesStalledDelete(t *testing.T) {
+	tr := New()
+	h := tr.NewHandle()
+	for _, k := range []int64{50, 25, 75} {
+		if !h.Insert(keys.Map(k)) {
+			t.Fatalf("setup insert %d failed", k)
+		}
+	}
+
+	// Manually perform only the flag step of delete(25).
+	victim := keys.Map(25)
+	gp, p, l, gpup, pup := tr.search(victim)
+	if l.key != victim {
+		t.Fatal("setup: victim not found")
+	}
+	if gpup.s != clean || pup.s != clean {
+		t.Fatal("setup: tree unexpectedly busy")
+	}
+	op := &dinfo{gp: gp, p: p, l: l, pupdate: pup}
+	op.flagUpd = &update{s: dflag, d: op}
+	op.markUpd = &update{s: mark, d: op}
+	op.cleanUpd = &update{s: clean, d: op}
+	if !gp.up.CompareAndSwap(gpup, op.flagUpd) {
+		t.Fatal("setup: DFLAG CAS failed")
+	}
+	// ... and stall: no helpDelete call.
+
+	// The key is still visible (the delete has not linearized).
+	if !tr.Search(victim) {
+		t.Fatal("victim invisible before physical removal")
+	}
+
+	// A second delete of the same key must find the flagged grandparent,
+	// help the stalled delete to completion, and then itself return false
+	// (the stalled operation is the one that logically removed the key).
+	h2 := tr.NewHandle()
+	if h2.Delete(victim) {
+		t.Fatal("second delete returned true; the stalled delete owns the removal")
+	}
+	if h2.Stats.Helps == 0 {
+		t.Fatal("no helping occurred despite a flagged grandparent")
+	}
+	if tr.Search(victim) {
+		t.Fatal("stalled delete never completed: victim still present")
+	}
+	for _, k := range []int64{50, 75} {
+		if !tr.Search(keys.Map(k)) {
+			t.Fatalf("key %d lost during helping", k)
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHelpingCompletesStalledInsert: a process wins the IFLAG CAS and
+// stalls before swinging the child pointer. Helpers must complete the
+// insert (its linearization point is the successful flag).
+func TestHelpingCompletesStalledInsert(t *testing.T) {
+	tr := New()
+	h := tr.NewHandle()
+	for _, k := range []int64{50, 25, 75} {
+		h.Insert(keys.Map(k))
+	}
+
+	newKey := keys.Map(60)
+	_, p, l, _, pup := tr.search(newKey)
+	if l.key == newKey {
+		t.Fatal("setup: key already present")
+	}
+	if pup.s != clean {
+		t.Fatal("setup: parent busy")
+	}
+	// Build the insert's replacement subtree exactly as Insert would.
+	newLeaf := &node{key: newKey}
+	newLeaf.up.Store(cleanNil)
+	sibling := &node{key: l.key}
+	sibling.up.Store(cleanNil)
+	newInt := &node{}
+	newInt.up.Store(cleanNil)
+	if newKey < l.key {
+		newInt.key = l.key
+		newInt.left.Store(newLeaf)
+		newInt.right.Store(sibling)
+	} else {
+		newInt.key = newKey
+		newInt.left.Store(sibling)
+		newInt.right.Store(newLeaf)
+	}
+	op := &iinfo{p: p, l: l, newInt: newInt}
+	op.flagUpd = &update{s: iflag, i: op}
+	op.cleanUpd = &update{s: clean, i: op}
+	if !p.up.CompareAndSwap(pup, op.flagUpd) {
+		t.Fatal("setup: IFLAG CAS failed")
+	}
+	// ... and stall: the child pointer still points at the old leaf.
+
+	// A conflicting delete of the displaced leaf must help the insert
+	// finish before it can proceed.
+	h2 := tr.NewHandle()
+	if !h2.Delete(keys.Map(75)) {
+		t.Fatal("conflicting delete failed")
+	}
+	if h2.Stats.Helps == 0 {
+		t.Fatal("no helping occurred despite a flagged parent")
+	}
+	if !tr.Search(newKey) {
+		t.Fatal("stalled insert never completed")
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,377 @@
+// Package efrb implements the lock-free external binary search tree of
+// Ellen, Fatourou, Ruppert and van Breugel ("Non-Blocking Binary Search
+// Trees", PODC 2010) — the EFRB-BST baseline of the paper's evaluation.
+//
+// Unlike the Natarajan–Mittal tree (which marks edges), EFRB coordinates at
+// the node level: each internal node carries an update field combining a
+// state (CLEAN / IFLAG / DFLAG / MARK) with a pointer to an Info record
+// describing the operation in progress. An insert "locks" the parent of the
+// leaf it replaces (IFLAG); a delete "locks" the grandparent (DFLAG) and
+// then marks the parent (MARK, permanent). Conflicting operations help the
+// owner finish by re-executing steps recorded in the Info object.
+//
+// Per uncontended operation (Table 1 of the NM paper): insert allocates 4
+// objects (new internal, new leaf, a copy of the displaced leaf, IInfo) and
+// executes 3 atomic instructions (flag, child CAS, unflag); delete
+// allocates 1 object (DInfo) and executes 4 atomic instructions (flag,
+// mark, child CAS, unflag).
+//
+// In this Go adaptation the paper's {state, info-pointer} word is an
+// immutable record behind an atomic.Pointer; CAS compares record identity.
+// The unflag/mark targets are pre-created inside each Info record so every
+// helper CASes toward the identical object, exactly one winning.
+package efrb
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/keys"
+)
+
+type state uint8
+
+const (
+	clean state = iota
+	iflag       // parent flagged for an insert
+	dflag       // grandparent flagged for a delete
+	mark        // parent of a deleted leaf, permanently marked
+)
+
+// update is the immutable {state, info} word stored in a node's update
+// field. Identity comparison stands in for the paper's packed-word CAS.
+type update struct {
+	s state
+	i *iinfo
+	d *dinfo
+}
+
+// cleanNil is the shared initial update of every node.
+var cleanNil = &update{s: clean}
+
+type node struct {
+	key   uint64
+	up    atomic.Pointer[update]
+	left  atomic.Pointer[node] // nil for leaves
+	right atomic.Pointer[node]
+}
+
+func (n *node) isLeaf() bool { return n.left.Load() == nil }
+
+// iinfo describes an in-progress insert: replace leaf l under p by newInt.
+type iinfo struct {
+	p, l, newInt *node
+	// Pre-created CAS targets shared by all helpers.
+	flagUpd, cleanUpd *update
+}
+
+// dinfo describes an in-progress delete: remove leaf l and its parent p,
+// splicing l's sibling into gp.
+type dinfo struct {
+	gp, p, l *node
+	pupdate  *update
+	// Pre-created CAS targets shared by all helpers.
+	flagUpd, markUpd, cleanUpd *update
+}
+
+// Stats counts work performed through a Handle (single-goroutine).
+type Stats struct {
+	Searches, Inserts, Deletes uint64
+	CASSucceeded, CASFailed    uint64
+	NodesAlloc, InfoAlloc      uint64
+	Helps                      uint64
+}
+
+// Atomics returns total CAS attempts (Table 1's atomic instruction count).
+func (s *Stats) Atomics() uint64 { return s.CASSucceeded + s.CASFailed }
+
+// Tree is the EFRB lock-free external BST. Methods are safe for concurrent
+// use.
+type Tree struct {
+	root *node // sentinel ℝ (key ∞₂); left child sentinel 𝕊 (key ∞₁)
+}
+
+// New builds an empty tree with the same sentinel skeleton as the NM tree,
+// which guarantees every user operation has a parent and grandparent.
+func New() *Tree {
+	leaf := func(k uint64) *node {
+		n := &node{key: k}
+		n.up.Store(cleanNil)
+		return n
+	}
+	s := &node{key: keys.Inf1}
+	s.up.Store(cleanNil)
+	s.left.Store(leaf(keys.Inf0))
+	s.right.Store(leaf(keys.Inf1))
+	r := &node{key: keys.Inf2}
+	r.up.Store(cleanNil)
+	r.left.Store(s)
+	r.right.Store(leaf(keys.Inf2))
+	return &Tree{root: r}
+}
+
+// Handle is a per-goroutine accessor carrying statistics.
+type Handle struct {
+	t     *Tree
+	Stats Stats
+}
+
+// NewHandle returns a per-goroutine accessor.
+func (t *Tree) NewHandle() *Handle { return &Handle{t: t} }
+
+// Tree-level convenience methods.
+
+// Search reports whether key is present.
+func (t *Tree) Search(key uint64) bool {
+	l := t.root
+	for !l.isLeaf() {
+		if key < l.key {
+			l = l.left.Load()
+		} else {
+			l = l.right.Load()
+		}
+	}
+	return l.key == key
+}
+
+// Insert adds key if absent.
+func (t *Tree) Insert(key uint64) bool { h := Handle{t: t}; return h.Insert(key) }
+
+// Delete removes key if present.
+func (t *Tree) Delete(key uint64) bool { h := Handle{t: t}; return h.Delete(key) }
+
+// search traverses to the leaf for key, recording the grandparent, parent,
+// and the update words read *before* following each child pointer (the
+// ordering the protocol requires).
+func (t *Tree) search(key uint64) (gp, p, l *node, gpup, pup *update) {
+	l = t.root
+	for !l.isLeaf() {
+		gp, p = p, l
+		gpup = pup
+		pup = p.up.Load()
+		if key < p.key {
+			l = p.left.Load()
+		} else {
+			l = p.right.Load()
+		}
+	}
+	return gp, p, l, gpup, pup
+}
+
+// Search reports whether key is present (handle variant with stats).
+func (h *Handle) Search(key uint64) bool {
+	h.Stats.Searches++
+	return h.t.Search(key)
+}
+
+// casChild swings the child pointer of parent that routes newNode's key
+// from old to newNode.
+func (h *Handle) casChild(parent, old, newNode *node) bool {
+	var f *atomic.Pointer[node]
+	if newNode.key < parent.key {
+		f = &parent.left
+	} else {
+		f = &parent.right
+	}
+	if f.CompareAndSwap(old, newNode) {
+		h.Stats.CASSucceeded++
+		return true
+	}
+	h.Stats.CASFailed++
+	return false
+}
+
+func (h *Handle) cas(f *atomic.Pointer[update], old, new *update) bool {
+	if f.CompareAndSwap(old, new) {
+		h.Stats.CASSucceeded++
+		return true
+	}
+	h.Stats.CASFailed++
+	return false
+}
+
+// help dispatches on a non-clean update word.
+func (h *Handle) help(u *update) {
+	h.Stats.Helps++
+	switch u.s {
+	case iflag:
+		h.helpInsert(u.i)
+	case mark:
+		h.helpMarked(u.d)
+	case dflag:
+		h.helpDelete(u.d)
+	}
+}
+
+func (h *Handle) helpInsert(op *iinfo) {
+	h.casChild(op.p, op.l, op.newInt) // ichild
+	h.cas(&op.p.up, op.flagUpd, op.cleanUpd)
+}
+
+// helpDelete tries to mark the parent; on success the physical splice
+// proceeds, otherwise the grandparent flag is backtracked.
+func (h *Handle) helpDelete(op *dinfo) bool {
+	if h.cas(&op.p.up, op.pupdate, op.markUpd) || op.p.up.Load() == op.markUpd {
+		h.helpMarked(op)
+		return true
+	}
+	// Another operation owns p: help it, then undo our flag on gp so the
+	// delete can retry from scratch.
+	cur := op.p.up.Load()
+	if cur.s != clean {
+		h.help(cur)
+	}
+	h.cas(&op.gp.up, op.flagUpd, op.cleanUpd)
+	return false
+}
+
+// helpMarked physically removes p and l by swinging gp's child to l's
+// sibling, then unflags gp.
+func (h *Handle) helpMarked(op *dinfo) {
+	other := op.p.right.Load()
+	if other == op.l {
+		other = op.p.left.Load()
+	}
+	h.casChild(op.gp, op.p, other) // dchild
+	h.cas(&op.gp.up, op.flagUpd, op.cleanUpd)
+}
+
+// Insert adds key if absent: flag the parent (IFLAG), swing its child to a
+// freshly built three-node subtree, unflag.
+func (h *Handle) Insert(key uint64) bool {
+	t := h.t
+	for {
+		_, p, l, _, pup := t.search(key)
+		if l.key == key {
+			h.Stats.Inserts++
+			return false
+		}
+		if pup.s != clean {
+			h.help(pup)
+			continue
+		}
+		// Build the replacement subtree. EFRB copies the displaced leaf —
+		// 4 allocations total, as Table 1 records.
+		newLeaf := &node{key: key}
+		newLeaf.up.Store(cleanNil)
+		sibling := &node{key: l.key}
+		sibling.up.Store(cleanNil)
+		newInt := &node{}
+		newInt.up.Store(cleanNil)
+		if key < l.key {
+			newInt.key = l.key
+			newInt.left.Store(newLeaf)
+			newInt.right.Store(sibling)
+		} else {
+			newInt.key = key
+			newInt.left.Store(sibling)
+			newInt.right.Store(newLeaf)
+		}
+		h.Stats.NodesAlloc += 3
+		op := &iinfo{p: p, l: l, newInt: newInt}
+		op.flagUpd = &update{s: iflag, i: op}
+		op.cleanUpd = &update{s: clean, i: op}
+		h.Stats.InfoAlloc++
+
+		if h.cas(&p.up, pup, op.flagUpd) {
+			h.helpInsert(op)
+			h.Stats.Inserts++
+			return true
+		}
+		h.help(p.up.Load())
+	}
+}
+
+// Delete removes key if present: flag the grandparent (DFLAG), mark the
+// parent (permanent), splice, unflag.
+func (h *Handle) Delete(key uint64) bool {
+	t := h.t
+	for {
+		gp, p, l, gpup, pup := t.search(key)
+		if l.key != key {
+			h.Stats.Deletes++
+			return false
+		}
+		if gpup.s != clean {
+			h.help(gpup)
+			continue
+		}
+		if pup.s != clean {
+			h.help(pup)
+			continue
+		}
+		op := &dinfo{gp: gp, p: p, l: l, pupdate: pup}
+		op.flagUpd = &update{s: dflag, d: op}
+		op.markUpd = &update{s: mark, d: op}
+		op.cleanUpd = &update{s: clean, d: op}
+		h.Stats.InfoAlloc++
+
+		if h.cas(&gp.up, gpup, op.flagUpd) {
+			if h.helpDelete(op) {
+				h.Stats.Deletes++
+				return true
+			}
+		} else {
+			h.help(gp.up.Load())
+		}
+	}
+}
+
+// ---- quiescent inspection ----
+
+// Size counts stored user keys (quiescent only).
+func (t *Tree) Size() int {
+	n := 0
+	t.Keys(func(uint64) bool { n++; return true })
+	return n
+}
+
+// Keys visits user keys in ascending order (quiescent only).
+func (t *Tree) Keys(yield func(uint64) bool) { t.visit(t.root, yield) }
+
+func (t *Tree) visit(n *node, yield func(uint64) bool) bool {
+	if n.isLeaf() {
+		if keys.IsSentinel(n.key) {
+			return true
+		}
+		return yield(n.key)
+	}
+	return t.visit(n.left.Load(), yield) && t.visit(n.right.Load(), yield)
+}
+
+// Audit validates external-BST invariants (quiescent only).
+func (t *Tree) Audit() error {
+	if t.root.key != keys.Inf2 {
+		return fmt.Errorf("root key corrupted")
+	}
+	_, err := t.audit(t.root, 0, ^uint64(0))
+	return err
+}
+
+func (t *Tree) audit(n *node, lo, hi uint64) (int, error) {
+	if n.key < lo || n.key > hi {
+		return 0, fmt.Errorf("key %#x outside [%#x, %#x]", n.key, lo, hi)
+	}
+	l, r := n.left.Load(), n.right.Load()
+	switch {
+	case l == nil && r == nil:
+		return 1, nil
+	case l == nil || r == nil:
+		return 0, fmt.Errorf("internal node %#x has exactly one child", n.key)
+	}
+	if u := n.up.Load(); u.s == mark {
+		return 0, fmt.Errorf("marked node %#x reachable in quiescent tree", n.key)
+	}
+	if n.key == 0 {
+		return 0, fmt.Errorf("internal node has key 0 with a left subtree")
+	}
+	nl, err := t.audit(l, lo, n.key-1)
+	if err != nil {
+		return 0, err
+	}
+	nr, err := t.audit(r, n.key, hi)
+	if err != nil {
+		return 0, err
+	}
+	return nl + nr, nil
+}

@@ -1,0 +1,86 @@
+package efrb_test
+
+import (
+	"testing"
+
+	"repro/internal/efrb"
+	"repro/internal/keys"
+	"repro/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(capacity int) settest.Set {
+		return efrb.New()
+	})
+}
+
+// TestTable1Counts verifies the EFRB row of Table 1: insert allocates 4
+// objects (3 nodes + 1 IInfo) and executes 3 atomic instructions; delete
+// allocates 1 object (DInfo) and executes 4 atomic instructions — in the
+// absence of contention.
+func TestTable1Counts(t *testing.T) {
+	tr := efrb.New()
+	h := tr.NewHandle()
+	for _, k := range []int64{50, 25, 75} {
+		h.Insert(keys.Map(k))
+	}
+
+	before := h.Stats
+	if !h.Insert(keys.Map(60)) {
+		t.Fatal("insert failed")
+	}
+	d := h.Stats
+	if got := d.NodesAlloc + d.InfoAlloc - before.NodesAlloc - before.InfoAlloc; got != 4 {
+		t.Fatalf("uncontended insert allocated %d objects, Table 1 says 4", got)
+	}
+	if got := d.Atomics() - before.Atomics(); got != 3 {
+		t.Fatalf("uncontended insert executed %d atomics, Table 1 says 3", got)
+	}
+
+	before = h.Stats
+	if !h.Delete(keys.Map(60)) {
+		t.Fatal("delete failed")
+	}
+	d = h.Stats
+	if got := d.NodesAlloc + d.InfoAlloc - before.NodesAlloc - before.InfoAlloc; got != 1 {
+		t.Fatalf("uncontended delete allocated %d objects, Table 1 says 1", got)
+	}
+	if got := d.Atomics() - before.Atomics(); got != 4 {
+		t.Fatalf("uncontended delete executed %d atomics, Table 1 says 4", got)
+	}
+}
+
+func TestKeysOrdered(t *testing.T) {
+	tr := efrb.New()
+	in := []int64{8, 2, 6, 4, 0}
+	for _, k := range in {
+		tr.Insert(keys.Map(k))
+	}
+	var got []int64
+	tr.Keys(func(u uint64) bool {
+		got = append(got, keys.Unmap(u))
+		return true
+	})
+	want := []int64{0, 2, 4, 6, 8}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSearchDoesNotAllocateInfo(t *testing.T) {
+	tr := efrb.New()
+	h := tr.NewHandle()
+	for i := int64(0); i < 50; i++ {
+		h.Insert(keys.Map(i))
+	}
+	before := h.Stats
+	for i := int64(0); i < 100; i++ {
+		h.Search(keys.Map(i))
+	}
+	d := h.Stats
+	if d.Atomics() != before.Atomics() || d.InfoAlloc != before.InfoAlloc {
+		t.Fatal("search performed writes or allocations")
+	}
+}

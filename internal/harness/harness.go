@@ -1,0 +1,167 @@
+// Package harness measures the throughput of concurrent set
+// implementations under the paper's experimental protocol (Section 4):
+// pre-populate the structure to half the key range, then run N worker
+// goroutines for a fixed wall-clock duration, each drawing operations from
+// its own deterministic generator, and report operations per second.
+package harness
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/atomicx"
+	"repro/internal/keys"
+	"repro/internal/workload"
+)
+
+// Accessor is a per-worker view of a set under test, over internal keys.
+// All tree Handles in this module satisfy it directly.
+type Accessor interface {
+	Search(key uint64) bool
+	Insert(key uint64) bool
+	Delete(key uint64) bool
+}
+
+// Instance is one constructed set under test.
+type Instance interface {
+	// NewAccessor returns a view for one worker goroutine.
+	NewAccessor() Accessor
+}
+
+// Target names a constructor for a set implementation.
+type Target struct {
+	Name string
+	New  func(cfg Config) Instance
+}
+
+// Config describes one measurement cell.
+type Config struct {
+	Threads  int
+	Duration time.Duration
+	KeyRange int64
+	Mix      workload.Mix
+	Seed     uint64
+	Prefill  bool    // fill to ~KeyRange/2 before measuring (paper protocol)
+	ZipfS    float64 // 0 = uniform keys; >1 = Zipf-skewed (ablation)
+
+	// ArenaCapacity bounds node allocation for the arena-backed NM tree;
+	// 0 uses a default sized for short benchmark cells.
+	ArenaCapacity int
+	// Reclaim enables epoch-based reclamation on implementations that
+	// support it (ablation; the paper measures without reclamation).
+	Reclaim bool
+	// CASOnly makes the NM tree emulate BTS with a CAS loop (ablation:
+	// the paper's CAS-only remark).
+	CASOnly bool
+}
+
+// Result is the outcome of one measurement cell.
+type Result struct {
+	Target    string
+	Cfg       Config
+	Elapsed   time.Duration
+	TotalOps  uint64
+	PerWorker []uint64
+}
+
+// Throughput returns operations per second.
+func (r Result) Throughput() float64 {
+	if r.Elapsed <= 0 {
+		return 0
+	}
+	return float64(r.TotalOps) / r.Elapsed.Seconds()
+}
+
+func (r Result) String() string {
+	return fmt.Sprintf("%s t=%d %s range=%d: %.0f ops/s",
+		r.Target, r.Cfg.Threads, r.Cfg.Mix.Name, r.Cfg.KeyRange, r.Throughput())
+}
+
+// Prefill populates inst to roughly half the key range, deterministically
+// in cfg.Seed. Returns the number of keys inserted.
+func Prefill(inst Instance, cfg Config) int {
+	acc := inst.NewAccessor()
+	p := workload.Prefiller{KeyRange: cfg.KeyRange, Seed: cfg.Seed}
+	return p.Fill(func(k int64) bool { return acc.Insert(keys.Map(k)) })
+}
+
+// Run executes one measurement cell against an already-constructed
+// instance. The instance is prefilled first when cfg.Prefill is set.
+func Run(target string, inst Instance, cfg Config) Result {
+	if cfg.Threads <= 0 {
+		panic("harness: Threads must be positive")
+	}
+	if cfg.Prefill {
+		Prefill(inst, cfg)
+	}
+
+	var stop atomic.Bool
+	counts := make([]atomicx.PaddedUint64, cfg.Threads)
+	start := make(chan struct{})
+	var wg sync.WaitGroup
+
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			acc := inst.NewAccessor()
+			seed := cfg.Seed*0x9e3779b9 + uint64(id)*0x2545f4914f6cdd1d + 1
+			var gen *workload.Generator
+			if cfg.ZipfS > 1 {
+				gen = workload.NewZipfGenerator(cfg.Mix, cfg.KeyRange, seed, cfg.ZipfS)
+			} else {
+				gen = workload.NewGenerator(cfg.Mix, cfg.KeyRange, seed)
+			}
+			<-start
+			var n uint64
+			for !stop.Load() {
+				op, k := gen.Next()
+				u := keys.Map(k)
+				switch op {
+				case workload.OpSearch:
+					acc.Search(u)
+				case workload.OpInsert:
+					acc.Insert(u)
+				default:
+					acc.Delete(u)
+				}
+				n++
+			}
+			counts[id].Store(n)
+		}(w)
+	}
+
+	close(start)
+	t0 := time.Now()
+	time.Sleep(cfg.Duration)
+	stop.Store(true)
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	res := Result{Target: target, Cfg: cfg, Elapsed: elapsed, PerWorker: make([]uint64, cfg.Threads)}
+	for i := range counts {
+		c := counts[i].Load()
+		res.PerWorker[i] = c
+		res.TotalOps += c
+	}
+	return res
+}
+
+// RunTarget constructs a fresh instance of the target and measures it.
+func RunTarget(t Target, cfg Config) Result {
+	return Run(t.Name, t.New(cfg), cfg)
+}
+
+// RunRepeated measures a target several times on fresh instances and
+// returns each run's throughput (ops/s).
+func RunRepeated(t Target, cfg Config, reps int) []float64 {
+	out := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1_000_003
+		out = append(out, RunTarget(t, c).Throughput())
+	}
+	return out
+}

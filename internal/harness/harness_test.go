@@ -1,0 +1,124 @@
+package harness
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/keys"
+	"repro/internal/workload"
+)
+
+func quickCfg(threads int) Config {
+	return Config{
+		Threads:       threads,
+		Duration:      30 * time.Millisecond,
+		KeyRange:      1024,
+		Mix:           workload.Mixed,
+		Seed:          7,
+		Prefill:       true,
+		ArenaCapacity: 1 << 20,
+	}
+}
+
+func TestAllTargetsSmoke(t *testing.T) {
+	for _, target := range Targets() {
+		t.Run(target.Name, func(t *testing.T) {
+			res := RunTarget(target, quickCfg(4))
+			if res.TotalOps == 0 {
+				t.Fatal("no operations completed")
+			}
+			if res.Throughput() <= 0 {
+				t.Fatal("non-positive throughput")
+			}
+			var sum uint64
+			for _, c := range res.PerWorker {
+				sum += c
+			}
+			if sum != res.TotalOps {
+				t.Fatalf("per-worker sum %d != total %d", sum, res.TotalOps)
+			}
+			if len(res.PerWorker) != 4 {
+				t.Fatalf("expected 4 worker counts, got %d", len(res.PerWorker))
+			}
+		})
+	}
+}
+
+func TestPaperTargets(t *testing.T) {
+	ts := PaperTargets()
+	if len(ts) != 4 {
+		t.Fatalf("Figure 4 compares 4 algorithms, got %d", len(ts))
+	}
+	want := map[string]bool{TargetNM: true, TargetEFRB: true, TargetHJ: true, TargetBCCO: true}
+	for _, tt := range ts {
+		if !want[tt.Name] {
+			t.Fatalf("unexpected paper target %q", tt.Name)
+		}
+	}
+}
+
+func TestTargetByName(t *testing.T) {
+	if _, err := TargetByName("nm"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := TargetByName("bogus"); err == nil {
+		t.Fatal("bogus target accepted")
+	}
+}
+
+func TestPrefillHalfFills(t *testing.T) {
+	target, _ := TargetByName(TargetNM)
+	cfg := quickCfg(1)
+	cfg.KeyRange = 10000
+	inst := target.New(cfg)
+	n := Prefill(inst, cfg)
+	if n < 4500 || n > 5500 {
+		t.Fatalf("prefill inserted %d of 10000", n)
+	}
+	// Every prefilled key must be found.
+	acc := inst.NewAccessor()
+	found := 0
+	for k := int64(0); k < cfg.KeyRange; k++ {
+		if acc.Search(keys.Map(k)) {
+			found++
+		}
+	}
+	if found != n {
+		t.Fatalf("prefill claimed %d keys, tree holds %d", n, found)
+	}
+}
+
+func TestRunRepeatedIndependentSeeds(t *testing.T) {
+	target, _ := TargetByName(TargetCGL)
+	cfg := quickCfg(2)
+	cfg.Duration = 10 * time.Millisecond
+	xs := RunRepeated(target, cfg, 3)
+	if len(xs) != 3 {
+		t.Fatalf("got %d results", len(xs))
+	}
+	for _, x := range xs {
+		if x <= 0 {
+			t.Fatal("non-positive throughput")
+		}
+	}
+}
+
+func TestZipfWorkloadRuns(t *testing.T) {
+	target, _ := TargetByName(TargetNM)
+	cfg := quickCfg(2)
+	cfg.ZipfS = 1.5
+	res := RunTarget(target, cfg)
+	if res.TotalOps == 0 {
+		t.Fatal("zipf run produced no ops")
+	}
+}
+
+func TestReclaimConfigRuns(t *testing.T) {
+	target, _ := TargetByName(TargetNM)
+	cfg := quickCfg(2)
+	cfg.Reclaim = true
+	res := RunTarget(target, cfg)
+	if res.TotalOps == 0 {
+		t.Fatal("reclaim run produced no ops")
+	}
+}

@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"fmt"
+
+	"repro/internal/bcco"
+	"repro/internal/cgl"
+	"repro/internal/core"
+	"repro/internal/efrb"
+	"repro/internal/hjbst"
+	"repro/internal/kst"
+	"repro/internal/nmboxed"
+)
+
+// The paper's algorithm labels (Section 4) plus this module's extras.
+const (
+	TargetNM      = "nm"       // Natarajan–Mittal, packed arena (this paper)
+	TargetNMBoxed = "nm-boxed" // Natarajan–Mittal, boxed pointers (ablation)
+	TargetEFRB    = "efrb"     // Ellen et al., PODC 2010
+	TargetHJ      = "hj"       // Howley–Jones, SPAA 2012
+	TargetBCCO    = "bcco"     // Bronson et al., PPoPP 2010 (lock-based)
+	TargetCGL     = "cgl"      // coarse-grained RWMutex floor
+	TargetKST4    = "kst4"     // k-ary external search tree, k=4 (future work)
+	TargetKST16   = "kst16"    // k-ary external search tree, k=16
+)
+
+// defaultArenaCapacity sizes the NM arena for short measurement cells:
+// prefill plus a few tens of millions of insert allocations.
+const defaultArenaCapacity = 1 << 26
+
+type nmInstance struct{ t *core.Tree }
+
+func (i nmInstance) NewAccessor() Accessor { return i.t.NewHandle() }
+
+type nmBoxedInstance struct{ t *nmboxed.Tree }
+
+func (i nmBoxedInstance) NewAccessor() Accessor { return i.t.NewHandle() }
+
+type efrbInstance struct{ t *efrb.Tree }
+
+func (i efrbInstance) NewAccessor() Accessor { return i.t.NewHandle() }
+
+type hjInstance struct{ t *hjbst.Tree }
+
+func (i hjInstance) NewAccessor() Accessor { return i.t.NewHandle() }
+
+type bccoInstance struct{ t *bcco.Tree }
+
+func (i bccoInstance) NewAccessor() Accessor { return i.t.NewHandle() }
+
+type cglInstance struct{ t *cgl.Tree }
+
+func (i cglInstance) NewAccessor() Accessor { return i.t }
+
+type kstInstance struct{ t *kst.Tree }
+
+func (i kstInstance) NewAccessor() Accessor { return i.t.NewHandle() }
+
+// Targets returns every benchmarkable implementation keyed by label.
+func Targets() []Target {
+	return []Target{
+		{Name: TargetNM, New: func(cfg Config) Instance {
+			capacity := cfg.ArenaCapacity
+			if capacity == 0 {
+				capacity = defaultArenaCapacity
+			}
+			return nmInstance{core.New(core.Config{Capacity: capacity, Reclaim: cfg.Reclaim, CASOnly: cfg.CASOnly})}
+		}},
+		{Name: TargetNMBoxed, New: func(cfg Config) Instance {
+			return nmBoxedInstance{nmboxed.New()}
+		}},
+		{Name: TargetEFRB, New: func(cfg Config) Instance {
+			return efrbInstance{efrb.New()}
+		}},
+		{Name: TargetHJ, New: func(cfg Config) Instance {
+			return hjInstance{hjbst.New()}
+		}},
+		{Name: TargetBCCO, New: func(cfg Config) Instance {
+			return bccoInstance{bcco.New()}
+		}},
+		{Name: TargetCGL, New: func(cfg Config) Instance {
+			return cglInstance{cgl.New()}
+		}},
+		{Name: TargetKST4, New: func(cfg Config) Instance {
+			return kstInstance{kst.New(4)}
+		}},
+		{Name: TargetKST16, New: func(cfg Config) Instance {
+			return kstInstance{kst.New(16)}
+		}},
+	}
+}
+
+// PaperTargets returns the four implementations in Figure 4 of the paper.
+func PaperTargets() []Target {
+	all := Targets()
+	want := map[string]bool{TargetNM: true, TargetEFRB: true, TargetHJ: true, TargetBCCO: true}
+	out := make([]Target, 0, 4)
+	for _, t := range all {
+		if want[t.Name] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// TargetByName resolves a label.
+func TargetByName(name string) (Target, error) {
+	for _, t := range Targets() {
+		if t.Name == name {
+			return t, nil
+		}
+	}
+	return Target{}, fmt.Errorf("unknown target %q", name)
+}

@@ -1,0 +1,134 @@
+package hjbst_test
+
+import (
+	"testing"
+
+	"repro/internal/hjbst"
+	"repro/internal/keys"
+	"repro/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(capacity int) settest.Set {
+		return hjbst.New()
+	})
+}
+
+// TestTable1Counts verifies the HJ row of Table 1: insert allocates 2
+// objects (node + ChildCASOp) and executes 3 atomics; an uncontended delete
+// executes up to 9 atomics.
+func TestTable1Counts(t *testing.T) {
+	tr := hjbst.New()
+	h := tr.NewHandle()
+	for _, k := range []int64{50, 25, 75, 30, 60, 80} {
+		h.Insert(keys.Map(k))
+	}
+
+	before := h.Stats
+	if !h.Insert(keys.Map(55)) {
+		t.Fatal("insert failed")
+	}
+	d := h.Stats
+	if got := d.NodesAlloc + d.OpAlloc - before.NodesAlloc - before.OpAlloc; got != 2 {
+		t.Fatalf("uncontended insert allocated %d objects, Table 1 says 2", got)
+	}
+	if got := d.Atomics() - before.Atomics(); got != 3 {
+		t.Fatalf("uncontended insert executed %d atomics, Table 1 says 3", got)
+	}
+
+	// Delete a node with two children (50 has 25/30 and 75/...): the
+	// relocation path, up to 9 atomics.
+	before = h.Stats
+	if !h.Delete(keys.Map(50)) {
+		t.Fatal("delete failed")
+	}
+	d = h.Stats
+	if got := d.Atomics() - before.Atomics(); got < 4 || got > 9 {
+		t.Fatalf("uncontended two-child delete executed %d atomics, Table 1 says up to 9", got)
+	}
+
+	// Delete a leaf: the cheap path (mark + parent flag + child CAS + release).
+	before = h.Stats
+	if !h.Delete(keys.Map(80)) {
+		t.Fatal("leaf delete failed")
+	}
+	d = h.Stats
+	if got := d.Atomics() - before.Atomics(); got < 3 || got > 9 {
+		t.Fatalf("uncontended leaf delete executed %d atomics, want 3..9", got)
+	}
+}
+
+func TestInternalRepresentationRelocation(t *testing.T) {
+	// Deleting a two-child node must keep all other keys reachable — the
+	// successor's key moves up into the deleted node's position.
+	tr := hjbst.New()
+	ks := []int64{50, 25, 75, 10, 30, 60, 90, 55, 65}
+	for _, k := range ks {
+		if !tr.Insert(keys.Map(k)) {
+			t.Fatalf("insert %d failed", k)
+		}
+	}
+	if !tr.Delete(keys.Map(50)) {
+		t.Fatal("delete of two-child root failed")
+	}
+	if tr.Search(keys.Map(50)) {
+		t.Fatal("deleted key still present")
+	}
+	for _, k := range ks {
+		if k == 50 {
+			continue
+		}
+		if !tr.Search(keys.Map(k)) {
+			t.Fatalf("key %d lost after relocation", k)
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Size(); got != len(ks)-1 {
+		t.Fatalf("size = %d, want %d", got, len(ks)-1)
+	}
+}
+
+func TestKeysOrdered(t *testing.T) {
+	tr := hjbst.New()
+	in := []int64{42, 17, 99, -5, 63, 0}
+	for _, k := range in {
+		tr.Insert(keys.Map(k))
+	}
+	var got []int64
+	tr.Keys(func(u uint64) bool {
+		got = append(got, keys.Unmap(u))
+		return true
+	})
+	want := []int64{-5, 0, 17, 42, 63, 99}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration order %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeleteRootChain(t *testing.T) {
+	// Repeatedly delete the minimum — exercises both delete paths and
+	// relocations near the sentinel.
+	tr := hjbst.New()
+	const n = 200
+	for i := int64(0); i < n; i++ {
+		tr.Insert(keys.Map(i))
+	}
+	for i := int64(0); i < n; i++ {
+		if !tr.Delete(keys.Map(i)) {
+			t.Fatalf("delete min %d failed", i)
+		}
+		if err := tr.Audit(); err != nil {
+			t.Fatalf("after deleting %d: %v", i, err)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}

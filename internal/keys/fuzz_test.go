@@ -1,0 +1,27 @@
+package keys
+
+import "testing"
+
+func FuzzMapOrderAndRoundTrip(f *testing.F) {
+	f.Add(int64(0), int64(1))
+	f.Add(int64(-1), int64(1))
+	f.Add(int64(MaxUser), int64(-1<<63))
+	f.Fuzz(func(t *testing.T, a, b int64) {
+		if Unmap(Map(a)) != a {
+			t.Fatalf("round trip broke for %d", a)
+		}
+		switch {
+		case a < b:
+			if Map(a) >= Map(b) {
+				t.Fatalf("order broke: %d < %d but %#x >= %#x", a, b, Map(a), Map(b))
+			}
+		case a > b:
+			if Map(a) <= Map(b) {
+				t.Fatalf("order broke: %d > %d but %#x <= %#x", a, b, Map(a), Map(b))
+			}
+		}
+		if InRange(a) && IsSentinel(Map(a)) {
+			t.Fatalf("in-range key %d mapped into sentinel space", a)
+		}
+	})
+}

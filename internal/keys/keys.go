@@ -1,0 +1,44 @@
+// Package keys maps user-facing int64 keys into the internal uint64 key
+// space used by every tree implementation in this module.
+//
+// The mapping is order-preserving: for any two int64 keys a < b, Map(a) <
+// Map(b). The top three values of the uint64 space are reserved for the
+// sentinel keys the Natarajan–Mittal algorithm requires (Section 3.2.1 of
+// the paper): three keys ∞₀ < ∞₁ < ∞₂ that are larger than every user key
+// and are never removed from the tree. The other tree implementations reuse
+// the same sentinels for their own dummy/root nodes so that all algorithms
+// agree on one key space.
+package keys
+
+import "math"
+
+// Internal sentinel keys. Inf0 < Inf1 < Inf2 and every mapped user key is
+// strictly smaller than Inf0.
+const (
+	Inf0 uint64 = math.MaxUint64 - 2 // ∞₀
+	Inf1 uint64 = math.MaxUint64 - 1 // ∞₁
+	Inf2 uint64 = math.MaxUint64     // ∞₂
+)
+
+// MaxUser is the largest int64 key a caller may store. Larger keys would
+// collide with the sentinel range after mapping.
+const MaxUser = math.MaxInt64 - 3
+
+// signBit flips the int64 sign bit so that the natural uint64 ordering of
+// the mapped value matches the signed ordering of the original key.
+const signBit = uint64(1) << 63
+
+// Map converts a user key into the internal key space. It preserves order:
+// a < b implies Map(a) < Map(b). Keys above MaxUser are not representable;
+// InRange reports whether a key is storable.
+func Map(k int64) uint64 { return uint64(k) ^ signBit }
+
+// Unmap inverts Map.
+func Unmap(u uint64) int64 { return int64(u ^ signBit) }
+
+// InRange reports whether k can be stored without colliding with the
+// sentinel keys.
+func InRange(k int64) bool { return k <= MaxUser }
+
+// IsSentinel reports whether an internal key is one of the three sentinels.
+func IsSentinel(u uint64) bool { return u >= Inf0 }

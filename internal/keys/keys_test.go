@@ -1,0 +1,71 @@
+package keys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestMapOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		switch {
+		case a < b:
+			return Map(a) < Map(b)
+		case a > b:
+			return Map(a) > Map(b)
+		default:
+			return Map(a) == Map(b)
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapRoundTrip(t *testing.T) {
+	f := func(k int64) bool { return Unmap(Map(k)) == k }
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSentinelOrdering(t *testing.T) {
+	if !(Inf0 < Inf1 && Inf1 < Inf2) {
+		t.Fatalf("sentinels misordered: %d %d %d", Inf0, Inf1, Inf2)
+	}
+}
+
+func TestUserKeysBelowSentinels(t *testing.T) {
+	for _, k := range []int64{math.MinInt64, -1, 0, 1, MaxUser} {
+		if !InRange(k) {
+			t.Fatalf("key %d should be in range", k)
+		}
+		if u := Map(k); u >= Inf0 {
+			t.Fatalf("Map(%d) = %#x collides with sentinel range", k, u)
+		}
+		if IsSentinel(Map(k)) {
+			t.Fatalf("Map(%d) wrongly reported as sentinel", k)
+		}
+	}
+	if InRange(MaxUser + 1) {
+		t.Fatalf("key %d should be out of range", int64(MaxUser+1))
+	}
+}
+
+func TestIsSentinel(t *testing.T) {
+	for _, u := range []uint64{Inf0, Inf1, Inf2} {
+		if !IsSentinel(u) {
+			t.Fatalf("IsSentinel(%#x) = false", u)
+		}
+	}
+	if IsSentinel(Map(MaxUser)) {
+		t.Fatal("largest user key reported as sentinel")
+	}
+}
+
+func TestBoundaryAdjacency(t *testing.T) {
+	// The largest mapped user key must sit immediately below Inf0.
+	if got := Map(MaxUser); got != Inf0-1 {
+		t.Fatalf("Map(MaxUser) = %#x, want %#x", got, Inf0-1)
+	}
+}

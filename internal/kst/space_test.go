@@ -1,0 +1,40 @@
+package kst_test
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/kst"
+)
+
+func TestSpaceAccounting(t *testing.T) {
+	tr := kst.New(4)
+	s := tr.Space()
+	if s.LiveKeys != 0 || s.Leaves != 1 || s.InternalNodes != 0 {
+		t.Fatalf("empty tree space = %+v", s)
+	}
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(keys.Map(i))
+	}
+	s = tr.Space()
+	if s.LiveKeys != 100 {
+		t.Fatalf("LiveKeys = %d", s.LiveKeys)
+	}
+	if s.InternalNodes == 0 {
+		t.Fatal("100 inserts into k=4 produced no splits")
+	}
+	// Drain: keys go, skeleton stays (documented future-work gap).
+	for i := int64(0); i < 100; i++ {
+		tr.Delete(keys.Map(i))
+	}
+	s2 := tr.Space()
+	if s2.LiveKeys != 0 {
+		t.Fatalf("LiveKeys after drain = %d", s2.LiveKeys)
+	}
+	if s2.InternalNodes != s.InternalNodes {
+		t.Fatalf("internal skeleton changed on delete: %d -> %d", s.InternalNodes, s2.InternalNodes)
+	}
+	if s2.EmptyLeaves == 0 {
+		t.Fatal("drained tree reports no empty leaves")
+	}
+}

@@ -1,0 +1,150 @@
+package kst_test
+
+import (
+	"fmt"
+	"math/bits"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/kst"
+	"repro/internal/settest"
+)
+
+func TestConformanceAcrossArities(t *testing.T) {
+	for _, k := range []int{2, 3, 4, 8, 16} {
+		t.Run(fmt.Sprintf("k=%d", k), func(t *testing.T) {
+			settest.Run(t, func(capacity int) settest.Set {
+				return kst.New(k)
+			})
+		})
+	}
+}
+
+func TestArityBoundsPanic(t *testing.T) {
+	for _, k := range []int{1, 0, -3, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("arity %d accepted", k)
+				}
+			}()
+			kst.New(k)
+		}()
+	}
+}
+
+func TestSplitProducesValidStructure(t *testing.T) {
+	// Fill one leaf past capacity and check the split routed every key.
+	const k = 4
+	tr := kst.New(k)
+	for i := int64(0); i < 50; i++ {
+		if !tr.Insert(keys.Map(i * 3)) {
+			t.Fatalf("insert %d failed", i)
+		}
+		if err := tr.Audit(); err != nil {
+			t.Fatalf("after %d inserts: %v", i+1, err)
+		}
+	}
+	for i := int64(0); i < 50; i++ {
+		if !tr.Search(keys.Map(i * 3)) {
+			t.Fatalf("key %d missing", i*3)
+		}
+		if tr.Search(keys.Map(i*3 + 1)) {
+			t.Fatalf("phantom key %d", i*3+1)
+		}
+	}
+	if tr.Size() != 50 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+}
+
+func TestFanOutReducesDepth(t *testing.T) {
+	// The point of k-ary trees: depth shrinks by ~log₂k. Compare measured
+	// depth against the binary bound for a random-ish key load.
+	const n = 4096
+	depths := map[int]int{}
+	for _, k := range []int{2, 4, 16} {
+		tr := kst.New(k)
+		for i := 0; i < n; i++ {
+			tr.Insert(keys.Map(int64(uint64(i) * 0x9E3779B97F4A7C15 >> 20)))
+		}
+		if err := tr.Audit(); err != nil {
+			t.Fatal(err)
+		}
+		depths[k] = tr.Depth()
+	}
+	if !(depths[16] < depths[4] && depths[4] < depths[2]) {
+		t.Fatalf("depth did not shrink with arity: %v", depths)
+	}
+	// Sanity: k=16 depth should be within a small factor of log₁₆ n.
+	if limit := 3 * (bits.Len(n)/4 + 1); depths[16] > limit {
+		t.Fatalf("k=16 depth %d exceeds %d", depths[16], limit)
+	}
+}
+
+func TestEmptyLeavesRoute(t *testing.T) {
+	// Delete every key out of a split structure: empty leaves must still
+	// route subsequent operations correctly (pruning is future work).
+	tr := kst.New(4)
+	for i := int64(0); i < 100; i++ {
+		tr.Insert(keys.Map(i))
+	}
+	for i := int64(0); i < 100; i++ {
+		if !tr.Delete(keys.Map(i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Size() != 0 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse the skeleton.
+	for i := int64(0); i < 100; i += 2 {
+		if !tr.Insert(keys.Map(i)) {
+			t.Fatalf("re-insert %d failed", i)
+		}
+	}
+	for i := int64(0); i < 100; i++ {
+		want := i%2 == 0
+		if got := tr.Search(keys.Map(i)); got != want {
+			t.Fatalf("search %d = %v want %v", i, got, want)
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKeysAscending(t *testing.T) {
+	tr := kst.New(5)
+	in := []int64{9, 1, 8, 2, 7, 3, 6, 4, 5, 0}
+	for _, k := range in {
+		tr.Insert(keys.Map(k))
+	}
+	var got []int64
+	tr.Keys(func(u uint64) bool {
+		got = append(got, keys.Unmap(u))
+		return true
+	})
+	for i := range got {
+		if got[i] != int64(i) {
+			t.Fatalf("iteration order %v", got)
+		}
+	}
+}
+
+func TestHandleStats(t *testing.T) {
+	tr := kst.New(4)
+	h := tr.NewHandle()
+	for i := int64(0); i < 64; i++ {
+		h.Insert(keys.Map(i))
+	}
+	if h.Stats.Splits == 0 {
+		t.Fatal("64 inserts into k=4 tree caused no splits")
+	}
+	if h.Stats.CASSucceeded != 64 {
+		t.Fatalf("CAS successes = %d, want 64 (one per insert)", h.Stats.CASSucceeded)
+	}
+}

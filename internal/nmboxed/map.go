@@ -1,0 +1,149 @@
+package nmboxed
+
+import (
+	"sync/atomic"
+
+	"repro/internal/keys"
+)
+
+// This file extends the boxed NM tree from a set to a dictionary with
+// values. Values ride on leaves: a leaf's value is immutable for that
+// leaf's lifetime, set before the leaf is published, so value reads need
+// no synchronization beyond the edge load that reached the leaf.
+//
+// Updating the value of an existing key is leaf *replacement*: one CAS
+// swings the parent's edge from the old leaf to a fresh leaf with the
+// same key and the new value. This preserves every invariant the paper's
+// proof relies on — keys of nodes never change, leaves stay leaves, a
+// marked edge is never modified (a flagged leaf cannot be replaced; the
+// upsert helps the delete and retries) — and linearizes at the CAS.
+
+// GetKV returns the value stored at key.
+func (h *Handle) GetKV(key uint64) (val any, ok bool) {
+	h.seek(key)
+	h.Stats.Searches++
+	leaf := h.sr.leaf
+	if leaf.key != key {
+		return nil, false
+	}
+	return leaf.val, true
+}
+
+// InsertKV adds key with a value; it returns false (and stores nothing)
+// if the key is already present.
+func (h *Handle) InsertKV(key uint64, val any) bool {
+	return h.insert(key, val)
+}
+
+// Upsert sets key's value unconditionally, returning true if the key was
+// already present (its value was replaced) and false if it was inserted.
+func (h *Handle) Upsert(key uint64, val any) (replaced bool) {
+	for {
+		h.seek(key)
+		sr := &h.sr
+		leaf := sr.leaf
+		parent := sr.parent
+		var childField *atomic.Pointer[edge]
+		if key < parent.key {
+			childField = &parent.left
+		} else {
+			childField = &parent.right
+		}
+
+		if leaf.key != key {
+			// Absent: plain insert, but keep the already-performed seek by
+			// attempting the link inline.
+			if h.tryLink(key, val, sr, childField) {
+				h.Stats.Inserts++
+				return false
+			}
+			continue
+		}
+
+		// Present: replace the leaf. A marked edge means a delete owns the
+		// leaf (or its parent); help it finish and retry — the upsert will
+		// then insert the key fresh.
+		le := sr.leafEdge
+		if !le.marked() {
+			repl := &node{key: key, val: val}
+			h.Stats.NodesAlloc++
+			h.Stats.EdgesAlloc++
+			if childField.CompareAndSwap(le, &edge{child: repl}) {
+				h.Stats.CASSucceeded++
+				h.Stats.Inserts++
+				return true
+			}
+			h.Stats.CASFailed++
+		}
+		w := childField.Load()
+		if w != nil && w.child == leaf && w.marked() {
+			h.Stats.HelpAttempts++
+			h.cleanup(key, sr)
+		}
+	}
+}
+
+// tryLink attempts the insert execution phase once against the current
+// seek record; the caller loops on failure (mirrors Insert's body).
+func (h *Handle) tryLink(key uint64, val any, sr *seekRecord, childField *atomic.Pointer[edge]) bool {
+	leaf := sr.leaf
+	ni := &node{}
+	nl := &node{key: key, val: val}
+	h.Stats.NodesAlloc += 2
+	if key < leaf.key {
+		ni.key = leaf.key
+		ni.left.Store(&edge{child: nl})
+		ni.right.Store(&edge{child: leaf})
+	} else {
+		ni.key = key
+		ni.left.Store(&edge{child: leaf})
+		ni.right.Store(&edge{child: nl})
+	}
+	h.Stats.EdgesAlloc += 3
+
+	le := sr.leafEdge
+	if !le.marked() && childField.CompareAndSwap(le, &edge{child: ni}) {
+		h.Stats.CASSucceeded++
+		return true
+	}
+	h.Stats.CASFailed++
+	w := childField.Load()
+	if w != nil && w.child == leaf && w.marked() {
+		h.Stats.HelpAttempts++
+		h.cleanup(key, sr)
+	}
+	return false
+}
+
+// Tree-level conveniences.
+
+// GetKV returns the value stored at key.
+func (t *Tree) GetKV(key uint64) (any, bool) { h := Handle{t: t}; return h.GetKV(key) }
+
+// InsertKV adds key with a value if absent.
+func (t *Tree) InsertKV(key uint64, val any) bool { h := Handle{t: t}; return h.InsertKV(key, val) }
+
+// Upsert sets key's value unconditionally; true if it replaced a value.
+func (t *Tree) Upsert(key uint64, val any) bool { h := Handle{t: t}; return h.Upsert(key, val) }
+
+// Items visits (key, value) pairs in ascending key order (quiescent only).
+func (t *Tree) Items(yield func(key uint64, val any) bool) {
+	t.visitItems(t.r, yield)
+}
+
+func (t *Tree) visitItems(n *node, yield func(uint64, any) bool) bool {
+	le, re := n.left.Load(), n.right.Load()
+	if le == nil && re == nil {
+		if keys.IsSentinel(n.key) {
+			return true
+		}
+		return yield(n.key, n.val)
+	}
+	if le != nil && le.child != nil && !t.visitItems(le.child, yield) {
+		return false
+	}
+	if re != nil && re.child != nil && !t.visitItems(re.child, yield) {
+		return false
+	}
+	return true
+}

@@ -1,0 +1,139 @@
+package nmboxed
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func TestKVBasics(t *testing.T) {
+	tr := New()
+	k := keys.Map(7)
+	if _, ok := tr.GetKV(k); ok {
+		t.Fatal("empty tree returned a value")
+	}
+	if !tr.InsertKV(k, "seven") {
+		t.Fatal("InsertKV failed")
+	}
+	if v, ok := tr.GetKV(k); !ok || v.(string) != "seven" {
+		t.Fatalf("GetKV = %v, %v", v, ok)
+	}
+	if tr.InsertKV(k, "nope") {
+		t.Fatal("InsertKV overwrote")
+	}
+	if v, _ := tr.GetKV(k); v.(string) != "seven" {
+		t.Fatal("InsertKV changed the value")
+	}
+	if !tr.Upsert(k, "SEVEN") {
+		t.Fatal("Upsert of present key did not report replacement")
+	}
+	if v, _ := tr.GetKV(k); v.(string) != "SEVEN" {
+		t.Fatal("Upsert did not replace the value")
+	}
+	if tr.Upsert(keys.Map(8), "eight") {
+		t.Fatal("Upsert of absent key reported replacement")
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestItemsOrderedWithValues(t *testing.T) {
+	tr := New()
+	for _, k := range []int64{3, 1, 2} {
+		tr.InsertKV(keys.Map(k), fmt.Sprintf("v%d", k))
+	}
+	var got []string
+	tr.Items(func(u uint64, v any) bool {
+		got = append(got, fmt.Sprintf("%d=%s", keys.Unmap(u), v))
+		return true
+	})
+	want := []string{"1=v1", "2=v2", "3=v3"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Items = %v", got)
+		}
+	}
+	// Early stop.
+	n := 0
+	tr.Items(func(uint64, any) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+// TestUpsertHelpsFlaggedLeaf stalls a delete right after its injection CAS
+// (the leaf's incoming edge is flagged) and then upserts the same key: the
+// upsert must help the delete complete, then insert the key fresh with the
+// new value.
+func TestUpsertHelpsFlaggedLeaf(t *testing.T) {
+	tr := New()
+	h := tr.NewHandle()
+	for _, k := range []int64{50, 25, 75} {
+		h.InsertKV(keys.Map(k), "old")
+	}
+
+	victim := keys.Map(25)
+	h.seek(victim)
+	if h.sr.leaf.key != victim {
+		t.Fatal("setup: victim not found")
+	}
+	parent := h.sr.parent
+	childField := &parent.left
+	if victim >= parent.key {
+		childField = &parent.right
+	}
+	le := h.sr.leafEdge
+	if !childField.CompareAndSwap(le, &edge{child: h.sr.leaf, flag: true}) {
+		t.Fatal("setup: flag CAS failed")
+	}
+	// ... the delete stalls here.
+
+	h2 := tr.NewHandle()
+	if h2.Upsert(victim, "new") {
+		t.Fatal("Upsert reported replacement: the flagged leaf's removal owns the old value")
+	}
+	if h2.Stats.HelpAttempts == 0 {
+		t.Fatal("Upsert did not help the stalled delete")
+	}
+	if v, ok := tr.GetKV(victim); !ok || v.(string) != "new" {
+		t.Fatalf("after helped upsert: %v, %v", v, ok)
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestUpsertContendedReplacement races a replacement against a concurrent
+// structural change by pre-staling the seek record: the first CAS fails
+// and the retry loop must converge.
+func TestUpsertRetryOnStaleEdge(t *testing.T) {
+	tr := New()
+	h := tr.NewHandle()
+	k := keys.Map(10)
+	h.InsertKV(k, 1)
+	// Replace the leaf once so any stale edge from before is invalid.
+	if !tr.Upsert(k, 2) {
+		t.Fatal("priming upsert failed")
+	}
+	if !tr.Upsert(k, 3) {
+		t.Fatal("second upsert failed")
+	}
+	if v, _ := tr.GetKV(k); v.(int) != 3 {
+		t.Fatalf("value = %v", v)
+	}
+}
+
+func TestTreeLevelKVConveniences(t *testing.T) {
+	tr := New()
+	if !tr.InsertKV(keys.Map(1), "a") {
+		t.Fatal("InsertKV failed")
+	}
+	if v, ok := tr.GetKV(keys.Map(1)); !ok || v.(string) != "a" {
+		t.Fatal("GetKV failed")
+	}
+	if !tr.Upsert(keys.Map(1), "b") {
+		t.Fatal("Upsert failed")
+	}
+}

@@ -1,0 +1,122 @@
+package nmboxed
+
+// The boxed variant gets the same exhaustive interleaving treatment as the
+// packed tree (see internal/core/schedule_test.go): its CAS compares edge
+// *identity* rather than packed value, and its BTS is a CAS loop, so its
+// race surface is subtly different and deserves independent coverage.
+
+import (
+	"testing"
+
+	"repro/internal/check"
+	"repro/internal/keys"
+	"repro/internal/settest"
+	"repro/internal/trace"
+	"repro/internal/workload"
+)
+
+type opSpec struct {
+	kind workload.OpKind
+	key  int64
+}
+
+type scenario struct {
+	name  string
+	setup []int64
+	ops   []opSpec
+}
+
+func (sc scenario) builder(t *testing.T) (func() []*settest.SteppedOp, func() *Tree) {
+	var tr *Tree
+	build := func() []*settest.SteppedOp {
+		tr = New()
+		setupH := tr.NewHandle()
+		for _, k := range sc.setup {
+			if !setupH.Insert(keys.Map(k)) {
+				t.Fatalf("setup insert %d failed", k)
+			}
+		}
+		ops := make([]*settest.SteppedOp, len(sc.ops))
+		for i, spec := range sc.ops {
+			h := tr.NewHandle()
+			u := keys.Map(spec.key)
+			run := map[workload.OpKind]func() bool{
+				workload.OpInsert: func() bool { return h.Insert(u) },
+				workload.OpDelete: func() bool { return h.Delete(u) },
+				workload.OpSearch: func() bool { return h.Search(u) },
+			}[spec.kind]
+			ops[i] = settest.LaunchStepped(func(hook func(string)) { h.stepHook = hook }, run)
+		}
+		return ops
+	}
+	return build, func() *Tree { return tr }
+}
+
+func (sc scenario) validateOutcome(t *testing.T, schedule []int, ops []*settest.SteppedOp, tr *Tree) {
+	t.Helper()
+	if err := tr.Audit(); err != nil {
+		t.Fatalf("scenario %q schedule %v: audit: %v", sc.name, schedule, err)
+	}
+	initial := map[int64]bool{}
+	for _, k := range sc.setup {
+		initial[k] = true
+	}
+	events := make([]trace.Event, len(ops))
+	for i, op := range ops {
+		events[i] = trace.Event{
+			Worker: i, Op: sc.ops[i].kind, Key: sc.ops[i].key, Out: op.Result,
+			Start: int64(op.FirstGrant), End: int64(op.LastGrant) + 1,
+		}
+	}
+	if err := check.Linearizable(events, initial); err != nil {
+		t.Fatalf("scenario %q schedule %v: %v", sc.name, schedule, err)
+	}
+	net := map[int64]int{}
+	for i, op := range ops {
+		if op.Result {
+			switch sc.ops[i].kind {
+			case workload.OpInsert:
+				net[sc.ops[i].key]++
+			case workload.OpDelete:
+				net[sc.ops[i].key]--
+			}
+		}
+	}
+	for _, spec := range sc.ops {
+		k := spec.key
+		want := net[k] == 1 || (initial[k] && net[k] == 0)
+		if got := tr.Search(keys.Map(k)); got != want {
+			t.Fatalf("scenario %q schedule %v: membership of %d = %v, want %v",
+				sc.name, schedule, k, got, want)
+		}
+	}
+}
+
+func TestExhaustiveTwoOpSchedules(t *testing.T) {
+	scenarios := []scenario{
+		{"delete-delete-same-key", []int64{50, 25, 75}, []opSpec{
+			{workload.OpDelete, 25}, {workload.OpDelete, 25}}},
+		{"delete-delete-siblings", []int64{50, 25, 75}, []opSpec{
+			{workload.OpDelete, 25}, {workload.OpDelete, 50}}},
+		{"insert-vs-delete-parent", []int64{50, 25, 75}, []opSpec{
+			{workload.OpInsert, 30}, {workload.OpDelete, 25}}},
+		{"insert-vs-delete-same-key", []int64{50, 25}, []opSpec{
+			{workload.OpInsert, 25}, {workload.OpDelete, 25}}},
+		{"upsert-vs-delete", []int64{50, 25}, []opSpec{
+			{workload.OpDelete, 25}, {workload.OpInsert, 75}}},
+		{"search-during-delete", []int64{50, 25, 75}, []opSpec{
+			{workload.OpSearch, 25}, {workload.OpDelete, 25}}},
+	}
+	for _, sc := range scenarios {
+		t.Run(sc.name, func(t *testing.T) {
+			build, lastTree := sc.builder(t)
+			n := settest.ExploreExhaustive(t, build, func(t *testing.T, schedule []int, ops []*settest.SteppedOp) {
+				sc.validateOutcome(t, schedule, ops, lastTree())
+			})
+			if n < 2 {
+				t.Fatalf("only %d schedules explored", n)
+			}
+			t.Logf("validated %d schedules", n)
+		})
+	}
+}

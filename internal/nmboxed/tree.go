@@ -1,0 +1,452 @@
+// Package nmboxed is the GC-friendly ("boxed") variant of the
+// Natarajan–Mittal lock-free external binary search tree.
+//
+// The primary implementation (internal/core) packs a 32-bit arena index and
+// the two mark bits into one uint64 so the paper's single-word CAS and BTS
+// apply literally. This variant instead represents each child edge as an
+// atomic.Pointer to an immutable edge record {child, flag, tag} — the "flag
+// wrapper" approach natural to garbage-collected languages. Marking an edge
+// allocates a fresh record; BTS becomes a CAS loop (the paper notes the
+// algorithm "can be easily modified to use only CAS instructions").
+//
+// Compared with internal/core:
+//
+//   - no arena and no index space limit; nodes are ordinary heap objects,
+//   - memory reclamation is free (the GC collects unlinked subtrees), so no
+//     epoch machinery is needed,
+//   - every mark/link allocates an edge record, and CAS compares record
+//     identity rather than packed value — extra allocation and indirection
+//     on the hot path.
+//
+// The packed-vs-boxed benchmark (BenchmarkAblationEncoding) quantifies the
+// difference; both variants pass the same conformance battery.
+package nmboxed
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/keys"
+)
+
+// edge is an immutable snapshot of a child field: the target node plus the
+// paper's two stolen bits. A nil *edge is a leaf's empty child slot.
+type edge struct {
+	child *node
+	flag  bool // head (leaf) node marked for deletion
+	tag   bool // tail (internal) node marked for deletion
+}
+
+func (e *edge) marked() bool { return e.flag || e.tag }
+
+type node struct {
+	key   uint64
+	val   any // leaf payload; immutable for the leaf's lifetime (see map.go)
+	left  atomic.Pointer[edge]
+	right atomic.Pointer[edge]
+}
+
+// seekRecord matches the paper's four access-path addresses plus the two
+// edge records whose identity the execution phase CASes against.
+type seekRecord struct {
+	ancestor  *node
+	successor *node
+	parent    *node
+	leaf      *node
+	succEdge  *edge // edge (ancestor → successor) observed during seek
+	leafEdge  *edge // edge (parent → leaf) observed during seek
+}
+
+// Stats counts the work performed through a Handle (single-goroutine, no
+// atomics; aggregate across handles).
+type Stats struct {
+	Searches, Inserts, Deletes uint64
+
+	CASSucceeded, CASFailed uint64
+	BTSLoops                uint64 // iterations of the CAS loop emulating BTS
+	NodesAlloc              uint64
+	EdgesAlloc              uint64 // edge records allocated (the boxing cost)
+
+	Seeks, HelpAttempts, SpliceWins uint64
+}
+
+// Atomics returns CAS attempts plus BTS-loop iterations — the boxed
+// counterpart of Table 1's atomic-instruction count.
+func (s *Stats) Atomics() uint64 { return s.CASSucceeded + s.CASFailed + s.BTSLoops }
+
+// Tree is the boxed lock-free external BST. All methods are safe for
+// concurrent use; Handles are optional (they only add statistics and spare
+// reuse).
+type Tree struct {
+	r *node // sentinel ℝ (key ∞₂)
+	s *node // sentinel 𝕊 (key ∞₁)
+}
+
+// New creates an empty tree with the Figure 3 sentinel skeleton.
+func New() *Tree {
+	leaf := func(k uint64) *node { return &node{key: k} }
+	s := &node{key: keys.Inf1}
+	s.left.Store(&edge{child: leaf(keys.Inf0)})
+	s.right.Store(&edge{child: leaf(keys.Inf1)})
+	r := &node{key: keys.Inf2}
+	r.left.Store(&edge{child: s})
+	r.right.Store(&edge{child: leaf(keys.Inf2)})
+	return &Tree{r: r, s: s}
+}
+
+// Handle carries per-goroutine state: the reusable seek record and
+// statistics. Handles must not be shared between goroutines.
+type Handle struct {
+	t  *Tree
+	sr seekRecord
+	// Spare nodes reused across insert retries.
+	spareInternal, spareLeaf *node
+
+	// stepHook, when non-nil, is invoked before every atomic step (and at
+	// each seek) — used by the interleaving explorer in schedule_test.go.
+	stepHook func(point string)
+
+	Stats Stats
+}
+
+func (h *Handle) hook(point string) {
+	if h.stepHook != nil {
+		h.stepHook(point)
+	}
+}
+
+// NewHandle returns a per-goroutine accessor.
+func (t *Tree) NewHandle() *Handle { return &Handle{t: t} }
+
+// Search reports whether key is present (stateless convenience; allocates
+// nothing).
+func (t *Tree) Search(key uint64) bool {
+	l := t.seekLeafOnly(key)
+	return l.key == key
+}
+
+// seekLeafOnly is the read-only traversal used by Tree.Search.
+func (t *Tree) seekLeafOnly(key uint64) *node {
+	cur := t.s
+	for {
+		var f *edge
+		if key < cur.key {
+			f = cur.left.Load()
+		} else {
+			f = cur.right.Load()
+		}
+		if f == nil || f.child == nil {
+			return cur
+		}
+		cur = f.child
+	}
+}
+
+// Insert adds key via a throwaway handle. Hot paths should use a Handle.
+func (t *Tree) Insert(key uint64) bool { h := Handle{t: t}; return h.Insert(key) }
+
+// Delete removes key via a throwaway handle.
+func (t *Tree) Delete(key uint64) bool { h := Handle{t: t}; return h.Delete(key) }
+
+// seek is Algorithm 1 over boxed edges.
+func (h *Handle) seek(key uint64) {
+	t := h.t
+	sr := &h.sr
+	h.Stats.Seeks++
+	h.hook("seek")
+
+	sr.ancestor = t.r
+	sr.successor = t.s
+	sr.parent = t.s
+	sr.succEdge = t.r.left.Load()
+
+	parentField := t.s.left.Load()
+	sr.leaf = parentField.child
+	sr.leafEdge = parentField
+
+	currentField := sr.leaf.left.Load()
+	for currentField != nil && currentField.child != nil {
+		if !parentField.tag {
+			sr.ancestor = sr.parent
+			sr.successor = sr.leaf
+			sr.succEdge = parentField
+		}
+		sr.parent = sr.leaf
+		sr.leaf = currentField.child
+		sr.leafEdge = currentField
+		parentField = currentField
+
+		cn := sr.leaf
+		if key < cn.key {
+			currentField = cn.left.Load()
+		} else {
+			currentField = cn.right.Load()
+		}
+	}
+}
+
+// Search via the handle (records statistics).
+func (h *Handle) Search(key uint64) bool {
+	h.seek(key)
+	h.Stats.Searches++
+	return h.sr.leaf.key == key
+}
+
+// Insert adds key; false if already present. A successful uncontended
+// insert performs exactly one CAS but allocates two nodes plus three edge
+// records — the boxing overhead internal/core avoids.
+func (h *Handle) Insert(key uint64) bool { return h.insert(key, nil) }
+
+func (h *Handle) insert(key uint64, val any) bool {
+	for {
+		h.seek(key)
+		sr := &h.sr
+		leaf := sr.leaf
+		if leaf.key == key {
+			h.Stats.Inserts++
+			return false
+		}
+		parent := sr.parent
+		var childField *atomic.Pointer[edge]
+		if key < parent.key {
+			childField = &parent.left
+		} else {
+			childField = &parent.right
+		}
+
+		if h.spareInternal == nil {
+			h.spareInternal = &node{}
+			h.Stats.NodesAlloc++
+		}
+		if h.spareLeaf == nil {
+			h.spareLeaf = &node{}
+			h.Stats.NodesAlloc++
+		}
+		ni, nl := h.spareInternal, h.spareLeaf
+		nl.key = key
+		nl.val = val
+		nl.left.Store(nil)
+		nl.right.Store(nil)
+		if key < leaf.key {
+			ni.key = leaf.key
+			ni.left.Store(&edge{child: nl})
+			ni.right.Store(&edge{child: leaf})
+		} else {
+			ni.key = key
+			ni.left.Store(&edge{child: leaf})
+			ni.right.Store(&edge{child: nl})
+		}
+		h.Stats.EdgesAlloc += 3
+
+		// The packed CAS encodes "edge unmarked" in its expected value; the
+		// boxed CAS compares record identity, so marks must be checked
+		// explicitly before attempting it.
+		le := sr.leafEdge
+		h.hook("insert-cas")
+		if !le.marked() && childField.CompareAndSwap(le, &edge{child: ni}) {
+			h.Stats.CASSucceeded++
+			h.spareInternal, h.spareLeaf = nil, nil
+			h.Stats.Inserts++
+			return true
+		}
+		h.Stats.CASFailed++
+		w := childField.Load()
+		if w != nil && w.child == leaf && w.marked() {
+			h.Stats.HelpAttempts++
+			h.cleanup(key, sr)
+		}
+	}
+}
+
+// Delete removes key; false if absent (Algorithm 3).
+func (h *Handle) Delete(key uint64) bool {
+	injecting := true
+	var target *node
+	for {
+		h.seek(key)
+		sr := &h.sr
+		parent := sr.parent
+		var childField *atomic.Pointer[edge]
+		if key < parent.key {
+			childField = &parent.left
+		} else {
+			childField = &parent.right
+		}
+
+		if injecting {
+			target = sr.leaf
+			if target.key != key {
+				h.Stats.Deletes++
+				return false
+			}
+			le := sr.leafEdge
+			if !le.marked() {
+				h.Stats.EdgesAlloc++
+			}
+			h.hook("flag-cas")
+			if !le.marked() && childField.CompareAndSwap(le, &edge{child: target, flag: true}) {
+				h.Stats.CASSucceeded++
+				injecting = false
+				if h.cleanup(key, sr) {
+					h.Stats.Deletes++
+					return true
+				}
+			} else {
+				h.Stats.CASFailed++
+				w := childField.Load()
+				if w != nil && w.child == target && w.marked() {
+					h.Stats.HelpAttempts++
+					h.cleanup(key, sr)
+				}
+			}
+		} else {
+			if sr.leaf != target {
+				h.Stats.Deletes++
+				return true // a helper finished the removal
+			}
+			if h.cleanup(key, sr) {
+				h.Stats.Deletes++
+				return true
+			}
+		}
+	}
+}
+
+// bts emulates the bit-test-and-set instruction on a boxed edge: set the
+// tag bit, preserving child and flag. Returns the tagged edge value.
+func (h *Handle) bts(f *atomic.Pointer[edge]) *edge {
+	for {
+		e := f.Load()
+		h.Stats.BTSLoops++
+		h.hook("tag")
+		if e.tag {
+			return e
+		}
+		tagged := &edge{child: e.child, flag: e.flag, tag: true}
+		h.Stats.EdgesAlloc++
+		if f.CompareAndSwap(e, tagged) {
+			return tagged
+		}
+	}
+}
+
+// cleanup is Algorithm 4 over boxed edges.
+func (h *Handle) cleanup(key uint64, sr *seekRecord) bool {
+	ancestor, parent := sr.ancestor, sr.parent
+
+	var successorField *atomic.Pointer[edge]
+	if key < ancestor.key {
+		successorField = &ancestor.left
+	} else {
+		successorField = &ancestor.right
+	}
+	var childField, siblingField *atomic.Pointer[edge]
+	if key < parent.key {
+		childField = &parent.left
+		siblingField = &parent.right
+	} else {
+		childField = &parent.right
+		siblingField = &parent.left
+	}
+
+	if cw := childField.Load(); !cw.flag {
+		// The delete target is the other child; roles swap (helping).
+		siblingField = childField
+	}
+
+	sw := h.bts(siblingField)
+
+	se := sr.succEdge
+	h.hook("splice-cas")
+	if se.marked() || se.child != sr.successor {
+		// The packed CAS would fail on a marked or changed word; mirror it.
+		return false
+	}
+	h.Stats.EdgesAlloc++
+	ok := successorField.CompareAndSwap(se, &edge{child: sw.child, flag: sw.flag})
+	if ok {
+		h.Stats.CASSucceeded++
+		h.Stats.SpliceWins++
+	} else {
+		h.Stats.CASFailed++
+	}
+	return ok
+}
+
+// ---- quiescent inspection ----
+
+// Size counts stored user keys (quiescent only).
+func (t *Tree) Size() int {
+	n := 0
+	t.Keys(func(uint64) bool { n++; return true })
+	return n
+}
+
+// Keys visits user keys in ascending order (quiescent only).
+func (t *Tree) Keys(yield func(uint64) bool) { t.visit(t.r, yield) }
+
+func (t *Tree) visit(n *node, yield func(uint64) bool) bool {
+	le, re := n.left.Load(), n.right.Load()
+	if le == nil && re == nil {
+		if keys.IsSentinel(n.key) {
+			return true
+		}
+		return yield(n.key)
+	}
+	if le != nil && le.child != nil && !t.visit(le.child, yield) {
+		return false
+	}
+	if re != nil && re.child != nil && !t.visit(re.child, yield) {
+		return false
+	}
+	return true
+}
+
+// Audit validates the external-BST invariants (quiescent only).
+func (t *Tree) Audit() error {
+	if t.r.key != keys.Inf2 || t.s.key != keys.Inf1 {
+		return fmt.Errorf("sentinel keys corrupted")
+	}
+	rl := t.r.left.Load()
+	if rl.marked() || rl.child != t.s {
+		return fmt.Errorf("edge (ℝ, 𝕊) invalid")
+	}
+	_, err := t.audit(t.r, 0, ^uint64(0))
+	return err
+}
+
+func (t *Tree) audit(n *node, lo, hi uint64) (int, error) {
+	if n.key < lo || n.key > hi {
+		return 0, fmt.Errorf("key %#x outside [%#x, %#x]", n.key, lo, hi)
+	}
+	le, re := n.left.Load(), n.right.Load()
+	if le != nil && le.marked() || re != nil && re.marked() {
+		return 0, fmt.Errorf("marked edge in quiescent tree at key %#x", n.key)
+	}
+	lc, rc := childOf(le), childOf(re)
+	switch {
+	case lc == nil && rc == nil:
+		return 1, nil
+	case lc == nil || rc == nil:
+		return 0, fmt.Errorf("internal node %#x has exactly one child", n.key)
+	}
+	if n.key == 0 {
+		return 0, fmt.Errorf("internal node has key 0 with a left subtree")
+	}
+	nl, err := t.audit(lc, lo, n.key-1)
+	if err != nil {
+		return 0, err
+	}
+	nr, err := t.audit(rc, n.key, hi)
+	if err != nil {
+		return 0, err
+	}
+	return nl + nr, nil
+}
+
+func childOf(e *edge) *node {
+	if e == nil {
+		return nil
+	}
+	return e.child
+}

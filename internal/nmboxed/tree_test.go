@@ -1,0 +1,83 @@
+package nmboxed_test
+
+import (
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/nmboxed"
+	"repro/internal/settest"
+)
+
+func TestConformance(t *testing.T) {
+	settest.Run(t, func(capacity int) settest.Set {
+		return nmboxed.New()
+	})
+}
+
+func TestHandleStatsUncontended(t *testing.T) {
+	tr := nmboxed.New()
+	h := tr.NewHandle()
+	for _, k := range []int64{50, 25, 75} {
+		h.Insert(keys.Map(k))
+	}
+
+	before := h.Stats
+	if !h.Insert(keys.Map(60)) {
+		t.Fatal("insert failed")
+	}
+	d := h.Stats
+	if got := d.NodesAlloc - before.NodesAlloc; got != 2 {
+		t.Fatalf("uncontended insert allocated %d nodes, want 2", got)
+	}
+	if got := d.CASSucceeded + d.CASFailed - before.CASSucceeded - before.CASFailed; got != 1 {
+		t.Fatalf("uncontended insert executed %d CAS, want 1", got)
+	}
+	// The boxing cost: three edge records per insert.
+	if got := d.EdgesAlloc - before.EdgesAlloc; got != 3 {
+		t.Fatalf("uncontended insert allocated %d edges, want 3", got)
+	}
+
+	before = h.Stats
+	if !h.Delete(keys.Map(60)) {
+		t.Fatal("delete failed")
+	}
+	d = h.Stats
+	if got := d.NodesAlloc - before.NodesAlloc; got != 0 {
+		t.Fatalf("uncontended delete allocated %d nodes, want 0", got)
+	}
+	// flag CAS + one BTS loop iteration (itself a CAS) + splice CAS.
+	if got := d.Atomics() - before.Atomics(); got < 3 || got > 4 {
+		t.Fatalf("uncontended delete executed %d atomic steps, want 3-4", got)
+	}
+}
+
+func TestTreeConvenienceMethods(t *testing.T) {
+	tr := nmboxed.New()
+	if !tr.Insert(keys.Map(1)) || !tr.Search(keys.Map(1)) || !tr.Delete(keys.Map(1)) {
+		t.Fatal("convenience methods broken")
+	}
+	if tr.Search(keys.Map(1)) {
+		t.Fatal("key visible after delete")
+	}
+}
+
+func TestKeysOrdered(t *testing.T) {
+	tr := nmboxed.New()
+	for _, k := range []int64{9, 3, 7, 1, 5} {
+		tr.Insert(keys.Map(k))
+	}
+	var got []int64
+	tr.Keys(func(u uint64) bool {
+		got = append(got, keys.Unmap(u))
+		return true
+	})
+	want := []int64{1, 3, 5, 7, 9}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration out of order: %v", got)
+		}
+	}
+}

@@ -1,0 +1,232 @@
+// Package plot renders ASCII line charts for benchmark series — enough to
+// eyeball the shape of Figure 4 (who wins, where curves cross) in a
+// terminal, with no dependencies.
+package plot
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// markers are assigned to series in order.
+var markers = []byte{'o', 'x', '+', '*', '#', '@', '%', '&'}
+
+// Series is one line on a chart.
+type Series struct {
+	Name string
+	X, Y []float64
+}
+
+// Chart is a collection of series over a shared axis.
+type Chart struct {
+	Title  string
+	YLabel string
+	XLabel string
+	Series []Series
+	// Width and Height are the plot-area size in characters (default 60×16).
+	Width, Height int
+	// LogX positions x values on a log₂ scale (thread counts 1,2,4,…).
+	LogX bool
+}
+
+// Render draws the chart.
+func (c *Chart) Render() string {
+	w, h := c.Width, c.Height
+	if w <= 0 {
+		w = 60
+	}
+	if h <= 0 {
+		h = 16
+	}
+
+	xmin, xmax := math.Inf(1), math.Inf(-1)
+	ymin, ymax := 0.0, math.Inf(-1) // y axis starts at 0, like the paper's
+	for _, s := range c.Series {
+		for i := range s.X {
+			x := c.xpos(s.X[i])
+			xmin = math.Min(xmin, x)
+			xmax = math.Max(xmax, x)
+			ymax = math.Max(ymax, s.Y[i])
+		}
+	}
+	if math.IsInf(xmax, -1) {
+		return c.Title + "\n(no data)\n"
+	}
+	if xmax == xmin {
+		xmax = xmin + 1
+	}
+	if ymax <= ymin {
+		ymax = ymin + 1
+	}
+
+	grid := make([][]byte, h)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", w))
+	}
+	for si, s := range c.Series {
+		m := markers[si%len(markers)]
+		// Plot points and connect consecutive ones with a crude line.
+		type pt struct{ col, row int }
+		pts := make([]pt, 0, len(s.X))
+		order := argsortByX(s.X)
+		for _, i := range order {
+			col := int(math.Round((c.xpos(s.X[i]) - xmin) / (xmax - xmin) * float64(w-1)))
+			row := h - 1 - int(math.Round((s.Y[i]-ymin)/(ymax-ymin)*float64(h-1)))
+			pts = append(pts, pt{col, row})
+		}
+		for j := 1; j < len(pts); j++ {
+			drawLine(grid, pts[j-1].col, pts[j-1].row, pts[j].col, pts[j].row, '.')
+		}
+		for _, p := range pts {
+			if p.row >= 0 && p.row < h && p.col >= 0 && p.col < w {
+				grid[p.row][p.col] = m
+			}
+		}
+	}
+
+	var b strings.Builder
+	if c.Title != "" {
+		fmt.Fprintf(&b, "%s\n", c.Title)
+	}
+	yTop := formatTick(ymax)
+	yMid := formatTick(ymax / 2)
+	labelW := len(yTop)
+	if len(yMid) > labelW {
+		labelW = len(yMid)
+	}
+	for r := 0; r < h; r++ {
+		label := strings.Repeat(" ", labelW)
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%*s", labelW, yTop)
+		case h / 2:
+			label = fmt.Sprintf("%*s", labelW, yMid)
+		case h - 1:
+			label = fmt.Sprintf("%*s", labelW, formatTick(ymin))
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(grid[r]))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelW), strings.Repeat("-", w))
+
+	// X tick labels: min, mid, max of the raw (unscaled) values.
+	rawXs := c.rawXRange()
+	if len(rawXs) > 0 {
+		lo := formatTick(rawXs[0])
+		hi := formatTick(rawXs[len(rawXs)-1])
+		mid := formatTick(rawXs[len(rawXs)/2])
+		line := make([]byte, w)
+		for i := range line {
+			line[i] = ' '
+		}
+		copy(line[0:], lo)
+		copy(line[w/2-len(mid)/2:], mid)
+		if w-len(hi) > 0 {
+			copy(line[w-len(hi):], hi)
+		}
+		fmt.Fprintf(&b, "%s  %s\n", strings.Repeat(" ", labelW), string(line))
+	}
+	if c.XLabel != "" || c.YLabel != "" {
+		fmt.Fprintf(&b, "%s  x: %s   y: %s\n", strings.Repeat(" ", labelW), c.XLabel, c.YLabel)
+	}
+	for si, s := range c.Series {
+		fmt.Fprintf(&b, "%s  %c %s\n", strings.Repeat(" ", labelW), markers[si%len(markers)], s.Name)
+	}
+	return b.String()
+}
+
+func (c *Chart) xpos(x float64) float64 {
+	if c.LogX && x > 0 {
+		return math.Log2(x)
+	}
+	return x
+}
+
+// rawXRange returns the sorted distinct raw x values across all series.
+func (c *Chart) rawXRange() []float64 {
+	seen := map[float64]bool{}
+	var out []float64
+	for _, s := range c.Series {
+		for _, x := range s.X {
+			if !seen[x] {
+				seen[x] = true
+				out = append(out, x)
+			}
+		}
+	}
+	sort.Float64s(out)
+	return out
+}
+
+func argsortByX(xs []float64) []int {
+	idx := make([]int, len(xs))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+	return idx
+}
+
+// drawLine rasterizes a segment with Bresenham, skipping endpoints so
+// markers stay visible; only blank cells are painted.
+func drawLine(grid [][]byte, x0, y0, x1, y1 int, ch byte) {
+	dx, dy := abs(x1-x0), -abs(y1-y0)
+	sx, sy := sign(x1-x0), sign(y1-y0)
+	err := dx + dy
+	x, y := x0, y0
+	for {
+		if x == x1 && y == y1 {
+			break
+		}
+		if !(x == x0 && y == y0) && y >= 0 && y < len(grid) && x >= 0 && x < len(grid[0]) {
+			if grid[y][x] == ' ' {
+				grid[y][x] = ch
+			}
+		}
+		e2 := 2 * err
+		if e2 >= dy {
+			err += dy
+			x += sx
+		}
+		if e2 <= dx {
+			err += dx
+			y += sy
+		}
+	}
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+func sign(v int) int {
+	switch {
+	case v > 0:
+		return 1
+	case v < 0:
+		return -1
+	default:
+		return 0
+	}
+}
+
+// formatTick renders an axis value compactly.
+func formatTick(v float64) string {
+	av := math.Abs(v)
+	switch {
+	case av >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case av >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case av >= 1e3:
+		return fmt.Sprintf("%.1fK", v/1e3)
+	case av == math.Trunc(av):
+		return fmt.Sprintf("%.0f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}

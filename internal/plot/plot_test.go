@@ -1,0 +1,97 @@
+package plot
+
+import (
+	"strings"
+	"testing"
+)
+
+func twoSeries() []Series {
+	return []Series{
+		{Name: "nm", X: []float64{1, 2, 4, 8}, Y: []float64{1e6, 2e6, 3e6, 4e6}},
+		{Name: "efrb", X: []float64{1, 2, 4, 8}, Y: []float64{0.8e6, 1.4e6, 2e6, 2.4e6}},
+	}
+}
+
+func TestRenderContainsStructure(t *testing.T) {
+	c := Chart{Title: "throughput", Series: twoSeries(), XLabel: "threads", YLabel: "ops/s", LogX: true}
+	out := c.Render()
+	for _, want := range []string{"throughput", "4.0M", "o nm", "x efrb", "x: threads", "y: ops/s", "+---"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("render missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	c := Chart{Title: "empty"}
+	out := c.Render()
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty chart render: %q", out)
+	}
+}
+
+func TestMarkersAtExtremes(t *testing.T) {
+	// One flat series: all markers must land on one row, the top.
+	c := Chart{
+		Series: []Series{{Name: "s", X: []float64{1, 2, 3}, Y: []float64{5, 5, 5}}},
+		Width:  30, Height: 10,
+	}
+	out := c.Render()
+	lines := strings.Split(out, "\n")
+	markerRows := 0
+	for _, l := range lines {
+		if strings.Contains(l, "o") && strings.Contains(l, "|") {
+			markerRows++
+		}
+	}
+	if markerRows != 1 {
+		t.Fatalf("flat series drawn on %d rows, want 1:\n%s", markerRows, out)
+	}
+}
+
+func TestSinglePointSeries(t *testing.T) {
+	c := Chart{Series: []Series{{Name: "pt", X: []float64{4}, Y: []float64{7}}}}
+	out := c.Render()
+	if !strings.Contains(out, "o") {
+		t.Fatalf("single point not drawn:\n%s", out)
+	}
+}
+
+func TestLogXOrdersTicks(t *testing.T) {
+	c := Chart{
+		Series: []Series{{Name: "s", X: []float64{1, 64}, Y: []float64{1, 2}}},
+		LogX:   true, Width: 40, Height: 8,
+	}
+	out := c.Render()
+	if !strings.Contains(out, "64") {
+		t.Fatalf("max x tick missing:\n%s", out)
+	}
+}
+
+func TestFormatTick(t *testing.T) {
+	cases := map[float64]string{
+		0:       "0",
+		950:     "950",
+		1500:    "1.5K",
+		2.5e6:   "2.5M",
+		3e9:     "3.0G",
+		1234.56: "1.2K",
+	}
+	for in, want := range cases {
+		if got := formatTick(in); got != want {
+			t.Fatalf("formatTick(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestLineConnectsPoints(t *testing.T) {
+	// A steep diagonal must leave '.' connector cells between markers.
+	c := Chart{
+		Series: []Series{{Name: "s", X: []float64{0, 10}, Y: []float64{0, 10}}},
+		Width:  20, Height: 10,
+	}
+	out := c.Render()
+	if !strings.Contains(out, ".") {
+		t.Fatalf("no connector drawn:\n%s", out)
+	}
+}

@@ -1,0 +1,213 @@
+// Package reclaim implements epoch-based reclamation (EBR) for lock-free
+// data structures.
+//
+// The paper defers memory reclamation to hazard pointers as future work and
+// runs all experiments without reclamation; this package is the module's
+// reclamation extension. It provides grace periods after which storage
+// spliced out of a lock-free structure can be recycled — necessary for the
+// arena-backed tree (internal/core), where reusing a node index too early
+// would re-introduce the ABA problem the paper avoids by assuming unique
+// addresses.
+//
+// # Protocol
+//
+// A Domain maintains a global epoch counter. Each participating goroutine
+// owns a Slot. Operations bracket their structure accesses with Pin/Unpin;
+// while pinned, a slot advertises the epoch it observed. Nodes unlinked
+// from the structure are passed to Retire; they are handed to the slot's
+// free function only after the global epoch has advanced twice past the
+// retirement epoch, which guarantees every operation that could have held a
+// reference has completed.
+//
+// The global epoch can only advance when every pinned slot has observed the
+// current epoch, so a single stalled reader blocks recycling (the classic
+// EBR trade-off) — but never blocks the data structure itself.
+package reclaim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/atomicx"
+)
+
+// scanInterval is how many Retire calls a slot batches before it attempts
+// to advance the global epoch and free old buckets.
+const scanInterval = 64
+
+// Domain groups slots that share grace periods. Values of type T (node
+// indices, pointers, ...) retired in one epoch are freed two epochs later.
+type Domain[T any] struct {
+	epoch atomic.Uint64
+	_     [atomicx.CacheLine - 8]byte // keep the hot epoch word alone on its line
+
+	mu    sync.Mutex
+	slots []*Slot[T]
+}
+
+// NewDomain creates a reclamation domain. Epoch numbering starts at 1 so
+// that "epoch 0" can mean "never".
+func NewDomain[T any]() *Domain[T] {
+	d := &Domain[T]{}
+	d.epoch.Store(1)
+	return d
+}
+
+// Epoch returns the current global epoch (diagnostic).
+func (d *Domain[T]) Epoch() uint64 { return d.epoch.Load() }
+
+// Slots returns the number of registered, not-yet-closed slots
+// (diagnostic).
+func (d *Domain[T]) Slots() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return len(d.slots)
+}
+
+// Slot state word: localEpoch<<1 | activeBit. A dead slot stores deadState.
+const (
+	activeBit        = 1
+	deadState uint64 = ^uint64(0)
+)
+
+// Slot is one goroutine's membership in a Domain. A Slot must not be used
+// concurrently.
+type Slot[T any] struct {
+	d     *Domain[T]
+	state atomic.Uint64
+	_     [atomicx.CacheLine - 8]byte
+
+	free        func(T) // receives values whose grace period has elapsed
+	retired     [3]bucket[T]
+	sinceScan   int
+	pendingLive int // total items across buckets (diagnostic)
+}
+
+type bucket[T any] struct {
+	epoch uint64
+	items []T
+}
+
+// Register creates a slot whose retired values are eventually passed to
+// free. free runs on the goroutine that owns the slot (during Retire or
+// Flush), never concurrently.
+func (d *Domain[T]) Register(free func(T)) *Slot[T] {
+	s := &Slot[T]{d: d, free: free}
+	d.mu.Lock()
+	d.slots = append(d.slots, s)
+	d.mu.Unlock()
+	return s
+}
+
+// Pin marks the start of a structure operation. Pairs with Unpin. While
+// pinned, no value the goroutine can reach will be freed.
+func (s *Slot[T]) Pin() {
+	for {
+		e := s.d.epoch.Load()
+		s.state.Store(e<<1 | activeBit)
+		// Go atomics are sequentially consistent, so once this re-check
+		// passes, any epoch advance must have observed our pin.
+		if s.d.epoch.Load() == e {
+			return
+		}
+	}
+}
+
+// Unpin marks the end of a structure operation.
+func (s *Slot[T]) Unpin() {
+	s.state.Store(s.state.Load() &^ activeBit)
+}
+
+// Retire schedules v to be freed once no pinned operation can still hold a
+// reference. May only be called while pinned.
+func (s *Slot[T]) Retire(v T) {
+	e := s.d.epoch.Load()
+	b := &s.retired[e%3]
+	if b.epoch != e {
+		// This bucket last held items from epoch ≤ e-3; the global epoch is
+		// already ≥ their epoch+2, so they are safe to free now.
+		s.drain(b)
+		b.epoch = e
+	}
+	b.items = append(b.items, v)
+	s.pendingLive++
+	s.sinceScan++
+	if s.sinceScan >= scanInterval {
+		s.sinceScan = 0
+		s.tryAdvance()
+		s.sweep()
+	}
+}
+
+// drain frees everything in a bucket.
+func (s *Slot[T]) drain(b *bucket[T]) {
+	for i, v := range b.items {
+		s.free(v)
+		var zero T
+		b.items[i] = zero
+	}
+	s.pendingLive -= len(b.items)
+	b.items = b.items[:0]
+}
+
+// sweep frees buckets whose grace period has elapsed.
+func (s *Slot[T]) sweep() {
+	e := s.d.epoch.Load()
+	for i := range s.retired {
+		b := &s.retired[i]
+		if b.epoch != 0 && b.epoch+2 <= e && len(b.items) > 0 {
+			s.drain(b)
+		}
+	}
+}
+
+// tryAdvance bumps the global epoch if every active slot has observed it.
+func (s *Slot[T]) tryAdvance() {
+	d := s.d
+	e := d.epoch.Load()
+	d.mu.Lock()
+	for _, other := range d.slots {
+		st := other.state.Load()
+		if st == deadState {
+			continue
+		}
+		if st&activeBit != 0 && st>>1 != e {
+			d.mu.Unlock()
+			return
+		}
+	}
+	d.mu.Unlock()
+	d.epoch.CompareAndSwap(e, e+1)
+}
+
+// Pending returns how many retired values await freeing (diagnostic).
+func (s *Slot[T]) Pending() int { return s.pendingLive }
+
+// Flush aggressively tries to advance epochs and free everything retired by
+// this slot. It spins until the slot's buckets are empty or progress stops
+// because another slot is pinned. Call only while unpinned.
+func (s *Slot[T]) Flush() {
+	for i := 0; i < 4 && s.pendingLive > 0; i++ {
+		s.tryAdvance()
+		s.sweep()
+	}
+}
+
+// Close permanently deactivates the slot so it never again blocks epoch
+// advancement. Values still awaiting their grace period are intentionally
+// not freed (their storage is simply never recycled); call Flush first to
+// minimize that.
+func (s *Slot[T]) Close() {
+	s.Flush()
+	s.state.Store(deadState)
+	d := s.d
+	d.mu.Lock()
+	for i, other := range d.slots {
+		if other == s {
+			d.slots[i] = d.slots[len(d.slots)-1]
+			d.slots = d.slots[:len(d.slots)-1]
+			break
+		}
+	}
+	d.mu.Unlock()
+}

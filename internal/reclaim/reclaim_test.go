@@ -1,0 +1,198 @@
+package reclaim
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRetireFreesAfterGrace(t *testing.T) {
+	d := NewDomain[int]()
+	var freed []int
+	s := d.Register(func(v int) { freed = append(freed, v) })
+	s.Pin()
+	s.Retire(1)
+	s.Retire(2)
+	s.Unpin()
+	if len(freed) != 0 {
+		t.Fatal("freed before any epoch advance")
+	}
+	s.Flush()
+	if len(freed) != 2 {
+		t.Fatalf("freed %d values after flush, want 2", len(freed))
+	}
+}
+
+func TestPinnedPeerBlocksFree(t *testing.T) {
+	d := NewDomain[int]()
+	var freed atomic.Int64
+	s := d.Register(func(int) { freed.Add(1) })
+	peer := d.Register(func(int) {})
+
+	peer.Pin() // a concurrent operation holds references
+	s.Pin()
+	for i := 0; i < 10*scanInterval; i++ {
+		s.Retire(i)
+	}
+	s.Unpin()
+	s.Flush()
+	if got := freed.Load(); got != 0 {
+		t.Fatalf("%d values freed while a peer was pinned in an old epoch", got)
+	}
+
+	peer.Unpin()
+	s.Flush()
+	if got := freed.Load(); got != 10*scanInterval {
+		t.Fatalf("freed %d values after peer unpinned, want %d", got, 10*scanInterval)
+	}
+}
+
+func TestRepinUnblocksAdvance(t *testing.T) {
+	d := NewDomain[int]()
+	var freed atomic.Int64
+	s := d.Register(func(int) { freed.Add(1) })
+	peer := d.Register(func(int) {})
+
+	peer.Pin()
+	s.Pin()
+	s.Retire(42)
+	s.Unpin()
+	// The peer finishes its operation and starts a new one: old epochs must
+	// become collectable even though the peer is pinned again.
+	peer.Unpin()
+	peer.Pin()
+	for i := 0; i < 6 && freed.Load() == 0; i++ {
+		peer.Unpin()
+		peer.Pin()
+		s.Flush()
+	}
+	if freed.Load() != 1 {
+		t.Fatal("value never freed despite peer making progress")
+	}
+	peer.Unpin()
+}
+
+func TestCloseUnblocksDomain(t *testing.T) {
+	d := NewDomain[int]()
+	var freed atomic.Int64
+	s := d.Register(func(int) { freed.Add(1) })
+	dead := d.Register(func(int) {})
+	dead.Pin()
+	dead.Close() // a worker exits mid-pin (Close implies it is done)
+
+	s.Pin()
+	s.Retire(7)
+	s.Unpin()
+	s.Flush()
+	if freed.Load() != 1 {
+		t.Fatal("closed slot still blocks epoch advancement")
+	}
+}
+
+func TestEpochMonotonic(t *testing.T) {
+	d := NewDomain[int]()
+	s := d.Register(func(int) {})
+	e0 := d.Epoch()
+	s.Pin()
+	for i := 0; i < 5*scanInterval; i++ {
+		s.Retire(i)
+	}
+	s.Unpin()
+	s.Flush()
+	if d.Epoch() < e0 {
+		t.Fatal("epoch went backwards")
+	}
+	if d.Epoch() == e0 {
+		t.Fatal("epoch never advanced for an uncontended slot")
+	}
+}
+
+// TestNoUseAfterFree hammers the protocol: writers retire integers that
+// stand for nodes; a "node" may not be freed while any reader that could
+// have observed it is still pinned. We model this with a shared published
+// value: readers pin, read the current value, spin briefly, and verify the
+// value was not freed before they unpin.
+func TestNoUseAfterFree(t *testing.T) {
+	d := NewDomain[uint64]()
+	var current atomic.Uint64 // the "reachable" node
+	// Values are never reused: each integer stands for a unique node, so a
+	// set tombstone can only ever mean a genuine premature free.
+	freedAt := make([]atomic.Bool, 1<<21)
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+
+	// Writer: replaces current and retires the old value.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s := d.Register(func(v uint64) { freedAt[v].Store(true) })
+		for i := uint64(1); i < uint64(len(freedAt)); i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s.Pin()
+			old := current.Swap(i)
+			s.Retire(old)
+			s.Unpin()
+		}
+	}()
+
+	var violations atomic.Int64
+	var reads atomic.Int64
+	for r := 0; r < 3; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s := d.Register(func(uint64) {})
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Pin()
+				v := current.Load()
+				if freedAt[v].Load() {
+					// Freed while we are pinned and it was reachable at
+					// load time — a grace-period violation.
+					violations.Add(1)
+				}
+				runtime.Gosched()
+				if freedAt[v].Load() {
+					violations.Add(1)
+				}
+				s.Unpin()
+				reads.Add(1)
+			}
+		}()
+	}
+	for reads.Load() < 20000 {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	if violations.Load() != 0 {
+		t.Fatalf("%d grace-period violations detected", violations.Load())
+	}
+}
+
+func TestPendingAccounting(t *testing.T) {
+	d := NewDomain[int]()
+	s := d.Register(func(int) {})
+	s.Pin()
+	for i := 0; i < 10; i++ {
+		s.Retire(i)
+	}
+	if s.Pending() != 10 {
+		t.Fatalf("Pending = %d, want 10", s.Pending())
+	}
+	s.Unpin()
+	s.Flush()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending = %d after flush, want 0", s.Pending())
+	}
+}

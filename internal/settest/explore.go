@@ -1,0 +1,130 @@
+package settest
+
+import (
+	"testing"
+)
+
+// This file is the generic half of the exhaustive interleaving explorer:
+// operations instrumented with a step hook are driven one atomic step at a
+// time through every possible schedule. The tree-specific halves (hook
+// installation, scenario setup, validation) live in each implementation's
+// schedule_test.go.
+
+// SteppedOp drives one concurrent operation through its atomic steps.
+type SteppedOp struct {
+	ready chan struct{}
+	grant chan struct{}
+	done  chan bool
+
+	Finished   bool
+	Result     bool
+	FirstGrant int
+	LastGrant  int
+}
+
+// LaunchStepped starts run in a goroutine after arming its step hook via
+// setHook. run must call the hook before every atomic step (and at least
+// once); LaunchStepped returns once the operation is parked at its first
+// step.
+func LaunchStepped(setHook func(hook func(string)), run func() bool) *SteppedOp {
+	op := &SteppedOp{
+		ready:      make(chan struct{}),
+		grant:      make(chan struct{}),
+		done:       make(chan bool),
+		FirstGrant: -1,
+	}
+	setHook(func(string) {
+		op.ready <- struct{}{}
+		<-op.grant
+	})
+	go func() { op.done <- run() }()
+	<-op.ready
+	return op
+}
+
+// Step grants one atomic step; reports whether the operation finished.
+func (op *SteppedOp) Step(tick int) bool {
+	if op.FirstGrant < 0 {
+		op.FirstGrant = tick
+	}
+	op.LastGrant = tick
+	op.grant <- struct{}{}
+	select {
+	case <-op.ready:
+		return false
+	case res := <-op.done:
+		op.Finished = true
+		op.Result = res
+		return true
+	}
+}
+
+// MaxScheduleSteps bounds any single schedule; exceeding it indicates
+// livelock (with ≤3 operations every conflict resolves in a few retries).
+const MaxScheduleSteps = 120
+
+// RunSchedule replays a freshly built scenario under the given schedule
+// prefix, then drains every unfinished operation round-robin so all
+// goroutines exit. It returns the ops and which were still unfinished
+// after the prefix.
+func RunSchedule(t *testing.T, build func() []*SteppedOp, prefix []int) (ops []*SteppedOp, unfinished []int) {
+	t.Helper()
+	ops = build()
+	tick := 0
+	for _, i := range prefix {
+		if ops[i].Finished {
+			t.Fatalf("schedule grants step to finished op %d", i)
+		}
+		ops[i].Step(tick)
+		tick++
+	}
+	for i, op := range ops {
+		if !op.Finished {
+			unfinished = append(unfinished, i)
+		}
+	}
+	for {
+		progressed := false
+		for _, op := range ops {
+			if !op.Finished {
+				op.Step(tick)
+				tick++
+				progressed = true
+			}
+		}
+		if !progressed {
+			break
+		}
+		if tick > MaxScheduleSteps {
+			t.Fatalf("no completion after %d steps (livelock?)", tick)
+		}
+	}
+	return ops, unfinished
+}
+
+// ExploreExhaustive enumerates every schedule by DFS over which unfinished
+// operation takes the next atomic step, invoking validate for each
+// complete schedule. It returns the number of schedules validated.
+func ExploreExhaustive(t *testing.T, build func() []*SteppedOp, validate func(t *testing.T, schedule []int, ops []*SteppedOp)) int {
+	t.Helper()
+	count := 0
+	var dfs func(prefix []int)
+	dfs = func(prefix []int) {
+		if len(prefix) > MaxScheduleSteps {
+			t.Fatalf("schedule exceeded %d steps", MaxScheduleSteps)
+		}
+		ops, unfinished := RunSchedule(t, build, prefix)
+		if len(unfinished) <= 1 {
+			// Zero: complete. One: the rest of the schedule is forced and
+			// the drain already executed exactly it.
+			count++
+			validate(t, prefix, ops)
+			return
+		}
+		for _, i := range unfinished {
+			dfs(append(append([]int{}, prefix...), i))
+		}
+	}
+	dfs(nil)
+	return count
+}

@@ -1,0 +1,484 @@
+// Package settest is a conformance battery for concurrent set
+// implementations over the internal uint64 key space.
+//
+// Every tree in this module (the Natarajan–Mittal tree and each baseline
+// from the paper's evaluation) passes the same battery: sequential
+// semantics, property-based model equivalence, and concurrent stress with
+// counting invariants. Implementation-specific tests (helping, pruning,
+// instruction counts) live in each implementation's own package.
+package settest
+
+import (
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/keys"
+)
+
+// Set is the minimal concurrent dictionary interface every implementation
+// provides, over internal (already mapped) keys.
+type Set interface {
+	Insert(key uint64) bool
+	Delete(key uint64) bool
+	Search(key uint64) bool
+}
+
+// Auditor is implemented by sets that can validate their own structural
+// invariants in a quiescent state.
+type Auditor interface {
+	Audit() error
+}
+
+// Sizer is implemented by sets that can count stored keys in a quiescent
+// state.
+type Sizer interface {
+	Size() int
+}
+
+// Ascender is implemented by sets that can iterate keys in ascending
+// order in a quiescent state.
+type Ascender interface {
+	Keys(yield func(uint64) bool)
+}
+
+// Factory creates a fresh, empty set sized for at least the given number of
+// live keys and the given total operation count (implementations without
+// preallocation may ignore both).
+type Factory func(capacity int) Set
+
+func audit(t *testing.T, s Set) {
+	t.Helper()
+	if a, ok := s.(Auditor); ok {
+		if err := a.Audit(); err != nil {
+			t.Fatalf("audit: %v", err)
+		}
+	}
+}
+
+func size(s Set) (int, bool) {
+	if z, ok := s.(Sizer); ok {
+		return z.Size(), true
+	}
+	return 0, false
+}
+
+// Run executes the full conformance battery against the factory.
+func Run(t *testing.T, f Factory) {
+	t.Run("Empty", func(t *testing.T) { testEmpty(t, f) })
+	t.Run("SingleKey", func(t *testing.T) { testSingleKey(t, f) })
+	t.Run("OrderedInserts", func(t *testing.T) { testOrderedInserts(t, f) })
+	t.Run("DeleteHalf", func(t *testing.T) { testDeleteHalf(t, f) })
+	t.Run("FillDrainRounds", func(t *testing.T) { testFillDrainRounds(t, f) })
+	t.Run("ExtremeKeys", func(t *testing.T) { testExtremeKeys(t, f) })
+	t.Run("ModelQuick", func(t *testing.T) { testModelQuick(t, f) })
+	t.Run("ModelLarge", func(t *testing.T) { testModelLarge(t, f) })
+	t.Run("ConcurrentDisjoint", func(t *testing.T) { testConcurrentDisjoint(t, f) })
+	t.Run("ConcurrentChurn", func(t *testing.T) { testConcurrentChurn(t, f) })
+	t.Run("ReadersDuringChurn", func(t *testing.T) { testReadersDuringChurn(t, f) })
+	t.Run("InsertDeleteRace", func(t *testing.T) { testInsertDeleteRace(t, f) })
+}
+
+func testEmpty(t *testing.T, f Factory) {
+	s := f(16)
+	if s.Search(keys.Map(0)) || s.Search(keys.Map(-1)) || s.Search(keys.Map(keys.MaxUser)) {
+		t.Fatal("empty set claims to contain a key")
+	}
+	if s.Delete(keys.Map(5)) {
+		t.Fatal("delete on empty set returned true")
+	}
+	if n, ok := size(s); ok && n != 0 {
+		t.Fatalf("empty set size = %d", n)
+	}
+	audit(t, s)
+}
+
+func testSingleKey(t *testing.T, f Factory) {
+	s := f(16)
+	k := keys.Map(42)
+	if !s.Insert(k) {
+		t.Fatal("insert into empty set failed")
+	}
+	if s.Insert(k) {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if !s.Search(k) {
+		t.Fatal("inserted key not found")
+	}
+	if !s.Delete(k) {
+		t.Fatal("delete of present key failed")
+	}
+	if s.Delete(k) || s.Search(k) {
+		t.Fatal("key still visible after delete")
+	}
+	audit(t, s)
+}
+
+func testOrderedInserts(t *testing.T, f Factory) {
+	const n = 512
+	for name, gen := range map[string]func(int) int64{
+		"ascending":  func(i int) int64 { return int64(i) },
+		"descending": func(i int) int64 { return int64(n - i) },
+		"alternate":  func(i int) int64 { return int64((i%2)*n + i) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			s := f(n)
+			for i := 0; i < n; i++ {
+				if !s.Insert(keys.Map(gen(i))) {
+					t.Fatalf("insert #%d failed", i)
+				}
+			}
+			for i := 0; i < n; i++ {
+				if !s.Search(keys.Map(gen(i))) {
+					t.Fatalf("key #%d missing", i)
+				}
+			}
+			if sz, ok := size(s); ok && sz != n {
+				t.Fatalf("size = %d, want %d", sz, n)
+			}
+			audit(t, s)
+		})
+	}
+}
+
+func testDeleteHalf(t *testing.T, f Factory) {
+	const n = 400
+	s := f(n)
+	for i := 0; i < n; i++ {
+		s.Insert(keys.Map(int64(i)))
+	}
+	for i := 0; i < n; i += 2 {
+		if !s.Delete(keys.Map(int64(i))) {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		want := i%2 == 1
+		if got := s.Search(keys.Map(int64(i))); got != want {
+			t.Fatalf("search %d = %v, want %v", i, got, want)
+		}
+	}
+	audit(t, s)
+}
+
+func testFillDrainRounds(t *testing.T, f Factory) {
+	s := f(256)
+	for round := 0; round < 4; round++ {
+		for i := 0; i < 128; i++ {
+			if !s.Insert(keys.Map(int64(i))) {
+				t.Fatalf("round %d insert %d failed", round, i)
+			}
+		}
+		for i := 127; i >= 0; i-- {
+			if !s.Delete(keys.Map(int64(i))) {
+				t.Fatalf("round %d delete %d failed", round, i)
+			}
+		}
+		if sz, ok := size(s); ok && sz != 0 {
+			t.Fatalf("round %d size = %d", round, sz)
+		}
+		audit(t, s)
+	}
+}
+
+func testExtremeKeys(t *testing.T, f Factory) {
+	s := f(16)
+	extremes := []int64{0, 1, -1, keys.MaxUser, -1 << 63, 1<<62 - 1}
+	for _, k := range extremes {
+		if !s.Insert(keys.Map(k)) {
+			t.Fatalf("insert extreme %d failed", k)
+		}
+	}
+	for _, k := range extremes {
+		if !s.Search(keys.Map(k)) {
+			t.Fatalf("extreme %d missing", k)
+		}
+	}
+	for _, k := range extremes {
+		if !s.Delete(keys.Map(k)) {
+			t.Fatalf("delete extreme %d failed", k)
+		}
+	}
+	audit(t, s)
+}
+
+func testModelQuick(t *testing.T, f Factory) {
+	type op struct {
+		Kind byte
+		Key  int8 // very small key space: maximal structural churn
+	}
+	prop := func(ops []op) bool {
+		s := f(256)
+		model := map[int64]bool{}
+		for _, o := range ops {
+			k := int64(o.Key)
+			u := keys.Map(k)
+			switch o.Kind % 3 {
+			case 0:
+				if got, want := s.Insert(u), !model[k]; got != want {
+					return false
+				}
+				model[k] = true
+			case 1:
+				if got, want := s.Delete(u), model[k]; got != want {
+					return false
+				}
+				delete(model, k)
+			default:
+				if got, want := s.Search(u), model[k]; got != want {
+					return false
+				}
+			}
+		}
+		if sz, ok := size(s); ok && sz != len(model) {
+			return false
+		}
+		if a, ok := s.(Auditor); ok && a.Audit() != nil {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func testModelLarge(t *testing.T, f Factory) {
+	s := f(4096)
+	rng := rand.New(rand.NewSource(99))
+	model := map[int64]bool{}
+	for i := 0; i < 40000; i++ {
+		k := int64(rng.Intn(3000) - 1500)
+		u := keys.Map(k)
+		switch rng.Intn(4) {
+		case 0, 1:
+			if got, want := s.Insert(u), !model[k]; got != want {
+				t.Fatalf("op %d: insert(%d) = %v want %v", i, k, got, want)
+			}
+			model[k] = true
+		case 2:
+			if got, want := s.Delete(u), model[k]; got != want {
+				t.Fatalf("op %d: delete(%d) = %v want %v", i, k, got, want)
+			}
+			delete(model, k)
+		default:
+			if got, want := s.Search(u), model[k]; got != want {
+				t.Fatalf("op %d: search(%d) = %v want %v", i, k, got, want)
+			}
+		}
+	}
+	if sz, ok := size(s); ok && sz != len(model) {
+		t.Fatalf("size = %d, model = %d", sz, len(model))
+	}
+	audit(t, s)
+
+	// Iteration must yield exactly the model's keys, ascending.
+	if asc, ok := s.(Ascender); ok {
+		var got []uint64
+		asc.Keys(func(u uint64) bool {
+			got = append(got, u)
+			return true
+		})
+		if len(got) != len(model) {
+			t.Fatalf("iteration yielded %d keys, model has %d", len(got), len(model))
+		}
+		for i, u := range got {
+			if i > 0 && got[i-1] >= u {
+				t.Fatalf("iteration not strictly ascending at %d", i)
+			}
+			if !model[keys.Unmap(u)] {
+				t.Fatalf("iteration yielded key %d not in model", keys.Unmap(u))
+			}
+		}
+	}
+}
+
+func testConcurrentDisjoint(t *testing.T, f Factory) {
+	const (
+		workers = 8
+		each    = 1500
+	)
+	s := f(workers * each)
+	var wg sync.WaitGroup
+	var failed atomic.Bool
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if !s.Insert(keys.Map(int64(w*each + i))) {
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.Fatal("an insert of a fresh key failed")
+	}
+	for i := 0; i < workers*each; i++ {
+		if !s.Search(keys.Map(int64(i))) {
+			t.Fatalf("key %d missing", i)
+		}
+	}
+	if sz, ok := size(s); ok && sz != workers*each {
+		t.Fatalf("size = %d, want %d", sz, workers*each)
+	}
+	audit(t, s)
+
+	// Drain concurrently too.
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if !s.Delete(keys.Map(int64(w*each + i))) {
+					failed.Store(true)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if failed.Load() {
+		t.Fatal("a delete of an owned key failed")
+	}
+	if sz, ok := size(s); ok && sz != 0 {
+		t.Fatalf("size after drain = %d", sz)
+	}
+	audit(t, s)
+}
+
+func testConcurrentChurn(t *testing.T, f Factory) {
+	const (
+		workers  = 8
+		opsEach  = 15000
+		keySpace = 48
+	)
+	s := f(keySpace * 4)
+	var ins, del [keySpace]atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for i := 0; i < opsEach; i++ {
+				k := rng.Intn(keySpace)
+				u := keys.Map(int64(k))
+				switch rng.Intn(3) {
+				case 0:
+					if s.Insert(u) {
+						ins[k].Add(1)
+					}
+				case 1:
+					if s.Delete(u) {
+						del[k].Add(1)
+					}
+				default:
+					s.Search(u)
+				}
+			}
+		}(int64(w)*7 + 1)
+	}
+	wg.Wait()
+	audit(t, s)
+	for k := 0; k < keySpace; k++ {
+		diff := ins[k].Load() - del[k].Load()
+		present := s.Search(keys.Map(int64(k)))
+		if !(diff == 0 && !present || diff == 1 && present) {
+			t.Fatalf("key %d: inserts=%d deletes=%d present=%v", k, ins[k].Load(), del[k].Load(), present)
+		}
+	}
+}
+
+func testReadersDuringChurn(t *testing.T, f Factory) {
+	const keySpace = 128
+	s := f(keySpace * 4)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := keys.Map(int64(rng.Intn(keySpace)))
+				if rng.Intn(2) == 0 {
+					s.Insert(k)
+				} else {
+					s.Delete(k)
+				}
+			}
+		}(int64(w) + 11)
+	}
+	var reads atomic.Int64
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s.Search(keys.Map(int64(rng.Intn(keySpace))))
+				reads.Add(1)
+			}
+		}(int64(r) + 31)
+	}
+	for reads.Load() < 30000 {
+		runtime.Gosched()
+	}
+	close(stop)
+	wg.Wait()
+	audit(t, s)
+}
+
+// testInsertDeleteRace makes every worker fight over the same single key:
+// the strictest alternation test. Globally, successful inserts and deletes
+// of one key must interleave I D I D ... — we can't observe the order, but
+// the counts must balance to the final presence.
+func testInsertDeleteRace(t *testing.T, f Factory) {
+	s := f(16)
+	const workers = 8
+	const opsEach = 8000
+	var ins, del atomic.Int64
+	u := keys.Map(7)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				if (i+w)%2 == 0 {
+					if s.Insert(u) {
+						ins.Add(1)
+					}
+				} else {
+					if s.Delete(u) {
+						del.Add(1)
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	diff := ins.Load() - del.Load()
+	present := s.Search(u)
+	if !(diff == 0 && !present || diff == 1 && present) {
+		t.Fatalf("single-key race: inserts=%d deletes=%d present=%v", ins.Load(), del.Load(), present)
+	}
+	audit(t, s)
+}

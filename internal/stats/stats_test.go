@@ -1,0 +1,106 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeBasics(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if s.N != 4 || s.Mean != 2.5 || s.Min != 1 || s.Max != 4 {
+		t.Fatalf("bad summary: %+v", s)
+	}
+	want := math.Sqrt((2.25 + 0.25 + 0.25 + 2.25) / 3)
+	if math.Abs(s.Std-want) > 1e-12 {
+		t.Fatalf("std = %v, want %v", s.Std, want)
+	}
+}
+
+func TestSummarizeEmptyAndSingle(t *testing.T) {
+	if s := Summarize(nil); s.N != 0 {
+		t.Fatal("empty summary wrong")
+	}
+	s := Summarize([]float64{7})
+	if s.Mean != 7 || s.Std != 0 || s.Min != 7 || s.Max != 7 {
+		t.Fatalf("singleton summary wrong: %+v", s)
+	}
+}
+
+func TestSummarizeBounds(t *testing.T) {
+	f := func(xs []float64) bool {
+		for i, x := range xs {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return true
+			}
+			// Keep magnitudes bounded so the sum cannot overflow — the
+			// property under test is ordering, not extended-range arithmetic.
+			xs[i] = math.Mod(x, 1e12)
+		}
+		s := Summarize(xs)
+		if s.N == 0 {
+			return true
+		}
+		return s.Min <= s.Mean && s.Mean <= s.Max && s.Std >= 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(200, 100); got != 100 {
+		t.Fatalf("Speedup(200,100) = %v, want 100", got)
+	}
+	if got := Speedup(100, 100); got != 0 {
+		t.Fatalf("Speedup(100,100) = %v, want 0", got)
+	}
+	if got := Speedup(50, 100); got != -50 {
+		t.Fatalf("Speedup(50,100) = %v, want -50", got)
+	}
+}
+
+func TestMedian(t *testing.T) {
+	if got := Median([]float64{3, 1, 2}); got != 2 {
+		t.Fatalf("median odd = %v", got)
+	}
+	if got := Median([]float64{4, 1, 2, 3}); got != 2.5 {
+		t.Fatalf("median even = %v", got)
+	}
+	if got := Median(nil); got != 0 {
+		t.Fatalf("median empty = %v", got)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("algo", "ops/s")
+	tb.AddRow("nm", 123456.789)
+	tb.AddRow("efrb", 42.0)
+	s := tb.String()
+	if !strings.Contains(s, "algo") || !strings.Contains(s, "123456.79") {
+		t.Fatalf("table render wrong:\n%s", s)
+	}
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("want 4 lines, got %d", len(lines))
+	}
+	csv := tb.CSV()
+	if !strings.HasPrefix(csv, "algo,ops/s\n") {
+		t.Fatalf("csv wrong:\n%s", csv)
+	}
+}
+
+func TestHumanCount(t *testing.T) {
+	cases := map[float64]string{
+		12:      "12",
+		1200:    "1.20K",
+		3400000: "3.40M",
+		2.5e9:   "2.50G",
+	}
+	for in, want := range cases {
+		if got := HumanCount(in); got != want {
+			t.Fatalf("HumanCount(%v) = %q, want %q", in, got, want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+// Package trace records concurrent operation histories — invocation and
+// response timestamps plus results — for offline linearizability checking
+// by internal/check.
+//
+// Each worker records into its own tape (no synchronization on the hot
+// path beyond reading the monotonic clock); tapes are merged after the run.
+package trace
+
+import (
+	"sort"
+	"time"
+
+	"repro/internal/workload"
+)
+
+// Event is one completed operation.
+type Event struct {
+	Worker     int
+	Op         workload.OpKind
+	Key        int64
+	Out        bool  // operation result
+	Start, End int64 // monotonic ns, from the recorder's base
+}
+
+// Recorder collects per-worker tapes.
+type Recorder struct {
+	base  time.Time
+	tapes []*Tape
+}
+
+// NewRecorder creates a recorder for the given number of workers.
+func NewRecorder(workers int) *Recorder {
+	r := &Recorder{base: time.Now(), tapes: make([]*Tape, workers)}
+	for i := range r.tapes {
+		r.tapes[i] = &Tape{recorder: r, worker: i}
+	}
+	return r
+}
+
+// Worker returns worker i's tape. Tapes are single-goroutine.
+func (r *Recorder) Worker(i int) *Tape { return r.tapes[i] }
+
+// Events merges all tapes sorted by start time.
+func (r *Recorder) Events() []Event {
+	var out []Event
+	for _, t := range r.tapes {
+		out = append(out, t.events...)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	return out
+}
+
+// Tape is one worker's event log.
+type Tape struct {
+	recorder *Recorder
+	worker   int
+	events   []Event
+}
+
+// Record runs fn, timestamping the invocation and response around it.
+func (t *Tape) Record(op workload.OpKind, key int64, fn func() bool) bool {
+	start := time.Since(t.recorder.base).Nanoseconds()
+	out := fn()
+	end := time.Since(t.recorder.base).Nanoseconds()
+	t.events = append(t.events, Event{
+		Worker: t.worker, Op: op, Key: key, Out: out, Start: start, End: end,
+	})
+	return out
+}
+
+// PerKey groups events by key (each group sorted by start time, inherited
+// from Events()).
+func PerKey(events []Event) map[int64][]Event {
+	m := map[int64][]Event{}
+	for _, e := range events {
+		m[e.Key] = append(m[e.Key], e)
+	}
+	return m
+}

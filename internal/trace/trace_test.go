@@ -1,0 +1,104 @@
+package trace
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func TestRecordCapturesResultAndOrder(t *testing.T) {
+	r := NewRecorder(1)
+	tape := r.Worker(0)
+	got := tape.Record(workload.OpInsert, 7, func() bool { return true })
+	if !got {
+		t.Fatal("Record did not pass through the result")
+	}
+	tape.Record(workload.OpSearch, 7, func() bool { return false })
+	evs := r.Events()
+	if len(evs) != 2 {
+		t.Fatalf("recorded %d events, want 2", len(evs))
+	}
+	if evs[0].Op != workload.OpInsert || !evs[0].Out {
+		t.Fatalf("first event wrong: %+v", evs[0])
+	}
+	if evs[0].Start > evs[0].End {
+		t.Fatal("event ends before it starts")
+	}
+	if evs[0].Start > evs[1].Start {
+		t.Fatal("events not sorted by start")
+	}
+	if evs[1].End < evs[0].End && evs[1].Start < evs[0].Start {
+		t.Fatal("sequential ops on one tape overlap")
+	}
+}
+
+func TestTapesIndependentUnderConcurrency(t *testing.T) {
+	const workers = 4
+	const each = 1000
+	r := NewRecorder(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tape := r.Worker(w)
+			for i := 0; i < each; i++ {
+				tape.Record(workload.OpSearch, int64(i%10), func() bool { return false })
+			}
+		}(w)
+	}
+	wg.Wait()
+	evs := r.Events()
+	if len(evs) != workers*each {
+		t.Fatalf("recorded %d events, want %d", len(evs), workers*each)
+	}
+	perWorker := map[int]int{}
+	for i, e := range evs {
+		perWorker[e.Worker]++
+		if i > 0 && evs[i-1].Start > e.Start {
+			t.Fatal("merged events not sorted by start time")
+		}
+	}
+	for w := 0; w < workers; w++ {
+		if perWorker[w] != each {
+			t.Fatalf("worker %d has %d events, want %d", w, perWorker[w], each)
+		}
+	}
+}
+
+func TestPerKeyGrouping(t *testing.T) {
+	r := NewRecorder(1)
+	tape := r.Worker(0)
+	for i := 0; i < 30; i++ {
+		tape.Record(workload.OpInsert, int64(i%3), func() bool { return true })
+	}
+	groups := PerKey(r.Events())
+	if len(groups) != 3 {
+		t.Fatalf("grouped into %d keys, want 3", len(groups))
+	}
+	for k, evs := range groups {
+		if len(evs) != 10 {
+			t.Fatalf("key %d has %d events, want 10", k, len(evs))
+		}
+		for _, e := range evs {
+			if e.Key != k {
+				t.Fatalf("event with key %d grouped under %d", e.Key, k)
+			}
+		}
+	}
+}
+
+func TestTimestampsMonotonicWithinTape(t *testing.T) {
+	r := NewRecorder(1)
+	tape := r.Worker(0)
+	for i := 0; i < 100; i++ {
+		tape.Record(workload.OpDelete, 1, func() bool { return false })
+	}
+	evs := r.Events()
+	for i := 1; i < len(evs); i++ {
+		if evs[i].Start < evs[i-1].End {
+			t.Fatal("sequential operations on one tape must not overlap")
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package workload generates the operation streams of the paper's
+// evaluation (Section 4): a key range, an operation mix, and a per-thread
+// deterministic random source.
+//
+// The paper's three workload distributions are provided as presets:
+//
+//   - write-dominated: 0% search, 50% insert, 50% delete
+//   - mixed:          70% search, 20% insert, 10% delete
+//   - read-dominated:  90% search,  9% insert,  1% delete
+//
+// Keys are drawn uniformly from the key range by default; a Zipf option
+// provides a skewed draw for contention ablations beyond the paper.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/keys"
+)
+
+// OpKind enumerates dictionary operations.
+type OpKind uint8
+
+const (
+	OpSearch OpKind = iota
+	OpInsert
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpSearch:
+		return "search"
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	default:
+		return fmt.Sprintf("OpKind(%d)", uint8(k))
+	}
+}
+
+// Mix is an operation distribution in percent. Fields must sum to 100.
+type Mix struct {
+	Name                    string
+	Search, Insert, Delete_ int // Delete_ avoids colliding with the method name space in docs
+}
+
+// The paper's three workload mixes.
+var (
+	WriteDominated = Mix{Name: "write-dominated", Search: 0, Insert: 50, Delete_: 50}
+	Mixed          = Mix{Name: "mixed", Search: 70, Insert: 20, Delete_: 10}
+	ReadDominated  = Mix{Name: "read-dominated", Search: 90, Insert: 9, Delete_: 1}
+)
+
+// Mixes lists the paper's workloads in presentation order (Figure 4's
+// columns).
+var Mixes = []Mix{WriteDominated, Mixed, ReadDominated}
+
+// MixByName resolves a preset by its name.
+func MixByName(name string) (Mix, error) {
+	for _, m := range Mixes {
+		if m.Name == name {
+			return m, nil
+		}
+	}
+	return Mix{}, fmt.Errorf("unknown workload %q (want write-dominated, mixed or read-dominated)", name)
+}
+
+// Valid reports whether the mix sums to 100%.
+func (m Mix) Valid() bool {
+	return m.Search+m.Insert+m.Delete_ == 100 && m.Search >= 0 && m.Insert >= 0 && m.Delete_ >= 0
+}
+
+// SplitMix64 is a tiny, fast, high-quality PRNG (Steele et al.), one
+// independent instance per worker so generation never synchronizes.
+type SplitMix64 struct{ x uint64 }
+
+// NewSplitMix64 seeds a generator; distinct seeds give independent streams.
+func NewSplitMix64(seed uint64) *SplitMix64 { return &SplitMix64{x: seed} }
+
+// Next returns the next 64 random bits.
+func (s *SplitMix64) Next() uint64 {
+	s.x += 0x9e3779b97f4a7c15
+	z := s.x
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Intn returns a uniform value in [0, n).
+func (s *SplitMix64) Intn(n int64) int64 {
+	return int64(s.Next() % uint64(n)) // negligible modulo bias for n ≪ 2⁶⁴
+}
+
+// Generator produces (operation, key) pairs for one worker.
+type Generator struct {
+	rng      *SplitMix64
+	mix      Mix
+	keyRange int64
+	zipf     *rand.Zipf // non-nil when the skewed draw is enabled
+}
+
+// NewGenerator creates a worker generator. keyRange is the paper's
+// "maximum tree size" parameter: keys are drawn from [0, keyRange).
+func NewGenerator(mix Mix, keyRange int64, seed uint64) *Generator {
+	if !mix.Valid() {
+		panic(fmt.Sprintf("workload: invalid mix %+v", mix))
+	}
+	if keyRange <= 0 {
+		panic("workload: keyRange must be positive")
+	}
+	return &Generator{rng: NewSplitMix64(seed), mix: mix, keyRange: keyRange}
+}
+
+// NewZipfGenerator creates a generator whose keys follow a Zipf
+// distribution with parameter s > 1 (heavier skew for larger s).
+func NewZipfGenerator(mix Mix, keyRange int64, seed uint64, s float64) *Generator {
+	g := NewGenerator(mix, keyRange, seed)
+	src := rand.New(rand.NewSource(int64(seed)))
+	g.zipf = rand.NewZipf(src, s, 1, uint64(keyRange-1))
+	return g
+}
+
+// Next returns the next operation and its user key.
+func (g *Generator) Next() (OpKind, int64) {
+	r := int(g.rng.Next() % 100)
+	var op OpKind
+	switch {
+	case r < g.mix.Search:
+		op = OpSearch
+	case r < g.mix.Search+g.mix.Insert:
+		op = OpInsert
+	default:
+		op = OpDelete
+	}
+	return op, g.Key()
+}
+
+// Key draws a key according to the configured distribution.
+func (g *Generator) Key() int64 {
+	if g.zipf != nil {
+		return int64(g.zipf.Uint64())
+	}
+	return g.rng.Intn(g.keyRange)
+}
+
+// Prefiller inserts keys until a set holds about half the key range — the
+// paper pre-populates trees before measuring so steady-state size is
+// range/2 under balanced insert/delete mixes.
+type Prefiller struct {
+	KeyRange int64
+	Seed     uint64
+}
+
+// Fill inserts each key of the range with probability ½ using the given
+// insert function, returning the number inserted. Deterministic in Seed.
+// Keys are inserted in a shuffled order: sorted insertion would build a
+// degenerate O(n)-deep spine in the unbalanced trees, a shape the paper's
+// random pre-population never produces.
+func (p Prefiller) Fill(insert func(key int64) bool) int {
+	rng := NewSplitMix64(p.Seed ^ 0xdeadbeefcafef00d)
+	selected := make([]int64, 0, p.KeyRange/2+p.KeyRange/8)
+	for k := int64(0); k < p.KeyRange; k++ {
+		if rng.Next()&1 == 0 {
+			selected = append(selected, k)
+		}
+	}
+	// Fisher–Yates with the same deterministic stream.
+	for i := len(selected) - 1; i > 0; i-- {
+		j := rng.Intn(int64(i + 1))
+		selected[i], selected[j] = selected[j], selected[i]
+	}
+	n := 0
+	for _, k := range selected {
+		if insert(k) {
+			n++
+		}
+	}
+	return n
+}
+
+// MapKey converts a user key to the internal key space (convenience
+// re-export so harness code needs only this package).
+func MapKey(k int64) uint64 { return keys.Map(k) }

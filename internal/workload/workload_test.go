@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestMixPresetsValid(t *testing.T) {
+	for _, m := range Mixes {
+		if !m.Valid() {
+			t.Fatalf("preset %q does not sum to 100", m.Name)
+		}
+	}
+	if len(Mixes) != 3 {
+		t.Fatalf("paper defines 3 workloads, have %d", len(Mixes))
+	}
+}
+
+func TestMixByName(t *testing.T) {
+	for _, name := range []string{"write-dominated", "mixed", "read-dominated"} {
+		if _, err := MixByName(name); err != nil {
+			t.Fatalf("MixByName(%q): %v", name, err)
+		}
+	}
+	if _, err := MixByName("nope"); err == nil {
+		t.Fatal("unknown mix accepted")
+	}
+}
+
+func TestSplitMixDeterminism(t *testing.T) {
+	a, b := NewSplitMix64(42), NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	c := NewSplitMix64(43)
+	same := 0
+	a = NewSplitMix64(42)
+	for i := 0; i < 1000; i++ {
+		if a.Next() == c.Next() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestGeneratorMixProportions(t *testing.T) {
+	const n = 200000
+	for _, mix := range Mixes {
+		g := NewGenerator(mix, 1000, 7)
+		var counts [3]int
+		for i := 0; i < n; i++ {
+			op, k := g.Next()
+			counts[op]++
+			if k < 0 || k >= 1000 {
+				t.Fatalf("key %d out of range", k)
+			}
+		}
+		check := func(got int, wantPct int, name string) {
+			gotPct := float64(got) / n * 100
+			if diff := gotPct - float64(wantPct); diff > 1.0 || diff < -1.0 {
+				t.Fatalf("%s/%s: got %.2f%%, want %d%%", mix.Name, name, gotPct, wantPct)
+			}
+		}
+		check(counts[OpSearch], mix.Search, "search")
+		check(counts[OpInsert], mix.Insert, "insert")
+		check(counts[OpDelete], mix.Delete_, "delete")
+	}
+}
+
+func TestGeneratorKeyCoverage(t *testing.T) {
+	g := NewGenerator(Mixed, 64, 3)
+	seen := map[int64]bool{}
+	for i := 0; i < 20000; i++ {
+		seen[g.Key()] = true
+	}
+	if len(seen) != 64 {
+		t.Fatalf("uniform draw covered %d/64 keys", len(seen))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	g := NewZipfGenerator(Mixed, 10000, 9, 1.2)
+	counts := map[int64]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		counts[g.Key()]++
+	}
+	// The hottest key must be drawn far more often than uniform (n/10000=10).
+	maxCount := 0
+	for _, c := range counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	if maxCount < 100 {
+		t.Fatalf("zipf hottest key drawn %d times; distribution looks uniform", maxCount)
+	}
+}
+
+func TestPrefillerDeterministicHalf(t *testing.T) {
+	p := Prefiller{KeyRange: 10000, Seed: 5}
+	set1 := map[int64]bool{}
+	n1 := p.Fill(func(k int64) bool { set1[k] = true; return true })
+	set2 := map[int64]bool{}
+	n2 := p.Fill(func(k int64) bool { set2[k] = true; return true })
+	if n1 != n2 || len(set1) != len(set2) {
+		t.Fatal("prefill not deterministic")
+	}
+	if n1 < 4500 || n1 > 5500 {
+		t.Fatalf("prefill inserted %d of 10000, want ≈ half", n1)
+	}
+	for k := range set1 {
+		if !set2[k] {
+			t.Fatal("prefill key sets differ")
+		}
+	}
+}
+
+func TestInvalidInputsPanic(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		defer func() {
+			if recover() == nil {
+				t.Fatalf("%s did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("bad mix", func() { NewGenerator(Mix{Search: 50, Insert: 10, Delete_: 10}, 10, 1) })
+	mustPanic("bad range", func() { NewGenerator(Mixed, 0, 1) })
+}

@@ -1,0 +1,31 @@
+package bst
+
+import "iter"
+
+// All returns a Go 1.23 range-over-func iterator over the keys in
+// ascending order. Like Ascend, it requires a quiescent tree for an exact
+// snapshot.
+//
+//	for k := range s.All() { ... }
+func (t *Tree) All() iter.Seq[int64] {
+	return func(yield func(int64) bool) {
+		t.Ascend(yield)
+	}
+}
+
+// Range returns an iterator over keys in [from, to], ascending (quiescent).
+func (t *Tree) Range(from, to int64) iter.Seq[int64] {
+	return func(yield func(int64) bool) {
+		t.AscendRange(from, to, yield)
+	}
+}
+
+// All returns an iterator over (key, value) pairs in ascending key order
+// (quiescent).
+//
+//	for k, v := range m.All() { ... }
+func (m *Map[V]) All() iter.Seq2[int64, V] {
+	return func(yield func(int64, V) bool) {
+		m.Ascend(yield)
+	}
+}

@@ -1,0 +1,65 @@
+package bst_test
+
+import (
+	"testing"
+
+	bst "repro"
+)
+
+func TestTreeAllIterator(t *testing.T) {
+	s := bst.New()
+	for _, k := range []int64{5, 1, 3} {
+		s.Insert(k)
+	}
+	var got []int64
+	for k := range s.All() {
+		got = append(got, k)
+	}
+	want := []int64{1, 3, 5}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+	// Early break must not panic or over-iterate.
+	n := 0
+	for range s.All() {
+		n++
+		break
+	}
+	if n != 1 {
+		t.Fatalf("break iterated %d", n)
+	}
+}
+
+func TestTreeRangeIterator(t *testing.T) {
+	s := bst.New()
+	for i := int64(0); i < 20; i++ {
+		s.Insert(i)
+	}
+	var got []int64
+	for k := range s.Range(5, 8) {
+		got = append(got, k)
+	}
+	if len(got) != 4 || got[0] != 5 || got[3] != 8 {
+		t.Fatalf("Range(5,8) = %v", got)
+	}
+}
+
+func TestMapAllIterator(t *testing.T) {
+	m := bst.NewMap[string]()
+	m.Put(2, "b")
+	m.Put(1, "a")
+	var ks []int64
+	var vs []string
+	for k, v := range m.All() {
+		ks = append(ks, k)
+		vs = append(vs, v)
+	}
+	if len(ks) != 2 || ks[0] != 1 || vs[0] != "a" || ks[1] != 2 || vs[1] != "b" {
+		t.Fatalf("All() = %v %v", ks, vs)
+	}
+}

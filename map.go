@@ -1,0 +1,66 @@
+package bst
+
+import (
+	"repro/internal/keys"
+	"repro/internal/nmboxed"
+)
+
+// Map is a concurrent ordered map from int64 keys to values of type V,
+// built on the lock-free Natarajan–Mittal tree (boxed variant: values
+// ride on leaves and the garbage collector reclaims removed nodes).
+//
+// Semantics extend the paper's dictionary minimally and safely: a value
+// is immutable for the lifetime of its leaf, and Put replaces the whole
+// leaf with a single CAS — which preserves every invariant the paper's
+// linearizability proof relies on (node keys never change, marked edges
+// are never modified). All methods are safe for concurrent use.
+type Map[V any] struct {
+	t *nmboxed.Tree
+}
+
+// NewMap creates an empty concurrent ordered map.
+func NewMap[V any]() *Map[V] {
+	return &Map[V]{t: nmboxed.New()}
+}
+
+// Get returns the value stored at key.
+func (m *Map[V]) Get(key int64) (val V, ok bool) {
+	v, ok := m.t.GetKV(mapKey(key))
+	if !ok {
+		var zero V
+		return zero, false
+	}
+	return v.(V), true
+}
+
+// Put sets key's value, returning true if a previous value was replaced
+// and false if the key was newly inserted. Linearizes at a single CAS.
+func (m *Map[V]) Put(key int64, val V) (replaced bool) {
+	return m.t.Upsert(mapKey(key), val)
+}
+
+// PutIfAbsent stores val only if key is not present; it reports whether
+// the map changed.
+func (m *Map[V]) PutIfAbsent(key int64, val V) bool {
+	return m.t.InsertKV(mapKey(key), val)
+}
+
+// Delete removes key; it reports whether the map changed.
+func (m *Map[V]) Delete(key int64) bool { return m.t.Delete(mapKey(key)) }
+
+// Contains reports whether key is present.
+func (m *Map[V]) Contains(key int64) bool { return m.t.Search(mapKey(key)) }
+
+// Len returns the number of entries (quiescent only).
+func (m *Map[V]) Len() int { return m.t.Size() }
+
+// Ascend visits entries in ascending key order until yield returns false
+// (quiescent only).
+func (m *Map[V]) Ascend(yield func(key int64, val V) bool) {
+	m.t.Items(func(u uint64, v any) bool {
+		return yield(keys.Unmap(u), v.(V))
+	})
+}
+
+// Validate checks the backing tree's structural invariants (quiescent).
+func (m *Map[V]) Validate() error { return m.t.Audit() }

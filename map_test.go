@@ -1,0 +1,188 @@
+package bst_test
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	bst "repro"
+)
+
+func TestMapBasics(t *testing.T) {
+	m := bst.NewMap[string]()
+	if _, ok := m.Get(1); ok {
+		t.Fatal("empty map returned a value")
+	}
+	if m.Put(1, "one") {
+		t.Fatal("first Put claimed replacement")
+	}
+	if v, ok := m.Get(1); !ok || v != "one" {
+		t.Fatalf("Get = %q, %v", v, ok)
+	}
+	if !m.Put(1, "uno") {
+		t.Fatal("second Put did not claim replacement")
+	}
+	if v, _ := m.Get(1); v != "uno" {
+		t.Fatalf("value not replaced: %q", v)
+	}
+	if m.PutIfAbsent(1, "ein") {
+		t.Fatal("PutIfAbsent overwrote")
+	}
+	if v, _ := m.Get(1); v != "uno" {
+		t.Fatal("PutIfAbsent changed the value")
+	}
+	if !m.Delete(1) || m.Contains(1) {
+		t.Fatal("delete failed")
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMapAscendWithValues(t *testing.T) {
+	m := bst.NewMap[string]()
+	for _, k := range []int64{3, 1, 2} {
+		m.Put(k, fmt.Sprintf("v%d", k))
+	}
+	var got []string
+	m.Ascend(func(k int64, v string) bool {
+		got = append(got, fmt.Sprintf("%d=%s", k, v))
+		return true
+	})
+	want := []string{"1=v1", "2=v2", "3=v3"}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMapModelEquivalence(t *testing.T) {
+	m := bst.NewMap[int]()
+	model := map[int64]int{}
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 30000; i++ {
+		k := int64(rng.Intn(500))
+		switch rng.Intn(4) {
+		case 0:
+			v := rng.Int()
+			_, had := model[k]
+			if got := m.Put(k, v); got != had {
+				t.Fatalf("op %d: Put(%d) replaced=%v, want %v", i, k, got, had)
+			}
+			model[k] = v
+		case 1:
+			v := rng.Int()
+			_, had := model[k]
+			if got := m.PutIfAbsent(k, v); got == had {
+				t.Fatalf("op %d: PutIfAbsent(%d) = %v with had=%v", i, k, got, had)
+			}
+			if !had {
+				model[k] = v
+			}
+		case 2:
+			_, had := model[k]
+			if got := m.Delete(k); got != had {
+				t.Fatalf("op %d: Delete(%d) = %v, want %v", i, k, got, had)
+			}
+			delete(model, k)
+		default:
+			wantV, had := model[k]
+			gotV, ok := m.Get(k)
+			if ok != had || (ok && gotV != wantV) {
+				t.Fatalf("op %d: Get(%d) = (%v,%v), want (%v,%v)", i, k, gotV, ok, wantV, had)
+			}
+		}
+	}
+	if m.Len() != len(model) {
+		t.Fatalf("Len = %d, model %d", m.Len(), len(model))
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapConcurrentUpserts races writers on one key: the final value must
+// be the last linearized Put, i.e. *some* written value, and every Get
+// must observe either absence or a value some writer actually wrote.
+func TestMapConcurrentUpserts(t *testing.T) {
+	m := bst.NewMap[int64]()
+	const workers = 8
+	const opsEach = 5000
+	valid := func(v int64) bool { return v >= 0 && v < workers*opsEach }
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsEach; i++ {
+				v := int64(w*opsEach + i)
+				switch i % 4 {
+				case 0, 1:
+					m.Put(7, v)
+				case 2:
+					if got, ok := m.Get(7); ok && !valid(got) {
+						t.Errorf("Get observed impossible value %d", got)
+						return
+					}
+				default:
+					m.Delete(7)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if v, ok := m.Get(7); ok && !valid(v) {
+		t.Fatalf("final value %d was never written", v)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMapValueVisibility: a reader that finds a key must see the value
+// published with it, never a zero/partial value (the value is written
+// before the leaf-linking CAS).
+func TestMapValueVisibility(t *testing.T) {
+	m := bst.NewMap[[2]int64]()
+	stop := make(chan struct{})
+	var writerWg, readerWg sync.WaitGroup
+	writerWg.Add(1)
+	go func() {
+		defer writerWg.Done()
+		i := int64(1)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := i % 64
+			m.Put(k, [2]int64{i, i}) // both halves must always match
+			m.Delete(k)
+			i++
+		}
+	}()
+	for r := 0; r < 2; r++ {
+		readerWg.Add(1)
+		go func(seed int64) {
+			defer readerWg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			for n := 0; n < 30000; n++ {
+				if v, ok := m.Get(int64(rng.Intn(64))); ok {
+					if v[0] != v[1] || v[0] == 0 {
+						t.Errorf("torn or zero value observed: %v", v)
+						return
+					}
+				}
+			}
+		}(int64(r) + 5)
+	}
+	readerWg.Wait()
+	close(stop)
+	writerWg.Wait()
+}
