@@ -1,0 +1,32 @@
+# Correctness gate for the lock-free BST repro. `make ci` is the full
+# tier: formatting, vet, build, the unit suite, and a short race pass over
+# the packages with real concurrency (the arena-backed core and the epoch
+# reclamation domain).
+
+GO ?= go
+
+.PHONY: ci fmt-check vet build test race stress
+
+ci: fmt-check vet build test race
+
+fmt-check:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./internal/core ./internal/reclaim
+
+# Longer soak, including the capacity exhaust/recover round (not part of ci).
+stress:
+	$(GO) run -race ./cmd/bststress -duration 2m -exhaust

@@ -29,6 +29,7 @@
 package bst
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bcco"
@@ -44,6 +45,19 @@ import (
 // MaxKey is the largest storable key (the top of the int64 range is
 // reserved for the algorithm's sentinel keys).
 const MaxKey int64 = keys.MaxUser
+
+// ErrCapacity is returned by TryInsert when a capacity-bounded tree
+// (WithCapacity, NatarajanMittal algorithm) cannot allocate a node: the
+// arena is exhausted and — if reclamation is enabled — bounded retries
+// with epoch flushes recovered nothing. The tree stays fully usable:
+// Contains and Delete keep working, and TryInsert succeeds again once
+// deletes plus reclamation recycle slots.
+var ErrCapacity = core.ErrCapacity
+
+// ErrKeyOutOfRange is returned by TryInsert for keys above MaxKey (the
+// panicking methods keep panicking, matching the map/slice convention for
+// programmer errors; the Try path never panics).
+var ErrKeyOutOfRange = errors.New("bst: key exceeds MaxKey")
 
 // Algorithm selects a concurrent BST implementation.
 type Algorithm int
@@ -116,6 +130,11 @@ type Set interface {
 // shared between goroutines.
 type Accessor interface {
 	Set
+	// TryInsert adds key; it reports whether the set changed. Unlike
+	// Insert it returns ErrKeyOutOfRange for keys above MaxKey and
+	// ErrCapacity when a bounded tree cannot allocate, instead of
+	// panicking.
+	TryInsert(key int64) (bool, error)
 }
 
 // backend is satisfied by every internal tree implementation.
@@ -213,8 +232,37 @@ func mapKey(k int64) uint64 {
 	return keys.Map(k)
 }
 
+func tryMapKey(k int64) (uint64, error) {
+	if !keys.InRange(k) {
+		return 0, fmt.Errorf("%w: %d > %d", ErrKeyOutOfRange, k, MaxKey)
+	}
+	return keys.Map(k), nil
+}
+
+// tryInserter is implemented by backends with a fallible allocation path.
+type tryInserter interface {
+	TryInsert(key uint64) (bool, error)
+}
+
 // Insert adds key; it reports whether the set changed.
 func (t *Tree) Insert(key int64) bool { return t.b.Insert(mapKey(key)) }
+
+// TryInsert adds key; it reports whether the set changed. It is the
+// non-panicking variant of Insert: keys above MaxKey return
+// ErrKeyOutOfRange, and on a capacity-bounded tree (WithCapacity with the
+// NatarajanMittal algorithm) allocation failure returns ErrCapacity
+// instead of panicking, leaving the tree fully usable. Algorithms without
+// an allocation bound never return ErrCapacity.
+func (t *Tree) TryInsert(key int64) (bool, error) {
+	u, err := tryMapKey(key)
+	if err != nil {
+		return false, err
+	}
+	if ti, ok := t.b.(tryInserter); ok {
+		return ti.TryInsert(u)
+	}
+	return t.b.Insert(u), nil
+}
 
 // Delete removes key; it reports whether the set changed.
 func (t *Tree) Delete(key int64) bool { return t.b.Delete(mapKey(key)) }
@@ -269,6 +317,78 @@ func (t *Tree) AscendRange(from, to int64, yield func(key int64) bool) {
 // primarily for tests and debugging.
 func (t *Tree) Validate() error { return t.b.Audit() }
 
+// Health is a point-in-time capacity and reclamation report. Counter
+// fields are monotonic totals; gauge fields (stalled slots, backlog) are
+// instantaneous and may be stale by the time they are read. For
+// algorithms other than NatarajanMittal only Algorithm is meaningful.
+type Health struct {
+	// Algorithm backs the tree.
+	Algorithm Algorithm
+	// Capacity is the configured node bound (0 = unbounded growth).
+	Capacity int
+	// NodesAllocated counts arena slots handed out since creation;
+	// NodesRecycled counts slots returned for reuse. Live consumption is
+	// bounded by Allocated - Recycled.
+	NodesAllocated uint64
+	NodesRecycled  uint64
+	// ReclaimEnabled reports whether epoch-based reclamation is on. The
+	// fields below are zero when it is off.
+	ReclaimEnabled bool
+	// Epoch is the global reclamation epoch; EpochSlots and PinnedSlots
+	// count registered and currently pinned reader slots.
+	Epoch       uint64
+	EpochSlots  int
+	PinnedSlots int
+	// StalledSlots counts pinned slots lagging the global epoch — each
+	// one freezes reclamation until its goroutine unpins. MaxEpochLag is
+	// the worst lag observed (at most 1 under this protocol).
+	StalledSlots int
+	MaxEpochLag  uint64
+	// RetiredBacklog counts nodes retired but not yet recycled.
+	RetiredBacklog int
+}
+
+// Health reports capacity and reclamation diagnostics. It is safe to call
+// concurrently with operations and is primarily useful for detecting a
+// tree near its capacity bound or a stalled reader blocking reclamation.
+func (t *Tree) Health() Health {
+	h := Health{Algorithm: t.algo}
+	c, ok := t.b.(*core.Tree)
+	if !ok {
+		return h
+	}
+	ch := c.Health()
+	h.Capacity = ch.Capacity
+	h.NodesAllocated = ch.Allocated
+	h.NodesRecycled = ch.Recycled
+	h.ReclaimEnabled = ch.Reclaim
+	h.Epoch = ch.Epoch
+	h.EpochSlots = ch.Slots
+	h.PinnedSlots = ch.Pinned
+	h.StalledSlots = ch.Stalled
+	h.MaxEpochLag = ch.MaxEpochLag
+	h.RetiredBacklog = ch.RetiredBacklog
+	return h
+}
+
+// Stats is an alias-level summary of Health's counter fields, kept
+// separate so hot monitoring paths can avoid the full report.
+type Stats struct {
+	NodesAllocated uint64
+	NodesRecycled  uint64
+	RetiredBacklog int
+}
+
+// Stats reports allocation counters (see Health for the full report).
+func (t *Tree) Stats() Stats {
+	h := t.Health()
+	return Stats{
+		NodesAllocated: h.NodesAllocated,
+		NodesRecycled:  h.NodesRecycled,
+		RetiredBacklog: h.RetiredBacklog,
+	}
+}
+
 // NewAccessor returns a per-goroutine fast path. The accessor must not be
 // shared between goroutines; the Tree itself remains safe for shared use.
 func (t *Tree) NewAccessor() Accessor {
@@ -295,6 +415,17 @@ type accessor struct{ r rawAccessor }
 func (a accessor) Insert(key int64) bool   { return a.r.Insert(mapKey(key)) }
 func (a accessor) Delete(key int64) bool   { return a.r.Delete(mapKey(key)) }
 func (a accessor) Contains(key int64) bool { return a.r.Search(mapKey(key)) }
+
+func (a accessor) TryInsert(key int64) (bool, error) {
+	u, err := tryMapKey(key)
+	if err != nil {
+		return false, err
+	}
+	if ti, ok := a.r.(tryInserter); ok {
+		return ti.TryInsert(u)
+	}
+	return a.r.Insert(u), nil
+}
 
 // Algorithms lists all selectable implementations.
 func Algorithms() []Algorithm {

@@ -10,11 +10,18 @@
 //     set must admit a valid linearization (Wing & Gong check against the
 //     dictionary specification) — the paper's Section 3.3 claim.
 //
+// With -exhaust a third check runs against the arena-backed tree only:
+// workers drive a deliberately tiny arena (-capacity) past ErrCapacity and
+// the round verifies graceful degradation — no panics, reads and deletes
+// keep working at the bound, and inserts succeed again once reclamation
+// recycles freed nodes.
+//
 // Exit status is non-zero if any round fails. Intended for CI and soak
 // runs (-duration 10m).
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
@@ -25,6 +32,7 @@ import (
 	"time"
 
 	"repro/internal/check"
+	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/keys"
 	"repro/internal/trace"
@@ -37,8 +45,15 @@ func main() {
 		workers     = flag.Int("workers", 8, "concurrent workers per round")
 		keySpace    = flag.Int64("keyspace", 64, "hot key range (small = high contention)")
 		targetsFlag = flag.String("targets", "nm,nm-boxed,efrb,hj,bcco,cgl,kst4,kst16", "implementations to stress")
+		capacity    = flag.Int("capacity", 512, "arena bound (nodes) for the -exhaust round")
+		exhaust     = flag.Bool("exhaust", false, "also stress capacity exhaustion and recovery on the arena-backed tree")
 	)
 	flag.Parse()
+	if *exhaust && *capacity < 16 {
+		// Below ~8 slots the tree cannot even allocate its sentinels.
+		fmt.Fprintln(os.Stderr, "bststress: -capacity must be at least 16 for -exhaust")
+		os.Exit(2)
+	}
 
 	var targets []harness.Target
 	for _, name := range strings.Split(*targetsFlag, ",") {
@@ -63,6 +78,12 @@ func main() {
 			if err := linearizabilityRound(target, *workers, uint64(round)); err != nil {
 				failures++
 				fmt.Printf("FAIL [linearizability] %s round %d: %v\n", target.Name, round, err)
+			}
+		}
+		if *exhaust {
+			if err := exhaustRound(*capacity, *workers, *keySpace, uint64(round)); err != nil {
+				failures++
+				fmt.Printf("FAIL [exhaust] nm round %d: %v\n", round, err)
 			}
 		}
 		fmt.Printf("round %d complete (%d targets, %d failures so far)\n", round, len(targets), failures)
@@ -112,6 +133,122 @@ func countingRound(target harness.Target, workers int, keySpace int64, seed uint
 			return fmt.Errorf("key %d: %d successful inserts, %d successful deletes, present=%v",
 				k, ins[k].Load(), del[k].Load(), present)
 		}
+	}
+	return nil
+}
+
+// exhaustRound drives a reclaiming arena-backed tree to its capacity bound
+// from every worker at once, then verifies graceful degradation: ErrCapacity
+// (never a panic) at the bound, reads and deletes still serving, structural
+// validity throughout, and inserts succeeding again after frees.
+func exhaustRound(capacity, workers int, keySpace int64, seed uint64) error {
+	tr := core.New(core.Config{Capacity: capacity, Reclaim: true})
+	_ = keySpace // exhaust uses disjoint per-worker ranges; contention comes from the shared arena
+
+	type result struct {
+		inserted  []int64 // keys this worker holds live
+		sawCap    bool
+		recovered int
+		err       error
+	}
+	results := make([]result, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			h := tr.NewHandle()
+			defer h.Close()
+			base := int64(seed)*1_000_000_000 + int64(w)*10_000_000
+
+			// Phase 1: insert fresh keys until the arena pushes back.
+			for k := base; ; k++ {
+				ok, err := h.TryInsert(keys.Map(k))
+				if err != nil {
+					if !errors.Is(err, core.ErrCapacity) {
+						r.err = fmt.Errorf("TryInsert: %v, want ErrCapacity", err)
+						return
+					}
+					r.sawCap = true
+					break
+				}
+				if !ok {
+					r.err = fmt.Errorf("TryInsert(%d) = false on a fresh key", k)
+					return
+				}
+				r.inserted = append(r.inserted, k)
+				if len(r.inserted) > capacity {
+					r.err = fmt.Errorf("worker alone inserted %d keys into a %d-node arena", len(r.inserted), capacity)
+					return
+				}
+			}
+
+			// Phase 2: a full tree still serves reads and deletes.
+			for _, k := range r.inserted {
+				if !h.Search(keys.Map(k)) {
+					r.err = fmt.Errorf("key %d lost at the capacity bound", k)
+					return
+				}
+			}
+			half := r.inserted[:len(r.inserted)/2]
+			for _, k := range half {
+				if !h.Delete(keys.Map(k)) {
+					r.err = fmt.Errorf("Delete(%d) failed at the capacity bound", k)
+					return
+				}
+			}
+			r.inserted = r.inserted[len(half):]
+
+			// Phase 3: recovery — freed nodes recycle (the TryInsert retry
+			// path forces epoch flushes) and inserts succeed again.
+			for k := base + 5_000_000; k < base+5_000_000+int64(len(half)); k++ {
+				ok, err := h.TryInsert(keys.Map(k))
+				if err != nil {
+					break // peers may still hold the recycled slots; not a failure by itself
+				}
+				if !ok {
+					r.err = fmt.Errorf("recovery TryInsert(%d) = false on a fresh key", k)
+					return
+				}
+				r.inserted = append(r.inserted, k)
+				r.recovered++
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	recovered := 0
+	for w := range results {
+		r := &results[w]
+		if r.err != nil {
+			return fmt.Errorf("worker %d: %v", w, r.err)
+		}
+		if !r.sawCap {
+			return fmt.Errorf("worker %d never hit ErrCapacity; bound not enforced", w)
+		}
+		recovered += r.recovered
+	}
+	if recovered == 0 {
+		return errors.New("no worker recovered any insert after frees; reclamation recycled nothing")
+	}
+
+	// Final audit: every live key present, structure valid, health sane.
+	h := tr.NewHandle()
+	defer h.Close()
+	for w := range results {
+		for _, k := range results[w].inserted {
+			if !h.Search(keys.Map(k)) {
+				return fmt.Errorf("live key %d missing in final audit", k)
+			}
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		return fmt.Errorf("tree invalid after exhaust/recover cycle: %v", err)
+	}
+	hl := tr.Health()
+	if hl.Recycled == 0 {
+		return fmt.Errorf("health reports no recycling after recovery: %+v", hl)
 	}
 	return nil
 }

@@ -18,12 +18,26 @@
 //   - Indices can be recycled through an Alloc free list. The arena itself
 //     performs no liveness tracking; safe recycling requires an external
 //     grace-period mechanism such as internal/reclaim.
+//   - Allocation is fallible: TryNew reports exhaustion instead of
+//     panicking, so callers can degrade gracefully (ErrCapacity); the
+//     legacy New panics and remains for callers that size capacity for the
+//     whole workload.
+//   - A shared overflow pool lets retiring allocators donate their unused
+//     reservations and surplus free lists (Release), so capacity freed by
+//     one goroutine can satisfy another's allocation after exhaustion.
 package arena
 
 import (
+	"errors"
 	"fmt"
+	"sync"
 	"sync/atomic"
 )
+
+// ErrCapacity reports that the arena's configured slot bound is exhausted.
+// It is the sentinel surfaced by fallible allocation paths up through
+// internal/core and the public bst API.
+var ErrCapacity = errors.New("arena capacity exhausted")
 
 const (
 	chunkBits = 16
@@ -40,13 +54,21 @@ const DefaultBlock = 1024
 // Arena is a concurrently growable object store addressed by uint32 index.
 // The zero value is not usable; call New.
 type Arena[T any] struct {
-	next   atomic.Uint64 // next unreserved global index
-	chunks []atomic.Pointer[[ChunkSize]T]
+	next     atomic.Uint64 // next unreserved global index
+	limit    uint64        // hard bound on indices (requested capacity + nil slot)
+	recycled atomic.Uint64 // cumulative indices returned to free lists
+	chunks   []atomic.Pointer[[ChunkSize]T]
+
+	// Shared overflow pool: indices donated by retiring or overflowing
+	// Allocs, served to any Alloc whose private sources are exhausted.
+	spillMu sync.Mutex
+	spill   []uint32
 }
 
-// New creates an arena able to hold at least capacity objects (rounded up to
-// a whole number of chunks, minimum one chunk). Only chunk bookkeeping is
-// allocated eagerly; chunk payloads are allocated on demand.
+// New creates an arena able to hold exactly capacity objects (storage is
+// rounded up to a whole number of chunks, but allocation stops at the
+// requested bound). Only chunk bookkeeping is allocated eagerly; chunk
+// payloads are allocated on demand.
 func New[T any](capacity int) *Arena[T] {
 	if capacity < 1 {
 		capacity = 1
@@ -55,19 +77,33 @@ func New[T any](capacity int) *Arena[T] {
 	if nchunks < 1 {
 		nchunks = 1
 	}
-	a := &Arena[T]{chunks: make([]atomic.Pointer[[ChunkSize]T], nchunks)}
+	a := &Arena[T]{
+		limit:  uint64(capacity) + 1, // +1: index 0 is reserved for nil
+		chunks: make([]atomic.Pointer[[ChunkSize]T], nchunks),
+	}
 	a.ensure(0)
 	a.next.Store(1) // index 0 is the nil sentinel
 	return a
 }
 
-// Cap returns the maximum number of objects the arena can hold (including
-// the reserved nil slot).
+// Cap returns the chunk-rounded storage capacity (including the reserved
+// nil slot). Allocation is bounded by Limit, which may be smaller.
 func (a *Arena[T]) Cap() int { return len(a.chunks) * ChunkSize }
 
-// Allocated returns the number of indices reserved so far (an upper bound on
-// live objects; block allocation may strand up to block-1 indices per Alloc).
-func (a *Arena[T]) Allocated() uint64 { return a.next.Load() }
+// Limit returns the hard bound on allocatable indices (the requested
+// capacity plus the reserved nil slot).
+func (a *Arena[T]) Limit() uint64 { return a.limit }
+
+// Allocated returns the number of indices reserved so far, excluding the
+// reserved nil slot, so it never exceeds the requested capacity (an upper
+// bound on live objects; block allocation may strand up to block-1 indices
+// per Alloc).
+func (a *Arena[T]) Allocated() uint64 { return a.next.Load() - 1 }
+
+// Recycled returns the cumulative number of indices returned to free lists
+// for reuse (via Alloc.Recycle). Together with Allocated this bounds the
+// live object count for capacity diagnostics.
+func (a *Arena[T]) Recycled() uint64 { return a.recycled.Load() }
 
 // Get returns the object at index idx. idx must have been returned by an
 // Alloc of this arena; Get(0) is invalid.
@@ -79,7 +115,9 @@ func (a *Arena[T]) Get(idx uint32) *T {
 // wastes one chunk allocation per contender.
 func (a *Arena[T]) ensure(c uint64) {
 	if c >= uint64(len(a.chunks)) {
-		panic(fmt.Sprintf("arena: capacity exhausted (chunk %d of %d); size the arena for the workload", c, len(a.chunks)))
+		// Unreachable: tryReserve never exceeds limit ≤ Cap. Kept as an
+		// internal invariant check.
+		panic(fmt.Sprintf("arena: chunk %d out of range (%d chunks)", c, len(a.chunks)))
 	}
 	if a.chunks[c].Load() != nil {
 		return
@@ -88,14 +126,52 @@ func (a *Arena[T]) ensure(c uint64) {
 	a.chunks[c].CompareAndSwap(nil, fresh)
 }
 
-// reserve claims n consecutive indices and guarantees their chunks exist.
-func (a *Arena[T]) reserve(n uint64) (lo, hi uint64) {
-	hi = a.next.Add(n)
-	lo = hi - n
-	for c := lo >> chunkBits; c <= (hi-1)>>chunkBits; c++ {
-		a.ensure(c)
+// tryReserve claims up to n consecutive indices (fewer near the capacity
+// bound, so no slot is stranded by a partial block) and guarantees their
+// chunks exist. ok is false iff the arena is exhausted.
+func (a *Arena[T]) tryReserve(n uint64) (lo, hi uint64, ok bool) {
+	for {
+		cur := a.next.Load()
+		if cur >= a.limit {
+			return 0, 0, false
+		}
+		if rem := a.limit - cur; rem < n {
+			n = rem
+		}
+		if a.next.CompareAndSwap(cur, cur+n) {
+			for c := cur >> chunkBits; c <= (cur+n-1)>>chunkBits; c++ {
+				a.ensure(c)
+			}
+			return cur, cur + n, true
+		}
 	}
-	return lo, hi
+}
+
+// spillPut donates indices to the shared overflow pool.
+func (a *Arena[T]) spillPut(idxs []uint32) {
+	if len(idxs) == 0 {
+		return
+	}
+	a.spillMu.Lock()
+	a.spill = append(a.spill, idxs...)
+	a.spillMu.Unlock()
+}
+
+// spillTake removes and returns up to max indices from the overflow pool.
+func (a *Arena[T]) spillTake(max int) []uint32 {
+	a.spillMu.Lock()
+	defer a.spillMu.Unlock()
+	n := len(a.spill)
+	if n == 0 {
+		return nil
+	}
+	if n > max {
+		n = max
+	}
+	out := make([]uint32, n)
+	copy(out, a.spill[len(a.spill)-n:])
+	a.spill = a.spill[:len(a.spill)-n]
+	return out
 }
 
 // Alloc hands out indices from privately reserved blocks. It is not safe for
@@ -120,21 +196,50 @@ func (a *Arena[T]) NewAlloc(block int) *Alloc[T] {
 
 // New returns an unused index and a pointer to its (possibly dirty) object.
 // Recycled objects are returned as-is; callers must fully reinitialize them.
+// It panics when the arena is exhausted; use TryNew to degrade gracefully.
 func (al *Alloc[T]) New() (uint32, *T) {
-	if n := len(al.free); n > 0 {
-		idx := al.free[n-1]
-		al.free = al.free[:n-1]
-		al.recycled++
-		return idx, al.a.Get(idx)
+	idx, p, ok := al.TryNew()
+	if !ok {
+		panic(fmt.Sprintf("arena: %v (limit %d slots); size the arena for the workload or use TryNew", ErrCapacity, al.a.limit))
 	}
-	if al.next == al.lim {
-		al.next, al.lim = al.a.reserve(al.block)
-	}
-	idx := uint32(al.next)
-	al.next++
-	al.fresh++
-	return idx, al.a.Get(idx)
+	return idx, p
 }
+
+// TryNew is the fallible allocation path: it returns ok=false instead of
+// panicking when every source — the private free list, the current block,
+// fresh reservation, and the shared overflow pool — is exhausted. A false
+// return is not permanent: recycling (or another allocator's Release) can
+// make a later TryNew succeed.
+func (al *Alloc[T]) TryNew() (idx uint32, obj *T, ok bool) {
+	for {
+		if n := len(al.free); n > 0 {
+			idx := al.free[n-1]
+			al.free = al.free[:n-1]
+			al.recycled++
+			return idx, al.a.Get(idx), true
+		}
+		if al.next < al.lim {
+			idx := uint32(al.next)
+			al.next++
+			al.fresh++
+			return idx, al.a.Get(idx), true
+		}
+		if lo, hi, ok := al.a.tryReserve(al.block); ok {
+			al.next, al.lim = lo, hi
+			continue
+		}
+		if got := al.a.spillTake(int(al.block)); len(got) > 0 {
+			al.free = got
+			continue
+		}
+		return 0, nil, false
+	}
+}
+
+// spillThreshold bounds the private free list relative to the block size;
+// beyond it, half the list is donated to the shared pool so one handle's
+// frees can satisfy another handle's allocations.
+const spillThresholdBlocks = 4
 
 // Recycle returns an index to this handle's free list. The caller is
 // responsible for guaranteeing no other goroutine can still reach idx (for
@@ -143,7 +248,26 @@ func (al *Alloc[T]) Recycle(idx uint32) {
 	if idx == 0 {
 		panic("arena: recycling nil index")
 	}
+	al.a.recycled.Add(1)
 	al.free = append(al.free, idx)
+	if uint64(len(al.free)) > spillThresholdBlocks*al.block {
+		half := len(al.free) / 2
+		al.a.spillPut(al.free[half:])
+		al.free = al.free[:half]
+	}
+}
+
+// Release donates the allocator's unused capacity — the remainder of its
+// reserved block and its entire free list — to the arena's shared overflow
+// pool, where any other allocator can pick it up. Call when retiring an
+// allocator; it must not be used afterwards.
+func (al *Alloc[T]) Release() {
+	for al.next < al.lim {
+		al.free = append(al.free, uint32(al.next))
+		al.next++
+	}
+	al.a.spillPut(al.free)
+	al.free = nil
 }
 
 // Get is a convenience passthrough to the arena.

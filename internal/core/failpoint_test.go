@@ -1,0 +1,160 @@
+package core
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/failpoint"
+	"repro/internal/keys"
+)
+
+// TestDeleteStallDoesNotBlockOthers freezes a delete immediately before
+// each of its three atomic steps (flag CAS, sibling-tag BTS, splice CAS)
+// and verifies the lock-freedom claim: every other thread keeps completing
+// operations — including on the frozen key itself, which helpers finish on
+// the stalled thread's behalf.
+func TestDeleteStallDoesNotBlockOthers(t *testing.T) {
+	for _, site := range []string{FPFlagCAS, FPTag, FPSpliceCAS} {
+		t.Run(site, func(t *testing.T) {
+			fs := failpoint.NewSet()
+			tr := New(Config{Capacity: 1 << 16, Failpoints: fs})
+			setup := tr.NewHandle()
+			for i := int64(0); i < 100; i++ {
+				setup.Insert(keys.Map(i))
+			}
+
+			st := fs.Site(site)
+			st.StallNext()
+			victim := make(chan bool, 1)
+			go func() {
+				h := tr.NewHandle()
+				victim <- h.Delete(keys.Map(50))
+			}()
+			if !st.WaitStalled(10 * time.Second) {
+				t.Fatalf("deleter never reached failpoint %s", site)
+			}
+
+			// One thread is frozen mid-delete. Everyone else must finish a
+			// full workload, including operations on the frozen key's
+			// neighborhood.
+			const others = 4
+			otherDel50 := make(chan bool, others)
+			var wg sync.WaitGroup
+			for w := 0; w < others; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					h := tr.NewHandle()
+					base := int64(1000 * (w + 1))
+					for i := int64(0); i < 200; i++ {
+						h.Insert(keys.Map(base + i))
+						h.Search(keys.Map(base + i))
+						h.Delete(keys.Map(base + i))
+					}
+					h.Insert(keys.Map(49))
+					h.Search(keys.Map(50))
+					otherDel50 <- h.Delete(keys.Map(50))
+				}(w)
+			}
+			progress := make(chan struct{})
+			go func() { wg.Wait(); close(progress) }()
+			select {
+			case <-progress:
+			case <-time.After(30 * time.Second):
+				t.Fatalf("other threads made no progress while one was stalled at %s", site)
+			}
+
+			st.Release()
+			var stalledResult bool
+			select {
+			case stalledResult = <-victim:
+			case <-time.After(10 * time.Second):
+				t.Fatalf("stalled delete never completed after release at %s", site)
+			}
+
+			// Key 50 was deleted exactly once: by the stalled thread or by
+			// exactly one of the others, never both and never zero.
+			succ := 0
+			if stalledResult {
+				succ++
+			}
+			close(otherDel50)
+			for ok := range otherDel50 {
+				if ok {
+					succ++
+				}
+			}
+			if succ != 1 {
+				t.Fatalf("key 50 deleted %d times, want exactly 1 (stalled=%v)", succ, stalledResult)
+			}
+			if setup.Search(keys.Map(50)) {
+				t.Fatal("key 50 still present after its delete completed")
+			}
+			if err := tr.Audit(); err != nil {
+				t.Fatalf("tree invalid after stalled delete at %s: %v", site, err)
+			}
+		})
+	}
+}
+
+// TestStalledReaderVisibleInHealth pins a goroutine mid-operation (via a
+// failpoint stall) on a reclaiming tree and checks that Health reports the
+// slot as stalled — lagging the global epoch with a frozen retired
+// backlog — and that the report clears once the goroutine resumes.
+func TestStalledReaderVisibleInHealth(t *testing.T) {
+	fs := failpoint.NewSet()
+	tr := New(Config{Capacity: 1 << 16, Reclaim: true, Failpoints: fs})
+	setup := tr.NewHandle()
+	defer setup.Close()
+	for i := int64(0); i < 200; i++ {
+		setup.Insert(keys.Map(i))
+	}
+
+	st := fs.Site(FPTag)
+	st.StallNext()
+	victim := make(chan bool, 1)
+	go func() {
+		h := tr.NewHandle()
+		defer h.Close()
+		victim <- h.Delete(keys.Map(100))
+	}()
+	if !st.WaitStalled(10 * time.Second) {
+		t.Fatal("deleter never reached the tag failpoint")
+	}
+
+	// Churn through another handle so epoch advancement is attempted; the
+	// stalled, pinned deleter lets the epoch advance at most once and then
+	// freezes it, so its slot lags behind.
+	h := tr.NewHandle()
+	defer h.Close()
+	for i := int64(0); i < 150; i++ {
+		h.Insert(keys.Map(10000 + i))
+		h.Delete(keys.Map(10000 + i))
+	}
+	h.slot.Flush()
+	hl := tr.Health()
+	if hl.Stalled != 1 {
+		t.Fatalf("Health.Stalled = %d with a reader frozen mid-delete, want 1 (health %+v)", hl.Stalled, hl)
+	}
+	if hl.MaxEpochLag == 0 {
+		t.Fatalf("Health.MaxEpochLag = 0 for a stalled reader (health %+v)", hl)
+	}
+	if hl.RetiredBacklog == 0 {
+		t.Fatalf("Health.RetiredBacklog = 0 despite frozen reclamation (health %+v)", hl)
+	}
+
+	st.Release()
+	select {
+	case <-victim:
+	case <-time.After(10 * time.Second):
+		t.Fatal("stalled delete never completed after release")
+	}
+	h.slot.Flush()
+	if hl := tr.Health(); hl.Stalled != 0 {
+		t.Fatalf("Health.Stalled = %d after the reader resumed, want 0", hl.Stalled)
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

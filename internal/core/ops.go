@@ -9,6 +9,26 @@ import (
 	"repro/internal/reclaim"
 )
 
+// ErrCapacity is returned by TryInsert when the tree's arena is exhausted
+// and bounded retries (with epoch flushes) could not recover a slot. It is
+// the same sentinel value as arena.ErrCapacity, so errors.Is works across
+// layers.
+var ErrCapacity = arena.ErrCapacity
+
+// Failpoint site names understood by trees built with Config.Failpoints.
+// The three delete sites fire immediately *before* the corresponding
+// atomic instruction; the alloc site fires on every node allocation
+// attempt and, when triggered, makes the attempt fail as if the arena were
+// exhausted.
+const (
+	FPAlloc     = "arena-alloc" // node allocation in insert
+	FPFlagCAS   = "flag-cas"    // delete step 1: flag the edge into the leaf
+	FPTag       = "tag"         // delete step 2: tag the sibling edge (BTS)
+	FPSpliceCAS = "splice-cas"  // delete step 3: splice at the ancestor
+	FPInsertCAS = "insert-cas"  // insert's single CAS
+	FPSeek      = "seek"        // start of each seek phase
+)
+
 // Stats counts the work a Handle has performed. All fields are maintained
 // without atomics (a Handle is single-goroutine); aggregate across handles
 // for totals. These counters regenerate Table 1 of the paper (objects
@@ -28,6 +48,9 @@ type Stats struct {
 	SpliceWins   uint64 // successful cleanup CASes (physical removals)
 	PrunedLeaves uint64 // leaves physically removed by this handle's splices
 	Recycled     uint64 // nodes retired for arena recycling
+
+	CapacityFailures uint64 // TryInserts that returned ErrCapacity
+	CapacityRetries  uint64 // epoch-flush retries taken on the capacity path
 }
 
 // add accumulates other into s.
@@ -44,6 +67,8 @@ func (s *Stats) Add(o Stats) {
 	s.SpliceWins += o.SpliceWins
 	s.PrunedLeaves += o.PrunedLeaves
 	s.Recycled += o.Recycled
+	s.CapacityFailures += o.CapacityFailures
+	s.CapacityRetries += o.CapacityRetries
 }
 
 // Atomics returns the total number of atomic read-modify-write instructions
@@ -80,6 +105,9 @@ func (h *Handle) hook(point string) {
 	if h.stepHook != nil {
 		h.stepHook(point)
 	}
+	if h.t.fp != nil {
+		h.t.fp.Hit(point) // stall-style failpoints park here; return value unused
+	}
 }
 
 func (h *Handle) pin() {
@@ -94,14 +122,16 @@ func (h *Handle) unpin() {
 	}
 }
 
-// Close releases the handle's reclamation slot, if any. After Close the
-// handle must not be used.
+// Close releases the handle's reclamation slot, if any, and donates its
+// allocator's unused arena reservations to the tree's shared pool. After
+// Close the handle must not be used.
 func (h *Handle) Close() {
 	if h.slot != nil {
 		h.slot.Close()
 		h.slot = nil
-		runtime.SetFinalizer(h, nil)
 	}
+	h.al.Release()
+	runtime.SetFinalizer(h, nil)
 }
 
 // seek is Algorithm 1: traverse from the root to a leaf, maintaining the
@@ -113,7 +143,7 @@ func (h *Handle) seek(key uint64) {
 	ar := t.ar
 	sr := &h.sr
 	h.Stats.Seeks++
-	h.hook("seek")
+	h.hook(FPSeek)
 
 	sr.ancestor = t.r
 	sr.successor = t.s
@@ -159,27 +189,70 @@ func (h *Handle) Search(key uint64) bool {
 	return found
 }
 
-// spares returns the two nodes an insert will link, allocating only if no
-// spares survive from a failed attempt.
-func (h *Handle) spares() (internalIdx uint32, leafIdx uint32) {
+// tryAlloc is the fallible node allocation: it consults the FPAlloc
+// failpoint (when a registry is wired in) and then the arena's TryNew.
+func (h *Handle) tryAlloc() (uint32, bool) {
+	if h.t.fp != nil && h.t.fp.Hit(FPAlloc) {
+		return 0, false
+	}
+	idx, _, ok := h.al.TryNew()
+	return idx, ok
+}
+
+// trySpares returns the two nodes an insert will link, allocating only if
+// no spares survive from a failed attempt. On exhaustion it reports
+// ok=false after releasing any node reserved by this call back to the
+// handle's free list, so a failed insert holds nothing.
+func (h *Handle) trySpares() (internalIdx, leafIdx uint32, ok bool) {
 	if h.spareInternal == 0 {
-		h.spareInternal, _ = h.al.New()
+		idx, ok := h.tryAlloc()
+		if !ok {
+			return 0, 0, false
+		}
+		h.spareInternal = idx
 		h.Stats.NodesAlloc++
 	}
 	if h.spareLeaf == 0 {
-		h.spareLeaf, _ = h.al.New()
+		idx, ok := h.tryAlloc()
+		if !ok {
+			h.al.Recycle(h.spareInternal)
+			h.spareInternal = 0
+			return 0, 0, false
+		}
+		h.spareLeaf = idx
 		h.Stats.NodesAlloc++
 	}
-	return h.spareInternal, h.spareLeaf
+	return h.spareInternal, h.spareLeaf, true
 }
 
 // Insert adds key to the tree; it returns false if the key was already
 // present (Algorithm 2, lines 40–59). A successful insert executes exactly
 // one atomic instruction: the CAS that swings the parent's child word from
-// the old leaf to the new internal node.
+// the old leaf to the new internal node. Insert panics when the arena is
+// exhausted (the paper's benchmark configuration sizes the arena for the
+// whole run); TryInsert is the non-panicking path.
 func (h *Handle) Insert(key uint64) bool {
+	ok, err := h.TryInsert(key)
+	if err != nil {
+		panic("core: " + err.Error() + " (size Config.Capacity for the workload, enable Reclaim, or use TryInsert)")
+	}
+	return ok
+}
+
+// maxCapacityRetries bounds how many times TryInsert re-attempts after an
+// allocation failure, each attempt preceded by an epoch flush (which can
+// recycle spliced-out nodes into the free list) and a backoff.
+const maxCapacityRetries = 8
+
+// TryInsert adds key to the tree, returning (false, ErrCapacity) when node
+// allocation fails and bounded retries cannot recover a slot. A failed
+// TryInsert performs no tree writes: the structure stays valid, searches
+// and deletes keep working, and inserts succeed again once reclamation
+// recycles slots (deletes + grace periods).
+func (h *Handle) TryInsert(key uint64) (bool, error) {
 	t := h.t
 	ar := t.ar
+	retries := 0
 	h.pin()
 	for {
 		h.seek(key)
@@ -188,7 +261,7 @@ func (h *Handle) Insert(key uint64) bool {
 		if leafKey == key {
 			h.unpin()
 			h.Stats.Inserts++
-			return false // key already present
+			return false, nil // key already present
 		}
 
 		parent := h.sr.parent
@@ -203,7 +276,27 @@ func (h *Handle) Insert(key uint64) bool {
 		// Build the replacement subtree: a new internal node whose children
 		// are the existing leaf and a new leaf holding key, ordered by key.
 		// The internal node's routing key is the larger of the two.
-		ni, nl := h.spares()
+		ni, nl, ok := h.trySpares()
+		if !ok {
+			// Arena exhausted. Without reclamation nothing can free a slot,
+			// so fail fast; with it, unpin (so our own slot cannot block the
+			// epoch), flush retired nodes into the free list, back off, and
+			// retry a bounded number of times before surfacing ErrCapacity.
+			if h.slot == nil || retries >= maxCapacityRetries {
+				h.unpin()
+				h.Stats.CapacityFailures++
+				return false, ErrCapacity
+			}
+			retries++
+			h.Stats.CapacityRetries++
+			h.unpin()
+			h.slot.Flush()
+			for i := 0; i < retries; i++ {
+				runtime.Gosched()
+			}
+			h.pin()
+			continue
+		}
 		niN, nlN := ar.Get(ni), ar.Get(nl)
 		nlN.key = key
 		nlN.left.Store(0)
@@ -218,13 +311,13 @@ func (h *Handle) Insert(key uint64) bool {
 			niN.right.Store(atomicx.Pack(nl, false, false))
 		}
 
-		h.hook("insert-cas")
+		h.hook(FPInsertCAS)
 		if childAddr.CompareAndSwap(atomicx.Pack(leaf, false, false), atomicx.Pack(ni, false, false)) {
 			h.Stats.CASSucceeded++
 			h.spareInternal, h.spareLeaf = 0, 0
 			h.unpin()
 			h.Stats.Inserts++
-			return true
+			return true, nil
 		}
 		h.Stats.CASFailed++
 
@@ -277,7 +370,7 @@ func (h *Handle) Delete(key uint64) bool {
 				return false // key not present
 			}
 			// Inject: flag the edge (parent → leaf).
-			h.hook("flag-cas")
+			h.hook(FPFlagCAS)
 			if childAddr.CompareAndSwap(atomicx.Pack(leaf, false, false), atomicx.Pack(leaf, true, false)) {
 				h.Stats.CASSucceeded++
 				mode = cleanupMode
@@ -346,7 +439,7 @@ func (h *Handle) cleanup(key uint64, sr *seekRecord) bool {
 	// Tag the sibling edge (BTS — cannot fail). From here on neither child
 	// word of parent can change, so parent can never again be an injection
 	// point.
-	h.hook("tag")
+	h.hook(FPTag)
 	if h.t.cfg.CASOnly {
 		// CAS-only mode: emulate BTS with a bounded retry loop. The loop
 		// terminates because competitors only ever *set* bits on this word
@@ -371,7 +464,7 @@ func (h *Handle) cleanup(key uint64, sr *seekRecord) bool {
 	// Splice the sibling up: ancestor's child swings from successor to the
 	// sibling node, preserving the sibling edge's flag bit (the sibling may
 	// itself be a leaf already flagged by another delete).
-	h.hook("splice-cas")
+	h.hook(FPSpliceCAS)
 	sw := siblingAddr.Load()
 	ok := successorAddr.CompareAndSwap(
 		atomicx.Pack(sr.successor, false, false),

@@ -50,6 +50,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/atomicx"
+	"repro/internal/failpoint"
 	"repro/internal/keys"
 	"repro/internal/reclaim"
 )
@@ -97,6 +98,11 @@ type Config struct {
 	// easily modified to use only CAS instructions", as an ablation for
 	// hardware without a one-shot fetch-or.
 	CASOnly bool
+	// Failpoints, when non-nil, wires the tree's atomic steps and its
+	// arena allocation site into a fault-injection registry (see
+	// internal/failpoint and the FP* site names). Test-only: leave nil in
+	// production — a nil set costs one pointer comparison per site.
+	Failpoints *failpoint.Set
 }
 
 // DefaultCapacity is the arena capacity used when Config.Capacity is zero.
@@ -111,6 +117,7 @@ type Tree struct {
 	cfg Config
 
 	epoch   *reclaim.Domain[uint32] // grace periods for arena-slot recycling; nil when !cfg.Reclaim
+	fp      *failpoint.Set          // fault injection; nil in production
 	handles sync.Pool               // fallback handles for direct Tree method calls
 }
 
@@ -120,7 +127,7 @@ func New(cfg Config) *Tree {
 	if cfg.Capacity == 0 {
 		cfg.Capacity = DefaultCapacity
 	}
-	t := &Tree{ar: arena.New[node](cfg.Capacity), cfg: cfg}
+	t := &Tree{ar: arena.New[node](cfg.Capacity), cfg: cfg, fp: cfg.Failpoints}
 	if cfg.Reclaim {
 		t.epoch = reclaim.NewDomain[uint32]()
 	}
@@ -142,6 +149,9 @@ func New(cfg Config) *Tree {
 	l2 := newNode(keys.Inf2, 0, 0)
 	t.s = newNode(keys.Inf1, atomicx.Pack(l0, false, false), atomicx.Pack(l1, false, false))
 	t.r = newNode(keys.Inf2, atomicx.Pack(t.s, false, false), atomicx.Pack(l2, false, false))
+	// Return the bootstrap allocator's unused reservation to the shared
+	// pool — it matters for tightly bounded arenas.
+	boot.Release()
 
 	// Pooled handles back the convenience Tree methods. They reserve one
 	// arena slot at a time: sync.Pool may drop handles at any GC (and does
@@ -165,43 +175,95 @@ func (t *Tree) newHandle(block int) *Handle {
 		// reachable forever, so its finalizer could never run.
 		al := h.al
 		h.slot = t.epoch.Register(func(idx uint32) { al.Recycle(idx) })
-		// Safety net for handles that are dropped instead of Closed (the
-		// convenience-method pool sheds handles at GC): deregister the
-		// epoch slot so the domain's slot list cannot grow without bound.
-		runtime.SetFinalizer(h, func(h *Handle) {
-			if h.slot != nil {
-				h.slot.Close()
-			}
-		})
 	}
+	// Safety net for handles that are dropped instead of Closed (the
+	// convenience-method pool sheds handles at GC): deregister the epoch
+	// slot so the domain's slot list cannot grow without bound, and donate
+	// the allocator's unused indices back to the arena's shared pool so a
+	// dropped handle never strands capacity.
+	runtime.SetFinalizer(h, func(h *Handle) {
+		if h.slot != nil {
+			h.slot.Close()
+		}
+		h.al.Release()
+	})
 	return h
 }
 
 // Search reports whether key is present, using a pooled handle. Hot paths
-// should call Handle.Search instead.
+// should call Handle.Search instead. The deferred Put guarantees the
+// handle (and its epoch slot) returns to the pool even if the operation
+// panics and is recovered upstream.
 func (t *Tree) Search(key uint64) bool {
 	h := t.handles.Get().(*Handle)
-	ok := h.Search(key)
-	t.handles.Put(h)
-	return ok
+	defer t.handles.Put(h)
+	return h.Search(key)
 }
 
-// Insert adds key if absent, using a pooled handle.
+// Insert adds key if absent, using a pooled handle. It panics on arena
+// exhaustion; use TryInsert for the fail-soft path.
 func (t *Tree) Insert(key uint64) bool {
 	h := t.handles.Get().(*Handle)
-	ok := h.Insert(key)
-	t.handles.Put(h)
-	return ok
+	defer t.handles.Put(h)
+	return h.Insert(key)
+}
+
+// TryInsert adds key if absent, using a pooled handle. Instead of
+// panicking on arena exhaustion it returns ErrCapacity, leaving the tree
+// fully usable (see Handle.TryInsert).
+func (t *Tree) TryInsert(key uint64) (bool, error) {
+	h := t.handles.Get().(*Handle)
+	defer t.handles.Put(h)
+	return h.TryInsert(key)
 }
 
 // Delete removes key if present, using a pooled handle.
 func (t *Tree) Delete(key uint64) bool {
 	h := t.handles.Get().(*Handle)
-	ok := h.Delete(key)
-	t.handles.Put(h)
-	return ok
+	defer t.handles.Put(h)
+	return h.Delete(key)
 }
 
 // NodesAllocated returns the number of arena slots reserved so far
 // (diagnostic; includes block-allocation slack).
 func (t *Tree) NodesAllocated() uint64 { return t.ar.Allocated() }
+
+// Health is a point-in-time snapshot of the tree's capacity and
+// reclamation state. Safe to call concurrently with operations; values are
+// approximate under load.
+type Health struct {
+	Capacity  int    // configured arena bound (nodes); the hard allocation limit
+	Allocated uint64 // arena indices reserved so far (monotonic, incl. block slack)
+	Recycled  uint64 // indices returned to free lists for reuse
+	Reclaim   bool   // whether epoch-based reclamation is enabled
+
+	// Epoch-domain diagnostics; zero when Reclaim is false.
+	Epoch          uint64 // current global epoch
+	Slots          int    // registered epoch slots (≈ live handles)
+	Pinned         int    // slots currently inside an operation
+	Stalled        int    // pinned slots lagging the global epoch — reclamation is starved
+	MaxEpochLag    uint64 // largest lag among pinned slots
+	RetiredBacklog int    // spliced-out nodes still awaiting their grace period
+}
+
+// Health reports capacity and reclamation state so operators can see
+// exhaustion and reclamation starvation (a stalled reader pinning an old
+// epoch) before they become failures.
+func (t *Tree) Health() Health {
+	h := Health{
+		Capacity:  t.cfg.Capacity,
+		Allocated: t.ar.Allocated(),
+		Recycled:  t.ar.Recycled(),
+		Reclaim:   t.cfg.Reclaim,
+	}
+	if t.epoch != nil {
+		eh := t.epoch.Health()
+		h.Epoch = eh.Epoch
+		h.Slots = eh.Slots
+		h.Pinned = eh.Pinned
+		h.Stalled = eh.Stalled
+		h.MaxEpochLag = eh.MaxLag
+		h.RetiredBacklog = eh.RetiredBacklog
+	}
+	return h
+}

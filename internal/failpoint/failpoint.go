@@ -1,0 +1,192 @@
+// Package failpoint is a tiny fault-injection registry for exercising the
+// failure paths of the lock-free trees deterministically.
+//
+// A Set holds named sites. Code under test evaluates a site with Set.Hit
+// at the moment the fault would strike (an allocation, an atomic step of a
+// delete); tests arm sites with one of three behaviors:
+//
+//   - trigger once (FailOnce) or on every nth evaluation (FailEveryN):
+//     Hit returns true and the caller injects its failure (e.g. treats an
+//     allocation as out of capacity);
+//   - stall until released (StallNext): the next goroutine to evaluate the
+//     site parks inside Hit until Release, letting a test freeze one
+//     operation between two atomic instructions while asserting that every
+//     other thread keeps making progress — the lock-freedom property.
+//
+// Injection is test-only by default: production code passes a nil *Set and
+// pays a single pointer comparison per site. A non-nil Set with an unarmed
+// site costs one mutex-guarded map lookup — acceptable for tests, never on
+// by default.
+package failpoint
+
+import (
+	"sync"
+	"time"
+)
+
+// Set is an independent registry of named sites. The zero value is not
+// usable; call NewSet. A nil *Set disables injection entirely (callers
+// guard evaluation with a nil check).
+type Set struct {
+	mu    sync.Mutex
+	sites map[string]*Site
+}
+
+// NewSet creates an empty registry.
+func NewSet() *Set {
+	return &Set{sites: make(map[string]*Site)}
+}
+
+// Site returns the named site, creating it if necessary. Safe for
+// concurrent use.
+func (s *Set) Site(name string) *Site {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := s.sites[name]
+	if st == nil {
+		st = &Site{name: name}
+		s.sites[name] = st
+	}
+	return st
+}
+
+// Hit evaluates the named site: it counts the visit, parks the caller if a
+// stall is armed, and reports whether the caller should inject a failure.
+// Evaluating a name no test ever armed is cheap and returns false without
+// creating the site.
+func (s *Set) Hit(name string) bool {
+	s.mu.Lock()
+	st := s.sites[name]
+	s.mu.Unlock()
+	if st == nil {
+		return false
+	}
+	return st.hit()
+}
+
+// Site is one named injection point. All methods are safe for concurrent
+// use.
+type Site struct {
+	name string
+
+	mu   sync.Mutex
+	hits uint64
+
+	// failure triggering: every nth evaluation fails, remaining bounds the
+	// total number of injections (-1 = unlimited).
+	every     int
+	remaining int
+	sinceFail int
+
+	// stall-until-released
+	stallArmed bool
+	parked     chan struct{} // closed by the goroutine that parks
+	release    chan struct{} // closed by Release
+}
+
+// Name returns the site's name.
+func (st *Site) Name() string { return st.name }
+
+// Hits returns how many times the site has been evaluated.
+func (st *Site) Hits() uint64 {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.hits
+}
+
+// FailOnce arms the site to inject exactly one failure, on its next
+// evaluation.
+func (st *Site) FailOnce() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.every, st.remaining, st.sinceFail = 1, 1, 0
+}
+
+// FailEveryN arms the site to inject a failure on every nth evaluation
+// from now on, with no bound on the total count. n < 1 disarms.
+func (st *Site) FailEveryN(n int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if n < 1 {
+		st.every, st.remaining = 0, 0
+		return
+	}
+	st.every, st.remaining, st.sinceFail = n, -1, 0
+}
+
+// StallNext arms the site so that the next goroutine to evaluate it parks
+// until Release. Re-arming replaces any previous, un-hit stall.
+func (st *Site) StallNext() {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.stallArmed = true
+	st.parked = make(chan struct{})
+	st.release = make(chan struct{})
+}
+
+// WaitStalled blocks until a goroutine is parked at the site (true) or the
+// timeout elapses (false). Call after StallNext.
+func (st *Site) WaitStalled(timeout time.Duration) bool {
+	st.mu.Lock()
+	ch := st.parked
+	st.mu.Unlock()
+	if ch == nil {
+		return false
+	}
+	select {
+	case <-ch:
+		return true
+	case <-time.After(timeout):
+		return false
+	}
+}
+
+// Release frees a goroutine parked by StallNext (and disarms a stall that
+// has not yet been hit). Idempotent.
+func (st *Site) Release() {
+	st.mu.Lock()
+	r := st.release
+	st.release = nil
+	st.stallArmed = false
+	st.mu.Unlock()
+	if r != nil {
+		close(r)
+	}
+}
+
+// Reset disarms every behavior and frees any parked goroutine. The hit
+// counter is preserved.
+func (st *Site) Reset() {
+	st.Release()
+	st.mu.Lock()
+	st.every, st.remaining, st.sinceFail = 0, 0, 0
+	st.mu.Unlock()
+}
+
+// hit is the evaluation core behind Set.Hit.
+func (st *Site) hit() bool {
+	st.mu.Lock()
+	st.hits++
+	inject := false
+	if st.every > 0 && st.remaining != 0 {
+		st.sinceFail++
+		if st.sinceFail >= st.every {
+			st.sinceFail = 0
+			if st.remaining > 0 {
+				st.remaining--
+			}
+			inject = true
+		}
+	}
+	var parked, release chan struct{}
+	if st.stallArmed {
+		st.stallArmed = false
+		parked, release = st.parked, st.release
+	}
+	st.mu.Unlock()
+	if parked != nil {
+		close(parked)
+		<-release
+	}
+	return inject
+}

@@ -1,0 +1,136 @@
+package failpoint
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilAndUnknownSitesAreInert(t *testing.T) {
+	s := NewSet()
+	for i := 0; i < 100; i++ {
+		if s.Hit("never-armed") {
+			t.Fatal("unarmed site injected a failure")
+		}
+	}
+	if _, ok := s.sites["never-armed"]; ok {
+		t.Fatal("Hit created a site as a side effect")
+	}
+}
+
+func TestFailOnce(t *testing.T) {
+	s := NewSet()
+	s.Site("alloc").FailOnce()
+	got := 0
+	for i := 0; i < 10; i++ {
+		if s.Hit("alloc") {
+			got++
+		}
+	}
+	if got != 1 {
+		t.Fatalf("FailOnce injected %d failures, want 1", got)
+	}
+	if h := s.Site("alloc").Hits(); h != 10 {
+		t.Fatalf("Hits = %d, want 10", h)
+	}
+}
+
+func TestFailEveryN(t *testing.T) {
+	s := NewSet()
+	s.Site("alloc").FailEveryN(3)
+	var pattern []bool
+	for i := 0; i < 9; i++ {
+		pattern = append(pattern, s.Hit("alloc"))
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if pattern[i] != want[i] {
+			t.Fatalf("hit %d: injected=%v, want %v (pattern %v)", i, pattern[i], want[i], pattern)
+		}
+	}
+	s.Site("alloc").Reset()
+	for i := 0; i < 6; i++ {
+		if s.Hit("alloc") {
+			t.Fatal("site injected after Reset")
+		}
+	}
+}
+
+func TestStallUntilReleased(t *testing.T) {
+	s := NewSet()
+	site := s.Site("step")
+	site.StallNext()
+
+	done := make(chan struct{})
+	go func() {
+		s.Hit("step")
+		close(done)
+	}()
+	if !site.WaitStalled(5 * time.Second) {
+		t.Fatal("goroutine never parked at the site")
+	}
+	select {
+	case <-done:
+		t.Fatal("goroutine passed the site before Release")
+	case <-time.After(20 * time.Millisecond):
+	}
+	// A one-shot stall: other goroutines sail through while one is parked.
+	for i := 0; i < 5; i++ {
+		s.Hit("step")
+	}
+	site.Release()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("goroutine still parked after Release")
+	}
+	site.Release() // idempotent
+}
+
+func TestReleaseBeforeHitDisarms(t *testing.T) {
+	s := NewSet()
+	site := s.Site("step")
+	site.StallNext()
+	site.Release()
+	done := make(chan struct{})
+	go func() {
+		s.Hit("step")
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("hit parked even though the stall was disarmed")
+	}
+}
+
+func TestConcurrentHits(t *testing.T) {
+	s := NewSet()
+	site := s.Site("hot")
+	site.FailEveryN(2)
+	const workers, each = 8, 1000
+	var wg sync.WaitGroup
+	var injected sync.Map
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			n := 0
+			for i := 0; i < each; i++ {
+				if s.Hit("hot") {
+					n++
+				}
+			}
+			injected.Store(w, n)
+		}(w)
+	}
+	wg.Wait()
+	total := 0
+	injected.Range(func(_, v any) bool { total += v.(int); return true })
+	if want := workers * each / 2; total != want {
+		t.Fatalf("injected %d failures over %d hits, want exactly %d", total, workers*each, want)
+	}
+	if h := site.Hits(); h != workers*each {
+		t.Fatalf("Hits = %d, want %d", h, workers*each)
+	}
+}

@@ -22,6 +22,17 @@
 // The global epoch can only advance when every pinned slot has observed the
 // current epoch, so a single stalled reader blocks recycling (the classic
 // EBR trade-off) — but never blocks the data structure itself.
+//
+// # Stall diagnostics
+//
+// Because a stalled reader silently defeats reclamation (retired storage
+// accumulates until the arena is exhausted), Domain.Health reports it:
+// a pinned slot whose observed epoch trails the global epoch is provably
+// the reason the epoch cannot advance, and with this protocol the lag is
+// at most one epoch — freeing requires *two* advances past the retirement
+// epoch, so any positive lag means the retired backlog is frozen.
+// Operators should treat Health.Stalled > 0 with a growing RetiredBacklog
+// as reclamation starvation and hunt the pinned goroutine.
 package reclaim
 
 import (
@@ -77,10 +88,10 @@ type Slot[T any] struct {
 	state atomic.Uint64
 	_     [atomicx.CacheLine - 8]byte
 
-	free        func(T) // receives values whose grace period has elapsed
-	retired     [3]bucket[T]
-	sinceScan   int
-	pendingLive int // total items across buckets (diagnostic)
+	free      func(T) // receives values whose grace period has elapsed
+	retired   [3]bucket[T]
+	sinceScan int
+	pending   atomic.Int64 // total items across buckets (diagnostic; read by Domain.Health)
 }
 
 type bucket[T any] struct {
@@ -130,7 +141,7 @@ func (s *Slot[T]) Retire(v T) {
 		b.epoch = e
 	}
 	b.items = append(b.items, v)
-	s.pendingLive++
+	s.pending.Add(1)
 	s.sinceScan++
 	if s.sinceScan >= scanInterval {
 		s.sinceScan = 0
@@ -146,7 +157,7 @@ func (s *Slot[T]) drain(b *bucket[T]) {
 		var zero T
 		b.items[i] = zero
 	}
-	s.pendingLive -= len(b.items)
+	s.pending.Add(-int64(len(b.items)))
 	b.items = b.items[:0]
 }
 
@@ -181,16 +192,55 @@ func (s *Slot[T]) tryAdvance() {
 }
 
 // Pending returns how many retired values await freeing (diagnostic).
-func (s *Slot[T]) Pending() int { return s.pendingLive }
+func (s *Slot[T]) Pending() int { return int(s.pending.Load()) }
 
 // Flush aggressively tries to advance epochs and free everything retired by
 // this slot. It spins until the slot's buckets are empty or progress stops
 // because another slot is pinned. Call only while unpinned.
 func (s *Slot[T]) Flush() {
-	for i := 0; i < 4 && s.pendingLive > 0; i++ {
+	for i := 0; i < 4 && s.pending.Load() > 0; i++ {
 		s.tryAdvance()
 		s.sweep()
 	}
+}
+
+// Health is a point-in-time snapshot of a Domain's reclamation progress.
+// Values are approximate under concurrent load but each field is read
+// atomically.
+type Health struct {
+	Epoch          uint64 // current global epoch
+	Slots          int    // registered, not-yet-closed slots
+	Pinned         int    // slots currently inside a Pin/Unpin bracket
+	Stalled        int    // pinned slots lagging the global epoch — they block advancement
+	MaxLag         uint64 // largest epoch lag among pinned slots (≤1 under this protocol)
+	RetiredBacklog int    // retired values across all slots still awaiting their grace period
+}
+
+// Health reports the domain's reclamation state. A pinned slot that has not
+// observed the current global epoch is counted as stalled: the epoch cannot
+// advance past it, so every slot's retired backlog is frozen until it
+// unpins. A backlog that keeps growing while Stalled > 0 is reclamation
+// starvation and will eventually exhaust a bounded arena.
+func (d *Domain[T]) Health() Health {
+	h := Health{Epoch: d.epoch.Load()}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	h.Slots = len(d.slots)
+	for _, s := range d.slots {
+		h.RetiredBacklog += int(s.pending.Load())
+		st := s.state.Load()
+		if st == deadState || st&activeBit == 0 {
+			continue
+		}
+		h.Pinned++
+		if obs := st >> 1; obs < h.Epoch {
+			h.Stalled++
+			if lag := h.Epoch - obs; lag > h.MaxLag {
+				h.MaxLag = lag
+			}
+		}
+	}
+	return h
 }
 
 // Close permanently deactivates the slot so it never again blocks epoch

@@ -1,0 +1,114 @@
+package reclaim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestStalledSlotDiagnostics: a pinned, never-unpinning slot must (a) never
+// block another slot's Retire/Flush calls and (b) be reported by Health as
+// stalled, with the retired backlog visibly frozen.
+func TestStalledSlotDiagnostics(t *testing.T) {
+	d := NewDomain[int]()
+	freed := 0
+	a := d.Register(func(int) { freed++ })
+	b := d.Register(func(int) {})
+
+	b.Pin() // the stalled reader: pins and never unpins
+
+	// (a) The data-structure side never blocks: retiring and flushing from
+	// another slot completes promptly even though nothing can be freed.
+	done := make(chan struct{})
+	go func() {
+		a.Pin()
+		for i := 0; i < 500; i++ {
+			a.Retire(i)
+		}
+		a.Unpin()
+		a.Flush()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Retire/Flush blocked behind a stalled reader")
+	}
+
+	// (b) Diagnostics: the stalled slot is pinned and lags the epoch (the
+	// first advance can pass it; every later one cannot), and the backlog
+	// is frozen at the full retired count.
+	h := d.Health()
+	if h.Slots != 2 || h.Pinned != 1 {
+		t.Fatalf("Health = %+v, want 2 slots with 1 pinned", h)
+	}
+	if h.Stalled != 1 || h.MaxLag == 0 {
+		t.Fatalf("stalled reader not reported: %+v", h)
+	}
+	if h.RetiredBacklog != 500 {
+		t.Fatalf("RetiredBacklog = %d, want the frozen 500", h.RetiredBacklog)
+	}
+	if freed != 0 {
+		t.Fatalf("%d values freed under a stalled reader's pin", freed)
+	}
+
+	// Once the reader unpins, flushing drains everything and the report
+	// clears.
+	b.Unpin()
+	a.Flush()
+	h = d.Health()
+	if h.Stalled != 0 || h.Pinned != 0 {
+		t.Fatalf("Health = %+v after unpin, want no stalled/pinned slots", h)
+	}
+	if h.RetiredBacklog != 0 || freed != 500 {
+		t.Fatalf("backlog %d, freed %d after unpin+flush, want 0 and 500", h.RetiredBacklog, freed)
+	}
+}
+
+// TestCloseWithPendingBacklog: closing a slot while a pinned peer freezes
+// its retired backlog must not block, must not free anything early, and
+// must leave the domain fully functional.
+func TestCloseWithPendingBacklog(t *testing.T) {
+	d := NewDomain[int]()
+	freed := 0
+	a := d.Register(func(int) { freed++ })
+	b := d.Register(func(int) {})
+
+	b.Pin()
+	a.Pin()
+	for i := 0; i < 100; i++ {
+		a.Retire(i)
+	}
+	a.Unpin()
+
+	done := make(chan struct{})
+	go func() {
+		a.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Close blocked behind a pinned peer")
+	}
+	if freed != 0 {
+		t.Fatalf("Close freed %d values despite a pinned reader", freed)
+	}
+	if d.Slots() != 1 {
+		t.Fatalf("Slots = %d after Close, want 1", d.Slots())
+	}
+
+	// The closed slot no longer blocks advancement: the survivor can
+	// retire and free normally.
+	b.Unpin()
+	survivorFreed := 0
+	c := d.Register(func(int) { survivorFreed++ })
+	c.Pin()
+	for i := 0; i < 10; i++ {
+		c.Retire(i)
+	}
+	c.Unpin()
+	c.Flush()
+	if c.Pending() != 0 || survivorFreed != 10 {
+		t.Fatalf("survivor pending=%d freed=%d after Close of a backlogged peer", c.Pending(), survivorFreed)
+	}
+}
