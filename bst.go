@@ -39,6 +39,7 @@ import (
 	"repro/internal/hjbst"
 	"repro/internal/keys"
 	"repro/internal/kst"
+	"repro/internal/metrics"
 	"repro/internal/nmboxed"
 )
 
@@ -155,10 +156,12 @@ type rawAccessor interface {
 }
 
 type config struct {
-	algo     Algorithm
-	capacity int
-	reclaim  bool
-	arity    int
+	algo          Algorithm
+	capacity      int
+	reclaim       bool
+	arity         int
+	metrics       bool
+	metricsSample int
 }
 
 // Option configures New.
@@ -199,7 +202,11 @@ func New(opts ...Option) *Tree {
 	t := &Tree{algo: cfg.algo}
 	switch cfg.algo {
 	case NatarajanMittal:
-		t.b = core.New(core.Config{Capacity: cfg.capacity, Reclaim: cfg.reclaim})
+		var reg *metrics.Registry
+		if cfg.metrics {
+			reg = metrics.NewRegistry(cfg.metricsSample)
+		}
+		t.b = core.New(core.Config{Capacity: cfg.capacity, Reclaim: cfg.reclaim, Metrics: reg})
 	case NatarajanMittalBoxed:
 		t.b = nmboxed.New()
 	case EllenEtAl:

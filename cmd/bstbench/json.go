@@ -1,0 +1,114 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+
+	"repro/internal/metrics"
+)
+
+// The -json output schema. Version it ("bst-bench/v1") so downstream
+// tooling can accumulate a perf trajectory across PRs without guessing at
+// field meanings; only add fields, never rename or repurpose them.
+type benchJSON struct {
+	Schema     string     `json:"schema"` // always "bst-bench/v1"
+	GoVersion  string     `json:"go_version"`
+	GOMAXPROCS int        `json:"gomaxprocs"`
+	Duration   string     `json:"duration_per_cell"`
+	Reps       int        `json:"reps"`
+	Seed       uint64     `json:"seed"`
+	Zipf       float64    `json:"zipf_s"`
+	Reclaim    bool       `json:"reclaim"`
+	Prefill    bool       `json:"prefill"`
+	Metrics    bool       `json:"metrics_enabled"`
+	Cells      []cellJSON `json:"cells"`
+}
+
+type cellJSON struct {
+	Algorithm       string    `json:"algorithm"`
+	Threads         int       `json:"threads"`
+	KeyRange        int       `json:"key_range"`
+	Workload        string    `json:"workload"`
+	Reps            int       `json:"reps"`
+	OpsPerSec       []float64 `json:"ops_per_sec"`
+	MedianOpsPerSec float64   `json:"median_ops_per_sec"`
+	// Metrics holds the cell's telemetry deltas summed across reps
+	// (counters only — monotonic, so per-cell registries make every value
+	// a delta), plus sampled latency summaries per op. Present only when
+	// -metrics is set and the algorithm supports instrumentation.
+	Metrics map[string]uint64      `json:"metrics,omitempty"`
+	Latency map[string]latencyJSON `json:"latency,omitempty"`
+}
+
+type latencyJSON struct {
+	SampledOps uint64  `json:"sampled_ops"`
+	MeanNanos  float64 `json:"mean_ns"`
+	P50Nanos   uint64  `json:"p50_ns"`
+	P99Nanos   uint64  `json:"p99_ns"`
+}
+
+func newBenchJSON(duration string, reps int, seed uint64, zipf float64, reclaim, prefill, metricsOn bool) *benchJSON {
+	return &benchJSON{
+		Schema:     "bst-bench/v1",
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Duration:   duration,
+		Reps:       reps,
+		Seed:       seed,
+		Zipf:       zipf,
+		Reclaim:    reclaim,
+		Prefill:    prefill,
+		Metrics:    metricsOn,
+	}
+}
+
+// addMetrics folds one rep's snapshot into the cell (counters sum across
+// reps; latency summaries aggregate the merged histograms).
+func (c *cellJSON) addMetrics(s metrics.Snapshot, agg *[metrics.NumOps]metrics.LatencySnapshot) {
+	if c.Metrics == nil {
+		c.Metrics = map[string]uint64{}
+	}
+	for k, v := range s.CounterMap() {
+		c.Metrics[k] += v
+	}
+	for op := metrics.Op(0); op < metrics.NumOps; op++ {
+		l := &agg[op]
+		for b := range s.Latency[op].Buckets {
+			l.Buckets[b] += s.Latency[op].Buckets[b]
+		}
+		l.Count += s.Latency[op].Count
+		l.SumNanos += s.Latency[op].SumNanos
+	}
+}
+
+func (c *cellJSON) finishLatency(agg *[metrics.NumOps]metrics.LatencySnapshot) {
+	c.Latency = map[string]latencyJSON{}
+	for op := metrics.Op(0); op < metrics.NumOps; op++ {
+		l := agg[op]
+		c.Latency[op.Name()] = latencyJSON{
+			SampledOps: l.Count,
+			MeanNanos:  l.MeanNanos(),
+			P50Nanos:   l.Quantile(0.50),
+			P99Nanos:   l.Quantile(0.99),
+		}
+	}
+}
+
+// writeJSON emits the document to path ("-" for stdout).
+func (b *benchJSON) write(path string) error {
+	var f *os.File
+	if path == "-" {
+		f = os.Stdout
+	} else {
+		var err error
+		f, err = os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}

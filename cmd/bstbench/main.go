@@ -14,21 +14,33 @@
 //	bstbench -keyranges 1000 -workloads write-dominated -threads 1,2,4,8
 //	bstbench -duration 5s -reps 3             # slower, tighter cells
 //	bstbench -csv > fig4.csv                  # machine-readable series
+//	bstbench -json BENCH.json -metrics        # stable JSON + telemetry deltas
+//	bstbench -metrics -metrics-addr :9100     # scrape /metrics while it runs
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
+	"net/http"
 	"os"
 	"runtime"
+	rtrace "runtime/trace"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/harness"
+	"repro/internal/metrics"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
+
+// curRegistry is the registry of the cell currently measuring, read by the
+// live -metrics-addr endpoint (registries rotate per rep so JSON deltas
+// stay per-cell).
+var curRegistry atomic.Pointer[metrics.Registry]
 
 func main() {
 	var (
@@ -43,8 +55,29 @@ func main() {
 		reclaim       = flag.Bool("reclaim", false, "enable epoch reclamation on the NM tree (ablation; paper runs without)")
 		csv           = flag.Bool("csv", false, "emit one CSV stream instead of tables")
 		noPrefill     = flag.Bool("no-prefill", false, "skip pre-population (paper pre-populates to half the key range)")
+		jsonPath      = flag.String("json", "", "also write a stable bst-bench/v1 JSON document to this path (\"-\" for stdout)")
+		metricsOn     = flag.Bool("metrics", false, "enable live contention telemetry on the nm tree (counters + sampled latency histograms)")
+		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address while running (implies -metrics)")
+		traceFile     = flag.String("trace", "", "write a runtime/trace capture of the whole run to this file")
 	)
 	flag.Parse()
+	if *metricsAddr != "" {
+		*metricsOn = true
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		fatal(err)
+		fatal(rtrace.Start(f))
+		defer func() { rtrace.Stop(); f.Close() }()
+	}
+	if *metricsAddr != "" {
+		h := metrics.Handler(func() []metrics.Source {
+			return []metrics.Source{{Name: harness.TargetNM, Registry: curRegistry.Load()}}
+		})
+		srv, err := serveHTTP(*metricsAddr, h)
+		fatal(err)
+		fmt.Printf("# metrics endpoint: http://%s/metrics\n", srv)
+	}
 
 	targets, err := parseTargets(*targetsFlag)
 	fatal(err)
@@ -67,6 +100,10 @@ func main() {
 	var csvTable *stats.Table
 	if *csv {
 		csvTable = stats.NewTable("keyrange", "workload", "threads", "algorithm", "ops_per_sec")
+	}
+	var doc *benchJSON
+	if *jsonPath != "" {
+		doc = newBenchJSON(duration.String(), *reps, *seed, *zipfS, *reclaim, !*noPrefill, *metricsOn)
 	}
 
 	for _, kr := range keyRanges {
@@ -91,12 +128,15 @@ func main() {
 						ZipfS:    *zipfS,
 						Reclaim:  *reclaim,
 					}
-					runs := harness.RunRepeated(tg, cfg, *reps)
+					runs, cell := runCell(tg, cfg, *reps, *metricsOn)
 					v := stats.Median(runs)
 					tp[tg.Name] = append(tp[tg.Name], v)
 					row = append(row, stats.HumanCount(v))
 					if *csv {
 						csvTable.AddRow(kr, mix.Name, th, tg.Name, v)
+					}
+					if doc != nil {
+						doc.Cells = append(doc.Cells, cell)
 					}
 				}
 				tbl.AddRow(row...)
@@ -110,6 +150,48 @@ func main() {
 	if *csv {
 		fmt.Print(csvTable.CSV())
 	}
+	if doc != nil {
+		fatal(doc.write(*jsonPath))
+	}
+}
+
+// runCell measures one (algorithm × threads × key range × workload) cell:
+// reps fresh instances, each with its own telemetry registry when metricsOn
+// (so every counter in the cell's JSON is a per-cell delta), summed across
+// reps.
+func runCell(tg harness.Target, cfg harness.Config, reps int, metricsOn bool) ([]float64, cellJSON) {
+	cell := cellJSON{
+		Algorithm: tg.Name,
+		Threads:   cfg.Threads,
+		KeyRange:  int(cfg.KeyRange),
+		Workload:  cfg.Mix.Name,
+		Reps:      reps,
+	}
+	var agg [metrics.NumOps]metrics.LatencySnapshot
+	sampled := false
+	runs := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1_000_003
+		var reg *metrics.Registry
+		if metricsOn && tg.Name == harness.TargetNM {
+			reg = metrics.NewRegistry(0)
+			c.Metrics = reg
+			curRegistry.Store(reg)
+		}
+		res := harness.RunTarget(tg, c)
+		runs = append(runs, res.Throughput())
+		if reg != nil {
+			cell.addMetrics(reg.Snapshot(), &agg)
+			sampled = true
+		}
+	}
+	cell.OpsPerSec = runs
+	cell.MedianOpsPerSec = stats.Median(runs)
+	if sampled {
+		cell.finishLatency(&agg)
+	}
+	return runs, cell
 }
 
 // printSpeedups reports the paper-style "NM outperforms X by a%-b%" lines.
@@ -172,6 +254,18 @@ func parseInts(s string) ([]int, error) {
 		out = append(out, v)
 	}
 	return out, nil
+}
+
+// serveHTTP starts a background HTTP server and returns its bound address.
+// The server lives for the process; bench runs exit when measurement ends.
+func serveHTTP(addr string, h http.Handler) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return ln.Addr().String(), nil
 }
 
 func fatal(err error) {

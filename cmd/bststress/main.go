@@ -21,11 +21,16 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
 	"math/rand"
+	"net"
+	"net/http"
 	"os"
+	"runtime/pprof"
+	rtrace "runtime/trace"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,9 +40,15 @@ import (
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
+
+// curRegistry holds the telemetry registry of the round currently running,
+// so the -metrics endpoint always serves live numbers while registries
+// rotate per round.
+var curRegistry atomic.Pointer[metrics.Registry]
 
 func main() {
 	var (
@@ -47,8 +58,35 @@ func main() {
 		targetsFlag = flag.String("targets", "nm,nm-boxed,efrb,hj,bcco,cgl,kst4,kst16", "implementations to stress")
 		capacity    = flag.Int("capacity", 512, "arena bound (nodes) for the -exhaust round")
 		exhaust     = flag.Bool("exhaust", false, "also stress capacity exhaustion and recovery on the arena-backed tree")
+		metricsAddr = flag.String("metrics", "", "serve live telemetry on this address (/metrics Prometheus, /debug/vars JSON) while stressing")
+		traceFile   = flag.String("trace", "", "write a runtime/trace capture (rounds appear as tasks with per-check regions)")
 	)
 	flag.Parse()
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bststress:", err)
+			os.Exit(2)
+		}
+		if err := rtrace.Start(f); err != nil {
+			fmt.Fprintln(os.Stderr, "bststress:", err)
+			os.Exit(2)
+		}
+		defer func() { rtrace.Stop(); f.Close() }()
+	}
+	if *metricsAddr != "" {
+		h := metrics.Handler(func() []metrics.Source {
+			return []metrics.Source{{Name: "nm", Registry: curRegistry.Load()}}
+		})
+		ln, err := net.Listen("tcp", *metricsAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bststress:", err)
+			os.Exit(2)
+		}
+		srv := &http.Server{Handler: h, ReadHeaderTimeout: 5 * time.Second}
+		go srv.Serve(ln)
+		fmt.Printf("metrics endpoint: http://%s/metrics\n", ln.Addr())
+	}
 	if *exhaust && *capacity < 16 {
 		// Below ~8 slots the tree cannot even allocate its sentinels.
 		fmt.Fprintln(os.Stderr, "bststress: -capacity must be at least 16 for -exhaust")
@@ -70,22 +108,37 @@ func main() {
 	failures := 0
 	for time.Now().Before(deadline) {
 		round++
+		// Fresh telemetry registry per round (served live via -metrics);
+		// only the arena-backed nm tree consumes it.
+		reg := metrics.NewRegistry(0)
+		curRegistry.Store(reg)
+		// Each round is a runtime/trace task; each check on each target is
+		// a region labelled for pprof, so per-check, per-algorithm costs
+		// show up in standard Go tooling when -trace or profiling is on.
+		ctx, task := rtrace.NewTask(context.Background(), fmt.Sprintf("stress-round-%d", round))
 		for _, target := range targets {
-			if err := countingRound(target, *workers, *keySpace, uint64(round)); err != nil {
-				failures++
-				fmt.Printf("FAIL [counting] %s round %d: %v\n", target.Name, round, err)
-			}
-			if err := linearizabilityRound(target, *workers, uint64(round)); err != nil {
-				failures++
-				fmt.Printf("FAIL [linearizability] %s round %d: %v\n", target.Name, round, err)
-			}
+			runCheck(ctx, "counting", target.Name, func() {
+				if err := countingRound(target, *workers, *keySpace, uint64(round), reg); err != nil {
+					failures++
+					fmt.Printf("FAIL [counting] %s round %d: %v\n", target.Name, round, err)
+				}
+			})
+			runCheck(ctx, "linearizability", target.Name, func() {
+				if err := linearizabilityRound(target, *workers, uint64(round), reg); err != nil {
+					failures++
+					fmt.Printf("FAIL [linearizability] %s round %d: %v\n", target.Name, round, err)
+				}
+			})
 		}
 		if *exhaust {
-			if err := exhaustRound(*capacity, *workers, *keySpace, uint64(round)); err != nil {
-				failures++
-				fmt.Printf("FAIL [exhaust] nm round %d: %v\n", round, err)
-			}
+			runCheck(ctx, "exhaust", "nm", func() {
+				if err := exhaustRound(*capacity, *workers, *keySpace, uint64(round), reg); err != nil {
+					failures++
+					fmt.Printf("FAIL [exhaust] nm round %d: %v\n", round, err)
+				}
+			})
 		}
+		task.End()
 		fmt.Printf("round %d complete (%d targets, %d failures so far)\n", round, len(targets), failures)
 	}
 	if failures > 0 {
@@ -95,8 +148,17 @@ func main() {
 	fmt.Printf("bststress: OK — %d rounds × %d targets, no violations\n", round, len(targets))
 }
 
-func countingRound(target harness.Target, workers int, keySpace int64, seed uint64) error {
-	inst := target.New(harness.Config{ArenaCapacity: 1 << 22})
+// runCheck runs one correctness check under pprof labels and a trace
+// region, so profiles and traces attribute costs to (check, target).
+func runCheck(ctx context.Context, check, target string, fn func()) {
+	labels := pprof.Labels("bst_check", check, "bst_target", target)
+	pprof.Do(ctx, labels, func(ctx context.Context) {
+		rtrace.WithRegion(ctx, check+":"+target, fn)
+	})
+}
+
+func countingRound(target harness.Target, workers int, keySpace int64, seed uint64, reg *metrics.Registry) error {
+	inst := target.New(harness.Config{ArenaCapacity: 1 << 22, Metrics: reg})
 	ins := make([]atomic.Int64, keySpace)
 	del := make([]atomic.Int64, keySpace)
 	var wg sync.WaitGroup
@@ -141,8 +203,8 @@ func countingRound(target harness.Target, workers int, keySpace int64, seed uint
 // from every worker at once, then verifies graceful degradation: ErrCapacity
 // (never a panic) at the bound, reads and deletes still serving, structural
 // validity throughout, and inserts succeeding again after frees.
-func exhaustRound(capacity, workers int, keySpace int64, seed uint64) error {
-	tr := core.New(core.Config{Capacity: capacity, Reclaim: true})
+func exhaustRound(capacity, workers int, keySpace int64, seed uint64, reg *metrics.Registry) error {
+	tr := core.New(core.Config{Capacity: capacity, Reclaim: true, Metrics: reg})
 	_ = keySpace // exhaust uses disjoint per-worker ranges; contention comes from the shared arena
 
 	type result struct {
@@ -253,12 +315,12 @@ func exhaustRound(capacity, workers int, keySpace int64, seed uint64) error {
 	return nil
 }
 
-func linearizabilityRound(target harness.Target, workers int, seed uint64) error {
+func linearizabilityRound(target harness.Target, workers int, seed uint64, reg *metrics.Registry) error {
 	const (
 		opsEach  = 400
 		keySpace = 96
 	)
-	inst := target.New(harness.Config{ArenaCapacity: 1 << 20})
+	inst := target.New(harness.Config{ArenaCapacity: 1 << 20, Metrics: reg})
 	rec := trace.NewRecorder(workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {

@@ -1,0 +1,91 @@
+// Command metrics demonstrates live contention telemetry: a tree built
+// with WithMetrics, a churning workload, delta snapshots via Metrics.Sub,
+// and a self-scrape of the Prometheus endpoint started by ServeMetrics.
+package main
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	bst "repro"
+)
+
+func main() {
+	tr := bst.New(
+		bst.WithCapacity(1<<20),
+		bst.WithReclamation(),
+		bst.WithMetrics(1), // time every operation (demo; default samples 1/64)
+	)
+
+	srv, err := bst.ServeMetrics("127.0.0.1:0", map[string]*bst.Tree{"demo": tr})
+	if err != nil {
+		panic(err)
+	}
+	defer srv.Close()
+	fmt.Printf("serving http://%s/metrics and /debug/vars\n\n", srv.Addr())
+
+	// Churn: a few goroutines hammering a small key range so the
+	// contention counters have something to say.
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			ac := tr.NewAccessor()
+			for i := int64(0); ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				k := (seed*7919 + i) % 512
+				ac.Insert(k)
+				ac.Contains(k)
+				ac.Delete(k)
+			}
+		}(int64(w))
+	}
+
+	before := tr.Metrics()
+	time.Sleep(300 * time.Millisecond)
+	delta := tr.Metrics().Sub(before)
+	close(stop)
+	wg.Wait()
+
+	fmt.Println("300ms of churn, deltas:")
+	names := make([]string, 0, len(delta.Counters))
+	for k, v := range delta.Counters {
+		if v > 0 {
+			names = append(names, k)
+		}
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Printf("  %-28s %d\n", k, delta.Counters[k])
+	}
+	if l := delta.Latency["insert"]; l.Count > 0 {
+		fmt.Printf("insert latency: %d sampled, p50 ≤ %dns, p99 ≤ %dns\n",
+			l.Count, l.P50Nanos, l.P99Nanos)
+	}
+
+	// Scrape ourselves the way Prometheus would.
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		panic(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	fmt.Println("\nscrape sample:")
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, "bst_ops_total") ||
+			strings.HasPrefix(line, "bst_arena_allocated_nodes") {
+			fmt.Println("  " + line)
+		}
+	}
+}

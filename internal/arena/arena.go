@@ -61,8 +61,9 @@ type Arena[T any] struct {
 
 	// Shared overflow pool: indices donated by retiring or overflowing
 	// Allocs, served to any Alloc whose private sources are exhausted.
-	spillMu sync.Mutex
-	spill   []uint32
+	spillMu   sync.Mutex
+	spill     []uint32
+	spillHits atomic.Uint64 // non-empty spillTake calls (telemetry)
 }
 
 // New creates an arena able to hold exactly capacity objects (storage is
@@ -171,8 +172,14 @@ func (a *Arena[T]) spillTake(max int) []uint32 {
 	out := make([]uint32, n)
 	copy(out, a.spill[len(a.spill)-n:])
 	a.spill = a.spill[:len(a.spill)-n]
+	a.spillHits.Add(1)
 	return out
 }
+
+// SpillHits returns how many times an exhausted allocator successfully
+// refilled from the shared overflow pool (telemetry: a rising value means
+// capacity is circulating between goroutines rather than sitting stranded).
+func (a *Arena[T]) SpillHits() uint64 { return a.spillHits.Load() }
 
 // Alloc hands out indices from privately reserved blocks. It is not safe for
 // concurrent use; give each goroutine its own Alloc.

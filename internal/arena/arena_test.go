@@ -141,3 +141,40 @@ func TestAllocatedMonotonic(t *testing.T) {
 		t.Fatalf("block reservation not visible: %d -> %d", before, a.Allocated())
 	}
 }
+
+func TestSpillHitsTelemetry(t *testing.T) {
+	a := New[int](64)
+	if a.SpillHits() != 0 {
+		t.Fatal("fresh arena reports spill hits")
+	}
+	// Exhaust the arena through one allocator, recycle everything, and
+	// release — all capacity now sits in the shared spill pool.
+	al1 := a.NewAlloc(1)
+	var idxs []uint32
+	for {
+		idx, _, ok := al1.TryNew()
+		if !ok {
+			break
+		}
+		idxs = append(idxs, idx)
+	}
+	if len(idxs) == 0 {
+		t.Fatal("arena yielded no indices")
+	}
+	if a.SpillHits() != 0 {
+		t.Fatal("exhausting an empty spill pool must not count as a hit")
+	}
+	for _, i := range idxs {
+		al1.Recycle(i)
+	}
+	al1.Release()
+
+	// A second allocator can only be served from the spill pool.
+	al2 := a.NewAlloc(1)
+	if _, _, ok := al2.TryNew(); !ok {
+		t.Fatal("TryNew failed with a populated spill pool")
+	}
+	if a.SpillHits() == 0 {
+		t.Fatal("spill refill did not increment SpillHits")
+	}
+}

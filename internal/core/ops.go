@@ -3,9 +3,11 @@ package core
 import (
 	"runtime"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/arena"
 	"repro/internal/atomicx"
+	"repro/internal/metrics"
 	"repro/internal/reclaim"
 )
 
@@ -91,6 +93,14 @@ type Handle struct {
 
 	slot *reclaim.Slot[uint32] // nil unless the tree reclaims memory
 
+	// m is this handle's private telemetry shard; nil unless the tree was
+	// built with Config.Metrics, in which case every instrumentation site
+	// is a single nil check. tick and mmask implement latency sampling:
+	// the operation is timed when tick&mmask == 0.
+	m     *metrics.Shard
+	tick  uint64
+	mmask uint64
+
 	// stepHook, when non-nil, is invoked immediately before every atomic
 	// step of this handle's operations (and at each seek). It exists for
 	// the exhaustive interleaving explorer in schedule_test.go, which
@@ -122,15 +132,20 @@ func (h *Handle) unpin() {
 	}
 }
 
-// Close releases the handle's reclamation slot, if any, and donates its
-// allocator's unused arena reservations to the tree's shared pool. After
-// Close the handle must not be used.
+// Close releases the handle's reclamation slot, if any, donates its
+// allocator's unused arena reservations to the tree's shared pool, and
+// retires its metrics shard (folding the counts into the registry so they
+// survive the handle). After Close the handle must not be used.
 func (h *Handle) Close() {
 	if h.slot != nil {
 		h.slot.Close()
 		h.slot = nil
 	}
 	h.al.Release()
+	if h.m != nil {
+		h.t.met.Retire(h.m)
+		h.m = nil
+	}
 	runtime.SetFinalizer(h, nil)
 }
 
@@ -177,10 +192,38 @@ func (h *Handle) seek(key uint64) {
 	}
 }
 
+// sampleStart implements sampled latency timing: it advances the handle's
+// operation tick and, one operation in every SampleEvery, reads the clock.
+// Call only when h.m != nil; sampled is false for the untimed majority.
+func (h *Handle) sampleStart() (t0 time.Time, sampled bool) {
+	h.tick++
+	if h.tick&h.mmask != 0 {
+		return time.Time{}, false
+	}
+	return time.Now(), true
+}
+
 // Search reports whether key is present (Algorithm 2, lines 34–39). It is
 // wait-free for a fixed tree and lock-free in general; it never writes to
 // shared memory.
 func (h *Handle) Search(key uint64) bool {
+	if h.m != nil {
+		return h.searchMetered(key)
+	}
+	return h.search(key)
+}
+
+func (h *Handle) searchMetered(key uint64) bool {
+	t0, sampled := h.sampleStart()
+	found := h.search(key)
+	h.m.Inc(metrics.OpsSearch)
+	if sampled {
+		h.m.Observe(metrics.OpSearch, time.Since(t0))
+	}
+	return found
+}
+
+func (h *Handle) search(key uint64) bool {
 	h.pin()
 	h.seek(key)
 	found := h.t.ar.Get(h.sr.leaf).key == key
@@ -250,6 +293,23 @@ const maxCapacityRetries = 8
 // and deletes keep working, and inserts succeed again once reclamation
 // recycles slots (deletes + grace periods).
 func (h *Handle) TryInsert(key uint64) (bool, error) {
+	if h.m != nil {
+		return h.tryInsertMetered(key)
+	}
+	return h.tryInsert(key)
+}
+
+func (h *Handle) tryInsertMetered(key uint64) (bool, error) {
+	t0, sampled := h.sampleStart()
+	ok, err := h.tryInsert(key)
+	h.m.Inc(metrics.OpsInsert)
+	if sampled {
+		h.m.Observe(metrics.OpInsert, time.Since(t0))
+	}
+	return ok, err
+}
+
+func (h *Handle) tryInsert(key uint64) (bool, error) {
 	t := h.t
 	ar := t.ar
 	retries := 0
@@ -285,10 +345,17 @@ func (h *Handle) TryInsert(key uint64) (bool, error) {
 			if h.slot == nil || retries >= maxCapacityRetries {
 				h.unpin()
 				h.Stats.CapacityFailures++
+				if h.m != nil {
+					h.m.Inc(metrics.CapacityFailures)
+				}
 				return false, ErrCapacity
 			}
 			retries++
 			h.Stats.CapacityRetries++
+			if h.m != nil {
+				h.m.Inc(metrics.CapacityRetries)
+				h.m.Inc(metrics.SeekRestarts)
+			}
 			h.unpin()
 			h.slot.Flush()
 			for i := 0; i < retries; i++ {
@@ -320,12 +387,20 @@ func (h *Handle) TryInsert(key uint64) (bool, error) {
 			return true, nil
 		}
 		h.Stats.CASFailed++
+		if h.m != nil {
+			h.m.Inc(metrics.InsertCASFailures)
+			h.m.Inc(metrics.InsertRetries)
+			h.m.Inc(metrics.SeekRestarts)
+		}
 
 		// The CAS failed. If the edge to our leaf still exists but is
 		// marked, a delete owns parent; help it finish, then retry.
 		w := childAddr.Load()
 		if atomicx.Addr(w) == leaf && atomicx.Marked(w) {
 			h.Stats.HelpAttempts++
+			if h.m != nil {
+				h.m.Inc(metrics.HelpOther)
+			}
 			h.cleanup(key, &h.sr)
 		}
 	}
@@ -345,6 +420,23 @@ const (
 // by helpers). An uncontended delete executes exactly three atomic
 // instructions: flag CAS, sibling-tag BTS, splice CAS.
 func (h *Handle) Delete(key uint64) bool {
+	if h.m != nil {
+		return h.deleteMetered(key)
+	}
+	return h.delete(key)
+}
+
+func (h *Handle) deleteMetered(key uint64) bool {
+	t0, sampled := h.sampleStart()
+	removed := h.delete(key)
+	h.m.Inc(metrics.OpsDelete)
+	if sampled {
+		h.m.Observe(metrics.OpDelete, time.Since(t0))
+	}
+	return removed
+}
+
+func (h *Handle) delete(key uint64) bool {
 	t := h.t
 	ar := t.ar
 	mode := injection
@@ -381,9 +473,15 @@ func (h *Handle) Delete(key uint64) bool {
 				}
 			} else {
 				h.Stats.CASFailed++
+				if h.m != nil {
+					h.m.Inc(metrics.DeleteFlagCASFailures)
+				}
 				w := childAddr.Load()
 				if atomicx.Addr(w) == leaf && atomicx.Marked(w) {
 					h.Stats.HelpAttempts++
+					if h.m != nil {
+						h.m.Inc(metrics.HelpOther)
+					}
 					h.cleanup(key, sr)
 				}
 			}
@@ -400,6 +498,10 @@ func (h *Handle) Delete(key uint64) bool {
 				h.Stats.Deletes++
 				return true
 			}
+		}
+		// Any path reaching here loops back into another seek.
+		if h.m != nil {
+			h.m.Inc(metrics.SeekRestarts)
 		}
 	}
 }
@@ -455,6 +557,9 @@ func (h *Handle) cleanup(key uint64, sr *seekRecord) bool {
 				break
 			}
 			h.Stats.CASFailed++
+			if h.m != nil {
+				h.m.Inc(metrics.DeleteTagCASFailures)
+			}
 		}
 	} else {
 		siblingAddr.Or(atomicx.TagBit)
@@ -473,11 +578,17 @@ func (h *Handle) cleanup(key uint64, sr *seekRecord) bool {
 	if ok {
 		h.Stats.CASSucceeded++
 		h.Stats.SpliceWins++
+		if h.m != nil {
+			h.m.Inc(metrics.SpliceWins)
+		}
 		if h.slot != nil || h.t.cfg.CountPrunedLeaves {
 			h.retireRemoved(sr, atomicx.Addr(sw))
 		}
 	} else {
 		h.Stats.CASFailed++
+		if h.m != nil {
+			h.m.Inc(metrics.DeleteSpliceCASFailures)
+		}
 	}
 	return ok
 }
@@ -500,6 +611,9 @@ func (h *Handle) retireRemoved(sr *seekRecord, survivor uint32) {
 			// delete target. Both children may be flagged here (two deletes
 			// targeting sibling leaves), so pick by identity, not by flag.
 			h.Stats.PrunedLeaves++
+			if h.m != nil {
+				h.m.Inc(metrics.PrunedLeaves)
+			}
 			if la == survivor {
 				h.retire(ra)
 			} else {
@@ -516,6 +630,9 @@ func (h *Handle) retireRemoved(sr *seekRecord, survivor uint32) {
 			leafChild, next = ra, la
 		}
 		h.Stats.PrunedLeaves++
+		if h.m != nil {
+			h.m.Inc(metrics.PrunedLeaves)
+		}
 		h.retire(leafChild)
 		if next == 0 || next == survivor {
 			return // defensive: never walk off the removed region

@@ -52,6 +52,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/failpoint"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/reclaim"
 )
 
@@ -103,6 +104,13 @@ type Config struct {
 	// internal/failpoint and the FP* site names). Test-only: leave nil in
 	// production — a nil set costs one pointer comparison per site.
 	Failpoints *failpoint.Set
+	// Metrics, when non-nil, wires the tree's hot paths into a live
+	// telemetry registry: each handle gets a private cache-line-padded
+	// shard for contention counters (CAS failures per step, helping,
+	// restarts) and sampled power-of-two latency histograms, and the tree
+	// registers a snapshot hook folding in arena and epoch telemetry.
+	// When nil every instrumentation site costs one nil check.
+	Metrics *metrics.Registry
 }
 
 // DefaultCapacity is the arena capacity used when Config.Capacity is zero.
@@ -118,7 +126,15 @@ type Tree struct {
 
 	epoch   *reclaim.Domain[uint32] // grace periods for arena-slot recycling; nil when !cfg.Reclaim
 	fp      *failpoint.Set          // fault injection; nil in production
+	met     *metrics.Registry       // live telemetry; nil when disabled
 	handles sync.Pool               // fallback handles for direct Tree method calls
+
+	// Tree-level Stats totals folded in from pooled handles at Put time,
+	// so counts survive sync.Pool dropping a handle at GC. Guarded by
+	// statsMu; only the convenience Tree methods (not the hot Handle
+	// paths) touch it.
+	statsMu     sync.Mutex
+	pooledStats Stats
 }
 
 // New creates an empty tree (containing only the three sentinel keys of
@@ -127,9 +143,35 @@ func New(cfg Config) *Tree {
 	if cfg.Capacity == 0 {
 		cfg.Capacity = DefaultCapacity
 	}
-	t := &Tree{ar: arena.New[node](cfg.Capacity), cfg: cfg, fp: cfg.Failpoints}
+	t := &Tree{ar: arena.New[node](cfg.Capacity), cfg: cfg, fp: cfg.Failpoints, met: cfg.Metrics}
 	if cfg.Reclaim {
 		t.epoch = reclaim.NewDomain[uint32]()
+	}
+	if t.met != nil {
+		// One snapshot hook folds in everything maintained outside the
+		// sharded hot path: arena allocation/spill telemetry and — when
+		// reclamation is on — epoch progress and backlog gauges.
+		ar, ep := t.ar, t.epoch
+		capacity := cfg.Capacity
+		// External counters accumulate (+=) so several trees sharing one
+		// registry sum sensibly; gauges are last-writer-wins and only
+		// meaningful with a registry per tree.
+		t.met.AddHook(func(s *metrics.Snapshot) {
+			s.External["arena_spill_hits_total"] += ar.SpillHits()
+			s.External["arena_recycled_nodes_total"] += ar.Recycled()
+			s.Gauges["arena_capacity_nodes"] = float64(capacity)
+			s.Gauges["arena_allocated_nodes"] = float64(ar.Allocated())
+			if ep != nil {
+				s.External["epoch_advances_total"] += ep.Advances()
+				s.External["epoch_flushes_total"] += ep.Flushes()
+				eh := ep.Health()
+				s.Gauges["epoch_current"] = float64(eh.Epoch)
+				s.Gauges["epoch_slots"] = float64(eh.Slots)
+				s.Gauges["epoch_pinned_slots"] = float64(eh.Pinned)
+				s.Gauges["epoch_stalled_slots"] = float64(eh.Stalled)
+				s.Gauges["epoch_retired_backlog_nodes"] = float64(eh.RetiredBacklog)
+			}
+		})
 	}
 
 	boot := t.ar.NewAlloc(8)
@@ -176,27 +218,57 @@ func (t *Tree) newHandle(block int) *Handle {
 		al := h.al
 		h.slot = t.epoch.Register(func(idx uint32) { al.Recycle(idx) })
 	}
+	if t.met != nil {
+		h.m = t.met.NewShard()
+		h.mmask = t.met.SampleMask()
+	}
 	// Safety net for handles that are dropped instead of Closed (the
 	// convenience-method pool sheds handles at GC): deregister the epoch
-	// slot so the domain's slot list cannot grow without bound, and donate
-	// the allocator's unused indices back to the arena's shared pool so a
-	// dropped handle never strands capacity.
+	// slot so the domain's slot list cannot grow without bound, donate the
+	// allocator's unused indices back to the arena's shared pool so a
+	// dropped handle never strands capacity, and retire the metrics shard
+	// so the registry stays bounded without losing the handle's counts.
+	met := t.met
 	runtime.SetFinalizer(h, func(h *Handle) {
 		if h.slot != nil {
 			h.slot.Close()
 		}
 		h.al.Release()
+		if h.m != nil {
+			met.Retire(h.m)
+		}
 	})
 	return h
 }
 
+// putHandle folds the handle's Stats into the tree-level totals before
+// returning it to the pool. sync.Pool may drop the handle at any GC;
+// without this fold the dropped handle's counts would vanish with it.
+func (t *Tree) putHandle(h *Handle) {
+	t.statsMu.Lock()
+	t.pooledStats.Add(h.Stats)
+	t.statsMu.Unlock()
+	h.Stats = Stats{}
+	t.handles.Put(h)
+}
+
+// PooledStats returns the cumulative Stats of every operation performed
+// through the Tree's convenience methods (Search/Insert/TryInsert/Delete).
+// Handle-path operations are not included — aggregate Handle.Stats for
+// those. Counts survive sync.Pool shedding handles at GC.
+func (t *Tree) PooledStats() Stats {
+	t.statsMu.Lock()
+	defer t.statsMu.Unlock()
+	return t.pooledStats
+}
+
 // Search reports whether key is present, using a pooled handle. Hot paths
-// should call Handle.Search instead. The deferred Put guarantees the
+// should call Handle.Search instead. The deferred put guarantees the
 // handle (and its epoch slot) returns to the pool even if the operation
 // panics and is recovered upstream.
 func (t *Tree) Search(key uint64) bool {
 	h := t.handles.Get().(*Handle)
-	defer t.handles.Put(h)
+	defer t.putHandle(h)
 	return h.Search(key)
 }
 
@@ -204,7 +276,7 @@ func (t *Tree) Search(key uint64) bool {
 // exhaustion; use TryInsert for the fail-soft path.
 func (t *Tree) Insert(key uint64) bool {
 	h := t.handles.Get().(*Handle)
-	defer t.handles.Put(h)
+	defer t.putHandle(h)
 	return h.Insert(key)
 }
 
@@ -213,16 +285,20 @@ func (t *Tree) Insert(key uint64) bool {
 // fully usable (see Handle.TryInsert).
 func (t *Tree) TryInsert(key uint64) (bool, error) {
 	h := t.handles.Get().(*Handle)
-	defer t.handles.Put(h)
+	defer t.putHandle(h)
 	return h.TryInsert(key)
 }
 
 // Delete removes key if present, using a pooled handle.
 func (t *Tree) Delete(key uint64) bool {
 	h := t.handles.Get().(*Handle)
-	defer t.handles.Put(h)
+	defer t.putHandle(h)
 	return h.Delete(key)
 }
+
+// Metrics returns the tree's telemetry registry, or nil when the tree was
+// built without Config.Metrics.
+func (t *Tree) Metrics() *metrics.Registry { return t.met }
 
 // NodesAllocated returns the number of arena slots reserved so far
 // (diagnostic; includes block-allocation slack).

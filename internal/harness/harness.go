@@ -6,13 +6,18 @@
 package harness
 
 import (
+	"context"
 	"fmt"
+	"runtime/pprof"
+	rtrace "runtime/trace"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/atomicx"
 	"repro/internal/keys"
+	"repro/internal/metrics"
 	"repro/internal/workload"
 )
 
@@ -55,6 +60,10 @@ type Config struct {
 	// CASOnly makes the NM tree emulate BTS with a CAS loop (ablation:
 	// the paper's CAS-only remark).
 	CASOnly bool
+	// Metrics, when non-nil, wires live contention telemetry into
+	// implementations that support it (currently the arena-backed NM
+	// tree); the other targets ignore it.
+	Metrics *metrics.Registry
 }
 
 // Result is the outcome of one measurement cell.
@@ -89,12 +98,24 @@ func Prefill(inst Instance, cfg Config) int {
 
 // Run executes one measurement cell against an already-constructed
 // instance. The instance is prefilled first when cfg.Prefill is set.
+//
+// Each cell is a runtime/trace task with "prefill" and "measure" regions,
+// and every worker goroutine carries pprof labels (bst_target, bst_phase,
+// bst_workload, bst_worker), so per-phase, per-algorithm costs show up
+// directly in `go tool pprof` and `go tool trace` when profiling or
+// tracing is active; when neither is, the labels cost a few allocations
+// per cell, off the measured path.
 func Run(target string, inst Instance, cfg Config) Result {
 	if cfg.Threads <= 0 {
 		panic("harness: Threads must be positive")
 	}
+	ctx, task := rtrace.NewTask(context.Background(),
+		fmt.Sprintf("bench-cell %s t=%d %s", target, cfg.Threads, cfg.Mix.Name))
+	defer task.End()
 	if cfg.Prefill {
-		Prefill(inst, cfg)
+		pprof.Do(ctx, pprof.Labels("bst_target", target, "bst_phase", "prefill"), func(ctx context.Context) {
+			rtrace.WithRegion(ctx, "prefill", func() { Prefill(inst, cfg) })
+		})
 	}
 
 	var stop atomic.Bool
@@ -106,30 +127,40 @@ func Run(target string, inst Instance, cfg Config) Result {
 		wg.Add(1)
 		go func(id int) {
 			defer wg.Done()
-			acc := inst.NewAccessor()
-			seed := cfg.Seed*0x9e3779b9 + uint64(id)*0x2545f4914f6cdd1d + 1
-			var gen *workload.Generator
-			if cfg.ZipfS > 1 {
-				gen = workload.NewZipfGenerator(cfg.Mix, cfg.KeyRange, seed, cfg.ZipfS)
-			} else {
-				gen = workload.NewGenerator(cfg.Mix, cfg.KeyRange, seed)
-			}
-			<-start
-			var n uint64
-			for !stop.Load() {
-				op, k := gen.Next()
-				u := keys.Map(k)
-				switch op {
-				case workload.OpSearch:
-					acc.Search(u)
-				case workload.OpInsert:
-					acc.Insert(u)
-				default:
-					acc.Delete(u)
-				}
-				n++
-			}
-			counts[id].Store(n)
+			labels := pprof.Labels(
+				"bst_target", target,
+				"bst_phase", "measure",
+				"bst_workload", cfg.Mix.Name,
+				"bst_worker", strconv.Itoa(id),
+			)
+			pprof.Do(ctx, labels, func(ctx context.Context) {
+				rtrace.WithRegion(ctx, "measure", func() {
+					acc := inst.NewAccessor()
+					seed := cfg.Seed*0x9e3779b9 + uint64(id)*0x2545f4914f6cdd1d + 1
+					var gen *workload.Generator
+					if cfg.ZipfS > 1 {
+						gen = workload.NewZipfGenerator(cfg.Mix, cfg.KeyRange, seed, cfg.ZipfS)
+					} else {
+						gen = workload.NewGenerator(cfg.Mix, cfg.KeyRange, seed)
+					}
+					<-start
+					var n uint64
+					for !stop.Load() {
+						op, k := gen.Next()
+						u := keys.Map(k)
+						switch op {
+						case workload.OpSearch:
+							acc.Search(u)
+						case workload.OpInsert:
+							acc.Insert(u)
+						default:
+							acc.Delete(u)
+						}
+						n++
+					}
+					counts[id].Store(n)
+				})
+			})
 		}(w)
 	}
 

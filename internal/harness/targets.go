@@ -64,7 +64,7 @@ func Targets() []Target {
 			if capacity == 0 {
 				capacity = defaultArenaCapacity
 			}
-			return nmInstance{core.New(core.Config{Capacity: capacity, Reclaim: cfg.Reclaim, CASOnly: cfg.CASOnly})}
+			return nmInstance{core.New(core.Config{Capacity: capacity, Reclaim: cfg.Reclaim, CASOnly: cfg.CASOnly, Metrics: cfg.Metrics})}
 		}},
 		{Name: TargetNMBoxed, New: func(cfg Config) Instance {
 			return nmBoxedInstance{nmboxed.New()}

@@ -52,6 +52,12 @@ type Domain[T any] struct {
 	epoch atomic.Uint64
 	_     [atomicx.CacheLine - 8]byte // keep the hot epoch word alone on its line
 
+	// Telemetry: successful epoch advances and explicit Flush calls. Both
+	// are off the operation hot path (advances happen once per
+	// scanInterval retires at most), so plain atomic adds are fine.
+	advances atomic.Uint64
+	flushes  atomic.Uint64
+
 	mu    sync.Mutex
 	slots []*Slot[T]
 }
@@ -66,6 +72,16 @@ func NewDomain[T any]() *Domain[T] {
 
 // Epoch returns the current global epoch (diagnostic).
 func (d *Domain[T]) Epoch() uint64 { return d.epoch.Load() }
+
+// Advances returns the cumulative number of successful global-epoch
+// advances (telemetry; a stalled value under load means reclamation is
+// blocked by a pinned slot).
+func (d *Domain[T]) Advances() uint64 { return d.advances.Load() }
+
+// Flushes returns the cumulative number of Slot.Flush calls on this domain
+// (telemetry; the capacity-recovery path in internal/core flushes before
+// each allocation retry).
+func (d *Domain[T]) Flushes() uint64 { return d.flushes.Load() }
 
 // Slots returns the number of registered, not-yet-closed slots
 // (diagnostic).
@@ -188,7 +204,9 @@ func (s *Slot[T]) tryAdvance() {
 		}
 	}
 	d.mu.Unlock()
-	d.epoch.CompareAndSwap(e, e+1)
+	if d.epoch.CompareAndSwap(e, e+1) {
+		d.advances.Add(1)
+	}
 }
 
 // Pending returns how many retired values await freeing (diagnostic).
@@ -198,6 +216,7 @@ func (s *Slot[T]) Pending() int { return int(s.pending.Load()) }
 // this slot. It spins until the slot's buckets are empty or progress stops
 // because another slot is pinned. Call only while unpinned.
 func (s *Slot[T]) Flush() {
+	s.d.flushes.Add(1)
 	for i := 0; i < 4 && s.pending.Load() > 0; i++ {
 		s.tryAdvance()
 		s.sweep()

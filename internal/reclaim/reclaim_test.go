@@ -196,3 +196,30 @@ func TestPendingAccounting(t *testing.T) {
 		t.Fatalf("Pending = %d after flush, want 0", s.Pending())
 	}
 }
+
+func TestAdvanceAndFlushCounters(t *testing.T) {
+	d := NewDomain[int]()
+	if d.Advances() != 0 || d.Flushes() != 0 {
+		t.Fatal("fresh domain reports progress")
+	}
+	s := d.Register(func(int) {})
+	s.Pin()
+	s.Retire(1)
+	s.Unpin()
+	s.Flush()
+	if d.Flushes() == 0 {
+		t.Fatal("Flush did not count")
+	}
+	if d.Advances() == 0 {
+		t.Fatal("flush-driven epoch advance did not count")
+	}
+	if got := d.Epoch(); got == 0 {
+		t.Fatalf("epoch did not move: %d", got)
+	}
+	before := d.Flushes()
+	s.Flush()
+	if d.Flushes() != before+1 {
+		t.Fatalf("Flushes = %d, want %d", d.Flushes(), before+1)
+	}
+	s.Close()
+}

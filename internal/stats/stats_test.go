@@ -104,3 +104,29 @@ func TestHumanCount(t *testing.T) {
 		}
 	}
 }
+
+// Zero- and one-sample summaries feed directly into bench table rendering
+// (reps=1 is the default), so their exact values are contract, not corner.
+func TestSummaryMathAtZeroAndOneSample(t *testing.T) {
+	z := Summarize(nil)
+	if z.N != 0 || z.Mean != 0 || z.Std != 0 || z.Min != 0 || z.Max != 0 {
+		t.Fatalf("Summarize(nil) = %+v, want all-zero summary", z)
+	}
+	z = Summarize([]float64{})
+	if z.N != 0 || z.Min != 0 || z.Max != 0 {
+		t.Fatalf("Summarize(empty) = %+v, want all-zero summary", z)
+	}
+	one := Summarize([]float64{3.5})
+	if one.N != 1 || one.Mean != 3.5 || one.Std != 0 || one.Min != 3.5 || one.Max != 3.5 {
+		t.Fatalf("Summarize(single) = %+v", one)
+	}
+	if got := Median([]float64{3.5}); got != 3.5 {
+		t.Fatalf("Median(single) = %v, want 3.5", got)
+	}
+	if got := Median([]float64{}); got != 0 {
+		t.Fatalf("Median(empty) = %v, want 0", got)
+	}
+	if got := Speedup(100, 0); !math.IsInf(got, 1) {
+		t.Fatalf("Speedup(_, 0) = %v, want +Inf", got)
+	}
+}

@@ -40,13 +40,16 @@ func NewRecorder(workers int) *Recorder {
 // Worker returns worker i's tape. Tapes are single-goroutine.
 func (r *Recorder) Worker(i int) *Tape { return r.tapes[i] }
 
-// Events merges all tapes sorted by start time.
+// Events merges all tapes sorted by start time. The sort must be stable:
+// two events on one tape can share a Start timestamp when the clock is
+// coarser than the operations, and an unstable sort could then invert a
+// worker's program order, which the linearizability checker relies on.
 func (r *Recorder) Events() []Event {
 	var out []Event
 	for _, t := range r.tapes {
 		out = append(out, t.events...)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Start < out[j].Start })
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Start < out[j].Start })
 	return out
 }
 

@@ -102,3 +102,65 @@ func TestTimestampsMonotonicWithinTape(t *testing.T) {
 		}
 	}
 }
+
+// TestMergePreservesPerWorkerOrder is the merge ordering invariant: the
+// merged stream, filtered back down to one worker, must equal that worker's
+// tape in program order — even when events carry tied Start timestamps
+// (a coarse clock can stamp several fast operations identically, and an
+// unstable merge sort would be free to invert them).
+func TestMergePreservesPerWorkerOrder(t *testing.T) {
+	const workers = 3
+	r := NewRecorder(workers)
+	// Craft tapes directly with heavy timestamp ties across and within
+	// workers; Key records each event's per-tape sequence number.
+	for w := 0; w < workers; w++ {
+		tape := r.Worker(w)
+		for i := 0; i < 50; i++ {
+			start := int64(i / 5) // five consecutive events share a Start
+			tape.events = append(tape.events, Event{
+				Worker: w, Op: workload.OpSearch, Key: int64(i),
+				Start: start, End: start + 1,
+			})
+		}
+	}
+	evs := r.Events()
+	next := make([]int64, workers)
+	for i, e := range evs {
+		if i > 0 && evs[i-1].Start > e.Start {
+			t.Fatalf("merged events not sorted by start at %d", i)
+		}
+		if e.Key != next[e.Worker] {
+			t.Fatalf("worker %d order broken: event seq %d arrived when %d was expected",
+				e.Worker, e.Key, next[e.Worker])
+		}
+		next[e.Worker]++
+	}
+}
+
+// TestMergeOrderUnderConcurrentTapes re-checks the same invariant with
+// tapes written by live goroutines (real clock, real interleaving).
+func TestMergeOrderUnderConcurrentTapes(t *testing.T) {
+	const workers = 4
+	const each = 500
+	r := NewRecorder(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			tape := r.Worker(w)
+			for i := 0; i < each; i++ {
+				tape.Record(workload.OpInsert, int64(i), func() bool { return true })
+			}
+		}(w)
+	}
+	wg.Wait()
+	next := make([]int64, workers)
+	for _, e := range r.Events() {
+		if e.Key != next[e.Worker] {
+			t.Fatalf("worker %d program order broken in merge: got seq %d, want %d",
+				e.Worker, e.Key, next[e.Worker])
+		}
+		next[e.Worker]++
+	}
+}

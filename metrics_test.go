@@ -1,0 +1,216 @@
+package bst
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+func workTree(t *testing.T, opts ...Option) *Tree {
+	t.Helper()
+	tr := New(append([]Option{WithCapacity(1 << 14)}, opts...)...)
+	for i := int64(0); i < 500; i++ {
+		tr.Insert(i)
+	}
+	for i := int64(0); i < 500; i++ {
+		tr.Contains(i)
+	}
+	for i := int64(0); i < 250; i++ {
+		tr.Delete(i)
+	}
+	return tr
+}
+
+func TestTreeMetricsSnapshot(t *testing.T) {
+	tr := workTree(t, WithMetrics(1))
+	m := tr.Metrics()
+	if !m.Enabled {
+		t.Fatal("Metrics().Enabled = false on a WithMetrics tree")
+	}
+	if m.SampleEvery != 1 {
+		t.Fatalf("SampleEvery = %d, want 1", m.SampleEvery)
+	}
+	if got := m.Counters["ops_insert_total"]; got != 500 {
+		t.Fatalf("ops_insert_total = %d, want 500", got)
+	}
+	if got := m.Counters["ops_delete_total"]; got != 250 {
+		t.Fatalf("ops_delete_total = %d, want 250", got)
+	}
+	lat, ok := m.Latency["insert"]
+	if !ok || lat.Count != 500 {
+		t.Fatalf("insert latency count = %d (ok=%v), want 500 at sampleEvery=1", lat.Count, ok)
+	}
+	if lat.P50Nanos == 0 || lat.P99Nanos < lat.P50Nanos {
+		t.Fatalf("implausible quantiles: p50=%d p99=%d", lat.P50Nanos, lat.P99Nanos)
+	}
+	if m.Gauges["arena_allocated_nodes"] == 0 {
+		t.Fatal("arena_allocated_nodes gauge missing")
+	}
+}
+
+func TestTreeMetricsSub(t *testing.T) {
+	tr := workTree(t, WithMetrics(1))
+	before := tr.Metrics()
+	for i := int64(1000); i < 1100; i++ {
+		tr.Insert(i)
+	}
+	d := tr.Metrics().Sub(before)
+	if got := d.Counters["ops_insert_total"]; got != 100 {
+		t.Fatalf("delta ops_insert_total = %d, want 100", got)
+	}
+	if got := d.Counters["ops_delete_total"]; got != 0 {
+		t.Fatalf("delta ops_delete_total = %d, want 0", got)
+	}
+	if got := d.Latency["insert"].Count; got != 100 {
+		t.Fatalf("delta insert latency count = %d, want 100", got)
+	}
+	if got := d.Latency["delete"].Count; got != 0 {
+		t.Fatalf("delta delete latency count = %d, want 0", got)
+	}
+}
+
+func TestTreeMetricsDisabled(t *testing.T) {
+	tr := workTree(t)
+	if m := tr.Metrics(); m.Enabled {
+		t.Fatalf("Metrics().Enabled = true without WithMetrics: %+v", m)
+	}
+	// Non-NM algorithms accept the option and report nothing.
+	tr2 := New(WithAlgorithm(CoarseLock), WithMetrics(1))
+	tr2.Insert(1)
+	if m := tr2.Metrics(); m.Enabled {
+		t.Fatalf("CoarseLock tree reports metrics: %+v", m)
+	}
+}
+
+// TestServeMetricsEndpoint is the acceptance test for the HTTP exposition
+// path: start a real listener, GET /metrics over TCP like a scraper would,
+// and check the Prometheus text includes the contention families and
+// latency histogram series.
+func TestServeMetricsEndpoint(t *testing.T) {
+	tr := workTree(t, WithMetrics(1))
+	srv, err := ServeMetrics("127.0.0.1:0", map[string]*Tree{"nm": tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	body := httpGet(t, "http://"+srv.Addr()+"/metrics")
+	for _, want := range []string{
+		`# TYPE bst_ops_total counter`,
+		`bst_ops_total{tree="nm",op="insert"} 500`,
+		`# TYPE bst_cas_failures_total counter`,
+		`bst_cas_failures_total{tree="nm",step="flag"}`,
+		`bst_cas_failures_total{tree="nm",step="insert"}`,
+		`# TYPE bst_help_total counter`,
+		`bst_help_total{tree="nm"}`,
+		`# TYPE bst_seek_restarts_total counter`,
+		`bst_seek_restarts_total{tree="nm"}`,
+		`# TYPE bst_op_latency_seconds histogram`,
+		`bst_op_latency_seconds_bucket{tree="nm",op="search",le="+Inf"} 500`,
+		`bst_op_latency_seconds_count{tree="nm",op="delete"} 250`,
+		`bst_op_latency_seconds_sum{tree="nm",op="insert"}`,
+		`bst_arena_allocated_nodes{tree="nm"}`,
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("GET /metrics missing %q", want)
+		}
+	}
+	if t.Failed() {
+		t.Fatalf("full body:\n%s", body)
+	}
+
+	// /debug/vars must be valid JSON with the same counters.
+	var vars map[string]struct {
+		Counters map[string]uint64 `json:"counters"`
+	}
+	if err := json.Unmarshal([]byte(httpGet(t, "http://"+srv.Addr()+"/debug/vars")), &vars); err != nil {
+		t.Fatalf("GET /debug/vars is not valid JSON: %v", err)
+	}
+	if got := vars["nm"].Counters["ops_search_total"]; got != 500 {
+		t.Fatalf("/debug/vars ops_search_total = %d, want 500", got)
+	}
+}
+
+// TestServeMetricsLive checks a scrape taken while writers are running:
+// the endpoint must respond with parseable output mid-load (scrapes never
+// block operations) and successive scrapes must be monotonic.
+func TestServeMetricsLive(t *testing.T) {
+	tr := New(WithCapacity(1<<16), WithMetrics(0), WithReclamation())
+	srv, err := ServeMetrics("127.0.0.1:0", map[string]*Tree{"nm": tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ac := tr.NewAccessor()
+		for i := int64(0); ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			k := i % 4096
+			ac.Insert(k)
+			ac.Delete(k)
+		}
+	}()
+
+	var prev uint64
+	deadline := time.Now().Add(5 * time.Second)
+	for i := 0; i < 3; i++ {
+		m := tr.Metrics()
+		total := m.Counters["ops_insert_total"] + m.Counters["ops_delete_total"]
+		if total < prev {
+			t.Fatalf("scrape %d went backwards: %d < %d", i, total, prev)
+		}
+		prev = total
+		body := httpGet(t, "http://"+srv.Addr()+"/metrics")
+		if !strings.Contains(body, `bst_ops_total{tree="nm",op="insert"}`) {
+			t.Fatalf("mid-load scrape missing ops series:\n%s", body)
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+	}
+	close(stop)
+	<-done
+	if err := tr.Validate(); err != nil {
+		t.Fatalf("tree invalid after scraped run: %v", err)
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	c := &http.Client{Timeout: 10 * time.Second}
+	resp, err := c.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %s", url, resp.Status)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read: %v", url, err)
+	}
+	return string(b)
+}
+
+func ExampleTree_Metrics() {
+	tr := New(WithMetrics(1), WithCapacity(1<<12))
+	tr.Insert(1)
+	tr.Insert(2)
+	tr.Delete(1)
+	m := tr.Metrics()
+	fmt.Println(m.Counters["ops_insert_total"], m.Counters["ops_delete_total"])
+	// Output: 2 1
+}
