@@ -1,13 +1,15 @@
 # Correctness gate for the lock-free BST repro. `make ci` is the full
-# tier: formatting, vet, build, the unit suite, and a short race pass over
-# the packages with real concurrency (the arena-backed core and the epoch
-# reclamation domain).
+# tier: formatting, vet, build, the unit suite, a race pass over the
+# packages with real concurrency (the arena-backed core, the epoch
+# reclamation domain, the public API, and the network serving layer), and
+# the deterministic serve smoke test (one shed, one capacity refusal, one
+# graceful drain on a real socket).
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race stress
+.PHONY: ci fmt-check vet build test race serve-smoke stress
 
-ci: fmt-check vet build test race
+ci: fmt-check vet build test race serve-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -25,8 +27,12 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./internal/core ./internal/reclaim
+	$(GO) test -race . ./internal/core ./internal/reclaim ./internal/server
 
-# Longer soak, including the capacity exhaust/recover round (not part of ci).
+serve-smoke:
+	$(GO) run ./cmd/bstserve -smoke
+
+# Longer soak, including the capacity exhaust/recover round and the
+# network serving soak (not part of ci).
 stress:
-	$(GO) run -race ./cmd/bststress -duration 2m -exhaust
+	$(GO) run -race ./cmd/bststress -duration 2m -exhaust -serve

@@ -136,6 +136,14 @@ type Accessor interface {
 	// ErrCapacity when a bounded tree cannot allocate, instead of
 	// panicking.
 	TryInsert(key int64) (bool, error)
+	// Close releases the accessor's per-goroutine resources — its epoch
+	// slot (so a parked accessor can never again stall reclamation), its
+	// reserved arena slots, and its metrics shard (folded into the tree's
+	// registry so counts survive). After Close the accessor must not be
+	// used. Close is a no-op for algorithms without per-accessor state;
+	// long-lived services (see internal/server) should always pair
+	// NewAccessor with Close on their drain path.
+	Close() error
 }
 
 // backend is satisfied by every internal tree implementation.
@@ -320,6 +328,35 @@ func (t *Tree) AscendRange(from, to int64, yield func(key int64) bool) {
 	})
 }
 
+// Scan visits keys in [from, to] in ascending order until yield returns
+// false, and unlike AscendRange it is safe to run concurrently with
+// writers. For the default arena-backed algorithm the traversal holds an
+// epoch pin, so reclamation can never recycle a node mid-scan; for the
+// GC-reclaimed algorithms the garbage collector provides the same safety.
+//
+// The scan is weakly consistent, like a concurrent-map iterator: keys
+// present throughout are visited exactly once, keys inserted or deleted
+// concurrently may or may not appear, and the result is not a linearizable
+// snapshot. Bounds outside the storable key range are clamped. This is the
+// traversal the network server uses for range queries.
+func (t *Tree) Scan(from, to int64, yield func(key int64) bool) {
+	if to > MaxKey {
+		to = MaxKey
+	}
+	if from > to {
+		return
+	}
+	if c, ok := t.b.(*core.Tree); ok {
+		c.Range(mapKey(from), mapKey(to), func(u uint64) bool {
+			return yield(keys.Unmap(u))
+		})
+		return
+	}
+	// GC-backed algorithms: the quiescent walk is memory-safe under
+	// concurrency (no manual reclamation), with the same weak consistency.
+	t.AscendRange(from, to, yield)
+}
+
 // Validate checks the backing structure's invariants (quiescent);
 // primarily for tests and debugging.
 func (t *Tree) Validate() error { return t.b.Audit() }
@@ -396,6 +433,20 @@ func (t *Tree) Stats() Stats {
 	}
 }
 
+// Close retires the tree's reclamation domain: every remaining epoch slot
+// (including those of pooled handles backing the convenience methods) is
+// closed so no slot can ever again pin an epoch, and retired nodes whose
+// grace period allows it are recycled. Call it when the tree is quiescent —
+// typically on a server's drain path, after all accessors are Closed and no
+// operation is in flight. After Close the tree must not be used. Close is
+// idempotent and a no-op for algorithms without reclamation state.
+func (t *Tree) Close() error {
+	if c, ok := t.b.(*core.Tree); ok {
+		c.Close()
+	}
+	return nil
+}
+
 // NewAccessor returns a per-goroutine fast path. The accessor must not be
 // shared between goroutines; the Tree itself remains safe for shared use.
 func (t *Tree) NewAccessor() Accessor {
@@ -432,6 +483,13 @@ func (a accessor) TryInsert(key int64) (bool, error) {
 		return ti.TryInsert(u)
 	}
 	return a.r.Insert(u), nil
+}
+
+func (a accessor) Close() error {
+	if c, ok := a.r.(interface{ Close() }); ok {
+		c.Close()
+	}
+	return nil
 }
 
 // Algorithms lists all selectable implementations.

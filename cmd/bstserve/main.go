@@ -1,0 +1,245 @@
+// bstserve serves one lock-free BST over TCP (the internal/wire binary
+// protocol) behind the full robustness stack of internal/server: bounded
+// in-flight admission with explicit load shedding, per-request deadlines,
+// fail-soft capacity errors, panic isolation, slow-loris defense, and
+// graceful drain on SIGTERM/SIGINT — stop accepting, finish every request
+// already received, fold per-connection accessor stats, close the
+// reclamation domain, then exit 0.
+//
+// A side HTTP listener (-admin) serves /healthz, /readyz, /metrics
+// (Prometheus) and /debug/vars, deliberately separate from the data port so
+// probes and scrapes bypass admission control.
+//
+// With -smoke the binary instead runs a deterministic in-process
+// self-test — one shed response, one capacity response, one graceful drain
+// — and exits 0/1. `make serve-smoke` wires it into CI.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	bst "repro"
+	"repro/internal/client"
+	"repro/internal/failpoint"
+	"repro/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:9044", "data listener address")
+		adminAddr    = flag.String("admin", "127.0.0.1:9045", "admin HTTP address (/healthz /readyz /metrics); empty disables")
+		capacity     = flag.Int("capacity", 1<<20, "arena bound in nodes (0 = unbounded)")
+		reclaim      = flag.Bool("reclaim", true, "enable epoch-based node reclamation")
+		maxInFlight  = flag.Int("max-inflight", 256, "admission cap: concurrently executing requests before shedding")
+		deadline     = flag.Duration("deadline", time.Second, "default per-request deadline for requests that carry none")
+		readTimeout  = flag.Duration("read-timeout", 60*time.Second, "per-frame read deadline (idle + slow-loris bound)")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may wait for in-flight requests")
+		smoke        = flag.Bool("smoke", false, "run the in-process serve smoke test and exit")
+	)
+	flag.Parse()
+
+	if *smoke {
+		if err := runSmoke(); err != nil {
+			fmt.Fprintln(os.Stderr, "bstserve: SMOKE FAIL:", err)
+			os.Exit(1)
+		}
+		fmt.Println("bstserve: smoke OK — shed, capacity and drain paths all exercised")
+		return
+	}
+
+	opts := []bst.Option{}
+	if *capacity > 0 {
+		opts = append(opts, bst.WithCapacity(*capacity))
+	}
+	if *reclaim {
+		opts = append(opts, bst.WithReclamation())
+	}
+	tree := bst.New(opts...)
+
+	srv := server.New(server.Config{
+		Tree:            tree,
+		MaxInFlight:     *maxInFlight,
+		DefaultDeadline: *deadline,
+		ReadTimeout:     *readTimeout,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(os.Stderr, "bstserve: "+format+"\n", args...)
+		},
+	})
+	if err := srv.Start(*addr); err != nil {
+		fmt.Fprintln(os.Stderr, "bstserve:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("bstserve: serving on %s (capacity=%d reclaim=%v max-inflight=%d)\n",
+		srv.Addr(), *capacity, *reclaim, *maxInFlight)
+
+	var adminSrv *http.Server
+	if *adminAddr != "" {
+		ln, err := net.Listen("tcp", *adminAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bstserve:", err)
+			os.Exit(2)
+		}
+		adminSrv = &http.Server{Handler: srv.AdminHandler(), ReadHeaderTimeout: 5 * time.Second}
+		go adminSrv.Serve(ln)
+		fmt.Printf("bstserve: admin on http://%s (/healthz /readyz /metrics)\n", ln.Addr())
+	}
+
+	// Graceful drain on SIGTERM/SIGINT: readiness flips first (the admin
+	// listener stays up so load balancers observe the drain), then the data
+	// plane flushes, then the reclamation domain closes.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGTERM, syscall.SIGINT)
+	sig := <-sigc
+	fmt.Fprintf(os.Stderr, "bstserve: %v — draining (up to %v)\n", sig, *drainTimeout)
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	err := srv.Shutdown(ctx)
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
+	tree.Close()
+
+	c := srv.Counters()
+	fmt.Printf("bstserve: drained — %d requests served, %d shed, %d capacity errors, %d timeouts, %d panics, %d conns\n",
+		c.Requests, c.Shed, c.CapacityErrs, c.Timeouts, c.Panics, c.ConnsAccepted)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "bstserve: drain incomplete:", err)
+		os.Exit(1)
+	}
+}
+
+// runSmoke is the deterministic self-test behind `make serve-smoke`: a real
+// server on a loopback port must (1) shed a request while its single
+// in-flight slot is frozen, (2) push back with a capacity error when its
+// 128-node arena fills and accept writes again after deletes, and (3) drain
+// gracefully with the frozen request completing and acknowledged.
+func runSmoke() error {
+	tree := bst.New(bst.WithCapacity(128), bst.WithReclamation())
+	fp := failpoint.NewSet()
+	srv := server.New(server.Config{Tree: tree, MaxInFlight: 1, Failpoints: fp})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	addr := srv.Addr().String()
+
+	retrying, err := client.Dial(client.Config{Addr: addr, Seed: 1})
+	if err != nil {
+		return err
+	}
+	defer retrying.Close()
+	oneShot, err := client.Dial(client.Config{Addr: addr, MaxAttempts: 1, Seed: 2})
+	if err != nil {
+		return err
+	}
+	defer oneShot.Close()
+	ctx := context.Background()
+
+	// 1. Shed: freeze the only admission slot, observe StatusOverloaded,
+	// then release and confirm the frozen op was acknowledged truthfully.
+	st := fp.Site(server.FPHandle)
+	st.StallNext()
+	frozen := make(chan error, 1)
+	go func() {
+		_, err := retrying.Insert(ctx, -1)
+		frozen <- err
+	}()
+	if !st.WaitStalled(5 * time.Second) {
+		return errors.New("insert never reached the handler failpoint")
+	}
+	if _, err := oneShot.Insert(ctx, -2); !errors.Is(err, client.ErrOverloaded) {
+		return fmt.Errorf("probe during overload: err = %v, want ErrOverloaded", err)
+	}
+	st.Release()
+	if err := <-frozen; err != nil {
+		return fmt.Errorf("frozen insert: %v", err)
+	}
+	if !tree.Contains(-1) {
+		return errors.New("acknowledged insert missing after stall release")
+	}
+	fmt.Println("bstserve: smoke 1/3 — load shed observed, frozen request completed")
+
+	// 2. Capacity: fill the arena over the wire, verify the distinct wire
+	// status, free half, verify the retrying client converges.
+	var kept []int64
+	for k := int64(0); ; k++ {
+		ok, err := oneShot.Insert(ctx, k)
+		if err != nil {
+			if !errors.Is(err, bst.ErrCapacity) {
+				return fmt.Errorf("fill: err = %v, want ErrCapacity", err)
+			}
+			break
+		}
+		if !ok {
+			return fmt.Errorf("fill: Insert(%d) = false on a fresh key", k)
+		}
+		kept = append(kept, k)
+		if k > 1<<20 {
+			return errors.New("128-node arena accepted 1M inserts; bound not enforced")
+		}
+	}
+	for _, k := range kept[:len(kept)/2] {
+		if ok, err := retrying.Delete(ctx, k); err != nil || !ok {
+			return fmt.Errorf("free: Delete(%d) = (%v, %v)", k, ok, err)
+		}
+	}
+	rctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	ok, err := retrying.Insert(rctx, 1<<40)
+	cancel()
+	if err != nil || !ok {
+		return fmt.Errorf("recovery insert = (%v, %v); client stats %+v", ok, err, retrying.Stats())
+	}
+	fmt.Println("bstserve: smoke 2/3 — capacity pushback on the wire, backoff converged after frees")
+
+	// 3. Drain with one request in flight; it must complete and be acked.
+	st.StallNext()
+	frozen2 := make(chan error, 1)
+	go func() {
+		ok, err := retrying.Delete(ctx, 1<<40)
+		if err == nil && !ok {
+			err = errors.New("drain-straddling delete returned false on a present key")
+		}
+		frozen2 <- err
+	}()
+	if !st.WaitStalled(5 * time.Second) {
+		return errors.New("delete never reached the handler failpoint")
+	}
+	drained := make(chan error, 1)
+	go func() {
+		dctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Shutdown(dctx)
+	}()
+	time.Sleep(50 * time.Millisecond) // let the drain interrupt idle readers
+	st.Release()
+	if err := <-drained; err != nil {
+		return fmt.Errorf("drain: %v", err)
+	}
+	if err := <-frozen2; err != nil {
+		return fmt.Errorf("in-flight request during drain: %v", err)
+	}
+	if tree.Contains(1 << 40) {
+		return errors.New("acknowledged delete not applied")
+	}
+	if err := tree.Close(); err != nil {
+		return err
+	}
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("tree invalid after smoke: %v", err)
+	}
+	c := srv.Counters()
+	if c.Shed == 0 || c.CapacityErrs == 0 || c.Drains != 1 || c.InFlight != 0 || c.OpenConns != 0 {
+		return fmt.Errorf("smoke counters off: %+v", c)
+	}
+	fmt.Println("bstserve: smoke 3/3 — graceful drain completed in-flight work, domain closed")
+	return nil
+}

@@ -29,18 +29,23 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime/pprof"
 	rtrace "runtime/trace"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"syscall"
 	"time"
 
+	bst "repro"
 	"repro/internal/check"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/harness"
 	"repro/internal/keys"
 	"repro/internal/metrics"
+	"repro/internal/server"
 	"repro/internal/trace"
 	"repro/internal/workload"
 )
@@ -58,6 +63,7 @@ func main() {
 		targetsFlag = flag.String("targets", "nm,nm-boxed,efrb,hj,bcco,cgl,kst4,kst16", "implementations to stress")
 		capacity    = flag.Int("capacity", 512, "arena bound (nodes) for the -exhaust round")
 		exhaust     = flag.Bool("exhaust", false, "also stress capacity exhaustion and recovery on the arena-backed tree")
+		serve       = flag.Bool("serve", false, "also soak the network serving layer: in-process bstserve + retrying clients, counting invariant verified over the wire")
 		metricsAddr = flag.String("metrics", "", "serve live telemetry on this address (/metrics Prometheus, /debug/vars JSON) while stressing")
 		traceFile   = flag.String("trace", "", "write a runtime/trace capture (rounds appear as tasks with per-check regions)")
 	)
@@ -103,10 +109,30 @@ func main() {
 		targets = append(targets, t)
 	}
 
+	// SIGINT/SIGTERM request a graceful stop: the current round runs to
+	// completion (its invariant checks still count), then the final report
+	// prints and the exit status reflects failures so far. A second signal
+	// kills the process via the default handler.
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	interrupted := func() (os.Signal, bool) {
+		select {
+		case sig := <-sigc:
+			signal.Stop(sigc)
+			return sig, true
+		default:
+			return nil, false
+		}
+	}
+
 	deadline := time.Now().Add(*duration)
 	round := 0
 	failures := 0
 	for time.Now().Before(deadline) {
+		if sig, stop := interrupted(); stop {
+			fmt.Printf("bststress: %v — finishing after %d complete round(s)\n", sig, round)
+			break
+		}
 		round++
 		// Fresh telemetry registry per round (served live via -metrics);
 		// only the arena-backed nm tree consumes it.
@@ -135,6 +161,14 @@ func main() {
 				if err := exhaustRound(*capacity, *workers, *keySpace, uint64(round), reg); err != nil {
 					failures++
 					fmt.Printf("FAIL [exhaust] nm round %d: %v\n", round, err)
+				}
+			})
+		}
+		if *serve {
+			runCheck(ctx, "serve", "nm", func() {
+				if err := serveRound(*workers, *keySpace, uint64(round)); err != nil {
+					failures++
+					fmt.Printf("FAIL [serve] nm round %d: %v\n", round, err)
 				}
 			})
 		}
@@ -313,6 +347,87 @@ func exhaustRound(capacity, workers int, keySpace int64, seed uint64, reg *metri
 		return fmt.Errorf("health reports no recycling after recovery: %+v", hl)
 	}
 	return nil
+}
+
+// serveRound soaks the network serving layer: an in-process bstserve with a
+// deliberately low in-flight cap (so shedding really happens) fronting the
+// arena-backed tree, hammered by one retrying client per worker. The
+// counting invariant is verified purely through acknowledgements that
+// crossed the wire, then the server drains gracefully — any dropped-but-
+// acknowledged operation, stuck drain, or structural damage fails the round.
+func serveRound(workers int, keySpace int64, seed uint64) error {
+	tree := bst.New(bst.WithCapacity(1<<20), bst.WithReclamation())
+	srv := server.New(server.Config{Tree: tree, MaxInFlight: max(2, workers/2)})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	addr := srv.Addr().String()
+
+	ins := make([]atomic.Int64, keySpace)
+	del := make([]atomic.Int64, keySpace)
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl, err := client.Dial(client.Config{Addr: addr, Conns: 1, Seed: int64(seed)*1000 + int64(w)})
+			if err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+			defer cl.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+			rng := rand.New(rand.NewSource(int64(seed)*7919 + int64(w)))
+			for i := 0; i < 2000; i++ {
+				k := rng.Int63n(keySpace)
+				var ok bool
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					if ok, err = cl.Insert(ctx, k); ok {
+						ins[k].Add(1)
+					}
+				case 1:
+					if ok, err = cl.Delete(ctx, k); ok {
+						del[k].Add(1)
+					}
+				default:
+					_, err = cl.Lookup(ctx, k)
+				}
+				if err != nil {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("worker %d op %d: %w", w, i, err))
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	dctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("drain: %w", err)
+	}
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return err
+	}
+	for k := int64(0); k < keySpace; k++ {
+		diff := ins[k].Load() - del[k].Load()
+		present := tree.Contains(k)
+		if !(diff == 0 && !present || diff == 1 && present) {
+			return fmt.Errorf("key %d: %d acked inserts, %d acked deletes over the wire, present=%v",
+				k, ins[k].Load(), del[k].Load(), present)
+		}
+	}
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("tree invalid after serve soak: %v", err)
+	}
+	if c := srv.Counters(); c.InFlight != 0 || c.OpenConns != 0 {
+		return fmt.Errorf("post-drain counters: %+v", c)
+	}
+	return tree.Close()
 }
 
 func linearizabilityRound(target harness.Target, workers int, seed uint64, reg *metrics.Registry) error {

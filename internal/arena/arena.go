@@ -181,6 +181,16 @@ func (a *Arena[T]) spillTake(max int) []uint32 {
 // capacity is circulating between goroutines rather than sitting stranded).
 func (a *Arena[T]) SpillHits() uint64 { return a.spillHits.Load() }
 
+// RecycleShared returns a single index directly to the shared overflow
+// pool. Unlike Alloc.Recycle it is safe for concurrent use from any
+// goroutine — it exists for release paths that outlive the allocator that
+// produced the index, such as epoch-reclamation orphans adopted from a
+// closed slot.
+func (a *Arena[T]) RecycleShared(idx uint32) {
+	a.recycled.Add(1)
+	a.spillPut([]uint32{idx})
+}
+
 // Alloc hands out indices from privately reserved blocks. It is not safe for
 // concurrent use; give each goroutine its own Alloc.
 type Alloc[T any] struct {

@@ -1,0 +1,373 @@
+// Package client is the retrying network client for the bstserve protocol
+// (internal/wire, served by internal/server).
+//
+// The client owns a small pool of TCP connections and classifies every
+// failure into one of three retry policies:
+//
+//   - transport trouble (dial failure, connection reset, server drain):
+//     redial and retry with short exponential backoff — the server is
+//     restarting, a peer will come back;
+//   - load shed (wire.StatusOverloaded): retry on the same connection
+//     after short exponential backoff with jitter — the server is alive
+//     and explicitly asked us to slow down, and jitter keeps a fleet of
+//     clients from re-converging in lockstep;
+//   - capacity (wire.StatusCapacity): retry after a *longer* backoff —
+//     arena slots return only after deletes plus reclamation grace
+//     periods, so hammering is pointless; the error surfaces as
+//     bst.ErrCapacity when attempts run out, so errors.Is works across
+//     the network boundary exactly as it does in process.
+//
+// Permanent failures (key out of range, malformed request, server panic)
+// are never retried; wire.StatusKeyOutOfRange likewise surfaces as
+// bst.ErrKeyOutOfRange. Deadlines flow from the context: the remaining
+// budget rides in every request frame, and backoff sleeps never overrun
+// the context.
+package client
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bst "repro"
+	"repro/internal/wire"
+)
+
+// Sentinel errors. ErrOverloaded and ErrDraining wrap the corresponding
+// wire statuses when retries run out; capacity and key-range failures
+// surface as bst.ErrCapacity / bst.ErrKeyOutOfRange instead, so callers
+// use one errors.Is test whether the tree is local or remote.
+var (
+	ErrOverloaded = errors.New("client: server overloaded")
+	ErrDraining   = errors.New("client: server draining")
+	ErrInternal   = errors.New("client: server internal error")
+	ErrBadRequest = errors.New("client: bad request")
+	ErrDeadline   = errors.New("client: deadline exceeded")
+)
+
+// Config tunes a Client. Addr is required.
+type Config struct {
+	// Addr is the server's data address (host:port).
+	Addr string
+	// Conns bounds concurrent requests (one per pooled connection).
+	// Default 4.
+	Conns int
+	// DialTimeout bounds each dial attempt. Default 2s.
+	DialTimeout time.Duration
+	// MaxAttempts is the total tries per operation (first attempt
+	// included). Default 8; 1 disables retries.
+	MaxAttempts int
+	// Backoff is the base delay after a shed, drain, or transport error;
+	// attempt n sleeps jittered exponential backoff from this base.
+	// Default 2ms.
+	Backoff time.Duration
+	// CapacityBackoff is the base delay after StatusCapacity. Default
+	// 20ms — capacity recovers on reclamation timescales, not RTTs.
+	CapacityBackoff time.Duration
+	// MaxBackoff caps any single sleep. Default 500ms.
+	MaxBackoff time.Duration
+	// Seed seeds the jitter source; 0 uses the current time.
+	Seed int64
+}
+
+// Stats counts client-side retry behaviour (monotonic).
+type Stats struct {
+	Requests        uint64 // operations attempted (first attempts)
+	Retries         uint64 // additional attempts beyond the first
+	Sheds           uint64 // StatusOverloaded responses seen
+	DrainsSeen      uint64 // StatusDraining responses seen
+	CapacityErrs    uint64 // StatusCapacity responses seen
+	TransportErrors uint64 // dial/read/write failures (each forces a redial)
+}
+
+// Client is a retrying bstserve client. All methods are safe for
+// concurrent use; concurrency beyond cfg.Conns queues on the pool.
+type Client struct {
+	cfg  Config
+	pool chan *conn // fixed-capacity; nil entry = slot needs a dial
+	id   atomic.Uint64
+
+	mu  sync.Mutex
+	rng *rand.Rand
+
+	stats struct {
+		requests, retries, sheds, drains, capacity, transport atomic.Uint64
+	}
+
+	closed atomic.Bool
+}
+
+// conn is one pooled connection.
+type conn struct {
+	c       net.Conn
+	br      *bufio.Reader
+	bw      *bufio.Writer
+	scratch []byte
+}
+
+// Dial creates a client. Connections are established lazily, so Dial
+// succeeds even while the server is still coming up.
+func Dial(cfg Config) (*Client, error) {
+	if cfg.Addr == "" {
+		return nil, errors.New("client: Config.Addr is required")
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 4
+	}
+	if cfg.DialTimeout <= 0 {
+		cfg.DialTimeout = 2 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.Backoff <= 0 {
+		cfg.Backoff = 2 * time.Millisecond
+	}
+	if cfg.CapacityBackoff <= 0 {
+		cfg.CapacityBackoff = 20 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 500 * time.Millisecond
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = time.Now().UnixNano()
+	}
+	cl := &Client{cfg: cfg, pool: make(chan *conn, cfg.Conns), rng: rand.New(rand.NewSource(seed))}
+	for i := 0; i < cfg.Conns; i++ {
+		cl.pool <- nil // lazily dialed
+	}
+	return cl, nil
+}
+
+// Stats returns a snapshot of the client's retry counters.
+func (cl *Client) Stats() Stats {
+	return Stats{
+		Requests:        cl.stats.requests.Load(),
+		Retries:         cl.stats.retries.Load(),
+		Sheds:           cl.stats.sheds.Load(),
+		DrainsSeen:      cl.stats.drains.Load(),
+		CapacityErrs:    cl.stats.capacity.Load(),
+		TransportErrors: cl.stats.transport.Load(),
+	}
+}
+
+// Close tears down every pooled connection. In-flight calls race it and
+// may return transport errors.
+func (cl *Client) Close() error {
+	if cl.closed.Swap(true) {
+		return nil
+	}
+	for i := 0; i < cl.cfg.Conns; i++ {
+		if c := <-cl.pool; c != nil {
+			c.c.Close()
+		}
+	}
+	return nil
+}
+
+// Insert adds key; it reports whether the set changed.
+func (cl *Client) Insert(ctx context.Context, key int64) (bool, error) {
+	resp, err := cl.do(ctx, wire.Request{Op: wire.OpInsert, Key: key})
+	return resp.OK, err
+}
+
+// Delete removes key; it reports whether the set changed.
+func (cl *Client) Delete(ctx context.Context, key int64) (bool, error) {
+	resp, err := cl.do(ctx, wire.Request{Op: wire.OpDelete, Key: key})
+	return resp.OK, err
+}
+
+// Lookup reports whether key is present.
+func (cl *Client) Lookup(ctx context.Context, key int64) (bool, error) {
+	resp, err := cl.do(ctx, wire.Request{Op: wire.OpLookup, Key: key})
+	return resp.OK, err
+}
+
+// Range returns up to limit keys in [from, to] in ascending order (0 uses
+// the server's default limit).
+func (cl *Client) Range(ctx context.Context, from, to int64, limit int) ([]int64, error) {
+	resp, err := cl.do(ctx, wire.Request{Op: wire.OpRange, Key: from, To: to, Limit: uint32(max(limit, 0))})
+	return resp.Keys, err
+}
+
+// do runs one operation through the retry loop.
+func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, error) {
+	cl.stats.requests.Add(1)
+	var lastErr error
+	for attempt := 0; attempt < cl.cfg.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			cl.stats.retries.Add(1)
+		}
+		if err := ctx.Err(); err != nil {
+			return wire.Response{}, err
+		}
+		req.ID = cl.id.Add(1)
+		req.DeadlineMS = deadlineMS(ctx)
+
+		resp, err := cl.roundTrip(ctx, req)
+		if err != nil {
+			// Transport: the conn is gone; retry redials.
+			cl.stats.transport.Add(1)
+			lastErr = err
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+				return wire.Response{}, fmt.Errorf("%w (last transport error: %v)", context.Cause(ctx), err)
+			}
+			continue
+		}
+
+		switch resp.Status {
+		case wire.StatusOK:
+			return resp, nil
+		case wire.StatusOverloaded:
+			cl.stats.sheds.Add(1)
+			lastErr = ErrOverloaded
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+				return wire.Response{}, fmt.Errorf("%w after shed", context.Cause(ctx))
+			}
+		case wire.StatusDraining:
+			cl.stats.drains.Add(1)
+			lastErr = ErrDraining
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+				return wire.Response{}, fmt.Errorf("%w during server drain", context.Cause(ctx))
+			}
+		case wire.StatusCapacity:
+			cl.stats.capacity.Add(1)
+			lastErr = bst.ErrCapacity
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.CapacityBackoff, attempt)) {
+				return wire.Response{}, fmt.Errorf("%w while tree at capacity", context.Cause(ctx))
+			}
+		case wire.StatusKeyOutOfRange:
+			return wire.Response{}, fmt.Errorf("%w: key %d", bst.ErrKeyOutOfRange, req.Key)
+		case wire.StatusDeadlineExceeded:
+			return wire.Response{}, fmt.Errorf("%w: server reported budget exhausted", ErrDeadline)
+		case wire.StatusInternal:
+			return wire.Response{}, ErrInternal
+		default:
+			return wire.Response{}, fmt.Errorf("%w: status %v", ErrBadRequest, resp.Status)
+		}
+	}
+	return wire.Response{}, fmt.Errorf("client: %d attempts exhausted: %w", cl.cfg.MaxAttempts, lastErr)
+}
+
+// roundTrip sends req on a pooled connection and reads its response. Any
+// error closes the connection; the pool slot is replaced with nil so the
+// next use redials.
+func (cl *Client) roundTrip(ctx context.Context, req wire.Request) (wire.Response, error) {
+	var c *conn
+	select {
+	case c = <-cl.pool:
+	case <-ctx.Done():
+		return wire.Response{}, ctx.Err()
+	}
+	ok := false
+	defer func() {
+		if ok {
+			cl.pool <- c
+		} else {
+			if c != nil {
+				c.c.Close()
+			}
+			cl.pool <- nil
+		}
+	}()
+
+	if c == nil {
+		nc, err := net.DialTimeout("tcp", cl.cfg.Addr, cl.cfg.DialTimeout)
+		if err != nil {
+			c = nil
+			return wire.Response{}, fmt.Errorf("client: dial: %w", err)
+		}
+		c = &conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+	}
+
+	// IO deadline: the context deadline when there is one, else a
+	// generous transport bound.
+	ioDeadline := time.Now().Add(30 * time.Second)
+	if d, okd := ctx.Deadline(); okd && d.Before(ioDeadline) {
+		ioDeadline = d
+	}
+	c.c.SetDeadline(ioDeadline)
+
+	c.scratch = wire.AppendRequest(c.scratch[:0], req)
+	if err := wire.WriteFrame(c.bw, c.scratch); err != nil {
+		return wire.Response{}, fmt.Errorf("client: write: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return wire.Response{}, fmt.Errorf("client: flush: %w", err)
+	}
+	payload, scratch, err := wire.ReadFrame(c.br, c.scratch)
+	c.scratch = scratch
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("client: read: %w", err)
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return wire.Response{}, fmt.Errorf("client: decode: %w", err)
+	}
+	if resp.ID != req.ID {
+		return wire.Response{}, fmt.Errorf("client: response id %d for request %d", resp.ID, req.ID)
+	}
+	// Draining and internal-error responses are terminal for the
+	// connection: the server closes it right after (for internal errors the
+	// connection is poisoned by the recovered panic). Drop it now instead
+	// of failing the next use.
+	ok = resp.Status != wire.StatusDraining && resp.Status != wire.StatusInternal
+	return resp, nil
+}
+
+// backoff computes the jittered exponential delay for attempt n (0-based):
+// uniformly random in [d/2, d) where d = min(base << n, MaxBackoff) — the
+// "equal jitter" scheme, keeping a mean close to pure exponential while
+// decorrelating a fleet of retrying clients.
+func (cl *Client) backoff(base time.Duration, attempt int) time.Duration {
+	if attempt > 20 {
+		attempt = 20
+	}
+	d := base << uint(attempt)
+	if d > cl.cfg.MaxBackoff || d <= 0 {
+		d = cl.cfg.MaxBackoff
+	}
+	half := d / 2
+	cl.mu.Lock()
+	j := time.Duration(cl.rng.Int63n(int64(half) + 1))
+	cl.mu.Unlock()
+	return half + j
+}
+
+// sleep blocks for d or until ctx is done; false means the context won.
+func (cl *Client) sleep(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return true
+	case <-ctx.Done():
+		return false
+	}
+}
+
+// deadlineMS converts ctx's remaining budget to the wire's millisecond
+// field: 0 (server default) when ctx has no deadline, at least 1 when it
+// does (a sub-millisecond remainder still must reach the server rather
+// than round down to "no deadline").
+func deadlineMS(ctx context.Context) uint32 {
+	d, ok := ctx.Deadline()
+	if !ok {
+		return 0
+	}
+	ms := time.Until(d).Milliseconds()
+	if ms < 1 {
+		return 1
+	}
+	if ms > int64(^uint32(0)) {
+		return 0 // effectively unbounded; let the server default apply
+	}
+	return uint32(ms)
+}

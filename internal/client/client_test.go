@@ -1,0 +1,89 @@
+package client
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestBackoffEqualJitter(t *testing.T) {
+	cl, err := Dial(Config{Addr: "x", Backoff: 2 * time.Millisecond, MaxBackoff: 500 * time.Millisecond, Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Attempt n draws uniformly from [d/2, d], d = min(base<<n, MaxBackoff).
+	for attempt := 0; attempt < 12; attempt++ {
+		d := 2 * time.Millisecond << uint(attempt)
+		if d > 500*time.Millisecond || d <= 0 {
+			d = 500 * time.Millisecond
+		}
+		for i := 0; i < 100; i++ {
+			got := cl.backoff(2*time.Millisecond, attempt)
+			if got < d/2 || got > d {
+				t.Fatalf("backoff(attempt=%d) = %v outside [%v, %v]", attempt, got, d/2, d)
+			}
+		}
+	}
+	// Huge attempt numbers must not overflow into negatives.
+	if got := cl.backoff(2*time.Millisecond, 63); got < 0 || got > 500*time.Millisecond {
+		t.Fatalf("backoff(attempt=63) = %v", got)
+	}
+}
+
+func TestBackoffJitterVaries(t *testing.T) {
+	cl, _ := Dial(Config{Addr: "x", Seed: 7, MaxBackoff: time.Second})
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 50; i++ {
+		seen[cl.backoff(time.Millisecond, 4)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("jitter produced %d distinct delays in 50 draws, want ≥ 2", len(seen))
+	}
+}
+
+func TestDeadlineMS(t *testing.T) {
+	if got := deadlineMS(context.Background()); got != 0 {
+		t.Fatalf("no-deadline ctx → %d, want 0 (server default)", got)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 250*time.Millisecond)
+	defer cancel()
+	if got := deadlineMS(ctx); got < 1 || got > 250 {
+		t.Fatalf("250ms ctx → %d, want in [1, 250]", got)
+	}
+
+	// A sub-millisecond (even already-expired) deadline still reports ≥ 1:
+	// the server must see *a* deadline, not fall back to its default.
+	tight, cancel2 := context.WithTimeout(context.Background(), time.Microsecond)
+	defer cancel2()
+	time.Sleep(2 * time.Millisecond)
+	if got := deadlineMS(tight); got != 1 {
+		t.Fatalf("expired ctx → %d, want 1", got)
+	}
+
+	// A deadline beyond uint32 milliseconds is effectively unbounded.
+	far, cancel3 := context.WithDeadline(context.Background(), time.Now().Add(200*24*365*time.Hour))
+	defer cancel3()
+	if got := deadlineMS(far); got != 0 {
+		t.Fatalf("far-future ctx → %d, want 0", got)
+	}
+}
+
+func TestDialValidation(t *testing.T) {
+	if _, err := Dial(Config{}); err == nil {
+		t.Fatal("Dial without Addr succeeded")
+	}
+	cl, err := Dial(Config{Addr: "127.0.0.1:1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cl.cfg.Conns != 4 || cl.cfg.MaxAttempts != 8 {
+		t.Fatalf("defaults not applied: %+v", cl.cfg)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cl.Close(); err != nil {
+		t.Fatal("second Close errored:", err)
+	}
+}

@@ -98,6 +98,106 @@ func TestDeleteStallDoesNotBlockOthers(t *testing.T) {
 	}
 }
 
+// TestPermanentStallHelpedToCompletion is the chaos version of the stall
+// tests above: the deleter is parked *permanently* (for the test's
+// lifetime) between its flag CAS and its tag step — the delete is
+// logically committed but physically incomplete — and is never released
+// while the assertions run. Helping must carry the operation to
+// completion without the original thread: a second thread operating on
+// the same key finishes the splice, the key becomes unreachable, the same
+// key is re-insertable, and the structure audits clean — all while the
+// deleter is still frozen. A watchdog bounds every step, so a helping bug
+// that blocks (rather than corrupts) also fails the test rather than
+// hanging the suite.
+func TestPermanentStallHelpedToCompletion(t *testing.T) {
+	fs := failpoint.NewSet()
+	tr := New(Config{Capacity: 1 << 16, Failpoints: fs})
+	setup := tr.NewHandle()
+	for i := int64(0); i < 64; i++ {
+		setup.Insert(keys.Map(i))
+	}
+
+	st := fs.Site(FPTag)
+	st.StallNext()
+	victim := make(chan bool, 1)
+	go func() {
+		h := tr.NewHandle()
+		victim <- h.Delete(keys.Map(31))
+	}()
+	if !st.WaitStalled(10 * time.Second) {
+		t.Fatal("deleter never reached the tag failpoint")
+	}
+	// The deleter stays parked for the remainder of the test; release only
+	// at cleanup so its goroutine can exit.
+	t.Cleanup(func() {
+		st.Release()
+		select {
+		case res := <-victim:
+			// The frozen thread owned the flag, so the delete is its.
+			if !res {
+				t.Error("stalled deleter reported false for the delete it committed")
+			}
+		case <-time.After(10 * time.Second):
+			t.Error("stalled deleter never completed after release")
+		}
+	})
+
+	// done runs fn on a watchdog budget: helping is lock-free, so every
+	// step below must finish in bounded time with the deleter still parked.
+	done := func(what string, fn func()) {
+		t.Helper()
+		ch := make(chan struct{})
+		go func() { fn(); close(ch) }()
+		select {
+		case <-ch:
+		case <-time.After(20 * time.Second):
+			t.Fatalf("%s did not complete while the deleter was parked (helping stuck?)", what)
+		}
+	}
+
+	// At this instant the delete is committed (edge flagged) but not
+	// applied (no tag, no splice). A second deleter of the same key must
+	// help the frozen operation to completion and then find the key gone.
+	helper := tr.NewHandle()
+	done("helping delete", func() {
+		if helper.Delete(keys.Map(31)) {
+			t.Error("helper's delete returned true; the frozen thread owns the flagged edge")
+		}
+	})
+	done("search after help", func() {
+		if helper.Search(keys.Map(31)) {
+			t.Error("key 31 still reachable after helping completed the frozen delete")
+		}
+	})
+	// External BST: a completed delete leaves no trace; the key is
+	// immediately re-insertable by anyone, deleter still parked.
+	done("reinsert", func() {
+		if !helper.Insert(keys.Map(31)) {
+			t.Error("re-insert of the helped-deleted key returned false")
+		}
+		if !helper.Delete(keys.Map(31)) {
+			t.Error("delete of the re-inserted key returned false")
+		}
+	})
+	// Neighborhood traffic keeps flowing — the parked thread pins nothing.
+	done("neighborhood churn", func() {
+		for i := int64(0); i < 1000; i++ {
+			k := keys.Map(100 + i%50)
+			helper.Insert(k)
+			helper.Search(k)
+			helper.Delete(k)
+		}
+	})
+	// No reachable flagged/tagged edge survives: helping physically
+	// finished what the frozen thread started, so the structure audits
+	// clean even though the deleter never advanced past its flag CAS.
+	done("audit", func() {
+		if err := tr.Audit(); err != nil {
+			t.Errorf("tree invalid with deleter parked post-flag: %v", err)
+		}
+	})
+}
+
 // TestStalledReaderVisibleInHealth pins a goroutine mid-operation (via a
 // failpoint stall) on a reclaiming tree and checks that Health reports the
 // slot as stalled — lagging the global epoch with a frozen retired

@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/arena"
 	"repro/internal/atomicx"
+	"repro/internal/keys"
 	"repro/internal/metrics"
 	"repro/internal/reclaim"
 )
@@ -230,6 +231,59 @@ func (h *Handle) search(key uint64) bool {
 	h.unpin()
 	h.Stats.Searches++
 	return found
+}
+
+// Range visits stored keys in [lo, hi] in ascending order until yield
+// returns false. Unlike the quiescent Tree.Keys walk it is safe to run
+// concurrently with writers: the traversal holds the handle's epoch pin, so
+// every node it can reach stays allocated for the duration, and child words
+// are read atomically with their flag/tag bits stripped.
+//
+// The scan is weakly consistent, in the style of concurrent-map iterators:
+// every key present for the whole scan is visited exactly once (node keys
+// are immutable and an external BST never moves a leaf), while keys
+// inserted or deleted concurrently may or may not appear. It is not a
+// linearizable snapshot. Sentinel keys are never visited.
+//
+// One long scan pins one epoch for its whole duration, deferring
+// reclamation tree-wide; callers serving unbounded ranges should cap the
+// number of keys per scan (as internal/server does) rather than let a
+// client hold the epoch indefinitely.
+func (h *Handle) Range(lo, hi uint64, yield func(key uint64) bool) {
+	if lo > hi {
+		return
+	}
+	h.pin()
+	defer h.unpin()
+	h.rangeWalk(h.t.r, lo, hi, yield)
+}
+
+// rangeWalk recursively visits the subtree at idx, pruning by the external
+// BST routing invariant: left subtree < node key ≤ right subtree. The
+// subtree reached through a spliced-out edge is still intact (retired nodes
+// are immutable and protected by the pin), so a scan that raced a delete
+// sees the pre-delete subtree — weak consistency, never a torn read.
+func (h *Handle) rangeWalk(idx uint32, lo, hi uint64, yield func(uint64) bool) bool {
+	n := h.t.ar.Get(idx)
+	l := atomicx.Addr(n.left.Load())
+	r := atomicx.Addr(n.right.Load())
+	if l == 0 && r == 0 { // leaf
+		if keys.IsSentinel(n.key) || n.key < lo || n.key > hi {
+			return true
+		}
+		return yield(n.key)
+	}
+	if lo < n.key && l != 0 {
+		if !h.rangeWalk(l, lo, hi, yield) {
+			return false
+		}
+	}
+	if hi >= n.key && r != 0 {
+		if !h.rangeWalk(r, lo, hi, yield) {
+			return false
+		}
+	}
+	return true
 }
 
 // tryAlloc is the fallible node allocation: it consults the FPAlloc

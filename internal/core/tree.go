@@ -146,6 +146,10 @@ func New(cfg Config) *Tree {
 	t := &Tree{ar: arena.New[node](cfg.Capacity), cfg: cfg, fp: cfg.Failpoints, met: cfg.Metrics}
 	if cfg.Reclaim {
 		t.epoch = reclaim.NewDomain[uint32]()
+		// A handle that closes mid-grace-period (pool churn, finalizer)
+		// hands its un-freed retirees to the domain; route them back to the
+		// arena through the shared pool, which any goroutine may touch.
+		t.epoch.SetOrphanFree(t.ar.RecycleShared)
 	}
 	if t.met != nil {
 		// One snapshot hook folds in everything maintained outside the
@@ -199,24 +203,57 @@ func New(cfg Config) *Tree {
 	// arena slot at a time: sync.Pool may drop handles at any GC (and does
 	// so aggressively under the race detector), and a dropped handle
 	// strands its unused block.
-	t.handles.New = func() any { return t.newHandle(1) }
+	t.handles.New = func() any { return t.newHandle(1, true) }
 	return t
 }
 
 // NewHandle returns a per-goroutine accessor. A Handle must not be used
 // concurrently; each worker goroutine should create its own.
 func (t *Tree) NewHandle() *Handle {
-	return t.newHandle(0)
+	return t.newHandle(0, false)
 }
 
-func (t *Tree) newHandle(block int) *Handle {
+// adaptiveBlock sizes a handle's private arena reservation. Unbounded
+// arenas use the arena's default (amortizing the shared-cursor CAS);
+// tightly bounded arenas get proportionally small blocks, so that many
+// handles — e.g. one per server connection — cannot strand the capacity in
+// private reservations while peers starve at ErrCapacity.
+func adaptiveBlock(capacity int) int {
+	if capacity <= 0 {
+		return 0 // NewAlloc substitutes arena.DefaultBlock
+	}
+	b := capacity / 64
+	if b < 1 {
+		b = 1
+	}
+	if b > arena.DefaultBlock {
+		b = arena.DefaultBlock
+	}
+	return b
+}
+
+// newHandle builds an accessor. sharedFree selects where the epoch domain
+// returns this handle's reclaimed nodes: explicit handles recycle into
+// their private allocator free list (fast reuse by the owning goroutine),
+// while pooled handles recycle straight into the arena's shared pool —
+// sync.Pool migrates and drops handles at will, and capacity parked in a
+// private free list would be invisible to every other handle until a GC
+// finalizer donates it.
+func (t *Tree) newHandle(block int, sharedFree bool) *Handle {
+	if block <= 0 {
+		block = adaptiveBlock(t.cfg.Capacity)
+	}
 	h := &Handle{t: t, al: t.ar.NewAlloc(block)}
 	if t.cfg.Reclaim {
-		// Capture the allocator, not the handle: the epoch domain holds
-		// this closure, and referencing h through it would keep the handle
-		// reachable forever, so its finalizer could never run.
-		al := h.al
-		h.slot = t.epoch.Register(func(idx uint32) { al.Recycle(idx) })
+		if sharedFree {
+			h.slot = t.epoch.Register(t.ar.RecycleShared)
+		} else {
+			// Capture the allocator, not the handle: the epoch domain holds
+			// this closure, and referencing h through it would keep the
+			// handle reachable forever, so its finalizer could never run.
+			al := h.al
+			h.slot = t.epoch.Register(func(idx uint32) { al.Recycle(idx) })
+		}
 	}
 	if t.met != nil {
 		h.m = t.met.NewShard()
@@ -249,6 +286,13 @@ func (t *Tree) putHandle(h *Handle) {
 	t.pooledStats.Add(h.Stats)
 	t.statsMu.Unlock()
 	h.Stats = Stats{}
+	if h.slot != nil && h.slot.Pending() > 0 {
+		// Flush retirees before parking the handle: a pooled handle may sit
+		// idle (or be dropped) indefinitely, and nothing else can free the
+		// nodes queued on its slot. Best effort — anything a concurrent pin
+		// blocks here is recovered by the finalizer's Close → orphan path.
+		h.slot.Flush()
+	}
 	t.handles.Put(h)
 }
 
@@ -296,9 +340,31 @@ func (t *Tree) Delete(key uint64) bool {
 	return h.Delete(key)
 }
 
+// Range visits keys in [lo, hi] ascending using a pooled handle; see
+// Handle.Range for the concurrency contract (epoch-protected, weakly
+// consistent).
+func (t *Tree) Range(lo, hi uint64, yield func(key uint64) bool) {
+	h := t.handles.Get().(*Handle)
+	defer t.putHandle(h)
+	h.Range(lo, hi, yield)
+}
+
 // Metrics returns the tree's telemetry registry, or nil when the tree was
 // built without Config.Metrics.
 func (t *Tree) Metrics() *metrics.Registry { return t.met }
+
+// Close retires the tree's reclamation domain (when reclamation is on):
+// every still-registered epoch slot — explicit handles that were never
+// Closed and pooled handles parked in the sync.Pool — is deactivated so it
+// can never again block epoch advancement, and retired nodes whose grace
+// period has elapsed are recycled. The tree must be quiescent: no operation
+// may be in flight and none may start afterwards. Idempotent; a later
+// finalizer or Handle.Close on an already-closed slot is a no-op.
+func (t *Tree) Close() {
+	if t.epoch != nil {
+		t.epoch.Close()
+	}
+}
 
 // NodesAllocated returns the number of arena slots reserved so far
 // (diagnostic; includes block-allocation slack).

@@ -60,6 +60,18 @@ type Domain[T any] struct {
 
 	mu    sync.Mutex
 	slots []*Slot[T]
+
+	// Orphans are retired values adopted from closed slots that were still
+	// inside their grace period (see Slot.Close). They are freed through
+	// orphanFree — which, unlike a slot's free, must be safe for concurrent
+	// use — once their grace period elapses, by whichever slot next
+	// advances the epoch. Without SetOrphanFree they are dropped, never
+	// freed: acceptable for GC-backed values, a permanent capacity leak
+	// for arena indices.
+	orphanMu    sync.Mutex
+	orphans     []bucket[T]
+	orphanCount atomic.Int64
+	orphanFree  func(T)
 }
 
 // NewDomain creates a reclamation domain. Epoch numbering starts at 1 so
@@ -68,6 +80,18 @@ func NewDomain[T any]() *Domain[T] {
 	d := &Domain[T]{}
 	d.epoch.Store(1)
 	return d
+}
+
+// SetOrphanFree installs the release function for values adopted from
+// closed slots (handle churn: a slot that closes mid-grace-period hands
+// its pending retirees to the domain instead of leaking them). free MUST
+// be safe for concurrent use — it is called by whichever goroutine next
+// advances the epoch, unlike a slot's own free which only ever runs on the
+// owning goroutine. Call once, before any Slot.Close.
+func (d *Domain[T]) SetOrphanFree(free func(T)) {
+	d.orphanMu.Lock()
+	d.orphanFree = free
+	d.orphanMu.Unlock()
 }
 
 // Epoch returns the current global epoch (diagnostic).
@@ -189,8 +213,11 @@ func (s *Slot[T]) sweep() {
 }
 
 // tryAdvance bumps the global epoch if every active slot has observed it.
-func (s *Slot[T]) tryAdvance() {
-	d := s.d
+func (s *Slot[T]) tryAdvance() { s.d.tryAdvance() }
+
+// tryAdvance bumps the global epoch if every active slot has observed it,
+// then sweeps any adopted orphans whose grace period has elapsed.
+func (d *Domain[T]) tryAdvance() {
 	e := d.epoch.Load()
 	d.mu.Lock()
 	for _, other := range d.slots {
@@ -207,6 +234,33 @@ func (s *Slot[T]) tryAdvance() {
 	if d.epoch.CompareAndSwap(e, e+1) {
 		d.advances.Add(1)
 	}
+	if d.orphanCount.Load() > 0 {
+		d.sweepOrphans()
+	}
+}
+
+// sweepOrphans frees adopted buckets whose grace period has elapsed. Unlike
+// a slot's sweep this can run on any goroutine; the bucket list is guarded
+// by orphanMu, but orphanFree runs concurrently with live slots' own free
+// calls, which is why it must be concurrency-safe.
+func (d *Domain[T]) sweepOrphans() {
+	e := d.epoch.Load()
+	d.orphanMu.Lock()
+	defer d.orphanMu.Unlock()
+	kept := d.orphans[:0]
+	for i := range d.orphans {
+		b := &d.orphans[i]
+		if b.epoch+2 <= e {
+			for _, v := range b.items {
+				d.orphanFree(v)
+			}
+			d.orphanCount.Add(-int64(len(b.items)))
+			b.items = nil
+		} else {
+			kept = append(kept, *b)
+		}
+	}
+	d.orphans = kept
 }
 
 // Pending returns how many retired values await freeing (diagnostic).
@@ -232,7 +286,7 @@ type Health struct {
 	Pinned         int    // slots currently inside a Pin/Unpin bracket
 	Stalled        int    // pinned slots lagging the global epoch — they block advancement
 	MaxLag         uint64 // largest epoch lag among pinned slots (≤1 under this protocol)
-	RetiredBacklog int    // retired values across all slots still awaiting their grace period
+	RetiredBacklog int    // retired values (incl. adopted orphans) still awaiting their grace period
 }
 
 // Health reports the domain's reclamation state. A pinned slot that has not
@@ -242,6 +296,7 @@ type Health struct {
 // starvation and will eventually exhaust a bounded arena.
 func (d *Domain[T]) Health() Health {
 	h := Health{Epoch: d.epoch.Load()}
+	h.RetiredBacklog = int(d.orphanCount.Load())
 	d.mu.Lock()
 	defer d.mu.Unlock()
 	h.Slots = len(d.slots)
@@ -263,13 +318,39 @@ func (d *Domain[T]) Health() Health {
 }
 
 // Close permanently deactivates the slot so it never again blocks epoch
-// advancement. Values still awaiting their grace period are intentionally
-// not freed (their storage is simply never recycled); call Flush first to
-// minimize that.
+// advancement, then flushes what it can. Values still inside their grace
+// period are handed to the domain as orphans (freed by a later epoch
+// advance through the function installed with SetOrphanFree); without an
+// orphan-free function they are dropped, never recycled. Idempotent: the
+// atomic swap to deadState elects exactly one closer, so a handle finalizer
+// racing Domain.Close touches nothing.
 func (s *Slot[T]) Close() {
+	if s.state.Swap(deadState) == deadState {
+		return
+	}
+	// Dead slots are skipped by tryAdvance, so this flush can make
+	// progress even though the slot itself no longer advertises an epoch.
 	s.Flush()
-	s.state.Store(deadState)
 	d := s.d
+	if s.pending.Load() > 0 {
+		// Another slot is pinned on an older epoch, so some buckets could
+		// not be freed. Adopt them into the domain rather than leak them:
+		// pooled-handle churn would otherwise permanently strand arena
+		// capacity (see TestSlotCloseAdoptsOrphans).
+		d.orphanMu.Lock()
+		if d.orphanFree != nil {
+			for i := range s.retired {
+				b := &s.retired[i]
+				if len(b.items) > 0 {
+					d.orphans = append(d.orphans, bucket[T]{epoch: b.epoch, items: b.items})
+					d.orphanCount.Add(int64(len(b.items)))
+					b.items = nil
+				}
+			}
+			s.pending.Store(0)
+		}
+		d.orphanMu.Unlock()
+	}
 	d.mu.Lock()
 	for i, other := range d.slots {
 		if other == s {
@@ -279,4 +360,23 @@ func (s *Slot[T]) Close() {
 		}
 	}
 	d.mu.Unlock()
+}
+
+// Close deactivates every slot still registered with the domain — the
+// shutdown path for a structure being retired as a whole (e.g. a serving
+// tree on drain). The domain must be quiescent: no slot may be pinned or
+// concurrently operated by its owner. Safe to call more than once and
+// concurrently with individual Slot.Close calls (each slot is closed
+// exactly once). With no slots left to block advancement, any orphans
+// adopted along the way are drained here.
+func (d *Domain[T]) Close() {
+	d.mu.Lock()
+	slots := append([]*Slot[T](nil), d.slots...)
+	d.mu.Unlock()
+	for _, s := range slots {
+		s.Close()
+	}
+	for i := 0; i < 4 && d.orphanCount.Load() > 0; i++ {
+		d.tryAdvance()
+	}
 }

@@ -223,3 +223,132 @@ func TestAdvanceAndFlushCounters(t *testing.T) {
 	}
 	s.Close()
 }
+
+func TestDomainClose(t *testing.T) {
+	d := NewDomain[int]()
+	var freed atomic.Int64
+	a := d.Register(func(int) { freed.Add(1) })
+	b := d.Register(func(int) { freed.Add(1) })
+	a.Pin()
+	a.Retire(1)
+	a.Retire(2)
+	a.Unpin()
+	_ = b
+
+	d.Close()
+	if got := d.Slots(); got != 0 {
+		t.Fatalf("Slots = %d after Domain.Close, want 0", got)
+	}
+	if freed.Load() != 2 {
+		t.Fatalf("freed %d values during Close, want 2 (nothing pinned)", freed.Load())
+	}
+	// Idempotent, and harmless on already-closed slots.
+	d.Close()
+	a.Close()
+	b.Close()
+	if h := d.Health(); h.Slots != 0 || h.Pinned != 0 {
+		t.Fatalf("Health after Close: %+v", h)
+	}
+}
+
+// TestDomainCloseRacesSlotClose drives Domain.Close concurrently with each
+// slot's own Close (the pooled-handle finalizer path): exactly one closer
+// wins per slot, nothing double-flushes, nothing deadlocks.
+func TestDomainCloseRacesSlotClose(t *testing.T) {
+	for iter := 0; iter < 50; iter++ {
+		d := NewDomain[int]()
+		slots := make([]*Slot[int], 8)
+		for i := range slots {
+			slots[i] = d.Register(func(int) {})
+			slots[i].Pin()
+			slots[i].Retire(i)
+			slots[i].Unpin()
+		}
+		var wg sync.WaitGroup
+		wg.Add(len(slots) + 1)
+		go func() { defer wg.Done(); d.Close() }()
+		for _, s := range slots {
+			go func(s *Slot[int]) { defer wg.Done(); s.Close() }(s)
+		}
+		wg.Wait()
+		if got := d.Slots(); got != 0 {
+			t.Fatalf("iter %d: Slots = %d after racing closes, want 0", iter, got)
+		}
+	}
+}
+
+// TestSlotCloseAdoptsOrphans pins one slot on an old epoch so a second
+// slot's Close cannot free its retirees, closes that slot, then verifies
+// the domain adopted the values and frees them — through the concurrency-
+// safe orphan function — once the blocker unpins and the epoch advances.
+// Without adoption this is the pooled-handle capacity leak: the slot is
+// gone, its retirees stranded forever.
+func TestSlotCloseAdoptsOrphans(t *testing.T) {
+	d := NewDomain[int]()
+	var orphaned atomic.Int64
+	d.SetOrphanFree(func(int) { orphaned.Add(1) })
+
+	blocker := d.Register(func(int) {})
+	victim := d.Register(func(int) { t.Error("victim's own free ran; values should be orphaned") })
+
+	blocker.Pin() // advertises the current epoch and never re-observes a newer one
+
+	victim.Pin()
+	victim.Retire(1)
+	victim.Retire(2)
+	victim.Retire(3)
+	victim.Unpin()
+	victim.Close() // Flush stalls on the blocker; buckets must be adopted
+
+	if h := d.Health(); h.RetiredBacklog != 3 {
+		t.Fatalf("RetiredBacklog = %d after adoption, want 3", h.RetiredBacklog)
+	}
+	if orphaned.Load() != 0 {
+		t.Fatalf("orphans freed while blocker still pinned")
+	}
+
+	blocker.Unpin()
+	// Any slot's advance attempt sweeps orphans; use a third slot to model
+	// "whichever goroutine next advances the epoch".
+	other := d.Register(func(int) {})
+	for i := 0; i < 4 && orphaned.Load() < 3; i++ {
+		other.Pin()
+		other.Unpin()
+		d.tryAdvance()
+	}
+	if orphaned.Load() != 3 {
+		t.Fatalf("orphaned = %d after epoch advances, want 3", orphaned.Load())
+	}
+	if h := d.Health(); h.RetiredBacklog != 0 {
+		t.Fatalf("RetiredBacklog = %d after orphan sweep, want 0", h.RetiredBacklog)
+	}
+	other.Close()
+	blocker.Close()
+}
+
+// TestDomainCloseDrainsOrphans verifies the shutdown path: orphans adopted
+// during slot closes are drained by Domain.Close itself once no slot can
+// block epoch advancement.
+func TestDomainCloseDrainsOrphans(t *testing.T) {
+	d := NewDomain[int]()
+	var orphaned atomic.Int64
+	d.SetOrphanFree(func(int) { orphaned.Add(1) })
+
+	blocker := d.Register(func(int) {})
+	victim := d.Register(func(int) {})
+	blocker.Pin()
+	victim.Pin()
+	victim.Retire(7)
+	victim.Unpin()
+	victim.Close()
+	blocker.Unpin()
+	blocker.Close()
+
+	d.Close()
+	if orphaned.Load() != 1 {
+		t.Fatalf("orphaned = %d after Domain.Close, want 1", orphaned.Load())
+	}
+	if h := d.Health(); h.RetiredBacklog != 0 {
+		t.Fatalf("RetiredBacklog = %d after Domain.Close, want 0", h.RetiredBacklog)
+	}
+}

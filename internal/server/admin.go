@@ -1,0 +1,111 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/metrics"
+)
+
+// AdminHandler returns the server's operational HTTP surface:
+//
+//	GET /healthz     liveness — 200 while the process serves at all
+//	                 (including during drain), with a tree-health body
+//	GET /readyz      readiness — 200 only when the server is accepting
+//	                 and should receive traffic; 503 while draining,
+//	                 closed, or when reclamation is stalled
+//	GET /metrics     Prometheus exposition: tree contention series plus
+//	                 the server_* counters (shed, timeouts, drains, ...)
+//	GET /debug/vars  the same snapshot as expvar-style JSON
+//
+// Serve it on a side listener, separate from the data port, so health
+// checks and scrapes are never subject to the data plane's admission
+// control.
+func (s *Server) AdminHandler() http.Handler {
+	mux := http.NewServeMux()
+	metricsH := metrics.Handler(func() []metrics.Source {
+		return []metrics.Source{{Name: "serve", Registry: s.reg}}
+	})
+	mux.Handle("/metrics", metricsH)
+	mux.Handle("/debug/vars", metricsH)
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeHealth(w, http.StatusOK, "ok", s)
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		if err := s.Ready(); err != nil {
+			writeHealth(w, http.StatusServiceUnavailable, err.Error(), s)
+			return
+		}
+		writeHealth(w, http.StatusOK, "ready", s)
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprintln(w, "bstserve admin: /healthz /readyz /metrics /debug/vars")
+	})
+	return mux
+}
+
+// Ready reports whether the server should receive new traffic: nil when
+// accepting, an explanatory error while draining or closed, and an error
+// when the tree's reclamation is visibly wedged (a stalled reader freezing
+// a growing retired backlog) — the one tree condition a load balancer
+// should route away from before it becomes arena exhaustion.
+func (s *Server) Ready() error {
+	if s.closed.Load() {
+		return fmt.Errorf("closed")
+	}
+	if s.draining.Load() {
+		return fmt.Errorf("draining")
+	}
+	h := s.cfg.Tree.Health()
+	if h.StalledSlots > 0 && h.RetiredBacklog > 0 {
+		return fmt.Errorf("reclamation stalled: %d slot(s) pinning the epoch, %d nodes backlogged",
+			h.StalledSlots, h.RetiredBacklog)
+	}
+	return nil
+}
+
+// healthBody is the JSON document both health endpoints serve.
+type healthBody struct {
+	Status   string     `json:"status"`
+	Draining bool       `json:"draining"`
+	Counters Counters   `json:"counters"`
+	Tree     treeHealth `json:"tree"`
+}
+
+type treeHealth struct {
+	Algorithm      string `json:"algorithm"`
+	Capacity       int    `json:"capacity_nodes"`
+	Allocated      uint64 `json:"allocated_nodes"`
+	Recycled       uint64 `json:"recycled_nodes"`
+	Reclaim        bool   `json:"reclaim_enabled"`
+	StalledSlots   int    `json:"stalled_slots"`
+	RetiredBacklog int    `json:"retired_backlog_nodes"`
+}
+
+func writeHealth(w http.ResponseWriter, code int, status string, s *Server) {
+	h := s.cfg.Tree.Health()
+	body := healthBody{
+		Status:   status,
+		Draining: s.draining.Load(),
+		Counters: s.Counters(),
+		Tree: treeHealth{
+			Algorithm:      h.Algorithm.String(),
+			Capacity:       h.Capacity,
+			Allocated:      h.NodesAllocated,
+			Recycled:       h.NodesRecycled,
+			Reclaim:        h.ReclaimEnabled,
+			StalledSlots:   h.StalledSlots,
+			RetiredBacklog: h.RetiredBacklog,
+		},
+	}
+	w.Header().Set("Content-Type", "application/json; charset=utf-8")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(body)
+}

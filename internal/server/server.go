@@ -1,0 +1,582 @@
+// Package server exposes a bst.Tree over a TCP binary protocol
+// (internal/wire) behind a production robustness stack:
+//
+//   - admission control: a bounded in-flight semaphore; requests beyond
+//     the cap are shed with wire.StatusOverloaded *before* touching the
+//     tree, so an overloaded server stays responsive instead of queueing
+//     without bound;
+//   - deadlines: every request carries a time budget (or inherits the
+//     server default) propagated as a context.Context; expired requests
+//     answer wire.StatusDeadlineExceeded rather than consuming tree time;
+//   - fail-soft tree errors: bst.ErrCapacity and bst.ErrKeyOutOfRange map
+//     to distinct wire statuses, so clients can apply distinct retry
+//     policies (wait-for-deletes vs give-up);
+//   - panic isolation: a panic while serving a request is confined to its
+//     connection — the client gets wire.StatusInternal, the connection is
+//     poisoned and closed, every other connection keeps serving;
+//   - slow-loris defense: a per-frame read deadline; a peer that dribbles
+//     bytes or goes silent mid-frame is disconnected;
+//   - graceful drain: Shutdown stops accepting, lets every in-flight
+//     request finish and get its response, closes per-connection
+//     accessors (folding their stats/metrics), and leaves the tree ready
+//     for Tree.Close — nothing acknowledged is ever dropped.
+//
+// One goroutine serves each connection, owning a private bst.Accessor —
+// the paper's per-thread handle discipline carried over the network
+// boundary: requests on one connection execute in order on one handle, so
+// the single-goroutine contract holds with zero locking on the hot path.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bst "repro"
+	"repro/internal/failpoint"
+	"repro/internal/metrics"
+	"repro/internal/wire"
+)
+
+// Failpoint site names understood by servers built with Config.Failpoints.
+const (
+	// FPHandle fires after admission (the semaphore slot is held) and
+	// before the request executes. A stall here freezes one in-flight
+	// request, which is how tests make shedding and drain deterministic.
+	FPHandle = "server-handle"
+	// FPPanic fires at the same point; a triggered hit panics, exercising
+	// the per-connection isolation path.
+	FPPanic = "server-panic"
+)
+
+// Config tunes a Server. Tree is required; everything else has serving
+// defaults.
+type Config struct {
+	// Tree is the shared store. The server creates one Accessor per
+	// connection and Closes it when the connection ends.
+	Tree *bst.Tree
+	// MaxInFlight bounds concurrently executing requests across all
+	// connections; excess requests are shed with StatusOverloaded.
+	// Default 256.
+	MaxInFlight int
+	// AdmissionWait is how long a request may wait for an in-flight slot
+	// before being shed. 0 (the default) sheds immediately: under
+	// overload the cheapest thing a server can do is say no quickly.
+	AdmissionWait time.Duration
+	// DefaultDeadline applies to requests that carry no deadline of their
+	// own. Default 1s.
+	DefaultDeadline time.Duration
+	// ReadTimeout is the per-frame read deadline: the longest the server
+	// waits for a request frame to start *and* finish arriving. Idle
+	// connections beyond it are closed (clients reconnect transparently);
+	// mid-frame it is the slow-loris guard. Default 60s.
+	ReadTimeout time.Duration
+	// RangeLimit caps keys per range response (and is the default when a
+	// request asks for 0). Default 1024, hard-capped so a response always
+	// fits in wire.MaxFrame.
+	RangeLimit int
+	// Metrics, when non-nil, receives the server's counters (shed,
+	// timeouts, drains, ...) as external series on every snapshot, so one
+	// scrape shows tree contention and serving health side by side. When
+	// nil a private registry is created for the admin endpoint.
+	Metrics *metrics.Registry
+	// Failpoints wires the FP* sites for fault-injection tests. Leave nil
+	// in production.
+	Failpoints *failpoint.Set
+	// Logf, when non-nil, receives one line per notable event (accept
+	// errors, panics, drain). Nil means silent.
+	Logf func(format string, args ...any)
+}
+
+// maxRangeLimit keeps the largest possible range response inside
+// wire.MaxFrame (respBase + count + keys).
+const maxRangeLimit = (wire.MaxFrame - 64) / 8
+
+// Counters is a point-in-time snapshot of the server's serving statistics.
+// Monotonic fields count since server creation; InFlight and OpenConns are
+// instantaneous gauges.
+type Counters struct {
+	ConnsAccepted uint64 // connections accepted
+	ConnsClosed   uint64 // connections fully torn down
+	Requests      uint64 // requests admitted and executed (any status)
+	Shed          uint64 // requests rejected with StatusOverloaded
+	DrainRejected uint64 // requests rejected with StatusDraining
+	Timeouts      uint64 // requests answered StatusDeadlineExceeded
+	CapacityErrs  uint64 // requests answered StatusCapacity
+	OutOfRange    uint64 // requests answered StatusKeyOutOfRange
+	BadRequests   uint64 // malformed frames / unknown ops
+	Panics        uint64 // requests answered StatusInternal (recovered panics)
+	SlowReads     uint64 // connections dropped mid-frame by the read deadline
+	Drains        uint64 // Shutdown calls that completed
+	InFlight      int64  // requests currently holding an admission slot
+	OpenConns     int64  // currently open connections
+	Draining      bool
+}
+
+type counters struct {
+	connsAccepted atomic.Uint64
+	connsClosed   atomic.Uint64
+	requests      atomic.Uint64
+	shed          atomic.Uint64
+	drainRejected atomic.Uint64
+	timeouts      atomic.Uint64
+	capacityErrs  atomic.Uint64
+	outOfRange    atomic.Uint64
+	badRequests   atomic.Uint64
+	panics        atomic.Uint64
+	slowReads     atomic.Uint64
+	drains        atomic.Uint64
+	inFlight      atomic.Int64
+	openConns     atomic.Int64
+}
+
+// Server is a TCP front end for one bst.Tree. Create with New, start with
+// Start or Serve, stop with Shutdown (graceful) or Close (abrupt).
+type Server struct {
+	cfg Config
+	sem chan struct{} // admission semaphore: one token per in-flight request
+	reg *metrics.Registry
+
+	mu       sync.Mutex
+	ln       net.Listener
+	conns    map[net.Conn]struct{}
+	draining atomic.Bool
+	closed   atomic.Bool
+
+	connWG  sync.WaitGroup // one per live connection goroutine
+	serveWG sync.WaitGroup // the accept loop
+
+	stats counters
+}
+
+// New creates a server for cfg.Tree. The server does not listen until
+// Start or Serve is called.
+func New(cfg Config) *Server {
+	if cfg.Tree == nil {
+		panic("server: Config.Tree is required")
+	}
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = 256
+	}
+	if cfg.DefaultDeadline <= 0 {
+		cfg.DefaultDeadline = time.Second
+	}
+	if cfg.ReadTimeout <= 0 {
+		cfg.ReadTimeout = 60 * time.Second
+	}
+	if cfg.RangeLimit <= 0 || cfg.RangeLimit > maxRangeLimit {
+		if cfg.RangeLimit > maxRangeLimit {
+			cfg.RangeLimit = maxRangeLimit
+		} else {
+			cfg.RangeLimit = 1024
+		}
+	}
+	s := &Server{
+		cfg:   cfg,
+		sem:   make(chan struct{}, cfg.MaxInFlight),
+		conns: make(map[net.Conn]struct{}),
+		reg:   cfg.Metrics,
+	}
+	if s.reg == nil {
+		s.reg = metrics.NewRegistry(0)
+	}
+	// Serving counters ride the metrics snapshot as external series, so
+	// the Prometheus endpoint exports tree and server health together.
+	s.reg.AddHook(func(sn *metrics.Snapshot) {
+		c := s.Counters()
+		sn.External["server_conns_accepted_total"] += c.ConnsAccepted
+		sn.External["server_requests_total"] += c.Requests
+		sn.External["server_shed_total"] += c.Shed
+		sn.External["server_drain_rejected_total"] += c.DrainRejected
+		sn.External["server_deadline_timeouts_total"] += c.Timeouts
+		sn.External["server_capacity_errors_total"] += c.CapacityErrs
+		sn.External["server_panics_total"] += c.Panics
+		sn.External["server_slow_reads_total"] += c.SlowReads
+		sn.External["server_drains_total"] += c.Drains
+		sn.Gauges["server_inflight_requests"] = float64(c.InFlight)
+		sn.Gauges["server_open_conns"] = float64(c.OpenConns)
+		if c.Draining {
+			sn.Gauges["server_draining"] = 1
+		} else {
+			sn.Gauges["server_draining"] = 0
+		}
+	})
+	return s
+}
+
+// Counters returns a snapshot of the serving statistics.
+func (s *Server) Counters() Counters {
+	return Counters{
+		ConnsAccepted: s.stats.connsAccepted.Load(),
+		ConnsClosed:   s.stats.connsClosed.Load(),
+		Requests:      s.stats.requests.Load(),
+		Shed:          s.stats.shed.Load(),
+		DrainRejected: s.stats.drainRejected.Load(),
+		Timeouts:      s.stats.timeouts.Load(),
+		CapacityErrs:  s.stats.capacityErrs.Load(),
+		OutOfRange:    s.stats.outOfRange.Load(),
+		BadRequests:   s.stats.badRequests.Load(),
+		Panics:        s.stats.panics.Load(),
+		SlowReads:     s.stats.slowReads.Load(),
+		Drains:        s.stats.drains.Load(),
+		InFlight:      s.stats.inFlight.Load(),
+		OpenConns:     s.stats.openConns.Load(),
+		Draining:      s.draining.Load(),
+	}
+}
+
+func (s *Server) logf(format string, args ...any) {
+	if s.cfg.Logf != nil {
+		s.cfg.Logf(format, args...)
+	}
+}
+
+// Start listens on addr and serves in a background goroutine. Use Addr to
+// recover the bound address (handy with ":0").
+func (s *Server) Start(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: listen %s: %w", addr, err)
+	}
+	s.mu.Lock()
+	s.ln = ln // visible to Addr before the accept goroutine runs
+	s.mu.Unlock()
+	s.serveWG.Add(1)
+	go func() {
+		defer s.serveWG.Done()
+		s.Serve(ln)
+	}()
+	return nil
+}
+
+// Addr returns the listener address, or nil before Start/Serve.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.ln == nil {
+		return nil
+	}
+	return s.ln.Addr()
+}
+
+// Serve accepts connections on ln until the listener is closed (by
+// Shutdown or Close). It returns nil on a clean shutdown.
+func (s *Server) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			if s.draining.Load() || s.closed.Load() {
+				return nil
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		if s.draining.Load() || s.closed.Load() {
+			c.Close() // raced the drain; never acknowledged, safe to drop
+			continue
+		}
+		s.stats.connsAccepted.Add(1)
+		s.stats.openConns.Add(1)
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.connWG.Add(1)
+		go s.handleConn(c)
+	}
+}
+
+// forgetConn unregisters and closes a connection.
+func (s *Server) forgetConn(c net.Conn) {
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	c.Close()
+	s.stats.openConns.Add(-1)
+	s.stats.connsClosed.Add(1)
+}
+
+// handleConn serves one connection: a private accessor, a read loop with a
+// per-frame deadline, one response per request. Returning closes the
+// connection and folds the accessor's state back into the tree.
+func (s *Server) handleConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.forgetConn(c)
+	acc := s.cfg.Tree.NewAccessor()
+	defer acc.Close()
+
+	var scratch, out []byte
+	for {
+		if s.draining.Load() || s.closed.Load() {
+			return
+		}
+		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		frame, newScratch, err := wire.ReadFrame(c, scratch)
+		scratch = newScratch
+		if err != nil {
+			// Timeouts while draining are the drain interrupt; timeouts
+			// mid-frame otherwise are a dribbling (or dead) peer.
+			var ne net.Error
+			if errors.As(err, &ne) && ne.Timeout() && !s.draining.Load() {
+				s.stats.slowReads.Add(1)
+			}
+			if errors.Is(err, wire.ErrFrameTooBig) {
+				s.stats.badRequests.Add(1)
+			}
+			return
+		}
+		req, err := wire.DecodeRequest(frame)
+		if err != nil {
+			// The stream can no longer be trusted to be framed; answer
+			// and hang up.
+			s.stats.badRequests.Add(1)
+			s.writeResponse(c, &out, wire.Response{ID: req.ID, Status: wire.StatusBadRequest})
+			return
+		}
+		resp, poisoned := s.dispatch(acc, req)
+		if !s.writeResponse(c, &out, resp) || poisoned {
+			return
+		}
+	}
+}
+
+// writeResponse frames and writes one response; false means the connection
+// is broken.
+func (s *Server) writeResponse(c net.Conn, out *[]byte, resp wire.Response) bool {
+	*out = wire.AppendResponse((*out)[:0], resp)
+	c.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+	return wire.WriteFrame(c, *out) == nil
+}
+
+// dispatch runs one request through admission control, deadline handling
+// and the tree, translating every failure mode to its wire status.
+// poisoned reports that the handler panicked and the connection must close.
+func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Response, poisoned bool) {
+	resp.ID = req.ID
+	start := time.Now()
+
+	if req.Op < wire.OpInsert || req.Op > wire.OpRange {
+		s.stats.badRequests.Add(1)
+		resp.Status = wire.StatusBadRequest
+		return resp, false
+	}
+	if s.draining.Load() {
+		s.stats.drainRejected.Add(1)
+		resp.Status = wire.StatusDraining
+		return resp, false
+	}
+
+	// Admission: take an in-flight token or shed. The bounded wait (0 by
+	// default) is the only queueing the server ever does.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.cfg.AdmissionWait <= 0 {
+			s.stats.shed.Add(1)
+			resp.Status = wire.StatusOverloaded
+			return resp, false
+		}
+		t := time.NewTimer(s.cfg.AdmissionWait)
+		select {
+		case s.sem <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			s.stats.shed.Add(1)
+			resp.Status = wire.StatusOverloaded
+			return resp, false
+		}
+	}
+	s.stats.inFlight.Add(1)
+	defer func() {
+		s.stats.inFlight.Add(-1)
+		<-s.sem
+		if p := recover(); p != nil {
+			s.stats.panics.Add(1)
+			s.logf("server: panic serving %s(%d): %v", wire.OpName(req.Op), req.Key, p)
+			resp = wire.Response{ID: req.ID, Status: wire.StatusInternal}
+			poisoned = true
+		}
+	}()
+	s.stats.requests.Add(1)
+
+	if fp := s.cfg.Failpoints; fp != nil {
+		fp.Hit(FPHandle) // stall-style injection parks here, holding its slot
+		if fp.Hit(FPPanic) {
+			panic("failpoint " + FPPanic)
+		}
+	}
+
+	// Deadline: the request's budget (or the server default) becomes a
+	// context carried through execution.
+	budget := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		budget = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), start.Add(budget))
+	defer cancel()
+
+	resp = s.execute(ctx, acc, req)
+	return resp, false
+}
+
+// execute performs the tree operation under ctx. It assumes admission has
+// already been granted.
+func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request) wire.Response {
+	resp := wire.Response{ID: req.ID}
+	if ctx.Err() != nil {
+		s.stats.timeouts.Add(1)
+		resp.Status = wire.StatusDeadlineExceeded
+		return resp
+	}
+	switch req.Op {
+	case wire.OpInsert:
+		ok, err := acc.TryInsert(req.Key)
+		switch {
+		case err == nil:
+			resp.Status, resp.OK = wire.StatusOK, ok
+		case errors.Is(err, bst.ErrCapacity):
+			s.stats.capacityErrs.Add(1)
+			resp.Status = wire.StatusCapacity
+		case errors.Is(err, bst.ErrKeyOutOfRange):
+			s.stats.outOfRange.Add(1)
+			resp.Status = wire.StatusKeyOutOfRange
+		default:
+			s.stats.badRequests.Add(1)
+			resp.Status = wire.StatusBadRequest
+		}
+	case wire.OpDelete:
+		if !keyInRange(req.Key) {
+			s.stats.outOfRange.Add(1)
+			resp.Status = wire.StatusKeyOutOfRange
+			return resp
+		}
+		resp.Status, resp.OK = wire.StatusOK, acc.Delete(req.Key)
+	case wire.OpLookup:
+		if !keyInRange(req.Key) {
+			s.stats.outOfRange.Add(1)
+			resp.Status = wire.StatusKeyOutOfRange
+			return resp
+		}
+		resp.Status, resp.OK = wire.StatusOK, acc.Contains(req.Key)
+	case wire.OpRange:
+		limit := int(req.Limit)
+		if limit <= 0 || limit > s.cfg.RangeLimit {
+			limit = s.cfg.RangeLimit
+		}
+		keys := make([]int64, 0, min(limit, 64))
+		expired := false
+		i := 0
+		// Scan is the epoch-protected concurrent traversal; the limit cap
+		// bounds how long one request can pin a reclamation epoch.
+		s.cfg.Tree.Scan(req.Key, req.To, func(k int64) bool {
+			// Deadline check every few keys: a huge range cannot hold
+			// its admission slot past its budget.
+			if i++; i&63 == 0 && ctx.Err() != nil {
+				expired = true
+				return false
+			}
+			keys = append(keys, k)
+			return len(keys) < limit
+		})
+		if expired {
+			s.stats.timeouts.Add(1)
+			resp.Status = wire.StatusDeadlineExceeded
+			return resp
+		}
+		resp.Status, resp.OK, resp.Keys = wire.StatusOK, true, keys
+	}
+	if ctx.Err() != nil && resp.Status == wire.StatusOK && req.Op != wire.OpRange {
+		// The op completed after its budget. It *was* executed (point
+		// operations are not cancellable mid-CAS), so report success:
+		// dropping the acknowledgement would make the client retry a
+		// non-idempotent observation. Count it for the operator.
+		s.stats.timeouts.Add(1)
+	}
+	return resp
+}
+
+// keyInRange mirrors the public key bound (any int64 up to bst.MaxKey;
+// negatives are storable) so Delete/Contains answer StatusKeyOutOfRange on
+// the wire instead of panicking server-side.
+func keyInRange(k int64) bool { return k <= bst.MaxKey }
+
+// Shutdown drains the server: stop accepting, interrupt idle reads, let
+// every request already received finish and flush its response, then close
+// all connections (folding each accessor's stats and metrics shard into
+// the tree) and return. If ctx expires first the remaining connections are
+// severed and ctx.Err() is returned. After Shutdown the caller may
+// Tree.Close the store; the per-connection accessors are already closed,
+// so the reclamation domain retires cleanly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	if s.draining.Swap(true) {
+		// A concurrent or repeated Shutdown waits for the first.
+		done := make(chan struct{})
+		go func() { s.connWG.Wait(); close(done) }()
+		select {
+		case <-done:
+			return nil
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+	}
+	s.logf("server: draining")
+	s.mu.Lock()
+	ln := s.ln
+	for c := range s.conns {
+		// Interrupt reads at the frame boundary: goroutines blocked
+		// waiting for a next request wake immediately; goroutines mid
+		// request finish it and then observe draining.
+		c.SetReadDeadline(time.Now())
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.connWG.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.serveWG.Wait()
+		s.stats.drains.Add(1)
+		s.logf("server: drain complete (%d requests served)", s.stats.requests.Load())
+		return nil
+	case <-ctx.Done():
+		// Force the stragglers.
+		s.mu.Lock()
+		for c := range s.conns {
+			c.Close()
+		}
+		s.mu.Unlock()
+		<-done
+		s.serveWG.Wait()
+		s.stats.drains.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Close abruptly stops the server: the listener and every connection are
+// closed without waiting for in-flight requests.
+func (s *Server) Close() error {
+	s.closed.Store(true)
+	s.mu.Lock()
+	ln := s.ln
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	s.connWG.Wait()
+	s.serveWG.Wait()
+	return nil
+}

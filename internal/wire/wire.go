@@ -1,0 +1,283 @@
+// Package wire defines the binary protocol spoken between the bstserve
+// server (internal/server) and its client (internal/client).
+//
+// Every message is a length-prefixed frame:
+//
+//	uint32 length (big-endian, length of the payload that follows)
+//	payload
+//
+// A request payload is
+//
+//	uint64 id          correlation id, echoed in the response
+//	uint8  op          OpInsert | OpDelete | OpLookup | OpRange
+//	uint32 deadline_ms time budget for the request (0 = server default)
+//	int64  key         the key (Range: lower bound, inclusive)
+//	[Range only]
+//	int64  to          upper bound, inclusive
+//	uint32 limit       maximum keys to return (0 = server default)
+//
+// and a response payload is
+//
+//	uint64 id          copied from the request
+//	uint8  status      see Status
+//	uint8  ok          operation result bit (insert/delete: changed,
+//	                   lookup: present); 0 unless status is StatusOK
+//	[Range + StatusOK only]
+//	uint32 count
+//	count × int64 keys (ascending)
+//
+// The protocol is deliberately dumb: no negotiation, no streaming, one
+// response per request. Clients may pipeline (ids disambiguate), though the
+// reference client does not. Frames above MaxFrame are a protocol error and
+// the peer should drop the connection.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// MaxFrame bounds a frame payload. Large enough for a full range response
+// (RangeLimit keys), small enough that a malicious length prefix cannot make
+// the server allocate unboundedly.
+const MaxFrame = 64 << 10
+
+// Operation codes.
+const (
+	OpInsert uint8 = 1 // TryInsert(key); ok = set changed
+	OpDelete uint8 = 2 // Delete(key); ok = set changed
+	OpLookup uint8 = 3 // Contains(key); ok = present
+	OpRange  uint8 = 4 // keys in [key, to], at most limit
+)
+
+// OpName returns a human-readable operation name.
+func OpName(op uint8) string {
+	switch op {
+	case OpInsert:
+		return "insert"
+	case OpDelete:
+		return "delete"
+	case OpLookup:
+		return "lookup"
+	case OpRange:
+		return "range"
+	default:
+		return fmt.Sprintf("op(%d)", op)
+	}
+}
+
+// Status is a response status code. The three degradation codes are
+// distinct on purpose: a client backs off differently for a server that is
+// momentarily saturated (StatusOverloaded), a tree that is out of arena
+// slots until deletes free some (StatusCapacity), and a server that is
+// shutting down for good (StatusDraining).
+type Status uint8
+
+const (
+	// StatusOK: the operation executed; the ok bit carries its result.
+	StatusOK Status = iota
+	// StatusOverloaded: load shed — the in-flight cap was reached and the
+	// request was rejected *before* touching the tree. Retry after backoff.
+	StatusOverloaded
+	// StatusCapacity: the tree's arena is exhausted (bst.ErrCapacity).
+	// Retry after a longer backoff; capacity returns only after deletes
+	// plus reclamation free slots.
+	StatusCapacity
+	// StatusKeyOutOfRange: the key exceeds bst.MaxKey. Permanent.
+	StatusKeyOutOfRange
+	// StatusDeadlineExceeded: the request's time budget expired before or
+	// during execution. The operation was not (or only partially, for
+	// Range) performed.
+	StatusDeadlineExceeded
+	// StatusDraining: the server is shutting down gracefully. The
+	// connection will close; reconnect elsewhere or retry after backoff.
+	StatusDraining
+	// StatusBadRequest: malformed frame or unknown op. Permanent; the
+	// server drops the connection after sending it when the stream can no
+	// longer be trusted.
+	StatusBadRequest
+	// StatusInternal: the handler panicked; the request's effect is
+	// unknown and the connection is poisoned and will close.
+	StatusInternal
+)
+
+func (s Status) String() string {
+	switch s {
+	case StatusOK:
+		return "ok"
+	case StatusOverloaded:
+		return "overloaded"
+	case StatusCapacity:
+		return "capacity"
+	case StatusKeyOutOfRange:
+		return "key-out-of-range"
+	case StatusDeadlineExceeded:
+		return "deadline-exceeded"
+	case StatusDraining:
+		return "draining"
+	case StatusBadRequest:
+		return "bad-request"
+	case StatusInternal:
+		return "internal"
+	default:
+		return fmt.Sprintf("status(%d)", uint8(s))
+	}
+}
+
+// Retryable reports whether a client may retry a request that got this
+// status (on the same or a fresh connection). Deadline expiry is not
+// retryable here: whether budget remains is the caller's call.
+func (s Status) Retryable() bool {
+	return s == StatusOverloaded || s == StatusCapacity || s == StatusDraining
+}
+
+// Request is one decoded request frame.
+type Request struct {
+	ID         uint64
+	Op         uint8
+	DeadlineMS uint32 // 0 = use the server's default deadline
+	Key        int64
+	To         int64  // OpRange only
+	Limit      uint32 // OpRange only; 0 = server default
+}
+
+// Response is one decoded response frame.
+type Response struct {
+	ID     uint64
+	Status Status
+	OK     bool
+	Keys   []int64 // OpRange results
+}
+
+// Frame-shape errors.
+var (
+	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
+	ErrTruncated   = errors.New("wire: truncated frame")
+)
+
+const (
+	reqBaseLen  = 8 + 1 + 4 + 8 // id, op, deadline, key
+	reqRangeLen = reqBaseLen + 8 + 4
+	respBaseLen = 8 + 1 + 1 // id, status, ok
+)
+
+// AppendRequest appends q's payload encoding to dst and returns it.
+func AppendRequest(dst []byte, q Request) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, q.ID)
+	dst = append(dst, q.Op)
+	dst = binary.BigEndian.AppendUint32(dst, q.DeadlineMS)
+	dst = binary.BigEndian.AppendUint64(dst, uint64(q.Key))
+	if q.Op == OpRange {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(q.To))
+		dst = binary.BigEndian.AppendUint32(dst, q.Limit)
+	}
+	return dst
+}
+
+// DecodeRequest decodes a request payload.
+func DecodeRequest(frame []byte) (Request, error) {
+	var q Request
+	if len(frame) < reqBaseLen {
+		return q, ErrTruncated
+	}
+	q.ID = binary.BigEndian.Uint64(frame[0:8])
+	q.Op = frame[8]
+	q.DeadlineMS = binary.BigEndian.Uint32(frame[9:13])
+	q.Key = int64(binary.BigEndian.Uint64(frame[13:21]))
+	if q.Op == OpRange {
+		if len(frame) < reqRangeLen {
+			return q, ErrTruncated
+		}
+		q.To = int64(binary.BigEndian.Uint64(frame[21:29]))
+		q.Limit = binary.BigEndian.Uint32(frame[29:33])
+	}
+	return q, nil
+}
+
+// AppendResponse appends p's payload encoding to dst and returns it.
+func AppendResponse(dst []byte, p Response) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, p.ID)
+	dst = append(dst, uint8(p.Status))
+	var ok byte
+	if p.OK {
+		ok = 1
+	}
+	dst = append(dst, ok)
+	if p.Keys != nil {
+		dst = binary.BigEndian.AppendUint32(dst, uint32(len(p.Keys)))
+		for _, k := range p.Keys {
+			dst = binary.BigEndian.AppendUint64(dst, uint64(k))
+		}
+	}
+	return dst
+}
+
+// DecodeResponse decodes a response payload.
+func DecodeResponse(frame []byte) (Response, error) {
+	var p Response
+	if len(frame) < respBaseLen {
+		return p, ErrTruncated
+	}
+	p.ID = binary.BigEndian.Uint64(frame[0:8])
+	p.Status = Status(frame[8])
+	p.OK = frame[9] != 0
+	if len(frame) > respBaseLen {
+		rest := frame[respBaseLen:]
+		if len(rest) < 4 {
+			return p, ErrTruncated
+		}
+		n := binary.BigEndian.Uint32(rest)
+		rest = rest[4:]
+		if uint32(len(rest)) < n*8 {
+			return p, ErrTruncated
+		}
+		p.Keys = make([]int64, n)
+		for i := range p.Keys {
+			p.Keys[i] = int64(binary.BigEndian.Uint64(rest[i*8:]))
+		}
+	}
+	return p, nil
+}
+
+// WriteFrame writes the 4-byte length prefix followed by payload.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return ErrFrameTooBig
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame, reusing scratch when it is
+// large enough. It returns the payload slice (valid until the next call
+// with the same scratch) and the possibly-grown scratch buffer.
+func ReadFrame(r io.Reader, scratch []byte) (payload, newScratch []byte, err error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, scratch, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, scratch, ErrFrameTooBig
+	}
+	if uint32(cap(scratch)) < n {
+		scratch = make([]byte, n)
+	}
+	buf := scratch[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		// A partial body is a truncated frame regardless of the underlying
+		// error (timeouts included): the stream is no longer framed.
+		if err == io.ErrUnexpectedEOF {
+			err = ErrTruncated
+		}
+		return nil, scratch, err
+	}
+	return buf, scratch, nil
+}

@@ -1,0 +1,131 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+func TestRequestRoundTrip(t *testing.T) {
+	cases := []Request{
+		{ID: 1, Op: OpInsert, DeadlineMS: 250, Key: 42},
+		{ID: 2, Op: OpDelete, Key: -7},
+		{ID: 3, Op: OpLookup, DeadlineMS: 1, Key: 1 << 50},
+		{ID: 4, Op: OpRange, Key: -100, To: 100, Limit: 32},
+	}
+	for _, q := range cases {
+		payload := AppendRequest(nil, q)
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("DecodeRequest(%+v): %v", q, err)
+		}
+		if got != q {
+			t.Fatalf("round trip: got %+v, want %+v", got, q)
+		}
+	}
+}
+
+func TestResponseRoundTrip(t *testing.T) {
+	cases := []Response{
+		{ID: 9, Status: StatusOK, OK: true},
+		{ID: 10, Status: StatusOverloaded},
+		{ID: 11, Status: StatusCapacity},
+		{ID: 12, Status: StatusOK, OK: true, Keys: []int64{-5, 0, 7, 1 << 40}},
+		{ID: 13, Status: StatusOK, Keys: []int64{}},
+	}
+	for _, p := range cases {
+		payload := AppendResponse(nil, p)
+		got, err := DecodeResponse(payload)
+		if err != nil {
+			t.Fatalf("DecodeResponse(%+v): %v", p, err)
+		}
+		if got.ID != p.ID || got.Status != p.Status || got.OK != p.OK || len(got.Keys) != len(p.Keys) {
+			t.Fatalf("round trip: got %+v, want %+v", got, p)
+		}
+		for i := range p.Keys {
+			if got.Keys[i] != p.Keys[i] {
+				t.Fatalf("key %d: got %d, want %d", i, got.Keys[i], p.Keys[i])
+			}
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	q := Request{ID: 77, Op: OpRange, Key: 1, To: 9, Limit: 4}
+	if err := WriteFrame(&buf, AppendRequest(nil, q)); err != nil {
+		t.Fatal(err)
+	}
+	payload, _, err := ReadFrame(&buf, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := DecodeRequest(payload)
+	if err != nil || got != q {
+		t.Fatalf("frame round trip: got %+v, %v; want %+v", got, err, q)
+	}
+}
+
+func TestScratchReuse(t *testing.T) {
+	var buf bytes.Buffer
+	for i := 0; i < 3; i++ {
+		if err := WriteFrame(&buf, AppendRequest(nil, Request{ID: uint64(i), Op: OpLookup, Key: int64(i)})); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var scratch []byte
+	for i := 0; i < 3; i++ {
+		payload, s, err := ReadFrame(&buf, scratch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		scratch = s
+		q, err := DecodeRequest(payload)
+		if err != nil || q.ID != uint64(i) {
+			t.Fatalf("frame %d: got %+v, %v", i, q, err)
+		}
+	}
+}
+
+func TestOversizedFrameRejected(t *testing.T) {
+	if err := WriteFrame(io.Discard, make([]byte, MaxFrame+1)); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("WriteFrame oversize err = %v, want ErrFrameTooBig", err)
+	}
+	// A hostile length prefix must be rejected before any allocation.
+	var buf bytes.Buffer
+	buf.Write([]byte{0xff, 0xff, 0xff, 0xff})
+	if _, _, err := ReadFrame(&buf, nil); !errors.Is(err, ErrFrameTooBig) {
+		t.Fatalf("ReadFrame hostile length err = %v, want ErrFrameTooBig", err)
+	}
+}
+
+func TestTruncatedFrames(t *testing.T) {
+	if _, err := DecodeRequest(make([]byte, 5)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short request err = %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeRequest(AppendRequest(nil, Request{Op: OpRange})[:25]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short range request err = %v, want ErrTruncated", err)
+	}
+	if _, err := DecodeResponse(make([]byte, 3)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("short response err = %v, want ErrTruncated", err)
+	}
+	// Range response whose declared count exceeds the payload.
+	p := AppendResponse(nil, Response{Status: StatusOK, Keys: []int64{1, 2, 3}})
+	if _, err := DecodeResponse(p[:len(p)-8]); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated keys err = %v, want ErrTruncated", err)
+	}
+}
+
+func TestStatusClassification(t *testing.T) {
+	retryable := map[Status]bool{
+		StatusOK: false, StatusOverloaded: true, StatusCapacity: true,
+		StatusKeyOutOfRange: false, StatusDeadlineExceeded: false,
+		StatusDraining: true, StatusBadRequest: false, StatusInternal: false,
+	}
+	for s, want := range retryable {
+		if s.Retryable() != want {
+			t.Errorf("%v.Retryable() = %v, want %v", s, s.Retryable(), want)
+		}
+	}
+}

@@ -39,6 +39,19 @@ func (m *Map[V]) Put(key int64, val V) (replaced bool) {
 	return m.t.Upsert(mapKey(key), val)
 }
 
+// TryPut is the non-panicking variant of Put: keys above MaxKey return
+// ErrKeyOutOfRange instead of panicking. The boxed tree backing Map has no
+// allocation bound, so TryPut never returns ErrCapacity; the signature
+// still reserves the error path so callers can treat Tree and Map
+// uniformly (errors.Is against ErrCapacity simply never fires).
+func (m *Map[V]) TryPut(key int64, val V) (replaced bool, err error) {
+	u, err := tryMapKey(key)
+	if err != nil {
+		return false, err
+	}
+	return m.t.Upsert(u, val), nil
+}
+
 // PutIfAbsent stores val only if key is not present; it reports whether
 // the map changed.
 func (m *Map[V]) PutIfAbsent(key int64, val V) bool {
