@@ -1,15 +1,16 @@
 # Correctness gate for the lock-free BST repro. `make ci` is the full
 # tier: formatting, vet, build, the unit suite, a race pass over the
 # packages with real concurrency (the arena-backed core, the epoch
-# reclamation domain, the public API, and the network serving layer), and
-# the deterministic serve smoke test (one shed, one capacity refusal, one
-# graceful drain on a real socket).
+# reclamation domain, the public API, and the network serving layer), the
+# deterministic serve smoke test (one shed, one capacity refusal, one
+# graceful drain, one batch/pipelining stage on a real socket), and a
+# short batched-operation linearizability round.
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race serve-smoke stress
+.PHONY: ci fmt-check vet build test race serve-smoke batch-stress stress
 
-ci: fmt-check vet build test race serve-smoke
+ci: fmt-check vet build test race serve-smoke batch-stress
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -32,7 +33,13 @@ race:
 serve-smoke:
 	$(GO) run ./cmd/bstserve -smoke
 
+# Batched ops racing single ops through the Wing & Gong linearizability
+# check (per-op windows spanning the whole batched call).
+batch-stress:
+	@out=$$($(GO) run ./cmd/bststress -batch -targets nm -duration 5s) || { echo "$$out"; exit 1; }; \
+	echo "$$out" | tail -1
+
 # Longer soak, including the capacity exhaust/recover round and the
 # network serving soak (not part of ci).
 stress:
-	$(GO) run -race ./cmd/bststress -duration 2m -exhaust -serve
+	$(GO) run -race ./cmd/bststress -duration 2m -exhaust -serve -batch

@@ -305,3 +305,54 @@ func BenchmarkSearchOnly(b *testing.B) {
 		})
 	}
 }
+
+// BenchmarkBatchAmortization — DESIGN §9: the accessor's batched entry
+// points against the equivalent single-op loop, per batch size. Each
+// round churns `size` inserts, `size` deletes of the oldest live keys and
+// `size` lookups against a ~500K-key working set, so ns/op compares
+// directly across columns and allocs/op exposes any per-batch allocation
+// (the steady-state batch path must not allocate).
+//
+// Expect the batch columns to trail batch=1 here: in a tight
+// steady-state loop the CPU already overlaps the cache misses of
+// consecutive *independent single* ops across iterations, so batching
+// buys no extra memory-level parallelism and its sort/grouping
+// bookkeeping shows up as pure overhead. The win appears when ops
+// arrive with work between them — frame decoding, workload generation —
+// which is what `bstbench -batch` measures (DESIGN §9).
+func BenchmarkBatchAmortization(b *testing.B) {
+	for _, size := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("batch=%d", size), func(b *testing.B) {
+			tr := bst.New(bst.WithCapacity(1 << 23))
+			acc := tr.NewAccessor()
+			const prefill = 500_000
+			for i := 0; i < prefill; i++ {
+				acc.Insert(scrambled(i))
+			}
+			ins := make([]int64, size)
+			del := make([]int64, size)
+			look := make([]int64, size)
+			out := make([]bst.OpResult, size)
+			next, oldest := prefill, 0
+			b.ReportAllocs()
+			b.ResetTimer()
+			for n := 0; n < b.N; n += 3 * size {
+				for j := 0; j < size; j++ {
+					ins[j] = scrambled(next)
+					del[j] = scrambled(oldest)
+					look[j] = scrambled(oldest + (j*7919)%prefill)
+					next, oldest = next+1, oldest+1
+				}
+				if size == 1 {
+					acc.Insert(ins[0])
+					acc.Delete(del[0])
+					acc.Contains(look[0])
+				} else {
+					acc.InsertBatch(ins, out)
+					acc.DeleteBatch(del, out)
+					acc.ContainsBatch(look, out)
+				}
+			}
+		})
+	}
+}

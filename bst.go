@@ -136,6 +136,19 @@ type Accessor interface {
 	// ErrCapacity when a bounded tree cannot allocate, instead of
 	// panicking.
 	TryInsert(key int64) (bool, error)
+	// ContainsBatch, InsertBatch and DeleteBatch apply one operation to
+	// every key, filling out (len(out) must equal len(keys)) with per-op
+	// results. On the default algorithm the batch shares one tree descent
+	// across sorted keys, amortizing the per-operation seek; each
+	// operation remains individually linearizable (a batch is neither
+	// atomic nor a snapshot). Batched methods never panic on out-of-range
+	// keys — the slot reports ErrKeyOutOfRange — and inserts report
+	// ErrCapacity per-op, so a failure affects only its own slot. The
+	// accessor reuses its batch buffers across calls: the steady-state
+	// batch path does not allocate.
+	ContainsBatch(keys []int64, out []OpResult)
+	InsertBatch(keys []int64, out []OpResult)
+	DeleteBatch(keys []int64, out []OpResult)
 	// Close releases the accessor's per-goroutine resources — its epoch
 	// slot (so a parked accessor can never again stall reclamation), its
 	// reserved arena slots, and its metrics shard (folded into the tree's
@@ -452,29 +465,35 @@ func (t *Tree) Close() error {
 func (t *Tree) NewAccessor() Accessor {
 	switch b := t.b.(type) {
 	case *core.Tree:
-		return accessor{b.NewHandle()}
+		return &accessor{r: b.NewHandle()}
 	case *nmboxed.Tree:
-		return accessor{b.NewHandle()}
+		return &accessor{r: b.NewHandle()}
 	case *efrb.Tree:
-		return accessor{b.NewHandle()}
+		return &accessor{r: b.NewHandle()}
 	case *hjbst.Tree:
-		return accessor{b.NewHandle()}
+		return &accessor{r: b.NewHandle()}
 	case *bcco.Tree:
-		return accessor{b.NewHandle()}
+		return &accessor{r: b.NewHandle()}
 	case *kst.Tree:
-		return accessor{b.NewHandle()}
+		return &accessor{r: b.NewHandle()}
 	default: // coarse lock: the tree is its own accessor
-		return accessor{t.b}
+		return &accessor{r: t.b}
 	}
 }
 
-type accessor struct{ r rawAccessor }
+// accessor carries, besides the backend's per-goroutine view, the batch
+// scratch buffers (batch.go) — which is why accessors are pointers: batch
+// calls grow the scratch in place so steady state never allocates.
+type accessor struct {
+	r  rawAccessor
+	sc batchScratch
+}
 
-func (a accessor) Insert(key int64) bool   { return a.r.Insert(mapKey(key)) }
-func (a accessor) Delete(key int64) bool   { return a.r.Delete(mapKey(key)) }
-func (a accessor) Contains(key int64) bool { return a.r.Search(mapKey(key)) }
+func (a *accessor) Insert(key int64) bool   { return a.r.Insert(mapKey(key)) }
+func (a *accessor) Delete(key int64) bool   { return a.r.Delete(mapKey(key)) }
+func (a *accessor) Contains(key int64) bool { return a.r.Search(mapKey(key)) }
 
-func (a accessor) TryInsert(key int64) (bool, error) {
+func (a *accessor) TryInsert(key int64) (bool, error) {
 	u, err := tryMapKey(key)
 	if err != nil {
 		return false, err
@@ -485,7 +504,7 @@ func (a accessor) TryInsert(key int64) (bool, error) {
 	return a.r.Insert(u), nil
 }
 
-func (a accessor) Close() error {
+func (a *accessor) Close() error {
 	if c, ok := a.r.(interface{ Close() }); ok {
 		c.Close()
 	}

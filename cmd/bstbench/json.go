@@ -26,11 +26,15 @@ type benchJSON struct {
 }
 
 type cellJSON struct {
-	Algorithm       string    `json:"algorithm"`
-	Threads         int       `json:"threads"`
-	KeyRange        int       `json:"key_range"`
-	Workload        string    `json:"workload"`
-	Reps            int       `json:"reps"`
+	Algorithm string `json:"algorithm"`
+	Threads   int    `json:"threads"`
+	KeyRange  int    `json:"key_range"`
+	Workload  string `json:"workload"`
+	Reps      int    `json:"reps"`
+	// BatchSize is the operations-per-batch of a -batch mode cell; 0 or 1
+	// means the single-op loop. (Added for bst-bench/v1 consumers: new
+	// field, never renamed.)
+	BatchSize       int       `json:"batch_size,omitempty"`
 	OpsPerSec       []float64 `json:"ops_per_sec"`
 	MedianOpsPerSec float64   `json:"median_ops_per_sec"`
 	// Metrics holds the cell's telemetry deltas summed across reps

@@ -56,6 +56,8 @@ func main() {
 		csv           = flag.Bool("csv", false, "emit one CSV stream instead of tables")
 		noPrefill     = flag.Bool("no-prefill", false, "skip pre-population (paper pre-populates to half the key range)")
 		jsonPath      = flag.String("json", "", "also write a stable bst-bench/v1 JSON document to this path (\"-\" for stdout)")
+		batchMode     = flag.Bool("batch", false, "measure batched vs single-op throughput on the nm tree (cells per -batchsizes) instead of the Figure 4 grid")
+		batchSizes    = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for -batch mode (1 = single-op baseline)")
 		metricsOn     = flag.Bool("metrics", false, "enable live contention telemetry on the nm tree (counters + sampled latency histograms)")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address while running (implies -metrics)")
 		traceFile     = flag.String("trace", "", "write a runtime/trace capture of the whole run to this file")
@@ -92,11 +94,6 @@ func main() {
 		mixes = append(mixes, m)
 	}
 
-	fmt.Printf("# bstbench: Figure 4 reproduction — %d algorithms × %d key ranges × %d workloads × %d thread counts\n",
-		len(targets), len(keyRanges), len(mixes), len(threads))
-	fmt.Printf("# GOMAXPROCS=%d duration/cell=%v reps=%d zipf=%v reclaim=%v\n",
-		runtime.GOMAXPROCS(0), *duration, *reps, *zipfS, *reclaim)
-
 	var csvTable *stats.Table
 	if *csv {
 		csvTable = stats.NewTable("keyrange", "workload", "threads", "algorithm", "ops_per_sec")
@@ -105,6 +102,28 @@ func main() {
 	if *jsonPath != "" {
 		doc = newBenchJSON(duration.String(), *reps, *seed, *zipfS, *reclaim, !*noPrefill, *metricsOn)
 	}
+
+	if *batchMode {
+		sizes, err := parseInts(*batchSizes)
+		fatal(err)
+		runBatchMode(keyRanges, mixes, threads, sizes, batchModeDeps{
+			duration: *duration, reps: *reps, seed: *seed, zipfS: *zipfS,
+			reclaim: *reclaim, prefill: !*noPrefill, metricsOn: *metricsOn,
+			csvTable: csvTable, doc: doc,
+		})
+		if *csv {
+			fmt.Print(csvTable.CSV())
+		}
+		if doc != nil {
+			fatal(doc.write(*jsonPath))
+		}
+		return
+	}
+
+	fmt.Printf("# bstbench: Figure 4 reproduction — %d algorithms × %d key ranges × %d workloads × %d thread counts\n",
+		len(targets), len(keyRanges), len(mixes), len(threads))
+	fmt.Printf("# GOMAXPROCS=%d duration/cell=%v reps=%d zipf=%v reclaim=%v\n",
+		runtime.GOMAXPROCS(0), *duration, *reps, *zipfS, *reclaim)
 
 	for _, kr := range keyRanges {
 		for _, mix := range mixes {
@@ -192,6 +211,106 @@ func runCell(tg harness.Target, cfg harness.Config, reps int, metricsOn bool) ([
 		cell.finishLatency(&agg)
 	}
 	return runs, cell
+}
+
+// batchModeDeps carries the flag-derived settings into -batch mode.
+type batchModeDeps struct {
+	duration  time.Duration
+	reps      int
+	seed      uint64
+	zipfS     float64
+	reclaim   bool
+	prefill   bool
+	metricsOn bool
+	csvTable  *stats.Table
+	doc       *benchJSON
+}
+
+// runBatchMode measures the nm tree's batched entry points against its own
+// single-op loop: one table per (key range × workload) with a row per
+// thread count and a column per batch size, followed by the amortization
+// summary. Identical workload generators feed every cell, so a column's
+// gain is purely the batch path — one epoch pin per group and sorted
+// path-sharing seeks.
+func runBatchMode(keyRanges []int, mixes []workload.Mix, threads, sizes []int, d batchModeDeps) {
+	nm, err := harness.TargetByName(harness.TargetNM)
+	fatal(err)
+	fmt.Printf("# bstbench: batch amortization on %s — %d key ranges × %d workloads × %d thread counts × batch sizes %v\n",
+		nm.Name, len(keyRanges), len(mixes), len(threads), sizes)
+	fmt.Printf("# GOMAXPROCS=%d duration/cell=%v reps=%d zipf=%v reclaim=%v\n",
+		runtime.GOMAXPROCS(0), d.duration, d.reps, d.zipfS, d.reclaim)
+
+	for _, kr := range keyRanges {
+		for _, mix := range mixes {
+			if d.csvTable == nil {
+				fmt.Printf("\n== key range %d, workload %s, batched ==\n", kr, mix.Name)
+			}
+			header := []string{"threads"}
+			for _, b := range sizes {
+				header = append(header, fmt.Sprintf("batch=%d", b))
+			}
+			tbl := stats.NewTable(header...)
+			tp := make(map[int][]float64, len(sizes)) // batch size → per-thread medians
+			for _, th := range threads {
+				row := []any{th}
+				for _, b := range sizes {
+					cfg := harness.Config{
+						Threads:   th,
+						Duration:  d.duration,
+						KeyRange:  int64(kr),
+						Mix:       mix,
+						Seed:      d.seed,
+						Prefill:   d.prefill,
+						ZipfS:     d.zipfS,
+						Reclaim:   d.reclaim,
+						BatchSize: b,
+					}
+					runs, cell := runCell(nm, cfg, d.reps, d.metricsOn)
+					v := stats.Median(runs)
+					tp[b] = append(tp[b], v)
+					row = append(row, stats.HumanCount(v))
+					if d.csvTable != nil {
+						d.csvTable.AddRow(kr, mix.Name, th, fmt.Sprintf("nm[b=%d]", b), v)
+					}
+					if d.doc != nil {
+						cell.BatchSize = b
+						d.doc.Cells = append(d.doc.Cells, cell)
+					}
+				}
+				tbl.AddRow(row...)
+			}
+			if d.csvTable == nil {
+				fmt.Print(tbl.String())
+				printBatchSpeedups(tp, sizes, threads)
+			}
+		}
+	}
+}
+
+// printBatchSpeedups reports each batch size's gain over the single-op
+// baseline column (batch size 1), when that baseline was measured.
+func printBatchSpeedups(tp map[int][]float64, sizes, threads []int) {
+	base, ok := tp[1]
+	if !ok {
+		return
+	}
+	for _, b := range sizes {
+		if b == 1 {
+			continue
+		}
+		series := tp[b]
+		lo, hi := 0.0, 0.0
+		for i := range series {
+			s := stats.Speedup(series[i], base[i])
+			if i == 0 || s < lo {
+				lo = s
+			}
+			if i == 0 || s > hi {
+				hi = s
+			}
+		}
+		fmt.Printf("  batch=%-3d vs single-op: %+.0f%% .. %+.0f%% (across %d thread counts)\n", b, lo, hi, len(threads))
+	}
 }
 
 // printSpeedups reports the paper-style "NM outperforms X by a%-b%" lines.

@@ -11,8 +11,10 @@
 // probes and scrapes bypass admission control.
 //
 // With -smoke the binary instead runs a deterministic in-process
-// self-test — one shed response, one capacity response, one graceful drain
-// — and exits 0/1. `make serve-smoke` wires it into CI.
+// self-test — one shed response, one capacity response, one graceful
+// drain, then a batch/pipelining stage that requires the pipelined client
+// to beat request-per-round-trip throughput — and exits 0/1.
+// `make serve-smoke` wires it into CI.
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"net/http"
 	"os"
@@ -52,7 +55,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "bstserve: SMOKE FAIL:", err)
 			os.Exit(1)
 		}
-		fmt.Println("bstserve: smoke OK — shed, capacity and drain paths all exercised")
+		fmt.Println("bstserve: smoke OK — shed, capacity, drain, batch and pipeline paths all exercised")
 		return
 	}
 
@@ -121,8 +124,10 @@ func main() {
 // runSmoke is the deterministic self-test behind `make serve-smoke`: a real
 // server on a loopback port must (1) shed a request while its single
 // in-flight slot is frozen, (2) push back with a capacity error when its
-// 128-node arena fills and accept writes again after deletes, and (3) drain
-// gracefully with the frozen request completing and acknowledged.
+// 128-node arena fills and accept writes again after deletes, (3) drain
+// gracefully with the frozen request completing and acknowledged, and
+// (4) answer batch frames with correct per-op statuses and deliver at
+// least 2× single-op throughput to a pipelined client on the same link.
 func runSmoke() error {
 	tree := bst.New(bst.WithCapacity(128), bst.WithReclamation())
 	fp := failpoint.NewSet()
@@ -166,7 +171,7 @@ func runSmoke() error {
 	if !tree.Contains(-1) {
 		return errors.New("acknowledged insert missing after stall release")
 	}
-	fmt.Println("bstserve: smoke 1/3 — load shed observed, frozen request completed")
+	fmt.Println("bstserve: smoke 1/4 — load shed observed, frozen request completed")
 
 	// 2. Capacity: fill the arena over the wire, verify the distinct wire
 	// status, free half, verify the retrying client converges.
@@ -198,7 +203,7 @@ func runSmoke() error {
 	if err != nil || !ok {
 		return fmt.Errorf("recovery insert = (%v, %v); client stats %+v", ok, err, retrying.Stats())
 	}
-	fmt.Println("bstserve: smoke 2/3 — capacity pushback on the wire, backoff converged after frees")
+	fmt.Println("bstserve: smoke 2/4 — capacity pushback on the wire, backoff converged after frees")
 
 	// 3. Drain with one request in flight; it must complete and be acked.
 	st.StallNext()
@@ -240,6 +245,115 @@ func runSmoke() error {
 	if c.Shed == 0 || c.CapacityErrs == 0 || c.Drains != 1 || c.InFlight != 0 || c.OpenConns != 0 {
 		return fmt.Errorf("smoke counters off: %+v", c)
 	}
-	fmt.Println("bstserve: smoke 3/3 — graceful drain completed in-flight work, domain closed")
+	fmt.Println("bstserve: smoke 3/4 — graceful drain completed in-flight work, domain closed")
+
+	return smokeBatchPipeline()
+}
+
+// smokeBatchPipeline is smoke stage 4: a fresh server answers a mixed
+// OpBatch frame with per-op statuses, then the same workload is driven
+// twice — synchronous request-per-round-trip versus one pipelined
+// connection — and the pipeline must win by at least 2× ops/sec.
+func smokeBatchPipeline() error {
+	tree := bst.New(bst.WithReclamation())
+	srv := server.New(server.Config{Tree: tree})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		return err
+	}
+	cl, err := client.Dial(client.Config{Addr: srv.Addr().String(), Seed: 3})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// One frame, mixed kinds, an out-of-range slot in the middle: each op
+	// answers for itself.
+	ops := []client.Op{
+		client.InsertOp(1),
+		client.InsertOp(2),
+		client.InsertOp(bst.MaxKey + 1),
+		client.LookupOp(1),
+		client.DeleteOp(1),
+		client.LookupOp(1),
+	}
+	res, err := cl.Do(ctx, ops)
+	if err != nil {
+		return fmt.Errorf("batch: %v", err)
+	}
+	wantOK := []bool{true, true, false, true, true, false}
+	for i, r := range res {
+		if i == 2 {
+			if !errors.Is(r.Err, bst.ErrKeyOutOfRange) {
+				return fmt.Errorf("batch op %d: err = %v, want ErrKeyOutOfRange", i, r.Err)
+			}
+			continue
+		}
+		if r.Err != nil || r.OK != wantOK[i] {
+			return fmt.Errorf("batch op %d: = (%v, %v), want (%v, nil)", i, r.OK, r.Err, wantOK[i])
+		}
+	}
+
+	// Throughput: N fresh-key inserts per phase, drawn from one shuffled
+	// deterministic sequence — random insertion order keeps the external
+	// tree near log depth, so both phases do identical work. (Ascending
+	// keys would build an n-deep spine during the first phase and bill the
+	// traversal cost to the second.)
+	const n = 4000
+	keys := make([]int64, 2*n)
+	for i := range keys {
+		keys[i] = int64(10_000 + i)
+	}
+	rng := rand.New(rand.NewSource(42))
+	rng.Shuffle(len(keys), func(i, j int) { keys[i], keys[j] = keys[j], keys[i] })
+
+	start := time.Now()
+	for i := 0; i < n; i++ {
+		if ok, err := cl.Insert(ctx, keys[i]); err != nil || !ok {
+			return fmt.Errorf("sync insert %d: (%v, %v)", i, ok, err)
+		}
+	}
+	syncDur := time.Since(start)
+
+	p, err := cl.NewPipeline(ctx)
+	if err != nil {
+		return err
+	}
+	futs := make([]*client.Future, n)
+	start = time.Now()
+	for i := range futs {
+		if futs[i], err = p.Submit(ctx, client.InsertOp(keys[n+i])); err != nil {
+			return fmt.Errorf("pipeline submit %d: %v", i, err)
+		}
+	}
+	for i, f := range futs {
+		if ok, err := f.Wait(ctx); err != nil || !ok {
+			return fmt.Errorf("pipeline insert %d: (%v, %v)", i, ok, err)
+		}
+	}
+	pipeDur := time.Since(start)
+	p.Close()
+
+	speedup := float64(syncDur) / float64(pipeDur)
+	if speedup < 2 {
+		return fmt.Errorf("pipelined throughput only %.2fx of round-trip (sync %v, pipelined %v for %d ops); want >= 2x",
+			speedup, syncDur, pipeDur, n)
+	}
+	if got := tree.Len(); got != 1+n+n { // key 2 + both insert ranges
+		return fmt.Errorf("tree Len = %d after throughput runs, want %d", got, 1+n+n)
+	}
+	if err := tree.Validate(); err != nil {
+		return fmt.Errorf("tree invalid after batch smoke: %v", err)
+	}
+	if c := srv.Counters(); c.BatchOps != uint64(len(ops)) {
+		return fmt.Errorf("BatchOps = %d, want %d", c.BatchOps, len(ops))
+	}
+	dctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		return fmt.Errorf("batch-stage drain: %v", err)
+	}
+	tree.Close()
+	fmt.Printf("bstserve: smoke 4/4 — batch per-op statuses OK, pipelined client %.1fx over round-trip\n", speedup)
 	return nil
 }

@@ -64,6 +64,7 @@ func main() {
 		capacity    = flag.Int("capacity", 512, "arena bound (nodes) for the -exhaust round")
 		exhaust     = flag.Bool("exhaust", false, "also stress capacity exhaustion and recovery on the arena-backed tree")
 		serve       = flag.Bool("serve", false, "also soak the network serving layer: in-process bstserve + retrying clients, counting invariant verified over the wire")
+		batch       = flag.Bool("batch", false, "also check linearizability of batched operations racing single ops (targets with batch entry points)")
 		metricsAddr = flag.String("metrics", "", "serve live telemetry on this address (/metrics Prometheus, /debug/vars JSON) while stressing")
 		traceFile   = flag.String("trace", "", "write a runtime/trace capture (rounds appear as tasks with per-check regions)")
 	)
@@ -155,6 +156,14 @@ func main() {
 					fmt.Printf("FAIL [linearizability] %s round %d: %v\n", target.Name, round, err)
 				}
 			})
+			if *batch {
+				runCheck(ctx, "batch-linearizability", target.Name, func() {
+					if err := batchLinearizabilityRound(target, *workers, uint64(round), reg); err != nil {
+						failures++
+						fmt.Printf("FAIL [batch-linearizability] %s round %d: %v\n", target.Name, round, err)
+					}
+				})
+			}
 		}
 		if *exhaust {
 			runCheck(ctx, "exhaust", "nm", func() {
@@ -428,6 +437,77 @@ func serveRound(workers int, keySpace int64, seed uint64) error {
 		return fmt.Errorf("post-drain counters: %+v", c)
 	}
 	return tree.Close()
+}
+
+// batchLinearizabilityRound races batched operations against single ops on
+// a hot key set and checks the merged history. Each batched call records
+// all its operations with the shared invocation/response window — the
+// batch is per-op linearizable, not atomic, so every operation's
+// linearization point may fall anywhere inside the call and the checker
+// must find a consistent placement against the concurrently recorded
+// singles. Targets without batch entry points are skipped.
+func batchLinearizabilityRound(target harness.Target, workers int, seed uint64, reg *metrics.Registry) error {
+	const (
+		keySpace  = 128
+		batchSize = 16
+		rounds    = 8
+		singles   = 8 // single ops interleaved per round, racing peers' batches
+	)
+	inst := target.New(harness.Config{ArenaCapacity: 1 << 20, Metrics: reg})
+	if _, ok := inst.NewAccessor().(harness.BatchAccessor); !ok {
+		return nil
+	}
+	rec := trace.NewRecorder(workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ba := inst.NewAccessor().(harness.BatchAccessor)
+			tape := rec.Worker(w)
+			gen := workload.NewGenerator(workload.Mix{Name: "hot", Search: 20, Insert: 40, Delete_: 40},
+				keySpace, seed*61+uint64(w)+1)
+			var (
+				ks   = make([]int64, batchSize)
+				us   = make([]uint64, batchSize)
+				out  = make([]bool, batchSize)
+				errs = make([]error, batchSize)
+				ops  = make([]workload.OpKind, batchSize)
+			)
+			fill := func(kind workload.OpKind) {
+				for i := 0; i < batchSize; i++ {
+					_, k := gen.Next() // keys only; the kind is the batch's
+					ks[i], us[i], ops[i] = k, keys.Map(k), kind
+				}
+			}
+			for r := 0; r < rounds; r++ {
+				fill(workload.OpInsert)
+				tape.RecordGroup(ops, ks, out, func() { ba.InsertBatch(us, out, errs) })
+				fill(workload.OpDelete)
+				tape.RecordGroup(ops, ks, out, func() { ba.DeleteBatch(us, out) })
+				fill(workload.OpSearch)
+				tape.RecordGroup(ops, ks, out, func() { ba.LookupBatch(us, out) })
+				for i := 0; i < singles; i++ {
+					op, k := gen.Next()
+					u := keys.Map(k)
+					switch op {
+					case workload.OpSearch:
+						tape.Record(op, k, func() bool { return ba.Search(u) })
+					case workload.OpInsert:
+						tape.Record(op, k, func() bool { return ba.Insert(u) })
+					default:
+						tape.Record(op, k, func() bool { return ba.Delete(u) })
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	events := rec.Events()
+	if err := check.Linearizable(events, nil); err != nil {
+		return fmt.Errorf("%v (%s)", err, check.Stats(events))
+	}
+	return nil
 }
 
 func linearizabilityRound(target harness.Target, workers int, seed uint64, reg *metrics.Registry) error {

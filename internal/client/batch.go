@@ -1,0 +1,217 @@
+package client
+
+// Batched requests: Client.Do packs many point operations into OpBatch
+// frames (internal/wire), so one round trip — and one server admission
+// slot — covers up to wire.MaxBatchOps operations, and the server executes
+// them through the tree's batched seeks. The retry policies of the
+// single-op path apply per operation: a shed or drained *frame* retries
+// wholesale, while per-op capacity failures retry as a shrinking sub-batch
+// under the capacity backoff, and permanent per-op failures (key out of
+// range) surface in their own slot without disturbing their neighbours.
+
+import (
+	"context"
+	"fmt"
+
+	bst "repro"
+	"repro/internal/wire"
+)
+
+// Op is one point operation inside a batched call.
+type Op struct {
+	Kind uint8 // wire.OpInsert, wire.OpDelete or wire.OpLookup
+	Key  int64
+}
+
+// InsertOp, DeleteOp and LookupOp build batch operations.
+func InsertOp(key int64) Op { return Op{Kind: wire.OpInsert, Key: key} }
+func DeleteOp(key int64) Op { return Op{Kind: wire.OpDelete, Key: key} }
+func LookupOp(key int64) Op { return Op{Kind: wire.OpLookup, Key: key} }
+
+// OpResult is one operation's outcome from a batched call. OK mirrors the
+// single-op return (set changed / key present); Err is nil or the same
+// error the single-op method would have returned (bst.ErrCapacity,
+// bst.ErrKeyOutOfRange, ErrOverloaded, ... — errors.Is works identically).
+type OpResult struct {
+	OK  bool
+	Err error
+}
+
+// Do executes ops against the server in batch frames, one result per
+// operation in order. Operations are individually linearizable, not
+// atomic as a group, matching the tree's batch semantics. The returned
+// error is nil unless the context expired or a whole chunk could never be
+// delivered; per-operation failures live in their slots, so callers must
+// check both.
+func (cl *Client) Do(ctx context.Context, ops []Op) ([]OpResult, error) {
+	out := make([]OpResult, len(ops))
+	for start := 0; start < len(ops); start += wire.MaxBatchOps {
+		end := min(start+wire.MaxBatchOps, len(ops))
+		if err := cl.doChunk(ctx, ops[start:end], out[start:end]); err != nil {
+			return out, err
+		}
+	}
+	return out, nil
+}
+
+// doChunk runs one ≤MaxBatchOps slice of operations through the retry
+// loop. out slots for operations that exhaust their attempts keep the
+// error of their last attempt.
+func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
+	cl.stats.requests.Add(uint64(len(ops)))
+
+	// pending holds the indices still awaiting a definitive outcome.
+	pending := make([]int, 0, len(ops))
+	for i, op := range ops {
+		if op.Kind != wire.OpInsert && op.Kind != wire.OpDelete && op.Kind != wire.OpLookup {
+			out[i] = OpResult{Err: fmt.Errorf("%w: unknown op kind %d", ErrBadRequest, op.Kind)}
+			continue
+		}
+		pending = append(pending, i)
+	}
+
+	bops := make([]wire.BatchOp, 0, len(pending))
+	results := make([]wire.BatchResult, 0, len(pending))
+	for attempt := 0; attempt < cl.cfg.MaxAttempts && len(pending) > 0; attempt++ {
+		if attempt > 0 {
+			cl.stats.retries.Add(uint64(len(pending)))
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+
+		bops = bops[:0]
+		for _, idx := range pending {
+			bops = append(bops, wire.BatchOp{Op: ops[idx].Kind, Key: ops[idx].Key})
+		}
+		id := cl.id.Add(1)
+		st, res, err := cl.roundTripBatch(ctx, id, deadlineMS(ctx), bops, results[:0])
+		results = res
+
+		if err != nil {
+			cl.stats.transport.Add(1)
+			for _, idx := range pending {
+				out[idx] = OpResult{Err: err}
+			}
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+				return fmt.Errorf("%w (last transport error: %v)", context.Cause(ctx), err)
+			}
+			continue
+		}
+
+		switch st {
+		case wire.StatusOK:
+			// Fall through to per-op triage.
+		case wire.StatusOverloaded, wire.StatusDraining:
+			err := ErrOverloaded
+			if st == wire.StatusDraining {
+				cl.stats.drains.Add(1)
+				err = ErrDraining
+			} else {
+				cl.stats.sheds.Add(1)
+			}
+			for _, idx := range pending {
+				out[idx] = OpResult{Err: err}
+			}
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+				return fmt.Errorf("%w after batch rejection", context.Cause(ctx))
+			}
+			continue
+		default:
+			// Frame-level permanent failure: every pending op inherits it.
+			err := statusErr(st)
+			for _, idx := range pending {
+				out[idx] = OpResult{Err: err}
+			}
+			return nil
+		}
+
+		if len(results) != len(pending) {
+			return fmt.Errorf("%w: batch response carries %d results for %d ops", ErrBadRequest, len(results), len(pending))
+		}
+
+		next := pending[:0]
+		capacityRetry := false
+		for k, idx := range pending {
+			r := results[k]
+			switch r.Status {
+			case wire.StatusOK:
+				out[idx] = OpResult{OK: r.OK}
+			case wire.StatusCapacity:
+				cl.stats.capacity.Add(1)
+				out[idx] = OpResult{Err: bst.ErrCapacity}
+				next = append(next, idx)
+				capacityRetry = true
+			case wire.StatusOverloaded:
+				cl.stats.sheds.Add(1)
+				out[idx] = OpResult{Err: ErrOverloaded}
+				next = append(next, idx)
+			case wire.StatusKeyOutOfRange:
+				out[idx] = OpResult{Err: fmt.Errorf("%w: key %d", bst.ErrKeyOutOfRange, ops[idx].Key)}
+			case wire.StatusDeadlineExceeded:
+				out[idx] = OpResult{Err: fmt.Errorf("%w: server reported budget exhausted", ErrDeadline)}
+			default:
+				out[idx] = OpResult{Err: statusErr(r.Status)}
+			}
+		}
+		pending = next
+		if len(pending) > 0 {
+			base := cl.cfg.Backoff
+			if capacityRetry {
+				base = cl.cfg.CapacityBackoff
+			}
+			if !cl.sleep(ctx, cl.backoff(base, attempt)) {
+				return fmt.Errorf("%w retrying %d batched ops", context.Cause(ctx), len(pending))
+			}
+		}
+	}
+	// Attempts exhausted: the pending slots keep their last per-op error.
+	return nil
+}
+
+// statusErr maps a permanent wire status to the client's error space.
+func statusErr(st wire.Status) error {
+	switch st {
+	case wire.StatusInternal:
+		return ErrInternal
+	case wire.StatusKeyOutOfRange:
+		return bst.ErrKeyOutOfRange
+	case wire.StatusDeadlineExceeded:
+		return ErrDeadline
+	default:
+		return fmt.Errorf("%w: status %v", ErrBadRequest, st)
+	}
+}
+
+// roundTripBatch sends one OpBatch frame on a pooled connection and reads
+// its response, appending the per-op results to dst.
+func (cl *Client) roundTripBatch(ctx context.Context, id uint64, deadlineMS uint32, bops []wire.BatchOp, dst []wire.BatchResult) (wire.Status, []wire.BatchResult, error) {
+	c, err := cl.acquire(ctx)
+	if err != nil {
+		return 0, dst, err
+	}
+	keep := false
+	defer func() { cl.release(c, keep) }()
+
+	c.scratch = wire.AppendBatchRequest(c.scratch[:0], id, deadlineMS, bops)
+	if err := wire.WriteFrame(c.bw, c.scratch); err != nil {
+		return 0, dst, fmt.Errorf("client: write: %w", err)
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, dst, fmt.Errorf("client: flush: %w", err)
+	}
+	payload, scratch, err := wire.ReadFrame(c.br, c.scratch)
+	c.scratch = scratch
+	if err != nil {
+		return 0, dst, fmt.Errorf("client: read: %w", err)
+	}
+	rid, st, results, err := wire.DecodeBatchResponse(payload, dst)
+	if err != nil {
+		return 0, dst, fmt.Errorf("client: decode: %w", err)
+	}
+	if rid != id {
+		return 0, dst, fmt.Errorf("client: response id %d for request %d", rid, id)
+	}
+	keep = st != wire.StatusDraining && st != wire.StatusInternal
+	return st, results, nil
+}

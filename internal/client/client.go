@@ -29,9 +29,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
-	"math/rand"
 	"net"
-	"sync"
 	"sync/atomic"
 	"time"
 
@@ -93,8 +91,10 @@ type Client struct {
 	pool chan *conn // fixed-capacity; nil entry = slot needs a dial
 	id   atomic.Uint64
 
-	mu  sync.Mutex
-	rng *rand.Rand
+	// rngState drives the jitter source: a splitmix64 stream over an
+	// atomic counter, so concurrent backoff computations never contend on
+	// a lock (the retry path runs exactly when the system is stressed).
+	rngState atomic.Uint64
 
 	stats struct {
 		requests, retries, sheds, drains, capacity, transport atomic.Uint64
@@ -139,7 +139,8 @@ func Dial(cfg Config) (*Client, error) {
 	if seed == 0 {
 		seed = time.Now().UnixNano()
 	}
-	cl := &Client{cfg: cfg, pool: make(chan *conn, cfg.Conns), rng: rand.New(rand.NewSource(seed))}
+	cl := &Client{cfg: cfg, pool: make(chan *conn, cfg.Conns)}
+	cl.rngState.Store(uint64(seed))
 	for i := 0; i < cfg.Conns; i++ {
 		cl.pool <- nil // lazily dialed
 	}
@@ -256,37 +257,23 @@ func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, erro
 	return wire.Response{}, fmt.Errorf("client: %d attempts exhausted: %w", cl.cfg.MaxAttempts, lastErr)
 }
 
-// roundTrip sends req on a pooled connection and reads its response. Any
-// error closes the connection; the pool slot is replaced with nil so the
-// next use redials.
-func (cl *Client) roundTrip(ctx context.Context, req wire.Request) (wire.Response, error) {
+// acquire takes a pooled connection, dialing if the slot is empty. On
+// success the caller must hand the conn to release exactly once.
+func (cl *Client) acquire(ctx context.Context) (*conn, error) {
 	var c *conn
 	select {
 	case c = <-cl.pool:
 	case <-ctx.Done():
-		return wire.Response{}, ctx.Err()
+		return nil, ctx.Err()
 	}
-	ok := false
-	defer func() {
-		if ok {
-			cl.pool <- c
-		} else {
-			if c != nil {
-				c.c.Close()
-			}
-			cl.pool <- nil
-		}
-	}()
-
 	if c == nil {
 		nc, err := net.DialTimeout("tcp", cl.cfg.Addr, cl.cfg.DialTimeout)
 		if err != nil {
-			c = nil
-			return wire.Response{}, fmt.Errorf("client: dial: %w", err)
+			cl.pool <- nil
+			return nil, fmt.Errorf("client: dial: %w", err)
 		}
 		c = &conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
 	}
-
 	// IO deadline: the context deadline when there is one, else a
 	// generous transport bound.
 	ioDeadline := time.Now().Add(30 * time.Second)
@@ -294,6 +281,30 @@ func (cl *Client) roundTrip(ctx context.Context, req wire.Request) (wire.Respons
 		ioDeadline = d
 	}
 	c.c.SetDeadline(ioDeadline)
+	return c, nil
+}
+
+// release returns a connection to the pool; !keep closes it and leaves a
+// nil slot so the next use redials.
+func (cl *Client) release(c *conn, keep bool) {
+	if keep {
+		cl.pool <- c
+		return
+	}
+	c.c.Close()
+	cl.pool <- nil
+}
+
+// roundTrip sends req on a pooled connection and reads its response. Any
+// error closes the connection; the pool slot is replaced with nil so the
+// next use redials.
+func (cl *Client) roundTrip(ctx context.Context, req wire.Request) (wire.Response, error) {
+	c, err := cl.acquire(ctx)
+	if err != nil {
+		return wire.Response{}, err
+	}
+	ok := false
+	defer func() { cl.release(c, ok) }()
 
 	c.scratch = wire.AppendRequest(c.scratch[:0], req)
 	if err := wire.WriteFrame(c.bw, c.scratch); err != nil {
@@ -335,10 +346,22 @@ func (cl *Client) backoff(base time.Duration, attempt int) time.Duration {
 		d = cl.cfg.MaxBackoff
 	}
 	half := d / 2
-	cl.mu.Lock()
-	j := time.Duration(cl.rng.Int63n(int64(half) + 1))
-	cl.mu.Unlock()
+	j := time.Duration(cl.randUint64() % uint64(half+1))
 	return half + j
+}
+
+// randUint64 draws from a lock-free splitmix64 stream: each call advances
+// the state by the golden-gamma via one atomic add (unique per caller even
+// under races) and mixes it through the finalizer. Quality is ample for
+// retry jitter, and there is no lock for stressed retry paths to pile on.
+func (cl *Client) randUint64() uint64 {
+	x := cl.rngState.Add(0x9E3779B97F4A7C15)
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
 }
 
 // sleep blocks for d or until ctx is done; false means the context won.

@@ -1,0 +1,435 @@
+package core
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"repro/internal/keys"
+	"repro/internal/metrics"
+)
+
+// batchInsert/batchDelete/batchLookup are small wrappers so the model
+// checks below read like the single-op tests.
+func batchInsert(h *Handle, ks []uint64) ([]bool, []error) {
+	out := make([]bool, len(ks))
+	errs := make([]error, len(ks))
+	h.InsertBatch(ks, out, errs)
+	return out, errs
+}
+
+func batchDelete(h *Handle, ks []uint64) []bool {
+	out := make([]bool, len(ks))
+	h.DeleteBatch(ks, out)
+	return out
+}
+
+func batchLookup(h *Handle, ks []uint64) []bool {
+	out := make([]bool, len(ks))
+	h.LookupBatch(ks, out)
+	return out
+}
+
+func uniq(ks []uint64) map[uint64]struct{} {
+	m := make(map[uint64]struct{}, len(ks))
+	for _, k := range ks {
+		m[k] = struct{}{}
+	}
+	return m
+}
+
+func TestBatchBasic(t *testing.T) {
+	tr := newTest(t)
+	h := tr.NewHandle()
+	ks := []uint64{keys.Map(5), keys.Map(1), keys.Map(9), keys.Map(1), keys.Map(-7)}
+
+	ok, errs := batchInsert(h, ks)
+	for i, e := range errs {
+		if e != nil {
+			t.Fatalf("insert %d: %v", i, e)
+		}
+	}
+	// Results land in caller order: the duplicate key 1 succeeds exactly
+	// once, and which of the two positions reports true is unspecified.
+	if !ok[0] || !ok[2] || !ok[4] {
+		t.Fatalf("fresh inserts failed: %v", ok)
+	}
+	if ok[1] == ok[3] {
+		t.Fatalf("duplicate key in batch: got %v and %v, want exactly one true", ok[1], ok[3])
+	}
+	if tr.Size() != 4 {
+		t.Fatalf("size = %d, want 4", tr.Size())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := batchLookup(h, []uint64{keys.Map(1), keys.Map(2), keys.Map(5), keys.Map(9), keys.Map(-7)})
+	want := []bool{true, false, true, true, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("lookup %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+
+	del := batchDelete(h, []uint64{keys.Map(9), keys.Map(404), keys.Map(1), keys.Map(1)})
+	if !del[0] || del[1] {
+		t.Fatalf("delete statuses: %v", del)
+	}
+	if del[2] == del[3] {
+		t.Fatalf("duplicate delete in batch: got %v and %v, want exactly one true", del[2], del[3])
+	}
+	if tr.Size() != 2 {
+		t.Fatalf("size after deletes = %d, want 2", tr.Size())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Empty batches are no-ops.
+	h.InsertBatch(nil, nil, nil)
+	h.DeleteBatch(nil, nil)
+	h.LookupBatch(nil, nil)
+}
+
+// TestBatchModelEquivalence drives batched operations against a map model
+// with a small key space, so path resumes constantly cross freshly inserted
+// and freshly deleted regions.
+func TestBatchModelEquivalence(t *testing.T) {
+	tr := newTest(t)
+	h := tr.NewHandle()
+	rng := rand.New(rand.NewSource(42))
+	model := map[uint64]bool{}
+
+	for round := 0; round < 300; round++ {
+		n := 1 + rng.Intn(64)
+		ks := make([]uint64, n)
+		for i := range ks {
+			ks[i] = keys.Map(int64(rng.Intn(500)))
+		}
+		// Duplicates within a batch resolve in sorted (not caller) order, so
+		// compare per-key success counts, not per-position values.
+		trues := map[uint64]int{}
+		switch round % 3 {
+		case 0:
+			ok, errs := batchInsert(h, ks)
+			for i, k := range ks {
+				if errs[i] != nil {
+					t.Fatalf("round %d: insert err %v", round, errs[i])
+				}
+				if ok[i] {
+					trues[k]++
+				}
+			}
+			for k := range uniq(ks) {
+				want := 0
+				if !model[k] {
+					want = 1 // exactly one insert of an absent key succeeds
+				}
+				if trues[k] != want {
+					t.Fatalf("round %d: insert(%#x) succeeded %d times, want %d", round, k, trues[k], want)
+				}
+				model[k] = true
+			}
+		case 1:
+			ok := batchDelete(h, ks)
+			for i, k := range ks {
+				if ok[i] {
+					trues[k]++
+				}
+			}
+			for k := range uniq(ks) {
+				want := 0
+				if model[k] {
+					want = 1 // exactly one delete of a present key succeeds
+				}
+				if trues[k] != want {
+					t.Fatalf("round %d: delete(%#x) succeeded %d times, want %d", round, k, trues[k], want)
+				}
+				delete(model, k)
+			}
+		default:
+			got := batchLookup(h, ks)
+			for i, k := range ks {
+				if got[i] != model[k] {
+					t.Fatalf("round %d: lookup(%#x) = %v, model %v", round, k, got[i], model[k])
+				}
+			}
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for range model {
+		n++
+	}
+	if tr.Size() != n {
+		t.Fatalf("size = %d, model %d", tr.Size(), n)
+	}
+}
+
+// Sorted batches over a dense prefilled region must actually share paths:
+// the skipped-levels counter is the whole point of the batch seek.
+func TestBatchPathSharingSkipsLevels(t *testing.T) {
+	tr := newTest(t)
+	h := tr.NewHandle()
+	for i := int64(0); i < 4096; i++ {
+		h.Insert(keys.Map(i))
+	}
+
+	ks := make([]uint64, 64)
+	for i := range ks {
+		ks[i] = keys.Map(int64(1000 + i))
+	}
+	before := h.Stats
+	got := batchLookup(h, ks)
+	for i, ok := range got {
+		if !ok {
+			t.Fatalf("lookup %d missing", i)
+		}
+	}
+	d := h.Stats
+	if d.Batches-before.Batches != 1 || d.BatchOps-before.BatchOps != 64 {
+		t.Fatalf("batch counters: %+v", d)
+	}
+	skipped := d.BatchSkippedLevels - before.BatchSkippedLevels
+	// 64 adjacent keys in a ~4k-leaf tree share nearly the whole path; even
+	// a weak bound (1 level per resumed seek) catches a broken resume.
+	if skipped < 63 {
+		t.Fatalf("adjacent-key batch skipped only %d levels", skipped)
+	}
+
+	// Search results and stats must agree with the per-op counters.
+	if d.Searches-before.Searches != 64 {
+		t.Fatalf("Searches delta = %d, want 64", d.Searches-before.Searches)
+	}
+}
+
+// Deleting a sorted run makes each delete detach the previous key's
+// recorded parent, forcing the resume validation to pop up the recorded
+// path. The results must stay exact.
+func TestBatchDeleteSortedRunPopsUp(t *testing.T) {
+	tr := newTest(t)
+	h := tr.NewHandle()
+	for i := int64(0); i < 1024; i++ {
+		h.Insert(keys.Map(i))
+	}
+	ks := make([]uint64, 256)
+	for i := range ks {
+		ks[i] = keys.Map(int64(256 + i))
+	}
+	ok := batchDelete(h, ks)
+	for i := range ok {
+		if !ok[i] {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if tr.Size() != 1024-256 {
+		t.Fatalf("size = %d", tr.Size())
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := int64(0); i < 1024; i++ {
+		want := i < 256 || i >= 512
+		if got := h.Search(keys.Map(i)); got != want {
+			t.Fatalf("search %d = %v, want %v", i, got, want)
+		}
+	}
+}
+
+// A mid-batch capacity failure must not abort the batch: every op reports
+// its own status and the tree stays auditable.
+func TestBatchInsertCapacityPartialFailure(t *testing.T) {
+	tr := New(Config{Capacity: 64})
+	h := tr.NewHandle()
+
+	ks := make([]uint64, 64)
+	for i := range ks {
+		ks[i] = keys.Map(int64(i))
+	}
+	ok, errs := batchInsert(h, ks)
+
+	var succeeded, failed int
+	sawFailAfterSuccess := false
+	for i := range ks {
+		switch {
+		case errs[i] == nil && ok[i]:
+			succeeded++
+		case errors.Is(errs[i], ErrCapacity):
+			if ok[i] {
+				t.Fatalf("op %d: ok=true with ErrCapacity", i)
+			}
+			failed++
+			if succeeded > 0 {
+				sawFailAfterSuccess = true
+			}
+		default:
+			t.Fatalf("op %d: ok=%v err=%v", i, ok[i], errs[i])
+		}
+	}
+	if succeeded == 0 || failed == 0 {
+		t.Fatalf("want a mix of successes and capacity failures, got %d/%d", succeeded, failed)
+	}
+	_ = sawFailAfterSuccess // keys are processed in sorted order; mix is what matters
+
+	// Every op that reported success is present; the tree audits clean and
+	// keeps serving.
+	for i, k := range ks {
+		if got := h.Search(k); got != (errs[i] == nil) {
+			t.Fatalf("key %d present=%v, want %v", i, got, errs[i] == nil)
+		}
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatalf("tree invalid after partial batch failure: %v", err)
+	}
+	if h.Stats.CapacityFailures == 0 {
+		t.Fatal("capacity failures not counted")
+	}
+}
+
+// With reclamation on, the capacity path unpins mid-batch (invalidating the
+// recorded path); after deletes free slots, later batches succeed again.
+func TestBatchInsertCapacityRecoversWithReclaim(t *testing.T) {
+	tr := New(Config{Capacity: 256, Reclaim: true})
+	defer tr.Close()
+	h := tr.NewHandle()
+
+	// Exhaust the arena with a batch.
+	ks := make([]uint64, 256)
+	for i := range ks {
+		ks[i] = keys.Map(int64(i))
+	}
+	_, errs := batchInsert(h, ks)
+	var inserted []uint64
+	for i, k := range ks {
+		if errs[i] == nil {
+			inserted = append(inserted, k)
+		}
+	}
+	if len(inserted) == len(ks) {
+		t.Fatal("arena never exhausted")
+	}
+
+	// Free half and let grace periods expire.
+	del := batchDelete(h, inserted[:len(inserted)/2])
+	for i := range del {
+		if !del[i] {
+			t.Fatalf("delete %d failed", i)
+		}
+	}
+	if h.slot != nil {
+		h.slot.Flush()
+	}
+
+	ks2 := make([]uint64, 8)
+	for i := range ks2 {
+		ks2[i] = keys.Map(int64(10000 + i))
+	}
+	ok2, errs2 := batchInsert(h, ks2)
+	recovered := 0
+	for i := range ks2 {
+		if errs2[i] == nil && ok2[i] {
+			recovered++
+		}
+	}
+	if recovered == 0 {
+		t.Fatal("no insert recovered after deletes + flush")
+	}
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchMetricsCounters(t *testing.T) {
+	reg := metrics.NewRegistry(0)
+	tr := New(Config{Capacity: 1 << 16, Metrics: reg})
+	h := tr.NewHandle()
+	for i := int64(0); i < 512; i++ {
+		h.Insert(keys.Map(i))
+	}
+	ks := make([]uint64, 32)
+	for i := range ks {
+		ks[i] = keys.Map(int64(100 + i))
+	}
+	batchLookup(h, ks)
+	batchInsert(h, ks)
+	batchDelete(h, ks)
+
+	s := reg.Snapshot()
+	m := s.CounterMap()
+	if got := m["batch_ops_total"]; got != 96 {
+		t.Fatalf("batch_ops_total = %d, want 96", got)
+	}
+	if m["batch_seek_skipped_levels_total"] == 0 {
+		t.Fatal("batch_seek_skipped_levels_total = 0 for adjacent-key batches")
+	}
+	// Batched ops count in the per-kind totals too.
+	if m["ops_search_total"] < 32 || m["ops_insert_total"] < 32 || m["ops_delete_total"] < 32 {
+		t.Fatalf("per-kind totals missing batched ops: %v", m)
+	}
+}
+
+// TestBatchConcurrentWithSingles races batched writers against single-op
+// writers and readers on overlapping key ranges, then audits. Run with
+// -race in ci.
+func TestBatchConcurrentWithSingles(t *testing.T) {
+	tr := New(Config{Capacity: 1 << 20, Reclaim: true})
+	defer tr.Close()
+
+	const (
+		workers  = 4
+		rounds   = 200
+		keySpace = 512
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			ks := make([]uint64, 16)
+			out := make([]bool, 16)
+			errs := make([]error, 16)
+			for r := 0; r < rounds; r++ {
+				for i := range ks {
+					ks[i] = keys.Map(int64(rng.Intn(keySpace)))
+				}
+				switch r % 4 {
+				case 0:
+					h.InsertBatch(ks, out, errs)
+					for i := range errs {
+						if errs[i] != nil {
+							t.Errorf("worker %d: %v", w, errs[i])
+							return
+						}
+					}
+				case 1:
+					h.DeleteBatch(ks, out)
+				case 2:
+					h.LookupBatch(ks, out)
+				default:
+					// Single ops interleaved on the same keys.
+					for i := range ks {
+						switch i % 3 {
+						case 0:
+							h.Insert(ks[i])
+						case 1:
+							h.Delete(ks[i])
+						default:
+							h.Search(ks[i])
+						}
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := tr.Audit(); err != nil {
+		t.Fatal(err)
+	}
+}

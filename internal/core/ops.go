@@ -54,6 +54,10 @@ type Stats struct {
 
 	CapacityFailures uint64 // TryInserts that returned ErrCapacity
 	CapacityRetries  uint64 // epoch-flush retries taken on the capacity path
+
+	Batches            uint64 // batched entry-point invocations
+	BatchOps           uint64 // operations executed inside batches
+	BatchSkippedLevels uint64 // seek levels skipped by path-sharing resumes
 }
 
 // add accumulates other into s.
@@ -72,6 +76,9 @@ func (s *Stats) Add(o Stats) {
 	s.Recycled += o.Recycled
 	s.CapacityFailures += o.CapacityFailures
 	s.CapacityRetries += o.CapacityRetries
+	s.Batches += o.Batches
+	s.BatchOps += o.BatchOps
+	s.BatchSkippedLevels += o.BatchSkippedLevels
 }
 
 // Atomics returns the total number of atomic read-modify-write instructions
@@ -93,6 +100,18 @@ type Handle struct {
 	spareLeaf     uint32
 
 	slot *reclaim.Slot[uint32] // nil unless the tree reclaims memory
+
+	// Scratch for the batched entry points (batch.go): the key sort buffer,
+	// the recorded access path that write batches resume seeks from, the
+	// per-key cursors of the wavefront, and the per-key seek records a
+	// write batch's wavefront precomputes. unpinGen counts the times this
+	// handle dropped its pin mid-batch (capacity recovery); a bump tells
+	// the apply loop its precomputed records may hold recycled indices.
+	batch    []batchEnt
+	path     batchPath
+	wave     []uint32
+	recs     []waveEnt
+	unpinGen uint64
 
 	// m is this handle's private telemetry shard; nil unless the tree was
 	// built with Config.Metrics, in which case every instrumentation site

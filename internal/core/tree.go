@@ -340,6 +340,31 @@ func (t *Tree) Delete(key uint64) bool {
 	return h.Delete(key)
 }
 
+// LookupBatch reports, in out[i], whether ks[i] is present, using a pooled
+// handle; see Handle.LookupBatch for the batching contract (per-op
+// linearizability, shared wavefront descent).
+func (t *Tree) LookupBatch(ks []uint64, out []bool) {
+	h := t.handles.Get().(*Handle)
+	defer t.putHandle(h)
+	h.LookupBatch(ks, out)
+}
+
+// InsertBatch inserts every key with TryInsert semantics, using a pooled
+// handle; see Handle.InsertBatch.
+func (t *Tree) InsertBatch(ks []uint64, out []bool, errs []error) {
+	h := t.handles.Get().(*Handle)
+	defer t.putHandle(h)
+	h.InsertBatch(ks, out, errs)
+}
+
+// DeleteBatch deletes every key, using a pooled handle; see
+// Handle.DeleteBatch.
+func (t *Tree) DeleteBatch(ks []uint64, out []bool) {
+	h := t.handles.Get().(*Handle)
+	defer t.putHandle(h)
+	h.DeleteBatch(ks, out)
+}
+
 // Range visits keys in [lo, hi] ascending using a pooled handle; see
 // Handle.Range for the concurrency contract (epoch-protected, weakly
 // consistent).

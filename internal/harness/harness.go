@@ -29,6 +29,16 @@ type Accessor interface {
 	Delete(key uint64) bool
 }
 
+// BatchAccessor is the optional batched view: group operations share one
+// epoch pin and sorted path-sharing seeks. Satisfied by the arena-backed
+// NM tree's Handle.
+type BatchAccessor interface {
+	Accessor
+	LookupBatch(ks []uint64, out []bool)
+	InsertBatch(ks []uint64, out []bool, errs []error)
+	DeleteBatch(ks []uint64, out []bool)
+}
+
 // Instance is one constructed set under test.
 type Instance interface {
 	// NewAccessor returns a view for one worker goroutine.
@@ -60,6 +70,12 @@ type Config struct {
 	// CASOnly makes the NM tree emulate BTS with a CAS loop (ablation:
 	// the paper's CAS-only remark).
 	CASOnly bool
+	// BatchSize > 1 makes each worker draw operations in groups of this
+	// size and issue them through the accessor's batch entry points
+	// (sorted path-sharing seeks); accessors without batch support fall
+	// back to the single-op loop. Throughput still counts individual
+	// operations, so batched and unbatched cells compare directly.
+	BatchSize int
 	// Metrics, when non-nil, wires live contention telemetry into
 	// implementations that support it (currently the arena-backed NM
 	// tree); the other targets ignore it.
@@ -145,18 +161,22 @@ func Run(target string, inst Instance, cfg Config) Result {
 					}
 					<-start
 					var n uint64
-					for !stop.Load() {
-						op, k := gen.Next()
-						u := keys.Map(k)
-						switch op {
-						case workload.OpSearch:
-							acc.Search(u)
-						case workload.OpInsert:
-							acc.Insert(u)
-						default:
-							acc.Delete(u)
+					if ba, ok := acc.(BatchAccessor); ok && cfg.BatchSize > 1 {
+						n = measureBatched(ba, gen, cfg.BatchSize, &stop)
+					} else {
+						for !stop.Load() {
+							op, k := gen.Next()
+							u := keys.Map(k)
+							switch op {
+							case workload.OpSearch:
+								acc.Search(u)
+							case workload.OpInsert:
+								acc.Insert(u)
+							default:
+								acc.Delete(u)
+							}
+							n++
 						}
-						n++
 					}
 					counts[id].Store(n)
 				})
@@ -178,6 +198,45 @@ func Run(target string, inst Instance, cfg Config) Result {
 		res.TotalOps += c
 	}
 	return res
+}
+
+// measureBatched is the worker loop for BatchSize > 1: operations coalesce
+// into a per-kind buffer (batch entry points are per-kind) and each buffer
+// is issued as soon as it holds a full group — the way a batching proxy
+// coalesces like requests. Every batched call therefore carries exactly
+// BatchSize keys; the workload mix governs how often each kind's buffer
+// fills. The count is individual completed operations, comparable with the
+// single-op loop (a final partial buffer per kind is discarded, bounded
+// noise of <3·BatchSize ops against millions).
+func measureBatched(ba BatchAccessor, gen *workload.Generator, size int, stop *atomic.Bool) uint64 {
+	sk := make([]uint64, 0, size)
+	ik := make([]uint64, 0, size)
+	dk := make([]uint64, 0, size)
+	out := make([]bool, size)
+	errs := make([]error, size)
+	var n uint64
+	for !stop.Load() {
+		op, k := gen.Next()
+		u := keys.Map(k)
+		switch op {
+		case workload.OpSearch:
+			if sk = append(sk, u); len(sk) == size {
+				ba.LookupBatch(sk, out)
+				sk, n = sk[:0], n+uint64(size)
+			}
+		case workload.OpInsert:
+			if ik = append(ik, u); len(ik) == size {
+				ba.InsertBatch(ik, out, errs)
+				ik, n = ik[:0], n+uint64(size)
+			}
+		default:
+			if dk = append(dk, u); len(dk) == size {
+				ba.DeleteBatch(dk, out)
+				dk, n = dk[:0], n+uint64(size)
+			}
+		}
+	}
+	return n
 }
 
 // RunTarget constructs a fresh instance of the target and measures it.

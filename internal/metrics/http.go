@@ -78,6 +78,8 @@ var promCounter = [NumCounters]struct{ family, labels string }{
 	PrunedLeaves:            {"bst_pruned_leaves_total", ""},
 	CapacityFailures:        {"bst_capacity_failures_total", ""},
 	CapacityRetries:         {"bst_capacity_retries_total", ""},
+	BatchOps:                {"bst_batch_ops_total", ""},
+	BatchSeekSkippedLevels:  {"bst_batch_seek_skipped_levels_total", ""},
 }
 
 type promSample struct {

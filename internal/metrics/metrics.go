@@ -77,6 +77,14 @@ const (
 	// CapacityRetries counts epoch-flush retries on that path.
 	CapacityFailures
 	CapacityRetries
+	// BatchOps counts operations executed through the batched entry points
+	// (these also count in OpsSearch/OpsInsert/OpsDelete, so the batched
+	// fraction of traffic can be derived from one scrape).
+	BatchOps
+	// BatchSeekSkippedLevels counts seek levels skipped by path-sharing
+	// resumes in batched operations; divided by BatchOps it measures how
+	// much of the root-to-leaf descent batching amortizes away.
+	BatchSeekSkippedLevels
 
 	// NumCounters is the size of a shard's counter array.
 	NumCounters
@@ -99,6 +107,8 @@ var counterNames = [NumCounters]string{
 	PrunedLeaves:            "pruned_leaves_total",
 	CapacityFailures:        "capacity_failures_total",
 	CapacityRetries:         "capacity_retries_total",
+	BatchOps:                "batch_ops_total",
+	BatchSeekSkippedLevels:  "batch_seek_skipped_levels_total",
 }
 
 // Name returns the counter's stable export name.

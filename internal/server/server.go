@@ -28,6 +28,7 @@
 package server
 
 import (
+	"bufio"
 	"context"
 	"errors"
 	"fmt"
@@ -103,6 +104,7 @@ type Counters struct {
 	ConnsAccepted uint64 // connections accepted
 	ConnsClosed   uint64 // connections fully torn down
 	Requests      uint64 // requests admitted and executed (any status)
+	BatchOps      uint64 // operations carried inside admitted batch frames
 	Shed          uint64 // requests rejected with StatusOverloaded
 	DrainRejected uint64 // requests rejected with StatusDraining
 	Timeouts      uint64 // requests answered StatusDeadlineExceeded
@@ -121,6 +123,7 @@ type counters struct {
 	connsAccepted atomic.Uint64
 	connsClosed   atomic.Uint64
 	requests      atomic.Uint64
+	batchOps      atomic.Uint64
 	shed          atomic.Uint64
 	drainRejected atomic.Uint64
 	timeouts      atomic.Uint64
@@ -190,6 +193,7 @@ func New(cfg Config) *Server {
 		c := s.Counters()
 		sn.External["server_conns_accepted_total"] += c.ConnsAccepted
 		sn.External["server_requests_total"] += c.Requests
+		sn.External["server_batch_ops_total"] += c.BatchOps
 		sn.External["server_shed_total"] += c.Shed
 		sn.External["server_drain_rejected_total"] += c.DrainRejected
 		sn.External["server_deadline_timeouts_total"] += c.Timeouts
@@ -214,6 +218,7 @@ func (s *Server) Counters() Counters {
 		ConnsAccepted: s.stats.connsAccepted.Load(),
 		ConnsClosed:   s.stats.connsClosed.Load(),
 		Requests:      s.stats.requests.Load(),
+		BatchOps:      s.stats.batchOps.Load(),
 		Shed:          s.stats.shed.Load(),
 		DrainRejected: s.stats.drainRejected.Load(),
 		Timeouts:      s.stats.timeouts.Load(),
@@ -301,22 +306,44 @@ func (s *Server) forgetConn(c net.Conn) {
 	s.stats.connsClosed.Add(1)
 }
 
+// connScratch holds one connection's reusable batch buffers, so the
+// steady-state batch path decodes, executes and encodes without
+// allocating.
+type connScratch struct {
+	ops     []wire.BatchOp
+	results []wire.BatchResult
+	keys    []int64
+	res     []bst.OpResult
+}
+
 // handleConn serves one connection: a private accessor, a read loop with a
-// per-frame deadline, one response per request. Returning closes the
-// connection and folds the accessor's state back into the tree.
+// per-frame deadline, one response per request. Reads and writes both go
+// through bufio: a pipelined client's burst of frames is pulled out of the
+// kernel in one read, and the responses accumulate in the write buffer,
+// which is flushed only when the read buffer has no complete next request
+// — so a burst of n requests costs one syscall pair instead of n, while a
+// lone request still gets its response immediately (flush-on-idle).
+// Returning closes the connection and folds the accessor's state back into
+// the tree.
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWG.Done()
 	defer s.forgetConn(c)
 	acc := s.cfg.Tree.NewAccessor()
 	defer acc.Close()
 
-	var scratch, out []byte
+	br := bufio.NewReaderSize(c, 32<<10)
+	bw := bufio.NewWriterSize(c, 32<<10)
+	defer bw.Flush()
+	var cs connScratch
+	var scratch []byte
+	out := wire.GetBuf()
+	defer wire.PutBuf(out)
 	for {
 		if s.draining.Load() || s.closed.Load() {
 			return
 		}
 		c.SetReadDeadline(time.Now().Add(s.cfg.ReadTimeout))
-		frame, newScratch, err := wire.ReadFrame(c, scratch)
+		frame, newScratch, err := wire.ReadFrame(br, scratch)
 		scratch = newScratch
 		if err != nil {
 			// Timeouts while draining are the drain interrupt; timeouts
@@ -335,22 +362,46 @@ func (s *Server) handleConn(c net.Conn) {
 			// The stream can no longer be trusted to be framed; answer
 			// and hang up.
 			s.stats.badRequests.Add(1)
-			s.writeResponse(c, &out, wire.Response{ID: req.ID, Status: wire.StatusBadRequest})
+			*out = wire.AppendResponse((*out)[:0], wire.Response{ID: req.ID, Status: wire.StatusBadRequest})
+			s.writeFrame(c, bw, *out, true)
 			return
 		}
-		resp, poisoned := s.dispatch(acc, req)
-		if !s.writeResponse(c, &out, resp) || poisoned {
+
+		var poisoned bool
+		if req.Op == wire.OpBatch {
+			var results []wire.BatchResult
+			var st wire.Status
+			results, st, poisoned = s.dispatchBatch(acc, req, frame, &cs)
+			if st == wire.StatusOK {
+				*out = wire.AppendBatchResponse((*out)[:0], req.ID, results)
+			} else {
+				*out = wire.AppendResponse((*out)[:0], wire.Response{ID: req.ID, Status: st})
+			}
+		} else {
+			var resp wire.Response
+			resp, poisoned = s.dispatch(acc, req)
+			*out = wire.AppendResponse((*out)[:0], resp)
+		}
+		// Flush only when no next request is already buffered: that is
+		// the moment the client is actually waiting on us.
+		flush := br.Buffered() == 0 || poisoned
+		if !s.writeFrame(c, bw, *out, flush) || poisoned {
 			return
 		}
 	}
 }
 
-// writeResponse frames and writes one response; false means the connection
-// is broken.
-func (s *Server) writeResponse(c net.Conn, out *[]byte, resp wire.Response) bool {
-	*out = wire.AppendResponse((*out)[:0], resp)
+// writeFrame appends one framed payload to the connection's write buffer,
+// flushing it when flush is set; false means the connection is broken.
+func (s *Server) writeFrame(c net.Conn, bw *bufio.Writer, payload []byte, flush bool) bool {
 	c.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
-	return wire.WriteFrame(c, *out) == nil
+	if wire.WriteFrame(bw, payload) != nil {
+		return false
+	}
+	if flush {
+		return bw.Flush() == nil
+	}
+	return true
 }
 
 // dispatch runs one request through admission control, deadline handling
@@ -422,6 +473,137 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 
 	resp = s.execute(ctx, acc, req)
 	return resp, false
+}
+
+// dispatchBatch is dispatch for OpBatch frames: the whole frame passes
+// admission once (one in-flight token per frame, so batching multiplies
+// useful work per admission slot rather than competing for more slots) and
+// then executes through the accessor's batched operations. A non-OK status
+// applies to the whole batch and carries no per-op results; otherwise every
+// operation reports its own status.
+func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte, cs *connScratch) (results []wire.BatchResult, st wire.Status, poisoned bool) {
+	start := time.Now()
+	if s.draining.Load() {
+		s.stats.drainRejected.Add(1)
+		return nil, wire.StatusDraining, false
+	}
+	ops, err := wire.DecodeBatchOps(frame, cs.ops[:0])
+	cs.ops = ops
+	if err != nil {
+		// The frame boundary held — only the batch payload is malformed —
+		// so the connection survives, unlike an unframeable stream.
+		s.stats.badRequests.Add(1)
+		return nil, wire.StatusBadRequest, false
+	}
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		if s.cfg.AdmissionWait <= 0 {
+			s.stats.shed.Add(1)
+			return nil, wire.StatusOverloaded, false
+		}
+		t := time.NewTimer(s.cfg.AdmissionWait)
+		select {
+		case s.sem <- struct{}{}:
+			t.Stop()
+		case <-t.C:
+			s.stats.shed.Add(1)
+			return nil, wire.StatusOverloaded, false
+		}
+	}
+	s.stats.inFlight.Add(1)
+	defer func() {
+		s.stats.inFlight.Add(-1)
+		<-s.sem
+		if p := recover(); p != nil {
+			s.stats.panics.Add(1)
+			s.logf("server: panic serving batch of %d ops: %v", len(ops), p)
+			results, st, poisoned = nil, wire.StatusInternal, true
+		}
+	}()
+	s.stats.requests.Add(1)
+	s.stats.batchOps.Add(uint64(len(ops)))
+
+	if fp := s.cfg.Failpoints; fp != nil {
+		fp.Hit(FPHandle)
+		if fp.Hit(FPPanic) {
+			panic("failpoint " + FPPanic)
+		}
+	}
+
+	budget := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		budget = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+	ctx, cancel := context.WithDeadline(context.Background(), start.Add(budget))
+	defer cancel()
+
+	return s.executeBatch(ctx, acc, ops, cs), wire.StatusOK, false
+}
+
+// executeBatch runs a batch's operations in program order, carving the
+// batch into maximal same-kind runs so each run amortizes one shared tree
+// descent through the accessor's batched API. The deadline is checked
+// between runs: operations past an expired budget answer
+// StatusDeadlineExceeded without touching the tree (a run already started
+// completes — point operations are not cancellable mid-CAS).
+func (s *Server) executeBatch(ctx context.Context, acc bst.Accessor, ops []wire.BatchOp, cs *connScratch) []wire.BatchResult {
+	results := cs.results[:0]
+	for range ops {
+		results = append(results, wire.BatchResult{})
+	}
+	cs.results = results
+
+	i := 0
+	for i < len(ops) {
+		if ctx.Err() != nil {
+			s.stats.timeouts.Add(1)
+			for k := i; k < len(ops); k++ {
+				results[k] = wire.BatchResult{Status: wire.StatusDeadlineExceeded}
+			}
+			break
+		}
+		j := i + 1
+		for j < len(ops) && ops[j].Op == ops[i].Op {
+			j++
+		}
+		keys := cs.keys[:0]
+		for k := i; k < j; k++ {
+			keys = append(keys, ops[k].Key)
+		}
+		cs.keys = keys
+		if cap(cs.res) < j-i {
+			cs.res = make([]bst.OpResult, j-i)
+		}
+		res := cs.res[:j-i]
+		switch ops[i].Op {
+		case wire.OpInsert:
+			acc.InsertBatch(keys, res)
+		case wire.OpDelete:
+			acc.DeleteBatch(keys, res)
+		case wire.OpLookup:
+			acc.ContainsBatch(keys, res)
+		}
+		for k := i; k < j; k++ {
+			r := res[k-i]
+			switch {
+			case r.Err == nil:
+				results[k] = wire.BatchResult{Status: wire.StatusOK, OK: r.OK}
+			case errors.Is(r.Err, bst.ErrCapacity):
+				s.stats.capacityErrs.Add(1)
+				results[k] = wire.BatchResult{Status: wire.StatusCapacity}
+			case errors.Is(r.Err, bst.ErrKeyOutOfRange):
+				s.stats.outOfRange.Add(1)
+				results[k] = wire.BatchResult{Status: wire.StatusKeyOutOfRange}
+			default:
+				s.stats.badRequests.Add(1)
+				results[k] = wire.BatchResult{Status: wire.StatusBadRequest}
+			}
+		}
+		i = j
+	}
+	return results
 }
 
 // execute performs the tree operation under ctx. It assumes admission has

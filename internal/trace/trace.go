@@ -71,6 +71,22 @@ func (t *Tape) Record(op workload.OpKind, key int64, fn func() bool) bool {
 	return out
 }
 
+// RecordGroup runs fn — one batched call completing len(ops) operations
+// whose results land in out — and records every operation with the shared
+// invocation/response window. That window is the sound one for a per-op
+// linearizable batch: each operation's linearization point lies somewhere
+// inside the batched call, and nothing narrower is known.
+func (t *Tape) RecordGroup(ops []workload.OpKind, keys []int64, out []bool, fn func()) {
+	start := time.Since(t.recorder.base).Nanoseconds()
+	fn()
+	end := time.Since(t.recorder.base).Nanoseconds()
+	for i := range ops {
+		t.events = append(t.events, Event{
+			Worker: t.worker, Op: ops[i], Key: keys[i], Out: out[i], Start: start, End: end,
+		})
+	}
+}
+
 // PerKey groups events by key (each group sorted by start time, inherited
 // from Events()).
 func PerKey(events []Event) map[int64][]Event {

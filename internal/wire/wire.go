@@ -26,10 +26,29 @@
 //	uint32 count
 //	count × int64 keys (ascending)
 //
+// An OpBatch request carries up to MaxBatchOps point operations in one
+// frame; its payload extends the base request (whose key field is reserved
+// and must be 0) with
+//
+//	uint16 count
+//	count × { uint8 subop (OpInsert|OpDelete|OpLookup); int64 key }
+//
+// and a StatusOK batch response extends the base response (ok = 0) with
+//
+//	uint32 count       equal to the request's count
+//	count × { uint8 status; uint8 ok }
+//
+// so every operation reports its own status: one key hitting capacity or
+// the key range does not poison its neighbours. A batch response whose
+// frame-level status is not StatusOK has no per-op tail — the frame status
+// applies to every operation (the batch was rejected before execution).
+//
 // The protocol is deliberately dumb: no negotiation, no streaming, one
-// response per request. Clients may pipeline (ids disambiguate), though the
-// reference client does not. Frames above MaxFrame are a protocol error and
-// the peer should drop the connection.
+// response per request. Clients may pipeline — ids disambiguate, and the
+// server answers frames in order per connection, so a pipelined client can
+// keep many frames in flight and pay one round trip for all of them (see
+// internal/client's Pipeline). Frames above MaxFrame are a protocol error
+// and the peer should drop the connection.
 package wire
 
 import (
@@ -37,6 +56,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"sync"
 )
 
 // MaxFrame bounds a frame payload. Large enough for a full range response
@@ -50,7 +70,14 @@ const (
 	OpDelete uint8 = 2 // Delete(key); ok = set changed
 	OpLookup uint8 = 3 // Contains(key); ok = present
 	OpRange  uint8 = 4 // keys in [key, to], at most limit
+	OpBatch  uint8 = 5 // up to MaxBatchOps point ops, per-op status
 )
+
+// MaxBatchOps bounds the operations one OpBatch frame may carry. At 9
+// bytes per op the largest batch request stays well inside MaxFrame, and
+// the bound keeps a single frame's tree time short enough that batching
+// cannot starve the connection's deadline handling.
+const MaxBatchOps = 1024
 
 // OpName returns a human-readable operation name.
 func OpName(op uint8) string {
@@ -63,6 +90,8 @@ func OpName(op uint8) string {
 		return "lookup"
 	case OpRange:
 		return "range"
+	case OpBatch:
+		return "batch"
 	default:
 		return fmt.Sprintf("op(%d)", op)
 	}
@@ -155,6 +184,8 @@ type Response struct {
 var (
 	ErrFrameTooBig = errors.New("wire: frame exceeds MaxFrame")
 	ErrTruncated   = errors.New("wire: truncated frame")
+	ErrBatchTooBig = errors.New("wire: batch exceeds MaxBatchOps")
+	ErrBadBatchOp  = errors.New("wire: batch carries a non-point operation")
 )
 
 const (
@@ -239,6 +270,144 @@ func DecodeResponse(frame []byte) (Response, error) {
 		}
 	}
 	return p, nil
+}
+
+// BatchOp is one point operation inside an OpBatch request.
+type BatchOp struct {
+	Op  uint8 // OpInsert, OpDelete or OpLookup
+	Key int64
+}
+
+// BatchResult is one operation's outcome inside an OpBatch response.
+type BatchResult struct {
+	Status Status
+	OK     bool
+}
+
+// AppendBatchRequest appends an OpBatch request payload to dst and returns
+// it. It panics when ops exceeds MaxBatchOps or contains a non-point
+// subop — both are programmer errors on the encoding side (the client
+// splits oversized batches before encoding).
+func AppendBatchRequest(dst []byte, id uint64, deadlineMS uint32, ops []BatchOp) []byte {
+	if len(ops) > MaxBatchOps {
+		panic(ErrBatchTooBig)
+	}
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, OpBatch)
+	dst = binary.BigEndian.AppendUint32(dst, deadlineMS)
+	dst = binary.BigEndian.AppendUint64(dst, 0) // reserved key field
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ops)))
+	for _, o := range ops {
+		if o.Op != OpInsert && o.Op != OpDelete && o.Op != OpLookup {
+			panic(ErrBadBatchOp)
+		}
+		dst = append(dst, o.Op)
+		dst = binary.BigEndian.AppendUint64(dst, uint64(o.Key))
+	}
+	return dst
+}
+
+// DecodeBatchOps decodes the per-op tail of an OpBatch request payload
+// (the caller has already run DecodeRequest on frame and seen Op ==
+// OpBatch), appending the operations to dst so a per-connection scratch
+// slice makes the steady-state decode allocation-free.
+func DecodeBatchOps(frame []byte, dst []BatchOp) ([]BatchOp, error) {
+	if len(frame) < reqBaseLen+2 {
+		return dst, ErrTruncated
+	}
+	rest := frame[reqBaseLen:]
+	n := int(binary.BigEndian.Uint16(rest))
+	rest = rest[2:]
+	if n > MaxBatchOps {
+		return dst, ErrBatchTooBig
+	}
+	if len(rest) != n*9 {
+		return dst, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		op := rest[i*9]
+		if op != OpInsert && op != OpDelete && op != OpLookup {
+			return dst, ErrBadBatchOp
+		}
+		dst = append(dst, BatchOp{
+			Op:  op,
+			Key: int64(binary.BigEndian.Uint64(rest[i*9+1:])),
+		})
+	}
+	return dst, nil
+}
+
+// AppendBatchResponse appends a StatusOK OpBatch response payload carrying
+// one result per operation. Frame-level failures (overload, draining, bad
+// request) use a plain AppendResponse with no per-op tail.
+func AppendBatchResponse(dst []byte, id uint64, results []BatchResult) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, id)
+	dst = append(dst, uint8(StatusOK))
+	dst = append(dst, 0) // the frame-level ok bit is unused for batches
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(results)))
+	for _, r := range results {
+		var ok byte
+		if r.OK {
+			ok = 1
+		}
+		dst = append(dst, uint8(r.Status), ok)
+	}
+	return dst
+}
+
+// DecodeBatchResponse decodes an OpBatch response payload, appending the
+// per-op results to dst. When the frame-level status is not StatusOK there
+// is no per-op tail: the returned results are dst unchanged and st tells
+// the caller what happened to the whole batch.
+func DecodeBatchResponse(frame []byte, dst []BatchResult) (id uint64, st Status, results []BatchResult, err error) {
+	if len(frame) < respBaseLen {
+		return 0, 0, dst, ErrTruncated
+	}
+	id = binary.BigEndian.Uint64(frame[0:8])
+	st = Status(frame[8])
+	if st != StatusOK {
+		return id, st, dst, nil
+	}
+	rest := frame[respBaseLen:]
+	if len(rest) < 4 {
+		return id, st, dst, ErrTruncated
+	}
+	n := int(binary.BigEndian.Uint32(rest))
+	rest = rest[4:]
+	if n > MaxBatchOps {
+		return id, st, dst, ErrBatchTooBig
+	}
+	if len(rest) != n*2 {
+		return id, st, dst, ErrTruncated
+	}
+	for i := 0; i < n; i++ {
+		dst = append(dst, BatchResult{
+			Status: Status(rest[i*2]),
+			OK:     rest[i*2+1] != 0,
+		})
+	}
+	return id, st, dst, nil
+}
+
+// bufPool recycles frame-payload buffers across requests. The hot paths
+// that cannot keep a per-connection scratch buffer — the pipelined client
+// encoding many concurrent requests, the server building responses while
+// the previous one is still being flushed — get and put here instead of
+// allocating per frame. Buffers start small (a point request is ~21 bytes)
+// and grow in place; anything that grew past MaxFrame is dropped rather
+// than pooled.
+var bufPool = sync.Pool{New: func() any { b := make([]byte, 0, 256); return &b }}
+
+// GetBuf returns a zero-length reusable buffer from the frame pool.
+func GetBuf() *[]byte { return bufPool.Get().(*[]byte) }
+
+// PutBuf returns a buffer obtained from GetBuf to the pool.
+func PutBuf(b *[]byte) {
+	if cap(*b) > MaxFrame {
+		return
+	}
+	*b = (*b)[:0]
+	bufPool.Put(b)
 }
 
 // WriteFrame writes the 4-byte length prefix followed by payload.

@@ -129,3 +129,136 @@ func TestStatusClassification(t *testing.T) {
 		}
 	}
 }
+
+func TestBatchRequestRoundTrip(t *testing.T) {
+	ops := []BatchOp{
+		{Op: OpInsert, Key: 42},
+		{Op: OpDelete, Key: -7},
+		{Op: OpLookup, Key: 1 << 50},
+	}
+	payload := AppendBatchRequest(nil, 99, 250, ops)
+	q, err := DecodeRequest(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.ID != 99 || q.Op != OpBatch || q.DeadlineMS != 250 || q.Key != 0 {
+		t.Fatalf("batch base header = %+v", q)
+	}
+	got, err := DecodeBatchOps(payload, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(ops) {
+		t.Fatalf("decoded %d ops, want %d", len(got), len(ops))
+	}
+	for i := range ops {
+		if got[i] != ops[i] {
+			t.Fatalf("op %d: got %+v, want %+v", i, got[i], ops[i])
+		}
+	}
+	// Empty batches are legal on the wire.
+	got, err = DecodeBatchOps(AppendBatchRequest(nil, 1, 0, nil), nil)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty batch: %v, %d ops", err, len(got))
+	}
+}
+
+func TestBatchResponseRoundTrip(t *testing.T) {
+	results := []BatchResult{
+		{Status: StatusOK, OK: true},
+		{Status: StatusOK, OK: false},
+		{Status: StatusCapacity},
+		{Status: StatusKeyOutOfRange},
+	}
+	payload := AppendBatchResponse(nil, 7, results)
+	id, st, got, err := DecodeBatchResponse(payload, nil)
+	if err != nil || id != 7 || st != StatusOK {
+		t.Fatalf("decode: id=%d st=%v err=%v", id, st, err)
+	}
+	if len(got) != len(results) {
+		t.Fatalf("decoded %d results, want %d", len(got), len(results))
+	}
+	for i := range results {
+		if got[i] != results[i] {
+			t.Fatalf("result %d: got %+v, want %+v", i, got[i], results[i])
+		}
+	}
+	// A frame-level rejection has no per-op tail.
+	payload = AppendResponse(nil, Response{ID: 8, Status: StatusOverloaded})
+	id, st, got, err = DecodeBatchResponse(payload, nil)
+	if err != nil || id != 8 || st != StatusOverloaded || len(got) != 0 {
+		t.Fatalf("rejected batch: id=%d st=%v n=%d err=%v", id, st, len(got), err)
+	}
+}
+
+func TestBatchMalformed(t *testing.T) {
+	payload := AppendBatchRequest(nil, 1, 0, []BatchOp{{Op: OpInsert, Key: 5}})
+	if _, err := DecodeBatchOps(payload[:len(payload)-4], nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated batch ops err = %v, want ErrTruncated", err)
+	}
+	// A subop outside the point-op set must be rejected.
+	bad := append([]byte(nil), payload...)
+	bad[reqBaseLen+2] = OpRange
+	if _, err := DecodeBatchOps(bad, nil); !errors.Is(err, ErrBadBatchOp) {
+		t.Fatalf("bad subop err = %v, want ErrBadBatchOp", err)
+	}
+	// A count beyond MaxBatchOps must be rejected before the tail is read.
+	big := AppendRequest(nil, Request{ID: 1, Op: OpBatch})
+	big = append(big, byte((MaxBatchOps+1)>>8), byte((MaxBatchOps+1)&0xff))
+	if _, err := DecodeBatchOps(big, nil); !errors.Is(err, ErrBatchTooBig) {
+		t.Fatalf("oversized batch err = %v, want ErrBatchTooBig", err)
+	}
+	resp := AppendBatchResponse(nil, 1, []BatchResult{{Status: StatusOK, OK: true}})
+	if _, _, _, err := DecodeBatchResponse(resp[:len(resp)-1], nil); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("truncated batch response err = %v, want ErrTruncated", err)
+	}
+	if err := func() (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				err, _ = r.(error)
+			}
+		}()
+		AppendBatchRequest(nil, 1, 0, make([]BatchOp, MaxBatchOps+1))
+		return nil
+	}(); !errors.Is(err, ErrBatchTooBig) {
+		t.Fatalf("oversized encode panic = %v, want ErrBatchTooBig", err)
+	}
+}
+
+// TestBatchSteadyStateZeroAlloc asserts the pooled-buffer encode/decode
+// cycle — the per-frame work of the server loop and the pipelined
+// client — does not allocate once the pool and scratch slices are warm.
+func TestBatchSteadyStateZeroAlloc(t *testing.T) {
+	ops := make([]BatchOp, 64)
+	for i := range ops {
+		ops[i] = BatchOp{Op: OpLookup, Key: int64(i)}
+	}
+	results := make([]BatchResult, 64)
+	opScratch := make([]BatchOp, 0, 64)
+	resScratch := make([]BatchResult, 0, 64)
+
+	allocs := testing.AllocsPerRun(200, func() {
+		// Client side: encode a batch request into a pooled buffer.
+		req := GetBuf()
+		*req = AppendBatchRequest(*req, 3, 0, ops)
+		// Server side: decode it into per-connection scratch, encode the
+		// response into another pooled buffer.
+		var err error
+		opScratch, err = DecodeBatchOps(*req, opScratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(req)
+		resp := GetBuf()
+		*resp = AppendBatchResponse(*resp, 3, results)
+		// Client side again: decode the response into scratch.
+		_, _, resScratch, err = DecodeBatchResponse(*resp, resScratch[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		PutBuf(resp)
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state batch encode/decode allocates %.1f per op, want 0", allocs)
+	}
+}

@@ -1,6 +1,8 @@
 package bst
 
 import (
+	"fmt"
+
 	"repro/internal/keys"
 	"repro/internal/nmboxed"
 )
@@ -73,6 +75,38 @@ func (m *Map[V]) Ascend(yield func(key int64, val V) bool) {
 	m.t.Items(func(u uint64, v any) bool {
 		return yield(keys.Unmap(u), v.(V))
 	})
+}
+
+// ContainsBatch reports, in out[i], whether keys[i] is present, with the
+// batch contract of Tree.ContainsBatch: per-op linearizability, no
+// snapshot semantics, out-of-range keys report ErrKeyOutOfRange instead
+// of panicking. The boxed tree backing Map has no shared-descent batch
+// path, so this is a convenience loop, not a performance feature.
+func (m *Map[V]) ContainsBatch(keys []int64, out []OpResult) {
+	runBatchSlow(m.t, lookupKind, keys, out)
+}
+
+// DeleteBatch removes every key; out[i].OK reports whether the map
+// changed. See ContainsBatch for the batch contract.
+func (m *Map[V]) DeleteBatch(keys []int64, out []OpResult) {
+	runBatchSlow(m.t, deleteKind, keys, out)
+}
+
+// PutBatch sets keys[i]'s value to vals[i] for every i; out[i].OK reports
+// whether a previous value was replaced (Put semantics, one CAS per
+// entry). len(vals) and len(out) must equal len(keys). Out-of-range keys
+// report ErrKeyOutOfRange in their slot without aborting the batch.
+func (m *Map[V]) PutBatch(ks []int64, vals []V, out []OpResult) {
+	if len(vals) != len(ks) || len(out) != len(ks) {
+		panic("bst: PutBatch length mismatch")
+	}
+	for i, k := range ks {
+		if !keys.InRange(k) {
+			out[i] = OpResult{Err: fmt.Errorf("%w: %d > %d", ErrKeyOutOfRange, k, MaxKey)}
+			continue
+		}
+		out[i] = OpResult{OK: m.t.Upsert(keys.Map(k), vals[i])}
+	}
 }
 
 // Validate checks the backing tree's structural invariants (quiescent).
