@@ -1,16 +1,22 @@
 # Correctness gate for the lock-free BST repro. `make ci` is the full
 # tier: formatting, vet, build, the unit suite, a race pass over the
 # packages with real concurrency (the arena-backed core, the epoch
-# reclamation domain, the public API, and the network serving layer), the
-# deterministic serve smoke test (one shed, one capacity refusal, one
-# graceful drain, one batch/pipelining stage on a real socket), and a
-# short batched-operation linearizability round.
+# reclamation domain, the public API, the network serving layer, and the
+# durability stack), the deterministic serve smoke test (one shed, one
+# capacity refusal, one graceful drain, one batch/pipelining stage on a
+# real socket), a short batched-operation linearizability round, the
+# crash-stress durability gate (kill -9 a durable fsync server mid-load,
+# recover, audit every acked mutation, clock a 1M-key recovery), a fuzz
+# smoke over the wire-frame and WAL-record decoders, and a short durable
+# benchmark cell (BENCH_durable_smoke.json).
 
 GO ?= go
 
-.PHONY: ci fmt-check vet build test race serve-smoke batch-stress stress
+.PHONY: ci fmt-check vet build test race serve-smoke batch-stress \
+	crash-stress fuzz-smoke bench-durable-smoke stress clean-data
 
-ci: fmt-check vet build test race serve-smoke batch-stress
+ci: fmt-check vet build test race serve-smoke batch-stress crash-stress \
+	fuzz-smoke bench-durable-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -28,7 +34,8 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race . ./internal/core ./internal/reclaim ./internal/server
+	$(GO) test -race . ./internal/core ./internal/reclaim ./internal/server \
+		./internal/wal ./internal/snapshot ./internal/durable
 
 serve-smoke:
 	$(GO) run ./cmd/bstserve -smoke
@@ -39,7 +46,41 @@ batch-stress:
 	@out=$$($(GO) run ./cmd/bststress -batch -targets nm -duration 5s) || { echo "$$out"; exit 1; }; \
 	echo "$$out" | tail -1
 
+# The durability gate: SIGKILL a durable fsync server mid-load, recover
+# the data dir, verify 100% of acked mutations survived and no ghost keys
+# appeared, then clock a 1M-key snapshot + 100k-op WAL tail recovery
+# against a hard budget. The log is kept for the CI artifact upload.
+crash-stress:
+	@$(GO) run ./cmd/bststress -crash -targets nm -duration 1s > crash_round.log 2>&1 \
+		|| { cat crash_round.log; exit 1; }; \
+	grep "^crash phase" crash_round.log
+
+# Short fuzz budgets over every frame/record decoder; seed corpora are
+# checked in under testdata/fuzz. Run `go test -fuzz <name> ./internal/...`
+# for a real session.
+fuzz-smoke:
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeRequest$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeResponse$$' -fuzztime 10s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeBatchOps$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeBatchResponse$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 5s
+	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s
+
+# One small durable-overhead table (in-memory vs none/interval/fsync);
+# the JSON lands in BENCH_durable_smoke.json for the CI artifact upload.
+bench-durable-smoke:
+	$(GO) run ./cmd/bstbench -durable -keyranges 10000 -workloads write-dominated \
+		-threads 2,8 -duration 200ms -json BENCH_durable_smoke.json
+
 # Longer soak, including the capacity exhaust/recover round and the
 # network serving soak (not part of ci).
 stress:
-	$(GO) run -race ./cmd/bststress -duration 2m -exhaust -serve -batch
+	$(GO) run -race ./cmd/bststress -duration 2m -exhaust -serve -batch -crash
+
+# Remove local artifacts: benchmark/crash logs and any stray durable data
+# dirs left by interrupted runs (bstserve -data dirs are never touched —
+# only the well-known temp prefixes used by the tools here).
+clean-data:
+	rm -f BENCH_durable_smoke.json crash_round.log
+	rm -rf $${TMPDIR:-/tmp}/bst-crash-data-* $${TMPDIR:-/tmp}/bst-crash-addr-* \
+		$${TMPDIR:-/tmp}/bst-crash-clock-* $${TMPDIR:-/tmp}/bstbench-durable-*

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+
+	bst "repro"
+	"repro/internal/durable"
+	"repro/internal/harness"
+	"repro/internal/keys"
+	"repro/internal/stats"
+	"repro/internal/wal"
+	"repro/internal/workload"
+)
+
+// -durable mode: the cost of log-before-ack. Each (key range × workload)
+// table has a row per thread count and a column per store variant — the
+// in-memory baseline plus one durable.Tree per WAL sync policy — so the
+// overhead of the write-ahead log (and of actually waiting for fsync)
+// reads directly across a row. Group commit is what keeps the fsync
+// column usable at higher thread counts: concurrent appenders share one
+// flush, so the per-op fsync cost divides by the group size.
+
+// durablePolicies orders the columns. "memory" is bst.New behind the same
+// Accessor API — the zero-durability baseline.
+var durablePolicies = []string{"memory", "none", "interval", "fsync"}
+
+// setInstance adapts the public int64-keyed bst.Accessor surface (shared
+// by bst.Tree and durable.Tree) to the harness's internal-key Accessor.
+type setInstance struct {
+	newAcc func() bst.Accessor
+}
+
+type setAccessor struct{ a bst.Accessor }
+
+func (i setInstance) NewAccessor() harness.Accessor { return setAccessor{i.newAcc()} }
+
+func (a setAccessor) Search(u uint64) bool { return a.a.Contains(keys.Unmap(u)) }
+func (a setAccessor) Insert(u uint64) bool { return a.a.Insert(keys.Unmap(u)) }
+func (a setAccessor) Delete(u uint64) bool { return a.a.Delete(keys.Unmap(u)) }
+
+// runDurableCell measures one (policy × cfg) cell: reps fresh stores, each
+// on a fresh data dir.
+func runDurableCell(policy string, cfg harness.Config, reps int) ([]float64, cellJSON) {
+	cell := cellJSON{
+		Algorithm:  harness.TargetNM,
+		SyncPolicy: policy,
+		Threads:    cfg.Threads,
+		KeyRange:   int(cfg.KeyRange),
+		Workload:   cfg.Mix.Name,
+		Reps:       reps,
+	}
+	runs := make([]float64, 0, reps)
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + uint64(i)*1_000_003
+		runs = append(runs, durableRep(policy, c))
+	}
+	cell.OpsPerSec = runs
+	cell.MedianOpsPerSec = stats.Median(runs)
+	return runs, cell
+}
+
+func durableRep(policy string, cfg harness.Config) float64 {
+	treeOpts := []bst.Option{bst.WithCapacity(1 << 22)}
+	if cfg.Reclaim {
+		treeOpts = append(treeOpts, bst.WithReclamation())
+	}
+	var inst setInstance
+	var prefillAcc func() bst.Accessor
+	var cleanup func()
+	if policy == "memory" {
+		tree := bst.New(treeOpts...)
+		inst = setInstance{newAcc: tree.NewAccessor}
+		prefillAcc = tree.NewAccessor
+		cleanup = func() { tree.Close() }
+	} else {
+		sync, err := wal.ParseSyncPolicy(policy)
+		fatal(err)
+		dir, err := os.MkdirTemp("", "bstbench-durable-")
+		fatal(err)
+		dur, err := durable.Open(dir, durable.Options{Sync: sync, TreeOptions: treeOpts})
+		fatal(err)
+		inst = setInstance{newAcc: dur.NewAccessor}
+		// Prefill bypasses the WAL (straight into the wrapped tree): the
+		// cell measures steady-state logged throughput, not the one-time
+		// cost of logging the prefill.
+		prefillAcc = dur.Underlying().NewAccessor
+		cleanup = func() { dur.Close(); os.RemoveAll(dir) }
+	}
+	defer cleanup()
+
+	if cfg.Prefill {
+		p := workload.Prefiller{KeyRange: cfg.KeyRange, Seed: cfg.Seed}
+		acc := prefillAcc()
+		p.Fill(func(k int64) bool { return acc.Insert(k) })
+	}
+	c := cfg
+	c.Prefill = false // done above, without timing it
+	res := harness.Run(harness.TargetNM+"-durable-"+policy, inst, c)
+	return res.Throughput()
+}
+
+// runDurableMode is the -durable entry point: batch-mode-shaped tables
+// with one column per store variant and the overhead summary per table.
+func runDurableMode(keyRanges []int, mixes []workload.Mix, threads []int, d batchModeDeps) {
+	fmt.Printf("# bstbench: durability overhead on %s — %d key ranges × %d workloads × %d thread counts × policies %v\n",
+		harness.TargetNM, len(keyRanges), len(mixes), len(threads), durablePolicies)
+	fmt.Printf("# GOMAXPROCS=%d duration/cell=%v reps=%d reclaim=%v (acked⇒durable only under fsync)\n",
+		runtime.GOMAXPROCS(0), d.duration, d.reps, d.reclaim)
+
+	for _, kr := range keyRanges {
+		for _, mix := range mixes {
+			if d.csvTable == nil {
+				fmt.Printf("\n== key range %d, workload %s, durable ==\n", kr, mix.Name)
+			}
+			header := []string{"threads"}
+			header = append(header, durablePolicies...)
+			tbl := stats.NewTable(header...)
+			tp := make(map[string][]float64, len(durablePolicies))
+			for _, th := range threads {
+				row := []any{th}
+				for _, policy := range durablePolicies {
+					cfg := harness.Config{
+						Threads:  th,
+						Duration: d.duration,
+						KeyRange: int64(kr),
+						Mix:      mix,
+						Seed:     d.seed,
+						Prefill:  d.prefill,
+						ZipfS:    d.zipfS,
+						Reclaim:  d.reclaim,
+					}
+					runs, cell := runDurableCell(policy, cfg, d.reps)
+					v := stats.Median(runs)
+					tp[policy] = append(tp[policy], v)
+					row = append(row, stats.HumanCount(v))
+					if d.csvTable != nil {
+						d.csvTable.AddRow(kr, mix.Name, th, "nm["+policy+"]", v)
+					}
+					if d.doc != nil {
+						d.doc.Cells = append(d.doc.Cells, cell)
+					}
+				}
+				tbl.AddRow(row...)
+			}
+			if d.csvTable == nil {
+				fmt.Print(tbl.String())
+				printDurableOverhead(tp, threads)
+			}
+		}
+	}
+}
+
+// printDurableOverhead reports each policy's cost against the in-memory
+// baseline column.
+func printDurableOverhead(tp map[string][]float64, threads []int) {
+	base, ok := tp["memory"]
+	if !ok {
+		return
+	}
+	for _, policy := range durablePolicies {
+		if policy == "memory" {
+			continue
+		}
+		series := tp[policy]
+		lo, hi := 0.0, 0.0
+		for i := range series {
+			s := stats.Speedup(series[i], base[i])
+			if i == 0 || s < lo {
+				lo = s
+			}
+			if i == 0 || s > hi {
+				hi = s
+			}
+		}
+		fmt.Printf("  sync=%-8s vs in-memory: %+.0f%% .. %+.0f%% (across %d thread counts)\n",
+			policy, lo, hi, len(threads))
+	}
+}

@@ -34,7 +34,12 @@ type cellJSON struct {
 	// BatchSize is the operations-per-batch of a -batch mode cell; 0 or 1
 	// means the single-op loop. (Added for bst-bench/v1 consumers: new
 	// field, never renamed.)
-	BatchSize       int       `json:"batch_size,omitempty"`
+	BatchSize int `json:"batch_size,omitempty"`
+	// SyncPolicy marks a -durable mode cell: "memory" for the in-memory
+	// baseline, else the WAL sync policy ("fsync", "interval", "none").
+	// Empty for non-durable cells. (bst-bench/v1: new field, never
+	// renamed.)
+	SyncPolicy      string    `json:"sync_policy,omitempty"`
 	OpsPerSec       []float64 `json:"ops_per_sec"`
 	MedianOpsPerSec float64   `json:"median_ops_per_sec"`
 	// Metrics holds the cell's telemetry deltas summed across reps

@@ -57,6 +57,7 @@ func main() {
 		noPrefill     = flag.Bool("no-prefill", false, "skip pre-population (paper pre-populates to half the key range)")
 		jsonPath      = flag.String("json", "", "also write a stable bst-bench/v1 JSON document to this path (\"-\" for stdout)")
 		batchMode     = flag.Bool("batch", false, "measure batched vs single-op throughput on the nm tree (cells per -batchsizes) instead of the Figure 4 grid")
+		durableMode   = flag.Bool("durable", false, "measure durability overhead on the nm tree (in-memory baseline vs WAL sync policies fsync/interval/none) instead of the Figure 4 grid")
 		batchSizes    = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for -batch mode (1 = single-op baseline)")
 		metricsOn     = flag.Bool("metrics", false, "enable live contention telemetry on the nm tree (counters + sampled latency histograms)")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address while running (implies -metrics)")
@@ -101,6 +102,21 @@ func main() {
 	var doc *benchJSON
 	if *jsonPath != "" {
 		doc = newBenchJSON(duration.String(), *reps, *seed, *zipfS, *reclaim, !*noPrefill, *metricsOn)
+	}
+
+	if *durableMode {
+		runDurableMode(keyRanges, mixes, threads, batchModeDeps{
+			duration: *duration, reps: *reps, seed: *seed, zipfS: *zipfS,
+			reclaim: *reclaim, prefill: !*noPrefill, metricsOn: *metricsOn,
+			csvTable: csvTable, doc: doc,
+		})
+		if *csv {
+			fmt.Print(csvTable.CSV())
+		}
+		if doc != nil {
+			fatal(doc.write(*jsonPath))
+		}
+		return
 	}
 
 	if *batchMode {

@@ -10,6 +10,12 @@
 // (Prometheus) and /debug/vars, deliberately separate from the data port so
 // probes and scrapes bypass admission control.
 //
+// With -data <dir> the store becomes durable: mutations are written to a
+// group-commit WAL before they are acknowledged (-sync picks the policy),
+// epoch-consistent snapshots bound recovery time (-checkpoint-every, plus
+// POST /checkpoint on demand), startup replays snapshot + WAL tail, and the
+// SIGTERM drain finishes with a final fsync + checkpoint.
+//
 // With -smoke the binary instead runs a deterministic in-process
 // self-test — one shed response, one capacity response, one graceful
 // drain, then a batch/pipelining stage that requires the pipelined client
@@ -32,8 +38,11 @@ import (
 
 	bst "repro"
 	"repro/internal/client"
+	"repro/internal/durable"
 	"repro/internal/failpoint"
+	"repro/internal/metrics"
 	"repro/internal/server"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -47,6 +56,11 @@ func main() {
 		readTimeout  = flag.Duration("read-timeout", 60*time.Second, "per-frame read deadline (idle + slow-loris bound)")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "how long a signal-triggered drain may wait for in-flight requests")
 		smoke        = flag.Bool("smoke", false, "run the in-process serve smoke test and exit")
+
+		dataDir      = flag.String("data", "", "durability directory (WAL + snapshots); empty = in-memory only")
+		syncPolicy   = flag.String("sync", "fsync", "WAL sync policy with -data: fsync | interval | none")
+		syncInterval = flag.Duration("sync-interval", 5*time.Millisecond, "background fsync cadence for -sync interval")
+		ckptEvery    = flag.Int("checkpoint-every", 1_000_000, "auto-checkpoint after this many logged mutations (0 disables)")
 	)
 	flag.Parse()
 
@@ -66,23 +80,64 @@ func main() {
 	if *reclaim {
 		opts = append(opts, bst.WithReclamation())
 	}
-	tree := bst.New(opts...)
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "bstserve: "+format+"\n", args...)
+	}
 
-	srv := server.New(server.Config{
-		Tree:            tree,
+	cfg := server.Config{
 		MaxInFlight:     *maxInFlight,
 		DefaultDeadline: *deadline,
 		ReadTimeout:     *readTimeout,
-		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, "bstserve: "+format+"\n", args...)
-		},
-	})
+		Logf:            logf,
+	}
+
+	// With -data the server fronts a durable.Tree: every mutation is
+	// WAL-logged before it is acknowledged, and startup replays snapshot +
+	// log tail. Without it the tree is memory-only, exactly as before.
+	var dur *durable.Tree
+	var tree *bst.Tree
+	if *dataDir != "" {
+		policy, err := wal.ParseSyncPolicy(*syncPolicy)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bstserve:", err)
+			os.Exit(2)
+		}
+		start := time.Now()
+		dur, err = durable.Open(*dataDir, durable.Options{
+			Sync:            policy,
+			SyncInterval:    *syncInterval,
+			CheckpointEvery: *ckptEvery,
+			TreeOptions:     opts,
+			Logf:            logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bstserve: recovery failed:", err)
+			os.Exit(2)
+		}
+		rs := dur.RecoveryStats()
+		fmt.Printf("bstserve: recovered %s — %d snapshot keys + %d WAL ops replayed in %v (snapshot %q, %d corrupt skipped)\n",
+			*dataDir, rs.SnapshotKeys, rs.ReplayedOps, time.Since(start).Round(time.Millisecond),
+			rs.SnapshotPath, rs.CorruptSnapshots)
+		reg := metrics.NewRegistry(0)
+		reg.AddHook(dur.MetricsHook)
+		cfg.Store = dur
+		cfg.Metrics = reg
+	} else {
+		tree = bst.New(opts...)
+		cfg.Tree = tree
+	}
+
+	srv := server.New(cfg)
 	if err := srv.Start(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "bstserve:", err)
 		os.Exit(2)
 	}
-	fmt.Printf("bstserve: serving on %s (capacity=%d reclaim=%v max-inflight=%d)\n",
-		srv.Addr(), *capacity, *reclaim, *maxInFlight)
+	durDesc := "off"
+	if dur != nil {
+		durDesc = fmt.Sprintf("%s sync=%s checkpoint-every=%d", *dataDir, *syncPolicy, *ckptEvery)
+	}
+	fmt.Printf("bstserve: serving on %s (capacity=%d reclaim=%v max-inflight=%d durability=%s)\n",
+		srv.Addr(), *capacity, *reclaim, *maxInFlight, durDesc)
 
 	var adminSrv *http.Server
 	if *adminAddr != "" {
@@ -110,7 +165,20 @@ func main() {
 	if adminSrv != nil {
 		adminSrv.Close()
 	}
-	tree.Close()
+	if dur != nil {
+		// Final fsync + checkpoint: a clean shutdown leaves a data dir
+		// that recovers with zero WAL replay.
+		if cerr := dur.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "bstserve: durable close:", cerr)
+			if err == nil {
+				err = cerr
+			}
+		} else {
+			fmt.Println("bstserve: final checkpoint written, WAL synced")
+		}
+	} else {
+		tree.Close()
+	}
 
 	c := srv.Counters()
 	fmt.Printf("bstserve: drained — %d requests served, %d shed, %d capacity errors, %d timeouts, %d panics, %d conns\n",

@@ -16,6 +16,11 @@
 // keep working at the bound, and inserts succeed again once reclamation
 // recycles freed nodes.
 //
+// With -crash the durability gate runs (see crash.go): a re-exec'd durable
+// fsync server is SIGKILLed mid-load, the data dir is recovered in-process,
+// and every wire-acknowledged mutation must have survived — plus a timed
+// 1M-key snapshot + 100k-op WAL tail recovery under a hard budget.
+//
 // Exit status is non-zero if any round fails. Intended for CI and soak
 // runs (-duration 10m).
 package main
@@ -67,8 +72,16 @@ func main() {
 		batch       = flag.Bool("batch", false, "also check linearizability of batched operations racing single ops (targets with batch entry points)")
 		metricsAddr = flag.String("metrics", "", "serve live telemetry on this address (/metrics Prometheus, /debug/vars JSON) while stressing")
 		traceFile   = flag.String("trace", "", "write a runtime/trace capture (rounds appear as tasks with per-check regions)")
+		crash       = flag.Bool("crash", false, "also run the durability gate: kill -9 a durable fsync server mid-load, recover, audit every acked mutation, and clock a 1M-key recovery")
+
+		crashChild    = flag.Bool("crash-child", false, "internal: run as the -crash round's durable server child")
+		crashData     = flag.String("crash-data", "", "internal: data dir for -crash-child")
+		crashAddrFile = flag.String("crash-addr-file", "", "internal: where -crash-child writes its data address")
 	)
 	flag.Parse()
+	if *crashChild {
+		os.Exit(runCrashChild(*crashData, *crashAddrFile))
+	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		if err != nil {
@@ -178,6 +191,14 @@ func main() {
 				if err := serveRound(*workers, *keySpace, uint64(round)); err != nil {
 					failures++
 					fmt.Printf("FAIL [serve] nm round %d: %v\n", round, err)
+				}
+			})
+		}
+		if *crash {
+			runCheck(ctx, "crash", "nm", func() {
+				if err := crashRound(*workers, uint64(round)); err != nil {
+					failures++
+					fmt.Printf("FAIL [crash] nm round %d: %v\n", round, err)
 				}
 			})
 		}

@@ -1,0 +1,115 @@
+package durable
+
+import (
+	"fmt"
+
+	bst "repro"
+	"repro/internal/wal"
+)
+
+// Accessor is the durable per-goroutine fast path: every mutation follows
+// the same stripe-serialized log-before-ack protocol as the Tree-level
+// methods, and batches amortize the fsync wait — all of a batch's records
+// are enqueued while the stripes are held, then one Wait on the last
+// ticket covers the whole batch (group commits fsync in sequence order, so
+// the last record durable implies every earlier one is).
+type accessor struct {
+	d     *Tree
+	inner bst.Accessor
+}
+
+// NewAccessor returns a durable per-goroutine fast path. Like
+// bst.Tree.NewAccessor, the result must not be shared between goroutines.
+func (d *Tree) NewAccessor() bst.Accessor {
+	return &accessor{d: d, inner: d.tree.NewAccessor()}
+}
+
+func (a *accessor) Insert(key int64) bool {
+	ok, err := a.d.apply(opInsert, key, func() (bool, error) { return a.inner.Insert(key), nil })
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+func (a *accessor) TryInsert(key int64) (bool, error) {
+	return a.d.apply(opInsert, key, func() (bool, error) { return a.inner.TryInsert(key) })
+}
+
+func (a *accessor) Delete(key int64) bool {
+	ok, err := a.d.apply(opDelete, key, func() (bool, error) { return a.inner.Delete(key), nil })
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+func (a *accessor) Contains(key int64) bool { return a.inner.Contains(key) }
+
+func (a *accessor) ContainsBatch(keys []int64, out []bst.OpResult) {
+	a.inner.ContainsBatch(keys, out)
+}
+
+func (a *accessor) InsertBatch(keys []int64, out []bst.OpResult) {
+	a.mutateBatch(opInsert, keys, out, a.inner.InsertBatch)
+}
+
+func (a *accessor) DeleteBatch(keys []int64, out []bst.OpResult) {
+	a.mutateBatch(opDelete, keys, out, a.inner.DeleteBatch)
+}
+
+// mutateBatch applies one durable batch: lock every stripe the batch
+// touches (in index order — deadlock-free by construction), run the inner
+// batch, enqueue a WAL record per set-changing slot, release the stripes,
+// then wait once on the last ticket. Per-op linearizability is preserved
+// (each slot is individually linearizable inside the inner batch, and its
+// WAL record is ordered against all other ops on the same key by the
+// stripe); the batch is still not atomic, exactly like the non-durable
+// batch contract.
+func (a *accessor) mutateBatch(op uint8, keys []int64, out []bst.OpResult, inner func([]int64, []bst.OpResult)) {
+	if len(keys) == 0 {
+		inner(keys, out) // let the inner batch enforce len(out) == len(keys)
+		return
+	}
+	var touched [numStripes]bool
+	for _, k := range keys {
+		touched[stripeOf(k)] = true
+	}
+	for i := range touched {
+		if touched[i] {
+			a.d.stripes[i].Lock()
+		}
+	}
+	inner(keys, out)
+	var last wal.Ticket
+	var logged int64
+	for i, k := range keys {
+		if out[i].Err == nil && out[i].OK {
+			last = a.d.log.Enqueue(op, k)
+			logged++
+		}
+	}
+	for i := range touched {
+		if touched[i] {
+			a.d.stripes[i].Unlock()
+		}
+	}
+	if logged == 0 {
+		return
+	}
+	if _, err := last.Wait(); err != nil {
+		// Durability unknown for every set-changing slot: report them
+		// failed, matching the single-op behavior on WAL failure.
+		werr := fmt.Errorf("durable: %w", err)
+		for i := range out {
+			if out[i].Err == nil && out[i].OK {
+				out[i].OK = false
+				out[i].Err = werr
+			}
+		}
+		return
+	}
+	a.d.noteMutations(logged)
+}
+
+func (a *accessor) Close() error { return a.inner.Close() }

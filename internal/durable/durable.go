@@ -1,0 +1,499 @@
+// Package durable wraps a bst.Tree with write-ahead logging and
+// checkpointing so the set survives crashes: the classic
+// checkpoint-plus-log shape, built on two properties the tree already
+// has — idempotent set semantics (replaying an insert/delete against a
+// state that reflects it is a no-op) and an epoch-pinned weakly-consistent
+// Scan that can stream a checkpoint without stopping writers.
+//
+// # Log-before-ack
+//
+// Every acknowledged mutation is in the WAL before the caller sees the
+// result: apply to the tree, append to the log, then — under the fsync
+// policy — wait for the group commit before returning. Only set-changing
+// outcomes are logged; an Insert that returns false changed nothing, so it
+// needs no durability (its ack is an observation, not a promise).
+//
+// # Per-key ordering
+//
+// Replay is per-key order-sensitive (insert-then-delete and
+// delete-then-insert end differently), so the wrapper serializes each
+// key's tree-apply + log-append through one of 256 striped mutexes. The
+// stripe is held only for the tree operation and the (non-blocking) log
+// enqueue — nanoseconds — never across the fsync wait, so group commit
+// still batches arbitrarily many concurrent appenders. Operations on
+// different keys commute, and their relative WAL order is irrelevant.
+//
+// # Checkpoint correctness
+//
+// Checkpoint records horizon H = log.LastSeq() and then scans. Any op
+// with seq ≤ H ran its tree mutation before its seq was assigned (same
+// stripe critical section), hence before the scan began, so the scan
+// observes it; the weakly-consistent scan may also observe some ops with
+// seq > H, which replay then re-applies idempotently. Recovery loads the
+// newest valid snapshot and replays records with seq > H.
+//
+// # Recovery shape
+//
+// Snapshot keys are sorted, and inserting a sorted run into an external
+// BST builds a worst-case spine. Recovery therefore inserts in BFS
+// level-order of the implicit balanced tree over the sorted keys — the
+// root median first, then the two quartile medians, and so on — giving a
+// perfectly balanced start. Each level's medians are themselves ascending,
+// so the batched-descent insert path applies.
+package durable
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	bst "repro"
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// Reuse the WAL's op codes as the package's public vocabulary.
+const (
+	opInsert = wal.OpInsert
+	opDelete = wal.OpDelete
+)
+
+const numStripes = 256
+
+// Options configures Open.
+type Options struct {
+	// Sync is the WAL durability policy (default wal.SyncFsync: acked ⇒
+	// durable).
+	Sync wal.SyncPolicy
+	// SyncInterval is the fsync period under wal.SyncInterval.
+	SyncInterval time.Duration
+	// CheckpointEvery triggers a background checkpoint after this many
+	// logged mutations (0 disables automatic checkpoints; explicit
+	// Checkpoint calls always work).
+	CheckpointEvery int
+	// SegmentBytes is the WAL segment rotation size (0 = default).
+	SegmentBytes int64
+	// TreeOptions are passed to bst.New when recovery builds the tree.
+	TreeOptions []bst.Option
+	// Logf, when non-nil, receives recovery/checkpoint progress lines.
+	Logf func(format string, args ...any)
+}
+
+// RecoveryStats describes what Open reconstructed.
+type RecoveryStats struct {
+	// SnapshotPath is the snapshot the tree was loaded from ("" if none).
+	SnapshotPath string
+	// SnapshotWALSeq is that snapshot's horizon H.
+	SnapshotWALSeq uint64
+	// SnapshotKeys is the number of keys bulk-loaded.
+	SnapshotKeys uint64
+	// CorruptSnapshots counts newer snapshots skipped as corrupt.
+	CorruptSnapshots int
+	// ReplayedOps is the number of WAL records applied after the snapshot.
+	ReplayedOps uint64
+	// WALTornBytes is the size of the torn tail truncated at open.
+	WALTornBytes uint64
+	// Duration is wall time for the whole recovery.
+	Duration time.Duration
+}
+
+// CheckpointStats describes one completed checkpoint.
+type CheckpointStats struct {
+	WALSeq      uint64 // horizon the snapshot covers
+	Keys        uint64 // keys written
+	Bytes       int64  // snapshot file size
+	Duration    time.Duration
+	SnapshotsGC int // superseded snapshots removed
+	SegmentsGC  int // fully-checkpointed WAL segments removed
+}
+
+// Tree is a durable concurrent ordered set: a bst.Tree plus a WAL and a
+// checkpointer. It satisfies the server's Store contract (NewAccessor,
+// Scan, Health) so it drops into bstserve unchanged.
+type Tree struct {
+	dir  string
+	opts Options
+	tree *bst.Tree
+	log  *wal.Log
+
+	stripes [numStripes]sync.Mutex
+
+	recovery RecoveryStats
+
+	ckptMu      sync.Mutex // one checkpoint at a time
+	ckptRunning atomic.Bool
+	sinceCkpt   atomic.Int64 // mutations logged since the last checkpoint
+	ckptWG      sync.WaitGroup
+
+	closed atomic.Bool
+
+	// Cumulative checkpoint/recovery telemetry for MetricsHook.
+	snapshots     atomic.Uint64
+	snapshotKeys  atomic.Uint64
+	snapshotHist  latencyHist
+	lastCkptSeq   atomic.Uint64
+	replayedTotal atomic.Uint64
+}
+
+func stripeOf(key int64) int {
+	return int((uint64(key) * 0x9E3779B97F4A7C15) >> 56)
+}
+
+// Open recovers (or creates) a durable tree in dir: newest valid snapshot
+// → balanced bulk load → WAL tail replay. A corrupt snapshot falls back to
+// the next older one; a corrupt WAL interior refuses with wal.ErrCorrupt.
+func Open(dir string, opts Options) (*Tree, error) {
+	start := time.Now()
+	d := &Tree{dir: dir, opts: opts}
+
+	// 1. Newest valid snapshot, if any.
+	snaps, err := snapshot.List(dir)
+	if err != nil {
+		return nil, err
+	}
+	var horizon uint64
+	for _, s := range snaps {
+		keys, walSeq, lerr := loadSnapshotKeys(s.Path)
+		if lerr != nil {
+			if errors.Is(lerr, snapshot.ErrCorrupt) {
+				d.logf("durable: skipping corrupt snapshot %s: %v", s.Path, lerr)
+				d.recovery.CorruptSnapshots++
+				continue
+			}
+			return nil, lerr
+		}
+		tree := bst.New(opts.TreeOptions...)
+		if berr := bulkLoadBalanced(tree, keys); berr != nil {
+			tree.Close()
+			return nil, fmt.Errorf("durable: bulk load: %w", berr)
+		}
+		d.tree = tree
+		horizon = walSeq
+		d.recovery.SnapshotPath = s.Path
+		d.recovery.SnapshotWALSeq = walSeq
+		d.recovery.SnapshotKeys = uint64(len(keys))
+		break
+	}
+	if d.tree == nil {
+		d.tree = bst.New(opts.TreeOptions...)
+	}
+
+	// 2. WAL: open with the horizon as a sequence floor so numbering can
+	// never fall below what the snapshot covers, then replay the tail.
+	log, err := wal.Open(dir, wal.Options{
+		Sync:         opts.Sync,
+		Interval:     opts.SyncInterval,
+		SegmentBytes: opts.SegmentBytes,
+		NextSeq:      horizon + 1,
+		Logf:         opts.Logf,
+	})
+	if err != nil {
+		d.tree.Close()
+		return nil, err
+	}
+	d.log = log
+	acc := d.tree.NewAccessor()
+	replayed := uint64(0)
+	rerr := log.Replay(horizon, func(r wal.Record) error {
+		switch r.Op {
+		case opInsert:
+			if _, err := acc.TryInsert(r.Key); err != nil {
+				return fmt.Errorf("durable: replay insert %d (seq %d): %w", r.Key, r.Seq, err)
+			}
+		case opDelete:
+			acc.Delete(r.Key)
+		}
+		replayed++
+		return nil
+	})
+	acc.Close()
+	if rerr != nil {
+		log.Close()
+		d.tree.Close()
+		return nil, rerr
+	}
+	d.recovery.ReplayedOps = replayed
+	d.replayedTotal.Store(replayed)
+	d.recovery.WALTornBytes = log.Stats().TornTruncated
+	d.recovery.Duration = time.Since(start)
+	d.lastCkptSeq.Store(horizon)
+	d.logf("durable: recovered %d snapshot key(s) + %d replayed op(s) in %s",
+		d.recovery.SnapshotKeys, replayed, d.recovery.Duration)
+	return d, nil
+}
+
+func (d *Tree) logf(format string, args ...any) {
+	if d.opts.Logf != nil {
+		d.opts.Logf(format, args...)
+	}
+}
+
+// loadSnapshotKeys reads a whole snapshot into memory. The keys must be
+// materialized anyway for balanced loading, and doing it before building
+// the tree means a corrupt snapshot costs no tree work.
+func loadSnapshotKeys(path string) (keys []int64, walSeq uint64, err error) {
+	walSeq, count, err := snapshot.Load(path, 8192, func(chunk []int64) error {
+		keys = append(keys, chunk...)
+		return nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	if uint64(len(keys)) != count {
+		return nil, 0, fmt.Errorf("%w: streamed %d keys, trailer says %d", snapshot.ErrCorrupt, len(keys), count)
+	}
+	return keys, walSeq, nil
+}
+
+// bulkLoadBalanced inserts sorted keys in BFS level-order of the implicit
+// balanced BST: each level's medians are ascending, so every InsertBatch
+// call gets a sorted run and the result is a balanced external tree
+// instead of the N-deep spine sequential insertion would build.
+func bulkLoadBalanced(tree *bst.Tree, keys []int64) error {
+	if len(keys) == 0 {
+		return nil
+	}
+	const chunk = 1024
+	acc := tree.NewAccessor()
+	defer acc.Close()
+	batch := make([]int64, 0, chunk)
+	out := make([]bst.OpResult, chunk)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		acc.InsertBatch(batch, out[:len(batch)])
+		for i := range batch {
+			if err := out[i].Err; err != nil {
+				return fmt.Errorf("key %d: %w", batch[i], err)
+			}
+		}
+		batch = batch[:0]
+		return nil
+	}
+
+	type span struct{ lo, hi int }
+	level := []span{{0, len(keys)}}
+	next := make([]span, 0, 2)
+	for len(level) > 0 {
+		next = next[:0]
+		for _, s := range level {
+			if s.lo >= s.hi {
+				continue
+			}
+			mid := int(uint(s.lo+s.hi) >> 1)
+			batch = append(batch, keys[mid])
+			if len(batch) == chunk {
+				if err := flush(); err != nil {
+					return err
+				}
+			}
+			next = append(next, span{s.lo, mid}, span{mid + 1, s.hi})
+		}
+		// Flush at the level boundary: the next level's first median is
+		// smaller than this level's last, and InsertBatch wants runs it
+		// can sort cheaply (each level is already ascending).
+		if err := flush(); err != nil {
+			return err
+		}
+		level, next = next, level
+	}
+	return nil
+}
+
+// apply runs one mutation under its key's stripe: tree first, then the
+// non-blocking WAL enqueue, so the record's sequence order matches the
+// key's linearization order. The fsync wait happens after the stripe is
+// released.
+func (d *Tree) apply(op uint8, key int64, mutate func() (bool, error)) (bool, error) {
+	st := &d.stripes[stripeOf(key)]
+	st.Lock()
+	ok, err := mutate()
+	var t wal.Ticket
+	if err == nil && ok {
+		t = d.log.Enqueue(op, key)
+	}
+	st.Unlock()
+	if err != nil || !ok {
+		return ok, err
+	}
+	if _, werr := t.Wait(); werr != nil {
+		// The tree changed but the change cannot be made durable: the
+		// caller must not treat it as acknowledged.
+		return false, fmt.Errorf("durable: %w", werr)
+	}
+	d.noteMutations(1)
+	return true, nil
+}
+
+// noteMutations advances the auto-checkpoint trigger.
+func (d *Tree) noteMutations(n int64) {
+	if d.opts.CheckpointEvery <= 0 {
+		return
+	}
+	if d.sinceCkpt.Add(n) >= int64(d.opts.CheckpointEvery) && d.ckptRunning.CompareAndSwap(false, true) {
+		d.ckptWG.Add(1)
+		go func() {
+			defer d.ckptWG.Done()
+			defer d.ckptRunning.Store(false)
+			if d.closed.Load() {
+				return
+			}
+			if _, err := d.Checkpoint(); err != nil && !errors.Is(err, errClosed) {
+				d.logf("durable: automatic checkpoint failed: %v", err)
+			}
+		}()
+	}
+}
+
+// Insert adds key; it reports whether the set changed, and does not return
+// until the change is durable per the sync policy. A WAL failure panics
+// (matching Insert's panicking contract); use TryInsert for an error.
+func (d *Tree) Insert(key int64) bool {
+	ok, err := d.apply(opInsert, key, func() (bool, error) { return d.tree.Insert(key), nil })
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// TryInsert is the non-panicking Insert: it reports ErrKeyOutOfRange,
+// ErrCapacity, and WAL failures as errors.
+func (d *Tree) TryInsert(key int64) (bool, error) {
+	return d.apply(opInsert, key, func() (bool, error) { return d.tree.TryInsert(key) })
+}
+
+// Delete removes key; it reports whether the set changed, durably.
+func (d *Tree) Delete(key int64) bool {
+	ok, err := d.apply(opDelete, key, func() (bool, error) { return d.tree.Delete(key), nil })
+	if err != nil {
+		panic(err)
+	}
+	return ok
+}
+
+// Contains reports whether key is present (reads don't touch the log).
+func (d *Tree) Contains(key int64) bool { return d.tree.Contains(key) }
+
+// Len returns the number of keys (quiescent; see bst.Tree.Len).
+func (d *Tree) Len() int { return d.tree.Len() }
+
+// Scan passes through to the tree's epoch-pinned weakly-consistent scan.
+func (d *Tree) Scan(from, to int64, yield func(key int64) bool) { d.tree.Scan(from, to, yield) }
+
+// Health passes through to the underlying tree.
+func (d *Tree) Health() bst.Health { return d.tree.Health() }
+
+// Underlying exposes the wrapped tree for telemetry wiring (metrics
+// registry). Mutating through it bypasses the WAL; don't.
+func (d *Tree) Underlying() *bst.Tree { return d.tree }
+
+// RecoveryStats reports what Open reconstructed.
+func (d *Tree) RecoveryStats() RecoveryStats { return d.recovery }
+
+// WALStats reports the log's counters.
+func (d *Tree) WALStats() wal.Stats { return d.log.Stats() }
+
+var errClosed = errors.New("durable: closed")
+
+// Checkpoint writes a snapshot covering every logged mutation up to the
+// current WAL horizon, then garbage-collects superseded snapshots and
+// fully-checkpointed WAL segments. Writers keep running throughout (the
+// scan is epoch-pinned, not blocking); only one checkpoint runs at a time.
+func (d *Tree) Checkpoint() (CheckpointStats, error) {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if d.closed.Load() {
+		return CheckpointStats{}, errClosed
+	}
+	return d.checkpointLocked()
+}
+
+func (d *Tree) checkpointLocked() (CheckpointStats, error) {
+	start := time.Now()
+	// Horizon FIRST, scan second: every op with seq ≤ H finished its tree
+	// mutation before H was read (stripe critical section), so the scan —
+	// which starts strictly later — observes it.
+	h := d.log.LastSeq()
+	baseline := d.sinceCkpt.Load()
+	var scanErr error
+	info, err := snapshot.Write(d.dir, h, func(emit func(int64) error) error {
+		d.tree.Scan(math.MinInt64, bst.MaxKey, func(k int64) bool {
+			if err := emit(k); err != nil {
+				scanErr = err
+				return false
+			}
+			return true
+		})
+		return scanErr
+	})
+	if err != nil {
+		return CheckpointStats{}, err
+	}
+	stats := CheckpointStats{WALSeq: h, Keys: info.Count, Bytes: info.Bytes, Duration: time.Since(start)}
+	if n, err := snapshot.GC(d.dir, h); err != nil {
+		d.logf("durable: snapshot gc: %v", err)
+	} else {
+		stats.SnapshotsGC = n
+	}
+	if n, err := d.log.RemoveThrough(h); err != nil {
+		d.logf("durable: wal gc: %v", err)
+	} else {
+		stats.SegmentsGC = n
+	}
+	d.sinceCkpt.Add(-baseline)
+	d.lastCkptSeq.Store(h)
+	d.snapshots.Add(1)
+	d.snapshotKeys.Add(info.Count)
+	d.snapshotHist.observe(stats.Duration)
+	d.logf("durable: checkpoint @seq %d: %d key(s), %d byte(s), %s (gc: %d snapshot(s), %d segment(s))",
+		h, stats.Keys, stats.Bytes, stats.Duration, stats.SnapshotsGC, stats.SegmentsGC)
+	return stats, nil
+}
+
+// Close makes every acknowledged mutation durable (final fsync), writes a
+// final checkpoint, and releases the log and tree. Callers must have
+// stopped mutating (the server drains connections first).
+func (d *Tree) Close() error {
+	d.ckptMu.Lock()
+	defer d.ckptMu.Unlock()
+	if !d.closed.CompareAndSwap(false, true) {
+		return errClosed
+	}
+	var firstErr error
+	if err := d.log.Sync(); err != nil {
+		firstErr = err
+	}
+	if firstErr == nil {
+		if _, err := d.checkpointLocked(); err != nil {
+			firstErr = fmt.Errorf("durable: final checkpoint: %w", err)
+		}
+	}
+	if err := d.log.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	d.ckptMu.Unlock()
+	d.ckptWG.Wait() // let a straggler auto-checkpoint goroutine observe closed
+	d.ckptMu.Lock()
+	if err := d.tree.Close(); err != nil && firstErr == nil {
+		firstErr = err
+	}
+	return firstErr
+}
+
+// Crash abandons the store the way a crash would: no final checkpoint, no
+// fsync — buffered WAL records are handed to the OS and the process-level
+// state is dropped. For crash tests and the durability example; real
+// shutdowns use Close.
+func (d *Tree) Crash() error {
+	if !d.closed.CompareAndSwap(false, true) {
+		return errClosed
+	}
+	err := d.log.CloseDirty()
+	d.ckptWG.Wait()
+	d.tree.Close()
+	return err
+}

@@ -1,0 +1,84 @@
+package durable
+
+import (
+	"sync/atomic"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// latencyHist is a single-writer power-of-two nanosecond histogram (same
+// discipline as the metrics shards: plain stores by the one writer, atomic
+// loads by scrapers — scrapes never block a checkpoint).
+type latencyHist struct {
+	buckets [metrics.NumBuckets]atomic.Uint64
+	count   atomic.Uint64
+	sum     atomic.Uint64
+}
+
+func (h *latencyHist) observe(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	i := 0
+	for v := ns; v != 0; v >>= 1 {
+		i++
+	}
+	if i >= metrics.NumBuckets {
+		i = metrics.NumBuckets - 1
+	}
+	b := &h.buckets[i]
+	b.Store(b.Load() + 1)
+	h.count.Store(h.count.Load() + 1)
+	h.sum.Store(h.sum.Load() + ns)
+}
+
+func (h *latencyHist) snapshot() metrics.LatencySnapshot {
+	var l metrics.LatencySnapshot
+	for i := range h.buckets {
+		l.Buckets[i] = h.buckets[i].Load()
+	}
+	l.Count = h.count.Load()
+	l.SumNanos = h.sum.Load()
+	return l
+}
+
+// MetricsHook folds the durability subsystem's telemetry into a registry
+// snapshot. Register it on the serving registry:
+//
+//	reg.AddHook(dur.MetricsHook)
+//
+// Counter names follow the existing export conventions (the renderer adds
+// the bst_ prefix); histograms land in ExternalLatency with _seconds
+// names and nanosecond buckets (the renderer converts).
+func (d *Tree) MetricsHook(s *metrics.Snapshot) {
+	st := d.log.Stats()
+	s.External["wal_append_total"] += st.Appends
+	s.External["wal_fsync_total"] += st.Fsyncs
+	s.External["wal_group_commits_total"] += st.Groups
+	s.External["wal_group_records_total"] += st.GroupRecords
+	s.External["wal_bytes_written_total"] += st.BytesWritten
+	s.External["wal_rotations_total"] += st.Rotations
+	s.External["wal_torn_bytes_truncated_total"] += st.TornTruncated
+	s.External["snapshots_total"] += d.snapshots.Load()
+	s.External["snapshot_keys_total"] += d.snapshotKeys.Load()
+	s.External["recovery_replayed_ops_total"] += d.replayedTotal.Load()
+
+	s.Gauges["wal_last_seq"] = float64(st.LastSeq)
+	s.Gauges["wal_durable_seq"] = float64(st.DurableSeq)
+	s.Gauges["wal_segments"] = float64(st.Segments)
+	// wal_group_size: the live max plus mean-derivable counters above.
+	s.Gauges["wal_group_size_max"] = float64(st.MaxGroup)
+	s.Gauges["checkpoint_last_wal_seq"] = float64(d.lastCkptSeq.Load())
+	s.Gauges["checkpoint_backlog_ops"] = float64(st.LastSeq - d.lastCkptSeq.Load())
+
+	fold := func(name string, l metrics.LatencySnapshot) {
+		cur := s.ExternalLatency[name]
+		for i := range l.Buckets {
+			cur.Buckets[i] += l.Buckets[i]
+		}
+		cur.Count += l.Count
+		cur.SumNanos += l.SumNanos
+		s.ExternalLatency[name] = cur
+	}
+	fold("wal_fsync_seconds", st.FsyncNanos)
+	fold("snapshot_duration_seconds", d.snapshotHist.snapshot())
+}

@@ -134,24 +134,28 @@ func WritePrometheus(w io.Writer, snaps []Named) {
 		sp := fam("bst_latency_sample_period_ops", "gauge")
 		sp.samples = append(sp.samples, promSample{joinLabels(ns.Name, ""), float64(s.SampleEvery)})
 
-		hf := fam("bst_op_latency_seconds", "histogram")
-		for op := Op(0); op < NumOps; op++ {
-			l := s.Latency[op]
-			base := `tree="` + ns.Name + `",op="` + op.Name() + `"`
+		appendHistogram := func(f *promFamily, base string, l LatencySnapshot) {
 			var cum uint64
 			for i := 0; i < NumBuckets; i++ {
 				cum += l.Buckets[i]
 				le := strconv.FormatFloat(float64(BucketUpperNanos(i))/1e9, 'g', -1, 64)
-				hf.samples = append(hf.samples, promSample{
+				f.samples = append(f.samples, promSample{
 					labels: base + `,le="` + le + `"`,
 					value:  float64(cum),
 				})
 			}
-			hf.samples = append(hf.samples,
+			f.samples = append(f.samples,
 				promSample{base + `,le="+Inf"`, float64(l.Count)},
 				promSample{labels: "\x00sum\x00" + base, value: float64(l.SumNanos) / 1e9},
 				promSample{labels: "\x00count\x00" + base, value: float64(l.Count)},
 			)
+		}
+		hf := fam("bst_op_latency_seconds", "histogram")
+		for op := Op(0); op < NumOps; op++ {
+			appendHistogram(hf, `tree="`+ns.Name+`",op="`+op.Name()+`"`, s.Latency[op])
+		}
+		for _, k := range sortedLatencyKeys(s.ExternalLatency) {
+			appendHistogram(fam("bst_"+k, "histogram"), `tree="`+ns.Name+`"`, s.ExternalLatency[k])
 		}
 	}
 
@@ -186,6 +190,15 @@ func sortedKeys(m map[string]uint64) []string {
 	return out
 }
 
+func sortedLatencyKeys(m map[string]LatencySnapshot) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
 func sortedGaugeKeys(m map[string]float64) []string {
 	out := make([]string, 0, len(m))
 	for k := range m {
@@ -211,6 +224,15 @@ func ExpvarMap(s Snapshot) map[string]any {
 	for op := Op(0); op < NumOps; op++ {
 		l := s.Latency[op]
 		lat[op.Name()] = expvarLatency{
+			Count:    l.Count,
+			SumNanos: l.SumNanos,
+			P50Nanos: l.Quantile(0.50),
+			P99Nanos: l.Quantile(0.99),
+			Buckets:  l.Buckets[:],
+		}
+	}
+	for k, l := range s.ExternalLatency {
+		lat[k] = expvarLatency{
 			Count:    l.Count,
 			SumNanos: l.SumNanos,
 			P50Nanos: l.Quantile(0.50),

@@ -300,13 +300,19 @@ type Snapshot struct {
 	Latency     [NumOps]LatencySnapshot
 	External    map[string]uint64  // hook-supplied monotonic counters
 	Gauges      map[string]float64 // hook-supplied instantaneous values
+	// ExternalLatency holds hook-supplied histograms that are not one of
+	// the fixed per-op histograms — e.g. the WAL's fsync durations or the
+	// checkpointer's snapshot durations. Keys are export names without the
+	// "bst_" prefix ("wal_fsync_seconds"); values are cumulative.
+	ExternalLatency map[string]LatencySnapshot
 }
 
 func emptySnapshot(sampleEvery uint64) Snapshot {
 	return Snapshot{
-		SampleEvery: sampleEvery,
-		External:    map[string]uint64{},
-		Gauges:      map[string]float64{},
+		SampleEvery:     sampleEvery,
+		External:        map[string]uint64{},
+		Gauges:          map[string]float64{},
+		ExternalLatency: map[string]LatencySnapshot{},
 	}
 }
 
@@ -360,6 +366,15 @@ func (s *Snapshot) add(o *Snapshot) {
 	for k, v := range o.Gauges {
 		s.Gauges[k] = v
 	}
+	for k, v := range o.ExternalLatency {
+		l := s.ExternalLatency[k]
+		for i := range v.Buckets {
+			l.Buckets[i] += v.Buckets[i]
+		}
+		l.Count += v.Count
+		l.SumNanos += v.SumNanos
+		s.ExternalLatency[k] = l
+	}
 }
 
 // Sub returns the delta s−prev for all monotonic values; gauges keep their
@@ -383,6 +398,14 @@ func (s Snapshot) Sub(prev Snapshot) Snapshot {
 	}
 	for k, v := range s.Gauges {
 		d.Gauges[k] = v
+	}
+	for k, v := range s.ExternalLatency {
+		p := prev.ExternalLatency[k]
+		l := LatencySnapshot{Count: v.Count - p.Count, SumNanos: v.SumNanos - p.SumNanos}
+		for i := range v.Buckets {
+			l.Buckets[i] = v.Buckets[i] - p.Buckets[i]
+		}
+		d.ExternalLatency[k] = l
 	}
 	return d
 }

@@ -287,3 +287,54 @@ func TestWriteExpvarJSON(t *testing.T) {
 		t.Fatalf("delete latency count = %d, want 1", nm.Latency["delete"].Count)
 	}
 }
+
+func TestExternalLatencyHookAndRendering(t *testing.T) {
+	r := NewRegistry(0)
+	r.AddHook(func(s *Snapshot) {
+		var l LatencySnapshot
+		l.Buckets[20] = 3 // three samples around half a millisecond
+		l.Count = 3
+		l.SumNanos = 1_500_000
+		s.ExternalLatency["wal_fsync_seconds"] = l
+		s.External["wal_append_total"] += 9
+	})
+	snap := r.Snapshot()
+	if got := snap.ExternalLatency["wal_fsync_seconds"].Count; got != 3 {
+		t.Fatalf("hook latency count = %d, want 3", got)
+	}
+
+	var b bytes.Buffer
+	WritePrometheus(&b, []Named{{Name: "srv", Snap: snap}})
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE bst_wal_fsync_seconds histogram",
+		`bst_wal_fsync_seconds_bucket{tree="srv",le="+Inf"} 3`,
+		`bst_wal_fsync_seconds_count{tree="srv"} 3`,
+		`bst_wal_fsync_seconds_sum{tree="srv"} 0.0015`,
+		`bst_wal_append_total{tree="srv"} 9`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("Prometheus output missing %q:\n%s", want, out)
+		}
+	}
+	checkPrometheusWellFormed(t, out)
+
+	// The expvar document carries the same histogram under latency.
+	b.Reset()
+	WriteExpvar(&b, []Named{{Name: "srv", Snap: snap}})
+	var doc map[string]struct {
+		Latency map[string]expvarLatency `json:"latency"`
+	}
+	if err := json.Unmarshal(b.Bytes(), &doc); err != nil {
+		t.Fatalf("expvar output invalid: %v", err)
+	}
+	if doc["srv"].Latency["wal_fsync_seconds"].Count != 3 {
+		t.Fatalf("expvar missing external latency: %s", b.String())
+	}
+
+	// Sub yields a proper delta.
+	d := snap.Sub(emptySnapshot(snap.SampleEvery))
+	if d.ExternalLatency["wal_fsync_seconds"].SumNanos != 1_500_000 {
+		t.Fatalf("Sub lost external latency: %+v", d.ExternalLatency)
+	}
+}

@@ -5,8 +5,19 @@ import (
 	"fmt"
 	"net/http"
 
+	"repro/internal/durable"
 	"repro/internal/metrics"
+	"repro/internal/wal"
 )
+
+// durableStore is the extra surface a durability-wrapped store exposes;
+// durable.Tree implements it. Checked by type assertion so a plain
+// in-memory *bst.Tree still serves unchanged.
+type durableStore interface {
+	Checkpoint() (durable.CheckpointStats, error)
+	WALStats() wal.Stats
+	RecoveryStats() durable.RecoveryStats
+}
 
 // AdminHandler returns the server's operational HTTP surface:
 //
@@ -18,6 +29,8 @@ import (
 //	GET /metrics     Prometheus exposition: tree contention series plus
 //	                 the server_* counters (shed, timeouts, drains, ...)
 //	GET /debug/vars  the same snapshot as expvar-style JSON
+//	POST /checkpoint force a durability checkpoint now (404 when the
+//	                 store has no durability layer)
 //
 // Serve it on a side listener, separate from the data port, so health
 // checks and scrapes are never subject to the data plane's admission
@@ -39,12 +52,40 @@ func (s *Server) AdminHandler() http.Handler {
 		}
 		writeHealth(w, http.StatusOK, "ready", s)
 	})
+	mux.HandleFunc("/checkpoint", func(w http.ResponseWriter, r *http.Request) {
+		ds, ok := s.cfg.Store.(durableStore)
+		if !ok {
+			http.Error(w, "store has no durability layer", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		stats, err := ds.Checkpoint()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"wal_seq":         stats.WALSeq,
+			"keys":            stats.Keys,
+			"bytes":           stats.Bytes,
+			"duration":        stats.Duration.String(),
+			"snapshots_gc":    stats.SnapshotsGC,
+			"wal_segments_gc": stats.SegmentsGC,
+		})
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "bstserve admin: /healthz /readyz /metrics /debug/vars")
+		fmt.Fprintln(w, "bstserve admin: /healthz /readyz /metrics /debug/vars /checkpoint")
 	})
 	return mux
 }
@@ -61,7 +102,7 @@ func (s *Server) Ready() error {
 	if s.draining.Load() {
 		return fmt.Errorf("draining")
 	}
-	h := s.cfg.Tree.Health()
+	h := s.cfg.Store.Health()
 	if h.StalledSlots > 0 && h.RetiredBacklog > 0 {
 		return fmt.Errorf("reclamation stalled: %d slot(s) pinning the epoch, %d nodes backlogged",
 			h.StalledSlots, h.RetiredBacklog)
@@ -71,10 +112,22 @@ func (s *Server) Ready() error {
 
 // healthBody is the JSON document both health endpoints serve.
 type healthBody struct {
-	Status   string     `json:"status"`
-	Draining bool       `json:"draining"`
-	Counters Counters   `json:"counters"`
-	Tree     treeHealth `json:"tree"`
+	Status     string            `json:"status"`
+	Draining   bool              `json:"draining"`
+	Counters   Counters          `json:"counters"`
+	Tree       treeHealth        `json:"tree"`
+	Durability *durabilityHealth `json:"durability,omitempty"`
+}
+
+// durabilityHealth summarizes the WAL's progress for operators: how far
+// acks have advanced (last_seq), how far durability has (durable_seq), and
+// how much log a crash would replay (backlog since the last checkpoint).
+type durabilityHealth struct {
+	WALLastSeq    uint64 `json:"wal_last_seq"`
+	WALDurableSeq uint64 `json:"wal_durable_seq"`
+	WALSegments   int    `json:"wal_segments"`
+	ReplayedOps   uint64 `json:"recovery_replayed_ops"`
+	SnapshotKeys  uint64 `json:"recovery_snapshot_keys"`
 }
 
 type treeHealth struct {
@@ -88,7 +141,7 @@ type treeHealth struct {
 }
 
 func writeHealth(w http.ResponseWriter, code int, status string, s *Server) {
-	h := s.cfg.Tree.Health()
+	h := s.cfg.Store.Health()
 	body := healthBody{
 		Status:   status,
 		Draining: s.draining.Load(),
@@ -102,6 +155,17 @@ func writeHealth(w http.ResponseWriter, code int, status string, s *Server) {
 			StalledSlots:   h.StalledSlots,
 			RetiredBacklog: h.RetiredBacklog,
 		},
+	}
+	if ds, ok := s.cfg.Store.(durableStore); ok {
+		ws := ds.WALStats()
+		rs := ds.RecoveryStats()
+		body.Durability = &durabilityHealth{
+			WALLastSeq:    ws.LastSeq,
+			WALDurableSeq: ws.DurableSeq,
+			WALSegments:   ws.Segments,
+			ReplayedOps:   rs.ReplayedOps,
+			SnapshotKeys:  rs.SnapshotKeys,
+		}
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")
 	w.WriteHeader(code)

@@ -54,11 +54,27 @@ const (
 	FPPanic = "server-panic"
 )
 
-// Config tunes a Server. Tree is required; everything else has serving
-// defaults.
+// Store is the data plane a Server fronts: per-connection accessors for
+// point and batch operations, the epoch-pinned concurrent scan for range
+// queries, and the health report the admin endpoints serve. *bst.Tree
+// satisfies it directly (the in-memory server), and durable.Tree satisfies
+// it with write-ahead logging layered under every mutation — the server
+// code cannot tell the difference, which is the point: durability is a
+// deployment choice, not a protocol change.
+type Store interface {
+	NewAccessor() bst.Accessor
+	Scan(from, to int64, yield func(key int64) bool)
+	Health() bst.Health
+}
+
+// Config tunes a Server. One of Store or Tree is required; everything else
+// has serving defaults.
 type Config struct {
-	// Tree is the shared store. The server creates one Accessor per
-	// connection and Closes it when the connection ends.
+	// Store is the data plane. Leave nil to serve Tree directly.
+	Store Store
+	// Tree is the shared in-memory store, used when Store is nil. The
+	// server creates one Accessor per connection and Closes it when the
+	// connection ends.
 	Tree *bst.Tree
 	// MaxInFlight bounds concurrently executing requests across all
 	// connections; excess requests are shed with StatusOverloaded.
@@ -156,11 +172,14 @@ type Server struct {
 	stats counters
 }
 
-// New creates a server for cfg.Tree. The server does not listen until
+// New creates a server for the configured store. The server does not listen until
 // Start or Serve is called.
 func New(cfg Config) *Server {
-	if cfg.Tree == nil {
-		panic("server: Config.Tree is required")
+	if cfg.Store == nil {
+		if cfg.Tree == nil {
+			panic("server: Config.Store or Config.Tree is required")
+		}
+		cfg.Store = cfg.Tree
 	}
 	if cfg.MaxInFlight <= 0 {
 		cfg.MaxInFlight = 256
@@ -328,7 +347,7 @@ type connScratch struct {
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWG.Done()
 	defer s.forgetConn(c)
-	acc := s.cfg.Tree.NewAccessor()
+	acc := s.cfg.Store.NewAccessor()
 	defer acc.Close()
 
 	br := bufio.NewReaderSize(c, 32<<10)
@@ -655,7 +674,7 @@ func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request
 		i := 0
 		// Scan is the epoch-protected concurrent traversal; the limit cap
 		// bounds how long one request can pin a reclamation epoch.
-		s.cfg.Tree.Scan(req.Key, req.To, func(k int64) bool {
+		s.cfg.Store.Scan(req.Key, req.To, func(k int64) bool {
 			// Deadline check every few keys: a huge range cannot hold
 			// its admission slot past its budget.
 			if i++; i&63 == 0 && ctx.Err() != nil {

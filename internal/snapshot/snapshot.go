@@ -1,0 +1,327 @@
+// Package snapshot reads and writes checkpoint files: the sorted key set
+// of a tree at a moment in time, paired with the WAL sequence horizon the
+// checkpoint covers.
+//
+// # Format
+//
+// A snapshot is a single file, all integers big-endian:
+//
+//	8  bytes  magic "BSTSNAP1"
+//	8  bytes  walSeq — every logged op with seq ≤ walSeq is reflected
+//	8N bytes  keys, strictly ascending two's-complement int64
+//	8  bytes  count (= N), so a truncated file cannot masquerade as short
+//	4  bytes  CRC-32C of everything above
+//
+// The count and CRC live in a trailer because the writer streams keys from
+// an epoch-pinned Tree.Scan and does not know N up front. The file is
+// written to a .tmp name, fsynced, and renamed into place, so a crash
+// during checkpointing leaves at most a stale .tmp (collected by GC) and
+// never a half-visible snapshot: a snapshot that exists under its final
+// name is complete or detectably corrupt, nothing in between.
+//
+// # Naming
+//
+// snap-<walSeq as 16 hex digits>.bst — lexical order is horizon order, so
+// "newest" needs no metadata. Recovery tries newest first and falls back;
+// GC keeps the newest and removes the rest.
+package snapshot
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+const (
+	magic      = "BSTSNAP1"
+	filePrefix = "snap-"
+	fileSuffix = ".bst"
+	tmpSuffix  = ".tmp"
+	headerLen  = 8 + 8 // magic + walSeq
+	trailerLen = 8 + 4 // count + crc
+)
+
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// ErrCorrupt marks a snapshot that failed validation (bad magic, size,
+// count, ordering or CRC). Recovery treats it as absent and falls back to
+// an older snapshot.
+var ErrCorrupt = errors.New("snapshot: corrupt")
+
+// Info describes one written snapshot.
+type Info struct {
+	Path   string
+	WALSeq uint64
+	Count  uint64
+	Bytes  int64
+}
+
+// Write streams the keys produced by src into a new snapshot covering
+// walSeq and atomically publishes it. src must emit keys in strictly
+// ascending order (Tree.Scan's contract); Write enforces this. The emit
+// callback returns an error only when writing fails, letting src abort.
+func Write(dir string, walSeq uint64, src func(emit func(int64) error) error) (Info, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return Info{}, fmt.Errorf("snapshot: %w", err)
+	}
+	final := filepath.Join(dir, fmt.Sprintf("%s%016x%s", filePrefix, walSeq, fileSuffix))
+	tmp := final + tmpSuffix
+	f, err := os.OpenFile(tmp, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return Info{}, fmt.Errorf("snapshot: %w", err)
+	}
+	// Any failure path removes the temp file; the final name only ever
+	// appears via the rename at the bottom.
+	cleanup := func(err error) (Info, error) {
+		f.Close()
+		os.Remove(tmp)
+		return Info{}, err
+	}
+
+	crc := crc32.New(castagnoli)
+	bw := bufio.NewWriterSize(f, 1<<20)
+	write := func(b []byte) error {
+		crc.Write(b) // hash.Hash.Write never fails
+		_, err := bw.Write(b)
+		return err
+	}
+
+	var hdr [headerLen]byte
+	copy(hdr[:8], magic)
+	binary.BigEndian.PutUint64(hdr[8:], walSeq)
+	if err := write(hdr[:]); err != nil {
+		return cleanup(fmt.Errorf("snapshot: %w", err))
+	}
+
+	var (
+		count   uint64
+		prev    int64
+		keyBuf  [8]byte
+		wrapped error
+	)
+	emit := func(k int64) error {
+		if count > 0 && k <= prev {
+			wrapped = fmt.Errorf("snapshot: keys not strictly ascending (%d after %d)", k, prev)
+			return wrapped
+		}
+		prev = k
+		count++
+		binary.BigEndian.PutUint64(keyBuf[:], uint64(k))
+		if err := write(keyBuf[:]); err != nil {
+			wrapped = fmt.Errorf("snapshot: %w", err)
+			return wrapped
+		}
+		return nil
+	}
+	if err := src(emit); err != nil {
+		if wrapped != nil {
+			err = wrapped
+		}
+		return cleanup(err)
+	}
+
+	var tr [trailerLen]byte
+	binary.BigEndian.PutUint64(tr[:8], count)
+	crc.Write(tr[:8])
+	binary.BigEndian.PutUint32(tr[8:], crc.Sum32())
+	if _, err := bw.Write(tr[:]); err != nil {
+		return cleanup(fmt.Errorf("snapshot: %w", err))
+	}
+	if err := bw.Flush(); err != nil {
+		return cleanup(fmt.Errorf("snapshot: %w", err))
+	}
+	if err := f.Sync(); err != nil {
+		return cleanup(fmt.Errorf("snapshot: fsync: %w", err))
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return Info{}, fmt.Errorf("snapshot: %w", err)
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		os.Remove(tmp)
+		return Info{}, fmt.Errorf("snapshot: publish: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return Info{}, err
+	}
+	size := int64(headerLen) + int64(count)*8 + trailerLen
+	return Info{Path: final, WALSeq: walSeq, Count: count, Bytes: size}, nil
+}
+
+// Entry is one on-disk snapshot found by List.
+type Entry struct {
+	Path   string
+	WALSeq uint64
+}
+
+// List returns dir's snapshots newest-horizon first. Stale .tmp files and
+// foreign names are ignored.
+func List(dir string) ([]Entry, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("snapshot: %w", err)
+	}
+	var out []Entry
+	for _, e := range ents {
+		name := e.Name()
+		if !strings.HasPrefix(name, filePrefix) || !strings.HasSuffix(name, fileSuffix) {
+			continue
+		}
+		hexs := strings.TrimSuffix(strings.TrimPrefix(name, filePrefix), fileSuffix)
+		seq, err := strconv.ParseUint(hexs, 16, 64)
+		if err != nil {
+			continue
+		}
+		out = append(out, Entry{Path: filepath.Join(dir, name), WALSeq: seq})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].WALSeq > out[j].WALSeq })
+	return out, nil
+}
+
+// Load streams a snapshot's keys to fn in ascending order, in chunks of at
+// most chunk keys (the slice is reused between calls — fn must not retain
+// it). The CRC covers the whole file and is verified as the stream is
+// read, but only checked at the end: by the time Load returns nil, every
+// chunk fn saw is validated; if Load returns ErrCorrupt the caller must
+// discard whatever it built from the chunks. It returns the WAL horizon
+// and key count.
+func Load(path string, chunk int, fn func([]int64) error) (walSeq, count uint64, err error) {
+	if chunk <= 0 {
+		chunk = 4096
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return 0, 0, fmt.Errorf("snapshot: %w", err)
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return 0, 0, fmt.Errorf("snapshot: %w", err)
+	}
+	size := st.Size()
+	if size < headerLen+trailerLen || (size-headerLen-trailerLen)%8 != 0 {
+		return 0, 0, fmt.Errorf("%w: implausible size %d", ErrCorrupt, size)
+	}
+	n := uint64(size-headerLen-trailerLen) / 8
+
+	crc := crc32.New(castagnoli)
+	br := bufio.NewReaderSize(f, 1<<20)
+	readFull := func(b []byte) error {
+		if _, err := io.ReadFull(br, b); err != nil {
+			return fmt.Errorf("%w: short read: %v", ErrCorrupt, err)
+		}
+		return nil
+	}
+
+	var hdr [headerLen]byte
+	if err := readFull(hdr[:]); err != nil {
+		return 0, 0, err
+	}
+	if string(hdr[:8]) != magic {
+		return 0, 0, fmt.Errorf("%w: bad magic", ErrCorrupt)
+	}
+	crc.Write(hdr[:])
+	walSeq = binary.BigEndian.Uint64(hdr[8:])
+
+	buf := make([]byte, chunk*8)
+	keys := make([]int64, chunk)
+	var prev int64
+	var read uint64
+	for read < n {
+		batch := uint64(chunk)
+		if n-read < batch {
+			batch = n - read
+		}
+		b := buf[:batch*8]
+		if err := readFull(b); err != nil {
+			return walSeq, 0, err
+		}
+		crc.Write(b)
+		for i := uint64(0); i < batch; i++ {
+			k := int64(binary.BigEndian.Uint64(b[i*8:]))
+			if read+i > 0 && k <= prev {
+				return walSeq, 0, fmt.Errorf("%w: keys not ascending", ErrCorrupt)
+			}
+			prev = k
+			keys[i] = k
+		}
+		if err := fn(keys[:batch]); err != nil {
+			return walSeq, 0, err
+		}
+		read += batch
+	}
+
+	var tr [trailerLen]byte
+	if err := readFull(tr[:]); err != nil {
+		return walSeq, 0, err
+	}
+	if got := binary.BigEndian.Uint64(tr[:8]); got != n {
+		return walSeq, 0, fmt.Errorf("%w: trailer count %d, file holds %d keys", ErrCorrupt, got, n)
+	}
+	crc.Write(tr[:8])
+	if got := binary.BigEndian.Uint32(tr[8:]); got != crc.Sum32() {
+		return walSeq, 0, fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+	}
+	return walSeq, n, nil
+}
+
+// GC removes snapshots superseded by the one at keepWALSeq (strictly older
+// horizons) and any stale .tmp files left by crashed checkpoints. Returns
+// the number of files removed.
+func GC(dir string, keepWALSeq uint64) (int, error) {
+	removed := 0
+	ents, err := List(dir)
+	if err != nil {
+		return 0, err
+	}
+	for _, e := range ents {
+		if e.WALSeq >= keepWALSeq {
+			continue
+		}
+		if err := os.Remove(e.Path); err != nil {
+			return removed, fmt.Errorf("snapshot: gc: %w", err)
+		}
+		removed++
+	}
+	dents, err := os.ReadDir(dir)
+	if err != nil {
+		return removed, fmt.Errorf("snapshot: %w", err)
+	}
+	for _, e := range dents {
+		if strings.HasPrefix(e.Name(), filePrefix) && strings.HasSuffix(e.Name(), tmpSuffix) {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				return removed, fmt.Errorf("snapshot: gc tmp: %w", err)
+			}
+			removed++
+		}
+	}
+	if removed > 0 {
+		if err := syncDir(dir); err != nil {
+			return removed, err
+		}
+	}
+	return removed, nil
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("snapshot: open dir for sync: %w", err)
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("snapshot: sync dir: %w", err)
+	}
+	return nil
+}

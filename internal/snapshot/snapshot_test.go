@@ -1,0 +1,178 @@
+package snapshot
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeKeys(t *testing.T, dir string, walSeq uint64, keys []int64) Info {
+	t.Helper()
+	info, err := Write(dir, walSeq, func(emit func(int64) error) error {
+		for _, k := range keys {
+			if err := emit(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Write: %v", err)
+	}
+	return info
+}
+
+func loadKeys(t *testing.T, path string, chunk int) (uint64, []int64) {
+	t.Helper()
+	var keys []int64
+	walSeq, count, err := Load(path, chunk, func(ch []int64) error {
+		keys = append(keys, ch...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if count != uint64(len(keys)) {
+		t.Fatalf("Load count = %d but streamed %d keys", count, len(keys))
+	}
+	return walSeq, keys
+}
+
+func TestWriteLoadRoundTrip(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 4096, 4097, 10000} {
+		t.Run(fmt.Sprint(n), func(t *testing.T) {
+			dir := t.TempDir()
+			keys := make([]int64, n)
+			for i := range keys {
+				keys[i] = int64(i*3 - n) // ascending, crosses zero
+			}
+			info := writeKeys(t, dir, uint64(n)+7, keys)
+			if info.Count != uint64(n) {
+				t.Fatalf("Info.Count = %d, want %d", info.Count, n)
+			}
+			st, err := os.Stat(info.Path)
+			if err != nil {
+				t.Fatalf("snapshot not published: %v", err)
+			}
+			if st.Size() != info.Bytes {
+				t.Fatalf("Info.Bytes = %d, file is %d", info.Bytes, st.Size())
+			}
+			walSeq, got := loadKeys(t, info.Path, 1000)
+			if walSeq != uint64(n)+7 {
+				t.Fatalf("walSeq = %d, want %d", walSeq, n+7)
+			}
+			if len(got) != n {
+				t.Fatalf("loaded %d keys, want %d", len(got), n)
+			}
+			for i := range keys {
+				if got[i] != keys[i] {
+					t.Fatalf("key[%d] = %d, want %d", i, got[i], keys[i])
+				}
+			}
+		})
+	}
+}
+
+func TestWriteRejectsUnsortedKeys(t *testing.T) {
+	dir := t.TempDir()
+	_, err := Write(dir, 1, func(emit func(int64) error) error {
+		if err := emit(5); err != nil {
+			return err
+		}
+		return emit(5) // duplicate: not strictly ascending
+	})
+	if err == nil {
+		t.Fatal("Write accepted non-ascending keys")
+	}
+	// No file — final or temp — may remain.
+	ents, _ := os.ReadDir(dir)
+	if len(ents) != 0 {
+		t.Fatalf("failed Write left files behind: %v", ents)
+	}
+}
+
+func TestListNewestFirst(t *testing.T) {
+	dir := t.TempDir()
+	writeKeys(t, dir, 5, []int64{1})
+	writeKeys(t, dir, 50, []int64{1, 2})
+	writeKeys(t, dir, 20, []int64{3})
+	// A stray tmp file must be invisible.
+	os.WriteFile(filepath.Join(dir, "snap-00000000000000ff.bst.tmp"), []byte("x"), 0o644)
+	ents, err := List(dir)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(ents) != 3 || ents[0].WALSeq != 50 || ents[1].WALSeq != 20 || ents[2].WALSeq != 5 {
+		t.Fatalf("List = %+v, want horizons [50 20 5]", ents)
+	}
+}
+
+func TestListMissingDir(t *testing.T) {
+	ents, err := List(filepath.Join(t.TempDir(), "nope"))
+	if err != nil || len(ents) != 0 {
+		t.Fatalf("List on missing dir = (%v, %v), want (empty, nil)", ents, err)
+	}
+}
+
+func TestLoadDetectsCorruption(t *testing.T) {
+	dir := t.TempDir()
+	keys := make([]int64, 1000)
+	for i := range keys {
+		keys[i] = int64(i)
+	}
+	info := writeKeys(t, dir, 9, keys)
+	pristine, err := os.ReadFile(info.Path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(name string, f func(b []byte) []byte) {
+		t.Run(name, func(t *testing.T) {
+			b := append([]byte(nil), pristine...)
+			b = f(b)
+			if err := os.WriteFile(info.Path, b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			_, _, err := Load(info.Path, 128, func([]int64) error { return nil })
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("Load on %s = %v, want ErrCorrupt", name, err)
+			}
+		})
+	}
+	mutate("flipped-key-byte", func(b []byte) []byte { b[headerLen+123] ^= 0xFF; return b })
+	mutate("bad-magic", func(b []byte) []byte { b[0] = 'X'; return b })
+	mutate("truncated-mid-key", func(b []byte) []byte { return b[:len(b)-trailerLen-3] })
+	mutate("truncated-whole-keys", func(b []byte) []byte {
+		// Drop 8 keys AND fix up nothing: size is plausible but the
+		// trailer count and CRC both disagree.
+		n := len(b)
+		copy(b[n-8*8-trailerLen:], b[n-trailerLen:])
+		return b[:n-8*8]
+	})
+	mutate("flipped-crc", func(b []byte) []byte { b[len(b)-1] ^= 0xFF; return b })
+	mutate("flipped-count", func(b []byte) []byte { b[len(b)-trailerLen] ^= 0xFF; return b })
+}
+
+func TestGC(t *testing.T) {
+	dir := t.TempDir()
+	writeKeys(t, dir, 5, []int64{1})
+	writeKeys(t, dir, 20, []int64{1})
+	keep := writeKeys(t, dir, 50, []int64{1})
+	os.WriteFile(filepath.Join(dir, "snap-0000000000000063.bst.tmp"), []byte("stale"), 0o644)
+
+	removed, err := GC(dir, 50)
+	if err != nil {
+		t.Fatalf("GC: %v", err)
+	}
+	if removed != 3 { // two old snapshots + one tmp
+		t.Fatalf("GC removed %d files, want 3", removed)
+	}
+	ents, err := List(dir)
+	if err != nil {
+		t.Fatalf("List: %v", err)
+	}
+	if len(ents) != 1 || ents[0].Path != keep.Path {
+		t.Fatalf("after GC List = %+v, want only %s", ents, keep.Path)
+	}
+}

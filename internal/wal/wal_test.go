@@ -1,0 +1,426 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func openT(t *testing.T, dir string, opts Options) *Log {
+	t.Helper()
+	l, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return l
+}
+
+func readAllT(t *testing.T, dir string) []Record {
+	t.Helper()
+	recs, err := ReadAll(dir)
+	if err != nil {
+		t.Fatalf("ReadAll: %v", err)
+	}
+	return recs
+}
+
+func TestAppendReplayRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncFsync})
+	want := []Record{
+		{Seq: 1, Op: OpInsert, Key: 10},
+		{Seq: 2, Op: OpInsert, Key: -4},
+		{Seq: 3, Op: OpDelete, Key: 10},
+	}
+	for _, r := range want {
+		seq, err := l.Append(r.Op, r.Key)
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+		if seq != r.Seq {
+			t.Fatalf("Append seq = %d, want %d", seq, r.Seq)
+		}
+	}
+	if got := l.LastSeq(); got != 3 {
+		t.Fatalf("LastSeq = %d, want 3", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen: replay must return exactly the appended records, and new
+	// sequence numbers must continue where the old log stopped.
+	l = openT(t, dir, Options{Sync: SyncFsync})
+	defer l.Close()
+	var got []Record
+	if err := l.Replay(0, func(r Record) error { got = append(got, r); return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("Replay returned %d records, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Replay[%d] = %+v, want %+v", i, got[i], want[i])
+		}
+	}
+	// Replay(after) filters.
+	var tail []Record
+	if err := l.Replay(2, func(r Record) error { tail = append(tail, r); return nil }); err != nil {
+		t.Fatalf("Replay(2): %v", err)
+	}
+	if len(tail) != 1 || tail[0].Seq != 3 {
+		t.Fatalf("Replay(2) = %+v, want just seq 3", tail)
+	}
+	if seq, err := l.Append(OpInsert, 99); err != nil || seq != 4 {
+		t.Fatalf("Append after reopen = (%d, %v), want (4, nil)", seq, err)
+	}
+}
+
+func TestConcurrentAppendsGroupCommit(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncFsync})
+	const (
+		workers = 8
+		perW    = 200
+	)
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perW; i++ {
+				if _, err := l.Append(OpInsert, int64(w*perW+i)); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Appends != workers*perW {
+		t.Fatalf("Appends = %d, want %d", st.Appends, workers*perW)
+	}
+	// Group commit must have amortized: strictly fewer fsyncs than appends
+	// (with 8 concurrent appenders the flusher batches them), and the
+	// grouped-record count must cover every append.
+	if st.Fsyncs >= st.Appends {
+		t.Fatalf("group commit did not amortize: %d fsyncs for %d appends", st.Fsyncs, st.Appends)
+	}
+	if st.GroupRecords != st.Appends {
+		t.Fatalf("GroupRecords = %d, want %d", st.GroupRecords, st.Appends)
+	}
+	if st.DurableSeq != st.LastSeq {
+		t.Fatalf("DurableSeq = %d, want %d (all acked under fsync)", st.DurableSeq, st.LastSeq)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Every record present exactly once, sequence dense.
+	recs := readAllT(t, dir)
+	if len(recs) != workers*perW {
+		t.Fatalf("got %d records, want %d", len(recs), workers*perW)
+	}
+	seen := map[int64]bool{}
+	for i, r := range recs {
+		if r.Seq != uint64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if seen[r.Key] {
+			t.Fatalf("key %d appears twice", r.Key)
+		}
+		seen[r.Key] = true
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncFsync, SyncInterval, SyncNone} {
+		t.Run(pol.String(), func(t *testing.T) {
+			dir := t.TempDir()
+			l := openT(t, dir, Options{Sync: pol})
+			for i := 0; i < 50; i++ {
+				if _, err := l.Append(OpInsert, int64(i)); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			if got := len(readAllT(t, dir)); got != 50 {
+				t.Fatalf("after clean close got %d records, want 50", got)
+			}
+		})
+	}
+}
+
+func TestParseSyncPolicy(t *testing.T) {
+	for _, tc := range []struct {
+		in   string
+		want SyncPolicy
+		ok   bool
+	}{
+		{"fsync", SyncFsync, true},
+		{"interval", SyncInterval, true},
+		{"none", SyncNone, true},
+		{"", 0, false},
+		{"Fsync", 0, false},
+	} {
+		got, err := ParseSyncPolicy(tc.in)
+		if tc.ok != (err == nil) || (tc.ok && got != tc.want) {
+			t.Errorf("ParseSyncPolicy(%q) = (%v, %v), want (%v, ok=%v)", tc.in, got, err, tc.want, tc.ok)
+		}
+	}
+}
+
+// TestTornTailTruncated simulates a crash mid-append: a partial final
+// frame must be truncated at Open and the log must keep working.
+func TestTornTailTruncated(t *testing.T) {
+	for cut := 1; cut < frameLen; cut++ {
+		t.Run(fmt.Sprintf("cut%d", cut), func(t *testing.T) {
+			dir := t.TempDir()
+			l := openT(t, dir, Options{Sync: SyncFsync})
+			for i := 0; i < 5; i++ {
+				if _, err := l.Append(OpInsert, int64(i)); err != nil {
+					t.Fatalf("Append: %v", err)
+				}
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			seg := onlySegment(t, dir)
+			st, _ := os.Stat(seg)
+			// Leave 4 complete frames plus `cut` bytes of the 5th.
+			if err := os.Truncate(seg, st.Size()-int64(frameLen)+int64(cut)); err != nil {
+				t.Fatalf("truncate: %v", err)
+			}
+
+			l = openT(t, dir, Options{Sync: SyncFsync})
+			if got := l.Stats().TornTruncated; got != uint64(cut) {
+				t.Fatalf("TornTruncated = %d, want %d", got, cut)
+			}
+			if got := l.LastSeq(); got != 4 {
+				t.Fatalf("LastSeq after torn-tail repair = %d, want 4", got)
+			}
+			// The next append reuses the torn record's sequence number.
+			if seq, err := l.Append(OpDelete, 100); err != nil || seq != 5 {
+				t.Fatalf("Append = (%d, %v), want (5, nil)", seq, err)
+			}
+			if err := l.Close(); err != nil {
+				t.Fatalf("Close: %v", err)
+			}
+			recs := readAllT(t, dir)
+			if len(recs) != 5 || recs[4] != (Record{Seq: 5, Op: OpDelete, Key: 100}) {
+				t.Fatalf("unexpected records after repair: %+v", recs)
+			}
+		})
+	}
+}
+
+// TestInteriorCorruptionRefused flips a byte in the middle of the log:
+// complete frames follow the damage, so Open must refuse, not truncate —
+// truncating would silently drop acknowledged records.
+func TestInteriorCorruptionRefused(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncFsync})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(OpInsert, int64(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	seg := onlySegment(t, dir)
+	data, err := os.ReadFile(seg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the payload of frame 3 (well before the tail).
+	data[len(segMagic)+2*frameLen+frameHdrLen+3] ^= 0xFF
+	if err := os.WriteFile(seg, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open on interior corruption = %v, want ErrCorrupt", err)
+	}
+}
+
+// TestCorruptNonFinalSegmentRefused: damage in any segment other than the
+// last is never a torn tail, even at that segment's end.
+func TestCorruptNonFinalSegmentRefused(t *testing.T) {
+	dir := t.TempDir()
+	// Tiny segments force rotation.
+	l := openT(t, dir, Options{Sync: SyncFsync, SegmentBytes: int64(len(segMagic) + 4*frameLen)})
+	for i := 0; i < 20; i++ {
+		if _, err := l.Append(OpInsert, int64(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	segs, err := listSegments(dir)
+	if err != nil || len(segs) < 2 {
+		t.Fatalf("want ≥2 segments, got %d (err %v)", len(segs), err)
+	}
+	// Truncate the FIRST segment's tail — looks torn, but it is interior
+	// to the chain.
+	st, _ := os.Stat(segs[0].path)
+	if err := os.Truncate(segs[0].path, st.Size()-3); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, Options{}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("Open with damaged interior segment = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestRotationAndGC(t *testing.T) {
+	dir := t.TempDir()
+	segBytes := int64(len(segMagic) + 5*frameLen)
+	l := openT(t, dir, Options{Sync: SyncFsync, SegmentBytes: segBytes})
+	const n = 32
+	for i := 0; i < n; i++ {
+		if _, err := l.Append(OpInsert, int64(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	st := l.Stats()
+	if st.Rotations == 0 || st.Segments < 2 {
+		t.Fatalf("expected rotations, got rotations=%d segments=%d", st.Rotations, st.Segments)
+	}
+	// All records must still replay across the segment chain.
+	var count int
+	if err := l.Replay(0, func(r Record) error { count++; return nil }); err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	if count != n {
+		t.Fatalf("Replay saw %d records, want %d", count, n)
+	}
+
+	// GC through seq 20: every segment whose records are all ≤ 20 goes.
+	removed, err := l.RemoveThrough(20)
+	if err != nil {
+		t.Fatalf("RemoveThrough: %v", err)
+	}
+	if removed == 0 {
+		t.Fatal("RemoveThrough removed nothing")
+	}
+	// Records > 20 must all survive GC.
+	var kept []uint64
+	if err := l.Replay(0, func(r Record) error { kept = append(kept, r.Seq); return nil }); err != nil {
+		t.Fatalf("Replay after GC: %v", err)
+	}
+	for _, seq := range kept[len(kept)-(n-20):] {
+		if seq <= 20 {
+			break
+		}
+	}
+	last := kept[len(kept)-1]
+	if last != n {
+		t.Fatalf("lost the tail: last surviving seq %d, want %d", last, n)
+	}
+	hasAbove := false
+	for _, s := range kept {
+		if s > 20 {
+			hasAbove = true
+		}
+	}
+	if !hasAbove {
+		t.Fatal("GC removed records above the horizon")
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	// Reopen after GC: sequence numbering continues, no gap complaints
+	// (each surviving segment is self-consistent).
+	l = openT(t, dir, Options{Sync: SyncFsync})
+	if got := l.LastSeq(); got != n {
+		t.Fatalf("LastSeq after GC+reopen = %d, want %d", got, n)
+	}
+	l.Close()
+}
+
+// TestNextSeqFloor: after a checkpoint at horizon H GCs every segment, a
+// fresh Open must not restart numbering below H+1 — replay(after=H) would
+// silently skip the reissued records.
+func TestNextSeqFloor(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncFsync, NextSeq: 101})
+	if seq, err := l.Append(OpInsert, 1); err != nil || seq != 101 {
+		t.Fatalf("Append = (%d, %v), want (101, nil)", seq, err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// The floor also holds on reopen when the log already has newer data.
+	l = openT(t, dir, Options{Sync: SyncFsync, NextSeq: 50})
+	if seq, err := l.Append(OpInsert, 2); err != nil || seq != 102 {
+		t.Fatalf("Append = (%d, %v), want (102, nil)", seq, err)
+	}
+	l.Close()
+}
+
+func TestCloseDirtySkipsFsync(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncNone})
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append(OpInsert, int64(i)); err != nil {
+			t.Fatalf("Append: %v", err)
+		}
+	}
+	if err := l.CloseDirty(); err != nil {
+		t.Fatalf("CloseDirty: %v", err)
+	}
+	if got := l.Stats().Fsyncs; got != 0 {
+		t.Fatalf("CloseDirty fsynced %d times, want 0", got)
+	}
+	// The bytes still reached the OS, so a reopen sees them.
+	if got := len(readAllT(t, dir)); got != 10 {
+		t.Fatalf("got %d records after dirty close, want 10", got)
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	dir := t.TempDir()
+	l := openT(t, dir, Options{Sync: SyncNone})
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if _, err := l.Append(OpInsert, 1); err == nil {
+		t.Fatal("Append after Close succeeded")
+	}
+}
+
+func TestEmptyDirOpens(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "fresh") // does not exist yet
+	l := openT(t, dir, Options{Sync: SyncFsync})
+	if got := l.LastSeq(); got != 0 {
+		t.Fatalf("LastSeq on empty log = %d, want 0", got)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+func onlySegment(t *testing.T, dir string) string {
+	t.Helper()
+	segs, err := listSegments(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(segs) != 1 {
+		t.Fatalf("want exactly 1 segment, got %d", len(segs))
+	}
+	return segs[0].path
+}

@@ -1,0 +1,148 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+)
+
+// The fuzz targets hold the frame decoders to two properties on arbitrary
+// bytes: never panic or over-allocate, and on accept be consistent with
+// the encoder (decode∘encode∘decode is the identity). Seed corpora live
+// in testdata/fuzz and `make fuzz-smoke` gives each target a short
+// budget in CI; run `go test -fuzz FuzzDecodeRequest ./internal/wire`
+// for a real session.
+
+func FuzzDecodeRequest(f *testing.F) {
+	f.Add(AppendRequest(nil, Request{ID: 1, Op: OpInsert, DeadlineMS: 50, Key: 42}))
+	f.Add(AppendRequest(nil, Request{ID: 2, Op: OpRange, Key: -10, To: 10, Limit: 100}))
+	f.Add(AppendRequest(nil, Request{ID: 3, Op: OpLookup, Key: 7})[:5])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeRequest(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("DecodeRequest: unexpected error class %v", err)
+			}
+			return
+		}
+		q2, err := DecodeRequest(AppendRequest(nil, q))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded request: %v", err)
+		}
+		if q2 != q {
+			t.Fatalf("round trip changed the request: %+v -> %+v", q, q2)
+		}
+	})
+}
+
+func FuzzDecodeResponse(f *testing.F) {
+	f.Add(AppendResponse(nil, Response{ID: 1, Status: StatusOK, OK: true}))
+	f.Add(AppendResponse(nil, Response{ID: 2, Status: StatusOK, Keys: []int64{1, 2, 3}}))
+	f.Add(AppendResponse(nil, Response{ID: 3, Status: StatusOK, Keys: []int64{}}))
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 9, 0, 1, 0xff, 0xff, 0xff, 0xff}) // huge key count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeResponse(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("DecodeResponse: unexpected error class %v", err)
+			}
+			return
+		}
+		// The decoder must never trust a length prefix beyond the bytes
+		// actually present (the uint32 n*8 wrap-around trap).
+		if len(p.Keys) > len(data)/8 {
+			t.Fatalf("decoded %d keys out of a %d-byte frame", len(p.Keys), len(data))
+		}
+		p2, err := DecodeResponse(AppendResponse(nil, p))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded response: %v", err)
+		}
+		if !reflect.DeepEqual(p, p2) {
+			t.Fatalf("round trip changed the response: %+v -> %+v", p, p2)
+		}
+	})
+}
+
+func FuzzDecodeBatchOps(f *testing.F) {
+	ops := []BatchOp{{Op: OpInsert, Key: 1}, {Op: OpDelete, Key: -2}, {Op: OpLookup, Key: 3}}
+	f.Add(AppendBatchRequest(nil, 9, 25, ops))
+	f.Add(AppendBatchRequest(nil, 10, 0, nil))
+	f.Add(AppendBatchRequest(nil, 11, 0, ops)[:reqBaseLen+2])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		decoded, err := DecodeBatchOps(data, nil)
+		if err != nil {
+			return
+		}
+		for i, o := range decoded {
+			if o.Op != OpInsert && o.Op != OpDelete && o.Op != OpLookup {
+				t.Fatalf("op %d: accepted invalid opcode %d", i, o.Op)
+			}
+		}
+		// The server only reaches DecodeBatchOps after DecodeRequest said
+		// Op == OpBatch; the tail decoder itself never looks at the op
+		// byte, so gate the round trip the same way.
+		q, err := DecodeRequest(data)
+		if err != nil || q.Op != OpBatch {
+			return
+		}
+		again, err := DecodeBatchOps(AppendBatchRequest(nil, q.ID, q.DeadlineMS, decoded), nil)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch: %v", err)
+		}
+		if !reflect.DeepEqual(decoded, again) {
+			t.Fatalf("round trip changed the ops: %+v -> %+v", decoded, again)
+		}
+	})
+}
+
+func FuzzDecodeBatchResponse(f *testing.F) {
+	results := []BatchResult{{Status: StatusOK, OK: true}, {Status: StatusCapacity}, {Status: StatusKeyOutOfRange}}
+	f.Add(AppendBatchResponse(nil, 4, results))
+	f.Add(AppendBatchResponse(nil, 5, nil))
+	f.Add(AppendResponse(nil, Response{ID: 6, Status: StatusOverloaded}))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		id, st, res, err := DecodeBatchResponse(data, nil)
+		if err != nil {
+			return
+		}
+		if st != StatusOK {
+			if len(res) != 0 {
+				t.Fatalf("frame-level status %v must carry no per-op tail, got %d", st, len(res))
+			}
+			return
+		}
+		id2, st2, res2, err := DecodeBatchResponse(AppendBatchResponse(nil, id, res), nil)
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded batch response: %v", err)
+		}
+		if id2 != id || st2 != st || !reflect.DeepEqual(res, res2) {
+			t.Fatalf("round trip changed the response: (%d %v %+v) -> (%d %v %+v)", id, st, res, id2, st2, res2)
+		}
+	})
+}
+
+func FuzzReadFrame(f *testing.F) {
+	var framed bytes.Buffer
+	WriteFrame(&framed, AppendRequest(nil, Request{ID: 1, Op: OpInsert, Key: 42}))
+	f.Add(framed.Bytes())
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add([]byte{0, 0, 0, 2, 0xab})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		payload, _, err := ReadFrame(bytes.NewReader(data), nil)
+		if err != nil {
+			if errors.Is(err, ErrFrameTooBig) || errors.Is(err, ErrTruncated) ||
+				errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF) {
+				return
+			}
+			t.Fatalf("ReadFrame: unexpected error class %v", err)
+		}
+		if len(payload) > MaxFrame {
+			t.Fatalf("ReadFrame returned a %d-byte payload past MaxFrame", len(payload))
+		}
+		if len(payload) > len(data) {
+			t.Fatalf("ReadFrame conjured %d payload bytes from %d input bytes", len(payload), len(data))
+		}
+	})
+}

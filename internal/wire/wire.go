@@ -261,7 +261,9 @@ func DecodeResponse(frame []byte) (Response, error) {
 		}
 		n := binary.BigEndian.Uint32(rest)
 		rest = rest[4:]
-		if uint32(len(rest)) < n*8 {
+		// 64-bit compare: n*8 in uint32 wraps for n >= 1<<29, which would
+		// let a hostile length prefix through to a giant allocation.
+		if uint64(len(rest)) != uint64(n)*8 {
 			return p, ErrTruncated
 		}
 		p.Keys = make([]int64, n)

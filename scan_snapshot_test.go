@@ -1,0 +1,148 @@
+package bst_test
+
+import (
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	bst "repro"
+)
+
+// TestScanNeverResurrectsAckedBatchedDelete pins down the property the
+// durability checkpointer depends on: a Scan started after a batched
+// delete returned must not observe the deleted key, even while other
+// batched deletes are still in flight and unrelated keys churn around it.
+// Scan is only weakly consistent — but "weak" means concurrent ops may
+// land on either side of the pin, never that a mutation acknowledged
+// before the scan began can un-happen. A snapshot that resurrected an
+// acked delete would ack a checkpoint the recovery path then contradicts.
+//
+// Victim keys (even) are deleted exactly once, in batches, and never
+// re-inserted, so observing one after its delete was acked is
+// unambiguously a violation. Noise keys (odd) are inserted and deleted
+// concurrently throughout to keep the tree structure moving — edge
+// flags, node recycling, rotations of the external structure — while the
+// scans run. Runs under -race in `make ci`.
+func TestScanNeverResurrectsAckedBatchedDelete(t *testing.T) {
+	const (
+		victims   = 4000 // even keys 0, 2, 4, ...
+		noiseKeys = 512  // odd keys 1, 3, 5, ...
+		batch     = 64
+	)
+	tree := bst.New(bst.WithCapacity(1<<20), bst.WithReclamation())
+	defer tree.Close()
+
+	setup := tree.NewAccessor()
+	for i := 0; i < victims; i++ {
+		if !setup.Insert(int64(2 * i)) {
+			t.Fatalf("prefill Insert(%d) = false", 2*i)
+		}
+	}
+	setup.Close()
+
+	// acked[i] flips to true only after the DeleteBatch covering victim
+	// key 2i has returned — the in-process analogue of the wire ack.
+	acked := make([]atomic.Bool, victims)
+	done := make(chan struct{})
+	stopNoise := make(chan struct{})
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // the batched deleter
+		defer wg.Done()
+		defer close(done)
+		acc := tree.NewAccessor()
+		defer acc.Close()
+		order := rand.New(rand.NewSource(1)).Perm(victims)
+		keys := make([]int64, 0, batch)
+		idx := make([]int, 0, batch)
+		out := make([]bst.OpResult, batch)
+		for start := 0; start < victims; start += batch {
+			keys, idx = keys[:0], idx[:0]
+			for _, vi := range order[start:min(start+batch, victims)] {
+				keys = append(keys, int64(2*vi))
+				idx = append(idx, vi)
+			}
+			acc.DeleteBatch(keys, out[:len(keys)])
+			for j, vi := range idx {
+				if out[j].Err != nil || !out[j].OK {
+					t.Errorf("DeleteBatch(%d) = %+v on a live victim", keys[j], out[j])
+					return
+				}
+				acked[vi].Store(true)
+			}
+		}
+	}()
+
+	for w := 0; w < 3; w++ { // structural churn on the odd keys
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := tree.NewAccessor()
+			defer acc.Close()
+			rng := rand.New(rand.NewSource(int64(100 + w)))
+			ks := make([]int64, 16)
+			out := make([]bst.OpResult, 16)
+			for {
+				select {
+				case <-stopNoise:
+					return
+				default:
+				}
+				for i := range ks {
+					ks[i] = int64(2*rng.Intn(noiseKeys) + 1)
+				}
+				if rng.Intn(2) == 0 {
+					acc.InsertBatch(ks, out)
+				} else {
+					acc.DeleteBatch(ks, out)
+				}
+			}
+		}(w)
+	}
+
+	// Scan continuously while the deleter works. preAcked is captured
+	// BEFORE the scan starts: only deletes acked before the pin are
+	// asserted on; deletes racing the scan itself may land either way.
+	preAcked := make([]bool, victims)
+	for scans := 0; ; scans++ {
+		select {
+		case <-done:
+			close(stopNoise)
+			wg.Wait()
+			// One final scan: every victim is now acked-deleted, so the
+			// tree must contain no even key at all.
+			tree.Scan(0, 2*victims, func(k int64) bool {
+				if k%2 == 0 {
+					t.Errorf("final scan: victim %d present after every delete acked", k)
+				}
+				return true
+			})
+			if err := tree.Validate(); err != nil {
+				t.Fatalf("tree invalid after churn: %v", err)
+			}
+			if scans == 0 {
+				t.Log("deleter finished before any mid-flight scan; final-scan check only")
+			}
+			return
+		default:
+		}
+		for i := range preAcked {
+			preAcked[i] = acked[i].Load()
+		}
+		tree.Scan(0, 2*victims, func(k int64) bool {
+			if k%2 == 0 && preAcked[k/2] {
+				t.Errorf("scan %d observed victim %d whose batched delete was acked before the scan's epoch pin", scans, k)
+				return false
+			}
+			return true
+		})
+		if t.Failed() {
+			<-done
+			close(stopNoise)
+			wg.Wait()
+			return
+		}
+	}
+}
