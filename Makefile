@@ -6,17 +6,20 @@
 # capacity refusal, one graceful drain, one batch/pipelining stage on a
 # real socket), a short batched-operation linearizability round, the
 # crash-stress durability gate (kill -9 a durable fsync server mid-load,
-# recover, audit every acked mutation, clock a 1M-key recovery), a fuzz
-# smoke over the wire-frame and WAL-record decoders, and a short durable
-# benchmark cell (BENCH_durable_smoke.json).
+# recover, audit every acked mutation, clock a 1M-key recovery), the
+# failover-stress replication gate (kill -9 a semi-sync leader mid-load,
+# promote the follower, audit every acked mutation on the new leader), a
+# fuzz smoke over the wire-frame and WAL-record decoders, and a short
+# durable benchmark cell (BENCH_durable_smoke.json).
 
 GO ?= go
 
 .PHONY: ci fmt-check vet build test race serve-smoke batch-stress \
-	crash-stress fuzz-smoke bench-durable-smoke stress clean-data
+	crash-stress failover-stress fuzz-smoke bench-durable-smoke stress \
+	clean-data
 
 ci: fmt-check vet build test race serve-smoke batch-stress crash-stress \
-	fuzz-smoke bench-durable-smoke
+	failover-stress fuzz-smoke bench-durable-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -55,6 +58,16 @@ crash-stress:
 		|| { cat crash_round.log; exit 1; }; \
 	grep "^crash phase" crash_round.log
 
+# The replication gate: seed a 1M-key + 100k-tail data dir, start a
+# semi-sync leader and a follower that catches up over the wire, SIGKILL
+# the leader mid-load, promote the follower, and audit — every acked
+# mutation present on the new leader, zero ghost keys, recovery to
+# serving inside the budget. The log is kept for the CI artifact upload.
+failover-stress:
+	@$(GO) run ./cmd/bststress -failover -targets nm -duration 1s > failover_round.log 2>&1 \
+		|| { cat failover_round.log; exit 1; }; \
+	grep "^failover:" failover_round.log
+
 # Short fuzz budgets over every frame/record decoder; seed corpora are
 # checked in under testdata/fuzz. Run `go test -fuzz <name> ./internal/...`
 # for a real session.
@@ -64,6 +77,10 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeBatchOps$$' -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeBatchResponse$$' -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzReadFrame$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplSubscribe$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplFrames$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplAck$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplSnapshot$$' -fuzztime 5s
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s
 
 # One small durable-overhead table (in-memory vs none/interval/fsync);
@@ -75,12 +92,14 @@ bench-durable-smoke:
 # Longer soak, including the capacity exhaust/recover round and the
 # network serving soak (not part of ci).
 stress:
-	$(GO) run -race ./cmd/bststress -duration 2m -exhaust -serve -batch -crash
+	$(GO) run -race ./cmd/bststress -duration 2m -exhaust -serve -batch -crash -failover
 
 # Remove local artifacts: benchmark/crash logs and any stray durable data
 # dirs left by interrupted runs (bstserve -data dirs are never touched —
 # only the well-known temp prefixes used by the tools here).
 clean-data:
-	rm -f BENCH_durable_smoke.json crash_round.log
+	rm -f BENCH_durable_smoke.json crash_round.log failover_round.log
 	rm -rf $${TMPDIR:-/tmp}/bst-crash-data-* $${TMPDIR:-/tmp}/bst-crash-addr-* \
-		$${TMPDIR:-/tmp}/bst-crash-clock-* $${TMPDIR:-/tmp}/bstbench-durable-*
+		$${TMPDIR:-/tmp}/bst-crash-clock-* $${TMPDIR:-/tmp}/bstbench-durable-* \
+		$${TMPDIR:-/tmp}/bst-failover-leader-* $${TMPDIR:-/tmp}/bst-failover-follower-* \
+		$${TMPDIR:-/tmp}/bst-failover-addr-*

@@ -16,6 +16,16 @@
 // POST /checkpoint on demand), startup replays snapshot + WAL tail, and the
 // SIGTERM drain finishes with a final fsync + checkpoint.
 //
+// With -listen-repl the node serves the replication protocol to followers,
+// and with -replica-of it runs as a follower of another bstserve: the
+// leader streams committed WAL frames, the follower catches up (snapshot
+// bulk-load plus WAL-tail replay) and then rides the live tail, refusing
+// writes with a redirect to the leader while serving reads (including
+// ReadAtLeast read-your-writes). POST /promote on the admin port flips a
+// follower to leader during operator-driven failover. -repl-sync makes the
+// leader semi-synchronous: a mutation is not acknowledged until a follower
+// ack covers it. Replication requires -data.
+//
 // With -smoke the binary instead runs a deterministic in-process
 // self-test — one shed response, one capacity response, one graceful
 // drain, then a batch/pipelining stage that requires the pipelined client
@@ -41,6 +51,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/failpoint"
 	"repro/internal/metrics"
+	"repro/internal/repl"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -61,6 +72,11 @@ func main() {
 		syncPolicy   = flag.String("sync", "fsync", "WAL sync policy with -data: fsync | interval | none")
 		syncInterval = flag.Duration("sync-interval", 5*time.Millisecond, "background fsync cadence for -sync interval")
 		ckptEvery    = flag.Int("checkpoint-every", 1_000_000, "auto-checkpoint after this many logged mutations (0 disables)")
+
+		listenRepl = flag.String("listen-repl", "", "replication listener address (serves WAL streaming to followers); empty disables")
+		replicaOf  = flag.String("replica-of", "", "run as a follower of this leader replication address (requires -data)")
+		advertise  = flag.String("advertise", "", "data address advertised to the cluster for client redirects (default -addr)")
+		replSync   = flag.Bool("repl-sync", false, "semi-synchronous: acknowledge mutations only after a follower ack covers them")
 	)
 	flag.Parse()
 
@@ -127,6 +143,36 @@ func main() {
 		cfg.Tree = tree
 	}
 
+	// Replication rides the durable store's WAL: a node with a replication
+	// listener streams committed frames to followers; a node with
+	// -replica-of pulls them and refuses direct writes.
+	var node *repl.Node
+	if *listenRepl != "" || *replicaOf != "" {
+		if dur == nil {
+			fmt.Fprintln(os.Stderr, "bstserve: replication requires -data (the WAL is the replication stream)")
+			os.Exit(2)
+		}
+		adv := *advertise
+		if adv == "" {
+			adv = *addr
+		}
+		var err error
+		node, err = repl.Start(repl.Config{
+			Store:      dur,
+			Advertise:  adv,
+			ListenRepl: *listenRepl,
+			ReplicaOf:  *replicaOf,
+			RequireAck: *replSync,
+			Logf:       logf,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bstserve: replication:", err)
+			os.Exit(2)
+		}
+		cfg.Metrics.AddHook(node.MetricsHook)
+		cfg.Cluster = node
+	}
+
 	srv := server.New(cfg)
 	if err := srv.Start(*addr); err != nil {
 		fmt.Fprintln(os.Stderr, "bstserve:", err)
@@ -138,6 +184,14 @@ func main() {
 	}
 	fmt.Printf("bstserve: serving on %s (capacity=%d reclaim=%v max-inflight=%d durability=%s)\n",
 		srv.Addr(), *capacity, *reclaim, *maxInFlight, durDesc)
+	if node != nil {
+		role := "follower of " + *replicaOf
+		if node.IsLeader() {
+			role = "leader"
+		}
+		fmt.Printf("bstserve: cluster role=%s term=%d repl-listen=%s semi-sync=%v\n",
+			role, node.Term(), node.ReplAddr(), *replSync)
+	}
 
 	var adminSrv *http.Server
 	if *adminAddr != "" {
@@ -164,6 +218,11 @@ func main() {
 	err := srv.Shutdown(ctx)
 	if adminSrv != nil {
 		adminSrv.Close()
+	}
+	if node != nil {
+		// Stop streaming/pulling before the final checkpoint: a follower
+		// must not apply records into a store that is flushing to close.
+		node.Close()
 	}
 	if dur != nil {
 		// Final fsync + checkpoint: a clean shutdown leaves a data dir

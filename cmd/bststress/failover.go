@@ -1,0 +1,450 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"time"
+
+	bst "repro"
+	"repro/internal/client"
+	"repro/internal/durable"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// The -failover round is the replication gate, the cluster-scale sibling
+// of -crash. It runs one full operator-driven failover at real scale:
+//
+//  1. The parent seeds a leader data directory with a 1M-key snapshot
+//     plus a 100k-op WAL tail (the -crash phase-B shape), then re-execs
+//     two children: a semi-synchronous leader that recovers that store,
+//     and an empty follower that catches up over the replication stream —
+//     snapshot bulk-load plus tail replay plus live tail, end to end.
+//  2. Workers hammer the leader over the wire (one connection, one
+//     attempt, disjoint key ranges) recording exactly which mutations
+//     were acknowledged. Semi-sync means every ack implies the follower
+//     applied the record — that is what makes the audit below exact.
+//  3. Mid-load the leader is SIGKILLed. The parent promotes the follower
+//     via POST /promote and clocks kill → first acknowledged write on the
+//     new leader; the budget is recoveryBudget (shared with -crash).
+//  4. The audit runs against the promoted node over the wire: 100% of
+//     acked inserts present (unless acked-deleted), 100% of acked deletes
+//     stuck, in-flight ops either way, and a full paginated Range scan
+//     must show zero ghost keys — nothing beyond the seeded keyspace, the
+//     acked ledger, the in-flight set, and the probe key.
+
+// failoverChild runs one cluster node: durable store, replication node,
+// data server, admin HTTP (for /promote and /healthz). It publishes
+// "data repl admin" addresses to addrFile and parks until killed.
+func runFailoverChild(dir, addrFile, replicaOf string) int {
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, "failover-child: "+format+"\n", args...)
+	}
+	dur, err := durable.Open(dir, durable.Options{Sync: wal.SyncFsync, Logf: logf})
+	if err != nil {
+		logf("open: %v", err)
+		return 1
+	}
+	// The repl node must advertise the data address before the server
+	// binds it, so reserve a concrete port first.
+	dataAddr, err := reserveAddr()
+	if err != nil {
+		logf("reserve: %v", err)
+		return 1
+	}
+	node, err := repl.Start(repl.Config{
+		Store:       dur,
+		Advertise:   dataAddr,
+		ListenRepl:  "127.0.0.1:0",
+		ReplicaOf:   replicaOf,
+		Heartbeat:   50 * time.Millisecond,
+		AckEvery:    1,
+		AckInterval: 2 * time.Millisecond,
+		RequireAck:  replicaOf == "", // the leader is semi-synchronous
+		AckTimeout:  10 * time.Second,
+		Logf:        logf,
+	})
+	if err != nil {
+		logf("repl: %v", err)
+		return 1
+	}
+	srv := server.New(server.Config{Store: dur, Cluster: node, MaxInFlight: 64, RangeLimit: 4096, Logf: logf})
+	if err := srv.Start(dataAddr); err != nil {
+		logf("serve: %v", err)
+		return 1
+	}
+	adminLn, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		logf("admin: %v", err)
+		return 1
+	}
+	go http.Serve(adminLn, srv.AdminHandler())
+	addrs := fmt.Sprintf("%s %s %s", dataAddr, node.ReplAddr(), adminLn.Addr().String())
+	if err := os.WriteFile(addrFile, []byte(addrs), 0o644); err != nil {
+		logf("publish: %v", err)
+		return 1
+	}
+	select {}
+}
+
+func reserveAddr() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+// childAddrs is what a failover child publishes.
+type childAddrs struct {
+	data, repl, admin string
+}
+
+// spawnFailoverChild re-execs this binary as one cluster node and waits
+// for its published addresses. The returned kill func is idempotent.
+func spawnFailoverChild(dir, replicaOf string) (childAddrs, func(), error) {
+	var ca childAddrs
+	addrDir, err := os.MkdirTemp("", "bst-failover-addr-")
+	if err != nil {
+		return ca, nil, err
+	}
+	addrFile := filepath.Join(addrDir, "addr")
+	exe, err := os.Executable()
+	if err != nil {
+		os.RemoveAll(addrDir)
+		return ca, nil, err
+	}
+	cmd := exec.Command(exe, "-failover-child", "-fo-data", dir, "-fo-addr-file", addrFile, "-fo-replica-of", replicaOf)
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		os.RemoveAll(addrDir)
+		return ca, nil, fmt.Errorf("spawn child: %w", err)
+	}
+	var once sync.Once
+	kill := func() {
+		once.Do(func() {
+			cmd.Process.Kill() // SIGKILL: no drain, no heads-up to peers
+			cmd.Wait()
+			os.RemoveAll(addrDir)
+		})
+	}
+	// A leader child first recovers the 1.1M-op seed store; give it time.
+	for waitUntil := time.Now().Add(60 * time.Second); ; {
+		if b, err := os.ReadFile(addrFile); err == nil && len(b) > 0 {
+			f := strings.Fields(string(b))
+			if len(f) == 3 {
+				ca.data, ca.repl, ca.admin = f[0], f[1], f[2]
+				return ca, kill, nil
+			}
+		}
+		if time.Now().After(waitUntil) {
+			kill()
+			return ca, nil, errors.New("child never published its addresses")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// clusterHealth is the slice of the admin /healthz body the round reads.
+type clusterHealth struct {
+	Cluster struct {
+		Role       string `json:"role"`
+		AppliedSeq uint64 `json:"applied_seq"`
+		AckedSeq   uint64 `json:"acked_seq"`
+		Followers  int    `json:"followers"`
+	} `json:"cluster"`
+}
+
+func fetchHealth(adminAddr string) (clusterHealth, error) {
+	var h clusterHealth
+	resp, err := http.Get("http://" + adminAddr + "/healthz")
+	if err != nil {
+		return h, err
+	}
+	defer resp.Body.Close()
+	return h, json.NewDecoder(resp.Body).Decode(&h)
+}
+
+// seedFailoverStore builds the leader's starting state on disk: snapKeys
+// shuffled inserts, a checkpoint, then a tailOps insert tail that only the
+// WAL holds, ended with a dirty close — so the leader child recovers a
+// real snapshot + tail, and the follower's catch-up must cross both.
+func seedFailoverStore(dir string, seed uint64) error {
+	dur, err := durable.Open(dir, durable.Options{Sync: wal.SyncNone})
+	if err != nil {
+		return err
+	}
+	ks := make([]int64, snapKeys+tailOps)
+	for i := range ks {
+		ks[i] = int64(i)
+	}
+	rng := rand.New(rand.NewSource(int64(seed)))
+	rng.Shuffle(len(ks), func(i, j int) { ks[i], ks[j] = ks[j], ks[i] })
+
+	acc := dur.NewAccessor()
+	insertAll := func(part []int64) error {
+		out := make([]bst.OpResult, 4096)
+		for len(part) > 0 {
+			n := min(len(part), 4096)
+			acc.InsertBatch(part[:n], out[:n])
+			for i := 0; i < n; i++ {
+				if out[i].Err != nil || !out[i].OK {
+					return fmt.Errorf("seed InsertBatch(%d) = %+v", part[i], out[i])
+				}
+			}
+			part = part[n:]
+		}
+		return nil
+	}
+	if err := insertAll(ks[:snapKeys]); err != nil {
+		acc.Close()
+		return err
+	}
+	if _, err := dur.Checkpoint(); err != nil {
+		acc.Close()
+		return fmt.Errorf("seed checkpoint: %w", err)
+	}
+	if err := insertAll(ks[snapKeys:]); err != nil {
+		acc.Close()
+		return err
+	}
+	acc.Close()
+	return dur.Crash()
+}
+
+const probeKey = int64(1) << 60 // first write on the promoted node
+
+func failoverRound(workers int, seed uint64) error {
+	leaderDir, err := os.MkdirTemp("", "bst-failover-leader-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(leaderDir)
+	followerDir, err := os.MkdirTemp("", "bst-failover-follower-")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(followerDir)
+
+	if err := seedFailoverStore(leaderDir, seed); err != nil {
+		return fmt.Errorf("seeding leader store: %w", err)
+	}
+
+	leader, killLeader, err := spawnFailoverChild(leaderDir, "")
+	if err != nil {
+		return err
+	}
+	defer killLeader()
+	follower, killFollower, err := spawnFailoverChild(followerDir, leader.repl)
+	if err != nil {
+		return err
+	}
+	defer killFollower()
+
+	// Gate the load on the follower having fully caught up (snapshot
+	// bulk-load + 1.1M-op horizon): the leader is semi-sync, so writes
+	// before a follower connects would only time out.
+	catchup := time.Now()
+	for {
+		h, err := fetchHealth(leader.admin)
+		if err == nil && h.Cluster.Followers >= 1 && h.Cluster.AckedSeq >= h.Cluster.AppliedSeq && h.Cluster.AppliedSeq > 0 {
+			break
+		}
+		if time.Since(catchup) > 120*time.Second {
+			return fmt.Errorf("follower never caught up to the leader (last health: %+v, err: %v)", h, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	fmt.Printf("failover: follower caught up %d-key + %d-op seed in %v\n",
+		snapKeys, tailOps, time.Since(catchup).Round(time.Millisecond))
+
+	// Load phase: same ledger discipline as -crash (one conn, one attempt,
+	// sequential ops, disjoint ranges), so the post-failover audit is exact.
+	results := make([]crashWorker, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := &results[w]
+			cl, err := client.Dial(client.Config{
+				Addr: leader.data, Conns: 1, MaxAttempts: 1, Seed: int64(seed)*1000 + int64(w),
+			})
+			if err != nil {
+				r.err = err
+				return
+			}
+			defer cl.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			defer cancel()
+
+			next := int64(w+1) << 32 // disjoint ranges, clear of the seed keys
+			delCursor := 0
+			for i := 0; ; i++ {
+				if i%4 == 3 && delCursor < len(r.ackedIns) {
+					k := r.ackedIns[delCursor]
+					ok, err := cl.Delete(ctx, k)
+					if err != nil {
+						r.inflight = append(r.inflight, k)
+						return
+					}
+					if !ok {
+						r.err = fmt.Errorf("Delete(%d) of an acked key = false", k)
+						return
+					}
+					r.ackedDel = append(r.ackedDel, k)
+					delCursor++
+					continue
+				}
+				k := next
+				next++
+				ok, err := cl.Insert(ctx, k)
+				if err != nil {
+					r.inflight = append(r.inflight, k)
+					return
+				}
+				if !ok {
+					r.err = fmt.Errorf("Insert(%d) of a fresh key = false", k)
+					return
+				}
+				r.ackedIns = append(r.ackedIns, k)
+			}
+		}(w)
+	}
+
+	time.Sleep(time.Second)
+	killStart := time.Now()
+	killLeader() // SIGKILL mid-load: the cluster's data plane is down
+	wg.Wait()
+
+	totalAcked := 0
+	for w := range results {
+		if results[w].err != nil {
+			return fmt.Errorf("worker %d before the kill: %v", w, results[w].err)
+		}
+		totalAcked += len(results[w].ackedIns) + len(results[w].ackedDel)
+	}
+	if totalAcked == 0 {
+		return errors.New("no operation was acknowledged before the kill; round is inconclusive")
+	}
+
+	// Operator-driven failover: promote the follower, then clock until the
+	// promoted node acknowledges a write.
+	promoted := false
+	for time.Since(killStart) < recoveryBudget {
+		resp, err := http.Post("http://"+follower.admin+"/promote", "", nil)
+		if err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == http.StatusOK {
+				promoted = true
+				break
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	if !promoted {
+		return fmt.Errorf("POST /promote never succeeded within %v", recoveryBudget)
+	}
+	cl, err := client.Dial(client.Config{Addr: follower.data, Seed: int64(seed)})
+	if err != nil {
+		return err
+	}
+	defer cl.Close()
+	var served time.Duration
+	for {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		ok, err := cl.Insert(ctx, probeKey)
+		cancel()
+		if err == nil && ok {
+			served = time.Since(killStart)
+			break
+		}
+		if time.Since(killStart) > recoveryBudget {
+			return fmt.Errorf("promoted node not serving writes %v after the kill (budget %v; last err %v)",
+				time.Since(killStart).Round(time.Millisecond), recoveryBudget, err)
+		}
+	}
+
+	// Audit over the wire against the promoted node. Semi-sync made every
+	// client ack imply follower application, so this is exact, not
+	// probabilistic: acked state must be 100% present, no ghosts.
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	mustPresent := map[int64]bool{}
+	mayEither := map[int64]bool{}
+	for w := range results {
+		r := &results[w]
+		for _, k := range r.ackedIns {
+			mustPresent[k] = true
+		}
+		for _, k := range r.ackedDel {
+			delete(mustPresent, k)
+			if ok, err := cl.Lookup(ctx, k); err != nil {
+				return fmt.Errorf("audit Lookup(%d): %w", k, err)
+			} else if ok {
+				return fmt.Errorf("key %d: delete was acked before the kill but the key survived failover", k)
+			}
+		}
+		for _, k := range r.inflight {
+			delete(mustPresent, k)
+			mayEither[k] = true
+		}
+	}
+	for k := range mustPresent {
+		if ok, err := cl.Lookup(ctx, k); err != nil {
+			return fmt.Errorf("audit Lookup(%d): %w", k, err)
+		} else if !ok {
+			return fmt.Errorf("key %d: insert was acked (semi-sync) before the kill but is gone after failover", k)
+		}
+	}
+
+	// Ghost scan: page the whole keyspace through Range and reject any key
+	// with no explanation (seed, acked ledger, in-flight, probe).
+	seen := 0
+	from := int64(-1) << 62
+	for {
+		keys, err := cl.Range(ctx, from, 1<<62, 4096)
+		if err != nil {
+			return fmt.Errorf("audit Range from %d: %w", from, err)
+		}
+		if len(keys) == 0 {
+			break
+		}
+		for _, k := range keys {
+			seen++
+			if k >= 0 && k < int64(snapKeys+tailOps) {
+				continue // seeded
+			}
+			if k == probeKey || mustPresent[k] || mayEither[k] {
+				continue
+			}
+			return fmt.Errorf("ghost key %d present after failover: never seeded, acknowledged, or in flight", k)
+		}
+		from = keys[len(keys)-1] + 1
+	}
+	if seen < snapKeys+tailOps {
+		return fmt.Errorf("audit scan saw %d keys, fewer than the %d seeded", seen, snapKeys+tailOps)
+	}
+
+	inflight := 0
+	for w := range results {
+		inflight += len(results[w].inflight)
+	}
+	fmt.Printf("failover: promoted follower serving %v after kill -9 (budget %v) — %d acked ops (%d in flight) "+
+		"audited 100%% present, 0 ghosts across %d keys\n",
+		served.Round(time.Millisecond), recoveryBudget, totalAcked, inflight, seen)
+	return nil
+}

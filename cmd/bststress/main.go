@@ -21,6 +21,12 @@
 // and every wire-acknowledged mutation must have survived — plus a timed
 // 1M-key snapshot + 100k-op WAL tail recovery under a hard budget.
 //
+// With -failover the replication gate runs (see failover.go): a
+// semi-synchronous leader seeded at 1M-key + 100k-tail scale replicates to
+// a follower, is SIGKILLed mid-load, and the promoted follower must serve
+// writes within the recovery budget while an over-the-wire audit shows
+// 100% of acked mutations present and zero ghost keys.
+//
 // Exit status is non-zero if any round fails. Intended for CI and soak
 // runs (-duration 10m).
 package main
@@ -74,13 +80,23 @@ func main() {
 		traceFile   = flag.String("trace", "", "write a runtime/trace capture (rounds appear as tasks with per-check regions)")
 		crash       = flag.Bool("crash", false, "also run the durability gate: kill -9 a durable fsync server mid-load, recover, audit every acked mutation, and clock a 1M-key recovery")
 
+		failover = flag.Bool("failover", false, "also run the failover gate: seed a 1M-key leader, replicate to a follower, kill -9 the leader mid-load, promote, and audit every acked mutation on the new leader")
+
 		crashChild    = flag.Bool("crash-child", false, "internal: run as the -crash round's durable server child")
 		crashData     = flag.String("crash-data", "", "internal: data dir for -crash-child")
 		crashAddrFile = flag.String("crash-addr-file", "", "internal: where -crash-child writes its data address")
+
+		foChild     = flag.Bool("failover-child", false, "internal: run as a -failover round cluster node child")
+		foData      = flag.String("fo-data", "", "internal: data dir for -failover-child")
+		foAddrFile  = flag.String("fo-addr-file", "", "internal: where -failover-child writes its addresses")
+		foReplicaOf = flag.String("fo-replica-of", "", "internal: leader repl address for a follower -failover-child")
 	)
 	flag.Parse()
 	if *crashChild {
 		os.Exit(runCrashChild(*crashData, *crashAddrFile))
+	}
+	if *foChild {
+		os.Exit(runFailoverChild(*foData, *foAddrFile, *foReplicaOf))
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -199,6 +215,14 @@ func main() {
 				if err := crashRound(*workers, uint64(round)); err != nil {
 					failures++
 					fmt.Printf("FAIL [crash] nm round %d: %v\n", round, err)
+				}
+			})
+		}
+		if *failover {
+			runCheck(ctx, "failover", "nm", func() {
+				if err := failoverRound(*workers, uint64(round)); err != nil {
+					failures++
+					fmt.Printf("FAIL [failover] nm round %d: %v\n", round, err)
 				}
 			})
 		}

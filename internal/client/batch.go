@@ -90,10 +90,11 @@ func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
 
 		if err != nil {
 			cl.stats.transport.Add(1)
+			cl.noteBackpressure()
 			for _, idx := range pending {
 				out[idx] = OpResult{Err: err}
 			}
-			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
 				return fmt.Errorf("%w (last transport error: %v)", context.Cause(ctx), err)
 			}
 			continue
@@ -101,6 +102,7 @@ func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
 
 		switch st {
 		case wire.StatusOK:
+			cl.noteSuccess()
 			// Fall through to per-op triage.
 		case wire.StatusOverloaded, wire.StatusDraining:
 			err := ErrOverloaded
@@ -110,11 +112,28 @@ func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
 			} else {
 				cl.stats.sheds.Add(1)
 			}
+			cl.noteBackpressure()
 			for _, idx := range pending {
 				out[idx] = OpResult{Err: err}
 			}
-			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
 				return fmt.Errorf("%w after batch rejection", context.Cause(ctx))
+			}
+			continue
+		case wire.StatusNotLeader:
+			// The whole frame bounced off a follower; roundTripBatch
+			// already adopted the leader address the response named, so
+			// retry immediately against it (pause only while the cluster
+			// is between leaders, to avoid a hot redirect loop).
+			cl.stats.redirects.Add(1)
+			rerr := error(&NotLeaderError{Leader: cl.Leader()})
+			for _, idx := range pending {
+				out[idx] = OpResult{Err: rerr}
+			}
+			if cl.Leader() == "" {
+				if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
+					return fmt.Errorf("%w awaiting leader election", context.Cause(ctx))
+				}
 			}
 			continue
 		default:
@@ -156,11 +175,12 @@ func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
 		}
 		pending = next
 		if len(pending) > 0 {
+			cl.noteBackpressure()
 			base := cl.cfg.Backoff
 			if capacityRetry {
 				base = cl.cfg.CapacityBackoff
 			}
-			if !cl.sleep(ctx, cl.backoff(base, attempt)) {
+			if !cl.sleep(ctx, cl.backoff(base, cl.shifted(attempt))) {
 				return fmt.Errorf("%w retrying %d batched ops", context.Cause(ctx), len(pending))
 			}
 		}
@@ -211,6 +231,14 @@ func (cl *Client) roundTripBatch(ctx context.Context, id uint64, deadlineMS uint
 	}
 	if rid != id {
 		return 0, dst, fmt.Errorf("client: response id %d for request %d", rid, id)
+	}
+	if st == wire.StatusNotLeader {
+		// DecodeBatchResponse stops at the status byte on a frame-level
+		// rejection; the leader address rides the single-response tail,
+		// so re-decode the same payload through that view to learn it.
+		if resp, derr := wire.DecodeResponse(payload); derr == nil {
+			cl.noteLeader(resp.Leader)
+		}
 	}
 	keep = st != wire.StatusDraining && st != wire.StatusInternal
 	return st, results, nil

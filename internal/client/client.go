@@ -22,6 +22,25 @@
 // bst.ErrKeyOutOfRange. Deadlines flow from the context: the remaining
 // budget rides in every request frame, and backoff sleeps never overrun
 // the context.
+//
+// The client is replication-aware: a wire.StatusNotLeader response
+// (mutation sent to a follower) carries the leader's advertised address,
+// which the client adopts for subsequent connections and retries against
+// immediately — redirects are topology information, not congestion, so
+// they consume an attempt but no backoff. If the learned leader becomes
+// undialable the client falls back to the configured seed address (which
+// an operator points at a load balancer or any live node). ReadAtLeast
+// adds read-your-writes on followers: the request names a WAL sequence
+// the replica must have applied before answering, and a replica that
+// cannot catch up in time answers StatusReplLag, surfacing as ErrReplLag.
+//
+// Backoff adapts to observed contention: every shed, capacity rejection,
+// drain, or transport failure raises a contention level that widens the
+// base backoff window (each level doubles it, up to 2^6×), and every
+// clean response lowers it. A fleet of clients hammering a struggling
+// server therefore backs off more aggressively than the per-attempt
+// exponential alone, and recovers to tight latencies as soon as the
+// server breathes again.
 package client
 
 import (
@@ -49,6 +68,34 @@ var (
 	ErrDeadline   = errors.New("client: deadline exceeded")
 )
 
+// Replication sentinels. ErrNotLeader matches (via errors.Is) any
+// NotLeaderError, however many redirect hops deep it is wrapped;
+// ErrReplLag reports a replica that could not reach the sequence a
+// ReadAtLeast demanded within the request's deadline.
+var (
+	ErrNotLeader = errors.New("client: not the leader")
+	ErrReplLag   = errors.New("client: replica lagging requested sequence")
+)
+
+// NotLeaderError is the concrete error behind ErrNotLeader: a mutation
+// reached a follower, and Leader (when non-empty) is the data address the
+// cluster believes leads. The client already adopted it for retries;
+// callers that exhaust attempts can extract it with errors.As to decide
+// whether a topology change, not load, is the problem.
+type NotLeaderError struct {
+	Leader string
+}
+
+func (e *NotLeaderError) Error() string {
+	if e.Leader == "" {
+		return "client: not the leader (no leader known)"
+	}
+	return fmt.Sprintf("client: not the leader (leader at %s)", e.Leader)
+}
+
+// Is makes errors.Is(err, ErrNotLeader) hold for any NotLeaderError.
+func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
 // Config tunes a Client. Addr is required.
 type Config struct {
 	// Addr is the server's data address (host:port).
@@ -74,7 +121,8 @@ type Config struct {
 	Seed int64
 }
 
-// Stats counts client-side retry behaviour (monotonic).
+// Stats counts client-side retry behaviour (monotonic, except
+// ContentionLevel which is the adaptive backoff gauge at snapshot time).
 type Stats struct {
 	Requests        uint64 // operations attempted (first attempts)
 	Retries         uint64 // additional attempts beyond the first
@@ -82,6 +130,9 @@ type Stats struct {
 	DrainsSeen      uint64 // StatusDraining responses seen
 	CapacityErrs    uint64 // StatusCapacity responses seen
 	TransportErrors uint64 // dial/read/write failures (each forces a redial)
+	Redirects       uint64 // StatusNotLeader responses followed
+	ReplLags        uint64 // StatusReplLag responses seen
+	ContentionLevel int64  // current adaptive backoff level (0..contentionCap)
 }
 
 // Client is a retrying bstserve client. All methods are safe for
@@ -96,12 +147,29 @@ type Client struct {
 	// a lock (the retry path runs exactly when the system is stressed).
 	rngState atomic.Uint64
 
+	// leader is the cluster leader's data address ("" = none learned;
+	// use cfg.Addr). Set from StatusNotLeader redirects, cleared when the
+	// learned address stops dialing.
+	leader atomic.Value // string
+
+	// contention is the adaptive backoff level: raised by backpressure
+	// signals (shed, capacity, drain, transport failure), lowered by
+	// clean responses, and added to the attempt number when sizing a
+	// backoff window — so a client that keeps getting pushed back widens
+	// its sleeps even on fresh operations.
+	contention atomic.Int64
+
 	stats struct {
 		requests, retries, sheds, drains, capacity, transport atomic.Uint64
+		redirects, replLags                                   atomic.Uint64
 	}
 
 	closed atomic.Bool
 }
+
+// contentionCap bounds the adaptive level: 2^6 widens a 2ms base to
+// 128ms before per-attempt exponentiation, within MaxBackoff's reach.
+const contentionCap = 6
 
 // conn is one pooled connection.
 type conn struct {
@@ -109,6 +177,9 @@ type conn struct {
 	br      *bufio.Reader
 	bw      *bufio.Writer
 	scratch []byte
+	// addr is the address this conn was dialed to; a pooled conn whose
+	// addr no longer matches the redirect target is discarded.
+	addr string
 }
 
 // Dial creates a client. Connections are established lazily, so Dial
@@ -141,6 +212,7 @@ func Dial(cfg Config) (*Client, error) {
 	}
 	cl := &Client{cfg: cfg, pool: make(chan *conn, cfg.Conns)}
 	cl.rngState.Store(uint64(seed))
+	cl.leader.Store("")
 	for i := 0; i < cfg.Conns; i++ {
 		cl.pool <- nil // lazily dialed
 	}
@@ -156,7 +228,66 @@ func (cl *Client) Stats() Stats {
 		DrainsSeen:      cl.stats.drains.Load(),
 		CapacityErrs:    cl.stats.capacity.Load(),
 		TransportErrors: cl.stats.transport.Load(),
+		Redirects:       cl.stats.redirects.Load(),
+		ReplLags:        cl.stats.replLags.Load(),
+		ContentionLevel: cl.contention.Load(),
 	}
+}
+
+// Leader returns the cluster leader address the client last learned from
+// a redirect, or "" when none has been seen (or the last one went dark).
+func (cl *Client) Leader() string {
+	s, _ := cl.leader.Load().(string)
+	return s
+}
+
+// targetAddr is where new connections dial: the learned leader when one
+// is known, otherwise the configured seed address.
+func (cl *Client) targetAddr() string {
+	if s := cl.Leader(); s != "" {
+		return s
+	}
+	return cl.cfg.Addr
+}
+
+// noteLeader records a redirect's leader address for subsequent dials.
+func (cl *Client) noteLeader(addr string) {
+	if addr != "" && addr != cl.Leader() {
+		cl.leader.Store(addr)
+	}
+}
+
+// noteBackpressure raises the adaptive backoff level (saturating).
+func (cl *Client) noteBackpressure() {
+	for {
+		v := cl.contention.Load()
+		if v >= contentionCap {
+			return
+		}
+		if cl.contention.CompareAndSwap(v, v+1) {
+			return
+		}
+	}
+}
+
+// noteSuccess lowers the adaptive backoff level (floored at zero).
+func (cl *Client) noteSuccess() {
+	for {
+		v := cl.contention.Load()
+		if v <= 0 {
+			return
+		}
+		if cl.contention.CompareAndSwap(v, v-1) {
+			return
+		}
+	}
+}
+
+// shifted widens an attempt number by the current contention level, so
+// backoff windows grow both with this operation's failures and with the
+// backpressure the whole client has been seeing.
+func (cl *Client) shifted(attempt int) int {
+	return attempt + int(cl.contention.Load())
 }
 
 // Close tears down every pooled connection. In-flight calls race it and
@@ -191,6 +322,16 @@ func (cl *Client) Lookup(ctx context.Context, key int64) (bool, error) {
 	return resp.OK, err
 }
 
+// ReadAtLeast reports whether key is present, observed from replica state
+// that has applied at least WAL sequence seq — read-your-writes against a
+// follower: pass the sequence a mutation's ack carried (or any later
+// horizon) and the answer can never predate that write. A replica that
+// cannot reach seq within the deadline answers ErrReplLag after retries.
+func (cl *Client) ReadAtLeast(ctx context.Context, key int64, seq uint64) (bool, error) {
+	resp, err := cl.do(ctx, wire.Request{Op: wire.OpLookupAt, Key: key, MinSeq: seq})
+	return resp.OK, err
+}
+
 // Range returns up to limit keys in [from, to] in ascending order (0 uses
 // the server's default limit).
 func (cl *Client) Range(ctx context.Context, from, to int64, limit int) ([]int64, error) {
@@ -216,8 +357,9 @@ func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, erro
 		if err != nil {
 			// Transport: the conn is gone; retry redials.
 			cl.stats.transport.Add(1)
+			cl.noteBackpressure()
 			lastErr = err
-			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
 				return wire.Response{}, fmt.Errorf("%w (last transport error: %v)", context.Cause(ctx), err)
 			}
 			continue
@@ -225,24 +367,50 @@ func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, erro
 
 		switch resp.Status {
 		case wire.StatusOK:
+			cl.noteSuccess()
 			return resp, nil
 		case wire.StatusOverloaded:
 			cl.stats.sheds.Add(1)
+			cl.noteBackpressure()
 			lastErr = ErrOverloaded
-			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
 				return wire.Response{}, fmt.Errorf("%w after shed", context.Cause(ctx))
 			}
 		case wire.StatusDraining:
 			cl.stats.drains.Add(1)
+			cl.noteBackpressure()
 			lastErr = ErrDraining
-			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, attempt)) {
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
 				return wire.Response{}, fmt.Errorf("%w during server drain", context.Cause(ctx))
 			}
 		case wire.StatusCapacity:
 			cl.stats.capacity.Add(1)
+			cl.noteBackpressure()
 			lastErr = bst.ErrCapacity
-			if !cl.sleep(ctx, cl.backoff(cl.cfg.CapacityBackoff, attempt)) {
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.CapacityBackoff, cl.shifted(attempt))) {
 				return wire.Response{}, fmt.Errorf("%w while tree at capacity", context.Cause(ctx))
+			}
+		case wire.StatusNotLeader:
+			// A follower holds our mutation at the door. Adopt the leader
+			// address it named and retry there immediately — this is
+			// routing, not load, so no backoff unless the cluster has no
+			// leader to name yet (mid-failover), where pausing avoids a
+			// hot redirect loop.
+			cl.stats.redirects.Add(1)
+			cl.noteLeader(resp.Leader)
+			lastErr = &NotLeaderError{Leader: resp.Leader}
+			if resp.Leader == "" {
+				if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
+					return wire.Response{}, fmt.Errorf("%w awaiting leader election", context.Cause(ctx))
+				}
+			}
+		case wire.StatusReplLag:
+			// The replica hasn't applied the sequence a ReadAtLeast asked
+			// for; it usually will have after a short wait.
+			cl.stats.replLags.Add(1)
+			lastErr = fmt.Errorf("%w: seq %d not yet applied", ErrReplLag, req.MinSeq)
+			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
+				return wire.Response{}, fmt.Errorf("%w waiting out replica lag", context.Cause(ctx))
 			}
 		case wire.StatusKeyOutOfRange:
 			return wire.Response{}, fmt.Errorf("%w: key %d", bst.ErrKeyOutOfRange, req.Key)
@@ -257,8 +425,10 @@ func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, erro
 	return wire.Response{}, fmt.Errorf("client: %d attempts exhausted: %w", cl.cfg.MaxAttempts, lastErr)
 }
 
-// acquire takes a pooled connection, dialing if the slot is empty. On
-// success the caller must hand the conn to release exactly once.
+// acquire takes a pooled connection, dialing if the slot is empty. A
+// pooled conn aimed at an address a redirect has since replaced is
+// discarded and redialed at the current target. On success the caller
+// must hand the conn to release exactly once.
 func (cl *Client) acquire(ctx context.Context) (*conn, error) {
 	var c *conn
 	select {
@@ -266,13 +436,22 @@ func (cl *Client) acquire(ctx context.Context) (*conn, error) {
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	addr := cl.targetAddr()
+	if c != nil && c.addr != addr {
+		c.c.Close()
+		c = nil
+	}
 	if c == nil {
-		nc, err := net.DialTimeout("tcp", cl.cfg.Addr, cl.cfg.DialTimeout)
+		nc, err := net.DialTimeout("tcp", addr, cl.cfg.DialTimeout)
 		if err != nil {
+			// A learned leader that stopped dialing is stale topology:
+			// forget it so the next attempt falls back to the seed address
+			// (a load balancer or any surviving node).
+			cl.leader.CompareAndSwap(addr, "")
 			cl.pool <- nil
-			return nil, fmt.Errorf("client: dial: %w", err)
+			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
 		}
-		c = &conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc)}
+		c = &conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc), addr: addr}
 	}
 	// IO deadline: the context deadline when there is one, else a
 	// generous transport bound.

@@ -1,0 +1,363 @@
+package client
+
+// Cluster-facing client behaviour against a real two-node replication
+// stack: redirect following on StatusNotLeader, sentinel identity across
+// the wire (errors.Is works on the far side of a TCP round trip exactly
+// as it does in process — the same contract errprop gives the single-node
+// statuses), and ReadAtLeast's staleness guarantee on a follower.
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/repl"
+	"repro/internal/server"
+	"repro/internal/wal"
+	"repro/internal/wire"
+)
+
+// reserveAddr grabs an ephemeral port and releases it, so a data listener
+// can be announced (to repl.Start) before the server binds it.
+func reserveAddr(t *testing.T) string {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr
+}
+
+// clusterNode is one data server + replication node over a durable store.
+type clusterNode struct {
+	store *durable.Tree
+	node  *repl.Node
+	srv   *server.Server
+	addr  string // data address
+}
+
+// startNode builds a durable store, a repl node (leader when replicaOf is
+// empty), and a data server wired to it, on ephemeral ports.
+func startNode(t *testing.T, replicaOf string) *clusterNode {
+	t.Helper()
+	store, err := durable.Open(t.TempDir(), durable.Options{Sync: wal.SyncFsync})
+	if err != nil {
+		t.Fatalf("durable.Open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+
+	addr := reserveAddr(t)
+	node, err := repl.Start(repl.Config{
+		Store:       store,
+		Advertise:   addr,
+		ListenRepl:  "127.0.0.1:0",
+		ReplicaOf:   replicaOf,
+		Heartbeat:   20 * time.Millisecond,
+		AckEvery:    1,
+		AckInterval: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("repl.Start: %v", err)
+	}
+	t.Cleanup(func() { node.Close() })
+
+	srv := server.New(server.Config{Store: store, Cluster: node})
+	if err := srv.Start(addr); err != nil {
+		t.Fatalf("server.Start(%s): %v", addr, err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return &clusterNode{store: store, node: node, srv: srv, addr: addr}
+}
+
+func startCluster(t *testing.T) (leader, follower *clusterNode) {
+	t.Helper()
+	leader = startNode(t, "")
+	follower = startNode(t, leader.node.ReplAddr())
+	// Redirects can only name the leader once a heartbeat has delivered
+	// its data address; tests asserting on the address must not race it.
+	deadline := time.Now().Add(10 * time.Second)
+	for follower.node.LeaderAddr() != leader.addr {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never learned the leader's data address")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return leader, follower
+}
+
+// TestRedirectFollowing: a mutation sent to a follower bounces with
+// StatusNotLeader, and the client adopts the advertised leader address and
+// lands the write there within the same call.
+func TestRedirectFollowing(t *testing.T) {
+	leader, follower := startCluster(t)
+	ctx := context.Background()
+
+	cl, err := Dial(Config{Addr: follower.addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if ok, err := cl.Insert(ctx, 42); err != nil || !ok {
+		t.Fatalf("Insert via follower = (%v, %v), want (true, nil)", ok, err)
+	}
+	if !leader.store.Contains(42) {
+		t.Fatal("write did not land on the leader")
+	}
+	if got := cl.Leader(); got != leader.addr {
+		t.Fatalf("client learned leader %q, want %q", got, leader.addr)
+	}
+	st := cl.Stats()
+	if st.Redirects == 0 {
+		t.Fatal("no redirect counted")
+	}
+	// Subsequent mutations go straight to the leader: no new redirects.
+	before := st.Redirects
+	if ok, err := cl.Insert(ctx, 43); err != nil || !ok {
+		t.Fatalf("second Insert = (%v, %v)", ok, err)
+	}
+	if got := cl.Stats().Redirects; got != before {
+		t.Fatalf("redirects grew %d → %d on a leader-bound write", before, got)
+	}
+}
+
+// TestRedirectFollowingBatch: the batched path recovers the leader address
+// from a frame-level StatusNotLeader (which the batch decoder itself drops)
+// and retries the whole chunk against the leader.
+func TestRedirectFollowingBatch(t *testing.T) {
+	leader, follower := startCluster(t)
+	ctx := context.Background()
+
+	cl, err := Dial(Config{Addr: follower.addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	ops := []Op{InsertOp(1), InsertOp(2), DeleteOp(3), LookupOp(1)}
+	results, err := cl.Do(ctx, ops)
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			t.Fatalf("op %d err = %v", i, r.Err)
+		}
+	}
+	if !results[0].OK || !results[1].OK || results[2].OK || !results[3].OK {
+		t.Fatalf("batch results wrong: %+v", results)
+	}
+	if !leader.store.Contains(1) || !leader.store.Contains(2) {
+		t.Fatal("batch writes did not land on the leader")
+	}
+	if cl.Stats().Redirects == 0 {
+		t.Fatal("no redirect counted for the batch frame")
+	}
+}
+
+// TestNotLeaderIdentity: with retries disabled the redirect surfaces as an
+// error that is errors.Is-equal to ErrNotLeader and errors.As-extractable
+// as a NotLeaderError carrying the leader's data address — across the wire.
+func TestNotLeaderIdentity(t *testing.T) {
+	leader, follower := startCluster(t)
+	ctx := context.Background()
+
+	cl, err := Dial(Config{Addr: follower.addr, Seed: 1, MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	_, err = cl.Insert(ctx, 7)
+	if !errors.Is(err, ErrNotLeader) {
+		t.Fatalf("Insert on follower err = %v, want errors.Is(…, ErrNotLeader)", err)
+	}
+	var nle *NotLeaderError
+	if !errors.As(err, &nle) {
+		t.Fatalf("err %v not errors.As-able to *NotLeaderError", err)
+	}
+	if nle.Leader != leader.addr {
+		t.Fatalf("NotLeaderError.Leader = %q, want %q", nle.Leader, leader.addr)
+	}
+}
+
+// TestReadAtLeast: the staleness regression. A follower read that names
+// the leader's sequence horizon must observe the write at that horizon —
+// never the pre-write state — and an unreachable horizon must surface as
+// ErrReplLag rather than a silently stale answer.
+func TestReadAtLeast(t *testing.T) {
+	leader, follower := startCluster(t)
+	ctx := context.Background()
+
+	// Write on the leader directly; capture the ack's WAL sequence.
+	if !leader.store.Insert(1000) {
+		t.Fatal("leader insert failed")
+	}
+	seq := leader.store.LastSeq()
+
+	// A client pointed at the follower (reads stay local: only mutations
+	// redirect) must see the write once it names seq.
+	cl, err := Dial(Config{Addr: follower.addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ok, err := cl.ReadAtLeast(ctx, 1000, seq)
+	if err != nil {
+		t.Fatalf("ReadAtLeast(1000, %d): %v", seq, err)
+	}
+	if !ok {
+		t.Fatalf("ReadAtLeast(1000, %d) = false: stale read", seq)
+	}
+	if cl.Leader() != "" {
+		t.Fatal("a read triggered a leader redirect")
+	}
+
+	// A horizon the cluster has not reached: ErrReplLag, not a stale bool.
+	cl2, err := Dial(Config{Addr: follower.addr, Seed: 1, MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl2.Close()
+	// No client deadline: the server's DefaultDeadline (1s) bounds the
+	// wait and the StatusReplLag answer arrives before any IO timeout.
+	if _, err := cl2.ReadAtLeast(ctx, 1000, seq+1<<30); !errors.Is(err, ErrReplLag) {
+		t.Fatalf("ReadAtLeast(future seq) err = %v, want errors.Is(…, ErrReplLag)", err)
+	}
+	if cl2.Stats().ReplLags == 0 {
+		t.Fatal("no repl-lag response counted")
+	}
+}
+
+// TestReadAtLeastSingleNode: without a cluster the server falls back to
+// its durable horizon, so read-your-writes still holds on one node and an
+// impossible horizon still answers ErrReplLag.
+func TestReadAtLeastSingleNode(t *testing.T) {
+	store, err := durable.Open(t.TempDir(), durable.Options{Sync: wal.SyncFsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { store.Close() })
+	srv := server.New(server.Config{Store: store})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	cl, err := Dial(Config{Addr: srv.Addr().String(), Seed: 1, MaxAttempts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	if ok, err := cl.Insert(ctx, 5); err != nil || !ok {
+		t.Fatalf("Insert = (%v, %v)", ok, err)
+	}
+	if ok, err := cl.ReadAtLeast(ctx, 5, store.LastSeq()); err != nil || !ok {
+		t.Fatalf("ReadAtLeast = (%v, %v), want (true, nil)", ok, err)
+	}
+	if _, err := cl.ReadAtLeast(ctx, 5, store.LastSeq()+1); !errors.Is(err, ErrReplLag) {
+		t.Fatalf("ReadAtLeast past horizon err = %v, want ErrReplLag", err)
+	}
+}
+
+// TestFailoverRedial: when the learned leader dies, the client forgets it
+// and falls back to the seed address — here the surviving follower, which
+// after promotion takes the write itself.
+func TestFailoverRedial(t *testing.T) {
+	leader, follower := startCluster(t)
+	ctx := context.Background()
+
+	cl, err := Dial(Config{Addr: follower.addr, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+
+	if ok, err := cl.Insert(ctx, 1); err != nil || !ok {
+		t.Fatalf("Insert = (%v, %v)", ok, err)
+	}
+	// Everything acked on the old leader must be on the follower before
+	// the kill, or the promoted node would serve a hole.
+	wctx, cancel := context.WithTimeout(ctx, 10*time.Second)
+	defer cancel()
+	if err := follower.node.WaitApplied(wctx, leader.store.LastSeq()); err != nil {
+		t.Fatalf("WaitApplied: %v", err)
+	}
+
+	// Kill the leader, promote the follower.
+	sctx, cancel2 := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel2()
+	leader.srv.Shutdown(sctx)
+	leader.node.Close()
+	if _, err := follower.node.Promote(); err != nil {
+		t.Fatalf("Promote: %v", err)
+	}
+
+	// The client still believes the dead leader leads; the failed dial
+	// clears that and the retry loop lands on the seed (the new leader).
+	if ok, err := cl.Insert(ctx, 2); err != nil || !ok {
+		t.Fatalf("Insert after failover = (%v, %v)", ok, err)
+	}
+	if !follower.store.Contains(2) {
+		t.Fatal("post-failover write missing from the promoted node")
+	}
+}
+
+// TestAdaptiveBackoffLevel: backpressure raises the contention level (to a
+// cap), success lowers it (to zero), and the level widens the window the
+// next backoff draws from.
+func TestAdaptiveBackoffLevel(t *testing.T) {
+	cl, err := Dial(Config{Addr: "x", Seed: 9, Backoff: 2 * time.Millisecond, MaxBackoff: time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < contentionCap+3; i++ {
+		cl.noteBackpressure()
+	}
+	if got := cl.Stats().ContentionLevel; got != contentionCap {
+		t.Fatalf("level after saturation = %d, want %d", got, contentionCap)
+	}
+	// At level L, attempt 0 draws from [d/2, d], d = base << L.
+	d := 2 * time.Millisecond << contentionCap
+	for i := 0; i < 50; i++ {
+		got := cl.backoff(2*time.Millisecond, cl.shifted(0))
+		if got < d/2 || got > d {
+			t.Fatalf("backoff at level %d = %v outside [%v, %v]", contentionCap, got, d/2, d)
+		}
+	}
+	for i := 0; i < contentionCap+3; i++ {
+		cl.noteSuccess()
+	}
+	if got := cl.Stats().ContentionLevel; got != 0 {
+		t.Fatalf("level after recovery = %d, want 0", got)
+	}
+	// Back at level 0 the window is tight again.
+	for i := 0; i < 50; i++ {
+		got := cl.backoff(2*time.Millisecond, cl.shifted(0))
+		if got < time.Millisecond || got > 2*time.Millisecond {
+			t.Fatalf("recovered backoff = %v outside [1ms, 2ms]", got)
+		}
+	}
+}
+
+// TestReplLagStatusMapping: the wire status ↔ sentinel mapping is stable
+// (a regression guard for the numeric protocol constants).
+func TestReplLagStatusMapping(t *testing.T) {
+	if wire.StatusNotLeader != 8 || wire.StatusReplLag != 9 {
+		t.Fatalf("repl status codes moved: NotLeader=%d ReplLag=%d", wire.StatusNotLeader, wire.StatusReplLag)
+	}
+}

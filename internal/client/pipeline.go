@@ -62,7 +62,7 @@ type Future struct {
 // the pooled path when waited on.
 func (cl *Client) NewPipeline(ctx context.Context) (*Pipeline, error) {
 	d := net.Dialer{Timeout: cl.cfg.DialTimeout}
-	nc, err := d.DialContext(ctx, "tcp", cl.cfg.Addr)
+	nc, err := d.DialContext(ctx, "tcp", cl.targetAddr())
 	if err != nil {
 		return nil, fmt.Errorf("client: pipeline dial: %w", err)
 	}
@@ -226,6 +226,14 @@ func (f *Future) Wait(ctx context.Context) (bool, error) {
 	case wire.StatusOK:
 		return f.resp.OK, nil
 	case wire.StatusOverloaded, wire.StatusDraining, wire.StatusCapacity:
+		return f.fallback(ctx)
+	case wire.StatusNotLeader:
+		// The pipeline's dedicated connection points at a follower. Teach
+		// the client the leader's address and let the pooled path (which
+		// follows redirects) finish this operation; new pipelines should
+		// be built against Leader().
+		f.p.cl.stats.redirects.Add(1)
+		f.p.cl.noteLeader(f.resp.Leader)
 		return f.fallback(ctx)
 	case wire.StatusKeyOutOfRange:
 		return false, fmt.Errorf("%w: key %d", bst.ErrKeyOutOfRange, f.op.Key)

@@ -46,6 +46,21 @@ func (a *accessor) Delete(key int64) bool {
 
 func (a *accessor) Contains(key int64) bool { return a.inner.Contains(key) }
 
+// TryInsertTicket is TryInsert without the durability wait: the mutation
+// is applied and its WAL record enqueued, and the returned ticket lets the
+// caller batch one Wait over a whole window of operations (group commits
+// fsync in sequence order, so waiting on a window's last ticket covers
+// every earlier one). The caller must not acknowledge the operation before
+// the ticket resolves.
+func (a *accessor) TryInsertTicket(key int64) (bool, wal.Ticket, error) {
+	return a.d.applyAsync(opInsert, key, func() (bool, error) { return a.inner.TryInsert(key) })
+}
+
+// DeleteTicket is Delete without the durability wait; see TryInsertTicket.
+func (a *accessor) DeleteTicket(key int64) (bool, wal.Ticket, error) {
+	return a.d.applyAsync(opDelete, key, func() (bool, error) { return a.inner.Delete(key), nil })
+}
+
 func (a *accessor) ContainsBatch(keys []int64, out []bst.OpResult) {
 	a.inner.ContainsBatch(keys, out)
 }

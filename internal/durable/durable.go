@@ -128,6 +128,11 @@ type Tree struct {
 	sinceCkpt   atomic.Int64 // mutations logged since the last checkpoint
 	ckptWG      sync.WaitGroup
 
+	// walTap holds the replication frame tap (SetWALTap), dispatched from
+	// the WAL flusher via fireTap. Stored as a func value so a leader can
+	// be wired up after Open without reopening the log.
+	walTap atomic.Value // func([]byte, uint64, uint64)
+
 	closed atomic.Bool
 
 	// Cumulative checkpoint/recovery telemetry for MetricsHook.
@@ -189,6 +194,7 @@ func Open(dir string, opts Options) (*Tree, error) {
 		SegmentBytes: opts.SegmentBytes,
 		NextSeq:      horizon + 1,
 		Logf:         opts.Logf,
+		Tap:          d.fireTap,
 	})
 	if err != nil {
 		d.tree.Close()
@@ -329,6 +335,24 @@ func (d *Tree) apply(op uint8, key int64, mutate func() (bool, error)) (bool, er
 	return true, nil
 }
 
+// applyAsync is apply without the ticket wait: same stripe-serialized
+// tree-then-enqueue protocol, but durability is the caller's to wait for.
+func (d *Tree) applyAsync(op uint8, key int64, mutate func() (bool, error)) (bool, wal.Ticket, error) {
+	st := &d.stripes[stripeOf(key)]
+	st.Lock()
+	ok, err := mutate()
+	var t wal.Ticket
+	if err == nil && ok {
+		t = d.log.Enqueue(op, key)
+	}
+	st.Unlock()
+	if err != nil || !ok {
+		return ok, wal.Ticket{}, err
+	}
+	d.noteMutations(1)
+	return true, t, nil
+}
+
 // noteMutations advances the auto-checkpoint trigger.
 func (d *Tree) noteMutations(n int64) {
 	if d.opts.CheckpointEvery <= 0 {
@@ -390,6 +414,112 @@ func (d *Tree) Health() bst.Health { return d.tree.Health() }
 // Underlying exposes the wrapped tree for telemetry wiring (metrics
 // registry). Mutating through it bypasses the WAL; don't.
 func (d *Tree) Underlying() *bst.Tree { return d.tree }
+
+// Dir returns the data directory (snapshots + WAL segments live there).
+func (d *Tree) Dir() string { return d.dir }
+
+// LastSeq returns the newest assigned WAL sequence number.
+func (d *Tree) LastSeq() uint64 { return d.log.LastSeq() }
+
+// DurableSeq returns the newest WAL sequence number known fsynced.
+func (d *Tree) DurableSeq() uint64 { return d.log.DurableSeq() }
+
+// WALFirstSeq returns the oldest WAL sequence number still retained;
+// replication catch-up below it must come from a snapshot.
+func (d *Tree) WALFirstSeq() uint64 { return d.log.FirstSeq() }
+
+// ReplayWAL streams retained records with seq > after to fn (see
+// wal.Log.Replay for the live-log semantics replication relies on).
+func (d *Tree) ReplayWAL(after uint64, fn func(wal.Record) error) error {
+	return d.log.Replay(after, fn)
+}
+
+// SetWALTap installs (or, with nil, removes) the frame tap the replication
+// leader uses to observe committed WAL frames. The tap runs on the WAL
+// flusher goroutine and must not retain the frame bytes past the call.
+func (d *Tree) SetWALTap(fn func(frames []byte, firstSeq, lastSeq uint64)) {
+	d.walTap.Store(fn)
+}
+
+func (d *Tree) fireTap(frames []byte, firstSeq, lastSeq uint64) {
+	if f, _ := d.walTap.Load().(func([]byte, uint64, uint64)); f != nil {
+		f(frames, firstSeq, lastSeq)
+	}
+}
+
+// ApplyRecord applies one replicated WAL record on a follower: tree first,
+// then the local WAL append, exactly like a leader-side mutation — so the
+// follower's log is byte-for-byte replayable and its own checkpoints work
+// unchanged. Records must arrive in dense sequence order (the replication
+// stream's contract); a gap is a protocol error, not something to paper
+// over. The caller is the single apply goroutine, so no stripe locking is
+// needed — but the stripes are taken anyway because a follower can be
+// promoted, and the moment it starts taking writes the per-key ordering
+// argument must already hold.
+func (d *Tree) ApplyRecord(r wal.Record) error {
+	if d.closed.Load() {
+		return errClosed
+	}
+	st := &d.stripes[stripeOf(r.Key)]
+	st.Lock()
+	defer st.Unlock()
+	if want := d.log.LastSeq() + 1; r.Seq != want {
+		return fmt.Errorf("durable: replication sequence gap: got %d, want %d", r.Seq, want)
+	}
+	switch r.Op {
+	case opInsert:
+		if _, err := d.tree.TryInsert(r.Key); err != nil {
+			return fmt.Errorf("durable: replicated insert %d (seq %d): %w", r.Key, r.Seq, err)
+		}
+	case opDelete:
+		d.tree.Delete(r.Key)
+	default:
+		return fmt.Errorf("durable: replicated record seq %d has unknown op %d", r.Seq, r.Op)
+	}
+	t := d.log.Enqueue(r.Op, r.Key)
+	if t.Seq() != r.Seq {
+		return fmt.Errorf("durable: local log assigned seq %d to replicated record %d (local writes on a follower?)", t.Seq(), r.Seq)
+	}
+	d.noteMutations(1)
+	return nil
+}
+
+// ApplySnapshot bulk-loads a replicated snapshot (ascending keys covering
+// walSeq) into an empty store, advances the local WAL numbering past the
+// horizon, and persists a local snapshot so recovery never depends on the
+// leader being reachable. It refuses a store that already holds data: a
+// follower whose local history diverged from what the leader retains needs
+// its data directory cleared by the operator, not a silent merge.
+func (d *Tree) ApplySnapshot(keys []int64, walSeq uint64) error {
+	if d.closed.Load() {
+		return errClosed
+	}
+	if d.log.LastSeq() != 0 || d.tree.Len() != 0 {
+		return errors.New("durable: ApplySnapshot needs an empty store (clear the data directory and resync)")
+	}
+	if err := bulkLoadBalanced(d.tree, keys); err != nil {
+		return fmt.Errorf("durable: snapshot bulk load: %w", err)
+	}
+	if err := d.log.SkipTo(walSeq); err != nil {
+		return err
+	}
+	info, err := snapshot.Write(d.dir, walSeq, func(emit func(int64) error) error {
+		for _, k := range keys {
+			if err := emit(k); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("durable: persisting replicated snapshot: %w", err)
+	}
+	d.lastCkptSeq.Store(walSeq)
+	d.snapshots.Add(1)
+	d.snapshotKeys.Add(info.Count)
+	d.logf("durable: bulk-loaded replicated snapshot @seq %d (%d keys)", walSeq, info.Count)
+	return nil
+}
 
 // RecoveryStats reports what Open reconstructed.
 func (d *Tree) RecoveryStats() RecoveryStats { return d.recovery }

@@ -1,0 +1,556 @@
+// Package repl turns two or more bstserve processes into a WAL-shipping
+// replication cluster: one leader takes writes, streams committed WAL
+// frames to followers, and followers apply them to their own durable
+// stores — tree first, then local WAL, exactly like a leader-side
+// mutation — so any follower can be promoted without replaying anything.
+//
+// # Shape
+//
+// The WAL is already a replication log: seq-dense, CRC-framed, idempotent
+// to re-apply. The leader taps the log's flusher (durable.SetWALTap) and
+// fans the verbatim frame bytes out to subscriber connections; the frames
+// a follower receives are the same bytes the leader's disk holds. A
+// follower that is too far behind the leader's retained WAL (a checkpoint
+// GC'd the segments it needs) catches up from the leader's newest
+// snapshot instead — streamed in chunks, bulk-loaded with the balanced
+// BFS loader, pinned on the leader (snapshot.Pin) so a concurrent
+// checkpoint cannot GC it mid-stream — and then rides the WAL tail.
+//
+// # Roles, terms, leases
+//
+// A node is leader or follower; the role only changes through explicit
+// operator-driven promotion (POST /promote on the admin port — no
+// automatic elections, no quorum; this is a primary/backup design, not
+// consensus). Each promotion increments a term number that rides every
+// ReplFrames batch; a follower adopts any higher term it hears and
+// records the sender as leader. The lease is the follower's view of
+// leader liveness: heartbeats (empty ReplFrames) arrive every Heartbeat
+// interval, and a follower that has heard nothing for LeaseTimeout
+// reports the lease expired through Health/metrics so operators (and the
+// failover tooling) know promotion is warranted. Followers refuse writes
+// regardless of lease state — wire.StatusNotLeader carries the leader's
+// data address, so clients re-aim instead of guessing.
+//
+// # Ack windows and durability
+//
+// Followers acknowledge cumulatively: one ReplAck covers every record at
+// or below its sequence — the replication analogue of the WAL's group
+// commit. With RequireAck (semi-sync) the leader's server withholds write
+// acknowledgements until a follower ack covers them, so "the client saw
+// OK" implies "a follower has it" and a SIGKILLed leader loses nothing
+// that was acknowledged; without it, acked-but-unreplicated writes are
+// bounded by the follower's ack window (AckEvery records / AckInterval).
+package repl
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/metrics"
+)
+
+// Role is a node's current replication role.
+type Role int32
+
+const (
+	Follower Role = iota
+	Leader
+)
+
+func (r Role) String() string {
+	if r == Leader {
+		return "leader"
+	}
+	return "follower"
+}
+
+// ErrAckTimeout is returned by WaitReplicated when no follower
+// acknowledged the sequence within AckTimeout — replication is degraded
+// (follower down or lagging). The server maps it to a retryable status:
+// the write is applied and locally durable, but not yet safe to
+// acknowledge under semi-sync rules.
+var ErrAckTimeout = errors.New("repl: no follower ack within timeout")
+
+// ErrNotFollower is returned by Promote on a node that is already leader.
+var ErrNotFollower = errors.New("repl: already leader")
+
+// Config configures a Node. Store and Advertise are required.
+type Config struct {
+	// Store is the node's durable tree (the same one the server fronts).
+	Store *durable.Tree
+	// Advertise is the data-plane address clients should be redirected to
+	// when this node is (or becomes) leader.
+	Advertise string
+	// ListenRepl is the replication listener address. Required for a
+	// leader; optional for a follower (serving it lets the follower feed
+	// other subscribers after promotion).
+	ListenRepl string
+	// ReplicaOf is the leader's replication address. Empty means start as
+	// leader.
+	ReplicaOf string
+	// Heartbeat is the leader's keepalive interval (default 200ms).
+	Heartbeat time.Duration
+	// LeaseTimeout is how long a follower tolerates silence before
+	// reporting the leader lost (default 5×Heartbeat).
+	LeaseTimeout time.Duration
+	// AckEvery is the follower's ack window in records: one cumulative
+	// ReplAck per AckEvery applied records (default 256).
+	AckEvery int
+	// AckInterval bounds how stale a follower's ack may go under a trickle
+	// of records (default 50ms).
+	AckInterval time.Duration
+	// RequireAck enables semi-synchronous mode on the leader: write
+	// acknowledgements wait for a follower ack (see WaitReplicated).
+	RequireAck bool
+	// AckTimeout bounds the semi-sync wait (default 2s).
+	AckTimeout time.Duration
+	// Logf, when non-nil, receives one line per notable event.
+	Logf func(format string, args ...any)
+}
+
+// Node is one member of a replication cluster. Create with Start; wire it
+// into the server via server.Config.Cluster and the admin endpoints.
+type Node struct {
+	cfg   Config
+	store *durable.Tree
+
+	role       atomic.Int32
+	term       atomic.Uint64
+	leaderAddr atomic.Value // string: the current leader's data address
+
+	// applied tracks the follower's apply progress; on a leader the store's
+	// own LastSeq is authoritative (every local mutation is "applied").
+	applied atomic.Uint64
+	// lastHeard is the unix-nano timestamp of the last frame from the
+	// leader (follower role).
+	lastHeard atomic.Int64
+	// leaderCommit is the leader's durable horizon as of the last
+	// ReplFrames batch (follower role); applied lag is measured against it.
+	leaderCommit atomic.Uint64
+
+	// notify is closed and replaced whenever applied (follower) or the
+	// local WAL (leader, via the tap) advances; WaitApplied parks on it.
+	notifyMu sync.Mutex
+	notifyCh chan struct{}
+
+	// ackCh is the same copy-on-notify channel for follower acks
+	// (WaitReplicated parks on it); maxAck is the newest sequence any
+	// follower has acknowledged as applied.
+	ackMu  sync.Mutex
+	ackCh  chan struct{}
+	maxAck atomic.Uint64
+
+	subMu sync.Mutex
+	subs  map[*subscriber]struct{}
+
+	ln     net.Listener
+	wg     sync.WaitGroup
+	closed atomic.Bool
+	quit   chan struct{}
+
+	// followerCancel interrupts the follower loop's current connection on
+	// Promote/Close.
+	followerConn struct {
+		sync.Mutex
+		c net.Conn
+	}
+
+	c counters
+}
+
+type counters struct {
+	recordsSent         atomic.Uint64
+	batchesSent         atomic.Uint64
+	heartbeatsSent      atomic.Uint64
+	recordsApplied      atomic.Uint64
+	acksSent            atomic.Uint64
+	acksReceived        atomic.Uint64
+	snapshotsShipped    atomic.Uint64
+	snapshotKeysShipped atomic.Uint64
+	snapshotLoads       atomic.Uint64
+	resyncs             atomic.Uint64
+	reconnects          atomic.Uint64
+	ackTimeouts         atomic.Uint64
+	promotions          atomic.Uint64
+}
+
+// Start creates a node, starts its replication listener (when configured)
+// and, for a follower, the catch-up/apply loop.
+func Start(cfg Config) (*Node, error) {
+	if cfg.Store == nil {
+		return nil, errors.New("repl: Config.Store is required")
+	}
+	if cfg.Advertise == "" {
+		return nil, errors.New("repl: Config.Advertise is required")
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = 200 * time.Millisecond
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 5 * cfg.Heartbeat
+	}
+	if cfg.AckEvery <= 0 {
+		cfg.AckEvery = 256
+	}
+	if cfg.AckInterval <= 0 {
+		cfg.AckInterval = 50 * time.Millisecond
+	}
+	if cfg.AckTimeout <= 0 {
+		cfg.AckTimeout = 2 * time.Second
+	}
+	n := &Node{
+		cfg:      cfg,
+		store:    cfg.Store,
+		notifyCh: make(chan struct{}),
+		ackCh:    make(chan struct{}),
+		subs:     make(map[*subscriber]struct{}),
+		quit:     make(chan struct{}),
+	}
+	if cfg.ReplicaOf == "" {
+		n.role.Store(int32(Leader))
+		n.term.Store(1)
+		n.leaderAddr.Store(cfg.Advertise)
+	} else {
+		n.role.Store(int32(Follower))
+		n.leaderAddr.Store("") // unknown until the first heartbeat
+		n.applied.Store(n.store.LastSeq())
+		n.lastHeard.Store(time.Now().UnixNano())
+	}
+
+	// The tap fans committed frames out to subscribers and doubles as the
+	// "log advanced" wakeup for applied-seq waiters. It is installed on
+	// every role: a follower's own flushes feed downstream subscribers
+	// (chained replication) and, after promotion, the listener is already
+	// live.
+	n.store.SetWALTap(func(frames []byte, first, last uint64) {
+		n.tapFanout(frames, first, last)
+		n.wakeApplied()
+	})
+
+	if cfg.ListenRepl != "" {
+		ln, err := net.Listen("tcp", cfg.ListenRepl)
+		if err != nil {
+			return nil, fmt.Errorf("repl: listen %s: %w", cfg.ListenRepl, err)
+		}
+		n.ln = ln
+		n.wg.Add(1)
+		go n.acceptLoop(ln)
+	}
+	if cfg.ReplicaOf != "" {
+		n.wg.Add(1)
+		go n.followerLoop()
+	}
+	return n, nil
+}
+
+func (n *Node) logf(format string, args ...any) {
+	if n.cfg.Logf != nil {
+		n.cfg.Logf(format, args...)
+	}
+}
+
+// Role returns the node's current role.
+func (n *Node) Role() Role { return Role(n.role.Load()) }
+
+// IsLeader reports whether the node currently takes writes.
+func (n *Node) IsLeader() bool { return n.Role() == Leader }
+
+// Term returns the node's current term number.
+func (n *Node) Term() uint64 { return n.term.Load() }
+
+// LeaderAddr returns the data address of the cluster's current leader as
+// this node knows it ("" when a follower has not heard a heartbeat yet).
+func (n *Node) LeaderAddr() string {
+	a, _ := n.leaderAddr.Load().(string)
+	return a
+}
+
+// AppliedSeq returns the newest sequence number reflected in this node's
+// tree: the WAL's last seq on a leader, the apply loop's progress on a
+// follower.
+func (n *Node) AppliedSeq() uint64 {
+	if n.IsLeader() {
+		return n.store.LastSeq()
+	}
+	return n.applied.Load()
+}
+
+// AckedSeq returns the newest sequence number any follower has
+// acknowledged as applied (leader; 0 on a follower).
+func (n *Node) AckedSeq() uint64 { return n.maxAck.Load() }
+
+// LeaseExpired reports whether a follower has gone LeaseTimeout without
+// hearing from its leader. Always false on a leader.
+func (n *Node) LeaseExpired() bool {
+	if n.IsLeader() {
+		return false
+	}
+	return time.Since(time.Unix(0, n.lastHeard.Load())) > n.cfg.LeaseTimeout
+}
+
+// ReplAddr returns the bound replication listener address ("" when the
+// node has no listener). Useful with ListenRepl ":0".
+func (n *Node) ReplAddr() string {
+	if n.ln == nil {
+		return ""
+	}
+	return n.ln.Addr().String()
+}
+
+// Followers returns the number of connected replication subscribers.
+func (n *Node) Followers() int {
+	n.subMu.Lock()
+	defer n.subMu.Unlock()
+	return len(n.subs)
+}
+
+// wakeApplied re-arms the applied-seq notification channel.
+func (n *Node) wakeApplied() {
+	n.notifyMu.Lock()
+	close(n.notifyCh)
+	n.notifyCh = make(chan struct{})
+	n.notifyMu.Unlock()
+}
+
+func (n *Node) appliedWake() <-chan struct{} {
+	n.notifyMu.Lock()
+	defer n.notifyMu.Unlock()
+	return n.notifyCh
+}
+
+// noteAck folds a follower ack into the leader's watermark and wakes
+// semi-sync waiters.
+func (n *Node) noteAck(applied uint64) {
+	n.c.acksReceived.Add(1)
+	for {
+		old := n.maxAck.Load()
+		if applied <= old {
+			return
+		}
+		if n.maxAck.CompareAndSwap(old, applied) {
+			break
+		}
+	}
+	n.ackMu.Lock()
+	close(n.ackCh)
+	n.ackCh = make(chan struct{})
+	n.ackMu.Unlock()
+}
+
+func (n *Node) ackWake() <-chan struct{} {
+	n.ackMu.Lock()
+	defer n.ackMu.Unlock()
+	return n.ackCh
+}
+
+// WaitApplied blocks until this node's applied sequence reaches seq or
+// ctx is done — the read-your-writes wait behind OpLookupAt: a client
+// that saw seq acked can demand a follower read reflect it.
+func (n *Node) WaitApplied(ctx context.Context, seq uint64) error {
+	for {
+		if n.AppliedSeq() >= seq {
+			return nil
+		}
+		wake := n.appliedWake()
+		// Re-check after arming: the apply may have landed between the
+		// load and the channel fetch.
+		if n.AppliedSeq() >= seq {
+			return nil
+		}
+		select {
+		case <-wake:
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.quit:
+			return errors.New("repl: node closed")
+		}
+	}
+}
+
+// WaitReplicated blocks until a follower has acknowledged seq, the
+// semi-sync gate for write acknowledgements. It returns immediately when
+// the node is not a semi-sync leader; ErrAckTimeout when AckTimeout
+// passes first (the caller should answer with a retryable status, not an
+// ack); ctx errors pass through.
+func (n *Node) WaitReplicated(ctx context.Context, seq uint64) error {
+	if !n.cfg.RequireAck || !n.IsLeader() || seq == 0 {
+		return nil
+	}
+	t := time.NewTimer(n.cfg.AckTimeout)
+	defer t.Stop()
+	for {
+		if n.maxAck.Load() >= seq {
+			return nil
+		}
+		wake := n.ackWake()
+		if n.maxAck.Load() >= seq {
+			return nil
+		}
+		select {
+		case <-wake:
+		case <-t.C:
+			n.c.ackTimeouts.Add(1)
+			return ErrAckTimeout
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-n.quit:
+			return errors.New("repl: node closed")
+		}
+	}
+}
+
+// Promote turns a follower into the leader: the pull loop stops, the term
+// increments, and the node starts answering as leader (its replication
+// listener, if any, keeps serving subscribers — now with the new term).
+// Explicitly operator-driven; the caller is the admin endpoint.
+func (n *Node) Promote() (term uint64, err error) {
+	if n.closed.Load() {
+		return 0, errors.New("repl: node closed")
+	}
+	if !n.role.CompareAndSwap(int32(Follower), int32(Leader)) {
+		return n.term.Load(), ErrNotFollower
+	}
+	// Sever the pull connection; the follower loop observes the role flip
+	// and exits instead of redialing.
+	n.followerConn.Lock()
+	if c := n.followerConn.c; c != nil {
+		c.Close()
+	}
+	n.followerConn.Unlock()
+	term = n.term.Add(1)
+	n.leaderAddr.Store(n.cfg.Advertise)
+	n.c.promotions.Add(1)
+	// Catch the applied watermark up to the local log so reads gated on
+	// WaitApplied never regress across the role change.
+	n.applied.Store(n.store.LastSeq())
+	n.wakeApplied()
+	n.logf("repl: promoted to leader, term %d (applied seq %d)", term, n.store.LastSeq())
+	return term, nil
+}
+
+// Close stops the listener, the follower loop, and every subscriber
+// stream. The store is not closed — its lifecycle belongs to the caller.
+func (n *Node) Close() error {
+	if n.closed.Swap(true) {
+		return nil
+	}
+	close(n.quit)
+	n.store.SetWALTap(nil)
+	if n.ln != nil {
+		n.ln.Close()
+	}
+	n.followerConn.Lock()
+	if c := n.followerConn.c; c != nil {
+		c.Close()
+	}
+	n.followerConn.Unlock()
+	n.subMu.Lock()
+	for s := range n.subs {
+		s.conn.Close()
+	}
+	n.subMu.Unlock()
+	n.wg.Wait()
+	return nil
+}
+
+// Stats is a point-in-time snapshot of the node's replication counters.
+type Stats struct {
+	Role                Role
+	Term                uint64
+	LeaderAddr          string
+	AppliedSeq          uint64
+	AckedSeq            uint64
+	Followers           int
+	LeaseExpired        bool
+	RecordsSent         uint64
+	BatchesSent         uint64
+	HeartbeatsSent      uint64
+	RecordsApplied      uint64
+	AcksSent            uint64
+	AcksReceived        uint64
+	SnapshotsShipped    uint64
+	SnapshotKeysShipped uint64
+	SnapshotLoads       uint64
+	Resyncs             uint64
+	Reconnects          uint64
+	AckTimeouts         uint64
+	Promotions          uint64
+}
+
+// ReplStats returns a snapshot of the node's counters.
+func (n *Node) ReplStats() Stats {
+	return Stats{
+		Role:                n.Role(),
+		Term:                n.Term(),
+		LeaderAddr:          n.LeaderAddr(),
+		AppliedSeq:          n.AppliedSeq(),
+		AckedSeq:            n.AckedSeq(),
+		Followers:           n.Followers(),
+		LeaseExpired:        n.LeaseExpired(),
+		RecordsSent:         n.c.recordsSent.Load(),
+		BatchesSent:         n.c.batchesSent.Load(),
+		HeartbeatsSent:      n.c.heartbeatsSent.Load(),
+		RecordsApplied:      n.c.recordsApplied.Load(),
+		AcksSent:            n.c.acksSent.Load(),
+		AcksReceived:        n.c.acksReceived.Load(),
+		SnapshotsShipped:    n.c.snapshotsShipped.Load(),
+		SnapshotKeysShipped: n.c.snapshotKeysShipped.Load(),
+		SnapshotLoads:       n.c.snapshotLoads.Load(),
+		Resyncs:             n.c.resyncs.Load(),
+		Reconnects:          n.c.reconnects.Load(),
+		AckTimeouts:         n.c.ackTimeouts.Load(),
+		Promotions:          n.c.promotions.Load(),
+	}
+}
+
+// MetricsHook folds the node's replication telemetry into a registry
+// snapshot (register with reg.AddHook(node.MetricsHook)). Series follow
+// the repl_* naming convention alongside the wal_*/snapshot_* families.
+func (n *Node) MetricsHook(s *metrics.Snapshot) {
+	st := n.ReplStats()
+	if st.Role == Leader {
+		s.Gauges["repl_is_leader"] = 1
+	} else {
+		s.Gauges["repl_is_leader"] = 0
+	}
+	s.Gauges["repl_term"] = float64(st.Term)
+	s.Gauges["repl_applied_seq"] = float64(st.AppliedSeq)
+	s.Gauges["repl_acked_seq"] = float64(st.AckedSeq)
+	s.Gauges["repl_followers_connected"] = float64(st.Followers)
+	// Lag: what a leader still has to ship (against its own log), or what
+	// a follower still has to apply (against the leader's commit horizon).
+	if st.Role == Leader {
+		last := n.store.LastSeq()
+		lag := float64(0)
+		if st.Followers > 0 && last > st.AckedSeq {
+			lag = float64(last - st.AckedSeq)
+		}
+		s.Gauges["repl_lag_records"] = lag
+	} else {
+		s.Gauges["repl_lag_records"] = float64(n.leaderCommit.Load()) - float64(st.AppliedSeq)
+	}
+	if st.LeaseExpired {
+		s.Gauges["repl_lease_expired"] = 1
+	} else {
+		s.Gauges["repl_lease_expired"] = 0
+	}
+	s.External["repl_records_sent_total"] += st.RecordsSent
+	s.External["repl_batches_sent_total"] += st.BatchesSent
+	s.External["repl_heartbeats_sent_total"] += st.HeartbeatsSent
+	s.External["repl_records_applied_total"] += st.RecordsApplied
+	s.External["repl_acks_sent_total"] += st.AcksSent
+	s.External["repl_acks_received_total"] += st.AcksReceived
+	s.External["repl_snapshots_shipped_total"] += st.SnapshotsShipped
+	s.External["repl_snapshot_keys_shipped_total"] += st.SnapshotKeysShipped
+	s.External["repl_snapshot_loads_total"] += st.SnapshotLoads
+	s.External["repl_resyncs_total"] += st.Resyncs
+	s.External["repl_reconnects_total"] += st.Reconnects
+	s.External["repl_ack_timeouts_total"] += st.AckTimeouts
+	s.External["repl_promotions_total"] += st.Promotions
+}

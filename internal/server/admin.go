@@ -80,14 +80,59 @@ func (s *Server) AdminHandler() http.Handler {
 			"wal_segments_gc": stats.SegmentsGC,
 		})
 	})
+	mux.HandleFunc("/promote", func(w http.ResponseWriter, r *http.Request) {
+		cl := s.cfg.Cluster
+		if cl == nil {
+			http.Error(w, "not part of a replication cluster", http.StatusNotFound)
+			return
+		}
+		p, ok := cl.(promoter)
+		if !ok {
+			http.Error(w, "cluster node cannot be promoted", http.StatusNotFound)
+			return
+		}
+		if r.Method != http.MethodPost {
+			w.Header().Set("Allow", http.MethodPost)
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		term, err := p.Promote()
+		if err != nil {
+			// Promoting a leader is idempotent from the operator's view:
+			// report the current state with a conflict code rather than
+			// flapping.
+			w.Header().Set("Content-Type", "application/json; charset=utf-8")
+			w.WriteHeader(http.StatusConflict)
+			json.NewEncoder(w).Encode(map[string]any{
+				"error": err.Error(),
+				"term":  term,
+			})
+			return
+		}
+		s.logf("server: promoted to leader (term %d)", term)
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		enc.Encode(map[string]any{
+			"role":   "leader",
+			"term":   term,
+			"leader": cl.LeaderAddr(),
+		})
+	})
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "bstserve admin: /healthz /readyz /metrics /debug/vars /checkpoint")
+		fmt.Fprintln(w, "bstserve admin: /healthz /readyz /metrics /debug/vars /checkpoint /promote")
 	})
 	return mux
+}
+
+// promoter is the optional promotion surface of a Cluster (repl.Node's
+// operator-driven failover entry point).
+type promoter interface {
+	Promote() (term uint64, err error)
 }
 
 // Ready reports whether the server should receive new traffic: nil when
@@ -117,6 +162,20 @@ type healthBody struct {
 	Counters   Counters          `json:"counters"`
 	Tree       treeHealth        `json:"tree"`
 	Durability *durabilityHealth `json:"durability,omitempty"`
+	Cluster    *clusterHealth    `json:"cluster,omitempty"`
+}
+
+// clusterHealth summarizes the replication control plane: who leads, how
+// far this node has applied, and (on a leader) how far followers have
+// acknowledged — the operator's promote/don't-promote dashboard.
+type clusterHealth struct {
+	Role         string `json:"role"`
+	Term         uint64 `json:"term"`
+	LeaderAddr   string `json:"leader_addr"`
+	AppliedSeq   uint64 `json:"applied_seq"`
+	AckedSeq     uint64 `json:"acked_seq"`
+	Followers    int    `json:"followers"`
+	LeaseExpired bool   `json:"lease_expired"`
 }
 
 // durabilityHealth summarizes the WAL's progress for operators: how far
@@ -165,6 +224,21 @@ func writeHealth(w http.ResponseWriter, code int, status string, s *Server) {
 			WALSegments:   ws.Segments,
 			ReplayedOps:   rs.ReplayedOps,
 			SnapshotKeys:  rs.SnapshotKeys,
+		}
+	}
+	if cl := s.cfg.Cluster; cl != nil {
+		role := "follower"
+		if cl.IsLeader() {
+			role = "leader"
+		}
+		body.Cluster = &clusterHealth{
+			Role:         role,
+			Term:         cl.Term(),
+			LeaderAddr:   cl.LeaderAddr(),
+			AppliedSeq:   cl.AppliedSeq(),
+			AckedSeq:     cl.AckedSeq(),
+			Followers:    cl.Followers(),
+			LeaseExpired: cl.LeaseExpired(),
 		}
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -30,6 +30,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"net"
@@ -40,6 +41,7 @@ import (
 	bst "repro"
 	"repro/internal/failpoint"
 	"repro/internal/metrics"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -65,6 +67,37 @@ type Store interface {
 	NewAccessor() bst.Accessor
 	Scan(from, to int64, yield func(key int64) bool)
 	Health() bst.Health
+}
+
+// Cluster is the replication control plane a server consults when it is
+// part of a WAL-shipping cluster (repl.Node implements it). All methods
+// must be safe for concurrent use. A nil Config.Cluster means standalone
+// serving — every check compiles down to one nil test.
+type Cluster interface {
+	// IsLeader reports whether this node currently takes writes.
+	IsLeader() bool
+	// LeaderAddr is the data address of the cluster's leader as this node
+	// knows it ("" when unknown); carried in StatusNotLeader redirects.
+	LeaderAddr() string
+	// Term is the current promotion term (diagnostics).
+	Term() uint64
+	// AppliedSeq is the newest WAL sequence reflected in this node's tree.
+	AppliedSeq() uint64
+	// AckedSeq is the newest sequence a follower has acknowledged
+	// (leader; 0 on followers).
+	AckedSeq() uint64
+	// WaitApplied blocks until AppliedSeq reaches seq or ctx is done —
+	// the read-your-writes gate behind OpLookupAt.
+	WaitApplied(ctx context.Context, seq uint64) error
+	// WaitReplicated blocks until a follower ack covers seq (semi-sync
+	// leaders; immediate nil otherwise). An error means the write must
+	// not be acknowledged yet — the server answers retryably instead.
+	WaitReplicated(ctx context.Context, seq uint64) error
+	// LeaseExpired reports a follower that has lost contact with its
+	// leader (health/readiness surface).
+	LeaseExpired() bool
+	// Followers is the number of connected replication subscribers.
+	Followers() int
 }
 
 // Config tunes a Server. One of Store or Tree is required; everything else
@@ -101,6 +134,11 @@ type Config struct {
 	// scrape shows tree contention and serving health side by side. When
 	// nil a private registry is created for the admin endpoint.
 	Metrics *metrics.Registry
+	// Cluster, when non-nil, makes the server role-aware: mutations on a
+	// follower answer StatusNotLeader with the leader's address, lookups
+	// can carry read-your-writes sequence floors (OpLookupAt), and write
+	// acknowledgements respect the cluster's semi-sync gate.
+	Cluster Cluster
 	// Failpoints wires the FP* sites for fault-injection tests. Leave nil
 	// in production.
 	Failpoints *failpoint.Set
@@ -130,6 +168,9 @@ type Counters struct {
 	Panics        uint64 // requests answered StatusInternal (recovered panics)
 	SlowReads     uint64 // connections dropped mid-frame by the read deadline
 	Drains        uint64 // Shutdown calls that completed
+	NotLeader     uint64 // writes redirected with StatusNotLeader (follower role)
+	ReplLag       uint64 // OpLookupAt requests answered StatusReplLag
+	ReplDegraded  uint64 // response windows degraded by a semi-sync ack timeout
 	InFlight      int64  // requests currently holding an admission slot
 	OpenConns     int64  // currently open connections
 	Draining      bool
@@ -149,6 +190,9 @@ type counters struct {
 	panics        atomic.Uint64
 	slowReads     atomic.Uint64
 	drains        atomic.Uint64
+	notLeader     atomic.Uint64
+	replLag       atomic.Uint64
+	replDegraded  atomic.Uint64
 	inFlight      atomic.Int64
 	openConns     atomic.Int64
 }
@@ -220,6 +264,9 @@ func New(cfg Config) *Server {
 		sn.External["server_panics_total"] += c.Panics
 		sn.External["server_slow_reads_total"] += c.SlowReads
 		sn.External["server_drains_total"] += c.Drains
+		sn.External["server_not_leader_total"] += c.NotLeader
+		sn.External["server_repl_lag_total"] += c.ReplLag
+		sn.External["server_repl_degraded_total"] += c.ReplDegraded
 		sn.Gauges["server_inflight_requests"] = float64(c.InFlight)
 		sn.Gauges["server_open_conns"] = float64(c.OpenConns)
 		if c.Draining {
@@ -247,6 +294,9 @@ func (s *Server) Counters() Counters {
 		Panics:        s.stats.panics.Load(),
 		SlowReads:     s.stats.slowReads.Load(),
 		Drains:        s.stats.drains.Load(),
+		NotLeader:     s.stats.notLeader.Load(),
+		ReplLag:       s.stats.replLag.Load(),
+		ReplDegraded:  s.stats.replDegraded.Load(),
 		InFlight:      s.stats.inFlight.Load(),
 		OpenConns:     s.stats.openConns.Load(),
 		Draining:      s.draining.Load(),
@@ -335,15 +385,39 @@ type connScratch struct {
 	res     []bst.OpResult
 }
 
+// ticketAccessor is the asynchronous-durability surface of a store's
+// accessor (durable.Tree's accessors implement it): mutations apply and
+// enqueue their WAL record but return a ticket instead of waiting for the
+// fsync, letting the connection batch one durability wait over a whole
+// window of pipelined operations.
+type ticketAccessor interface {
+	TryInsertTicket(key int64) (bool, wal.Ticket, error)
+	DeleteTicket(key int64) (bool, wal.Ticket, error)
+}
+
+// maxWindow bounds how many responses a connection defers before forcing
+// a flush, so a relentless pipeline still sees bounded ack latency.
+const maxWindow = 256
+
+// pendingResp is one deferred response: the encoded payload plus the WAL
+// sequence it would acknowledge (0 for reads and failed ops).
+type pendingResp struct {
+	payload []byte
+	seq     uint64
+}
+
 // handleConn serves one connection: a private accessor, a read loop with a
 // per-frame deadline, one response per request. Reads and writes both go
-// through bufio: a pipelined client's burst of frames is pulled out of the
-// kernel in one read, and the responses accumulate in the write buffer,
-// which is flushed only when the read buffer has no complete next request
-// — so a burst of n requests costs one syscall pair instead of n, while a
-// lone request still gets its response immediately (flush-on-idle).
-// Returning closes the connection and folds the accessor's state back into
-// the tree.
+// through bufio, and responses are *windowed*: each response is staged
+// with the WAL ticket of the mutation it acknowledges, and the window is
+// flushed when the read buffer has no complete next request (the moment
+// the client is actually waiting), when it reaches maxWindow, or on
+// poisoning. One flush waits once on the window's last WAL ticket — group
+// commits fsync in sequence order, so the last record durable implies
+// every earlier one is — and once on the cluster's semi-sync gate, so a
+// pipelined burst of n mutations pays one fsync wait and one replication
+// wait instead of n of each. Returning closes the connection and folds
+// the accessor's state back into the tree.
 func (s *Server) handleConn(c net.Conn) {
 	defer s.connWG.Done()
 	defer s.forgetConn(c)
@@ -357,6 +431,74 @@ func (s *Server) handleConn(c net.Conn) {
 	var scratch []byte
 	out := wire.GetBuf()
 	defer wire.PutBuf(out)
+
+	var (
+		win        []pendingResp
+		nwin       int
+		lastTicket wal.Ticket
+		maxSeq     uint64
+	)
+	stage := func(payload []byte, t wal.Ticket, seq uint64) {
+		if nwin < len(win) {
+			win[nwin].payload = append(win[nwin].payload[:0], payload...)
+			win[nwin].seq = seq
+		} else {
+			win = append(win, pendingResp{payload: append([]byte(nil), payload...), seq: seq})
+		}
+		nwin++
+		if !t.Empty() {
+			lastTicket = t
+		}
+		if seq > maxSeq {
+			maxSeq = seq
+		}
+	}
+	flushWin := func() bool {
+		if nwin == 0 {
+			return true
+		}
+		if !lastTicket.Empty() {
+			if _, err := lastTicket.Wait(); err != nil {
+				// Durability unknown for the window's mutations: acknowledge
+				// nothing and sever the connection — a dropped response is a
+				// retryable transport error to the client, never a false ack.
+				s.logf("server: wal wait: %v", err)
+				nwin = 0
+				return false
+			}
+		}
+		if cl := s.cfg.Cluster; cl != nil && maxSeq > 0 {
+			if err := cl.WaitReplicated(context.Background(), maxSeq); err != nil {
+				// Semi-sync degraded: rewrite every response whose sequence
+				// is not yet covered by a follower ack to StatusOverloaded
+				// (retryable — the op is applied and locally durable, but
+				// the cluster's ack contract isn't met). Covered responses
+				// ship unchanged.
+				acked := cl.AckedSeq()
+				for i := 0; i < nwin; i++ {
+					if win[i].seq > acked {
+						id := binary.BigEndian.Uint64(win[i].payload[:8])
+						win[i].payload = wire.AppendResponse(win[i].payload[:0],
+							wire.Response{ID: id, Status: wire.StatusOverloaded})
+					}
+				}
+				s.stats.replDegraded.Add(1)
+			}
+		}
+		c.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
+		for i := 0; i < nwin; i++ {
+			if wire.WriteFrame(bw, win[i].payload) != nil {
+				nwin = 0
+				return false
+			}
+		}
+		nwin, lastTicket, maxSeq = 0, wal.Ticket{}, 0
+		return bw.Flush() == nil
+	}
+	// Registered after bw.Flush's defer, so it runs first (LIFO): a drain
+	// interrupt mid-burst still flushes every staged response.
+	defer flushWin()
+
 	for {
 		if s.draining.Load() || s.closed.Load() {
 			return
@@ -381,33 +523,52 @@ func (s *Server) handleConn(c net.Conn) {
 			// The stream can no longer be trusted to be framed; answer
 			// and hang up.
 			s.stats.badRequests.Add(1)
+			if !flushWin() {
+				return
+			}
 			*out = wire.AppendResponse((*out)[:0], wire.Response{ID: req.ID, Status: wire.StatusBadRequest})
 			s.writeFrame(c, bw, *out, true)
 			return
 		}
 
 		var poisoned bool
+		var ticket wal.Ticket
+		var seq uint64
 		if req.Op == wire.OpBatch {
 			var results []wire.BatchResult
 			var st wire.Status
-			results, st, poisoned = s.dispatchBatch(acc, req, frame, &cs)
+			results, st, seq, poisoned = s.dispatchBatch(acc, req, frame, &cs)
 			if st == wire.StatusOK {
 				*out = wire.AppendBatchResponse((*out)[:0], req.ID, results)
 			} else {
-				*out = wire.AppendResponse((*out)[:0], wire.Response{ID: req.ID, Status: st})
+				resp := wire.Response{ID: req.ID, Status: st}
+				if st == wire.StatusNotLeader {
+					resp.Leader = s.leaderAddr()
+				}
+				*out = wire.AppendResponse((*out)[:0], resp)
 			}
 		} else {
 			var resp wire.Response
-			resp, poisoned = s.dispatch(acc, req)
+			resp, ticket, seq, poisoned = s.dispatch(acc, req)
 			*out = wire.AppendResponse((*out)[:0], resp)
 		}
+		stage(*out, ticket, seq)
 		// Flush only when no next request is already buffered: that is
 		// the moment the client is actually waiting on us.
-		flush := br.Buffered() == 0 || poisoned
-		if !s.writeFrame(c, bw, *out, flush) || poisoned {
-			return
+		if br.Buffered() == 0 || poisoned || nwin >= maxWindow {
+			if !flushWin() || poisoned {
+				return
+			}
 		}
 	}
+}
+
+// leaderAddr returns the cluster leader's data address ("" standalone).
+func (s *Server) leaderAddr() string {
+	if cl := s.cfg.Cluster; cl != nil {
+		return cl.LeaderAddr()
+	}
+	return ""
 }
 
 // writeFrame appends one framed payload to the connection's write buffer,
@@ -425,20 +586,32 @@ func (s *Server) writeFrame(c net.Conn, bw *bufio.Writer, payload []byte, flush 
 
 // dispatch runs one request through admission control, deadline handling
 // and the tree, translating every failure mode to its wire status.
-// poisoned reports that the handler panicked and the connection must close.
-func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Response, poisoned bool) {
+// poisoned reports that the handler panicked and the connection must
+// close. ticket/seq describe the mutation's WAL record when the accessor
+// supports asynchronous durability — the caller stages the response and
+// waits once per window.
+func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Response, ticket wal.Ticket, seq uint64, poisoned bool) {
 	resp.ID = req.ID
 	start := time.Now()
 
-	if req.Op < wire.OpInsert || req.Op > wire.OpRange {
+	validOp := req.Op >= wire.OpInsert && req.Op <= wire.OpRange || req.Op == wire.OpLookupAt
+	if !validOp {
 		s.stats.badRequests.Add(1)
 		resp.Status = wire.StatusBadRequest
-		return resp, false
+		return resp, ticket, 0, false
+	}
+	// Role gate: a follower refuses writes with a redirect to the leader
+	// instead of silently diverging from it. Reads (including OpLookupAt)
+	// are served from any role.
+	if cl := s.cfg.Cluster; cl != nil && !cl.IsLeader() && (req.Op == wire.OpInsert || req.Op == wire.OpDelete) {
+		s.stats.notLeader.Add(1)
+		resp.Status, resp.Leader = wire.StatusNotLeader, cl.LeaderAddr()
+		return resp, ticket, 0, false
 	}
 	if s.draining.Load() {
 		s.stats.drainRejected.Add(1)
 		resp.Status = wire.StatusDraining
-		return resp, false
+		return resp, ticket, 0, false
 	}
 
 	// Admission: take an in-flight token or shed. The bounded wait (0 by
@@ -449,7 +622,7 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 		if s.cfg.AdmissionWait <= 0 {
 			s.stats.shed.Add(1)
 			resp.Status = wire.StatusOverloaded
-			return resp, false
+			return resp, ticket, 0, false
 		}
 		t := time.NewTimer(s.cfg.AdmissionWait)
 		select {
@@ -458,7 +631,7 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 		case <-t.C:
 			s.stats.shed.Add(1)
 			resp.Status = wire.StatusOverloaded
-			return resp, false
+			return resp, ticket, 0, false
 		}
 	}
 	s.stats.inFlight.Add(1)
@@ -469,6 +642,7 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 			s.stats.panics.Add(1)
 			s.logf("server: panic serving %s(%d): %v", wire.OpName(req.Op), req.Key, p)
 			resp = wire.Response{ID: req.ID, Status: wire.StatusInternal}
+			ticket, seq = wal.Ticket{}, 0
 			poisoned = true
 		}
 	}()
@@ -490,8 +664,8 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 	ctx, cancel := context.WithDeadline(context.Background(), start.Add(budget))
 	defer cancel()
 
-	resp = s.execute(ctx, acc, req)
-	return resp, false
+	resp, ticket, seq = s.execute(ctx, acc, req)
+	return resp, ticket, seq, false
 }
 
 // dispatchBatch is dispatch for OpBatch frames: the whole frame passes
@@ -499,12 +673,15 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 // useful work per admission slot rather than competing for more slots) and
 // then executes through the accessor's batched operations. A non-OK status
 // applies to the whole batch and carries no per-op results; otherwise every
-// operation reports its own status.
-func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte, cs *connScratch) (results []wire.BatchResult, st wire.Status, poisoned bool) {
+// operation reports its own status. seq is the WAL horizon the batch's
+// mutations reached (0 when none) — the durability wait already happened
+// inside the batched accessor, but the semi-sync replication wait is the
+// window's.
+func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte, cs *connScratch) (results []wire.BatchResult, st wire.Status, seq uint64, poisoned bool) {
 	start := time.Now()
 	if s.draining.Load() {
 		s.stats.drainRejected.Add(1)
-		return nil, wire.StatusDraining, false
+		return nil, wire.StatusDraining, 0, false
 	}
 	ops, err := wire.DecodeBatchOps(frame, cs.ops[:0])
 	cs.ops = ops
@@ -512,7 +689,20 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 		// The frame boundary held — only the batch payload is malformed —
 		// so the connection survives, unlike an unframeable stream.
 		s.stats.badRequests.Add(1)
-		return nil, wire.StatusBadRequest, false
+		return nil, wire.StatusBadRequest, 0, false
+	}
+	mutates := false
+	for i := range ops {
+		if ops[i].Op == wire.OpInsert || ops[i].Op == wire.OpDelete {
+			mutates = true
+			break
+		}
+	}
+	// Role gate, same as the single-op path: lookup-only batches serve
+	// from any role, anything mutating redirects off a follower.
+	if cl := s.cfg.Cluster; cl != nil && !cl.IsLeader() && mutates {
+		s.stats.notLeader.Add(1)
+		return nil, wire.StatusNotLeader, 0, false
 	}
 
 	select {
@@ -520,7 +710,7 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 	default:
 		if s.cfg.AdmissionWait <= 0 {
 			s.stats.shed.Add(1)
-			return nil, wire.StatusOverloaded, false
+			return nil, wire.StatusOverloaded, 0, false
 		}
 		t := time.NewTimer(s.cfg.AdmissionWait)
 		select {
@@ -528,7 +718,7 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 			t.Stop()
 		case <-t.C:
 			s.stats.shed.Add(1)
-			return nil, wire.StatusOverloaded, false
+			return nil, wire.StatusOverloaded, 0, false
 		}
 	}
 	s.stats.inFlight.Add(1)
@@ -538,7 +728,7 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 		if p := recover(); p != nil {
 			s.stats.panics.Add(1)
 			s.logf("server: panic serving batch of %d ops: %v", len(ops), p)
-			results, st, poisoned = nil, wire.StatusInternal, true
+			results, st, seq, poisoned = nil, wire.StatusInternal, 0, true
 		}
 	}()
 	s.stats.requests.Add(1)
@@ -558,7 +748,15 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 	ctx, cancel := context.WithDeadline(context.Background(), start.Add(budget))
 	defer cancel()
 
-	return s.executeBatch(ctx, acc, ops, cs), wire.StatusOK, false
+	results = s.executeBatch(ctx, acc, ops, cs)
+	if mutates && s.cfg.Cluster != nil {
+		// Conservative horizon for the semi-sync gate: every record this
+		// batch logged has seq at or below the store's current last.
+		if ds, can := s.cfg.Store.(interface{ LastSeq() uint64 }); can {
+			seq = ds.LastSeq()
+		}
+	}
+	return results, wire.StatusOK, seq, false
 }
 
 // executeBatch runs a batch's operations in program order, carving the
@@ -626,17 +824,28 @@ func (s *Server) executeBatch(ctx context.Context, acc bst.Accessor, ops []wire.
 }
 
 // execute performs the tree operation under ctx. It assumes admission has
-// already been granted.
-func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request) wire.Response {
+// already been granted. For mutations on a ticket-capable accessor the
+// durability wait is deferred to the caller: the returned ticket/seq let
+// one window flush cover many operations.
+func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request) (wire.Response, wal.Ticket, uint64) {
 	resp := wire.Response{ID: req.ID}
+	var ticket wal.Ticket
+	var seq uint64
 	if ctx.Err() != nil {
 		s.stats.timeouts.Add(1)
 		resp.Status = wire.StatusDeadlineExceeded
-		return resp
+		return resp, ticket, 0
 	}
 	switch req.Op {
 	case wire.OpInsert:
-		ok, err := acc.TryInsert(req.Key)
+		var ok bool
+		var err error
+		if ta, can := acc.(ticketAccessor); can {
+			ok, ticket, err = ta.TryInsertTicket(req.Key)
+			seq = ticket.Seq()
+		} else {
+			ok, err = acc.TryInsert(req.Key)
+		}
 		switch {
 		case err == nil:
 			resp.Status, resp.OK = wire.StatusOK, ok
@@ -654,14 +863,55 @@ func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request
 		if !keyInRange(req.Key) {
 			s.stats.outOfRange.Add(1)
 			resp.Status = wire.StatusKeyOutOfRange
-			return resp
+			return resp, ticket, 0
 		}
-		resp.Status, resp.OK = wire.StatusOK, acc.Delete(req.Key)
+		if ta, can := acc.(ticketAccessor); can {
+			ok, t, err := ta.DeleteTicket(req.Key)
+			if err != nil {
+				s.stats.badRequests.Add(1)
+				resp.Status = wire.StatusBadRequest
+				return resp, wal.Ticket{}, 0
+			}
+			ticket, seq = t, t.Seq()
+			resp.Status, resp.OK = wire.StatusOK, ok
+		} else {
+			resp.Status, resp.OK = wire.StatusOK, acc.Delete(req.Key)
+		}
 	case wire.OpLookup:
 		if !keyInRange(req.Key) {
 			s.stats.outOfRange.Add(1)
 			resp.Status = wire.StatusKeyOutOfRange
-			return resp
+			return resp, ticket, 0
+		}
+		resp.Status, resp.OK = wire.StatusOK, acc.Contains(req.Key)
+	case wire.OpLookupAt:
+		// Read-your-writes: the client passes the last sequence acked to
+		// it; the lookup waits (bounded by the request deadline) until the
+		// local tree reflects it, and answers StatusReplLag rather than
+		// serve a provably stale read.
+		if !keyInRange(req.Key) {
+			s.stats.outOfRange.Add(1)
+			resp.Status = wire.StatusKeyOutOfRange
+			return resp, ticket, 0
+		}
+		if cl := s.cfg.Cluster; cl != nil {
+			if err := cl.WaitApplied(ctx, req.MinSeq); err != nil {
+				s.stats.replLag.Add(1)
+				resp.Status = wire.StatusReplLag
+				return resp, ticket, 0
+			}
+		} else if ds, can := s.cfg.Store.(interface{ LastSeq() uint64 }); can {
+			if ds.LastSeq() < req.MinSeq {
+				s.stats.replLag.Add(1)
+				resp.Status = wire.StatusReplLag
+				return resp, ticket, 0
+			}
+		} else if req.MinSeq > 0 {
+			// No sequence source at all (plain in-memory store): the floor
+			// cannot be proven, and lying would defeat the contract.
+			s.stats.replLag.Add(1)
+			resp.Status = wire.StatusReplLag
+			return resp, ticket, 0
 		}
 		resp.Status, resp.OK = wire.StatusOK, acc.Contains(req.Key)
 	case wire.OpRange:
@@ -687,7 +937,7 @@ func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request
 		if expired {
 			s.stats.timeouts.Add(1)
 			resp.Status = wire.StatusDeadlineExceeded
-			return resp
+			return resp, ticket, 0
 		}
 		resp.Status, resp.OK, resp.Keys = wire.StatusOK, true, keys
 	}
@@ -698,7 +948,7 @@ func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request
 		// non-idempotent observation. Count it for the operator.
 		s.stats.timeouts.Add(1)
 	}
-	return resp
+	return resp, ticket, seq
 }
 
 // keyInRange mirrors the public key bound (any int64 up to bst.MaxKey;

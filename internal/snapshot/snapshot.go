@@ -38,6 +38,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 )
 
 const (
@@ -276,9 +277,48 @@ func Load(path string, chunk int, fn func([]int64) error) (walSeq, count uint64,
 	return walSeq, n, nil
 }
 
+// pins is the process-local registry of snapshots currently being read —
+// a replication leader streaming a snapshot to a catching-up follower pins
+// its source file so a checkpoint finishing mid-stream cannot GC it out
+// from under the reader. Refcounted: the same snapshot may feed several
+// followers at once.
+var (
+	pinMu sync.Mutex
+	pins  = map[string]int{}
+)
+
+// Pin marks the snapshot at path as in-use and returns its release
+// function (idempotent). GC skips pinned snapshots; callers pin between
+// List (choosing a snapshot) and the end of Load (streaming it) — the
+// window in which a concurrent checkpoint could otherwise supersede and
+// remove it.
+func Pin(path string) (release func()) {
+	key := filepath.Clean(path)
+	pinMu.Lock()
+	pins[key]++
+	pinMu.Unlock()
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			pinMu.Lock()
+			if pins[key]--; pins[key] <= 0 {
+				delete(pins, key)
+			}
+			pinMu.Unlock()
+		})
+	}
+}
+
+func isPinned(path string) bool {
+	pinMu.Lock()
+	defer pinMu.Unlock()
+	return pins[filepath.Clean(path)] > 0
+}
+
 // GC removes snapshots superseded by the one at keepWALSeq (strictly older
-// horizons) and any stale .tmp files left by crashed checkpoints. Returns
-// the number of files removed.
+// horizons) and any stale .tmp files left by crashed checkpoints. Pinned
+// snapshots (see Pin) are skipped and picked up by a later GC once
+// released. Returns the number of files removed.
 func GC(dir string, keepWALSeq uint64) (int, error) {
 	removed := 0
 	ents, err := List(dir)
@@ -286,7 +326,7 @@ func GC(dir string, keepWALSeq uint64) (int, error) {
 		return 0, err
 	}
 	for _, e := range ents {
-		if e.WALSeq >= keepWALSeq {
+		if e.WALSeq >= keepWALSeq || isPinned(e.Path) {
 			continue
 		}
 		if err := os.Remove(e.Path); err != nil {

@@ -60,6 +60,11 @@ var (
 	ErrCorrupt   = errors.New("wal: corrupt frame")
 )
 
+// AppendFrame appends r's on-disk frame encoding to dst — the same bytes
+// an append writes to a segment. Replication catch-up uses it to re-frame
+// records read back via Replay so the stream format matches the live tap.
+func AppendFrame(dst []byte, r Record) []byte { return appendRecord(dst, r) }
+
 // appendRecord appends r's frame encoding to dst and returns it.
 func appendRecord(dst []byte, r Record) []byte {
 	var payload [recordLen]byte

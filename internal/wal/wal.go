@@ -120,6 +120,13 @@ type Options struct {
 	// Logf, when non-nil, receives one line per notable event (torn-tail
 	// truncation, segment rotation, GC).
 	Logf func(format string, args ...any)
+	// Tap, when non-nil, receives every flushed run of frames right after
+	// they hit the segment file (before the fsync, so replication shipping
+	// overlaps the disk wait): the verbatim frame bytes and the sequence
+	// range they cover. Called from the flusher goroutine with internal
+	// locks held — the tap must be fast and must not retain frames past the
+	// call (the buffer is recycled).
+	Tap func(frames []byte, firstSeq, lastSeq uint64)
 }
 
 // Stats is a point-in-time snapshot of the log's counters. Monotonic
@@ -322,6 +329,67 @@ func (l *Log) LastSeq() uint64 {
 	return l.nextSeq - 1
 }
 
+// DurableSeq returns the newest sequence number known fsynced (under
+// SyncInterval/SyncNone it advances only when an fsync actually happens).
+func (l *Log) DurableSeq() uint64 { return l.durableSeq.Load() }
+
+// FirstSeq returns the sequence number of the oldest record the log still
+// retains (the first segment's first record). Records below it have been
+// garbage-collected by a checkpoint; a replication subscriber that needs
+// them must catch up from a snapshot instead.
+func (l *Log) FirstSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.segments) == 0 {
+		return l.nextSeq
+	}
+	return l.segments[0].firstSeq
+}
+
+// SkipTo advances an empty log so its next record is assigned seq+1,
+// replacing the empty active segment with one named for the new floor (a
+// segment's name must match its first record for chain validation). A
+// follower that bulk-loads a shipped snapshot covering walSeq calls this
+// so its local log numbering continues the leader's. It refuses a log that
+// has ever assigned a sequence number.
+func (l *Log) SkipTo(seq uint64) error {
+	l.flushMu.Lock()
+	defer l.flushMu.Unlock()
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return errClosed
+	}
+	if l.err != nil {
+		err := l.err
+		l.mu.Unlock()
+		return err
+	}
+	if l.nextSeq != 1 || len(l.buf) > 0 || len(l.segments) != 1 {
+		l.mu.Unlock()
+		return errors.New("wal: SkipTo on a non-empty log")
+	}
+	if seq == 0 {
+		l.mu.Unlock()
+		return nil
+	}
+	old := l.segments[0]
+	l.segments = l.segments[:0]
+	l.nextSeq = seq + 1
+	l.mu.Unlock()
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: skip-to close: %w", err)
+	}
+	if err := os.Remove(old.path); err != nil {
+		return fmt.Errorf("wal: skip-to remove: %w", err)
+	}
+	if err := l.createSegmentLocked(seq + 1); err != nil {
+		return err
+	}
+	l.durableSeq.Store(seq)
+	return nil
+}
+
 // Stats returns a snapshot of the log's counters.
 func (l *Log) Stats() Stats {
 	l.mu.Lock()
@@ -394,14 +462,21 @@ var errClosed = errors.New("wal: log closed")
 // enqueue).
 func (t Ticket) Seq() uint64 { return t.seq }
 
+// Empty reports whether the ticket is the zero value — no record was
+// enqueued, so there is nothing to wait for. Batched-ack paths that track
+// "the last ticket of a window" use it to skip the wait on all-read
+// windows.
+func (t Ticket) Empty() bool { return t.l == nil && t.err == nil }
+
 // Wait blocks until the ticket's record is durable under the log's sync
 // policy and returns the sequence number. Under SyncInterval and SyncNone
-// buffering is already "durable enough" and Wait returns immediately.
+// buffering is already "durable enough" and Wait returns immediately. A
+// zero Ticket waits for nothing and returns (0, nil).
 func (t Ticket) Wait() (uint64, error) {
 	if t.err != nil {
 		return 0, t.err
 	}
-	if t.l.opts.Sync != SyncFsync {
+	if t.l == nil || t.l.opts.Sync != SyncFsync {
 		return t.seq, nil
 	}
 	<-t.b.done
@@ -492,6 +567,9 @@ func (l *Log) flushOnce(sync bool) {
 		l.fileSize += int64(len(buf))
 		l.bytesWritten.Add(uint64(len(buf)))
 		l.needSync = true
+		if l.opts.Tap != nil && b != nil {
+			l.opts.Tap(buf, firstSeq, b.lastSeq)
+		}
 	}
 	if b != nil {
 		l.groups.Add(1)
@@ -576,9 +654,13 @@ func (l *Log) Sync() error {
 }
 
 // Replay streams every record with sequence number strictly greater than
-// after, in order, to fn. It must be called before the first Append (the
-// durable layer replays during recovery, then serves); fn returning an
-// error aborts the replay.
+// after, in order, to fn. The durable layer calls it before the first
+// Append (recovery replays, then serves); replication catch-up also calls
+// it on a live log, where it observes a consistent prefix — a frame still
+// being written looks like a torn tail and is skipped, and the caller
+// resumes from the last sequence it saw. A segment GC'd mid-replay
+// surfaces as a read error; the caller falls back to snapshot catch-up.
+// fn returning an error aborts the replay.
 func (l *Log) Replay(after uint64, fn func(Record) error) error {
 	l.mu.Lock()
 	segs := append([]segInfo(nil), l.segments...)

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// Fuzz targets for the replication frame decoders, holding them to the
+// same two properties as the data-plane targets: never panic or
+// over-allocate on arbitrary bytes, and on accept be consistent with the
+// encoder (decode∘encode∘decode is the identity).
+
+// replDecodeErrOK reports whether a replication decoder's rejection is one
+// of the declared error classes.
+func replDecodeErrOK(err error) bool {
+	return errors.Is(err, ErrTruncated) || errors.Is(err, ErrWrongKind) || errors.Is(err, ErrBadReplFrame)
+}
+
+func FuzzDecodeReplSubscribe(f *testing.F) {
+	f.Add(AppendReplSubscribe(nil, Subscribe{FromSeq: 42, Term: 3}))
+	f.Add(AppendReplSubscribe(nil, Subscribe{}))
+	f.Add(AppendReplSubscribe(nil, Subscribe{FromSeq: 1})[:9])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := DecodeReplSubscribe(data)
+		if err != nil {
+			if !replDecodeErrOK(err) {
+				t.Fatalf("DecodeReplSubscribe: unexpected error class %v", err)
+			}
+			return
+		}
+		s2, err := DecodeReplSubscribe(AppendReplSubscribe(nil, s))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded subscribe: %v", err)
+		}
+		if s2 != s {
+			t.Fatalf("round trip changed the subscribe: %+v -> %+v", s, s2)
+		}
+	})
+}
+
+func FuzzDecodeReplFrames(f *testing.F) {
+	f.Add(AppendReplFrames(nil, FrameBatch{Term: 1, CommitSeq: 9, Addr: "127.0.0.1:9000"}))
+	f.Add(AppendReplFrames(nil, FrameBatch{Term: 2, CommitSeq: 10, Addr: "h:1", N: 1, Frames: make([]byte, 25)}))
+	f.Add(AppendReplFrames(nil, FrameBatch{Addr: ""})[:18])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		b, err := DecodeReplFrames(data)
+		if err != nil {
+			if !replDecodeErrOK(err) {
+				t.Fatalf("DecodeReplFrames: unexpected error class %v", err)
+			}
+			return
+		}
+		if len(b.Frames) > len(data) {
+			t.Fatalf("decoder conjured %d frame bytes from %d input bytes", len(b.Frames), len(data))
+		}
+		b2, err := DecodeReplFrames(AppendReplFrames(nil, b))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded frame batch: %v", err)
+		}
+		if b2.Term != b.Term || b2.CommitSeq != b.CommitSeq || b2.Addr != b.Addr ||
+			b2.N != b.N || !reflect.DeepEqual(b2.Frames, b.Frames) {
+			t.Fatalf("round trip changed the frame batch: %+v -> %+v", b, b2)
+		}
+	})
+}
+
+func FuzzDecodeReplAck(f *testing.F) {
+	f.Add(AppendReplAck(nil, Ack{AppliedSeq: 100, DurableSeq: 90}))
+	f.Add(AppendReplAck(nil, Ack{}))
+	f.Add(AppendReplAck(nil, Ack{AppliedSeq: 7})[:10])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeReplAck(data)
+		if err != nil {
+			if !replDecodeErrOK(err) {
+				t.Fatalf("DecodeReplAck: unexpected error class %v", err)
+			}
+			return
+		}
+		a2, err := DecodeReplAck(AppendReplAck(nil, a))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded ack: %v", err)
+		}
+		if a2 != a {
+			t.Fatalf("round trip changed the ack: %+v -> %+v", a, a2)
+		}
+	})
+}
+
+func FuzzDecodeReplSnapshot(f *testing.F) {
+	f.Add(AppendReplSnapshot(nil, SnapshotChunk{WALSeq: 5, Keys: []int64{-3, 1, 9}}))
+	f.Add(AppendReplSnapshot(nil, SnapshotChunk{WALSeq: 5, Final: true}))
+	f.Add([]byte{ReplSnapshot, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0xff, 0xff, 0xff, 0xff}) // huge key count
+	f.Fuzz(func(t *testing.T, data []byte) {
+		c, err := DecodeReplSnapshot(data)
+		if err != nil {
+			if !replDecodeErrOK(err) {
+				t.Fatalf("DecodeReplSnapshot: unexpected error class %v", err)
+			}
+			return
+		}
+		if len(c.Keys) > len(data)/8 {
+			t.Fatalf("decoded %d keys out of a %d-byte frame", len(c.Keys), len(data))
+		}
+		c2, err := DecodeReplSnapshot(AppendReplSnapshot(nil, c))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded chunk: %v", err)
+		}
+		if c2.WALSeq != c.WALSeq || c2.Final != c.Final || !reflect.DeepEqual(c2.Keys, c.Keys) {
+			t.Fatalf("round trip changed the chunk: %+v -> %+v", c, c2)
+		}
+	})
+}

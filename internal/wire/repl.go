@@ -1,0 +1,283 @@
+// Replication frame kinds (internal/repl's leader↔follower stream).
+//
+// Replication runs on a dedicated connection, separate from the data
+// plane, but shares the same uint32-length framing (ReadFrame/WriteFrame)
+// and the same op/kind byte namespace so a frame can never be mistaken
+// for a data-plane request. The stream is asymmetric:
+//
+//	follower → leader   ReplSubscribe   once, right after dialing
+//	leader  → follower  ReplSnapshot*   catch-up chunks (only when the
+//	                                    follower is behind the leader's
+//	                                    oldest retained WAL record)
+//	leader  → follower  ReplFrames*     committed WAL frames; an empty
+//	                                    batch (n = 0) is a heartbeat
+//	follower → leader   ReplAck*        cumulative applied/durable seqs
+//
+// A ReplFrames payload carries the leader's term and advertised data
+// address on every frame, heartbeats included, so followers always know
+// who to redirect clients to and can adopt a newer term the moment it
+// appears.
+//
+// Payload formats, all integers big-endian, each starting with its kind
+// byte:
+//
+//	ReplSubscribe:
+//	  uint64 fromSeq   every record with seq ≤ fromSeq is already applied
+//	  uint64 term      highest term the follower has observed
+//
+//	ReplFrames:
+//	  uint64 term
+//	  uint64 commitSeq       leader's durable sequence number
+//	  uint16 addrLen, addr   leader's advertised data address
+//	  uint32 n               WAL frames that follow (0 = heartbeat)
+//	  bytes  frames          n verbatim on-disk WAL frames
+//
+//	ReplAck:
+//	  uint64 appliedSeq      newest record applied to the follower's tree
+//	  uint64 durableSeq      newest record fsynced by the follower's WAL
+//
+//	ReplSnapshot:
+//	  uint64 walSeq    horizon the snapshot covers
+//	  uint8  final     1 on the last chunk
+//	  uint32 n         keys in this chunk
+//	  n × int64 keys   strictly ascending within and across chunks
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Replication frame kinds, continuing the operation byte namespace.
+const (
+	ReplSubscribe uint8 = 6
+	ReplFrames    uint8 = 7
+	ReplAck       uint8 = 8
+	ReplSnapshot  uint8 = 9
+)
+
+// MaxReplAddr bounds the advertised-address string inside a ReplFrames
+// payload; anything longer is a protocol error, not a real address.
+const MaxReplAddr = 256
+
+// MaxSnapshotChunk bounds the keys one ReplSnapshot chunk may carry, sized
+// so a full chunk stays inside MaxFrame.
+const MaxSnapshotChunk = (MaxFrame - 64) / 8
+
+// Replication frame-shape errors.
+var (
+	ErrBadReplFrame = errors.New("wire: malformed replication frame")
+	ErrWrongKind    = errors.New("wire: unexpected frame kind")
+)
+
+// ReplKindName returns a human-readable name for a replication frame kind.
+func ReplKindName(kind uint8) string {
+	switch kind {
+	case ReplSubscribe:
+		return "repl-subscribe"
+	case ReplFrames:
+		return "repl-frames"
+	case ReplAck:
+		return "repl-ack"
+	case ReplSnapshot:
+		return "repl-snapshot"
+	default:
+		return fmt.Sprintf("repl-kind(%d)", kind)
+	}
+}
+
+// ReplKind returns the kind byte of a replication payload without decoding
+// the rest, so a receive loop can dispatch.
+func ReplKind(frame []byte) (uint8, error) {
+	if len(frame) < 1 {
+		return 0, ErrTruncated
+	}
+	return frame[0], nil
+}
+
+// Subscribe is a decoded ReplSubscribe payload.
+type Subscribe struct {
+	FromSeq uint64 // follower has applied every record with seq ≤ FromSeq
+	Term    uint64 // highest term the follower has observed
+}
+
+// AppendReplSubscribe appends a ReplSubscribe payload to dst.
+func AppendReplSubscribe(dst []byte, s Subscribe) []byte {
+	dst = append(dst, ReplSubscribe)
+	dst = binary.BigEndian.AppendUint64(dst, s.FromSeq)
+	dst = binary.BigEndian.AppendUint64(dst, s.Term)
+	return dst
+}
+
+// DecodeReplSubscribe decodes a ReplSubscribe payload.
+func DecodeReplSubscribe(frame []byte) (Subscribe, error) {
+	var s Subscribe
+	if len(frame) != 1+8+8 {
+		return s, ErrTruncated
+	}
+	if frame[0] != ReplSubscribe {
+		return s, ErrWrongKind
+	}
+	s.FromSeq = binary.BigEndian.Uint64(frame[1:9])
+	s.Term = binary.BigEndian.Uint64(frame[9:17])
+	return s, nil
+}
+
+// FrameBatch is a decoded ReplFrames payload. Frames aliases the input
+// buffer and is valid only until the buffer's next reuse; N is the number
+// of WAL frames the sender claims Frames holds (the receiver walks them
+// with wal.DecodeFrame, which validates each frame's own CRC).
+type FrameBatch struct {
+	Term      uint64
+	CommitSeq uint64 // leader's durable sequence number
+	Addr      string // leader's advertised data address
+	N         uint32 // WAL frames in Frames; 0 = heartbeat
+	Frames    []byte // verbatim on-disk WAL frames
+}
+
+// AppendReplFrames appends a ReplFrames payload to dst. It panics when the
+// address exceeds MaxReplAddr — addresses are operator configuration, not
+// attacker input, on the encoding side.
+func AppendReplFrames(dst []byte, b FrameBatch) []byte {
+	if len(b.Addr) > MaxReplAddr {
+		panic(ErrBadReplFrame)
+	}
+	dst = append(dst, ReplFrames)
+	dst = binary.BigEndian.AppendUint64(dst, b.Term)
+	dst = binary.BigEndian.AppendUint64(dst, b.CommitSeq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b.Addr)))
+	dst = append(dst, b.Addr...)
+	dst = binary.BigEndian.AppendUint32(dst, b.N)
+	return append(dst, b.Frames...)
+}
+
+// DecodeReplFrames decodes a ReplFrames payload. The returned Frames slice
+// aliases frame.
+func DecodeReplFrames(frame []byte) (FrameBatch, error) {
+	var b FrameBatch
+	if len(frame) < 1+8+8+2 {
+		return b, ErrTruncated
+	}
+	if frame[0] != ReplFrames {
+		return b, ErrWrongKind
+	}
+	b.Term = binary.BigEndian.Uint64(frame[1:9])
+	b.CommitSeq = binary.BigEndian.Uint64(frame[9:17])
+	alen := int(binary.BigEndian.Uint16(frame[17:19]))
+	if alen > MaxReplAddr {
+		return b, ErrBadReplFrame
+	}
+	rest := frame[19:]
+	if len(rest) < alen+4 {
+		return b, ErrTruncated
+	}
+	b.Addr = string(rest[:alen])
+	b.N = binary.BigEndian.Uint32(rest[alen:])
+	b.Frames = rest[alen+4:]
+	if b.N == 0 && len(b.Frames) != 0 {
+		return b, ErrBadReplFrame
+	}
+	// A WAL frame is at least its 8-byte header plus a 17-byte record, so a
+	// claimed count the bytes cannot possibly hold is rejected here rather
+	// than surfacing as a confusing CRC error in the apply loop.
+	if uint64(len(b.Frames)) < uint64(b.N)*8 {
+		return b, ErrBadReplFrame
+	}
+	return b, nil
+}
+
+// Ack is a decoded ReplAck payload. Both sequences are cumulative: one ack
+// covers every record at or below it, which is what lets a follower
+// acknowledge a whole window of frames with a single frame (see
+// internal/repl — the ack window is the replication analogue of the WAL's
+// group commit).
+type Ack struct {
+	AppliedSeq uint64
+	DurableSeq uint64
+}
+
+// AppendReplAck appends a ReplAck payload to dst.
+func AppendReplAck(dst []byte, a Ack) []byte {
+	dst = append(dst, ReplAck)
+	dst = binary.BigEndian.AppendUint64(dst, a.AppliedSeq)
+	dst = binary.BigEndian.AppendUint64(dst, a.DurableSeq)
+	return dst
+}
+
+// DecodeReplAck decodes a ReplAck payload.
+func DecodeReplAck(frame []byte) (Ack, error) {
+	var a Ack
+	if len(frame) != 1+8+8 {
+		return a, ErrTruncated
+	}
+	if frame[0] != ReplAck {
+		return a, ErrWrongKind
+	}
+	a.AppliedSeq = binary.BigEndian.Uint64(frame[1:9])
+	a.DurableSeq = binary.BigEndian.Uint64(frame[9:17])
+	return a, nil
+}
+
+// SnapshotChunk is a decoded ReplSnapshot payload: one slice of a
+// snapshot's ascending key stream. Keys is freshly allocated (the apply
+// side retains chunks while the bulk load runs).
+type SnapshotChunk struct {
+	WALSeq uint64
+	Final  bool
+	Keys   []int64
+}
+
+// AppendReplSnapshot appends a ReplSnapshot payload to dst. It panics when
+// keys exceed MaxSnapshotChunk (the sender chunks before encoding).
+func AppendReplSnapshot(dst []byte, c SnapshotChunk) []byte {
+	if len(c.Keys) > MaxSnapshotChunk {
+		panic(ErrBadReplFrame)
+	}
+	dst = append(dst, ReplSnapshot)
+	dst = binary.BigEndian.AppendUint64(dst, c.WALSeq)
+	var fin byte
+	if c.Final {
+		fin = 1
+	}
+	dst = append(dst, fin)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(len(c.Keys)))
+	for _, k := range c.Keys {
+		dst = binary.BigEndian.AppendUint64(dst, uint64(k))
+	}
+	return dst
+}
+
+// DecodeReplSnapshot decodes a ReplSnapshot payload.
+func DecodeReplSnapshot(frame []byte) (SnapshotChunk, error) {
+	var c SnapshotChunk
+	if len(frame) < 1+8+1+4 {
+		return c, ErrTruncated
+	}
+	if frame[0] != ReplSnapshot {
+		return c, ErrWrongKind
+	}
+	c.WALSeq = binary.BigEndian.Uint64(frame[1:9])
+	switch frame[9] {
+	case 0:
+	case 1:
+		c.Final = true
+	default:
+		return c, ErrBadReplFrame
+	}
+	n := binary.BigEndian.Uint32(frame[10:14])
+	if n > MaxSnapshotChunk {
+		return c, ErrBadReplFrame
+	}
+	rest := frame[14:]
+	if uint64(len(rest)) != uint64(n)*8 {
+		return c, ErrTruncated
+	}
+	if n > 0 {
+		c.Keys = make([]int64, n)
+		for i := range c.Keys {
+			c.Keys[i] = int64(binary.BigEndian.Uint64(rest[i*8:]))
+		}
+	}
+	return c, nil
+}

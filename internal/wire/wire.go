@@ -71,6 +71,15 @@ const (
 	OpLookup uint8 = 3 // Contains(key); ok = present
 	OpRange  uint8 = 4 // keys in [key, to], at most limit
 	OpBatch  uint8 = 5 // up to MaxBatchOps point ops, per-op status
+
+	// 6–9 are the replication frame kinds (see repl.go); they never appear
+	// as data-plane request ops.
+
+	// OpLookupAt is Contains with a sequence floor: the request's payload
+	// extends the base request with a uint64 minSeq, and the server blocks
+	// until its applied sequence reaches minSeq (read-your-writes on a
+	// follower) or the deadline expires (StatusReplLag).
+	OpLookupAt uint8 = 10
 )
 
 // MaxBatchOps bounds the operations one OpBatch frame may carry. At 9
@@ -92,6 +101,8 @@ func OpName(op uint8) string {
 		return "range"
 	case OpBatch:
 		return "batch"
+	case OpLookupAt:
+		return "lookup-at"
 	default:
 		return fmt.Sprintf("op(%d)", op)
 	}
@@ -130,6 +141,12 @@ const (
 	// StatusInternal: the handler panicked; the request's effect is
 	// unknown and the connection is poisoned and will close.
 	StatusInternal
+	// StatusNotLeader: this replica is a follower and refuses writes; the
+	// response's leader-address tail names who to talk to. Retry there.
+	StatusNotLeader
+	// StatusReplLag: an OpLookupAt's sequence floor was not reached before
+	// the deadline — the follower is lagging. Retry, or read the leader.
+	StatusReplLag
 )
 
 func (s Status) String() string {
@@ -150,6 +167,10 @@ func (s Status) String() string {
 		return "bad-request"
 	case StatusInternal:
 		return "internal"
+	case StatusNotLeader:
+		return "not-leader"
+	case StatusReplLag:
+		return "repl-lag"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -170,6 +191,7 @@ type Request struct {
 	Key        int64
 	To         int64  // OpRange only
 	Limit      uint32 // OpRange only; 0 = server default
+	MinSeq     uint64 // OpLookupAt only: applied-sequence floor
 }
 
 // Response is one decoded response frame.
@@ -178,6 +200,7 @@ type Response struct {
 	Status Status
 	OK     bool
 	Keys   []int64 // OpRange results
+	Leader string  // StatusNotLeader only: the leader's data address
 }
 
 // Frame-shape errors.
@@ -189,9 +212,10 @@ var (
 )
 
 const (
-	reqBaseLen  = 8 + 1 + 4 + 8 // id, op, deadline, key
-	reqRangeLen = reqBaseLen + 8 + 4
-	respBaseLen = 8 + 1 + 1 // id, status, ok
+	reqBaseLen   = 8 + 1 + 4 + 8 // id, op, deadline, key
+	reqRangeLen  = reqBaseLen + 8 + 4
+	reqMinSeqLen = reqBaseLen + 8
+	respBaseLen  = 8 + 1 + 1 // id, status, ok
 )
 
 // AppendRequest appends q's payload encoding to dst and returns it.
@@ -203,6 +227,9 @@ func AppendRequest(dst []byte, q Request) []byte {
 	if q.Op == OpRange {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(q.To))
 		dst = binary.BigEndian.AppendUint32(dst, q.Limit)
+	}
+	if q.Op == OpLookupAt {
+		dst = binary.BigEndian.AppendUint64(dst, q.MinSeq)
 	}
 	return dst
 }
@@ -224,6 +251,12 @@ func DecodeRequest(frame []byte) (Request, error) {
 		q.To = int64(binary.BigEndian.Uint64(frame[21:29]))
 		q.Limit = binary.BigEndian.Uint32(frame[29:33])
 	}
+	if q.Op == OpLookupAt {
+		if len(frame) < reqMinSeqLen {
+			return q, ErrTruncated
+		}
+		q.MinSeq = binary.BigEndian.Uint64(frame[21:29])
+	}
 	return q, nil
 }
 
@@ -236,6 +269,17 @@ func AppendResponse(dst []byte, p Response) []byte {
 		ok = 1
 	}
 	dst = append(dst, ok)
+	if p.Status == StatusNotLeader {
+		// The redirect tail replaces the keys tail: a NotLeader response
+		// never carries keys, and the status byte tells the decoder which
+		// shape follows.
+		addr := p.Leader
+		if len(addr) > MaxReplAddr {
+			addr = addr[:MaxReplAddr]
+		}
+		dst = binary.BigEndian.AppendUint16(dst, uint16(len(addr)))
+		return append(dst, addr...)
+	}
 	if p.Keys != nil {
 		dst = binary.BigEndian.AppendUint32(dst, uint32(len(p.Keys)))
 		for _, k := range p.Keys {
@@ -254,6 +298,19 @@ func DecodeResponse(frame []byte) (Response, error) {
 	p.ID = binary.BigEndian.Uint64(frame[0:8])
 	p.Status = Status(frame[8])
 	p.OK = frame[9] != 0
+	if p.Status == StatusNotLeader {
+		rest := frame[respBaseLen:]
+		if len(rest) < 2 {
+			return p, ErrTruncated
+		}
+		n := int(binary.BigEndian.Uint16(rest))
+		rest = rest[2:]
+		if n > MaxReplAddr || len(rest) != n {
+			return p, ErrTruncated
+		}
+		p.Leader = string(rest)
+		return p, nil
+	}
 	if len(frame) > respBaseLen {
 		rest := frame[respBaseLen:]
 		if len(rest) < 4 {
