@@ -9,17 +9,19 @@
 # recover, audit every acked mutation, clock a 1M-key recovery), the
 # failover-stress replication gate (kill -9 a semi-sync leader mid-load,
 # promote the follower, audit every acked mutation on the new leader), a
-# fuzz smoke over the wire-frame and WAL-record decoders, and a short
+# fuzz smoke over the wire-frame and WAL-record decoders, the tracing
+# overhead gate (flight recorder installed with sampling off must stay
+# within 1% of untraced, sampled hot path must not allocate), and a short
 # durable benchmark cell (BENCH_durable_smoke.json).
 
 GO ?= go
 
 .PHONY: ci fmt-check vet build test race serve-smoke batch-stress \
-	crash-stress failover-stress fuzz-smoke bench-durable-smoke stress \
-	clean-data
+	crash-stress failover-stress fuzz-smoke trace-overhead \
+	bench-durable-smoke stress clean-data
 
 ci: fmt-check vet build test race serve-smoke batch-stress crash-stress \
-	failover-stress fuzz-smoke bench-durable-smoke
+	failover-stress fuzz-smoke trace-overhead bench-durable-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -82,6 +84,15 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplAck$$' -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplSnapshot$$' -fuzztime 5s
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s
+
+# The tracing overhead gate, both halves: with a recorder installed but
+# sampling off, a fig4 smoke cell must hold ≥99% of untraced throughput
+# (interleaved A/B pairs, medians, escalating retries for noisy hosts);
+# and the sampled hot path — request root, child spans, ring flush, phase
+# fold — must run with zero heap allocations.
+trace-overhead:
+	BST_TRACE_OVERHEAD=1 $(GO) test ./internal/rtrace \
+		-run '^(TestTraceOverheadGate|TestSampledPathAllocs)$$' -count=1 -v
 
 # One small durable-overhead table (in-memory vs none/interval/fsync);
 # the JSON lands in BENCH_durable_smoke.json for the CI artifact upload.

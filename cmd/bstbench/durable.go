@@ -9,6 +9,7 @@ import (
 	"repro/internal/durable"
 	"repro/internal/harness"
 	"repro/internal/keys"
+	"repro/internal/rtrace"
 	"repro/internal/stats"
 	"repro/internal/wal"
 	"repro/internal/workload"
@@ -42,7 +43,7 @@ func (a setAccessor) Delete(u uint64) bool { return a.a.Delete(keys.Unmap(u)) }
 
 // runDurableCell measures one (policy × cfg) cell: reps fresh stores, each
 // on a fresh data dir.
-func runDurableCell(policy string, cfg harness.Config, reps int) ([]float64, cellJSON) {
+func runDurableCell(policy string, cfg harness.Config, reps, traceSample int) ([]float64, cellJSON) {
 	cell := cellJSON{
 		Algorithm:  harness.TargetNM,
 		SyncPolicy: policy,
@@ -55,14 +56,21 @@ func runDurableCell(policy string, cfg harness.Config, reps int) ([]float64, cel
 	for i := 0; i < reps; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + uint64(i)*1_000_003
-		runs = append(runs, durableRep(policy, c))
+		var rec *rtrace.Recorder
+		if traceSample > 0 {
+			rec = rtrace.New(rtrace.Options{SampleEvery: traceSample})
+		}
+		runs = append(runs, durableRep(policy, c, rec))
+		if rec != nil {
+			cell.addTracePhases(rec.Phases())
+		}
 	}
 	cell.OpsPerSec = runs
 	cell.MedianOpsPerSec = stats.Median(runs)
 	return runs, cell
 }
 
-func durableRep(policy string, cfg harness.Config) float64 {
+func durableRep(policy string, cfg harness.Config, rec *rtrace.Recorder) float64 {
 	treeOpts := []bst.Option{bst.WithCapacity(1 << 22)}
 	if cfg.Reclaim {
 		treeOpts = append(treeOpts, bst.WithReclamation())
@@ -75,12 +83,20 @@ func durableRep(policy string, cfg harness.Config) float64 {
 		inst = setInstance{newAcc: tree.NewAccessor}
 		prefillAcc = tree.NewAccessor
 		cleanup = func() { tree.Close() }
+		// No WAL here: the harness's own sampling records the KTreeOp
+		// baseline the durable columns compare against.
+		cfg.Trace = rec
 	} else {
 		sync, err := wal.ParseSyncPolicy(policy)
 		fatal(err)
 		dir, err := os.MkdirTemp("", "bstbench-durable-")
 		fatal(err)
-		dur, err := durable.Open(dir, durable.Options{Sync: sync, TreeOptions: treeOpts})
+		// Sampling lives in the durable layer for WAL-backed cells — it
+		// splits each mutation into KTreeOp (apply + enqueue) and KWALWait
+		// (group-commit wait), which is the whole point of tracing a
+		// durability cell. The harness layer stays untraced so the phases
+		// are recorded exactly once.
+		dur, err := durable.Open(dir, durable.Options{Sync: sync, TreeOptions: treeOpts, Trace: rec})
 		fatal(err)
 		inst = setInstance{newAcc: dur.NewAccessor}
 		// Prefill bypasses the WAL (straight into the wrapped tree): the
@@ -132,7 +148,7 @@ func runDurableMode(keyRanges []int, mixes []workload.Mix, threads []int, d batc
 						ZipfS:    d.zipfS,
 						Reclaim:  d.reclaim,
 					}
-					runs, cell := runDurableCell(policy, cfg, d.reps)
+					runs, cell := runDurableCell(policy, cfg, d.reps, d.traceSample)
 					v := stats.Median(runs)
 					tp[policy] = append(tp[policy], v)
 					row = append(row, stats.HumanCount(v))

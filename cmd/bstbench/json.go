@@ -6,6 +6,7 @@ import (
 	"runtime"
 
 	"repro/internal/metrics"
+	"repro/internal/rtrace"
 )
 
 // The -json output schema. Version it ("bst-bench/v1") so downstream
@@ -48,6 +49,18 @@ type cellJSON struct {
 	// -metrics is set and the algorithm supports instrumentation.
 	Metrics map[string]uint64      `json:"metrics,omitempty"`
 	Latency map[string]latencyJSON `json:"latency,omitempty"`
+	// TracePhases holds the flight recorder's per-phase aggregates summed
+	// across reps when -trace-sample is set: how many sampled spans each
+	// phase recorded and their cumulative nanoseconds — the breakdown
+	// behind "where did a durable cell's time go". (bst-bench/v1: new
+	// field, never renamed.)
+	TracePhases map[string]tracePhaseJSON `json:"trace_phases,omitempty"`
+}
+
+// tracePhaseJSON is one phase's share of the sampled operations.
+type tracePhaseJSON struct {
+	Spans uint64 `json:"spans"`
+	Nanos uint64 `json:"nanos"`
 }
 
 type latencyJSON struct {
@@ -69,6 +82,19 @@ func newBenchJSON(duration string, reps int, seed uint64, zipf float64, reclaim,
 		Reclaim:    reclaim,
 		Prefill:    prefill,
 		Metrics:    metricsOn,
+	}
+}
+
+// addTracePhases folds one rep's recorder phase aggregates into the cell.
+func (c *cellJSON) addTracePhases(phases map[string]rtrace.PhaseSnapshot) {
+	if c.TracePhases == nil {
+		c.TracePhases = make(map[string]tracePhaseJSON, len(phases))
+	}
+	for name, p := range phases {
+		t := c.TracePhases[name]
+		t.Spans += p.Count
+		t.Nanos += p.Nanos
+		c.TracePhases[name] = t
 	}
 }
 

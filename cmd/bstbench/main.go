@@ -25,7 +25,7 @@ import (
 	"net/http"
 	"os"
 	"runtime"
-	rtrace "runtime/trace"
+	runtrace "runtime/trace"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/internal/metrics"
+	"repro/internal/rtrace"
 	"repro/internal/stats"
 	"repro/internal/workload"
 )
@@ -62,6 +63,7 @@ func main() {
 		metricsOn     = flag.Bool("metrics", false, "enable live contention telemetry on the nm tree (counters + sampled latency histograms)")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address while running (implies -metrics)")
 		traceFile     = flag.String("trace", "", "write a runtime/trace capture of the whole run to this file")
+		traceSample   = flag.Int("trace-sample", 0, "flight recorder: sample every Nth operation per worker and report per-phase time in the JSON cells (0 disables)")
 	)
 	flag.Parse()
 	if *metricsAddr != "" {
@@ -70,8 +72,8 @@ func main() {
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
 		fatal(err)
-		fatal(rtrace.Start(f))
-		defer func() { rtrace.Stop(); f.Close() }()
+		fatal(runtrace.Start(f))
+		defer func() { runtrace.Stop(); f.Close() }()
 	}
 	if *metricsAddr != "" {
 		h := metrics.Handler(func() []metrics.Source {
@@ -108,7 +110,7 @@ func main() {
 		runDurableMode(keyRanges, mixes, threads, batchModeDeps{
 			duration: *duration, reps: *reps, seed: *seed, zipfS: *zipfS,
 			reclaim: *reclaim, prefill: !*noPrefill, metricsOn: *metricsOn,
-			csvTable: csvTable, doc: doc,
+			traceSample: *traceSample, csvTable: csvTable, doc: doc,
 		})
 		if *csv {
 			fmt.Print(csvTable.CSV())
@@ -125,7 +127,7 @@ func main() {
 		runBatchMode(keyRanges, mixes, threads, sizes, batchModeDeps{
 			duration: *duration, reps: *reps, seed: *seed, zipfS: *zipfS,
 			reclaim: *reclaim, prefill: !*noPrefill, metricsOn: *metricsOn,
-			csvTable: csvTable, doc: doc,
+			traceSample: *traceSample, csvTable: csvTable, doc: doc,
 		})
 		if *csv {
 			fmt.Print(csvTable.CSV())
@@ -163,7 +165,7 @@ func main() {
 						ZipfS:    *zipfS,
 						Reclaim:  *reclaim,
 					}
-					runs, cell := runCell(tg, cfg, *reps, *metricsOn)
+					runs, cell := runCell(tg, cfg, *reps, *metricsOn, *traceSample)
 					v := stats.Median(runs)
 					tp[tg.Name] = append(tp[tg.Name], v)
 					row = append(row, stats.HumanCount(v))
@@ -194,7 +196,7 @@ func main() {
 // reps fresh instances, each with its own telemetry registry when metricsOn
 // (so every counter in the cell's JSON is a per-cell delta), summed across
 // reps.
-func runCell(tg harness.Target, cfg harness.Config, reps int, metricsOn bool) ([]float64, cellJSON) {
+func runCell(tg harness.Target, cfg harness.Config, reps int, metricsOn bool, traceSample int) ([]float64, cellJSON) {
 	cell := cellJSON{
 		Algorithm: tg.Name,
 		Threads:   cfg.Threads,
@@ -214,11 +216,21 @@ func runCell(tg harness.Target, cfg harness.Config, reps int, metricsOn bool) ([
 			c.Metrics = reg
 			curRegistry.Store(reg)
 		}
+		var rec *rtrace.Recorder
+		if traceSample > 0 {
+			// Fresh recorder per rep: the folded phase aggregates are
+			// per-cell deltas, same discipline as the metrics registries.
+			rec = rtrace.New(rtrace.Options{SampleEvery: traceSample})
+			c.Trace = rec
+		}
 		res := harness.RunTarget(tg, c)
 		runs = append(runs, res.Throughput())
 		if reg != nil {
 			cell.addMetrics(reg.Snapshot(), &agg)
 			sampled = true
+		}
+		if rec != nil {
+			cell.addTracePhases(rec.Phases())
 		}
 	}
 	cell.OpsPerSec = runs
@@ -231,15 +243,16 @@ func runCell(tg harness.Target, cfg harness.Config, reps int, metricsOn bool) ([
 
 // batchModeDeps carries the flag-derived settings into -batch mode.
 type batchModeDeps struct {
-	duration  time.Duration
-	reps      int
-	seed      uint64
-	zipfS     float64
-	reclaim   bool
-	prefill   bool
-	metricsOn bool
-	csvTable  *stats.Table
-	doc       *benchJSON
+	duration    time.Duration
+	reps        int
+	seed        uint64
+	zipfS       float64
+	reclaim     bool
+	prefill     bool
+	metricsOn   bool
+	traceSample int
+	csvTable    *stats.Table
+	doc         *benchJSON
 }
 
 // runBatchMode measures the nm tree's batched entry points against its own
@@ -281,7 +294,7 @@ func runBatchMode(keyRanges []int, mixes []workload.Mix, threads, sizes []int, d
 						Reclaim:   d.reclaim,
 						BatchSize: b,
 					}
-					runs, cell := runCell(nm, cfg, d.reps, d.metricsOn)
+					runs, cell := runCell(nm, cfg, d.reps, d.metricsOn, d.traceSample)
 					v := stats.Median(runs)
 					tp[b] = append(tp[b], v)
 					row = append(row, stats.HumanCount(v))

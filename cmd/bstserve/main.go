@@ -41,6 +41,7 @@ import (
 	"math/rand"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -50,8 +51,10 @@ import (
 	"repro/internal/client"
 	"repro/internal/durable"
 	"repro/internal/failpoint"
+	"repro/internal/logx"
 	"repro/internal/metrics"
 	"repro/internal/repl"
+	"repro/internal/rtrace"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -77,6 +80,10 @@ func main() {
 		replicaOf  = flag.String("replica-of", "", "run as a follower of this leader replication address (requires -data)")
 		advertise  = flag.String("advertise", "", "data address advertised to the cluster for client redirects (default -addr)")
 		replSync   = flag.Bool("repl-sync", false, "semi-synchronous: acknowledge mutations only after a follower ack covers them")
+
+		traceSample = flag.Int("trace-sample", 0, "flight recorder: self-sample every Nth request per connection (0 disables tracing)")
+		slowOp      = flag.Duration("slow-op", 20*time.Millisecond, "slow-op log threshold for sampled requests (with -trace-sample)")
+		debugAddr   = flag.String("debug-addr", "", "net/http/pprof listener (profiling); empty disables — exposes heap and execution internals, never bind publicly")
 	)
 	flag.Parse()
 
@@ -96,15 +103,25 @@ func main() {
 	if *reclaim {
 		opts = append(opts, bst.WithReclamation())
 	}
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "bstserve: "+format+"\n", args...)
+	logger := logx.New(os.Stderr, *addr)
+	// The storage layers keep printf-style hooks; bridge them here so the
+	// whole process logs through one handler.
+	logf := logx.Printf(logger)
+
+	// The flight recorder is shared by every layer that records spans:
+	// server (admission/tree/WAL/repl waits), replication (cross-node
+	// linkage), and the admin endpoints that export it.
+	var rec *rtrace.Recorder
+	if *traceSample > 0 {
+		rec = rtrace.New(rtrace.Options{SampleEvery: *traceSample, SlowOp: *slowOp})
 	}
 
 	cfg := server.Config{
 		MaxInFlight:     *maxInFlight,
 		DefaultDeadline: *deadline,
 		ReadTimeout:     *readTimeout,
-		Logf:            logf,
+		Logger:          logger,
+		Trace:           rec,
 	}
 
 	// With -data the server fronts a durable.Tree: every mutation is
@@ -136,11 +153,20 @@ func main() {
 			rs.SnapshotPath, rs.CorruptSnapshots)
 		reg := metrics.NewRegistry(0)
 		reg.AddHook(dur.MetricsHook)
+		if rec != nil {
+			reg.AddHook(rec.MetricsHook)
+		}
 		cfg.Store = dur
 		cfg.Metrics = reg
 	} else {
 		tree = bst.New(opts...)
 		cfg.Tree = tree
+		if rec != nil {
+			// Memory-only servers still export trace phase aggregates.
+			reg := metrics.NewRegistry(0)
+			reg.AddHook(rec.MetricsHook)
+			cfg.Metrics = reg
+		}
 	}
 
 	// Replication rides the durable store's WAL: a node with a replication
@@ -163,7 +189,8 @@ func main() {
 			ListenRepl: *listenRepl,
 			ReplicaOf:  *replicaOf,
 			RequireAck: *replSync,
-			Logf:       logf,
+			Trace:      rec,
+			Logger:     logger,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bstserve: replication:", err)
@@ -193,6 +220,26 @@ func main() {
 			role, node.Term(), node.ReplAddr(), *replSync)
 	}
 
+	// -debug-addr mounts net/http/pprof on its own listener, separate from
+	// both the data plane and the admin surface: profiles reveal memory
+	// contents and execution structure, so this port must stay loopback or
+	// firewalled — it exists for incident debugging, not for dashboards.
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "bstserve:", err)
+			os.Exit(2)
+		}
+		go (&http.Server{Handler: dmux, ReadHeaderTimeout: 5 * time.Second}).Serve(dln)
+		fmt.Printf("bstserve: pprof on http://%s/debug/pprof/ (keep private)\n", dln.Addr())
+	}
+
 	var adminSrv *http.Server
 	if *adminAddr != "" {
 		ln, err := net.Listen("tcp", *adminAddr)
@@ -202,7 +249,11 @@ func main() {
 		}
 		adminSrv = &http.Server{Handler: srv.AdminHandler(), ReadHeaderTimeout: 5 * time.Second}
 		go adminSrv.Serve(ln)
-		fmt.Printf("bstserve: admin on http://%s (/healthz /readyz /metrics)\n", ln.Addr())
+		adminDesc := "/healthz /readyz /metrics"
+		if rec != nil {
+			adminDesc += " /debug/rtrace"
+		}
+		fmt.Printf("bstserve: admin on http://%s (%s)\n", ln.Addr(), adminDesc)
 	}
 
 	// Graceful drain on SIGTERM/SIGINT: readiness flips first (the admin

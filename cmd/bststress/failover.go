@@ -18,7 +18,9 @@ import (
 	bst "repro"
 	"repro/internal/client"
 	"repro/internal/durable"
+	"repro/internal/logx"
 	"repro/internal/repl"
+	"repro/internal/rtrace"
 	"repro/internal/server"
 	"repro/internal/wal"
 )
@@ -48,9 +50,12 @@ import (
 // data server, admin HTTP (for /promote and /healthz). It publishes
 // "data repl admin" addresses to addrFile and parks until killed.
 func runFailoverChild(dir, addrFile, replicaOf string) int {
-	logf := func(format string, args ...any) {
-		fmt.Fprintf(os.Stderr, "failover-child: "+format+"\n", args...)
-	}
+	logger := logx.New(os.Stderr, "failover-child")
+	logf := logx.Printf(logger)
+	// Every child runs a sampled flight recorder so the parent can read
+	// /debug/rtrace off the promoted node when the audit goes wrong: which
+	// phase ate the time is the first question a failover regression asks.
+	rec := rtrace.New(rtrace.Options{SampleEvery: 64, SlowOp: 50 * time.Millisecond})
 	dur, err := durable.Open(dir, durable.Options{Sync: wal.SyncFsync, Logf: logf})
 	if err != nil {
 		logf("open: %v", err)
@@ -73,13 +78,14 @@ func runFailoverChild(dir, addrFile, replicaOf string) int {
 		AckInterval: 2 * time.Millisecond,
 		RequireAck:  replicaOf == "", // the leader is semi-synchronous
 		AckTimeout:  10 * time.Second,
-		Logf:        logf,
+		Trace:       rec,
+		Logger:      logger,
 	})
 	if err != nil {
 		logf("repl: %v", err)
 		return 1
 	}
-	srv := server.New(server.Config{Store: dur, Cluster: node, MaxInFlight: 64, RangeLimit: 4096, Logf: logf})
+	srv := server.New(server.Config{Store: dur, Cluster: node, MaxInFlight: 64, RangeLimit: 4096, Trace: rec, Logger: logger})
 	if err := srv.Start(dataAddr); err != nil {
 		logf("serve: %v", err)
 		return 1
@@ -96,6 +102,26 @@ func runFailoverChild(dir, addrFile, replicaOf string) int {
 		return 1
 	}
 	select {}
+}
+
+// dumpSlowOps prints the promoted node's /debug/rtrace slow-op log to
+// stderr — best effort, for audit-failure forensics only.
+func dumpSlowOps(adminAddr string) {
+	resp, err := http.Get("http://" + adminAddr + "/debug/rtrace")
+	if err != nil {
+		return
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Slow []json.RawMessage `json:"slow"`
+	}
+	if json.NewDecoder(resp.Body).Decode(&body) != nil {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "failover: %d slow op(s) retained on the promoted node:\n", len(body.Slow))
+	for _, so := range body.Slow {
+		fmt.Fprintf(os.Stderr, "  %s\n", so)
+	}
 }
 
 func reserveAddr() (string, error) {
@@ -227,7 +253,7 @@ func seedFailoverStore(dir string, seed uint64) error {
 
 const probeKey = int64(1) << 60 // first write on the promoted node
 
-func failoverRound(workers int, seed uint64) error {
+func failoverRound(workers int, seed uint64) (err error) {
 	leaderDir, err := os.MkdirTemp("", "bst-failover-leader-")
 	if err != nil {
 		return err
@@ -363,6 +389,13 @@ func failoverRound(workers int, seed uint64) error {
 		return err
 	}
 	defer cl.Close()
+	// From here every failure is an audit failure against the promoted
+	// node: dump its slow-op log so the report names the guilty phase.
+	defer func() {
+		if err != nil {
+			dumpSlowOps(follower.admin)
+		}
+	}()
 	var served time.Duration
 	for {
 		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)

@@ -12,8 +12,10 @@ package client
 import (
 	"context"
 	"fmt"
+	"time"
 
 	bst "repro"
+	"repro/internal/rtrace"
 	"repro/internal/wire"
 )
 
@@ -60,6 +62,14 @@ func (cl *Client) Do(ctx context.Context, ops []Op) ([]OpResult, error) {
 func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
 	cl.stats.requests.Add(uint64(len(ops)))
 
+	// One trace context covers the whole chunk, surviving every retry and
+	// redirect (KClientSend's Arg carries the op count, not a key).
+	tc := cl.cfg.Trace.SampleNext()
+	if tc.Sampled() {
+		start := time.Now()
+		defer cl.cfg.Trace.Span(tc, rtrace.KClientSend, start, int64(len(ops)))
+	}
+
 	// pending holds the indices still awaiting a definitive outcome.
 	pending := make([]int, 0, len(ops))
 	for i, op := range ops {
@@ -75,6 +85,7 @@ func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
 	for attempt := 0; attempt < cl.cfg.MaxAttempts && len(pending) > 0; attempt++ {
 		if attempt > 0 {
 			cl.stats.retries.Add(uint64(len(pending)))
+			cl.cfg.Trace.Event(tc, rtrace.KRetry, int64(attempt))
 		}
 		if err := ctx.Err(); err != nil {
 			return err
@@ -85,7 +96,7 @@ func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
 			bops = append(bops, wire.BatchOp{Op: ops[idx].Kind, Key: ops[idx].Key})
 		}
 		id := cl.id.Add(1)
-		st, res, err := cl.roundTripBatch(ctx, id, deadlineMS(ctx), bops, results[:0])
+		st, res, err := cl.roundTripBatch(ctx, id, deadlineMS(ctx), tc, bops, results[:0])
 		results = res
 
 		if err != nil {
@@ -126,6 +137,7 @@ func (cl *Client) doChunk(ctx context.Context, ops []Op, out []OpResult) error {
 			// retry immediately against it (pause only while the cluster
 			// is between leaders, to avoid a hot redirect loop).
 			cl.stats.redirects.Add(1)
+			cl.cfg.Trace.Event(tc, rtrace.KRedirect, int64(attempt))
 			rerr := error(&NotLeaderError{Leader: cl.Leader()})
 			for _, idx := range pending {
 				out[idx] = OpResult{Err: rerr}
@@ -205,7 +217,7 @@ func statusErr(st wire.Status) error {
 
 // roundTripBatch sends one OpBatch frame on a pooled connection and reads
 // its response, appending the per-op results to dst.
-func (cl *Client) roundTripBatch(ctx context.Context, id uint64, deadlineMS uint32, bops []wire.BatchOp, dst []wire.BatchResult) (wire.Status, []wire.BatchResult, error) {
+func (cl *Client) roundTripBatch(ctx context.Context, id uint64, deadlineMS uint32, tc rtrace.Context, bops []wire.BatchOp, dst []wire.BatchResult) (wire.Status, []wire.BatchResult, error) {
 	c, err := cl.acquire(ctx)
 	if err != nil {
 		return 0, dst, err
@@ -213,7 +225,7 @@ func (cl *Client) roundTripBatch(ctx context.Context, id uint64, deadlineMS uint
 	keep := false
 	defer func() { cl.release(c, keep) }()
 
-	c.scratch = wire.AppendBatchRequest(c.scratch[:0], id, deadlineMS, bops)
+	c.scratch = wire.AppendBatchRequest(c.scratch[:0], id, deadlineMS, tc, bops)
 	if err := wire.WriteFrame(c.bw, c.scratch); err != nil {
 		return 0, dst, fmt.Errorf("client: write: %w", err)
 	}

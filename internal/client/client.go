@@ -53,6 +53,7 @@ import (
 	"time"
 
 	bst "repro"
+	"repro/internal/rtrace"
 	"repro/internal/wire"
 )
 
@@ -119,6 +120,13 @@ type Config struct {
 	MaxBackoff time.Duration
 	// Seed seeds the jitter source; 0 uses the current time.
 	Seed int64
+	// Trace, when non-nil, originates request tracing: every Nth operation
+	// (per the recorder's sampling rate) is stamped with a trace context
+	// that rides the wire to the server, and the client records a
+	// KClientSend span covering the whole retry loop plus events for every
+	// redirect, replica-lag bounce and retry. Nil disables tracing at the
+	// cost of one pointer check per operation.
+	Trace *rtrace.Recorder
 }
 
 // Stats counts client-side retry behaviour (monotonic, except
@@ -339,13 +347,25 @@ func (cl *Client) Range(ctx context.Context, from, to int64, limit int) ([]int64
 	return resp.Keys, err
 }
 
-// do runs one operation through the retry loop.
+// do runs one operation through the retry loop. A trace context already
+// present on req (a pipeline fallback re-running its operation) is kept;
+// otherwise the recorder decides whether this operation originates a
+// sampled trace. Either way the context survives every retry and redirect
+// unchanged — the whole client-side effort is one trace.
 func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, error) {
 	cl.stats.requests.Add(1)
+	if req.Trace == (rtrace.Context{}) {
+		req.Trace = cl.cfg.Trace.SampleNext()
+	}
+	if req.Trace.Sampled() {
+		start := time.Now()
+		defer cl.cfg.Trace.Span(req.Trace, rtrace.KClientSend, start, req.Key)
+	}
 	var lastErr error
 	for attempt := 0; attempt < cl.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			cl.stats.retries.Add(1)
+			cl.cfg.Trace.Event(req.Trace, rtrace.KRetry, int64(attempt))
 		}
 		if err := ctx.Err(); err != nil {
 			return wire.Response{}, err
@@ -398,6 +418,7 @@ func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, erro
 			// hot redirect loop.
 			cl.stats.redirects.Add(1)
 			cl.noteLeader(resp.Leader)
+			cl.cfg.Trace.Event(req.Trace, rtrace.KRedirect, int64(attempt))
 			lastErr = &NotLeaderError{Leader: resp.Leader}
 			if resp.Leader == "" {
 				if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
@@ -408,6 +429,7 @@ func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, erro
 			// The replica hasn't applied the sequence a ReadAtLeast asked
 			// for; it usually will have after a short wait.
 			cl.stats.replLags.Add(1)
+			cl.cfg.Trace.Event(req.Trace, rtrace.KReplLag, int64(req.MinSeq))
 			lastErr = fmt.Errorf("%w: seq %d not yet applied", ErrReplLag, req.MinSeq)
 			if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
 				return wire.Response{}, fmt.Errorf("%w waiting out replica lag", context.Cause(ctx))

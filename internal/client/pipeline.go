@@ -25,6 +25,7 @@ import (
 	"sync"
 
 	bst "repro"
+	"repro/internal/rtrace"
 	"repro/internal/wire"
 )
 
@@ -50,11 +51,12 @@ type Pipeline struct {
 
 // Future is the pending result of one pipelined operation.
 type Future struct {
-	p    *Pipeline
-	done chan struct{}
-	op   Op
-	resp wire.Response
-	err  error // transport-level failure of the pipeline
+	p     *Pipeline
+	done  chan struct{}
+	op    Op
+	trace rtrace.Context // stamped at Submit; fallback re-runs keep it
+	resp  wire.Response
+	err   error // transport-level failure of the pipeline
 }
 
 // NewPipeline dials a dedicated connection for pipelined requests. The
@@ -84,12 +86,13 @@ func (p *Pipeline) Submit(ctx context.Context, op Op) (*Future, error) {
 	if op.Kind != wire.OpInsert && op.Kind != wire.OpDelete && op.Kind != wire.OpLookup {
 		return nil, fmt.Errorf("%w: unknown op kind %d", ErrBadRequest, op.Kind)
 	}
-	f := &Future{p: p, done: make(chan struct{}), op: op}
+	f := &Future{p: p, done: make(chan struct{}), op: op, trace: p.cl.cfg.Trace.SampleNext()}
 	req := wire.Request{
 		ID:         p.cl.id.Add(1),
 		Op:         op.Kind,
 		DeadlineMS: deadlineMS(ctx),
 		Key:        op.Key,
+		Trace:      f.trace,
 	}
 	p.cl.stats.requests.Add(1)
 
@@ -234,6 +237,7 @@ func (f *Future) Wait(ctx context.Context) (bool, error) {
 		// be built against Leader().
 		f.p.cl.stats.redirects.Add(1)
 		f.p.cl.noteLeader(f.resp.Leader)
+		f.p.cl.cfg.Trace.Event(f.trace, rtrace.KRedirect, 0)
 		return f.fallback(ctx)
 	case wire.StatusKeyOutOfRange:
 		return false, fmt.Errorf("%w: key %d", bst.ErrKeyOutOfRange, f.op.Key)
@@ -247,14 +251,9 @@ func (f *Future) Wait(ctx context.Context) (bool, error) {
 }
 
 // fallback re-runs the operation on the pooled connections with the full
-// retry loop.
+// retry loop, carrying the Future's trace context so a redirected or
+// re-run operation stays one trace end to end.
 func (f *Future) fallback(ctx context.Context) (bool, error) {
-	switch f.op.Kind {
-	case wire.OpInsert:
-		return f.p.cl.Insert(ctx, f.op.Key)
-	case wire.OpDelete:
-		return f.p.cl.Delete(ctx, f.op.Key)
-	default:
-		return f.p.cl.Lookup(ctx, f.op.Key)
-	}
+	resp, err := f.p.cl.do(ctx, wire.Request{Op: f.op.Kind, Key: f.op.Key, Trace: f.trace})
+	return resp.OK, err
 }

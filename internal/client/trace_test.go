@@ -1,0 +1,285 @@
+package client
+
+// End-to-end tracing against a real two-node cluster: one sampled write
+// must yield a linked span tree spanning the client (round trip), the
+// leader (request root, tree op, WAL fsync wait, semi-sync repl wait) and
+// the follower (apply), exported intact through /debug/rtrace in both the
+// native JSON and Chrome trace formats. Plus the pipeline contract: a
+// batch future bounced with StatusNotLeader keeps its trace identity
+// through the pooled-path retry and records the redirect hop.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/durable"
+	"repro/internal/repl"
+	"repro/internal/rtrace"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+// startTracedNode is startNode with a flight recorder wired into both the
+// server and the replication node, and semi-sync on the leader (so the
+// repl-wait phase exists to be traced).
+func startTracedNode(t *testing.T, replicaOf string, rec *rtrace.Recorder) *clusterNode {
+	t.Helper()
+	store, err := durable.Open(t.TempDir(), durable.Options{Sync: wal.SyncFsync})
+	if err != nil {
+		t.Fatalf("durable.Open: %v", err)
+	}
+	t.Cleanup(func() { store.Close() })
+
+	addr := reserveAddr(t)
+	node, err := repl.Start(repl.Config{
+		Store:       store,
+		Advertise:   addr,
+		ListenRepl:  "127.0.0.1:0",
+		ReplicaOf:   replicaOf,
+		Heartbeat:   20 * time.Millisecond,
+		AckEvery:    1,
+		AckInterval: 2 * time.Millisecond,
+		RequireAck:  replicaOf == "",
+		AckTimeout:  10 * time.Second,
+		Trace:       rec,
+	})
+	if err != nil {
+		t.Fatalf("repl.Start: %v", err)
+	}
+	t.Cleanup(func() { node.Close() })
+
+	srv := server.New(server.Config{Store: store, Cluster: node, Trace: rec})
+	if err := srv.Start(addr); err != nil {
+		t.Fatalf("server.Start(%s): %v", addr, err)
+	}
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	})
+	return &clusterNode{store: store, node: node, srv: srv, addr: addr}
+}
+
+func startTracedCluster(t *testing.T, leaderRec, followerRec *rtrace.Recorder) (leader, follower *clusterNode) {
+	t.Helper()
+	leader = startTracedNode(t, "", leaderRec)
+	follower = startTracedNode(t, leader.node.ReplAddr(), followerRec)
+	deadline := time.Now().Add(10 * time.Second)
+	for follower.node.LeaderAddr() != leader.addr {
+		if time.Now().After(deadline) {
+			t.Fatal("follower never learned the leader's data address")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return leader, follower
+}
+
+func findSpan(spans []rtrace.Span, trace uint64, kind uint8) (rtrace.Span, bool) {
+	for _, sp := range spans {
+		if sp.TraceID == trace && sp.Kind == kind {
+			return sp, true
+		}
+	}
+	return rtrace.Span{}, false
+}
+
+// TestClusterTraceLinkage is the tentpole acceptance test: a sampled PUT
+// against a two-node semi-sync cluster produces one span tree — client
+// send, server request root with tree-op / WAL-wait / repl-wait children,
+// and a follower apply parented under the leader's request root — all
+// sharing one trace ID across three recorders (three "processes").
+func TestClusterTraceLinkage(t *testing.T) {
+	leaderRec := rtrace.New(rtrace.Options{})   // records only wire-sampled requests
+	followerRec := rtrace.New(rtrace.Options{}) // likewise: linkage, not self-sampling
+	clientRec := rtrace.New(rtrace.Options{SampleEvery: 1})
+	leader, follower := startTracedCluster(t, leaderRec, followerRec)
+	_ = follower
+
+	cl, err := Dial(Config{Addr: leader.addr, Seed: 1, Trace: clientRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// The leader stamps a shipped batch by looking the WAL seq up in the
+	// sampled-seq table; the note lands just after execute, racing the
+	// group-commit flusher, so a stamp can very occasionally miss a batch.
+	// Insert until one full cross-process chain exists — one sampled write
+	// normally suffices.
+	var chain struct {
+		trace                           uint64
+		clientSend, root, tree, walWait rtrace.Span
+		replWait, apply                 rtrace.Span
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for key := int64(1000); ; key++ {
+		if ok, err := cl.Insert(ctx, key); err != nil || !ok {
+			t.Fatalf("Insert(%d) = (%v, %v)", key, ok, err)
+		}
+		clientSpans := clientRec.Snapshot()
+		leaderSpans := leaderRec.Snapshot()
+		followerSpans := followerRec.Snapshot()
+		found := false
+		for _, cs := range clientSpans {
+			if cs.Kind != rtrace.KClientSend {
+				continue
+			}
+			root, ok1 := findSpan(leaderSpans, cs.TraceID, rtrace.KRequest)
+			tree, ok2 := findSpan(leaderSpans, cs.TraceID, rtrace.KTreeOp)
+			walw, ok3 := findSpan(leaderSpans, cs.TraceID, rtrace.KWALWait)
+			replw, ok4 := findSpan(leaderSpans, cs.TraceID, rtrace.KReplWait)
+			apply, ok5 := findSpan(followerSpans, cs.TraceID, rtrace.KApply)
+			if ok1 && ok2 && ok3 && ok4 && ok5 {
+				chain.trace = cs.TraceID
+				chain.clientSend, chain.root, chain.tree = cs, root, tree
+				chain.walWait, chain.replWait, chain.apply = walw, replw, apply
+				found = true
+				break
+			}
+		}
+		if found {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no complete cross-process span chain after %d sampled inserts", key-999)
+		}
+	}
+
+	// Linkage: the client's send span and the leader's request root are
+	// siblings under the context the client originated; the server-side
+	// phases are children of the root; the follower's apply is parented
+	// under the leader's request root (it crossed the wire in the shipped
+	// batch's trace extension).
+	if chain.clientSend.Parent != chain.root.Parent {
+		t.Fatalf("client send parent %d != request root parent %d (should share the originated span ID)",
+			chain.clientSend.Parent, chain.root.Parent)
+	}
+	for name, sp := range map[string]rtrace.Span{
+		"tree_op": chain.tree, "wal_wait": chain.walWait, "repl_wait": chain.replWait,
+	} {
+		if sp.Parent != chain.root.SpanID {
+			t.Fatalf("%s span parent = %d, want request root %d", name, sp.Parent, chain.root.SpanID)
+		}
+	}
+	if chain.apply.Parent != chain.root.SpanID {
+		t.Fatalf("follower apply parent = %d, want leader request root %d", chain.apply.Parent, chain.root.SpanID)
+	}
+	if chain.apply.Arg == 0 {
+		t.Fatal("follower apply carries no WAL seq")
+	}
+	if chain.root.Op != 1 { // wire.OpInsert
+		t.Fatalf("request root op = %d, want insert", chain.root.Op)
+	}
+
+	// Exports: the JSON endpoint must carry the request span; the Chrome
+	// endpoint must be a valid trace-event document with the same spans.
+	rw := httptest.NewRecorder()
+	leaderRec.ServeJSON(rw, nil)
+	var dump struct {
+		Spans []struct {
+			Trace string `json:"trace"`
+			Kind  string `json:"kind"`
+		} `json:"spans"`
+		Phases map[string]struct {
+			Count uint64 `json:"Count"`
+		} `json:"phases"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &dump); err != nil {
+		t.Fatalf("/debug/rtrace is not valid JSON: %v", err)
+	}
+	wantHex := hexTrace(chain.trace)
+	foundJSON := false
+	for _, sp := range dump.Spans {
+		if sp.Trace == wantHex && sp.Kind == "request" {
+			foundJSON = true
+		}
+	}
+	if !foundJSON {
+		t.Fatalf("/debug/rtrace JSON missing request span for trace %s", wantHex)
+	}
+
+	rw = httptest.NewRecorder()
+	leaderRec.ServeChrome(rw, nil)
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &doc); err != nil {
+		t.Fatalf("/debug/rtrace/chrome is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("/debug/rtrace/chrome has no events")
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase != "X" && ev.Phase != "i" {
+			t.Fatalf("chrome event %q has phase %q, want X or i", ev.Name, ev.Phase)
+		}
+	}
+}
+
+func hexTrace(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// TestPipelineRedirectKeepsTrace: a pipelined future submitted to a
+// follower bounces with StatusNotLeader; the pooled-path retry must carry
+// the same trace ID (one logical operation, one trace) and the redirect
+// hop must be recorded as an event on that trace.
+func TestPipelineRedirectKeepsTrace(t *testing.T) {
+	clientRec := rtrace.New(rtrace.Options{SampleEvery: 1})
+	leader, follower := startTracedCluster(t, rtrace.New(rtrace.Options{}), rtrace.New(rtrace.Options{}))
+
+	cl, err := Dial(Config{Addr: follower.addr, Seed: 1, Trace: clientRec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	p, err := cl.NewPipeline(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	f, err := p.Submit(ctx, InsertOp(4242))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.trace.Sampled() {
+		t.Fatal("future not sampled at SampleEvery=1")
+	}
+	if ok, err := f.Wait(ctx); err != nil || !ok {
+		t.Fatalf("Wait = (%v, %v), want (true, nil)", ok, err)
+	}
+	if !leader.store.Contains(4242) {
+		t.Fatal("redirected pipeline write did not land on the leader")
+	}
+
+	spans := clientRec.Snapshot()
+	redirect, okR := findSpan(spans, f.trace.TraceID, rtrace.KRedirect)
+	send, okS := findSpan(spans, f.trace.TraceID, rtrace.KClientSend)
+	if !okR {
+		t.Fatalf("no redirect event recorded for trace %016x; spans: %+v", f.trace.TraceID, spans)
+	}
+	if !okS {
+		t.Fatalf("pooled-path retry lost the trace: no client_send span for %016x", f.trace.TraceID)
+	}
+	// Both hang off the identity stamped at Submit.
+	if redirect.Parent != f.trace.SpanID || send.Parent != f.trace.SpanID {
+		t.Fatalf("redirect parent %d / send parent %d, want submit-time span %d",
+			redirect.Parent, send.Parent, f.trace.SpanID)
+	}
+}

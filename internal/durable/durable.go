@@ -51,6 +51,8 @@ import (
 	"time"
 
 	bst "repro"
+	"repro/internal/failpoint"
+	"repro/internal/rtrace"
 	"repro/internal/snapshot"
 	"repro/internal/wal"
 )
@@ -80,6 +82,17 @@ type Options struct {
 	TreeOptions []bst.Option
 	// Logf, when non-nil, receives recovery/checkpoint progress lines.
 	Logf func(format string, args ...any)
+	// Trace, when non-nil, instruments the synchronous mutation path for
+	// deployments that embed the durable tree directly (bstbench's durable
+	// cells): self-sampled mutations record a KTreeOp span (tree apply +
+	// stripe + log enqueue) and a KWALWait span (the group-commit wait),
+	// and every checkpoint records a loose KCheckpoint span. The server
+	// path instruments these phases itself — wire Trace at exactly one
+	// layer or phases double-count.
+	Trace *rtrace.Recorder
+	// Failpoints passes fault-injection sites down to the WAL (wal.FPFsync
+	// stalls or fails the flusher's fsync). Leave nil in production.
+	Failpoints *failpoint.Set
 }
 
 // RecoveryStats describes what Open reconstructed.
@@ -195,6 +208,7 @@ func Open(dir string, opts Options) (*Tree, error) {
 		NextSeq:      horizon + 1,
 		Logf:         opts.Logf,
 		Tap:          d.fireTap,
+		Failpoints:   opts.Failpoints,
 	})
 	if err != nil {
 		d.tree.Close()
@@ -315,6 +329,11 @@ func bulkLoadBalanced(tree *bst.Tree, keys []int64) error {
 // key's linearization order. The fsync wait happens after the stripe is
 // released.
 func (d *Tree) apply(op uint8, key int64, mutate func() (bool, error)) (bool, error) {
+	tc := d.opts.Trace.SampleNext()
+	var treeStart time.Time
+	if tc.Sampled() {
+		treeStart = time.Now()
+	}
 	st := &d.stripes[stripeOf(key)]
 	st.Lock()
 	ok, err := mutate()
@@ -323,13 +342,23 @@ func (d *Tree) apply(op uint8, key int64, mutate func() (bool, error)) (bool, er
 		t = d.log.Enqueue(op, key)
 	}
 	st.Unlock()
+	if tc.Sampled() {
+		d.opts.Trace.Span(tc, rtrace.KTreeOp, treeStart, key)
+	}
 	if err != nil || !ok {
 		return ok, err
+	}
+	var walStart time.Time
+	if tc.Sampled() {
+		walStart = time.Now()
 	}
 	if _, werr := t.Wait(); werr != nil {
 		// The tree changed but the change cannot be made durable: the
 		// caller must not treat it as acknowledged.
 		return false, fmt.Errorf("durable: %w", werr)
+	}
+	if tc.Sampled() {
+		d.opts.Trace.Span(tc, rtrace.KWALWait, walStart, int64(t.Seq()))
 	}
 	d.noteMutations(1)
 	return true, nil
@@ -579,6 +608,13 @@ func (d *Tree) checkpointLocked() (CheckpointStats, error) {
 	d.snapshots.Add(1)
 	d.snapshotKeys.Add(info.Count)
 	d.snapshotHist.observe(stats.Duration)
+	// Checkpoints are rare enough to record unconditionally: a loose span
+	// with no trace identity, visible in /debug/rtrace and the phase
+	// aggregates (Arg = the horizon the snapshot covers).
+	d.opts.Trace.Record(rtrace.Span{
+		Kind: rtrace.KCheckpoint, Start: start.UnixNano(),
+		Dur: stats.Duration.Nanoseconds(), Arg: int64(h),
+	})
 	d.logf("durable: checkpoint @seq %d: %d key(s), %d byte(s), %s (gc: %d snapshot(s), %d segment(s))",
 		h, stats.Keys, stats.Bytes, stats.Duration, stats.SnapshotsGC, stats.SegmentsGC)
 	return stats, nil

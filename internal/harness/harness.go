@@ -9,7 +9,7 @@ import (
 	"context"
 	"fmt"
 	"runtime/pprof"
-	rtrace "runtime/trace"
+	runtrace "runtime/trace"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -18,6 +18,7 @@ import (
 	"repro/internal/atomicx"
 	"repro/internal/keys"
 	"repro/internal/metrics"
+	"repro/internal/rtrace"
 	"repro/internal/workload"
 )
 
@@ -80,6 +81,14 @@ type Config struct {
 	// implementations that support it (currently the arena-backed NM
 	// tree); the other targets ignore it.
 	Metrics *metrics.Registry
+	// Trace, when non-nil, samples worker operations into the flight
+	// recorder: each worker runs an rtrace.Conn, every SampleEvery-th
+	// operation records a request root plus a KTreeOp span, and the
+	// recorder's phase aggregates give per-cell time-in-phase breakdowns.
+	// Nil (and a recorder with sampling disabled) stays off the measured
+	// path: the per-op cost is a nil/flag check. The batched loop is not
+	// instrumented — batch cells measure the coalescing fast path.
+	Trace *rtrace.Recorder
 }
 
 // Result is the outcome of one measurement cell.
@@ -125,12 +134,12 @@ func Run(target string, inst Instance, cfg Config) Result {
 	if cfg.Threads <= 0 {
 		panic("harness: Threads must be positive")
 	}
-	ctx, task := rtrace.NewTask(context.Background(),
+	ctx, task := runtrace.NewTask(context.Background(),
 		fmt.Sprintf("bench-cell %s t=%d %s", target, cfg.Threads, cfg.Mix.Name))
 	defer task.End()
 	if cfg.Prefill {
 		pprof.Do(ctx, pprof.Labels("bst_target", target, "bst_phase", "prefill"), func(ctx context.Context) {
-			rtrace.WithRegion(ctx, "prefill", func() { Prefill(inst, cfg) })
+			runtrace.WithRegion(ctx, "prefill", func() { Prefill(inst, cfg) })
 		})
 	}
 
@@ -150,7 +159,7 @@ func Run(target string, inst Instance, cfg Config) Result {
 				"bst_worker", strconv.Itoa(id),
 			)
 			pprof.Do(ctx, labels, func(ctx context.Context) {
-				rtrace.WithRegion(ctx, "measure", func() {
+				runtrace.WithRegion(ctx, "measure", func() {
 					acc := inst.NewAccessor()
 					seed := cfg.Seed*0x9e3779b9 + uint64(id)*0x2545f4914f6cdd1d + 1
 					var gen *workload.Generator
@@ -159,6 +168,8 @@ func Run(target string, inst Instance, cfg Config) Result {
 					} else {
 						gen = workload.NewGenerator(cfg.Mix, cfg.KeyRange, seed)
 					}
+					tr := cfg.Trace.NewConn()
+					defer tr.Close()
 					<-start
 					var n uint64
 					if ba, ok := acc.(BatchAccessor); ok && cfg.BatchSize > 1 {
@@ -167,6 +178,11 @@ func Run(target string, inst Instance, cfg Config) Result {
 						for !stop.Load() {
 							op, k := gen.Next()
 							u := keys.Map(k)
+							sampled := tr.StartRequest(rtrace.Context{}, uint8(op), k)
+							var t0 time.Time
+							if sampled {
+								t0 = time.Now()
+							}
 							switch op {
 							case workload.OpSearch:
 								acc.Search(u)
@@ -174,6 +190,10 @@ func Run(target string, inst Instance, cfg Config) Result {
 								acc.Insert(u)
 							default:
 								acc.Delete(u)
+							}
+							if sampled {
+								tr.Span(rtrace.KTreeOp, t0, k)
+								tr.EndRequest()
 							}
 							n++
 						}

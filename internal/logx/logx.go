@@ -1,0 +1,86 @@
+// Package logx is the shared logging surface for the serving stack:
+// log/slog with one text handler per process, decorated per subsystem
+// with the identity an operator greps for — node role, term, connection
+// ID, and (when a request is sampled) its trace ID.
+//
+// Two pieces:
+//
+//   - New builds the process-wide root logger (slog.TextHandler on the
+//     given writer, with a static "node" attribute).
+//   - Dynamic wraps any handler with attributes computed at record time.
+//     Role and term change under the logger's feet during failover; a
+//     static With() would freeze the values at construction, so the
+//     replication node hands Dynamic a closure that reads its atomics.
+//
+// Lower layers with printf-style hooks (wal, durable) are bridged with
+// Printf, which keeps their dependency surface flat — they never import
+// slog, the process adapts at the boundary.
+package logx
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+)
+
+// New returns the process root logger: text lines on w, each stamped
+// with the node's identity (typically its data-plane address).
+func New(w io.Writer, node string) *slog.Logger {
+	l := slog.New(slog.NewTextHandler(w, nil))
+	if node != "" {
+		l = l.With("node", node)
+	}
+	return l
+}
+
+// Discard returns a logger that drops everything — the nil-config
+// default for libraries so call sites never nil-check.
+func Discard() *slog.Logger { return slog.New(slog.DiscardHandler) }
+
+// Dynamic returns a logger whose records gain fn()'s attributes at
+// Handle time. fn must be safe for concurrent use; it runs once per
+// emitted record (after level filtering), so cheap atomic loads are the
+// expected shape.
+func Dynamic(base *slog.Logger, fn func() []slog.Attr) *slog.Logger {
+	if base == nil {
+		base = Discard()
+	}
+	return slog.New(&dynamicHandler{inner: base.Handler(), fn: fn})
+}
+
+type dynamicHandler struct {
+	inner slog.Handler
+	fn    func() []slog.Attr
+}
+
+func (h *dynamicHandler) Enabled(ctx context.Context, lvl slog.Level) bool {
+	return h.inner.Enabled(ctx, lvl)
+}
+
+func (h *dynamicHandler) Handle(ctx context.Context, r slog.Record) error {
+	r = r.Clone()
+	r.AddAttrs(h.fn()...)
+	return h.inner.Handle(ctx, r)
+}
+
+func (h *dynamicHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &dynamicHandler{inner: h.inner.WithAttrs(attrs), fn: h.fn}
+}
+
+func (h *dynamicHandler) WithGroup(name string) slog.Handler {
+	return &dynamicHandler{inner: h.inner.WithGroup(name), fn: h.fn}
+}
+
+// Printf adapts a slog.Logger to the printf-style hook the storage
+// layers (wal.Options.Logf, durable.Options.Logf) accept. The formatted
+// line becomes the message; structure below this boundary is the
+// message text, by design.
+func Printf(l *slog.Logger) func(format string, args ...any) {
+	if l == nil {
+		return nil
+	}
+	return func(format string, args ...any) {
+		l.Info(fmt.Sprintf(format, args...))
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"time"
 
+	"repro/internal/rtrace"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -29,7 +30,7 @@ func (n *Node) followerLoop() {
 			return
 		}
 		if err != nil {
-			n.logf("repl: follower: %v (retrying in %v)", err, backoff)
+			n.log.Warn("replication pull failed; retrying", "retry_in", backoff, "err", err)
 		}
 		n.c.reconnects.Add(1)
 		select {
@@ -178,6 +179,7 @@ func (st *applyState) handleFrame(frame []byte) error {
 func (st *applyState) applyFrames(fb wire.FrameBatch) error {
 	frames := fb.Frames
 	var applied uint32
+	start := time.Now()
 	for len(frames) > 0 {
 		r, adv, err := wal.DecodeFrame(frames)
 		if err != nil {
@@ -197,6 +199,12 @@ func (st *applyState) applyFrames(fb wire.FrameBatch) error {
 		st.n.c.recordsApplied.Add(uint64(applied))
 		st.n.applied.Store(st.applied)
 		st.n.wakeApplied()
+		// A batch stamped with a trace context covers a sampled mutation on
+		// the leader: record this apply as a span of that trace, parented
+		// under the leader's request span (Arg = the sampled WAL seq).
+		if fb.Trace.Sampled() {
+			st.n.cfg.Trace.Span(fb.Trace, rtrace.KApply, start, int64(fb.TraceSeq))
+		}
 	}
 	return nil
 }
@@ -229,7 +237,7 @@ func (st *applyState) applySnapshotChunk(sc wire.SnapshotChunk) error {
 	n.applied.Store(st.applied)
 	n.wakeApplied()
 	n.c.snapshotLoads.Add(1)
-	n.logf("repl: loaded snapshot @%d (%d keys)", st.snapWALSeq, len(keys))
+	n.log.Info("loaded snapshot", "wal_seq", st.snapWALSeq, "keys", len(keys))
 	return st.sendAck(true)
 }
 

@@ -53,14 +53,14 @@ func (n *Node) acceptLoop(ln net.Listener) {
 			if ne, ok := err.(net.Error); ok && ne.Timeout() {
 				continue
 			}
-			n.logf("repl: accept: %v", err)
+			n.log.Error("replication accept failed", "err", err)
 			return
 		}
 		n.wg.Add(1)
 		go func() {
 			defer n.wg.Done()
 			if err := n.serveSubscriber(c); err != nil && !n.closed.Load() {
-				n.logf("repl: subscriber %s: %v", c.RemoteAddr(), err)
+				n.log.Warn("subscriber stream ended", "peer", c.RemoteAddr().String(), "err", err)
 			}
 		}()
 	}
@@ -89,7 +89,7 @@ func (n *Node) serveSubscriber(c net.Conn) error {
 	// A subscriber carrying a higher term than ours has spoken to a newer
 	// leader; adopt the term so our heartbeats can't roll the cluster back.
 	if t := sub.Term; t > n.term.Load() {
-		n.logf("repl: subscriber announces term %d > ours; adopting", t)
+		n.log.Info("subscriber announces newer term; adopting", "subscriber_term", t)
 		for {
 			old := n.term.Load()
 			if t <= old || n.term.CompareAndSwap(old, t) {
@@ -150,7 +150,7 @@ func (n *Node) serveSubscriber(c net.Conn) error {
 				return err
 			}
 		case <-hb.C:
-			if err := n.sendBatch(s, nil, 0); err != nil {
+			if err := n.sendBatch(s, nil, 0, 0, 0); err != nil {
 				return err
 			}
 			n.c.heartbeatsSent.Add(1)
@@ -192,7 +192,7 @@ func (n *Node) forwardLive(s *subscriber, b liveBatch) error {
 	if b.last <= s.sent {
 		return nil
 	}
-	if err := n.sendBatch(s, b.frames, countRecords(b.frames)); err != nil {
+	if err := n.sendBatch(s, b.frames, countRecords(b.frames), b.first, b.last); err != nil {
 		return err
 	}
 	s.sent = b.last
@@ -202,14 +202,23 @@ func (n *Node) forwardLive(s *subscriber, b liveBatch) error {
 // sendBatch writes one ReplFrames frame (frames == nil is a heartbeat)
 // carrying the current term, durable horizon, and the leader's advertised
 // data address — the address rides every frame so followers can always
-// answer "who is the leader" for client redirects.
-func (n *Node) sendBatch(s *subscriber, frames []byte, nrec uint32) error {
+// answer "who is the leader" for client redirects. Live batches
+// ([first, last] nonzero) additionally carry the trace context of any
+// sampled mutation they cover, so the follower's apply span links into the
+// originating request's trace; the recorder consumes the entry, so with
+// multiple subscribers exactly one stream carries the stamp.
+func (n *Node) sendBatch(s *subscriber, frames []byte, nrec uint32, first, last uint64) error {
 	fb := wire.FrameBatch{
 		Term:      n.term.Load(),
 		CommitSeq: n.store.DurableSeq(),
 		Addr:      n.LeaderAddr(),
 		N:         nrec,
 		Frames:    frames,
+	}
+	if nrec > 0 && last > 0 {
+		if tc, seq, ok := n.cfg.Trace.SampledSeqInRange(first, last); ok {
+			fb.Trace, fb.TraceSeq = tc, seq
+		}
 	}
 	bp := wire.GetBuf()
 	*bp = wire.AppendReplFrames((*bp)[:0], fb)
@@ -287,7 +296,7 @@ func (n *Node) replayRange(s *subscriber, target uint64) error {
 		if nrec == 0 {
 			return nil
 		}
-		err := n.sendBatch(s, buf, nrec)
+		err := n.sendBatch(s, buf, nrec, 0, 0)
 		buf, nrec = buf[:0], 0
 		return err
 	}
@@ -311,7 +320,7 @@ func (n *Node) replayRange(s *subscriber, target uint64) error {
 		}
 		// Retained-WAL miss (a checkpoint removed segments under the
 		// replay): report distinctly so resync retries via snapshot.
-		n.logf("repl: replay fell off retained WAL at seq %d: %v", s.sent, err)
+		n.log.Warn("replay fell off retained WAL; resync via snapshot", "seq", s.sent, "err", err)
 		return nil
 	}
 	return flush()
@@ -372,7 +381,7 @@ func (n *Node) shipSnapshot(s *subscriber) error {
 	}
 	s.sent = e.WALSeq
 	n.c.snapshotsShipped.Add(1)
-	n.logf("repl: shipped snapshot @%d to %s", e.WALSeq, s.conn.RemoteAddr())
+	n.log.Info("shipped snapshot", "wal_seq", e.WALSeq, "peer", s.conn.RemoteAddr().String())
 	return nil
 }
 

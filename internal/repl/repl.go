@@ -46,13 +46,16 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/logx"
 	"repro/internal/metrics"
+	"repro/internal/rtrace"
 )
 
 // Role is a node's current replication role.
@@ -110,8 +113,18 @@ type Config struct {
 	RequireAck bool
 	// AckTimeout bounds the semi-sync wait (default 2s).
 	AckTimeout time.Duration
-	// Logf, when non-nil, receives one line per notable event.
-	Logf func(format string, args ...any)
+	// Trace, when non-nil, links replication into request tracing: a
+	// leader stamps shipped frame batches with the trace context of any
+	// sampled mutation they cover (consulting the recorder's sampled-seq
+	// table), and a follower records a KApply span — parented under the
+	// leader's request span — for every stamped batch it applies. Nil
+	// disables the linkage at a nil-check's cost.
+	Trace *rtrace.Recorder
+	// Logger, when non-nil, receives one structured record per notable
+	// event. Every record is stamped — at emit time, not construction —
+	// with the node's current role and term, so lines logged across a
+	// failover carry the identity the node had when each line happened.
+	Logger *slog.Logger
 }
 
 // Node is one member of a replication cluster. Create with Start; wire it
@@ -119,6 +132,7 @@ type Config struct {
 type Node struct {
 	cfg   Config
 	store *durable.Tree
+	log   *slog.Logger
 
 	role       atomic.Int32
 	term       atomic.Uint64
@@ -212,6 +226,17 @@ func Start(cfg Config) (*Node, error) {
 		subs:     make(map[*subscriber]struct{}),
 		quit:     make(chan struct{}),
 	}
+	// Role and term flip during failover; resolve them per record rather
+	// than freezing them into the handler at construction.
+	n.log = logx.Dynamic(cfg.Logger, func() []slog.Attr {
+		return []slog.Attr{
+			slog.String("role", n.Role().String()),
+			slog.Uint64("term", n.term.Load()),
+		}
+	})
+	if cfg.Logger == nil {
+		n.log = logx.Discard()
+	}
 	if cfg.ReplicaOf == "" {
 		n.role.Store(int32(Leader))
 		n.term.Store(1)
@@ -247,12 +272,6 @@ func Start(cfg Config) (*Node, error) {
 		go n.followerLoop()
 	}
 	return n, nil
-}
-
-func (n *Node) logf(format string, args ...any) {
-	if n.cfg.Logf != nil {
-		n.cfg.Logf(format, args...)
-	}
 }
 
 // Role returns the node's current role.
@@ -292,6 +311,28 @@ func (n *Node) LeaseExpired() bool {
 		return false
 	}
 	return time.Since(time.Unix(0, n.lastHeard.Load())) > n.cfg.LeaseTimeout
+}
+
+// LeaseRemaining returns how much of the heartbeat lease is left before
+// this follower declares the leader lost (floored at 0 once expired). A
+// leader reports its full lease: it cannot lose itself.
+func (n *Node) LeaseRemaining() time.Duration {
+	if n.IsLeader() {
+		return n.cfg.LeaseTimeout
+	}
+	rem := n.cfg.LeaseTimeout - time.Since(time.Unix(0, n.lastHeard.Load()))
+	return max(rem, 0)
+}
+
+// LeaderCommit returns the newest WAL sequence this node has heard the
+// leader commit: its own log horizon on a leader, the commit horizon of
+// the last ReplFrames batch on a follower. AppliedSeq lagging this is the
+// follower's replication staleness.
+func (n *Node) LeaderCommit() uint64 {
+	if n.IsLeader() {
+		return n.store.LastSeq()
+	}
+	return n.leaderCommit.Load()
 }
 
 // ReplAddr returns the bound replication listener address ("" when the
@@ -430,7 +471,7 @@ func (n *Node) Promote() (term uint64, err error) {
 	// WaitApplied never regress across the role change.
 	n.applied.Store(n.store.LastSeq())
 	n.wakeApplied()
-	n.logf("repl: promoted to leader, term %d (applied seq %d)", term, n.store.LastSeq())
+	n.log.Info("promoted to leader", "applied_seq", n.store.LastSeq())
 	return term, nil
 }
 
@@ -540,6 +581,7 @@ func (n *Node) MetricsHook(s *metrics.Snapshot) {
 	} else {
 		s.Gauges["repl_lease_expired"] = 0
 	}
+	s.Gauges["repl_lease_remaining_seconds"] = n.LeaseRemaining().Seconds()
 	s.External["repl_records_sent_total"] += st.RecordsSent
 	s.External["repl_batches_sent_total"] += st.BatchesSent
 	s.External["repl_heartbeats_sent_total"] += st.HeartbeatsSent

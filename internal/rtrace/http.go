@@ -1,0 +1,169 @@
+package rtrace
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+
+	"repro/internal/metrics"
+)
+
+// spanJSON is the stable /debug/rtrace span shape.
+type spanJSON struct {
+	Trace  string `json:"trace"` // %016x — 64-bit IDs survive JSON readers as strings
+	Span   uint32 `json:"span"`
+	Parent uint32 `json:"parent,omitempty"`
+	Kind   string `json:"kind"`
+	Op     uint8  `json:"op,omitempty"`
+	Conn   uint32 `json:"conn,omitempty"`
+	Start  int64  `json:"start_unix_ns"`
+	Dur    int64  `json:"dur_ns"`
+	Arg    int64  `json:"arg,omitempty"`
+}
+
+type slowOpJSON struct {
+	Trace    string     `json:"trace"`
+	Op       uint8      `json:"op"`
+	Key      int64      `json:"key"`
+	Start    int64      `json:"start_unix_ns"`
+	Dur      int64      `json:"dur_ns"`
+	Dominant string     `json:"dominant"`
+	Spans    []spanJSON `json:"spans"`
+}
+
+type dumpJSON struct {
+	Spans  []spanJSON               `json:"spans"`
+	Slow   []slowOpJSON             `json:"slow"`
+	Phases map[string]PhaseSnapshot `json:"phases"`
+}
+
+func toSpanJSON(sp Span) spanJSON {
+	return spanJSON{
+		Trace: hex64(sp.TraceID), Span: sp.SpanID, Parent: sp.Parent,
+		Kind: KindName(sp.Kind), Op: sp.Op, Conn: sp.Conn,
+		Start: sp.Start, Dur: sp.Dur, Arg: sp.Arg,
+	}
+}
+
+func hex64(v uint64) string {
+	const digits = "0123456789abcdef"
+	var b [16]byte
+	for i := 15; i >= 0; i-- {
+		b[i] = digits[v&0xf]
+		v >>= 4
+	}
+	return string(b[:])
+}
+
+// Dump assembles the full recorder state (spans sorted by start time, the
+// slow-op log, phase aggregates) for the JSON endpoint and test assertions.
+func (r *Recorder) Dump() ([]Span, []SlowOp, map[string]PhaseSnapshot) {
+	spans := r.Snapshot()
+	sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	return spans, r.SlowOps(), r.Phases()
+}
+
+// ServeJSON is the GET /debug/rtrace handler: every published span, the
+// slow-op log, and the cumulative phase aggregates.
+func (r *Recorder) ServeJSON(w http.ResponseWriter, _ *http.Request) {
+	spans, slow, phases := r.Dump()
+	d := dumpJSON{
+		Spans:  make([]spanJSON, 0, len(spans)),
+		Slow:   make([]slowOpJSON, 0, len(slow)),
+		Phases: phases,
+	}
+	for _, sp := range spans {
+		d.Spans = append(d.Spans, toSpanJSON(sp))
+	}
+	for _, so := range slow {
+		sj := slowOpJSON{
+			Trace: hex64(so.TraceID), Op: so.Op, Key: so.Key,
+			Start: so.Start, Dur: so.Dur, Dominant: so.DominantName(),
+		}
+		for _, sp := range so.Spans {
+			sj.Spans = append(sj.Spans, toSpanJSON(sp))
+		}
+		d.Slow = append(d.Slow, sj)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(d)
+}
+
+// chromeEvent is one Chrome trace-event ("X" complete events for spans,
+// "i" instants for zero-duration events), loadable in about://tracing and
+// Perfetto. Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   uint32         `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeDoc struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+}
+
+// ServeChrome is the GET /debug/rtrace/chrome handler: the same spans in
+// Chrome trace-event format. Connections map to tids so each connection's
+// requests stack on their own row.
+func (r *Recorder) ServeChrome(w http.ResponseWriter, _ *http.Request) {
+	spans, _, _ := r.Dump()
+	doc := chromeDoc{TraceEvents: make([]chromeEvent, 0, len(spans))}
+	for _, sp := range spans {
+		ev := chromeEvent{
+			Name: KindName(sp.Kind),
+			Cat:  "rtrace",
+			TS:   float64(sp.Start) / 1e3,
+			PID:  1,
+			TID:  sp.Conn,
+			Args: map[string]any{
+				"trace":  hex64(sp.TraceID),
+				"span":   sp.SpanID,
+				"parent": sp.Parent,
+				"arg":    sp.Arg,
+			},
+		}
+		if sp.Dur > 0 {
+			ev.Phase = "X"
+			ev.Dur = float64(sp.Dur) / 1e3
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		}
+		doc.TraceEvents = append(doc.TraceEvents, ev)
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(doc)
+}
+
+// MetricsHook folds recorder totals into a metrics snapshot
+// (bst_rtrace_* series): spans and slow ops as monotonic counters, per-
+// phase cumulative counts and nanoseconds.
+func (r *Recorder) MetricsHook(s *metrics.Snapshot) {
+	if r == nil {
+		return
+	}
+	var spans uint64
+	for k := uint8(1); k < kMax; k++ {
+		c := r.phases[k].count.Load()
+		if c == 0 {
+			continue
+		}
+		spans += c
+		name := KindName(k)
+		s.External["rtrace_phase_"+name+"_spans_total"] = c
+		s.External["rtrace_phase_"+name+"_nanos_total"] = r.phases[k].nanos.Load()
+	}
+	s.External["rtrace_spans_total"] = spans
+	r.slowMu.Lock()
+	slow := uint64(r.slowLen)
+	r.slowMu.Unlock()
+	s.Gauges["rtrace_slow_ops_retained"] = float64(slow)
+}

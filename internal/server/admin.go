@@ -109,7 +109,7 @@ func (s *Server) AdminHandler() http.Handler {
 			})
 			return
 		}
-		s.logf("server: promoted to leader (term %d)", term)
+		s.log.Info("promoted to leader", "term", term)
 		w.Header().Set("Content-Type", "application/json; charset=utf-8")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -119,12 +119,18 @@ func (s *Server) AdminHandler() http.Handler {
 			"leader": cl.LeaderAddr(),
 		})
 	})
+	if rec := s.cfg.Trace; rec != nil {
+		// Flight-recorder exports: raw span/slow-op JSON, and the same
+		// spans as Chrome trace events (load in about://tracing, Perfetto).
+		mux.HandleFunc("/debug/rtrace", rec.ServeJSON)
+		mux.HandleFunc("/debug/rtrace/chrome", rec.ServeChrome)
+	}
 	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path != "/" {
 			http.NotFound(w, r)
 			return
 		}
-		fmt.Fprintln(w, "bstserve admin: /healthz /readyz /metrics /debug/vars /checkpoint /promote")
+		fmt.Fprintln(w, "bstserve admin: /healthz /readyz /metrics /debug/vars /checkpoint /promote /debug/rtrace")
 	})
 	return mux
 }
@@ -152,6 +158,12 @@ func (s *Server) Ready() error {
 		return fmt.Errorf("reclamation stalled: %d slot(s) pinning the epoch, %d nodes backlogged",
 			h.StalledSlots, h.RetiredBacklog)
 	}
+	// A follower whose heartbeat lease has lapsed is serving reads of
+	// unknown staleness — a load balancer should route somewhere fresher
+	// until it reconnects (or is promoted).
+	if cl := s.cfg.Cluster; cl != nil && !cl.IsLeader() && cl.LeaseExpired() {
+		return fmt.Errorf("follower lease expired: leader unheard, applied_seq %d", cl.AppliedSeq())
+	}
 	return nil
 }
 
@@ -167,15 +179,21 @@ type healthBody struct {
 
 // clusterHealth summarizes the replication control plane: who leads, how
 // far this node has applied, and (on a leader) how far followers have
-// acknowledged — the operator's promote/don't-promote dashboard.
+// acknowledged — the operator's promote/don't-promote dashboard. The two
+// staleness fields quantify a follower's distance from its leader:
+// AppliedLag is how many committed WAL records it has yet to apply, and
+// LeaseRemainingMS is how much heartbeat lease is left before it would
+// declare the leader lost.
 type clusterHealth struct {
-	Role         string `json:"role"`
-	Term         uint64 `json:"term"`
-	LeaderAddr   string `json:"leader_addr"`
-	AppliedSeq   uint64 `json:"applied_seq"`
-	AckedSeq     uint64 `json:"acked_seq"`
-	Followers    int    `json:"followers"`
-	LeaseExpired bool   `json:"lease_expired"`
+	Role             string `json:"role"`
+	Term             uint64 `json:"term"`
+	LeaderAddr       string `json:"leader_addr"`
+	AppliedSeq       uint64 `json:"applied_seq"`
+	AckedSeq         uint64 `json:"acked_seq"`
+	AppliedLag       uint64 `json:"applied_lag"`
+	LeaseRemainingMS int64  `json:"lease_remaining_ms"`
+	Followers        int    `json:"followers"`
+	LeaseExpired     bool   `json:"lease_expired"`
 }
 
 // durabilityHealth summarizes the WAL's progress for operators: how far
@@ -231,14 +249,20 @@ func writeHealth(w http.ResponseWriter, code int, status string, s *Server) {
 		if cl.IsLeader() {
 			role = "leader"
 		}
+		var lag uint64
+		if commit, applied := cl.LeaderCommit(), cl.AppliedSeq(); commit > applied {
+			lag = commit - applied
+		}
 		body.Cluster = &clusterHealth{
-			Role:         role,
-			Term:         cl.Term(),
-			LeaderAddr:   cl.LeaderAddr(),
-			AppliedSeq:   cl.AppliedSeq(),
-			AckedSeq:     cl.AckedSeq(),
-			Followers:    cl.Followers(),
-			LeaseExpired: cl.LeaseExpired(),
+			Role:             role,
+			Term:             cl.Term(),
+			LeaderAddr:       cl.LeaderAddr(),
+			AppliedSeq:       cl.AppliedSeq(),
+			AckedSeq:         cl.AckedSeq(),
+			AppliedLag:       lag,
+			LeaseRemainingMS: cl.LeaseRemaining().Milliseconds(),
+			Followers:        cl.Followers(),
+			LeaseExpired:     cl.LeaseExpired(),
 		}
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

@@ -33,6 +33,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -40,7 +41,9 @@ import (
 
 	bst "repro"
 	"repro/internal/failpoint"
+	"repro/internal/logx"
 	"repro/internal/metrics"
+	"repro/internal/rtrace"
 	"repro/internal/wal"
 	"repro/internal/wire"
 )
@@ -96,6 +99,14 @@ type Cluster interface {
 	// LeaseExpired reports a follower that has lost contact with its
 	// leader (health/readiness surface).
 	LeaseExpired() bool
+	// LeaseRemaining is how much of the follower's heartbeat lease is
+	// left before it considers the leader lost (0 when expired; a
+	// leader reports its full lease, it never expires on itself).
+	LeaseRemaining() time.Duration
+	// LeaderCommit is the newest WAL sequence this node has heard the
+	// leader commit — on a follower, AppliedSeq lagging this is
+	// replication staleness; on the leader it equals its own last seq.
+	LeaderCommit() uint64
 	// Followers is the number of connected replication subscribers.
 	Followers() int
 }
@@ -142,9 +153,18 @@ type Config struct {
 	// Failpoints wires the FP* sites for fault-injection tests. Leave nil
 	// in production.
 	Failpoints *failpoint.Set
-	// Logf, when non-nil, receives one line per notable event (accept
-	// errors, panics, drain). Nil means silent.
-	Logf func(format string, args ...any)
+	// Trace, when non-nil, is the flight recorder: each connection gets an
+	// rtrace.Conn, requests arriving with a sampled wire context (or
+	// self-sampled per the recorder's rate) record a span tree covering
+	// admission wait, the tree operation, the group-commit WAL wait and the
+	// semi-sync replication wait, and slow requests land in the recorder's
+	// slow-op log. Nil costs one pointer check per request.
+	Trace *rtrace.Recorder
+	// Logger, when non-nil, receives one structured record per notable
+	// event (accept errors, panics, drain). Records emitted inside a
+	// request path carry the connection ID and, when the request is
+	// sampled, its trace ID. Nil means silent.
+	Logger *slog.Logger
 }
 
 // maxRangeLimit keeps the largest possible range response inside
@@ -203,6 +223,7 @@ type Server struct {
 	cfg Config
 	sem chan struct{} // admission semaphore: one token per in-flight request
 	reg *metrics.Registry
+	log *slog.Logger
 
 	mu       sync.Mutex
 	ln       net.Listener
@@ -246,6 +267,10 @@ func New(cfg Config) *Server {
 		sem:   make(chan struct{}, cfg.MaxInFlight),
 		conns: make(map[net.Conn]struct{}),
 		reg:   cfg.Metrics,
+		log:   cfg.Logger,
+	}
+	if s.log == nil {
+		s.log = logx.Discard()
 	}
 	if s.reg == nil {
 		s.reg = metrics.NewRegistry(0)
@@ -300,12 +325,6 @@ func (s *Server) Counters() Counters {
 		InFlight:      s.stats.inFlight.Load(),
 		OpenConns:     s.stats.openConns.Load(),
 		Draining:      s.draining.Load(),
-	}
-}
-
-func (s *Server) logf(format string, args ...any) {
-	if s.cfg.Logf != nil {
-		s.cfg.Logf(format, args...)
 	}
 }
 
@@ -423,6 +442,8 @@ func (s *Server) handleConn(c net.Conn) {
 	defer s.forgetConn(c)
 	acc := s.cfg.Store.NewAccessor()
 	defer acc.Close()
+	tr := s.cfg.Trace.NewConn() // nil Conn (a no-op) when tracing is off
+	defer tr.Close()
 
 	br := bufio.NewReaderSize(c, 32<<10)
 	bw := bufio.NewWriterSize(c, 32<<10)
@@ -457,17 +478,24 @@ func (s *Server) handleConn(c net.Conn) {
 		if nwin == 0 {
 			return true
 		}
+		// The window's durability and replication waits are attributed to
+		// the sampled request currently tracked (under pipelining, the last
+		// sampled request staged into this window — see rtrace.Conn).
+		defer tr.EndRequest()
 		if !lastTicket.Empty() {
+			walStart := time.Now()
 			if _, err := lastTicket.Wait(); err != nil {
 				// Durability unknown for the window's mutations: acknowledge
 				// nothing and sever the connection — a dropped response is a
 				// retryable transport error to the client, never a false ack.
-				s.logf("server: wal wait: %v", err)
+				s.log.Error("wal wait failed; severing connection", "conn", tr.ID(), "err", err)
 				nwin = 0
 				return false
 			}
+			tr.Span(rtrace.KWALWait, walStart, int64(maxSeq))
 		}
 		if cl := s.cfg.Cluster; cl != nil && maxSeq > 0 {
+			replStart := time.Now()
 			if err := cl.WaitReplicated(context.Background(), maxSeq); err != nil {
 				// Semi-sync degraded: rewrite every response whose sequence
 				// is not yet covered by a follower ack to StatusOverloaded
@@ -484,6 +512,7 @@ func (s *Server) handleConn(c net.Conn) {
 				}
 				s.stats.replDegraded.Add(1)
 			}
+			tr.Span(rtrace.KReplWait, replStart, int64(maxSeq))
 		}
 		c.SetWriteDeadline(time.Now().Add(s.cfg.ReadTimeout))
 		for i := 0; i < nwin; i++ {
@@ -537,7 +566,7 @@ func (s *Server) handleConn(c net.Conn) {
 		if req.Op == wire.OpBatch {
 			var results []wire.BatchResult
 			var st wire.Status
-			results, st, seq, poisoned = s.dispatchBatch(acc, req, frame, &cs)
+			results, st, seq, poisoned = s.dispatchBatch(acc, req, frame, &cs, tr)
 			if st == wire.StatusOK {
 				*out = wire.AppendBatchResponse((*out)[:0], req.ID, results)
 			} else {
@@ -549,7 +578,7 @@ func (s *Server) handleConn(c net.Conn) {
 			}
 		} else {
 			var resp wire.Response
-			resp, ticket, seq, poisoned = s.dispatch(acc, req)
+			resp, ticket, seq, poisoned = s.dispatch(acc, req, tr)
 			*out = wire.AppendResponse((*out)[:0], resp)
 		}
 		stage(*out, ticket, seq)
@@ -590,7 +619,7 @@ func (s *Server) writeFrame(c net.Conn, bw *bufio.Writer, payload []byte, flush 
 // close. ticket/seq describe the mutation's WAL record when the accessor
 // supports asynchronous durability — the caller stages the response and
 // waits once per window.
-func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Response, ticket wal.Ticket, seq uint64, poisoned bool) {
+func (s *Server) dispatch(acc bst.Accessor, req wire.Request, tr *rtrace.Conn) (resp wire.Response, ticket wal.Ticket, seq uint64, poisoned bool) {
 	resp.ID = req.ID
 	start := time.Now()
 
@@ -600,6 +629,7 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 		resp.Status = wire.StatusBadRequest
 		return resp, ticket, 0, false
 	}
+	tr.StartRequest(req.Trace, req.Op, req.Key)
 	// Role gate: a follower refuses writes with a redirect to the leader
 	// instead of silently diverging from it. Reads (including OpLookupAt)
 	// are served from any role.
@@ -615,7 +645,8 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 	}
 
 	// Admission: take an in-flight token or shed. The bounded wait (0 by
-	// default) is the only queueing the server ever does.
+	// default) is the only queueing the server ever does; only that waited
+	// path records a KQueueWait span (the fast path never queues).
 	select {
 	case s.sem <- struct{}{}:
 	default:
@@ -624,10 +655,12 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 			resp.Status = wire.StatusOverloaded
 			return resp, ticket, 0, false
 		}
+		qStart := time.Now()
 		t := time.NewTimer(s.cfg.AdmissionWait)
 		select {
 		case s.sem <- struct{}{}:
 			t.Stop()
+			tr.Span(rtrace.KQueueWait, qStart, 0)
 		case <-t.C:
 			s.stats.shed.Add(1)
 			resp.Status = wire.StatusOverloaded
@@ -640,7 +673,8 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 		<-s.sem
 		if p := recover(); p != nil {
 			s.stats.panics.Add(1)
-			s.logf("server: panic serving %s(%d): %v", wire.OpName(req.Op), req.Key, p)
+			s.log.Error("panic serving request", "op", wire.OpName(req.Op), "key", req.Key,
+				"conn", tr.ID(), "trace", tr.Context().TraceID, "panic", p)
 			resp = wire.Response{ID: req.ID, Status: wire.StatusInternal}
 			ticket, seq = wal.Ticket{}, 0
 			poisoned = true
@@ -664,7 +698,14 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 	ctx, cancel := context.WithDeadline(context.Background(), start.Add(budget))
 	defer cancel()
 
+	opStart := time.Now()
 	resp, ticket, seq = s.execute(ctx, acc, req)
+	tr.Span(rtrace.KTreeOp, opStart, req.Key)
+	if seq != 0 {
+		// Link the WAL sequence this mutation produced to its trace, so the
+		// replication leader can stamp the shipped batch that covers it.
+		s.cfg.Trace.NoteSampledSeq(seq, tr.Context())
+	}
 	return resp, ticket, seq, false
 }
 
@@ -677,7 +718,7 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request) (resp wire.Respons
 // mutations reached (0 when none) — the durability wait already happened
 // inside the batched accessor, but the semi-sync replication wait is the
 // window's.
-func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte, cs *connScratch) (results []wire.BatchResult, st wire.Status, seq uint64, poisoned bool) {
+func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte, cs *connScratch, tr *rtrace.Conn) (results []wire.BatchResult, st wire.Status, seq uint64, poisoned bool) {
 	start := time.Now()
 	if s.draining.Load() {
 		s.stats.drainRejected.Add(1)
@@ -691,6 +732,7 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 		s.stats.badRequests.Add(1)
 		return nil, wire.StatusBadRequest, 0, false
 	}
+	tr.StartRequest(req.Trace, wire.OpBatch, int64(len(ops))) // Arg = op count
 	mutates := false
 	for i := range ops {
 		if ops[i].Op == wire.OpInsert || ops[i].Op == wire.OpDelete {
@@ -712,10 +754,12 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 			s.stats.shed.Add(1)
 			return nil, wire.StatusOverloaded, 0, false
 		}
+		qStart := time.Now()
 		t := time.NewTimer(s.cfg.AdmissionWait)
 		select {
 		case s.sem <- struct{}{}:
 			t.Stop()
+			tr.Span(rtrace.KQueueWait, qStart, 0)
 		case <-t.C:
 			s.stats.shed.Add(1)
 			return nil, wire.StatusOverloaded, 0, false
@@ -727,7 +771,8 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 		<-s.sem
 		if p := recover(); p != nil {
 			s.stats.panics.Add(1)
-			s.logf("server: panic serving batch of %d ops: %v", len(ops), p)
+			s.log.Error("panic serving batch", "ops", len(ops),
+				"conn", tr.ID(), "trace", tr.Context().TraceID, "panic", p)
 			results, st, seq, poisoned = nil, wire.StatusInternal, 0, true
 		}
 	}()
@@ -748,13 +793,18 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 	ctx, cancel := context.WithDeadline(context.Background(), start.Add(budget))
 	defer cancel()
 
+	opStart := time.Now()
 	results = s.executeBatch(ctx, acc, ops, cs)
+	tr.Span(rtrace.KTreeOp, opStart, int64(len(ops)))
 	if mutates && s.cfg.Cluster != nil {
 		// Conservative horizon for the semi-sync gate: every record this
 		// batch logged has seq at or below the store's current last.
 		if ds, can := s.cfg.Store.(interface{ LastSeq() uint64 }); can {
 			seq = ds.LastSeq()
 		}
+	}
+	if seq != 0 {
+		s.cfg.Trace.NoteSampledSeq(seq, tr.Context())
 	}
 	return results, wire.StatusOK, seq, false
 }
@@ -975,7 +1025,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
-	s.logf("server: draining")
+	s.log.Info("draining")
 	s.mu.Lock()
 	ln := s.ln
 	for c := range s.conns {
@@ -998,7 +1048,7 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		s.serveWG.Wait()
 		s.stats.drains.Add(1)
-		s.logf("server: drain complete (%d requests served)", s.stats.requests.Load())
+		s.log.Info("drain complete", "requests", s.stats.requests.Load())
 		return nil
 	case <-ctx.Done():
 		// Force the stragglers.

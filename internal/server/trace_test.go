@@ -1,0 +1,113 @@
+package server
+
+// The slow-op acceptance test: stall the WAL flusher's fsync under a
+// sampled write and the slow-op log must finger wal_wait as the dominant
+// phase — the "why was this PUT slow" answer an operator reads off
+// /debug/rtrace without reconstructing the span tree by hand.
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/durable"
+	"repro/internal/failpoint"
+	"repro/internal/rtrace"
+	"repro/internal/wal"
+)
+
+func TestSlowOpFsyncStall(t *testing.T) {
+	fps := failpoint.NewSet()
+	rec := rtrace.New(rtrace.Options{SampleEvery: 1, SlowOp: 10 * time.Millisecond})
+	dur, err := durable.Open(t.TempDir(), durable.Options{
+		Sync:       wal.SyncFsync,
+		Failpoints: fps,
+	})
+	if err != nil {
+		t.Fatalf("durable.Open: %v", err)
+	}
+	defer dur.Close()
+	srv := New(Config{Store: dur, Trace: rec})
+	if err := srv.Start("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+	cl, err := client.Dial(client.Config{Addr: srv.Addr().String(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Close()
+	ctx := context.Background()
+
+	// Park the flusher just before its next fsync, issue the write, and
+	// hold the stall well past the slow-op threshold. The insert cannot
+	// ack until the fsync completes, so its wal_wait span absorbs the
+	// entire stall.
+	site := fps.Site(wal.FPFsync)
+	site.StallNext()
+	done := make(chan error, 1)
+	go func() {
+		ok, err := cl.Insert(ctx, 777)
+		if err == nil && !ok {
+			err = context.DeadlineExceeded // impossible shape; flag it
+		}
+		done <- err
+	}()
+	if !site.WaitStalled(5 * time.Second) {
+		t.Fatal("flusher never reached the fsync failpoint")
+	}
+	time.Sleep(50 * time.Millisecond) // dwarf the 10ms threshold
+	site.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("stalled insert failed: %v", err)
+	}
+
+	var slow []rtrace.SlowOp
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if slow = rec.SlowOps(); len(slow) > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no slow op retained after a 50ms fsync stall with a 10ms threshold")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	so := slow[len(slow)-1]
+	if so.Dominant != rtrace.KWALWait {
+		t.Fatalf("dominant phase = %s, want wal_wait (op %d key %d dur %v)",
+			so.DominantName(), so.Op, so.Key, time.Duration(so.Dur))
+	}
+	if so.Key != 777 {
+		t.Fatalf("slow op key = %d, want 777", so.Key)
+	}
+	if time.Duration(so.Dur) < 40*time.Millisecond {
+		t.Fatalf("slow op duration %v does not cover the stall", time.Duration(so.Dur))
+	}
+
+	// The admin surface serves it: /debug/rtrace names the dominant phase.
+	rw := httptest.NewRecorder()
+	req := httptest.NewRequest("GET", "/debug/rtrace", nil)
+	srv.AdminHandler().ServeHTTP(rw, req)
+	var body struct {
+		Slow []struct {
+			Dominant string `json:"dominant"`
+			Key      int64  `json:"key"`
+		} `json:"slow"`
+	}
+	if err := json.Unmarshal(rw.Body.Bytes(), &body); err != nil {
+		t.Fatalf("/debug/rtrace: %v", err)
+	}
+	found := false
+	for _, s := range body.Slow {
+		if s.Key == 777 && s.Dominant == "wal_wait" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("/debug/rtrace slow log missing the stalled op: %s", rw.Body.String())
+	}
+}

@@ -50,8 +50,14 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/failpoint"
 	"repro/internal/metrics"
 )
+
+// FPFsync is the failpoint site the flusher hits immediately before each
+// segment fsync (see Options.Failpoints): a stall here is a slow disk, a
+// failure is a dying one.
+const FPFsync = "wal-fsync"
 
 // SyncPolicy selects when appends become durable.
 type SyncPolicy uint8
@@ -120,6 +126,11 @@ type Options struct {
 	// Logf, when non-nil, receives one line per notable event (torn-tail
 	// truncation, segment rotation, GC).
 	Logf func(format string, args ...any)
+	// Failpoints wires the FP* sites for fault-injection tests (an armed
+	// FPFsync stalls or fails the flusher right before it fsyncs, which is
+	// how tests make "the disk is slow" deterministic). Leave nil in
+	// production.
+	Failpoints *failpoint.Set
 	// Tap, when non-nil, receives every flushed run of frames right after
 	// they hit the segment file (before the fsync, so replication shipping
 	// overlaps the disk wait): the verbatim frame bytes and the sequence
@@ -582,6 +593,9 @@ func (l *Log) flushOnce(sync bool) {
 		}
 	}
 	if sync && l.needSync {
+		if fp := l.opts.Failpoints; fp != nil {
+			fp.Hit(FPFsync) // stall-style injection parks the flusher here
+		}
 		t0 := time.Now()
 		if err := l.f.Sync(); err != nil {
 			finish(fmt.Errorf("wal: fsync: %w", err))

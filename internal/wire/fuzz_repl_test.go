@@ -4,7 +4,12 @@ import (
 	"errors"
 	"reflect"
 	"testing"
+
+	"repro/internal/rtrace"
 )
+
+// tracedCtx is a sampled trace extension for seed frames.
+var tracedCtx = rtrace.Context{TraceID: 0xdecafbad, SpanID: 21, Flags: rtrace.FlagSampled}
 
 // Fuzz targets for the replication frame decoders, holding them to the
 // same two properties as the data-plane targets: never panic or
@@ -21,6 +26,7 @@ func FuzzDecodeReplSubscribe(f *testing.F) {
 	f.Add(AppendReplSubscribe(nil, Subscribe{FromSeq: 42, Term: 3}))
 	f.Add(AppendReplSubscribe(nil, Subscribe{}))
 	f.Add(AppendReplSubscribe(nil, Subscribe{FromSeq: 1})[:9])
+	f.Add(AppendReplSubscribe(nil, Subscribe{FromSeq: 5, Term: 2, Trace: tracedCtx, TraceSeq: 5}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		s, err := DecodeReplSubscribe(data)
 		if err != nil {
@@ -43,6 +49,11 @@ func FuzzDecodeReplFrames(f *testing.F) {
 	f.Add(AppendReplFrames(nil, FrameBatch{Term: 1, CommitSeq: 9, Addr: "127.0.0.1:9000"}))
 	f.Add(AppendReplFrames(nil, FrameBatch{Term: 2, CommitSeq: 10, Addr: "h:1", N: 1, Frames: make([]byte, 25)}))
 	f.Add(AppendReplFrames(nil, FrameBatch{Addr: ""})[:18])
+	f.Add(AppendReplFrames(nil, FrameBatch{
+		Term: 3, CommitSeq: 11, Addr: "h:2", N: 1, Frames: make([]byte, 25),
+		Trace: tracedCtx, TraceSeq: 11,
+	}))
+	f.Add(AppendReplFrames(nil, FrameBatch{Term: 3, Addr: "h:2", Trace: tracedCtx})[:12])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		b, err := DecodeReplFrames(data)
 		if err != nil {
@@ -59,7 +70,8 @@ func FuzzDecodeReplFrames(f *testing.F) {
 			t.Fatalf("re-decode of re-encoded frame batch: %v", err)
 		}
 		if b2.Term != b.Term || b2.CommitSeq != b.CommitSeq || b2.Addr != b.Addr ||
-			b2.N != b.N || !reflect.DeepEqual(b2.Frames, b.Frames) {
+			b2.N != b.N || !reflect.DeepEqual(b2.Frames, b.Frames) ||
+			b2.Trace != b.Trace || b2.TraceSeq != b.TraceSeq {
 			t.Fatalf("round trip changed the frame batch: %+v -> %+v", b, b2)
 		}
 	})
@@ -69,6 +81,7 @@ func FuzzDecodeReplAck(f *testing.F) {
 	f.Add(AppendReplAck(nil, Ack{AppliedSeq: 100, DurableSeq: 90}))
 	f.Add(AppendReplAck(nil, Ack{}))
 	f.Add(AppendReplAck(nil, Ack{AppliedSeq: 7})[:10])
+	f.Add(AppendReplAck(nil, Ack{AppliedSeq: 12, DurableSeq: 12, Trace: tracedCtx, TraceSeq: 12}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := DecodeReplAck(data)
 		if err != nil {
@@ -91,6 +104,7 @@ func FuzzDecodeReplSnapshot(f *testing.F) {
 	f.Add(AppendReplSnapshot(nil, SnapshotChunk{WALSeq: 5, Keys: []int64{-3, 1, 9}}))
 	f.Add(AppendReplSnapshot(nil, SnapshotChunk{WALSeq: 5, Final: true}))
 	f.Add([]byte{ReplSnapshot, 0, 0, 0, 0, 0, 0, 0, 1, 0, 0xff, 0xff, 0xff, 0xff}) // huge key count
+	f.Add(AppendReplSnapshot(nil, SnapshotChunk{WALSeq: 6, Keys: []int64{2}, Trace: tracedCtx, TraceSeq: 6}))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		c, err := DecodeReplSnapshot(data)
 		if err != nil {
@@ -106,7 +120,8 @@ func FuzzDecodeReplSnapshot(f *testing.F) {
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded chunk: %v", err)
 		}
-		if c2.WALSeq != c.WALSeq || c2.Final != c.Final || !reflect.DeepEqual(c2.Keys, c.Keys) {
+		if c2.WALSeq != c.WALSeq || c2.Final != c.Final || !reflect.DeepEqual(c2.Keys, c.Keys) ||
+			c2.Trace != c.Trace || c2.TraceSeq != c.TraceSeq {
 			t.Fatalf("round trip changed the chunk: %+v -> %+v", c, c2)
 		}
 	})

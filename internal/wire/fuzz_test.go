@@ -6,6 +6,8 @@ import (
 	"io"
 	"reflect"
 	"testing"
+
+	"repro/internal/rtrace"
 )
 
 // The fuzz targets hold the frame decoders to two properties on arbitrary
@@ -19,6 +21,10 @@ func FuzzDecodeRequest(f *testing.F) {
 	f.Add(AppendRequest(nil, Request{ID: 1, Op: OpInsert, DeadlineMS: 50, Key: 42}))
 	f.Add(AppendRequest(nil, Request{ID: 2, Op: OpRange, Key: -10, To: 10, Limit: 100}))
 	f.Add(AppendRequest(nil, Request{ID: 3, Op: OpLookup, Key: 7})[:5])
+	traced := rtrace.Context{TraceID: 0xfeedbeefcafe, SpanID: 7, Flags: rtrace.FlagSampled}
+	f.Add(AppendRequest(nil, Request{ID: 4, Op: OpInsert, Key: 9, Trace: traced}))
+	f.Add(AppendRequest(nil, Request{ID: 5, Op: OpRange, Key: -1, To: 1, Limit: 8, Trace: traced}))
+	f.Add(AppendRequest(nil, Request{ID: 6, Op: OpLookupAt, Key: 3, MinSeq: 11, Trace: traced})[:reqBaseLen+4])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		q, err := DecodeRequest(data)
 		if err != nil {
@@ -67,9 +73,12 @@ func FuzzDecodeResponse(f *testing.F) {
 
 func FuzzDecodeBatchOps(f *testing.F) {
 	ops := []BatchOp{{Op: OpInsert, Key: 1}, {Op: OpDelete, Key: -2}, {Op: OpLookup, Key: 3}}
-	f.Add(AppendBatchRequest(nil, 9, 25, ops))
-	f.Add(AppendBatchRequest(nil, 10, 0, nil))
-	f.Add(AppendBatchRequest(nil, 11, 0, ops)[:reqBaseLen+2])
+	traced := rtrace.Context{TraceID: 0xabad1dea, SpanID: 3, Flags: rtrace.FlagSampled}
+	f.Add(AppendBatchRequest(nil, 9, 25, rtrace.Context{}, ops))
+	f.Add(AppendBatchRequest(nil, 10, 0, rtrace.Context{}, nil))
+	f.Add(AppendBatchRequest(nil, 11, 0, rtrace.Context{}, ops)[:reqBaseLen+2])
+	f.Add(AppendBatchRequest(nil, 12, 25, traced, ops))
+	f.Add(AppendBatchRequest(nil, 13, 0, traced, ops)[:reqBaseLen+rtrace.ContextLen+2])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		decoded, err := DecodeBatchOps(data, nil)
 		if err != nil {
@@ -87,7 +96,7 @@ func FuzzDecodeBatchOps(f *testing.F) {
 		if err != nil || q.Op != OpBatch {
 			return
 		}
-		again, err := DecodeBatchOps(AppendBatchRequest(nil, q.ID, q.DeadlineMS, decoded), nil)
+		again, err := DecodeBatchOps(AppendBatchRequest(nil, q.ID, q.DeadlineMS, q.Trace, decoded), nil)
 		if err != nil {
 			t.Fatalf("re-decode of re-encoded batch: %v", err)
 		}

@@ -41,12 +41,22 @@
 //	  uint8  final     1 on the last chunk
 //	  uint32 n         keys in this chunk
 //	  n × int64 keys   strictly ascending within and across chunks
+//
+// Every replication kind accepts the optional trace extension: when bit 7
+// of the kind byte (TraceFlag) is set, a 24-byte block — the 16-byte
+// rtrace context plus the uint64 WAL sequence it covers — sits directly
+// after the kind byte, before the kind's own fields. The leader attaches
+// it to a ReplFrames batch that covers a sampled request's record, so the
+// follower can parent its apply span under the leader's request span; a
+// follower may echo it on the covering ReplAck.
 package wire
 
 import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+
+	"repro/internal/rtrace"
 )
 
 // Replication frame kinds, continuing the operation byte namespace.
@@ -87,24 +97,64 @@ func ReplKindName(kind uint8) string {
 	}
 }
 
-// ReplKind returns the kind byte of a replication payload without decoding
-// the rest, so a receive loop can dispatch.
+// ReplKind returns the kind byte of a replication payload (TraceFlag
+// masked out) without decoding the rest, so a receive loop can dispatch.
 func ReplKind(frame []byte) (uint8, error) {
 	if len(frame) < 1 {
 		return 0, ErrTruncated
 	}
-	return frame[0], nil
+	return frame[0] &^ TraceFlag, nil
+}
+
+// replTraceExtLen is the encoded trace extension on replication frames:
+// the 16-byte context plus the uint64 WAL sequence it covers.
+const replTraceExtLen = rtrace.ContextLen + 8
+
+// appendReplKind writes the kind byte and, when the extension is carried
+// (non-zero context or sequence), the TraceFlag bit and extension block.
+func appendReplKind(dst []byte, kind uint8, tc rtrace.Context, seq uint64) []byte {
+	if tc == (rtrace.Context{}) && seq == 0 {
+		return append(dst, kind)
+	}
+	dst = append(dst, kind|TraceFlag)
+	dst = rtrace.AppendContext(dst, tc)
+	return binary.BigEndian.AppendUint64(dst, seq)
+}
+
+// replBody validates the kind byte against want and strips the optional
+// trace extension, returning the kind's own fields.
+func replBody(frame []byte, want uint8) (rest []byte, tc rtrace.Context, seq uint64, err error) {
+	if len(frame) < 1 {
+		return nil, tc, 0, ErrTruncated
+	}
+	if frame[0]&^TraceFlag != want {
+		return nil, tc, 0, ErrWrongKind
+	}
+	rest = frame[1:]
+	if frame[0]&TraceFlag != 0 {
+		if len(rest) < replTraceExtLen {
+			return nil, tc, 0, ErrTruncated
+		}
+		tc, _ = rtrace.DecodeContext(rest)
+		seq = binary.BigEndian.Uint64(rest[rtrace.ContextLen:])
+		rest = rest[replTraceExtLen:]
+	}
+	return rest, tc, seq, nil
 }
 
 // Subscribe is a decoded ReplSubscribe payload.
 type Subscribe struct {
 	FromSeq uint64 // follower has applied every record with seq ≤ FromSeq
 	Term    uint64 // highest term the follower has observed
+	// Trace/TraceSeq mirror the optional trace extension (zero = absent);
+	// a subscribe normally carries none.
+	Trace    rtrace.Context
+	TraceSeq uint64
 }
 
 // AppendReplSubscribe appends a ReplSubscribe payload to dst.
 func AppendReplSubscribe(dst []byte, s Subscribe) []byte {
-	dst = append(dst, ReplSubscribe)
+	dst = appendReplKind(dst, ReplSubscribe, s.Trace, s.TraceSeq)
 	dst = binary.BigEndian.AppendUint64(dst, s.FromSeq)
 	dst = binary.BigEndian.AppendUint64(dst, s.Term)
 	return dst
@@ -113,14 +163,16 @@ func AppendReplSubscribe(dst []byte, s Subscribe) []byte {
 // DecodeReplSubscribe decodes a ReplSubscribe payload.
 func DecodeReplSubscribe(frame []byte) (Subscribe, error) {
 	var s Subscribe
-	if len(frame) != 1+8+8 {
+	rest, tc, seq, err := replBody(frame, ReplSubscribe)
+	if err != nil {
+		return s, err
+	}
+	if len(rest) != 8+8 {
 		return s, ErrTruncated
 	}
-	if frame[0] != ReplSubscribe {
-		return s, ErrWrongKind
-	}
-	s.FromSeq = binary.BigEndian.Uint64(frame[1:9])
-	s.Term = binary.BigEndian.Uint64(frame[9:17])
+	s.Trace, s.TraceSeq = tc, seq
+	s.FromSeq = binary.BigEndian.Uint64(rest[0:8])
+	s.Term = binary.BigEndian.Uint64(rest[8:16])
 	return s, nil
 }
 
@@ -134,6 +186,11 @@ type FrameBatch struct {
 	Addr      string // leader's advertised data address
 	N         uint32 // WAL frames in Frames; 0 = heartbeat
 	Frames    []byte // verbatim on-disk WAL frames
+	// Trace/TraceSeq carry the optional trace extension: the context of a
+	// sampled request whose WAL record (TraceSeq) this batch covers, so
+	// the follower's apply span links into the leader's span tree.
+	Trace    rtrace.Context
+	TraceSeq uint64
 }
 
 // AppendReplFrames appends a ReplFrames payload to dst. It panics when the
@@ -143,7 +200,7 @@ func AppendReplFrames(dst []byte, b FrameBatch) []byte {
 	if len(b.Addr) > MaxReplAddr {
 		panic(ErrBadReplFrame)
 	}
-	dst = append(dst, ReplFrames)
+	dst = appendReplKind(dst, ReplFrames, b.Trace, b.TraceSeq)
 	dst = binary.BigEndian.AppendUint64(dst, b.Term)
 	dst = binary.BigEndian.AppendUint64(dst, b.CommitSeq)
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(b.Addr)))
@@ -156,19 +213,21 @@ func AppendReplFrames(dst []byte, b FrameBatch) []byte {
 // aliases frame.
 func DecodeReplFrames(frame []byte) (FrameBatch, error) {
 	var b FrameBatch
-	if len(frame) < 1+8+8+2 {
+	body, tc, seq, err := replBody(frame, ReplFrames)
+	if err != nil {
+		return b, err
+	}
+	if len(body) < 8+8+2 {
 		return b, ErrTruncated
 	}
-	if frame[0] != ReplFrames {
-		return b, ErrWrongKind
-	}
-	b.Term = binary.BigEndian.Uint64(frame[1:9])
-	b.CommitSeq = binary.BigEndian.Uint64(frame[9:17])
-	alen := int(binary.BigEndian.Uint16(frame[17:19]))
+	b.Trace, b.TraceSeq = tc, seq
+	b.Term = binary.BigEndian.Uint64(body[0:8])
+	b.CommitSeq = binary.BigEndian.Uint64(body[8:16])
+	alen := int(binary.BigEndian.Uint16(body[16:18]))
 	if alen > MaxReplAddr {
 		return b, ErrBadReplFrame
 	}
-	rest := frame[19:]
+	rest := body[18:]
 	if len(rest) < alen+4 {
 		return b, ErrTruncated
 	}
@@ -195,11 +254,16 @@ func DecodeReplFrames(frame []byte) (FrameBatch, error) {
 type Ack struct {
 	AppliedSeq uint64
 	DurableSeq uint64
+	// Trace/TraceSeq optionally echo the trace extension of a ReplFrames
+	// batch this ack covers, letting the leader close the loop on a
+	// sampled record's replication round trip.
+	Trace    rtrace.Context
+	TraceSeq uint64
 }
 
 // AppendReplAck appends a ReplAck payload to dst.
 func AppendReplAck(dst []byte, a Ack) []byte {
-	dst = append(dst, ReplAck)
+	dst = appendReplKind(dst, ReplAck, a.Trace, a.TraceSeq)
 	dst = binary.BigEndian.AppendUint64(dst, a.AppliedSeq)
 	dst = binary.BigEndian.AppendUint64(dst, a.DurableSeq)
 	return dst
@@ -208,14 +272,16 @@ func AppendReplAck(dst []byte, a Ack) []byte {
 // DecodeReplAck decodes a ReplAck payload.
 func DecodeReplAck(frame []byte) (Ack, error) {
 	var a Ack
-	if len(frame) != 1+8+8 {
+	rest, tc, seq, err := replBody(frame, ReplAck)
+	if err != nil {
+		return a, err
+	}
+	if len(rest) != 8+8 {
 		return a, ErrTruncated
 	}
-	if frame[0] != ReplAck {
-		return a, ErrWrongKind
-	}
-	a.AppliedSeq = binary.BigEndian.Uint64(frame[1:9])
-	a.DurableSeq = binary.BigEndian.Uint64(frame[9:17])
+	a.Trace, a.TraceSeq = tc, seq
+	a.AppliedSeq = binary.BigEndian.Uint64(rest[0:8])
+	a.DurableSeq = binary.BigEndian.Uint64(rest[8:16])
 	return a, nil
 }
 
@@ -226,6 +292,10 @@ type SnapshotChunk struct {
 	WALSeq uint64
 	Final  bool
 	Keys   []int64
+	// Trace/TraceSeq mirror the optional trace extension (zero = absent);
+	// snapshot chunks normally carry none.
+	Trace    rtrace.Context
+	TraceSeq uint64
 }
 
 // AppendReplSnapshot appends a ReplSnapshot payload to dst. It panics when
@@ -234,7 +304,7 @@ func AppendReplSnapshot(dst []byte, c SnapshotChunk) []byte {
 	if len(c.Keys) > MaxSnapshotChunk {
 		panic(ErrBadReplFrame)
 	}
-	dst = append(dst, ReplSnapshot)
+	dst = appendReplKind(dst, ReplSnapshot, c.Trace, c.TraceSeq)
 	dst = binary.BigEndian.AppendUint64(dst, c.WALSeq)
 	var fin byte
 	if c.Final {
@@ -251,25 +321,27 @@ func AppendReplSnapshot(dst []byte, c SnapshotChunk) []byte {
 // DecodeReplSnapshot decodes a ReplSnapshot payload.
 func DecodeReplSnapshot(frame []byte) (SnapshotChunk, error) {
 	var c SnapshotChunk
-	if len(frame) < 1+8+1+4 {
+	body, tc, seq, err := replBody(frame, ReplSnapshot)
+	if err != nil {
+		return c, err
+	}
+	if len(body) < 8+1+4 {
 		return c, ErrTruncated
 	}
-	if frame[0] != ReplSnapshot {
-		return c, ErrWrongKind
-	}
-	c.WALSeq = binary.BigEndian.Uint64(frame[1:9])
-	switch frame[9] {
+	c.Trace, c.TraceSeq = tc, seq
+	c.WALSeq = binary.BigEndian.Uint64(body[0:8])
+	switch body[8] {
 	case 0:
 	case 1:
 		c.Final = true
 	default:
 		return c, ErrBadReplFrame
 	}
-	n := binary.BigEndian.Uint32(frame[10:14])
+	n := binary.BigEndian.Uint32(body[9:13])
 	if n > MaxSnapshotChunk {
 		return c, ErrBadReplFrame
 	}
-	rest := frame[14:]
+	rest := body[13:]
 	if uint64(len(rest)) != uint64(n)*8 {
 		return c, ErrTruncated
 	}

@@ -12,9 +12,20 @@
 //	uint8  op          OpInsert | OpDelete | OpLookup | OpRange
 //	uint32 deadline_ms time budget for the request (0 = server default)
 //	int64  key         the key (Range: lower bound, inclusive)
+//	[op bit 7 set: 16-byte trace context — see below]
 //	[Range only]
 //	int64  to          upper bound, inclusive
 //	uint32 limit       maximum keys to return (0 = server default)
+//
+// Tracing rides an optional extension: when bit 7 of the op/kind byte
+// (TraceFlag) is set, a 16-byte rtrace context (uint64 trace id, uint32
+// span id, uint8 flags, 3 reserved zero bytes) is inserted immediately
+// after the 21-byte base header and every op-specific tail shifts by 16.
+// Op codes never use bit 7, so legacy frames decode unchanged and
+// decoders mask the bit out before interpreting the op. Responses carry
+// no extension — the requesting client already holds the context.
+// Replication frames place the same context (plus the covered WAL
+// sequence) directly after the kind byte; see repl.go.
 //
 // and a response payload is
 //
@@ -57,12 +68,19 @@ import (
 	"fmt"
 	"io"
 	"sync"
+
+	"repro/internal/rtrace"
 )
 
 // MaxFrame bounds a frame payload. Large enough for a full range response
 // (RangeLimit keys), small enough that a malicious length prefix cannot make
 // the server allocate unboundedly.
 const MaxFrame = 64 << 10
+
+// TraceFlag marks an op/kind byte whose frame carries the optional 16-byte
+// trace-context extension. Operation and replication kind codes stay below
+// 0x80, so the bit is never ambiguous.
+const TraceFlag = 0x80
 
 // Operation codes.
 const (
@@ -192,6 +210,9 @@ type Request struct {
 	To         int64  // OpRange only
 	Limit      uint32 // OpRange only; 0 = server default
 	MinSeq     uint64 // OpLookupAt only: applied-sequence floor
+	// Trace is the optional trace context (zero = untraced). Encoded only
+	// when non-zero, signalled by TraceFlag on the op byte.
+	Trace rtrace.Context
 }
 
 // Response is one decoded response frame.
@@ -218,12 +239,22 @@ const (
 	respBaseLen  = 8 + 1 + 1 // id, status, ok
 )
 
-// AppendRequest appends q's payload encoding to dst and returns it.
+// AppendRequest appends q's payload encoding to dst and returns it. A
+// non-zero Trace sets TraceFlag on the op byte and inserts the 16-byte
+// context after the base header.
 func AppendRequest(dst []byte, q Request) []byte {
 	dst = binary.BigEndian.AppendUint64(dst, q.ID)
-	dst = append(dst, q.Op)
+	op := q.Op
+	traced := q.Trace != (rtrace.Context{})
+	if traced {
+		op |= TraceFlag
+	}
+	dst = append(dst, op)
 	dst = binary.BigEndian.AppendUint32(dst, q.DeadlineMS)
 	dst = binary.BigEndian.AppendUint64(dst, uint64(q.Key))
+	if traced {
+		dst = rtrace.AppendContext(dst, q.Trace)
+	}
 	if q.Op == OpRange {
 		dst = binary.BigEndian.AppendUint64(dst, uint64(q.To))
 		dst = binary.BigEndian.AppendUint32(dst, q.Limit)
@@ -234,7 +265,8 @@ func AppendRequest(dst []byte, q Request) []byte {
 	return dst
 }
 
-// DecodeRequest decodes a request payload.
+// DecodeRequest decodes a request payload, masking TraceFlag out of the op
+// byte and filling Trace when the extension is present.
 func DecodeRequest(frame []byte) (Request, error) {
 	var q Request
 	if len(frame) < reqBaseLen {
@@ -244,18 +276,28 @@ func DecodeRequest(frame []byte) (Request, error) {
 	q.Op = frame[8]
 	q.DeadlineMS = binary.BigEndian.Uint32(frame[9:13])
 	q.Key = int64(binary.BigEndian.Uint64(frame[13:21]))
-	if q.Op == OpRange {
-		if len(frame) < reqRangeLen {
+	off := reqBaseLen
+	if q.Op&TraceFlag != 0 {
+		q.Op &^= TraceFlag
+		tc, ok := rtrace.DecodeContext(frame[off:])
+		if !ok {
 			return q, ErrTruncated
 		}
-		q.To = int64(binary.BigEndian.Uint64(frame[21:29]))
-		q.Limit = binary.BigEndian.Uint32(frame[29:33])
+		q.Trace = tc
+		off += rtrace.ContextLen
+	}
+	if q.Op == OpRange {
+		if len(frame) < off+12 {
+			return q, ErrTruncated
+		}
+		q.To = int64(binary.BigEndian.Uint64(frame[off : off+8]))
+		q.Limit = binary.BigEndian.Uint32(frame[off+8 : off+12])
 	}
 	if q.Op == OpLookupAt {
-		if len(frame) < reqMinSeqLen {
+		if len(frame) < off+8 {
 			return q, ErrTruncated
 		}
-		q.MinSeq = binary.BigEndian.Uint64(frame[21:29])
+		q.MinSeq = binary.BigEndian.Uint64(frame[off : off+8])
 	}
 	return q, nil
 }
@@ -347,14 +389,21 @@ type BatchResult struct {
 // it. It panics when ops exceeds MaxBatchOps or contains a non-point
 // subop — both are programmer errors on the encoding side (the client
 // splits oversized batches before encoding).
-func AppendBatchRequest(dst []byte, id uint64, deadlineMS uint32, ops []BatchOp) []byte {
+func AppendBatchRequest(dst []byte, id uint64, deadlineMS uint32, tc rtrace.Context, ops []BatchOp) []byte {
 	if len(ops) > MaxBatchOps {
 		panic(ErrBatchTooBig)
 	}
 	dst = binary.BigEndian.AppendUint64(dst, id)
-	dst = append(dst, OpBatch)
+	op := OpBatch
+	if tc != (rtrace.Context{}) {
+		op |= TraceFlag
+	}
+	dst = append(dst, op)
 	dst = binary.BigEndian.AppendUint32(dst, deadlineMS)
 	dst = binary.BigEndian.AppendUint64(dst, 0) // reserved key field
+	if tc != (rtrace.Context{}) {
+		dst = rtrace.AppendContext(dst, tc)
+	}
 	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ops)))
 	for _, o := range ops {
 		if o.Op != OpInsert && o.Op != OpDelete && o.Op != OpLookup {
@@ -371,10 +420,14 @@ func AppendBatchRequest(dst []byte, id uint64, deadlineMS uint32, ops []BatchOp)
 // OpBatch), appending the operations to dst so a per-connection scratch
 // slice makes the steady-state decode allocation-free.
 func DecodeBatchOps(frame []byte, dst []BatchOp) ([]BatchOp, error) {
-	if len(frame) < reqBaseLen+2 {
+	off := reqBaseLen
+	if len(frame) > 8 && frame[8]&TraceFlag != 0 {
+		off += rtrace.ContextLen
+	}
+	if len(frame) < off+2 {
 		return dst, ErrTruncated
 	}
-	rest := frame[reqBaseLen:]
+	rest := frame[off:]
 	n := int(binary.BigEndian.Uint16(rest))
 	rest = rest[2:]
 	if n > MaxBatchOps {

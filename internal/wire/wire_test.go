@@ -5,6 +5,8 @@ import (
 	"errors"
 	"io"
 	"testing"
+
+	"repro/internal/rtrace"
 )
 
 func TestRequestRoundTrip(t *testing.T) {
@@ -23,6 +25,65 @@ func TestRequestRoundTrip(t *testing.T) {
 		if got != q {
 			t.Fatalf("round trip: got %+v, want %+v", got, q)
 		}
+	}
+}
+
+// TestTraceExtensionRoundTrip pins the optional trace extension: traced
+// requests round-trip with every op-specific tail shifted past the
+// context, untraced frames never carry the flag, and a traced frame
+// truncated inside the extension is rejected as ErrTruncated.
+func TestTraceExtensionRoundTrip(t *testing.T) {
+	tc := rtrace.Context{TraceID: 0x1122334455667788, SpanID: 0x99aabbcc, Flags: rtrace.FlagSampled}
+	cases := []Request{
+		{ID: 1, Op: OpInsert, DeadlineMS: 9, Key: 42, Trace: tc},
+		{ID: 2, Op: OpRange, Key: -100, To: 100, Limit: 32, Trace: tc},
+		{ID: 3, Op: OpLookupAt, Key: 5, MinSeq: 77, Trace: tc},
+	}
+	for _, q := range cases {
+		payload := AppendRequest(nil, q)
+		if payload[8]&TraceFlag == 0 {
+			t.Fatalf("traced %s request did not set TraceFlag", OpName(q.Op))
+		}
+		got, err := DecodeRequest(payload)
+		if err != nil {
+			t.Fatalf("DecodeRequest(%+v): %v", q, err)
+		}
+		if got != q {
+			t.Fatalf("round trip: got %+v, want %+v", got, q)
+		}
+		if _, err := DecodeRequest(payload[:reqBaseLen+8]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncated trace ext err = %v, want ErrTruncated", err)
+		}
+	}
+	if p := AppendRequest(nil, Request{ID: 4, Op: OpInsert, Key: 1}); p[8]&TraceFlag != 0 {
+		t.Fatal("untraced request set TraceFlag")
+	}
+
+	// Batch requests: the per-op tail shifts past the context.
+	ops := []BatchOp{{Op: OpInsert, Key: 1}, {Op: OpLookup, Key: 2}}
+	payload := AppendBatchRequest(nil, 7, 50, tc, ops)
+	q, err := DecodeRequest(payload)
+	if err != nil || q.Op != OpBatch || q.Trace != tc {
+		t.Fatalf("traced batch header: %+v, %v", q, err)
+	}
+	got, err := DecodeBatchOps(payload, nil)
+	if err != nil || len(got) != len(ops) || got[0] != ops[0] || got[1] != ops[1] {
+		t.Fatalf("traced batch ops: %+v, %v", got, err)
+	}
+
+	// Replication kinds: context plus covered WAL seq after the kind byte.
+	fb := FrameBatch{Term: 3, CommitSeq: 20, Addr: "h:1", N: 1,
+		Frames: make([]byte, 25), Trace: tc, TraceSeq: 19}
+	fb2, err := DecodeReplFrames(AppendReplFrames(nil, fb))
+	if err != nil || fb2.Trace != tc || fb2.TraceSeq != 19 || fb2.Term != 3 || fb2.Addr != "h:1" {
+		t.Fatalf("traced ReplFrames round trip: %+v, %v", fb2, err)
+	}
+	if k, err := ReplKind(AppendReplFrames(nil, fb)); err != nil || k != ReplFrames {
+		t.Fatalf("ReplKind of traced frame = %d, %v; want ReplFrames", k, err)
+	}
+	a := Ack{AppliedSeq: 20, DurableSeq: 20, Trace: tc, TraceSeq: 19}
+	if a2, err := DecodeReplAck(AppendReplAck(nil, a)); err != nil || a2 != a {
+		t.Fatalf("traced ReplAck round trip: %+v, %v", a2, err)
 	}
 }
 
@@ -136,7 +197,7 @@ func TestBatchRequestRoundTrip(t *testing.T) {
 		{Op: OpDelete, Key: -7},
 		{Op: OpLookup, Key: 1 << 50},
 	}
-	payload := AppendBatchRequest(nil, 99, 250, ops)
+	payload := AppendBatchRequest(nil, 99, 250, rtrace.Context{}, ops)
 	q, err := DecodeRequest(payload)
 	if err != nil {
 		t.Fatal(err)
@@ -157,7 +218,7 @@ func TestBatchRequestRoundTrip(t *testing.T) {
 		}
 	}
 	// Empty batches are legal on the wire.
-	got, err = DecodeBatchOps(AppendBatchRequest(nil, 1, 0, nil), nil)
+	got, err = DecodeBatchOps(AppendBatchRequest(nil, 1, 0, rtrace.Context{}, nil), nil)
 	if err != nil || len(got) != 0 {
 		t.Fatalf("empty batch: %v, %d ops", err, len(got))
 	}
@@ -192,7 +253,7 @@ func TestBatchResponseRoundTrip(t *testing.T) {
 }
 
 func TestBatchMalformed(t *testing.T) {
-	payload := AppendBatchRequest(nil, 1, 0, []BatchOp{{Op: OpInsert, Key: 5}})
+	payload := AppendBatchRequest(nil, 1, 0, rtrace.Context{}, []BatchOp{{Op: OpInsert, Key: 5}})
 	if _, err := DecodeBatchOps(payload[:len(payload)-4], nil); !errors.Is(err, ErrTruncated) {
 		t.Fatalf("truncated batch ops err = %v, want ErrTruncated", err)
 	}
@@ -218,7 +279,7 @@ func TestBatchMalformed(t *testing.T) {
 				err, _ = r.(error)
 			}
 		}()
-		AppendBatchRequest(nil, 1, 0, make([]BatchOp, MaxBatchOps+1))
+		AppendBatchRequest(nil, 1, 0, rtrace.Context{}, make([]BatchOp, MaxBatchOps+1))
 		return nil
 	}(); !errors.Is(err, ErrBatchTooBig) {
 		t.Fatalf("oversized encode panic = %v, want ErrBatchTooBig", err)
@@ -240,7 +301,7 @@ func TestBatchSteadyStateZeroAlloc(t *testing.T) {
 	allocs := testing.AllocsPerRun(200, func() {
 		// Client side: encode a batch request into a pooled buffer.
 		req := GetBuf()
-		*req = AppendBatchRequest(*req, 3, 0, ops)
+		*req = AppendBatchRequest(*req, 3, 0, rtrace.Context{}, ops)
 		// Server side: decode it into per-connection scratch, encode the
 		// response into another pooled buffer.
 		var err error
