@@ -17,11 +17,11 @@
 GO ?= go
 
 .PHONY: ci fmt-check vet build test race serve-smoke batch-stress \
-	crash-stress failover-stress fuzz-smoke trace-overhead \
+	crash-stress failover-stress chaos fuzz-smoke trace-overhead \
 	bench-durable-smoke stress clean-data
 
 ci: fmt-check vet build test race serve-smoke batch-stress crash-stress \
-	failover-stress fuzz-smoke trace-overhead bench-durable-smoke
+	failover-stress chaos fuzz-smoke trace-overhead bench-durable-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -70,6 +70,32 @@ failover-stress:
 		|| { cat failover_round.log; exit 1; }; \
 	grep "^failover:" failover_round.log
 
+# The self-healing gate: a 3-node auto-failover cluster whose every link
+# runs through a fault-injecting TCP proxy. The scripted round partitions
+# the leader away (the highest-priority follower self-promotes on lease
+# expiry, the healed ex-leader is term-fenced and rejoins as a follower),
+# then SIGKILLs the successor (the last node promotes), auditing 100% of
+# acked mutations, zero ghosts, and exactly one leader per term
+# throughout. CHAOS_SEED pins the fault schedule for CI determinism;
+# CHAOS_SEEDS>1 switches to that many randomized seeds (nightly mode).
+# The log is kept for the CI artifact upload.
+CHAOS_SEED ?= 1
+CHAOS_SEEDS ?= 1
+chaos:
+	@rm -f chaos_round.log; i=0; \
+	while [ $$i -lt $(CHAOS_SEEDS) ]; do \
+		if [ $(CHAOS_SEEDS) -gt 1 ]; then \
+			seed=$$(od -An -N4 -tu4 /dev/urandom | tr -d ' '); \
+		else \
+			seed=$(CHAOS_SEED); \
+		fi; \
+		echo "== chaos round seed $$seed ==" >> chaos_round.log; \
+		$(GO) run ./cmd/bststress -chaos -chaos-seed $$seed -targets nm -duration 1s \
+			>> chaos_round.log 2>&1 || { cat chaos_round.log; exit 1; }; \
+		i=$$((i+1)); \
+	done; \
+	grep "^chaos: OK" chaos_round.log
+
 # Short fuzz budgets over every frame/record decoder; seed corpora are
 # checked in under testdata/fuzz. Run `go test -fuzz <name> ./internal/...`
 # for a real session.
@@ -83,6 +109,7 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplFrames$$' -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplAck$$' -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplSnapshot$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplStatus$$' -fuzztime 5s
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s
 
 # The tracing overhead gate, both halves: with a recorder installed but
@@ -109,8 +136,8 @@ stress:
 # dirs left by interrupted runs (bstserve -data dirs are never touched —
 # only the well-known temp prefixes used by the tools here).
 clean-data:
-	rm -f BENCH_durable_smoke.json crash_round.log failover_round.log
+	rm -f BENCH_durable_smoke.json crash_round.log failover_round.log chaos_round.log
 	rm -rf $${TMPDIR:-/tmp}/bst-crash-data-* $${TMPDIR:-/tmp}/bst-crash-addr-* \
 		$${TMPDIR:-/tmp}/bst-crash-clock-* $${TMPDIR:-/tmp}/bstbench-durable-* \
 		$${TMPDIR:-/tmp}/bst-failover-leader-* $${TMPDIR:-/tmp}/bst-failover-follower-* \
-		$${TMPDIR:-/tmp}/bst-failover-addr-*
+		$${TMPDIR:-/tmp}/bst-failover-addr-* $${TMPDIR:-/tmp}/bst-chaos-node-*

@@ -44,6 +44,7 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -80,6 +81,11 @@ func main() {
 		replicaOf  = flag.String("replica-of", "", "run as a follower of this leader replication address (requires -data)")
 		advertise  = flag.String("advertise", "", "data address advertised to the cluster for client redirects (default -addr)")
 		replSync   = flag.Bool("repl-sync", false, "semi-synchronous: acknowledge mutations only after a follower ack covers them")
+
+		peers        = flag.String("peers", "", "comma-separated replication addresses of the other cluster members (election probes and leader watch)")
+		priority     = flag.Int("priority", 0, "election priority: higher wins; ties break on applied seq, then advertise address")
+		autoFailover = flag.Bool("auto-failover", false, "self-promote when the leader's heartbeat lease expires (deterministic rank, no quorum — see DESIGN)")
+		holdOff      = flag.Duration("holdoff", 0, "per-rank election hold-off step (default 2x heartbeat)")
 
 		traceSample = flag.Int("trace-sample", 0, "flight recorder: self-sample every Nth request per connection (0 disables tracing)")
 		slowOp      = flag.Duration("slow-op", 20*time.Millisecond, "slow-op log threshold for sampled requests (with -trace-sample)")
@@ -182,15 +188,29 @@ func main() {
 		if adv == "" {
 			adv = *addr
 		}
+		var peerList []string
+		for _, p := range strings.Split(*peers, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				peerList = append(peerList, p)
+			}
+		}
+		if *autoFailover && len(peerList) == 0 && *replicaOf != "" {
+			fmt.Fprintln(os.Stderr, "bstserve: -auto-failover on a follower needs -peers (who to probe and rank against)")
+			os.Exit(2)
+		}
 		var err error
 		node, err = repl.Start(repl.Config{
-			Store:      dur,
-			Advertise:  adv,
-			ListenRepl: *listenRepl,
-			ReplicaOf:  *replicaOf,
-			RequireAck: *replSync,
-			Trace:      rec,
-			Logger:     logger,
+			Store:        dur,
+			Advertise:    adv,
+			ListenRepl:   *listenRepl,
+			ReplicaOf:    *replicaOf,
+			RequireAck:   *replSync,
+			Priority:     int32(*priority),
+			Peers:        peerList,
+			AutoFailover: *autoFailover,
+			HoldOff:      *holdOff,
+			Trace:        rec,
+			Logger:       logger,
 		})
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "bstserve: replication:", err)
@@ -216,8 +236,8 @@ func main() {
 		if node.IsLeader() {
 			role = "leader"
 		}
-		fmt.Printf("bstserve: cluster role=%s term=%d repl-listen=%s semi-sync=%v\n",
-			role, node.Term(), node.ReplAddr(), *replSync)
+		fmt.Printf("bstserve: cluster role=%s term=%d repl-listen=%s semi-sync=%v auto-failover=%v priority=%d\n",
+			role, node.Term(), node.ReplAddr(), *replSync, *autoFailover, *priority)
 	}
 
 	// -debug-addr mounts net/http/pprof on its own listener, separate from

@@ -11,6 +11,7 @@ import (
 	"os"
 	"os/exec"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
@@ -46,10 +47,21 @@ import (
 //     must show zero ghost keys — nothing beyond the seeded keyspace, the
 //     acked ledger, the in-flight set, and the probe key.
 
+// childOpts is the cluster shape of one re-exec'd node: who it follows,
+// which peers it may probe for elections, and its election priority. The
+// -failover round uses the zero value plus replicaOf (operator-driven
+// promotion only); the -chaos round turns auto on everywhere.
+type childOpts struct {
+	replicaOf string // leader repl address ("" = start as leader)
+	peers     string // comma-separated peer repl addrs (election probes)
+	priority  int    // election priority (higher outranks)
+	auto      bool   // stand for election when the heartbeat lease expires
+}
+
 // failoverChild runs one cluster node: durable store, replication node,
 // data server, admin HTTP (for /promote and /healthz). It publishes
 // "data repl admin" addresses to addrFile and parks until killed.
-func runFailoverChild(dir, addrFile, replicaOf string) int {
+func runFailoverChild(dir, addrFile string, o childOpts) int {
 	logger := logx.New(os.Stderr, "failover-child")
 	logf := logx.Printf(logger)
 	// Every child runs a sampled flight recorder so the parent can read
@@ -68,18 +80,32 @@ func runFailoverChild(dir, addrFile, replicaOf string) int {
 		logf("reserve: %v", err)
 		return 1
 	}
+	var peers []string
+	for _, p := range strings.Split(o.peers, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			peers = append(peers, p)
+		}
+	}
 	node, err := repl.Start(repl.Config{
 		Store:       dur,
 		Advertise:   dataAddr,
 		ListenRepl:  "127.0.0.1:0",
-		ReplicaOf:   replicaOf,
+		ReplicaOf:   o.replicaOf,
 		Heartbeat:   50 * time.Millisecond,
 		AckEvery:    1,
 		AckInterval: 2 * time.Millisecond,
-		RequireAck:  replicaOf == "", // the leader is semi-synchronous
-		AckTimeout:  10 * time.Second,
-		Trace:       rec,
-		Logger:      logger,
+		// The seeded leader is semi-synchronous; with elections on, every
+		// node is a potential leader and must carry the same guarantee.
+		RequireAck:   o.replicaOf == "" || o.auto,
+		AckTimeout:   10 * time.Second,
+		Priority:     int32(o.priority),
+		Peers:        peers,
+		AutoFailover: o.auto,
+		// A wide hold-off keeps lower-ranked candidates from racing the
+		// winner to the same term under CI scheduling jitter.
+		HoldOff: 400 * time.Millisecond,
+		Trace:   rec,
+		Logger:  logger,
 	})
 	if err != nil {
 		logf("repl: %v", err)
@@ -141,7 +167,7 @@ type childAddrs struct {
 
 // spawnFailoverChild re-execs this binary as one cluster node and waits
 // for its published addresses. The returned kill func is idempotent.
-func spawnFailoverChild(dir, replicaOf string) (childAddrs, func(), error) {
+func spawnFailoverChild(dir string, o childOpts) (childAddrs, func(), error) {
 	var ca childAddrs
 	addrDir, err := os.MkdirTemp("", "bst-failover-addr-")
 	if err != nil {
@@ -153,7 +179,17 @@ func spawnFailoverChild(dir, replicaOf string) (childAddrs, func(), error) {
 		os.RemoveAll(addrDir)
 		return ca, nil, err
 	}
-	cmd := exec.Command(exe, "-failover-child", "-fo-data", dir, "-fo-addr-file", addrFile, "-fo-replica-of", replicaOf)
+	args := []string{"-failover-child", "-fo-data", dir, "-fo-addr-file", addrFile, "-fo-replica-of", o.replicaOf}
+	if o.peers != "" {
+		args = append(args, "-fo-peers", o.peers)
+	}
+	if o.priority != 0 {
+		args = append(args, "-fo-priority", strconv.Itoa(o.priority))
+	}
+	if o.auto {
+		args = append(args, "-fo-auto")
+	}
+	cmd := exec.Command(exe, args...)
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		os.RemoveAll(addrDir)
@@ -184,13 +220,16 @@ func spawnFailoverChild(dir, replicaOf string) (childAddrs, func(), error) {
 	}
 }
 
-// clusterHealth is the slice of the admin /healthz body the round reads.
+// clusterHealth is the slice of the admin /healthz body the rounds read.
 type clusterHealth struct {
 	Cluster struct {
-		Role       string `json:"role"`
-		AppliedSeq uint64 `json:"applied_seq"`
-		AckedSeq   uint64 `json:"acked_seq"`
-		Followers  int    `json:"followers"`
+		Role          string `json:"role"`
+		Term          uint64 `json:"term"`
+		AppliedSeq    uint64 `json:"applied_seq"`
+		AckedSeq      uint64 `json:"acked_seq"`
+		Followers     int    `json:"followers"`
+		ElectionState string `json:"election_state"`
+		Fenced        bool   `json:"fenced"`
 	} `json:"cluster"`
 }
 
@@ -204,16 +243,16 @@ func fetchHealth(adminAddr string) (clusterHealth, error) {
 	return h, json.NewDecoder(resp.Body).Decode(&h)
 }
 
-// seedFailoverStore builds the leader's starting state on disk: snapKeys
-// shuffled inserts, a checkpoint, then a tailOps insert tail that only the
+// seedFailoverStore builds the leader's starting state on disk: snap
+// shuffled inserts, a checkpoint, then a tail of inserts that only the
 // WAL holds, ended with a dirty close — so the leader child recovers a
 // real snapshot + tail, and the follower's catch-up must cross both.
-func seedFailoverStore(dir string, seed uint64) error {
+func seedFailoverStore(dir string, seed uint64, snap, tail int) error {
 	dur, err := durable.Open(dir, durable.Options{Sync: wal.SyncNone})
 	if err != nil {
 		return err
 	}
-	ks := make([]int64, snapKeys+tailOps)
+	ks := make([]int64, snap+tail)
 	for i := range ks {
 		ks[i] = int64(i)
 	}
@@ -235,7 +274,7 @@ func seedFailoverStore(dir string, seed uint64) error {
 		}
 		return nil
 	}
-	if err := insertAll(ks[:snapKeys]); err != nil {
+	if err := insertAll(ks[:snap]); err != nil {
 		acc.Close()
 		return err
 	}
@@ -243,7 +282,7 @@ func seedFailoverStore(dir string, seed uint64) error {
 		acc.Close()
 		return fmt.Errorf("seed checkpoint: %w", err)
 	}
-	if err := insertAll(ks[snapKeys:]); err != nil {
+	if err := insertAll(ks[snap:]); err != nil {
 		acc.Close()
 		return err
 	}
@@ -265,16 +304,16 @@ func failoverRound(workers int, seed uint64) (err error) {
 	}
 	defer os.RemoveAll(followerDir)
 
-	if err := seedFailoverStore(leaderDir, seed); err != nil {
+	if err := seedFailoverStore(leaderDir, seed, snapKeys, tailOps); err != nil {
 		return fmt.Errorf("seeding leader store: %w", err)
 	}
 
-	leader, killLeader, err := spawnFailoverChild(leaderDir, "")
+	leader, killLeader, err := spawnFailoverChild(leaderDir, childOpts{})
 	if err != nil {
 		return err
 	}
 	defer killLeader()
-	follower, killFollower, err := spawnFailoverChild(followerDir, leader.repl)
+	follower, killFollower, err := spawnFailoverChild(followerDir, childOpts{replicaOf: leader.repl})
 	if err != nil {
 		return err
 	}

@@ -82,21 +82,29 @@ func main() {
 
 		failover = flag.Bool("failover", false, "also run the failover gate: seed a 1M-key leader, replicate to a follower, kill -9 the leader mid-load, promote, and audit every acked mutation on the new leader")
 
+		chaos     = flag.Bool("chaos", false, "also run the chaos gate: a 3-node auto-failover cluster behind a fault-injecting proxy mesh — scripted partitions fence the old leader, kill -9 takes the successor — auditing every acked mutation and exactly one leader per term")
+		chaosSeed = flag.Uint64("chaos-seed", 1, "deterministic seed for the -chaos fault schedule")
+
 		crashChild    = flag.Bool("crash-child", false, "internal: run as the -crash round's durable server child")
 		crashData     = flag.String("crash-data", "", "internal: data dir for -crash-child")
 		crashAddrFile = flag.String("crash-addr-file", "", "internal: where -crash-child writes its data address")
 
-		foChild     = flag.Bool("failover-child", false, "internal: run as a -failover round cluster node child")
+		foChild     = flag.Bool("failover-child", false, "internal: run as a -failover/-chaos round cluster node child")
 		foData      = flag.String("fo-data", "", "internal: data dir for -failover-child")
 		foAddrFile  = flag.String("fo-addr-file", "", "internal: where -failover-child writes its addresses")
 		foReplicaOf = flag.String("fo-replica-of", "", "internal: leader repl address for a follower -failover-child")
+		foPeers     = flag.String("fo-peers", "", "internal: comma-separated peer repl addrs for -failover-child elections")
+		foPriority  = flag.Int("fo-priority", 0, "internal: election priority for -failover-child")
+		foAuto      = flag.Bool("fo-auto", false, "internal: enable automatic elections in -failover-child")
 	)
 	flag.Parse()
 	if *crashChild {
 		os.Exit(runCrashChild(*crashData, *crashAddrFile))
 	}
 	if *foChild {
-		os.Exit(runFailoverChild(*foData, *foAddrFile, *foReplicaOf))
+		os.Exit(runFailoverChild(*foData, *foAddrFile, childOpts{
+			replicaOf: *foReplicaOf, peers: *foPeers, priority: *foPriority, auto: *foAuto,
+		}))
 	}
 	if *traceFile != "" {
 		f, err := os.Create(*traceFile)
@@ -223,6 +231,14 @@ func main() {
 				if err := failoverRound(*workers, uint64(round)); err != nil {
 					failures++
 					fmt.Printf("FAIL [failover] nm round %d: %v\n", round, err)
+				}
+			})
+		}
+		if *chaos {
+			runCheck(ctx, "chaos", "nm", func() {
+				if err := chaosRound(*workers, *chaosSeed+uint64(round)-1); err != nil {
+					failures++
+					fmt.Printf("FAIL [chaos] nm round %d: %v\n", round, err)
 				}
 			})
 		}

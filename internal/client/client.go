@@ -29,7 +29,12 @@
 // immediately — redirects are topology information, not congestion, so
 // they consume an attempt but no backoff. If the learned leader becomes
 // undialable the client falls back to the configured seed address (which
-// an operator points at a load balancer or any live node). ReadAtLeast
+// an operator points at a load balancer or any live node). A
+// wire.StatusFenced response — the node was the leader but has been
+// deposed by a newer term — is the same redirect with a stronger reason:
+// the client adopts the named successor, or, when the fence names none,
+// drops the cached leader and re-discovers from the seed under capped
+// backoff. ReadAtLeast
 // adds read-your-writes on followers: the request names a WAL sequence
 // the replica must have applied before answering, and a replica that
 // cannot catch up in time answers StatusReplLag, surfacing as ErrReplLag.
@@ -72,9 +77,13 @@ var (
 // Replication sentinels. ErrNotLeader matches (via errors.Is) any
 // NotLeaderError, however many redirect hops deep it is wrapped;
 // ErrReplLag reports a replica that could not reach the sequence a
-// ReadAtLeast demanded within the request's deadline.
+// ReadAtLeast demanded within the request's deadline. ErrFenced matches a
+// FencedError — a mutation reached a deposed leader; FencedError also
+// satisfies errors.Is(err, ErrNotLeader), so callers with a generic
+// "wrong node, follow the redirect" policy need no new case.
 var (
 	ErrNotLeader = errors.New("client: not the leader")
+	ErrFenced    = errors.New("client: fenced (deposed) leader")
 	ErrReplLag   = errors.New("client: replica lagging requested sequence")
 )
 
@@ -96,6 +105,27 @@ func (e *NotLeaderError) Error() string {
 
 // Is makes errors.Is(err, ErrNotLeader) hold for any NotLeaderError.
 func (e *NotLeaderError) Is(target error) bool { return target == ErrNotLeader }
+
+// FencedError is the concrete error behind ErrFenced: the node a mutation
+// reached was the leader once but has been deposed by a newer term and is
+// refusing writes until it rejoins. Leader (when non-empty) is where the
+// cluster says writes go now; the client already adopted it.
+type FencedError struct {
+	Leader string
+}
+
+func (e *FencedError) Error() string {
+	if e.Leader == "" {
+		return "client: leader fenced by a newer term (successor unknown)"
+	}
+	return fmt.Sprintf("client: leader fenced by a newer term (leader at %s)", e.Leader)
+}
+
+// Is makes both errors.Is(err, ErrFenced) and errors.Is(err, ErrNotLeader)
+// hold: a fence is a redirect with a stronger reason.
+func (e *FencedError) Is(target error) bool {
+	return target == ErrFenced || target == ErrNotLeader
+}
 
 // Config tunes a Client. Addr is required.
 type Config struct {
@@ -139,6 +169,7 @@ type Stats struct {
 	CapacityErrs    uint64 // StatusCapacity responses seen
 	TransportErrors uint64 // dial/read/write failures (each forces a redial)
 	Redirects       uint64 // StatusNotLeader responses followed
+	FencedSeen      uint64 // StatusFenced responses seen (deposed leader)
 	ReplLags        uint64 // StatusReplLag responses seen
 	ContentionLevel int64  // current adaptive backoff level (0..contentionCap)
 }
@@ -156,9 +187,17 @@ type Client struct {
 	rngState atomic.Uint64
 
 	// leader is the cluster leader's data address ("" = none learned;
-	// use cfg.Addr). Set from StatusNotLeader redirects, cleared when the
-	// learned address stops dialing.
+	// use cfg.Addr). Set from StatusNotLeader/StatusFenced redirects,
+	// cleared when the learned address repeatedly stops dialing or a
+	// fence names no successor.
 	leader atomic.Value // string
+
+	// leaderFails counts consecutive dial failures of the learned leader;
+	// at leaderFailThreshold the cache is invalidated and dials fall back
+	// to the seed address until a new redirect teaches us better. The
+	// threshold keeps one flaky dial during a failover from discarding
+	// topology that is still correct.
+	leaderFails atomic.Int64
 
 	// contention is the adaptive backoff level: raised by backpressure
 	// signals (shed, capacity, drain, transport failure), lowered by
@@ -169,7 +208,7 @@ type Client struct {
 
 	stats struct {
 		requests, retries, sheds, drains, capacity, transport atomic.Uint64
-		redirects, replLags                                   atomic.Uint64
+		redirects, fenced, replLags                           atomic.Uint64
 	}
 
 	closed atomic.Bool
@@ -237,6 +276,7 @@ func (cl *Client) Stats() Stats {
 		CapacityErrs:    cl.stats.capacity.Load(),
 		TransportErrors: cl.stats.transport.Load(),
 		Redirects:       cl.stats.redirects.Load(),
+		FencedSeen:      cl.stats.fenced.Load(),
 		ReplLags:        cl.stats.replLags.Load(),
 		ContentionLevel: cl.contention.Load(),
 	}
@@ -262,8 +302,21 @@ func (cl *Client) targetAddr() string {
 func (cl *Client) noteLeader(addr string) {
 	if addr != "" && addr != cl.Leader() {
 		cl.leader.Store(addr)
+		cl.leaderFails.Store(0)
 	}
 }
+
+// invalidateLeader forgets the learned leader so dials fall back to the
+// configured seed — the re-discovery path after a fence names no
+// successor or the learned address keeps failing.
+func (cl *Client) invalidateLeader() {
+	cl.leader.Store("")
+	cl.leaderFails.Store(0)
+}
+
+// leaderFailThreshold is how many consecutive dial failures of the
+// learned leader the client tolerates before invalidating the cache.
+const leaderFailThreshold = 2
 
 // noteBackpressure raises the adaptive backoff level (saturating).
 func (cl *Client) noteBackpressure() {
@@ -425,6 +478,24 @@ func (cl *Client) do(ctx context.Context, req wire.Request) (wire.Response, erro
 					return wire.Response{}, fmt.Errorf("%w awaiting leader election", context.Cause(ctx))
 				}
 			}
+		case wire.StatusFenced:
+			// The node we were writing to has been deposed by a newer
+			// term. Whatever we learned about it is void: adopt the named
+			// successor, or — when the fence can't name one yet — forget
+			// the cached leader entirely and re-discover from the seed,
+			// paced by the capped backoff so a mid-election cluster isn't
+			// hammered with redirect probes.
+			cl.stats.fenced.Add(1)
+			cl.cfg.Trace.Event(req.Trace, rtrace.KRedirect, int64(attempt))
+			lastErr = &FencedError{Leader: resp.Leader}
+			if resp.Leader != "" {
+				cl.noteLeader(resp.Leader)
+			} else {
+				cl.invalidateLeader()
+				if !cl.sleep(ctx, cl.backoff(cl.cfg.Backoff, cl.shifted(attempt))) {
+					return wire.Response{}, fmt.Errorf("%w awaiting post-fence leader", context.Cause(ctx))
+				}
+			}
 		case wire.StatusReplLag:
 			// The replica hasn't applied the sequence a ReadAtLeast asked
 			// for; it usually will have after a short wait.
@@ -466,12 +537,22 @@ func (cl *Client) acquire(ctx context.Context) (*conn, error) {
 	if c == nil {
 		nc, err := net.DialTimeout("tcp", addr, cl.cfg.DialTimeout)
 		if err != nil {
-			// A learned leader that stopped dialing is stale topology:
-			// forget it so the next attempt falls back to the seed address
-			// (a load balancer or any surviving node).
-			cl.leader.CompareAndSwap(addr, "")
+			// A learned leader that repeatedly stops dialing is stale
+			// topology: forget it so later attempts fall back to the seed
+			// address (a load balancer or any surviving node). One failure
+			// is tolerated — mid-failover the address often comes right
+			// back — and the retry loop's capped exponential backoff paces
+			// re-discovery either way.
+			if addr == cl.Leader() && cl.leaderFails.Add(1) >= leaderFailThreshold {
+				if cl.leader.CompareAndSwap(addr, "") {
+					cl.leaderFails.Store(0)
+				}
+			}
 			cl.pool <- nil
 			return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+		}
+		if addr == cl.Leader() {
+			cl.leaderFails.Store(0)
 		}
 		c = &conn{c: nc, br: bufio.NewReader(nc), bw: bufio.NewWriter(nc), addr: addr}
 	}

@@ -86,6 +86,12 @@ func (a *accessor) mutateBatch(op uint8, keys []int64, out []bst.OpResult, inner
 		inner(keys, out) // let the inner batch enforce len(out) == len(keys)
 		return
 	}
+	if a.d.fenceTerm.Load() != 0 {
+		for i := range out[:len(keys)] {
+			out[i] = bst.OpResult{Err: ErrFenced}
+		}
+		return
+	}
 	var touched [numStripes]bool
 	for _, k := range keys {
 		touched[stripeOf(k)] = true

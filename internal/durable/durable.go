@@ -148,6 +148,10 @@ type Tree struct {
 
 	closed atomic.Bool
 
+	// fenceTerm, when non-zero, refuses direct mutations: the node was
+	// deposed by this leader term (see Fence).
+	fenceTerm atomic.Uint64
+
 	// Cumulative checkpoint/recovery telemetry for MetricsHook.
 	snapshots     atomic.Uint64
 	snapshotKeys  atomic.Uint64
@@ -324,11 +328,45 @@ func bulkLoadBalanced(tree *bst.Tree, keys []int64) error {
 	return nil
 }
 
+// ErrFenced is returned by direct mutations on a store whose node was
+// deposed by a newer leader term: the replication layer fenced the store
+// (Fence) and writes must be refused even when the request slipped past
+// the server's role gate before the fence landed. Replicated applies and
+// reads are unaffected.
+var ErrFenced = errors.New("durable: fenced by a newer leader term")
+
+// Fence refuses direct mutations (Insert/TryInsert/Delete and the batch
+// paths) from now on, recording the deposing term. The replication layer
+// calls it the moment the node observes a term newer than its own while
+// believing itself leader — the apply-side half of term fencing: even a
+// request already inside the server cannot produce an acknowledged write
+// after the fence. ApplyRecord/ApplySnapshot (replicated state from the
+// new leader) and reads keep working. Monotonic: a lower term than the
+// recorded one does not overwrite it; Unfence (promotion) lifts it.
+func (d *Tree) Fence(term uint64) {
+	for {
+		old := d.fenceTerm.Load()
+		if term <= old || d.fenceTerm.CompareAndSwap(old, term) {
+			return
+		}
+	}
+}
+
+// Unfence lifts a fence; the replication layer calls it when this node is
+// (re-)promoted to leader and may take writes again.
+func (d *Tree) Unfence() { d.fenceTerm.Store(0) }
+
+// FencedTerm returns the term that fenced this store (0 = not fenced).
+func (d *Tree) FencedTerm() uint64 { return d.fenceTerm.Load() }
+
 // apply runs one mutation under its key's stripe: tree first, then the
 // non-blocking WAL enqueue, so the record's sequence order matches the
 // key's linearization order. The fsync wait happens after the stripe is
 // released.
 func (d *Tree) apply(op uint8, key int64, mutate func() (bool, error)) (bool, error) {
+	if d.fenceTerm.Load() != 0 {
+		return false, ErrFenced
+	}
 	tc := d.opts.Trace.SampleNext()
 	var treeStart time.Time
 	if tc.Sampled() {
@@ -367,6 +405,9 @@ func (d *Tree) apply(op uint8, key int64, mutate func() (bool, error)) (bool, er
 // applyAsync is apply without the ticket wait: same stripe-serialized
 // tree-then-enqueue protocol, but durability is the caller's to wait for.
 func (d *Tree) applyAsync(op uint8, key int64, mutate func() (bool, error)) (bool, wal.Ticket, error) {
+	if d.fenceTerm.Load() != 0 {
+		return false, wal.Ticket{}, ErrFenced
+	}
 	st := &d.stripes[stripeOf(key)]
 	st.Lock()
 	ok, err := mutate()

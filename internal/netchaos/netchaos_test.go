@@ -1,0 +1,288 @@
+package netchaos
+
+import (
+	"errors"
+	"io"
+	"net"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// echoServer accepts connections and echoes bytes back until closed.
+func echoServer(t *testing.T) (addr string, closeFn func()) {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func() {
+				defer c.Close()
+				io.Copy(c, c)
+			}()
+		}
+	}()
+	return ln.Addr().String(), func() { ln.Close() }
+}
+
+func newProxyFor(t *testing.T, target string) *Proxy {
+	t.Helper()
+	p, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetTarget(target)
+	t.Cleanup(func() { p.Close() })
+	return p
+}
+
+func roundtrip(t *testing.T, c net.Conn, msg string, timeout time.Duration) error {
+	t.Helper()
+	c.SetDeadline(time.Now().Add(timeout))
+	if _, err := c.Write([]byte(msg)); err != nil {
+		return err
+	}
+	buf := make([]byte, len(msg))
+	if _, err := io.ReadFull(c, buf); err != nil {
+		return err
+	}
+	if string(buf) != msg {
+		t.Fatalf("echo mismatch: got %q want %q", buf, msg)
+	}
+	return nil
+}
+
+func TestProxyForwards(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxyFor(t, addr)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := roundtrip(t, c, "hello through the proxy", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	up, down := p.BytesForwarded()
+	if up == 0 || down == 0 {
+		t.Fatalf("expected forwarded bytes both ways, got up=%d down=%d", up, down)
+	}
+}
+
+// TestNoTargetConnectThenEOF: before SetTarget, dialers connect and get an
+// immediate close — the retry-friendly behavior followers depend on.
+func TestNoTargetConnectThenEOF(t *testing.T) {
+	p, err := New(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF from untargeted proxy, got %v", err)
+	}
+}
+
+// TestPartitionAndHeal: a live connection goes silent under Partition —
+// no reset, no bytes — and the same connection resumes when healed.
+func TestPartitionAndHeal(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxyFor(t, addr)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := roundtrip(t, c, "before", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	p.SetRule(Rule{Partition: true})
+	c.SetDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := c.Write([]byte("lost")); err != nil {
+		t.Fatalf("write into a partition must not error (silence, not reset): %v", err)
+	}
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read through a partition returned data")
+	} else if ne, ok := err.(net.Error); !ok || !ne.Timeout() {
+		t.Fatalf("expected timeout (silence), got %v", err)
+	}
+
+	p.SetRule(Rule{})
+	if err := roundtrip(t, c, "after-heal", 2*time.Second); err != nil {
+		t.Fatalf("healed link did not resume: %v", err)
+	}
+}
+
+// TestBlackholeDown drops only target→client: writes flow, replies vanish.
+func TestBlackholeDown(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxyFor(t, addr)
+	p.SetRule(Rule{BlackholeDown: true})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(300 * time.Millisecond))
+	if _, err := c.Write([]byte("ping")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("read through a down-blackhole returned data")
+	}
+	up, _ := p.BytesForwarded()
+	if up == 0 {
+		t.Fatal("upstream direction should still forward under a down-blackhole")
+	}
+}
+
+func TestLatency(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxyFor(t, addr)
+	const delay = 50 * time.Millisecond
+	p.SetRule(Rule{Latency: delay})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	start := time.Now()
+	if err := roundtrip(t, c, "timed", 5*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// One-way latency applies per direction: the echo roundtrip pays ~2×.
+	if got := time.Since(start); got < 2*delay {
+		t.Fatalf("roundtrip %v under injected latency %v per direction", got, delay)
+	}
+}
+
+func TestDropAfterBytes(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxyFor(t, addr)
+	p.SetRule(Rule{DropAfterBytes: 64})
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	c.Write(make([]byte, 128))
+	// The link must die shortly after the budget is exceeded.
+	_, err = io.ReadFull(c, make([]byte, 128))
+	if err == nil {
+		t.Fatal("connection survived past DropAfterBytes")
+	}
+}
+
+func TestSeverKillsLiveConns(t *testing.T) {
+	addr, stop := echoServer(t)
+	defer stop()
+	p := newProxyFor(t, addr)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := roundtrip(t, c, "alive", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	p.Sever()
+	c.SetDeadline(time.Now().Add(2 * time.Second))
+	if _, err := c.Read(make([]byte, 1)); err == nil {
+		t.Fatal("severed connection still readable")
+	}
+	// The listener survives a sever: new connections work.
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := roundtrip(t, c2, "reconnected", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRetarget(t *testing.T) {
+	addrA, stopA := echoServer(t)
+	defer stopA()
+	p := newProxyFor(t, addrA)
+	c, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := roundtrip(t, c, "to-A", 2*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	addrB, stopB := echoServer(t)
+	defer stopB()
+	p.SetTarget(addrB)
+	stopA()
+	c2, err := net.Dial("tcp", p.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+	if err := roundtrip(t, c2, "to-B", 2*time.Second); err != nil {
+		t.Fatalf("retargeted proxy did not reach new endpoint: %v", err)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 100; i++ {
+		if av, bv := a.Next(), b.Next(); av != bv {
+			t.Fatalf("same-seed generators diverged at step %d: %d vs %d", i, av, bv)
+		}
+	}
+	if NewRand(42).Next() == NewRand(43).Next() {
+		t.Fatal("different seeds produced identical first values")
+	}
+	if NewRand(1).Intn(0) != 0 || NewRand(1).Duration(0) != 0 {
+		t.Fatal("degenerate bounds must return 0")
+	}
+}
+
+func TestRunScheduleOrderAndStop(t *testing.T) {
+	var order []int
+	err := RunSchedule([]Event{
+		{At: 20 * time.Millisecond, Name: "second", Do: func() { order = append(order, 2) }},
+		{At: 0, Name: "first", Do: func() { order = append(order, 1) }},
+		{At: 40 * time.Millisecond, Name: "third", Do: func() { order = append(order, 3) }},
+	}, nil, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Fatalf("events fired out of order: %v", order)
+	}
+
+	stop := make(chan struct{})
+	close(stop)
+	var fired atomic.Bool
+	err = RunSchedule([]Event{{At: time.Hour, Name: "never", Do: func() { fired.Store(true) }}}, stop, nil)
+	if !errors.Is(err, ErrScheduleStopped) {
+		t.Fatalf("expected ErrScheduleStopped, got %v", err)
+	}
+	if fired.Load() {
+		t.Fatal("stopped schedule still fired an event")
+	}
+}

@@ -44,9 +44,17 @@ func (n *Node) followerLoop() {
 	}
 }
 
-// pullOnce runs one replication connection to completion.
+// pullOnce runs one replication connection to completion, dialing the
+// current leader (elections and probes may have moved it off the
+// configured ReplicaOf).
 func (n *Node) pullOnce() error {
-	c, err := net.DialTimeout("tcp", n.cfg.ReplicaOf, 5*time.Second)
+	target := n.replicaTarget()
+	if target == "" {
+		// A deposed original leader that has not yet learned who won; the
+		// election loop's probes will fill the target in.
+		return errors.New("repl: no known leader to subscribe to")
+	}
+	c, err := net.DialTimeout("tcp", target, 5*time.Second)
 	if err != nil {
 		return err
 	}
@@ -148,24 +156,33 @@ func (st *applyState) handleFrame(frame []byte) error {
 		if st.snapKeys != nil {
 			return errors.New("repl: WAL frames arrived mid-snapshot transfer")
 		}
-		n.lastHeard.Store(time.Now().UnixNano())
+		// Term fencing: frames from a term older than ours come from a
+		// deposed leader (or a relay that has not heard the news). Refuse
+		// the whole stream — the lease must not refresh and nothing may be
+		// applied from a superseded history.
+		if fb.Term < n.term.Load() {
+			n.c.fencedFrames.Add(1)
+			return fmt.Errorf("repl: rejecting frames from stale term %d (ours %d)", fb.Term, n.term.Load())
+		}
+		// Heartbeat-receive failpoint: drop the batch before it refreshes
+		// the lease, as a blackholed link would.
+		if fp := n.cfg.Failpoints; fp != nil && fp.Hit(FPHeartbeatRecv) {
+			return nil
+		}
+		n.lastHeard.Store(n.now().UnixNano())
 		n.leaderCommit.Store(fb.CommitSeq)
 		if fb.Addr != "" {
 			n.leaderAddr.Store(fb.Addr)
 		}
-		if t := fb.Term; t > n.term.Load() {
-			for {
-				old := n.term.Load()
-				if t <= old || n.term.CompareAndSwap(old, t) {
-					break
-				}
-			}
-		}
+		n.observeTerm(fb.Term, fb.Addr, "")
 		return st.applyFrames(fb)
 	case wire.ReplSnapshot:
 		sc, err := wire.DecodeReplSnapshot(frame)
 		if err != nil {
 			return err
+		}
+		if fp := n.cfg.Failpoints; fp != nil && fp.Hit(FPHeartbeatRecv) {
+			return nil
 		}
 		return st.applySnapshotChunk(sc)
 	default:
@@ -215,7 +232,7 @@ func (st *applyState) applyFrames(fb wire.FrameBatch) error {
 // must be wiped by the operator (documented in DESIGN).
 func (st *applyState) applySnapshotChunk(sc wire.SnapshotChunk) error {
 	n := st.n
-	n.lastHeard.Store(time.Now().UnixNano())
+	n.lastHeard.Store(n.now().UnixNano())
 	if st.snapKeys == nil {
 		st.snapKeys = make([]int64, 0, len(sc.Keys))
 		st.snapWALSeq = sc.WALSeq
@@ -252,7 +269,14 @@ func (st *applyState) sendAck(force bool) error {
 	if !force && st.applied-st.lastAck < uint64(st.n.cfg.AckEvery) {
 		return nil
 	}
-	ack := wire.Ack{AppliedSeq: st.applied, DurableSeq: st.n.store.DurableSeq()}
+	// The ack carries the highest term we have observed: a deposed leader
+	// still holding this connection sees a newer term than its own and
+	// must fence itself rather than count the ack (see Node.noteAck).
+	ack := wire.Ack{
+		AppliedSeq: st.applied,
+		DurableSeq: st.n.store.DurableSeq(),
+		Term:       st.n.term.Load(),
+	}
 	bp := wire.GetBuf()
 	*bp = wire.AppendReplAck((*bp)[:0], ack)
 	err := wire.WriteFrame(st.bw, *bp)

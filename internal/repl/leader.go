@@ -80,6 +80,12 @@ func (n *Node) serveSubscriber(c net.Conn) error {
 	if err != nil {
 		return fmt.Errorf("handshake: %w", err)
 	}
+	// The first frame's kind splits the connection's purpose: a ReplStatus
+	// is a one-shot status exchange (election probes, new-leader
+	// announcements); anything else must be a Subscribe opening a stream.
+	if k, kerr := wire.ReplKind(frame); kerr == nil && k == wire.ReplStatus {
+		return n.handleStatusExchange(c, frame)
+	}
 	sub, err := wire.DecodeReplSubscribe(frame)
 	if err != nil {
 		return fmt.Errorf("handshake: %w", err)
@@ -87,15 +93,11 @@ func (n *Node) serveSubscriber(c net.Conn) error {
 	c.SetReadDeadline(time.Time{})
 
 	// A subscriber carrying a higher term than ours has spoken to a newer
-	// leader; adopt the term so our heartbeats can't roll the cluster back.
+	// leader; adopt it — if we were leading that term is fenced now, and
+	// either way our heartbeats must not roll the cluster back.
 	if t := sub.Term; t > n.term.Load() {
 		n.log.Info("subscriber announces newer term; adopting", "subscriber_term", t)
-		for {
-			old := n.term.Load()
-			if t <= old || n.term.CompareAndSwap(old, t) {
-				break
-			}
-		}
+		n.observeTerm(t, "", "")
 	}
 
 	s := &subscriber{
@@ -129,7 +131,7 @@ func (n *Node) serveSubscriber(c net.Conn) error {
 				ackErr <- derr
 				return
 			}
-			n.noteAck(ack.AppliedSeq)
+			n.noteAck(ack.AppliedSeq, ack.Term)
 		}
 	}()
 
@@ -150,6 +152,11 @@ func (n *Node) serveSubscriber(c net.Conn) error {
 				return err
 			}
 		case <-hb.C:
+			// Heartbeat-send failpoint: skip the tick as a lossy network
+			// would, letting tests starve a follower's lease on demand.
+			if fp := n.cfg.Failpoints; fp != nil && fp.Hit(FPHeartbeatSend) {
+				continue
+			}
 			if err := n.sendBatch(s, nil, 0, 0, 0); err != nil {
 				return err
 			}
@@ -182,6 +189,31 @@ func (n *Node) serveSubscriber(c net.Conn) error {
 			}
 		}
 	}
+}
+
+// handleStatusExchange answers one symmetric status probe on the
+// replication listener: the caller has already sent its own PeerStatus as
+// the first frame; record any news it carries — a self-declared leader
+// with a newer term retargets (and fences) us, a bare higher term at
+// least fences — then reply with our own status and close. Election
+// probes and new-leader announcements are the same exchange.
+func (n *Node) handleStatusExchange(c net.Conn, frame []byte) error {
+	ps, err := wire.DecodeReplPeerStatus(frame)
+	if err != nil {
+		return fmt.Errorf("status exchange: %w", err)
+	}
+	if ps.IsLeader {
+		n.observeTerm(ps.Term, ps.Advertise, ps.ReplAddr)
+	} else if ps.Term > n.term.Load() {
+		n.observeTerm(ps.Term, "", "")
+	}
+	out := n.localStatus()
+	bp := wire.GetBuf()
+	*bp = wire.AppendReplPeerStatus((*bp)[:0], out)
+	c.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	err = wire.WriteFrame(c, *bp)
+	wire.PutBuf(bp)
+	return err
 }
 
 // forwardLive relays one tap batch. Batches arrive in flush order, so a

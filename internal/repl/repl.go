@@ -16,20 +16,37 @@
 // BFS loader, pinned on the leader (snapshot.Pin) so a concurrent
 // checkpoint cannot GC it mid-stream — and then rides the WAL tail.
 //
-// # Roles, terms, leases
+// # Roles, terms, leases, elections
 //
-// A node is leader or follower; the role only changes through explicit
-// operator-driven promotion (POST /promote on the admin port — no
-// automatic elections, no quorum; this is a primary/backup design, not
-// consensus). Each promotion increments a term number that rides every
-// ReplFrames batch; a follower adopts any higher term it hears and
-// records the sender as leader. The lease is the follower's view of
-// leader liveness: heartbeats (empty ReplFrames) arrive every Heartbeat
-// interval, and a follower that has heard nothing for LeaseTimeout
-// reports the lease expired through Health/metrics so operators (and the
-// failover tooling) know promotion is warranted. Followers refuse writes
-// regardless of lease state — wire.StatusNotLeader carries the leader's
-// data address, so clients re-aim instead of guessing.
+// A node is leader or follower; the role changes through operator-driven
+// promotion (POST /promote on the admin port) or, with AutoFailover,
+// through lease-expiry elections (still no quorum; this is a
+// primary/backup design, not consensus). Each promotion increments a term
+// number that rides every ReplFrames batch; a follower adopts any higher
+// term it hears and records the sender as leader. The lease is the
+// follower's view of leader liveness: heartbeats (empty ReplFrames)
+// arrive every Heartbeat interval, and a follower that has heard nothing
+// for LeaseTimeout reports the lease expired through Health/metrics —
+// and, with AutoFailover, stands for election: it probes Peers with a
+// ReplStatus exchange, ranks the reachable candidates deterministically
+// by (Priority, applied seq, Advertise address), holds off by its rank ×
+// HoldOff, and self-promotes only if no newer-term leader appeared first;
+// losers re-subscribe to the winner. Followers refuse writes regardless
+// of lease state — wire.StatusNotLeader carries the leader's data
+// address, so clients re-aim instead of guessing.
+//
+// # Term fencing
+//
+// A deposed leader that comes back is refused everywhere: followers
+// reject ReplFrames carrying a term lower than their own, a semi-sync
+// leader refuses to count acks stamped with a newer term (they are the
+// proof it was deposed), and the moment a node observes a higher term
+// while believing itself leader it steps down, fences its store
+// (durable.Fence — even in-flight writes cannot be acknowledged), answers
+// mutations with wire.StatusFenced, and rejoins as a follower of the
+// winner. Leaders with Peers configured probe them on a lease cadence so
+// a healed partition cannot leave a zombie leader serving stale reads and
+// unackable writes indefinitely.
 //
 // # Ack windows and durability
 //
@@ -53,6 +70,7 @@ import (
 	"time"
 
 	"repro/internal/durable"
+	"repro/internal/failpoint"
 	"repro/internal/logx"
 	"repro/internal/metrics"
 	"repro/internal/rtrace"
@@ -82,6 +100,24 @@ var ErrAckTimeout = errors.New("repl: no follower ack within timeout")
 
 // ErrNotFollower is returned by Promote on a node that is already leader.
 var ErrNotFollower = errors.New("repl: already leader")
+
+// Failpoint site names (Config.Failpoints) for deterministic fault
+// injection on the heartbeat path: FPHeartbeatSend drops an outgoing
+// leader heartbeat before it is written, FPHeartbeatRecv drops an incoming
+// ReplFrames batch before the follower processes it (the lease does not
+// refresh), so tests can starve a lease without touching the network.
+const (
+	FPHeartbeatSend = "repl/heartbeat-send"
+	FPHeartbeatRecv = "repl/heartbeat-recv"
+)
+
+// Election states surfaced through ElectionState/health/metrics.
+const (
+	stateFollowing int32 = iota
+	stateCandidate
+	stateHoldingOff
+	statePromoted
+)
 
 // Config configures a Node. Store and Advertise are required.
 type Config struct {
@@ -113,6 +149,30 @@ type Config struct {
 	RequireAck bool
 	// AckTimeout bounds the semi-sync wait (default 2s).
 	AckTimeout time.Duration
+	// Priority ranks this node in automatic elections: higher wins; ties
+	// break on highest applied sequence, then lowest Advertise address.
+	Priority int32
+	// Peers lists the replication-listener addresses of the other cluster
+	// members as this node dials them (they may be proxies — see
+	// internal/netchaos). Elections probe these addresses; a loser
+	// re-subscribes to the winner through its configured address, and a
+	// leader with Peers set probes them on a lease cadence so a healed
+	// partition cannot leave it believing it still leads.
+	Peers []string
+	// AutoFailover enables the election loop: a follower whose heartbeat
+	// lease expires probes Peers, ranks the reachable candidates by
+	// (Priority, applied seq, Advertise), holds off in rank order, and
+	// self-promotes if no newer-term leader appears first. No votes and no
+	// quorum — see DESIGN for what this does and does not guarantee.
+	AutoFailover bool
+	// HoldOff is the per-rank hold-off step after a candidate decides to
+	// stand (default 2×Heartbeat): the rank-i candidate waits i×HoldOff
+	// before promoting, so the deterministic winner moves first and losers
+	// observe it instead of racing it.
+	HoldOff time.Duration
+	// Failpoints enables the FPHeartbeat* injection sites. Nil in
+	// production (a nil set costs one pointer check per site).
+	Failpoints *failpoint.Set
 	// Trace, when non-nil, links replication into request tracing: a
 	// leader stamps shipped frame batches with the trace context of any
 	// sampled mutation they cover (consulting the recorder's sampled-seq
@@ -137,6 +197,18 @@ type Node struct {
 	role       atomic.Int32
 	term       atomic.Uint64
 	leaderAddr atomic.Value // string: the current leader's data address
+	// leaderRepl is the replication address of the current leader as this
+	// node dials it (seeded from ReplicaOf; elections and probes move it).
+	leaderRepl atomic.Value // string
+	// fenced marks a node deposed by a newer term while it was leader;
+	// sticky until the node is promoted again, so every write aimed at the
+	// old leader keeps getting the unambiguous StatusFenced redirect.
+	fenced atomic.Bool
+	// electState/holdOffUntil drive the health/metrics election view.
+	electState   atomic.Int32
+	holdOffUntil atomic.Int64 // unix nanos; 0 = no hold-off pending
+	// clock overrides time.Now for lease math (tests inject jitter).
+	clock atomic.Value // func() time.Time
 
 	// applied tracks the follower's apply progress; on a leader the store's
 	// own LastSeq is authoritative (every local mutation is "applied").
@@ -168,6 +240,12 @@ type Node struct {
 	closed atomic.Bool
 	quit   chan struct{}
 
+	// loopMu serializes startFollowerLoop against Close so a late restart
+	// (a deposed leader rejoining) cannot race the final wg.Wait;
+	// followerRunning keeps the pull loop single-instance.
+	loopMu          sync.Mutex
+	followerRunning atomic.Bool
+
 	// followerCancel interrupts the follower loop's current connection on
 	// Promote/Close.
 	followerConn struct {
@@ -192,6 +270,11 @@ type counters struct {
 	reconnects          atomic.Uint64
 	ackTimeouts         atomic.Uint64
 	promotions          atomic.Uint64
+	elections           atomic.Uint64
+	fenceEvents         atomic.Uint64
+	fencedFrames        atomic.Uint64
+	staleAcks           atomic.Uint64
+	fencedRequests      atomic.Uint64
 }
 
 // Start creates a node, starts its replication listener (when configured)
@@ -218,6 +301,9 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.AckTimeout <= 0 {
 		cfg.AckTimeout = 2 * time.Second
 	}
+	if cfg.HoldOff <= 0 {
+		cfg.HoldOff = 2 * cfg.Heartbeat
+	}
 	n := &Node{
 		cfg:      cfg,
 		store:    cfg.Store,
@@ -237,6 +323,7 @@ func Start(cfg Config) (*Node, error) {
 	if cfg.Logger == nil {
 		n.log = logx.Discard()
 	}
+	n.leaderRepl.Store(cfg.ReplicaOf)
 	if cfg.ReplicaOf == "" {
 		n.role.Store(int32(Leader))
 		n.term.Store(1)
@@ -245,7 +332,7 @@ func Start(cfg Config) (*Node, error) {
 		n.role.Store(int32(Follower))
 		n.leaderAddr.Store("") // unknown until the first heartbeat
 		n.applied.Store(n.store.LastSeq())
-		n.lastHeard.Store(time.Now().UnixNano())
+		n.lastHeard.Store(n.now().UnixNano())
 	}
 
 	// The tap fans committed frames out to subscribers and doubles as the
@@ -268,10 +355,96 @@ func Start(cfg Config) (*Node, error) {
 		go n.acceptLoop(ln)
 	}
 	if cfg.ReplicaOf != "" {
+		n.startFollowerLoop()
+	}
+	if cfg.AutoFailover {
 		n.wg.Add(1)
-		go n.followerLoop()
+		go n.electLoop()
 	}
 	return n, nil
+}
+
+// now is the node's clock; tests may swap it (setClock) to jitter lease
+// arithmetic without touching real timers.
+func (n *Node) now() time.Time {
+	if f, ok := n.clock.Load().(func() time.Time); ok {
+		return f()
+	}
+	return time.Now()
+}
+
+func (n *Node) setClock(f func() time.Time) { n.clock.Store(f) }
+
+// replicaTarget is the replication address the pull loop should dial: the
+// leader learned from elections/probes, falling back to the configured
+// ReplicaOf.
+func (n *Node) replicaTarget() string {
+	if a, _ := n.leaderRepl.Load().(string); a != "" {
+		return a
+	}
+	return n.cfg.ReplicaOf
+}
+
+// startFollowerLoop launches the pull loop if it is not already running.
+// Besides startup, this is how a deposed leader rejoins the cluster as a
+// follower of whoever fenced it.
+func (n *Node) startFollowerLoop() {
+	n.loopMu.Lock()
+	defer n.loopMu.Unlock()
+	if n.closed.Load() || !n.followerRunning.CompareAndSwap(false, true) {
+		return
+	}
+	n.wg.Add(1)
+	go func() {
+		defer n.followerRunning.Store(false)
+		n.followerLoop()
+	}()
+}
+
+// observeTerm folds a term observation from any source — frame batch,
+// subscriber handshake, ack, status probe — into the node. A higher term
+// than our own is adopted (recording the advertised leader when known);
+// adopting one while we believe ourselves leader is a deposition: step
+// down to follower, fence the store so in-flight writes cannot be
+// acknowledged, and rejoin the cluster as a subscriber of whoever won.
+func (n *Node) observeTerm(t uint64, leaderData, leaderRepl string) {
+	for {
+		old := n.term.Load()
+		if t <= old {
+			return
+		}
+		if n.term.CompareAndSwap(old, t) {
+			break
+		}
+	}
+	if leaderData != "" {
+		n.leaderAddr.Store(leaderData)
+	}
+	if leaderRepl != "" {
+		n.leaderRepl.Store(leaderRepl)
+	}
+	if n.role.CompareAndSwap(int32(Leader), int32(Follower)) {
+		// Deposed. Fence before waking semi-sync waiters so no write that
+		// was in flight when the newer term appeared can still be acked.
+		n.fenced.Store(true)
+		n.store.Fence(t)
+		n.c.fenceEvents.Add(1)
+		n.electState.Store(stateFollowing)
+		// Grant the winner one fresh lease to reach us before the election
+		// loop considers standing again.
+		n.lastHeard.Store(n.now().UnixNano())
+		n.wakeAcks()
+		n.log.Warn("fenced: observed newer term, stepping down",
+			"new_term", t, "new_leader", leaderData)
+		n.startFollowerLoop()
+	} else if leaderRepl != "" && n.Role() == Follower {
+		// A plain follower learning who won: grant the winner a fresh
+		// lease, drop any pull connection still pointed at the old leader,
+		// and make sure the loop is running to redial the new target.
+		n.lastHeard.Store(n.now().UnixNano())
+		n.severPull()
+		n.startFollowerLoop()
+	}
 }
 
 // Role returns the node's current role.
@@ -305,12 +478,14 @@ func (n *Node) AppliedSeq() uint64 {
 func (n *Node) AckedSeq() uint64 { return n.maxAck.Load() }
 
 // LeaseExpired reports whether a follower has gone LeaseTimeout without
-// hearing from its leader. Always false on a leader.
+// hearing from its leader. Always false on a leader. A heartbeat landing
+// exactly at the deadline still counts: the lease is expired only when
+// silence strictly exceeds LeaseTimeout.
 func (n *Node) LeaseExpired() bool {
 	if n.IsLeader() {
 		return false
 	}
-	return time.Since(time.Unix(0, n.lastHeard.Load())) > n.cfg.LeaseTimeout
+	return n.now().Sub(time.Unix(0, n.lastHeard.Load())) > n.cfg.LeaseTimeout
 }
 
 // LeaseRemaining returns how much of the heartbeat lease is left before
@@ -320,9 +495,53 @@ func (n *Node) LeaseRemaining() time.Duration {
 	if n.IsLeader() {
 		return n.cfg.LeaseTimeout
 	}
-	rem := n.cfg.LeaseTimeout - time.Since(time.Unix(0, n.lastHeard.Load()))
+	rem := n.cfg.LeaseTimeout - n.now().Sub(time.Unix(0, n.lastHeard.Load()))
 	return max(rem, 0)
 }
+
+// Fenced reports whether this node was deposed by a newer leader term.
+// Sticky until the node is promoted again: clients that still aim writes
+// here get StatusFenced (with the new leader's address once known) rather
+// than a plain not-leader, so they know to drop their cached leader.
+func (n *Node) Fenced() bool { return n.fenced.Load() }
+
+// ElectionState names where this node stands in the automatic-failover
+// state machine: "following" (healthy follower, or elections disabled),
+// "candidate" (lease expired, probing peers), "holding_off" (standing but
+// waiting out its deterministic rank delay), "promoted" (won an automatic
+// election), or "leading" (leader by start or operator promotion).
+func (n *Node) ElectionState() string {
+	if n.IsLeader() {
+		if n.electState.Load() == statePromoted {
+			return "promoted"
+		}
+		return "leading"
+	}
+	switch n.electState.Load() {
+	case stateCandidate:
+		return "candidate"
+	case stateHoldingOff:
+		return "holding_off"
+	default:
+		return "following"
+	}
+}
+
+// HoldOffDeadline returns when the node's current election hold-off ends
+// (zero time when no hold-off is pending).
+func (n *Node) HoldOffDeadline() time.Time {
+	ns := n.holdOffUntil.Load()
+	if ns == 0 {
+		return time.Time{}
+	}
+	return time.Unix(0, ns)
+}
+
+// NoteFenced counts one client write refused with StatusFenced; the
+// server calls it (via the optional Cluster interface) so the
+// repl_fenced_requests_total series lands beside the other replication
+// counters.
+func (n *Node) NoteFenced() { n.c.fencedRequests.Add(1) }
 
 // LeaderCommit returns the newest WAL sequence this node has heard the
 // leader commit: its own log horizon on a leader, the commit horizon of
@@ -366,9 +585,21 @@ func (n *Node) appliedWake() <-chan struct{} {
 }
 
 // noteAck folds a follower ack into the leader's watermark and wakes
-// semi-sync waiters.
-func (n *Node) noteAck(applied uint64) {
+// semi-sync waiters. The acker's term is the fencing check: an ack from a
+// newer term is proof this leader was deposed — it fences the node instead
+// of advancing the watermark — and an ack from an older term is not
+// counted either (the subscriber predates our promotion; it re-acks with
+// the right term within a heartbeat). Term 0 is a bootstrap follower that
+// has not heard any term yet (or a legacy frame) and is counted.
+func (n *Node) noteAck(applied, term uint64) {
 	n.c.acksReceived.Add(1)
+	if our := n.term.Load(); term != 0 && term != our {
+		n.c.staleAcks.Add(1)
+		if term > our {
+			n.observeTerm(term, "", "")
+		}
+		return
+	}
 	for {
 		old := n.maxAck.Load()
 		if applied <= old {
@@ -378,6 +609,11 @@ func (n *Node) noteAck(applied uint64) {
 			break
 		}
 	}
+	n.wakeAcks()
+}
+
+// wakeAcks re-arms the semi-sync ack notification channel.
+func (n *Node) wakeAcks() {
 	n.ackMu.Lock()
 	close(n.ackCh)
 	n.ackCh = make(chan struct{})
@@ -420,12 +656,24 @@ func (n *Node) WaitApplied(ctx context.Context, seq uint64) error {
 // passes first (the caller should answer with a retryable status, not an
 // ack); ctx errors pass through.
 func (n *Node) WaitReplicated(ctx context.Context, seq uint64) error {
-	if !n.cfg.RequireAck || !n.IsLeader() || seq == 0 {
+	if !n.cfg.RequireAck || seq == 0 {
+		return nil
+	}
+	// The fence check must precede the role shortcut: a leader deposed
+	// with this write in flight is a follower now, and returning nil here
+	// would acknowledge a write the new leader's history may not contain.
+	if n.fenced.Load() {
+		return durable.ErrFenced
+	}
+	if !n.IsLeader() {
 		return nil
 	}
 	t := time.NewTimer(n.cfg.AckTimeout)
 	defer t.Stop()
 	for {
+		if n.fenced.Load() {
+			return durable.ErrFenced
+		}
 		if n.maxAck.Load() >= seq {
 			return nil
 		}
@@ -449,8 +697,13 @@ func (n *Node) WaitReplicated(ctx context.Context, seq uint64) error {
 // Promote turns a follower into the leader: the pull loop stops, the term
 // increments, and the node starts answering as leader (its replication
 // listener, if any, keeps serving subscribers — now with the new term).
-// Explicitly operator-driven; the caller is the admin endpoint.
+// Operator-driven; the caller is the admin endpoint. Automatic elections
+// go through the same transition via promote(true).
 func (n *Node) Promote() (term uint64, err error) {
+	return n.promote(false)
+}
+
+func (n *Node) promote(auto bool) (term uint64, err error) {
 	if n.closed.Load() {
 		return 0, errors.New("repl: node closed")
 	}
@@ -459,26 +712,45 @@ func (n *Node) Promote() (term uint64, err error) {
 	}
 	// Sever the pull connection; the follower loop observes the role flip
 	// and exits instead of redialing.
+	n.severPull()
+	term = n.term.Add(1)
+	// Taking leadership lifts any fence from an earlier deposition: this
+	// node's writes are the history of the new term.
+	n.fenced.Store(false)
+	n.store.Unfence()
+	n.leaderAddr.Store(n.cfg.Advertise)
+	n.c.promotions.Add(1)
+	if auto {
+		n.electState.Store(statePromoted)
+	} else {
+		n.electState.Store(stateFollowing)
+	}
+	n.holdOffUntil.Store(0)
+	// Catch the applied watermark up to the local log so reads gated on
+	// WaitApplied never regress across the role change.
+	n.applied.Store(n.store.LastSeq())
+	n.wakeApplied()
+	n.log.Info("promoted to leader", "applied_seq", n.store.LastSeq(), "auto", auto)
+	return term, nil
+}
+
+// severPull closes the follower pull connection (if any), forcing the pull
+// loop to redial — or exit, when the role changed.
+func (n *Node) severPull() {
 	n.followerConn.Lock()
 	if c := n.followerConn.c; c != nil {
 		c.Close()
 	}
 	n.followerConn.Unlock()
-	term = n.term.Add(1)
-	n.leaderAddr.Store(n.cfg.Advertise)
-	n.c.promotions.Add(1)
-	// Catch the applied watermark up to the local log so reads gated on
-	// WaitApplied never regress across the role change.
-	n.applied.Store(n.store.LastSeq())
-	n.wakeApplied()
-	n.log.Info("promoted to leader", "applied_seq", n.store.LastSeq())
-	return term, nil
 }
 
 // Close stops the listener, the follower loop, and every subscriber
 // stream. The store is not closed — its lifecycle belongs to the caller.
 func (n *Node) Close() error {
-	if n.closed.Swap(true) {
+	n.loopMu.Lock()
+	already := n.closed.Swap(true)
+	n.loopMu.Unlock()
+	if already {
 		return nil
 	}
 	close(n.quit)
@@ -509,6 +781,8 @@ type Stats struct {
 	AckedSeq            uint64
 	Followers           int
 	LeaseExpired        bool
+	Fenced              bool
+	ElectionState       string
 	RecordsSent         uint64
 	BatchesSent         uint64
 	HeartbeatsSent      uint64
@@ -522,6 +796,11 @@ type Stats struct {
 	Reconnects          uint64
 	AckTimeouts         uint64
 	Promotions          uint64
+	Elections           uint64
+	FenceEvents         uint64
+	FencedFrames        uint64
+	StaleAcks           uint64
+	FencedRequests      uint64
 }
 
 // ReplStats returns a snapshot of the node's counters.
@@ -534,6 +813,8 @@ func (n *Node) ReplStats() Stats {
 		AckedSeq:            n.AckedSeq(),
 		Followers:           n.Followers(),
 		LeaseExpired:        n.LeaseExpired(),
+		Fenced:              n.Fenced(),
+		ElectionState:       n.ElectionState(),
 		RecordsSent:         n.c.recordsSent.Load(),
 		BatchesSent:         n.c.batchesSent.Load(),
 		HeartbeatsSent:      n.c.heartbeatsSent.Load(),
@@ -547,6 +828,11 @@ func (n *Node) ReplStats() Stats {
 		Reconnects:          n.c.reconnects.Load(),
 		AckTimeouts:         n.c.ackTimeouts.Load(),
 		Promotions:          n.c.promotions.Load(),
+		Elections:           n.c.elections.Load(),
+		FenceEvents:         n.c.fenceEvents.Load(),
+		FencedFrames:        n.c.fencedFrames.Load(),
+		StaleAcks:           n.c.staleAcks.Load(),
+		FencedRequests:      n.c.fencedRequests.Load(),
 	}
 }
 
@@ -582,6 +868,17 @@ func (n *Node) MetricsHook(s *metrics.Snapshot) {
 		s.Gauges["repl_lease_expired"] = 0
 	}
 	s.Gauges["repl_lease_remaining_seconds"] = n.LeaseRemaining().Seconds()
+	if st.Fenced {
+		s.Gauges["repl_fenced"] = 1
+	} else {
+		s.Gauges["repl_fenced"] = 0
+	}
+	s.Gauges["repl_election_state"] = float64(n.electState.Load())
+	if d := n.HoldOffDeadline(); !d.IsZero() {
+		s.Gauges["repl_holdoff_remaining_seconds"] = max(d.Sub(n.now()), 0).Seconds()
+	} else {
+		s.Gauges["repl_holdoff_remaining_seconds"] = 0
+	}
 	s.External["repl_records_sent_total"] += st.RecordsSent
 	s.External["repl_batches_sent_total"] += st.BatchesSent
 	s.External["repl_heartbeats_sent_total"] += st.HeartbeatsSent
@@ -595,4 +892,9 @@ func (n *Node) MetricsHook(s *metrics.Snapshot) {
 	s.External["repl_reconnects_total"] += st.Reconnects
 	s.External["repl_ack_timeouts_total"] += st.AckTimeouts
 	s.External["repl_promotions_total"] += st.Promotions
+	s.External["repl_elections_total"] += st.Elections
+	s.External["repl_fence_events_total"] += st.FenceEvents
+	s.External["repl_fenced_frames_total"] += st.FencedFrames
+	s.External["repl_stale_acks_total"] += st.StaleAcks
+	s.External["repl_fenced_requests_total"] += st.FencedRequests
 }

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"time"
 
 	"repro/internal/durable"
 	"repro/internal/metrics"
@@ -160,8 +161,14 @@ func (s *Server) Ready() error {
 	}
 	// A follower whose heartbeat lease has lapsed is serving reads of
 	// unknown staleness — a load balancer should route somewhere fresher
-	// until it reconnects (or is promoted).
+	// until it reconnects (or is promoted). During an automatic election
+	// the state ("candidate", "holding_off") names why.
 	if cl := s.cfg.Cluster; cl != nil && !cl.IsLeader() && cl.LeaseExpired() {
+		if er, ok := cl.(electionReporter); ok {
+			if st := er.ElectionState(); st != "" && st != "following" {
+				return fmt.Errorf("follower lease expired (election state %s): leader unheard, applied_seq %d", st, cl.AppliedSeq())
+			}
+		}
 		return fmt.Errorf("follower lease expired: leader unheard, applied_seq %d", cl.AppliedSeq())
 	}
 	return nil
@@ -194,6 +201,25 @@ type clusterHealth struct {
 	LeaseRemainingMS int64  `json:"lease_remaining_ms"`
 	Followers        int    `json:"followers"`
 	LeaseExpired     bool   `json:"lease_expired"`
+	// ElectionState is the failover state machine's position: "following",
+	// "candidate", "holding_off", "promoted" (won an automatic election),
+	// or "leading" (bootstrap/operator-promoted leader). Empty when the
+	// cluster layer predates automatic elections.
+	ElectionState string `json:"election_state,omitempty"`
+	// HoldOffRemainingMS is how long this candidate still defers to
+	// higher-ranked peers before self-promoting (0 when not holding off).
+	HoldOffRemainingMS int64 `json:"holdoff_remaining_ms"`
+	// Fenced marks a deposed leader that has not re-promoted: its
+	// mutations answer StatusFenced until it rejoins or wins a new term.
+	Fenced bool `json:"fenced"`
+}
+
+// electionReporter is the optional election surface of a Cluster
+// (repl.Node implements it); the health body degrades gracefully without
+// it.
+type electionReporter interface {
+	ElectionState() string
+	HoldOffDeadline() time.Time
 }
 
 // durabilityHealth summarizes the WAL's progress for operators: how far
@@ -263,6 +289,17 @@ func writeHealth(w http.ResponseWriter, code int, status string, s *Server) {
 			LeaseRemainingMS: cl.LeaseRemaining().Milliseconds(),
 			Followers:        cl.Followers(),
 			LeaseExpired:     cl.LeaseExpired(),
+		}
+		if er, ok := cl.(electionReporter); ok {
+			body.Cluster.ElectionState = er.ElectionState()
+			if d := er.HoldOffDeadline(); !d.IsZero() {
+				if rem := time.Until(d); rem > 0 {
+					body.Cluster.HoldOffRemainingMS = rem.Milliseconds()
+				}
+			}
+		}
+		if f, ok := cl.(fencer); ok {
+			body.Cluster.Fenced = f.Fenced()
 		}
 	}
 	w.Header().Set("Content-Type", "application/json; charset=utf-8")

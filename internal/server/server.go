@@ -40,6 +40,7 @@ import (
 	"time"
 
 	bst "repro"
+	"repro/internal/durable"
 	"repro/internal/failpoint"
 	"repro/internal/logx"
 	"repro/internal/metrics"
@@ -109,6 +110,33 @@ type Cluster interface {
 	LeaderCommit() uint64
 	// Followers is the number of connected replication subscribers.
 	Followers() int
+}
+
+// fencer is the optional Cluster extension for term fencing: Fenced
+// reports a node deposed by a newer leader term that has not re-promoted
+// since. repl.Node implements it; Cluster fakes that predate fencing stay
+// compilable and simply never fence.
+type fencer interface{ Fenced() bool }
+
+// fencedNoter is the optional Cluster extension notified once per request
+// the server refuses with StatusFenced, so the cluster layer's metrics
+// count them alongside its own fence events.
+type fencedNoter interface{ NoteFenced() }
+
+// clusterFenced reports whether the cluster node is fenced (false when
+// standalone or when the Cluster doesn't expose fencing).
+func (s *Server) clusterFenced() bool {
+	f, ok := s.cfg.Cluster.(fencer)
+	return ok && f.Fenced()
+}
+
+// noteFenced counts one request refused for being fenced, in the server's
+// own counters and (when supported) the cluster's.
+func (s *Server) noteFenced() {
+	s.stats.fenced.Add(1)
+	if fn, ok := s.cfg.Cluster.(fencedNoter); ok {
+		fn.NoteFenced()
+	}
 }
 
 // Config tunes a Server. One of Store or Tree is required; everything else
@@ -189,6 +217,7 @@ type Counters struct {
 	SlowReads     uint64 // connections dropped mid-frame by the read deadline
 	Drains        uint64 // Shutdown calls that completed
 	NotLeader     uint64 // writes redirected with StatusNotLeader (follower role)
+	Fenced        uint64 // writes refused with StatusFenced (deposed leader)
 	ReplLag       uint64 // OpLookupAt requests answered StatusReplLag
 	ReplDegraded  uint64 // response windows degraded by a semi-sync ack timeout
 	InFlight      int64  // requests currently holding an admission slot
@@ -211,6 +240,7 @@ type counters struct {
 	slowReads     atomic.Uint64
 	drains        atomic.Uint64
 	notLeader     atomic.Uint64
+	fenced        atomic.Uint64
 	replLag       atomic.Uint64
 	replDegraded  atomic.Uint64
 	inFlight      atomic.Int64
@@ -290,6 +320,7 @@ func New(cfg Config) *Server {
 		sn.External["server_slow_reads_total"] += c.SlowReads
 		sn.External["server_drains_total"] += c.Drains
 		sn.External["server_not_leader_total"] += c.NotLeader
+		sn.External["server_fenced_total"] += c.Fenced
 		sn.External["server_repl_lag_total"] += c.ReplLag
 		sn.External["server_repl_degraded_total"] += c.ReplDegraded
 		sn.Gauges["server_inflight_requests"] = float64(c.InFlight)
@@ -320,6 +351,7 @@ func (s *Server) Counters() Counters {
 		SlowReads:     s.stats.slowReads.Load(),
 		Drains:        s.stats.drains.Load(),
 		NotLeader:     s.stats.notLeader.Load(),
+		Fenced:        s.stats.fenced.Load(),
 		ReplLag:       s.stats.replLag.Load(),
 		ReplDegraded:  s.stats.replDegraded.Load(),
 		InFlight:      s.stats.inFlight.Load(),
@@ -501,16 +533,25 @@ func (s *Server) handleConn(c net.Conn) {
 				// is not yet covered by a follower ack to StatusOverloaded
 				// (retryable — the op is applied and locally durable, but
 				// the cluster's ack contract isn't met). Covered responses
-				// ship unchanged.
+				// ship unchanged. A fence mid-window is stronger: the node
+				// was deposed with these writes in flight, and acking them
+				// would claim a durability the new leader's history may not
+				// have — answer StatusFenced with a redirect instead.
+				st, leader := wire.StatusOverloaded, ""
+				if errors.Is(err, durable.ErrFenced) {
+					st, leader = wire.StatusFenced, cl.LeaderAddr()
+					s.noteFenced()
+				} else {
+					s.stats.replDegraded.Add(1)
+				}
 				acked := cl.AckedSeq()
 				for i := 0; i < nwin; i++ {
 					if win[i].seq > acked {
 						id := binary.BigEndian.Uint64(win[i].payload[:8])
 						win[i].payload = wire.AppendResponse(win[i].payload[:0],
-							wire.Response{ID: id, Status: wire.StatusOverloaded})
+							wire.Response{ID: id, Status: st, Leader: leader})
 					}
 				}
-				s.stats.replDegraded.Add(1)
 			}
 			tr.Span(rtrace.KReplWait, replStart, int64(maxSeq))
 		}
@@ -571,7 +612,7 @@ func (s *Server) handleConn(c net.Conn) {
 				*out = wire.AppendBatchResponse((*out)[:0], req.ID, results)
 			} else {
 				resp := wire.Response{ID: req.ID, Status: st}
-				if st == wire.StatusNotLeader {
+				if st == wire.StatusNotLeader || st == wire.StatusFenced {
 					resp.Leader = s.leaderAddr()
 				}
 				*out = wire.AppendResponse((*out)[:0], resp)
@@ -632,8 +673,16 @@ func (s *Server) dispatch(acc bst.Accessor, req wire.Request, tr *rtrace.Conn) (
 	tr.StartRequest(req.Trace, req.Op, req.Key)
 	// Role gate: a follower refuses writes with a redirect to the leader
 	// instead of silently diverging from it. Reads (including OpLookupAt)
-	// are served from any role.
+	// are served from any role. A fenced node — deposed by a newer term —
+	// answers StatusFenced instead of StatusNotLeader so clients (and
+	// audits) can tell "never was the leader" from "stop trusting this
+	// one"; both carry the current leader's address.
 	if cl := s.cfg.Cluster; cl != nil && !cl.IsLeader() && (req.Op == wire.OpInsert || req.Op == wire.OpDelete) {
+		if s.clusterFenced() {
+			s.noteFenced()
+			resp.Status, resp.Leader = wire.StatusFenced, cl.LeaderAddr()
+			return resp, ticket, 0, false
+		}
 		s.stats.notLeader.Add(1)
 		resp.Status, resp.Leader = wire.StatusNotLeader, cl.LeaderAddr()
 		return resp, ticket, 0, false
@@ -741,8 +790,13 @@ func (s *Server) dispatchBatch(acc bst.Accessor, req wire.Request, frame []byte,
 		}
 	}
 	// Role gate, same as the single-op path: lookup-only batches serve
-	// from any role, anything mutating redirects off a follower.
+	// from any role, anything mutating redirects off a follower — with
+	// StatusFenced when this node is a deposed leader.
 	if cl := s.cfg.Cluster; cl != nil && !cl.IsLeader() && mutates {
+		if s.clusterFenced() {
+			s.noteFenced()
+			return nil, wire.StatusFenced, 0, false
+		}
 		s.stats.notLeader.Add(1)
 		return nil, wire.StatusNotLeader, 0, false
 	}
@@ -860,6 +914,9 @@ func (s *Server) executeBatch(ctx context.Context, acc bst.Accessor, ops []wire.
 			case errors.Is(r.Err, bst.ErrCapacity):
 				s.stats.capacityErrs.Add(1)
 				results[k] = wire.BatchResult{Status: wire.StatusCapacity}
+			case errors.Is(r.Err, durable.ErrFenced):
+				s.noteFenced()
+				results[k] = wire.BatchResult{Status: wire.StatusFenced}
 			case errors.Is(r.Err, bst.ErrKeyOutOfRange):
 				s.stats.outOfRange.Add(1)
 				results[k] = wire.BatchResult{Status: wire.StatusKeyOutOfRange}
@@ -902,6 +959,11 @@ func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request
 		case errors.Is(err, bst.ErrCapacity):
 			s.stats.capacityErrs.Add(1)
 			resp.Status = wire.StatusCapacity
+		case errors.Is(err, durable.ErrFenced):
+			// Fenced between the role gate and the apply: the store's own
+			// gate caught it. Redirect like the dispatch-level refusal.
+			s.noteFenced()
+			resp.Status, resp.Leader = wire.StatusFenced, s.leaderAddr()
 		case errors.Is(err, bst.ErrKeyOutOfRange):
 			s.stats.outOfRange.Add(1)
 			resp.Status = wire.StatusKeyOutOfRange
@@ -918,6 +980,11 @@ func (s *Server) execute(ctx context.Context, acc bst.Accessor, req wire.Request
 		if ta, can := acc.(ticketAccessor); can {
 			ok, t, err := ta.DeleteTicket(req.Key)
 			if err != nil {
+				if errors.Is(err, durable.ErrFenced) {
+					s.noteFenced()
+					resp.Status, resp.Leader = wire.StatusFenced, s.leaderAddr()
+					return resp, wal.Ticket{}, 0
+				}
 				s.stats.badRequests.Add(1)
 				resp.Status = wire.StatusBadRequest
 				return resp, wal.Ticket{}, 0

@@ -82,6 +82,12 @@ func FuzzDecodeReplAck(f *testing.F) {
 	f.Add(AppendReplAck(nil, Ack{}))
 	f.Add(AppendReplAck(nil, Ack{AppliedSeq: 7})[:10])
 	f.Add(AppendReplAck(nil, Ack{AppliedSeq: 12, DurableSeq: 12, Trace: tracedCtx, TraceSeq: 12}))
+	// Term-carrying acks, and the legacy 16-byte body (no term field) that
+	// must still decode with Term 0 — the term is the last 8 bytes, so the
+	// truncation drops exactly it.
+	f.Add(AppendReplAck(nil, Ack{AppliedSeq: 50, DurableSeq: 50, Term: 7}))
+	full := AppendReplAck(nil, Ack{AppliedSeq: 8, DurableSeq: 8, Term: 3})
+	f.Add(full[:len(full)-8])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		a, err := DecodeReplAck(data)
 		if err != nil {
@@ -96,6 +102,50 @@ func FuzzDecodeReplAck(f *testing.F) {
 		}
 		if a2 != a {
 			t.Fatalf("round trip changed the ack: %+v -> %+v", a, a2)
+		}
+	})
+}
+
+func FuzzDecodeReplStatus(f *testing.F) {
+	f.Add(AppendReplPeerStatus(nil, PeerStatus{
+		Term: 3, IsLeader: true, Priority: 10, AppliedSeq: 500,
+		Advertise: "10.0.0.1:4000", ReplAddr: "10.0.0.1:4001",
+	}))
+	f.Add(AppendReplPeerStatus(nil, PeerStatus{Priority: -1, Advertise: "h:1", ReplAddr: "h:2"}))
+	f.Add(AppendReplPeerStatus(nil, PeerStatus{Term: 2, Advertise: "", ReplAddr: ""}))
+	f.Add(AppendReplPeerStatus(nil, PeerStatus{Term: 9, Advertise: "a:1", ReplAddr: "b:2"})[:12])
+	f.Add(AppendReplPeerStatus(nil, PeerStatus{
+		Term: 4, AppliedSeq: 77, Advertise: "c:3", ReplAddr: "d:4",
+		Trace: tracedCtx, TraceSeq: 77,
+	}))
+	// Role byte outside {0,1} must be rejected, not coerced.
+	hdr := len(appendReplKind(nil, ReplStatus, rtrace.Context{}, 0))
+	bad := AppendReplPeerStatus(nil, PeerStatus{Term: 1, Advertise: "e:5", ReplAddr: "f:6"})
+	bad[hdr+8] = 2 // the role byte sits right after the 8-byte term
+	f.Add(bad)
+	// Address length prefix claiming more bytes than the frame holds.
+	f.Add(append(AppendReplPeerStatus(nil, PeerStatus{Advertise: "g:7", ReplAddr: "h:8"})[:30], 0xff, 0xff))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ps, err := DecodeReplPeerStatus(data)
+		if err != nil {
+			if !replDecodeErrOK(err) {
+				t.Fatalf("DecodeReplPeerStatus: unexpected error class %v", err)
+			}
+			return
+		}
+		if len(ps.Advertise) > MaxReplAddr || len(ps.ReplAddr) > MaxReplAddr {
+			t.Fatalf("decoder accepted oversized address (%d/%d bytes)", len(ps.Advertise), len(ps.ReplAddr))
+		}
+		if len(ps.Advertise)+len(ps.ReplAddr) > len(data) {
+			t.Fatalf("decoder conjured %d address bytes from %d input bytes",
+				len(ps.Advertise)+len(ps.ReplAddr), len(data))
+		}
+		ps2, err := DecodeReplPeerStatus(AppendReplPeerStatus(nil, ps))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded peer status: %v", err)
+		}
+		if ps2 != ps {
+			t.Fatalf("round trip changed the peer status: %+v -> %+v", ps, ps2)
 		}
 	})
 }

@@ -48,6 +48,13 @@ func FuzzDecodeResponse(f *testing.F) {
 	f.Add(AppendResponse(nil, Response{ID: 2, Status: StatusOK, Keys: []int64{1, 2, 3}}))
 	f.Add(AppendResponse(nil, Response{ID: 3, Status: StatusOK, Keys: []int64{}}))
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 9, 0, 1, 0xff, 0xff, 0xff, 0xff}) // huge key count
+	// Fenced/NotLeader responses carry a redirect tail instead of keys;
+	// cover both the hinted and hintless forms plus a truncated tail.
+	f.Add(AppendResponse(nil, Response{ID: 4, Status: StatusFenced, Leader: "10.0.0.2:4000"}))
+	f.Add(AppendResponse(nil, Response{ID: 5, Status: StatusFenced}))
+	f.Add(AppendResponse(nil, Response{ID: 6, Status: StatusNotLeader, Leader: "h:1"}))
+	fenced := AppendResponse(nil, Response{ID: 7, Status: StatusFenced, Leader: "10.0.0.3:4000"})
+	f.Add(fenced[:len(fenced)-5])
 	f.Fuzz(func(t *testing.T, data []byte) {
 		p, err := DecodeResponse(data)
 		if err != nil {

@@ -35,6 +35,18 @@
 //	ReplAck:
 //	  uint64 appliedSeq      newest record applied to the follower's tree
 //	  uint64 durableSeq      newest record fsynced by the follower's WAL
+//	  uint64 term            highest term the acker has observed (absent on
+//	                         legacy 16-byte acks, decoded as 0 = unknown);
+//	                         a semi-sync leader refuses to count acks from
+//	                         a newer term — they prove it was deposed
+//
+//	ReplStatus (either direction, on a dedicated probe connection):
+//	  uint64 term
+//	  uint8  role            0 follower, 1 leader
+//	  uint32 priority        election priority, int32 two's complement
+//	  uint64 appliedSeq
+//	  uint16 advLen, adv     data-plane address (election rank tiebreak)
+//	  uint16 replLen, repl   replication listener address
 //
 //	ReplSnapshot:
 //	  uint64 walSeq    horizon the snapshot covers
@@ -65,6 +77,8 @@ const (
 	ReplFrames    uint8 = 7
 	ReplAck       uint8 = 8
 	ReplSnapshot  uint8 = 9
+	// 10 is OpLookupAt on the data plane (see wire.go).
+	ReplStatus uint8 = 11
 )
 
 // MaxReplAddr bounds the advertised-address string inside a ReplFrames
@@ -92,6 +106,8 @@ func ReplKindName(kind uint8) string {
 		return "repl-ack"
 	case ReplSnapshot:
 		return "repl-snapshot"
+	case ReplStatus:
+		return "repl-status"
 	default:
 		return fmt.Sprintf("repl-kind(%d)", kind)
 	}
@@ -254,6 +270,12 @@ func DecodeReplFrames(frame []byte) (FrameBatch, error) {
 type Ack struct {
 	AppliedSeq uint64
 	DurableSeq uint64
+	// Term is the highest leader term the acker has observed. A semi-sync
+	// leader counts an ack toward its watermark only when the term is its
+	// own (or 0 — a bootstrap follower that has not heard a term yet); an
+	// ack from a newer term proves the leader was deposed and fences it
+	// instead of advancing it.
+	Term uint64
 	// Trace/TraceSeq optionally echo the trace extension of a ReplFrames
 	// batch this ack covers, letting the leader close the loop on a
 	// sampled record's replication round trip.
@@ -266,23 +288,117 @@ func AppendReplAck(dst []byte, a Ack) []byte {
 	dst = appendReplKind(dst, ReplAck, a.Trace, a.TraceSeq)
 	dst = binary.BigEndian.AppendUint64(dst, a.AppliedSeq)
 	dst = binary.BigEndian.AppendUint64(dst, a.DurableSeq)
+	dst = binary.BigEndian.AppendUint64(dst, a.Term)
 	return dst
 }
 
-// DecodeReplAck decodes a ReplAck payload.
+// DecodeReplAck decodes a ReplAck payload. A legacy 16-byte body (no term
+// field) decodes with Term 0 so old frames stay readable; the encoder
+// always writes the term.
 func DecodeReplAck(frame []byte) (Ack, error) {
 	var a Ack
 	rest, tc, seq, err := replBody(frame, ReplAck)
 	if err != nil {
 		return a, err
 	}
-	if len(rest) != 8+8 {
+	if len(rest) != 8+8 && len(rest) != 8+8+8 {
 		return a, ErrTruncated
 	}
 	a.Trace, a.TraceSeq = tc, seq
 	a.AppliedSeq = binary.BigEndian.Uint64(rest[0:8])
 	a.DurableSeq = binary.BigEndian.Uint64(rest[8:16])
+	if len(rest) == 8+8+8 {
+		a.Term = binary.BigEndian.Uint64(rest[16:24])
+	}
 	return a, nil
+}
+
+// PeerStatus is a decoded ReplStatus payload: one node's election-relevant
+// identity. The exchange is symmetric — a prober dials a peer's
+// replication listener, sends its own status, and reads the peer's in
+// reply — so both sides learn the other's term; a freshly promoted leader
+// announcing itself and a candidate ranking the field use the same frame.
+type PeerStatus struct {
+	Term       uint64
+	IsLeader   bool
+	Priority   int32
+	AppliedSeq uint64
+	// Advertise is the node's data-plane address — the stable identity
+	// used as the deterministic election tiebreak, the same string on
+	// every node regardless of which proxy or interface the probe dialed.
+	Advertise string
+	// ReplAddr is the node's replication listener address as it knows it.
+	ReplAddr string
+	// Trace/TraceSeq mirror the optional trace extension (zero = absent);
+	// status probes normally carry none.
+	Trace    rtrace.Context
+	TraceSeq uint64
+}
+
+// AppendReplPeerStatus appends a ReplStatus payload to dst. It panics when
+// either address exceeds MaxReplAddr — addresses are configuration, not
+// attacker input, on the encoding side.
+func AppendReplPeerStatus(dst []byte, ps PeerStatus) []byte {
+	if len(ps.Advertise) > MaxReplAddr || len(ps.ReplAddr) > MaxReplAddr {
+		panic(ErrBadReplFrame)
+	}
+	dst = appendReplKind(dst, ReplStatus, ps.Trace, ps.TraceSeq)
+	dst = binary.BigEndian.AppendUint64(dst, ps.Term)
+	var role byte
+	if ps.IsLeader {
+		role = 1
+	}
+	dst = append(dst, role)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(ps.Priority))
+	dst = binary.BigEndian.AppendUint64(dst, ps.AppliedSeq)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ps.Advertise)))
+	dst = append(dst, ps.Advertise...)
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(ps.ReplAddr)))
+	return append(dst, ps.ReplAddr...)
+}
+
+// DecodeReplPeerStatus decodes a ReplStatus payload.
+func DecodeReplPeerStatus(frame []byte) (PeerStatus, error) {
+	var ps PeerStatus
+	body, tc, seq, err := replBody(frame, ReplStatus)
+	if err != nil {
+		return ps, err
+	}
+	if len(body) < 8+1+4+8+2 {
+		return ps, ErrTruncated
+	}
+	ps.Trace, ps.TraceSeq = tc, seq
+	ps.Term = binary.BigEndian.Uint64(body[0:8])
+	switch body[8] {
+	case 0:
+	case 1:
+		ps.IsLeader = true
+	default:
+		return ps, ErrBadReplFrame
+	}
+	ps.Priority = int32(binary.BigEndian.Uint32(body[9:13]))
+	ps.AppliedSeq = binary.BigEndian.Uint64(body[13:21])
+	rest := body[21:]
+	alen := int(binary.BigEndian.Uint16(rest))
+	if alen > MaxReplAddr {
+		return ps, ErrBadReplFrame
+	}
+	rest = rest[2:]
+	if len(rest) < alen+2 {
+		return ps, ErrTruncated
+	}
+	ps.Advertise = string(rest[:alen])
+	rest = rest[alen:]
+	rlen := int(binary.BigEndian.Uint16(rest))
+	if rlen > MaxReplAddr {
+		return ps, ErrBadReplFrame
+	}
+	rest = rest[2:]
+	if len(rest) != rlen {
+		return ps, ErrTruncated
+	}
+	ps.ReplAddr = string(rest)
+	return ps, nil
 }
 
 // SnapshotChunk is a decoded ReplSnapshot payload: one slice of a

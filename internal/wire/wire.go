@@ -90,8 +90,8 @@ const (
 	OpRange  uint8 = 4 // keys in [key, to], at most limit
 	OpBatch  uint8 = 5 // up to MaxBatchOps point ops, per-op status
 
-	// 6–9 are the replication frame kinds (see repl.go); they never appear
-	// as data-plane request ops.
+	// 6–9 and 11 are the replication frame kinds (see repl.go); they never
+	// appear as data-plane request ops.
 
 	// OpLookupAt is Contains with a sequence floor: the request's payload
 	// extends the base request with a uint64 minSeq, and the server blocks
@@ -165,6 +165,13 @@ const (
 	// StatusReplLag: an OpLookupAt's sequence floor was not reached before
 	// the deadline — the follower is lagging. Retry, or read the leader.
 	StatusReplLag
+	// StatusFenced: this node was deposed by a newer leader term and
+	// refuses the write — distinct from StatusNotLeader so clients know
+	// their learned leader is stale, not merely wrong, and drop it from
+	// any cache. The response carries the same leader-address tail as
+	// StatusNotLeader ("" when the deposed node has not yet heard who
+	// won). Retry against the named leader.
+	StatusFenced
 )
 
 func (s Status) String() string {
@@ -189,6 +196,8 @@ func (s Status) String() string {
 		return "not-leader"
 	case StatusReplLag:
 		return "repl-lag"
+	case StatusFenced:
+		return "fenced"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}
@@ -221,7 +230,7 @@ type Response struct {
 	Status Status
 	OK     bool
 	Keys   []int64 // OpRange results
-	Leader string  // StatusNotLeader only: the leader's data address
+	Leader string  // StatusNotLeader/StatusFenced only: the leader's data address
 }
 
 // Frame-shape errors.
@@ -311,10 +320,10 @@ func AppendResponse(dst []byte, p Response) []byte {
 		ok = 1
 	}
 	dst = append(dst, ok)
-	if p.Status == StatusNotLeader {
-		// The redirect tail replaces the keys tail: a NotLeader response
-		// never carries keys, and the status byte tells the decoder which
-		// shape follows.
+	if p.Status == StatusNotLeader || p.Status == StatusFenced {
+		// The redirect tail replaces the keys tail: a NotLeader/Fenced
+		// response never carries keys, and the status byte tells the
+		// decoder which shape follows.
 		addr := p.Leader
 		if len(addr) > MaxReplAddr {
 			addr = addr[:MaxReplAddr]
@@ -340,7 +349,7 @@ func DecodeResponse(frame []byte) (Response, error) {
 	p.ID = binary.BigEndian.Uint64(frame[0:8])
 	p.Status = Status(frame[8])
 	p.OK = frame[9] != 0
-	if p.Status == StatusNotLeader {
+	if p.Status == StatusNotLeader || p.Status == StatusFenced {
 		rest := frame[respBaseLen:]
 		if len(rest) < 2 {
 			return p, ErrTruncated
