@@ -18,10 +18,11 @@ GO ?= go
 
 .PHONY: ci fmt-check vet build test race serve-smoke batch-stress \
 	crash-stress failover-stress chaos fuzz-smoke trace-overhead \
-	bench-durable-smoke stress clean-data
+	bench-durable-smoke shard-smoke bench-shard-smoke stress clean-data
 
 ci: fmt-check vet build test race serve-smoke batch-stress crash-stress \
-	failover-stress chaos fuzz-smoke trace-overhead bench-durable-smoke
+	failover-stress chaos fuzz-smoke trace-overhead bench-durable-smoke \
+	shard-smoke bench-shard-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -127,6 +128,24 @@ bench-durable-smoke:
 	$(GO) run ./cmd/bstbench -durable -keyranges 10000 -workloads write-dominated \
 		-threads 2,8 -duration 200ms -json BENCH_durable_smoke.json
 
+# The sharded-forest gate: a race pass over the shard routing, forest
+# batch fan-out, merged scans, and the per-lane WAL/snapshot/recovery
+# paths, plus a 4-shard crash round (SIGKILL mid-load, parallel lane
+# replay, 100% acked-mutation audit, ghost-key scan).
+shard-smoke:
+	$(GO) test -race -run 'Shard|Forest' . ./internal/forest ./internal/durable
+	@$(GO) run ./cmd/bststress -crash -crash-shards 4 -targets nm -duration 1s > shard_crash_round.log 2>&1 \
+		|| { cat shard_crash_round.log; exit 1; }; \
+	grep "^crash phase" shard_crash_round.log
+
+# One small shards=1-vs-8 scaling table on the mixed workload; the JSON
+# lands in BENCH_shard_smoke.json for the CI artifact upload. No speedup
+# assertion here: shard scaling needs real cores, and CI runners vary —
+# EXPERIMENTS.md records measured numbers from a pinned host.
+bench-shard-smoke:
+	$(GO) run ./cmd/bstbench -shards 1,8 -keyranges 100000 -workloads mixed \
+		-threads 2,8 -duration 200ms -json BENCH_shard_smoke.json
+
 # Longer soak, including the capacity exhaust/recover round and the
 # network serving soak (not part of ci).
 stress:
@@ -136,7 +155,8 @@ stress:
 # dirs left by interrupted runs (bstserve -data dirs are never touched —
 # only the well-known temp prefixes used by the tools here).
 clean-data:
-	rm -f BENCH_durable_smoke.json crash_round.log failover_round.log chaos_round.log
+	rm -f BENCH_durable_smoke.json BENCH_shard_smoke.json crash_round.log \
+		failover_round.log chaos_round.log shard_crash_round.log
 	rm -rf $${TMPDIR:-/tmp}/bst-crash-data-* $${TMPDIR:-/tmp}/bst-crash-addr-* \
 		$${TMPDIR:-/tmp}/bst-crash-clock-* $${TMPDIR:-/tmp}/bstbench-durable-* \
 		$${TMPDIR:-/tmp}/bst-failover-leader-* $${TMPDIR:-/tmp}/bst-failover-follower-* \

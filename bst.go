@@ -36,6 +36,7 @@ import (
 	"repro/internal/cgl"
 	"repro/internal/core"
 	"repro/internal/efrb"
+	"repro/internal/forest"
 	"repro/internal/hjbst"
 	"repro/internal/keys"
 	"repro/internal/kst"
@@ -183,6 +184,10 @@ type config struct {
 	arity         int
 	metrics       bool
 	metricsSample int
+	shards        int
+	shardLo       int64
+	shardHi       int64
+	shardRange    bool
 }
 
 // Option configures New.
@@ -227,7 +232,15 @@ func New(opts ...Option) *Tree {
 		if cfg.metrics {
 			reg = metrics.NewRegistry(cfg.metricsSample)
 		}
-		t.b = core.New(core.Config{Capacity: cfg.capacity, Reclaim: cfg.reclaim, Metrics: reg})
+		if cfg.shards > 1 {
+			f, err := newForest(cfg, reg)
+			if err != nil {
+				panic(fmt.Sprintf("bst: %v", err))
+			}
+			t.b = f
+		} else {
+			t.b = core.New(core.Config{Capacity: cfg.capacity, Reclaim: cfg.reclaim, Metrics: reg})
+		}
 	case NatarajanMittalBoxed:
 		t.b = nmboxed.New()
 	case EllenEtAl:
@@ -359,8 +372,16 @@ func (t *Tree) Scan(from, to int64, yield func(key int64) bool) {
 	if from > to {
 		return
 	}
-	if c, ok := t.b.(*core.Tree); ok {
-		c.Range(mapKey(from), mapKey(to), func(u uint64) bool {
+	switch b := t.b.(type) {
+	case *core.Tree:
+		b.Range(mapKey(from), mapKey(to), func(u uint64) bool {
+			return yield(keys.Unmap(u))
+		})
+		return
+	case *forest.Forest:
+		// One epoch pin per shard; the merged stream is sorted because the
+		// shards cover disjoint ascending ranges.
+		b.Range(mapKey(from), mapKey(to), func(u uint64) bool {
 			return yield(keys.Unmap(u))
 		})
 		return
@@ -410,11 +431,15 @@ type Health struct {
 // tree near its capacity bound or a stalled reader blocking reclamation.
 func (t *Tree) Health() Health {
 	h := Health{Algorithm: t.algo}
-	c, ok := t.b.(*core.Tree)
-	if !ok {
+	var ch core.Health
+	switch b := t.b.(type) {
+	case *core.Tree:
+		ch = b.Health()
+	case *forest.Forest:
+		ch = b.Health()
+	default:
 		return h
 	}
-	ch := c.Health()
 	h.Capacity = ch.Capacity
 	h.NodesAllocated = ch.Allocated
 	h.NodesRecycled = ch.Recycled
@@ -454,8 +479,11 @@ func (t *Tree) Stats() Stats {
 // operation is in flight. After Close the tree must not be used. Close is
 // idempotent and a no-op for algorithms without reclamation state.
 func (t *Tree) Close() error {
-	if c, ok := t.b.(*core.Tree); ok {
-		c.Close()
+	switch b := t.b.(type) {
+	case *core.Tree:
+		b.Close()
+	case *forest.Forest:
+		b.Close()
 	}
 	return nil
 }
@@ -465,6 +493,8 @@ func (t *Tree) Close() error {
 func (t *Tree) NewAccessor() Accessor {
 	switch b := t.b.(type) {
 	case *core.Tree:
+		return &accessor{r: b.NewHandle()}
+	case *forest.Forest:
 		return &accessor{r: b.NewHandle()}
 	case *nmboxed.Tree:
 		return &accessor{r: b.NewHandle()}

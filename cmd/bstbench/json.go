@@ -36,6 +36,10 @@ type cellJSON struct {
 	// means the single-op loop. (Added for bst-bench/v1 consumers: new
 	// field, never renamed.)
 	BatchSize int `json:"batch_size,omitempty"`
+	// Shards marks a -shards mode cell: the number of independent trees the
+	// key space was partitioned across (0 or 1 = single tree). (bst-bench/v1:
+	// new field, never renamed.)
+	Shards int `json:"shards,omitempty"`
 	// SyncPolicy marks a -durable mode cell: "memory" for the in-memory
 	// baseline, else the WAL sync policy ("fsync", "interval", "none").
 	// Empty for non-durable cells. (bst-bench/v1: new field, never

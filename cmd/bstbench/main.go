@@ -58,6 +58,7 @@ func main() {
 		noPrefill     = flag.Bool("no-prefill", false, "skip pre-population (paper pre-populates to half the key range)")
 		jsonPath      = flag.String("json", "", "also write a stable bst-bench/v1 JSON document to this path (\"-\" for stdout)")
 		batchMode     = flag.Bool("batch", false, "measure batched vs single-op throughput on the nm tree (cells per -batchsizes) instead of the Figure 4 grid")
+		shardsFlag    = flag.String("shards", "", "comma-separated shard counts; when set, measure the nm tree sharded across these counts (shard-mode table) instead of the Figure 4 grid")
 		durableMode   = flag.Bool("durable", false, "measure durability overhead on the nm tree (in-memory baseline vs WAL sync policies fsync/interval/none) instead of the Figure 4 grid")
 		batchSizes    = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for -batch mode (1 = single-op baseline)")
 		metricsOn     = flag.Bool("metrics", false, "enable live contention telemetry on the nm tree (counters + sampled latency histograms)")
@@ -108,6 +109,23 @@ func main() {
 
 	if *durableMode {
 		runDurableMode(keyRanges, mixes, threads, batchModeDeps{
+			duration: *duration, reps: *reps, seed: *seed, zipfS: *zipfS,
+			reclaim: *reclaim, prefill: !*noPrefill, metricsOn: *metricsOn,
+			traceSample: *traceSample, csvTable: csvTable, doc: doc,
+		})
+		if *csv {
+			fmt.Print(csvTable.CSV())
+		}
+		if doc != nil {
+			fatal(doc.write(*jsonPath))
+		}
+		return
+	}
+
+	if *shardsFlag != "" {
+		counts, err := parseInts(*shardsFlag)
+		fatal(err)
+		runShardMode(keyRanges, mixes, threads, counts, batchModeDeps{
 			duration: *duration, reps: *reps, seed: *seed, zipfS: *zipfS,
 			reclaim: *reclaim, prefill: !*noPrefill, metricsOn: *metricsOn,
 			traceSample: *traceSample, csvTable: csvTable, doc: doc,
@@ -313,6 +331,93 @@ func runBatchMode(keyRanges []int, mixes []workload.Mix, threads, sizes []int, d
 				printBatchSpeedups(tp, sizes, threads)
 			}
 		}
+	}
+}
+
+// runShardMode measures the nm tree partitioned into a forest: one table
+// per (key range × workload) with a row per thread count and a column per
+// shard count, followed by the scaling summary against the shards=1
+// column. Identical workload generators feed every cell, so a column's
+// gain is purely the partitioning — per-shard arenas remove allocation-path
+// sharing and per-shard epoch domains shrink reclamation scopes.
+func runShardMode(keyRanges []int, mixes []workload.Mix, threads, counts []int, d batchModeDeps) {
+	nm, err := harness.TargetByName(harness.TargetNM)
+	fatal(err)
+	fmt.Printf("# bstbench: sharded forest scaling on %s — %d key ranges × %d workloads × %d thread counts × shard counts %v\n",
+		nm.Name, len(keyRanges), len(mixes), len(threads), counts)
+	fmt.Printf("# GOMAXPROCS=%d duration/cell=%v reps=%d zipf=%v reclaim=%v\n",
+		runtime.GOMAXPROCS(0), d.duration, d.reps, d.zipfS, d.reclaim)
+
+	for _, kr := range keyRanges {
+		for _, mix := range mixes {
+			if d.csvTable == nil {
+				fmt.Printf("\n== key range %d, workload %s, sharded ==\n", kr, mix.Name)
+			}
+			header := []string{"threads"}
+			for _, n := range counts {
+				header = append(header, fmt.Sprintf("shards=%d", n))
+			}
+			tbl := stats.NewTable(header...)
+			tp := make(map[int][]float64, len(counts)) // shard count → per-thread medians
+			for _, th := range threads {
+				row := []any{th}
+				for _, n := range counts {
+					cfg := harness.Config{
+						Threads:  th,
+						Duration: d.duration,
+						KeyRange: int64(kr),
+						Mix:      mix,
+						Seed:     d.seed,
+						Prefill:  d.prefill,
+						ZipfS:    d.zipfS,
+						Reclaim:  d.reclaim,
+						Shards:   n,
+					}
+					runs, cell := runCell(nm, cfg, d.reps, d.metricsOn, d.traceSample)
+					v := stats.Median(runs)
+					tp[n] = append(tp[n], v)
+					row = append(row, stats.HumanCount(v))
+					if d.csvTable != nil {
+						d.csvTable.AddRow(kr, mix.Name, th, fmt.Sprintf("nm[s=%d]", n), v)
+					}
+					if d.doc != nil {
+						cell.Shards = n
+						d.doc.Cells = append(d.doc.Cells, cell)
+					}
+				}
+				tbl.AddRow(row...)
+			}
+			if d.csvTable == nil {
+				fmt.Print(tbl.String())
+				printShardSpeedups(tp, counts, threads)
+			}
+		}
+	}
+}
+
+// printShardSpeedups reports each shard count's gain over the single-tree
+// baseline column (shards=1), when that baseline was measured.
+func printShardSpeedups(tp map[int][]float64, counts, threads []int) {
+	base, ok := tp[1]
+	if !ok {
+		return
+	}
+	for _, n := range counts {
+		if n == 1 {
+			continue
+		}
+		series := tp[n]
+		lo, hi := 0.0, 0.0
+		for i := range series {
+			s := stats.Speedup(series[i], base[i])
+			if i == 0 || s < lo {
+				lo = s
+			}
+			if i == 0 || s > hi {
+				hi = s
+			}
+		}
+		fmt.Printf("  shards=%-3d vs single tree: %+.0f%% .. %+.0f%% (across %d thread counts)\n", n, lo, hi, len(threads))
 	}
 }
 

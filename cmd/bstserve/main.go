@@ -26,6 +26,12 @@
 // leader semi-synchronous: a mutation is not acknowledged until a follower
 // ack covers it. Replication requires -data.
 //
+// With -shards N the key space is partitioned across N independent trees
+// (own arena, epoch domain, and — with -data — WAL lane and snapshot chain
+// per shard), removing the shared allocation and group-commit bottlenecks
+// under write-heavy load. Sharding is incompatible with replication, which
+// streams a single dense WAL sequence.
+//
 // With -smoke the binary instead runs a deterministic in-process
 // self-test — one shed response, one capacity response, one graceful
 // drain, then a batch/pipelining stage that requires the pipelined client
@@ -66,6 +72,7 @@ func main() {
 		adminAddr    = flag.String("admin", "127.0.0.1:9045", "admin HTTP address (/healthz /readyz /metrics); empty disables")
 		capacity     = flag.Int("capacity", 1<<20, "arena bound in nodes (0 = unbounded)")
 		reclaim      = flag.Bool("reclaim", true, "enable epoch-based node reclamation")
+		shards       = flag.Int("shards", 1, "partition the key space across this many independent trees (rounded up to a power of two; incompatible with replication)")
 		maxInFlight  = flag.Int("max-inflight", 256, "admission cap: concurrently executing requests before shedding")
 		deadline     = flag.Duration("deadline", time.Second, "default per-request deadline for requests that carry none")
 		readTimeout  = flag.Duration("read-timeout", 60*time.Second, "per-frame read deadline (idle + slow-loris bound)")
@@ -108,6 +115,15 @@ func main() {
 	}
 	if *reclaim {
 		opts = append(opts, bst.WithReclamation())
+	}
+	if *shards > 1 {
+		// Replication ships one dense WAL sequence; a sharded store has one
+		// lane per shard, so the two are mutually exclusive (see DESIGN §14).
+		if *listenRepl != "" || *replicaOf != "" {
+			fmt.Fprintln(os.Stderr, "bstserve: -shards > 1 is incompatible with -listen-repl/-replica-of (replication streams a single WAL lane)")
+			os.Exit(2)
+		}
+		opts = append(opts, bst.WithShards(*shards))
 	}
 	logger := logx.New(os.Stderr, *addr)
 	// The storage layers keep printf-style hooks; bridge them here so the
@@ -229,8 +245,8 @@ func main() {
 	if dur != nil {
 		durDesc = fmt.Sprintf("%s sync=%s checkpoint-every=%d", *dataDir, *syncPolicy, *ckptEvery)
 	}
-	fmt.Printf("bstserve: serving on %s (capacity=%d reclaim=%v max-inflight=%d durability=%s)\n",
-		srv.Addr(), *capacity, *reclaim, *maxInFlight, durDesc)
+	fmt.Printf("bstserve: serving on %s (capacity=%d reclaim=%v shards=%d max-inflight=%d durability=%s)\n",
+		srv.Addr(), *capacity, *reclaim, *shards, *maxInFlight, durDesc)
 	if node != nil {
 		role := "follower of " + *replicaOf
 		if node.IsLeader() {

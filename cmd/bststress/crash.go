@@ -38,15 +38,29 @@ import (
 // snapshot bulk-load plus tail replay must finish inside
 // recoveryBudget, and the measured time is printed for the CI log.
 
+// shardTreeOpts returns the TreeOptions for an n-sharded store routing the
+// key range [0, rangeHi]; n <= 1 means the classic unsharded store. Every
+// open of the same data dir must pass the same options — the forest
+// manifest refuses a mismatched reopen.
+func shardTreeOpts(n int, rangeHi int64) []bst.Option {
+	if n <= 1 {
+		return nil
+	}
+	return []bst.Option{bst.WithShards(n), bst.WithShardRange(0, rangeHi)}
+}
+
 // runCrashChild is the re-exec'd server side of phase A: a durable
 // fsync-on-ack store behind the full server stack. It writes its data
 // address to addrFile and then parks forever — the parent's SIGKILL is
 // the only way out, which is the point.
-func runCrashChild(dir, addrFile string) int {
+func runCrashChild(dir, addrFile string, shards int, rangeHi int64) int {
 	// CheckpointEvery is set low so the kill usually lands with snapshots
 	// already cut mid-load — recovery then exercises snapshot bulk-load
 	// plus tail replay, and the atomic-rename publish races the SIGKILL.
-	dur, err := durable.Open(dir, durable.Options{Sync: wal.SyncFsync, CheckpointEvery: 1000})
+	dur, err := durable.Open(dir, durable.Options{
+		Sync: wal.SyncFsync, CheckpointEvery: 1000,
+		TreeOptions: shardTreeOpts(shards, rangeHi),
+	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "crash-child:", err)
 		return 1
@@ -73,7 +87,7 @@ type crashWorker struct {
 	err      error   // a semantic violation observed before the kill
 }
 
-func crashRound(workers int, seed uint64) error {
+func crashRound(workers, shards int, seed uint64) error {
 	dir, err := os.MkdirTemp("", "bst-crash-data-")
 	if err != nil {
 		return err
@@ -86,11 +100,17 @@ func crashRound(workers int, seed uint64) error {
 	defer os.RemoveAll(addrDir)
 	addrFile := filepath.Join(addrDir, "addr")
 
+	// With shards > 1, route exactly the workers' disjoint key ranges
+	// (worker w draws from (w+1)<<32 upward): the range split then spreads
+	// the workers across shards, so the kill lands with records in several
+	// WAL lanes and recovery actually exercises parallel lane replay.
+	rangeHi := (int64(workers) + 2) << 32
 	exe, err := os.Executable()
 	if err != nil {
 		return err
 	}
-	cmd := exec.Command(exe, "-crash-child", "-crash-data", dir, "-crash-addr-file", addrFile)
+	cmd := exec.Command(exe, "-crash-child", "-crash-data", dir, "-crash-addr-file", addrFile,
+		"-crash-shards", fmt.Sprint(shards), "-crash-range-hi", fmt.Sprint(rangeHi))
 	cmd.Stderr = os.Stderr
 	if err := cmd.Start(); err != nil {
 		return fmt.Errorf("spawn child: %w", err)
@@ -192,7 +212,9 @@ func crashRound(workers int, seed uint64) error {
 
 	// Recover in-process and audit against the ledgers.
 	start := time.Now()
-	dur, err := durable.Open(dir, durable.Options{Sync: wal.SyncFsync})
+	dur, err := durable.Open(dir, durable.Options{
+		Sync: wal.SyncFsync, TreeOptions: shardTreeOpts(shards, rangeHi),
+	})
 	if err != nil {
 		return fmt.Errorf("recovery after kill -9: %w", err)
 	}
@@ -240,10 +262,13 @@ func crashRound(workers int, seed uint64) error {
 	for w := range results {
 		inflight += len(results[w].inflight)
 	}
-	fmt.Printf("crash phase A: kill -9 with %d acked ops (%d in flight) — 100%% of acked mutations present, "+
+	if got := dur.Shards(); got != max(shards, 1) {
+		return fmt.Errorf("recovered store has %d WAL lanes, want %d", got, max(shards, 1))
+	}
+	fmt.Printf("crash phase A: kill -9 with %d acked ops (%d in flight, %d WAL lanes) — 100%% of acked mutations present, "+
 		"0 ghosts; recovered %d snapshot keys + %d WAL ops in %v\n",
-		totalAcked, inflight, rs.SnapshotKeys, rs.ReplayedOps, time.Since(start).Round(time.Millisecond))
-	return recoveryClock(seed)
+		totalAcked, inflight, dur.Shards(), rs.SnapshotKeys, rs.ReplayedOps, time.Since(start).Round(time.Millisecond))
+	return recoveryClock(seed, shards)
 }
 
 // recoveryClock is phase B: bound the time to come back from a crash with
@@ -254,7 +279,7 @@ const (
 	tailOps        = 100_000
 )
 
-func recoveryClock(seed uint64) error {
+func recoveryClock(seed uint64, shards int) error {
 	dir, err := os.MkdirTemp("", "bst-crash-clock-")
 	if err != nil {
 		return err
@@ -264,8 +289,11 @@ func recoveryClock(seed uint64) error {
 	// Build: 1M keys (shuffled — sequential inserts would spine the live
 	// tree), one checkpoint, then a 100k-op tail that only the WAL holds.
 	// sync=none keeps the build fast; the records still reach the file
-	// through the flusher before CloseDirty returns.
-	dur, err := durable.Open(dir, durable.Options{Sync: wal.SyncNone})
+	// through the flusher before CloseDirty returns. With shards > 1 the
+	// keys spread evenly across lanes (the routed range is exactly the key
+	// set), so the timed reopen measures parallel lane replay.
+	clockOpts := shardTreeOpts(shards, snapKeys+tailOps)
+	dur, err := durable.Open(dir, durable.Options{Sync: wal.SyncNone, TreeOptions: clockOpts})
 	if err != nil {
 		return err
 	}
@@ -314,7 +342,7 @@ func recoveryClock(seed uint64) error {
 	}
 
 	start := time.Now()
-	dur2, err := durable.Open(dir, durable.Options{Sync: wal.SyncFsync})
+	dur2, err := durable.Open(dir, durable.Options{Sync: wal.SyncFsync, TreeOptions: clockOpts})
 	if err != nil {
 		return fmt.Errorf("timed recovery: %w", err)
 	}
@@ -334,8 +362,8 @@ func recoveryClock(seed uint64) error {
 			return fmt.Errorf("recovered store missing key %d", k)
 		}
 	}
-	fmt.Printf("crash phase B: recovered %d-key snapshot + %d-op WAL tail in %v (budget %v)\n",
-		snapKeys, tailOps, elapsed.Round(time.Millisecond), recoveryBudget)
+	fmt.Printf("crash phase B: recovered %d-key snapshot + %d-op WAL tail (%d lanes) in %v (budget %v)\n",
+		snapKeys, tailOps, dur2.Shards(), elapsed.Round(time.Millisecond), recoveryBudget)
 	if elapsed > recoveryBudget {
 		return fmt.Errorf("recovery took %v, over the %v budget", elapsed, recoveryBudget)
 	}

@@ -79,6 +79,7 @@ func main() {
 		metricsAddr = flag.String("metrics", "", "serve live telemetry on this address (/metrics Prometheus, /debug/vars JSON) while stressing")
 		traceFile   = flag.String("trace", "", "write a runtime/trace capture (rounds appear as tasks with per-check regions)")
 		crash       = flag.Bool("crash", false, "also run the durability gate: kill -9 a durable fsync server mid-load, recover, audit every acked mutation, and clock a 1M-key recovery")
+		crashShards = flag.Int("crash-shards", 1, "shard count for the -crash round's durable store (>1 = per-shard WAL lanes, parallel lane replay on recovery)")
 
 		failover = flag.Bool("failover", false, "also run the failover gate: seed a 1M-key leader, replicate to a follower, kill -9 the leader mid-load, promote, and audit every acked mutation on the new leader")
 
@@ -88,6 +89,7 @@ func main() {
 		crashChild    = flag.Bool("crash-child", false, "internal: run as the -crash round's durable server child")
 		crashData     = flag.String("crash-data", "", "internal: data dir for -crash-child")
 		crashAddrFile = flag.String("crash-addr-file", "", "internal: where -crash-child writes its data address")
+		crashRangeHi  = flag.Int64("crash-range-hi", 0, "internal: sharded key-range upper bound for -crash-child")
 
 		foChild     = flag.Bool("failover-child", false, "internal: run as a -failover/-chaos round cluster node child")
 		foData      = flag.String("fo-data", "", "internal: data dir for -failover-child")
@@ -99,7 +101,7 @@ func main() {
 	)
 	flag.Parse()
 	if *crashChild {
-		os.Exit(runCrashChild(*crashData, *crashAddrFile))
+		os.Exit(runCrashChild(*crashData, *crashAddrFile, *crashShards, *crashRangeHi))
 	}
 	if *foChild {
 		os.Exit(runFailoverChild(*foData, *foAddrFile, childOpts{
@@ -220,7 +222,7 @@ func main() {
 		}
 		if *crash {
 			runCheck(ctx, "crash", "nm", func() {
-				if err := crashRound(*workers, uint64(round)); err != nil {
+				if err := crashRound(*workers, *crashShards, uint64(round)); err != nil {
 					failures++
 					fmt.Printf("FAIL [crash] nm round %d: %v\n", round, err)
 				}

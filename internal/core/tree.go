@@ -157,23 +157,25 @@ func New(cfg Config) *Tree {
 		// reclamation is on — epoch progress and backlog gauges.
 		ar, ep := t.ar, t.epoch
 		capacity := cfg.Capacity
-		// External counters accumulate (+=) so several trees sharing one
-		// registry sum sensibly; gauges are last-writer-wins and only
-		// meaningful with a registry per tree.
+		// Counters and gauges both accumulate (+=) so several trees sharing
+		// one registry — the shards of a forest — sum sensibly; a snapshot
+		// starts from fresh maps, so for a single tree += equals =. (Summed
+		// epoch_current is only meaningful per tree; forests report the max
+		// epoch through Health instead.)
 		t.met.AddHook(func(s *metrics.Snapshot) {
 			s.External["arena_spill_hits_total"] += ar.SpillHits()
 			s.External["arena_recycled_nodes_total"] += ar.Recycled()
-			s.Gauges["arena_capacity_nodes"] = float64(capacity)
-			s.Gauges["arena_allocated_nodes"] = float64(ar.Allocated())
+			s.Gauges["arena_capacity_nodes"] += float64(capacity)
+			s.Gauges["arena_allocated_nodes"] += float64(ar.Allocated())
 			if ep != nil {
 				s.External["epoch_advances_total"] += ep.Advances()
 				s.External["epoch_flushes_total"] += ep.Flushes()
 				eh := ep.Health()
-				s.Gauges["epoch_current"] = float64(eh.Epoch)
-				s.Gauges["epoch_slots"] = float64(eh.Slots)
-				s.Gauges["epoch_pinned_slots"] = float64(eh.Pinned)
-				s.Gauges["epoch_stalled_slots"] = float64(eh.Stalled)
-				s.Gauges["epoch_retired_backlog_nodes"] = float64(eh.RetiredBacklog)
+				s.Gauges["epoch_current"] += float64(eh.Epoch)
+				s.Gauges["epoch_slots"] += float64(eh.Slots)
+				s.Gauges["epoch_pinned_slots"] += float64(eh.Pinned)
+				s.Gauges["epoch_stalled_slots"] += float64(eh.Stalled)
+				s.Gauges["epoch_retired_backlog_nodes"] += float64(eh.RetiredBacklog)
 			}
 		})
 	}

@@ -10,12 +10,18 @@ import (
 // Accessor is the durable per-goroutine fast path: every mutation follows
 // the same stripe-serialized log-before-ack protocol as the Tree-level
 // methods, and batches amortize the fsync wait — all of a batch's records
-// are enqueued while the stripes are held, then one Wait on the last
-// ticket covers the whole batch (group commits fsync in sequence order, so
-// the last record durable implies every earlier one is).
+// are enqueued while the stripes are held, then one Wait per touched WAL
+// lane covers the whole batch (group commits fsync in sequence order
+// within a lane, so a lane's last record durable implies every earlier
+// one is; an unsharded store has one lane and pays exactly one wait).
 type accessor struct {
 	d     *Tree
 	inner bst.Accessor
+
+	// Batch scratch, reused across calls: the newest ticket and an error
+	// slot per lane. laneErr is nil-filled after each use.
+	lastTickets []wal.Ticket
+	laneErr     []error
 }
 
 // NewAccessor returns a durable per-goroutine fast path. Like
@@ -75,12 +81,18 @@ func (a *accessor) DeleteBatch(keys []int64, out []bst.OpResult) {
 
 // mutateBatch applies one durable batch: lock every stripe the batch
 // touches (in index order — deadlock-free by construction), run the inner
-// batch, enqueue a WAL record per set-changing slot, release the stripes,
-// then wait once on the last ticket. Per-op linearizability is preserved
-// (each slot is individually linearizable inside the inner batch, and its
-// WAL record is ordered against all other ops on the same key by the
-// stripe); the batch is still not atomic, exactly like the non-durable
-// batch contract.
+// batch, enqueue a WAL record per set-changing slot into its key's lane,
+// release the stripes, then wait once per touched lane on that lane's
+// newest ticket. Per-op linearizability is preserved (each slot is
+// individually linearizable inside the inner batch, and its WAL record is
+// ordered against all other ops on the same key by the stripe); the batch
+// is still not atomic, exactly like the non-durable batch contract.
+//
+// Failure isolation: a WAL failure on one lane marks failed ONLY the
+// set-changing slots whose keys route to that lane — sibling lanes' slots
+// keep their acks (their group commits are independent), matching the
+// per-op failure contract of the tree batches (ErrCapacity on one shard
+// never poisons another shard's ops).
 func (a *accessor) mutateBatch(op uint8, keys []int64, out []bst.OpResult, inner func([]int64, []bst.OpResult)) {
 	if len(keys) == 0 {
 		inner(keys, out) // let the inner batch enforce len(out) == len(keys)
@@ -102,11 +114,17 @@ func (a *accessor) mutateBatch(op uint8, keys []int64, out []bst.OpResult, inner
 		}
 	}
 	inner(keys, out)
-	var last wal.Ticket
+	nl := len(a.d.lanes)
+	if cap(a.lastTickets) < nl {
+		a.lastTickets = make([]wal.Ticket, nl)
+		a.laneErr = make([]error, nl)
+	}
+	last := a.lastTickets[:nl]
 	var logged int64
 	for i, k := range keys {
 		if out[i].Err == nil && out[i].OK {
-			last = a.d.log.Enqueue(op, k)
+			l := a.d.laneOf(k)
+			last[l] = a.d.lanes[l].log.Enqueue(op, k)
 			logged++
 		}
 	}
@@ -118,19 +136,37 @@ func (a *accessor) mutateBatch(op uint8, keys []int64, out []bst.OpResult, inner
 	if logged == 0 {
 		return
 	}
-	if _, err := last.Wait(); err != nil {
-		// Durability unknown for every set-changing slot: report them
-		// failed, matching the single-op behavior on WAL failure.
-		werr := fmt.Errorf("durable: %w", err)
-		for i := range out {
+	laneErr := a.laneErr[:nl]
+	anyErr := false
+	for l := range last {
+		if last[l].Empty() {
+			continue
+		}
+		if _, err := last[l].Wait(); err != nil {
+			// Durability unknown for this lane's set-changing slots: report
+			// them failed, matching the single-op behavior on WAL failure.
+			laneErr[l] = fmt.Errorf("durable: %w", err)
+			anyErr = true
+		}
+		last[l] = wal.Ticket{}
+	}
+	if anyErr {
+		for i, k := range keys {
 			if out[i].Err == nil && out[i].OK {
-				out[i].OK = false
-				out[i].Err = werr
+				if werr := laneErr[a.d.laneOf(k)]; werr != nil {
+					out[i].OK = false
+					out[i].Err = werr
+					logged--
+				}
 			}
 		}
-		return
+		for l := range laneErr {
+			laneErr[l] = nil
+		}
 	}
-	a.d.noteMutations(logged)
+	if logged > 0 {
+		a.d.noteMutations(logged)
+	}
 }
 
 func (a *accessor) Close() error { return a.inner.Close() }

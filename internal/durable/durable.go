@@ -45,7 +45,6 @@ package durable
 import (
 	"errors"
 	"fmt"
-	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -123,14 +122,34 @@ type CheckpointStats struct {
 	SegmentsGC  int // fully-checkpointed WAL segments removed
 }
 
-// Tree is a durable concurrent ordered set: a bst.Tree plus a WAL and a
-// checkpointer. It satisfies the server's Store contract (NewAccessor,
-// Scan, Health) so it drops into bstserve unchanged.
+// lane is one WAL-and-snapshot chain. An unsharded store has exactly one,
+// rooted at the data directory; a sharded store has one per shard, each in
+// its own shard-NNN subdirectory, covering that shard's key range [lo, hi].
+type lane struct {
+	dir string
+	log *wal.Log
+	lo  int64 // inclusive user key range this lane covers
+	hi  int64
+}
+
+// Tree is a durable concurrent ordered set: a bst.Tree plus one WAL lane
+// per shard and a checkpointer. It satisfies the server's Store contract
+// (NewAccessor, Scan, Health) so it drops into bstserve unchanged.
+//
+// With a sharded tree (bst.WithShards) every lane is independent: a key's
+// mutations apply to its shard and append to its lane, checkpoints
+// snapshot all lanes concurrently (one epoch-pinned scan per shard), and
+// recovery replays lanes in parallel. Because the key→shard mapping is
+// fixed, one key's records always live in one lane and per-key replay
+// order is preserved; the forest manifest (manifest.go) pins the mapping
+// so a mismatched reopen is refused instead of silently misrouted.
 type Tree struct {
 	dir  string
 	opts Options
 	tree *bst.Tree
-	log  *wal.Log
+	log  *wal.Log // lanes[0].log; the only log when unsharded (replication works through it)
+
+	lanes []*lane
 
 	stripes [numStripes]sync.Mutex
 
@@ -164,17 +183,121 @@ func stripeOf(key int64) int {
 	return int((uint64(key) * 0x9E3779B97F4A7C15) >> 56)
 }
 
+// laneOf routes a key to its WAL lane (always 0 when unsharded). The
+// key→lane mapping mirrors the tree's key→shard routing and is pinned on
+// disk by the forest manifest, so a key's whole history stays in one lane.
+func (d *Tree) laneOf(key int64) int {
+	if len(d.lanes) == 1 {
+		return 0
+	}
+	return d.tree.ShardOf(key)
+}
+
+// Shards reports the number of WAL lanes (= the tree's shard count).
+func (d *Tree) Shards() int { return len(d.lanes) }
+
 // Open recovers (or creates) a durable tree in dir: newest valid snapshot
-// → balanced bulk load → WAL tail replay. A corrupt snapshot falls back to
-// the next older one; a corrupt WAL interior refuses with wal.ErrCorrupt.
+// → balanced bulk load → WAL tail replay, per lane. A corrupt snapshot
+// falls back to the next older one; a corrupt WAL interior refuses with
+// wal.ErrCorrupt. When TreeOptions selects a sharded tree (bst.WithShards)
+// each shard recovers its own lane — snapshot load, WAL open and tail
+// replay for all lanes run in parallel (disjoint key ranges; each replay
+// goroutine owns a private accessor).
 func Open(dir string, opts Options) (*Tree, error) {
 	start := time.Now()
 	d := &Tree{dir: dir, opts: opts}
-
-	// 1. Newest valid snapshot, if any.
-	snaps, err := snapshot.List(dir)
-	if err != nil {
+	d.tree = bst.New(opts.TreeOptions...)
+	n := d.tree.Shards()
+	bounds := make([]int64, n)
+	for i := range bounds {
+		_, bounds[i] = d.tree.ShardKeyRange(i)
+	}
+	if _, err := checkLayout(dir, n, bounds); err != nil {
+		d.tree.Close()
 		return nil, err
+	}
+
+	var horizons []uint64
+	var err error
+	if n == 1 {
+		// Unsharded: the lane is the data directory itself, with the
+		// replication tap wired (legacy layout, byte-compatible with every
+		// store created before sharding existed).
+		lo, hi := d.tree.ShardKeyRange(0)
+		ln := &lane{dir: dir, lo: lo, hi: hi}
+		var h uint64
+		if h, err = d.openLane(ln, d.fireTap, &d.recovery); err != nil {
+			d.tree.Close()
+			return nil, err
+		}
+		horizons = []uint64{h}
+		d.lanes = []*lane{ln}
+	} else {
+		d.lanes = make([]*lane, n)
+		horizons = make([]uint64, n)
+		stats := make([]RecoveryStats, n)
+		errs := make([]error, n)
+		var wg sync.WaitGroup
+		for i := 0; i < n; i++ {
+			lo, hi := d.tree.ShardKeyRange(i)
+			d.lanes[i] = &lane{dir: shardDir(dir, i), lo: lo, hi: hi}
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				horizons[i], errs[i] = d.openLane(d.lanes[i], nil, &stats[i])
+			}(i)
+		}
+		wg.Wait()
+		for i, e := range errs {
+			if e != nil && err == nil {
+				err = fmt.Errorf("shard %d: %w", i, e)
+			}
+		}
+		if err != nil {
+			for _, ln := range d.lanes {
+				if ln.log != nil {
+					ln.log.Close()
+				}
+			}
+			d.tree.Close()
+			return nil, err
+		}
+		d.recovery.SnapshotPath = manifestPath(dir)
+		for i := range stats {
+			d.recovery.SnapshotKeys += stats[i].SnapshotKeys
+			d.recovery.CorruptSnapshots += stats[i].CorruptSnapshots
+			d.recovery.ReplayedOps += stats[i].ReplayedOps
+			d.recovery.WALTornBytes += stats[i].WALTornBytes
+			if stats[i].SnapshotWALSeq > d.recovery.SnapshotWALSeq {
+				d.recovery.SnapshotWALSeq = stats[i].SnapshotWALSeq
+			}
+		}
+	}
+	d.log = d.lanes[0].log
+	d.replayedTotal.Store(d.recovery.ReplayedOps)
+	d.recovery.Duration = time.Since(start)
+	// lastCkptSeq tracks the horizon sum so checkpoint_backlog_ops stays
+	// meaningful against the summed wal_last_seq (identical to the single
+	// horizon when unsharded).
+	var hsum uint64
+	for _, h := range horizons {
+		hsum += h
+	}
+	d.lastCkptSeq.Store(hsum)
+	d.logf("durable: recovered %d snapshot key(s) + %d replayed op(s) across %d lane(s) in %s",
+		d.recovery.SnapshotKeys, d.recovery.ReplayedOps, len(d.lanes), d.recovery.Duration)
+	return d, nil
+}
+
+// openLane recovers one lane into d.tree: newest valid snapshot in the
+// lane's directory (bulk-loaded through a routing accessor), then the
+// lane's WAL tail. Safe to run concurrently for distinct lanes — they
+// cover disjoint key ranges and each call uses its own accessor. Returns
+// the lane's snapshot horizon.
+func (d *Tree) openLane(ln *lane, tap func([]byte, uint64, uint64), rs *RecoveryStats) (uint64, error) {
+	snaps, err := snapshot.List(ln.dir)
+	if err != nil {
+		return 0, err
 	}
 	var horizon uint64
 	for _, s := range snaps {
@@ -182,43 +305,33 @@ func Open(dir string, opts Options) (*Tree, error) {
 		if lerr != nil {
 			if errors.Is(lerr, snapshot.ErrCorrupt) {
 				d.logf("durable: skipping corrupt snapshot %s: %v", s.Path, lerr)
-				d.recovery.CorruptSnapshots++
+				rs.CorruptSnapshots++
 				continue
 			}
-			return nil, lerr
+			return 0, lerr
 		}
-		tree := bst.New(opts.TreeOptions...)
-		if berr := bulkLoadBalanced(tree, keys); berr != nil {
-			tree.Close()
-			return nil, fmt.Errorf("durable: bulk load: %w", berr)
+		if berr := bulkLoadBalanced(d.tree, keys); berr != nil {
+			return 0, fmt.Errorf("durable: bulk load: %w", berr)
 		}
-		d.tree = tree
 		horizon = walSeq
-		d.recovery.SnapshotPath = s.Path
-		d.recovery.SnapshotWALSeq = walSeq
-		d.recovery.SnapshotKeys = uint64(len(keys))
+		rs.SnapshotPath = s.Path
+		rs.SnapshotWALSeq = walSeq
+		rs.SnapshotKeys = uint64(len(keys))
 		break
 	}
-	if d.tree == nil {
-		d.tree = bst.New(opts.TreeOptions...)
-	}
 
-	// 2. WAL: open with the horizon as a sequence floor so numbering can
-	// never fall below what the snapshot covers, then replay the tail.
-	log, err := wal.Open(dir, wal.Options{
-		Sync:         opts.Sync,
-		Interval:     opts.SyncInterval,
-		SegmentBytes: opts.SegmentBytes,
+	log, err := wal.Open(ln.dir, wal.Options{
+		Sync:         d.opts.Sync,
+		Interval:     d.opts.SyncInterval,
+		SegmentBytes: d.opts.SegmentBytes,
 		NextSeq:      horizon + 1,
-		Logf:         opts.Logf,
-		Tap:          d.fireTap,
-		Failpoints:   opts.Failpoints,
+		Logf:         d.opts.Logf,
+		Tap:          tap,
+		Failpoints:   d.opts.Failpoints,
 	})
 	if err != nil {
-		d.tree.Close()
-		return nil, err
+		return 0, err
 	}
-	d.log = log
 	acc := d.tree.NewAccessor()
 	replayed := uint64(0)
 	rerr := log.Replay(horizon, func(r wal.Record) error {
@@ -236,17 +349,12 @@ func Open(dir string, opts Options) (*Tree, error) {
 	acc.Close()
 	if rerr != nil {
 		log.Close()
-		d.tree.Close()
-		return nil, rerr
+		return 0, rerr
 	}
-	d.recovery.ReplayedOps = replayed
-	d.replayedTotal.Store(replayed)
-	d.recovery.WALTornBytes = log.Stats().TornTruncated
-	d.recovery.Duration = time.Since(start)
-	d.lastCkptSeq.Store(horizon)
-	d.logf("durable: recovered %d snapshot key(s) + %d replayed op(s) in %s",
-		d.recovery.SnapshotKeys, replayed, d.recovery.Duration)
-	return d, nil
+	ln.log = log
+	rs.ReplayedOps = replayed
+	rs.WALTornBytes = log.Stats().TornTruncated
+	return horizon, nil
 }
 
 func (d *Tree) logf(format string, args ...any) {
@@ -372,12 +480,13 @@ func (d *Tree) apply(op uint8, key int64, mutate func() (bool, error)) (bool, er
 	if tc.Sampled() {
 		treeStart = time.Now()
 	}
+	lg := d.lanes[d.laneOf(key)].log
 	st := &d.stripes[stripeOf(key)]
 	st.Lock()
 	ok, err := mutate()
 	var t wal.Ticket
 	if err == nil && ok {
-		t = d.log.Enqueue(op, key)
+		t = lg.Enqueue(op, key)
 	}
 	st.Unlock()
 	if tc.Sampled() {
@@ -408,12 +517,13 @@ func (d *Tree) applyAsync(op uint8, key int64, mutate func() (bool, error)) (boo
 	if d.fenceTerm.Load() != 0 {
 		return false, wal.Ticket{}, ErrFenced
 	}
+	lg := d.lanes[d.laneOf(key)].log
 	st := &d.stripes[stripeOf(key)]
 	st.Lock()
 	ok, err := mutate()
 	var t wal.Ticket
 	if err == nil && ok {
-		t = d.log.Enqueue(op, key)
+		t = lg.Enqueue(op, key)
 	}
 	st.Unlock()
 	if err != nil || !ok {
@@ -488,19 +598,50 @@ func (d *Tree) Underlying() *bst.Tree { return d.tree }
 // Dir returns the data directory (snapshots + WAL segments live there).
 func (d *Tree) Dir() string { return d.dir }
 
-// LastSeq returns the newest assigned WAL sequence number.
-func (d *Tree) LastSeq() uint64 { return d.log.LastSeq() }
+// LastSeq returns the newest assigned WAL sequence number. On a sharded
+// store it is the SUM across lanes — monotonic and usable as a progress
+// gauge, but not a position in any one log; replication (which needs the
+// latter) is restricted to unsharded stores.
+func (d *Tree) LastSeq() uint64 {
+	if len(d.lanes) == 1 {
+		return d.log.LastSeq()
+	}
+	var s uint64
+	for _, ln := range d.lanes {
+		s += ln.log.LastSeq()
+	}
+	return s
+}
 
-// DurableSeq returns the newest WAL sequence number known fsynced.
-func (d *Tree) DurableSeq() uint64 { return d.log.DurableSeq() }
+// DurableSeq returns the newest WAL sequence number known fsynced (the
+// lane sum on a sharded store; see LastSeq).
+func (d *Tree) DurableSeq() uint64 {
+	if len(d.lanes) == 1 {
+		return d.log.DurableSeq()
+	}
+	var s uint64
+	for _, ln := range d.lanes {
+		s += ln.log.DurableSeq()
+	}
+	return s
+}
+
+// ErrSharded is returned by the replication surface on a sharded store:
+// WAL shipping assumes one dense global sequence, which a forest of
+// independent lanes does not have. Run replication with shards = 1.
+var ErrSharded = errors.New("durable: operation requires an unsharded store (shards = 1)")
 
 // WALFirstSeq returns the oldest WAL sequence number still retained;
-// replication catch-up below it must come from a snapshot.
+// replication catch-up below it must come from a snapshot. Unsharded only.
 func (d *Tree) WALFirstSeq() uint64 { return d.log.FirstSeq() }
 
 // ReplayWAL streams retained records with seq > after to fn (see
 // wal.Log.Replay for the live-log semantics replication relies on).
+// Unsharded only: a forest's lanes have independent numbering.
 func (d *Tree) ReplayWAL(after uint64, fn func(wal.Record) error) error {
+	if len(d.lanes) != 1 {
+		return ErrSharded
+	}
 	return d.log.Replay(after, fn)
 }
 
@@ -529,6 +670,9 @@ func (d *Tree) fireTap(frames []byte, firstSeq, lastSeq uint64) {
 func (d *Tree) ApplyRecord(r wal.Record) error {
 	if d.closed.Load() {
 		return errClosed
+	}
+	if len(d.lanes) != 1 {
+		return ErrSharded
 	}
 	st := &d.stripes[stripeOf(r.Key)]
 	st.Lock()
@@ -564,6 +708,9 @@ func (d *Tree) ApplySnapshot(keys []int64, walSeq uint64) error {
 	if d.closed.Load() {
 		return errClosed
 	}
+	if len(d.lanes) != 1 {
+		return ErrSharded
+	}
 	if d.log.LastSeq() != 0 || d.tree.Len() != 0 {
 		return errors.New("durable: ApplySnapshot needs an empty store (clear the data directory and resync)")
 	}
@@ -594,8 +741,36 @@ func (d *Tree) ApplySnapshot(keys []int64, walSeq uint64) error {
 // RecoveryStats reports what Open reconstructed.
 func (d *Tree) RecoveryStats() RecoveryStats { return d.recovery }
 
-// WALStats reports the log's counters.
-func (d *Tree) WALStats() wal.Stats { return d.log.Stats() }
+// WALStats reports the log's counters; on a sharded store the lanes'
+// counters are summed (sequence gauges become lane sums, MaxGroup the max).
+func (d *Tree) WALStats() wal.Stats {
+	if len(d.lanes) == 1 {
+		return d.log.Stats()
+	}
+	var agg wal.Stats
+	for _, ln := range d.lanes {
+		st := ln.log.Stats()
+		agg.Appends += st.Appends
+		agg.Groups += st.Groups
+		agg.GroupRecords += st.GroupRecords
+		if st.MaxGroup > agg.MaxGroup {
+			agg.MaxGroup = st.MaxGroup
+		}
+		agg.Fsyncs += st.Fsyncs
+		agg.BytesWritten += st.BytesWritten
+		agg.Rotations += st.Rotations
+		agg.TornTruncated += st.TornTruncated
+		agg.LastSeq += st.LastSeq
+		agg.DurableSeq += st.DurableSeq
+		agg.Segments += st.Segments
+		for i := range st.FsyncNanos.Buckets {
+			agg.FsyncNanos.Buckets[i] += st.FsyncNanos.Buckets[i]
+		}
+		agg.FsyncNanos.Count += st.FsyncNanos.Count
+		agg.FsyncNanos.SumNanos += st.FsyncNanos.SumNanos
+	}
+	return agg
+}
 
 var errClosed = errors.New("durable: closed")
 
@@ -612,16 +787,18 @@ func (d *Tree) Checkpoint() (CheckpointStats, error) {
 	return d.checkpointLocked()
 }
 
-func (d *Tree) checkpointLocked() (CheckpointStats, error) {
+// checkpointLane snapshots one lane: read the lane's horizon FIRST, scan
+// second — every op with seq ≤ H finished its tree mutation before H was
+// read (stripe critical section), so the scan, which starts strictly
+// later, observes it. The scan covers exactly the lane's key range, which
+// on a sharded tree routes to one shard (one epoch pin, no cross-shard
+// traffic).
+func (d *Tree) checkpointLane(ln *lane) (CheckpointStats, error) {
 	start := time.Now()
-	// Horizon FIRST, scan second: every op with seq ≤ H finished its tree
-	// mutation before H was read (stripe critical section), so the scan —
-	// which starts strictly later — observes it.
-	h := d.log.LastSeq()
-	baseline := d.sinceCkpt.Load()
+	h := ln.log.LastSeq()
 	var scanErr error
-	info, err := snapshot.Write(d.dir, h, func(emit func(int64) error) error {
-		d.tree.Scan(math.MinInt64, bst.MaxKey, func(k int64) bool {
+	info, err := snapshot.Write(ln.dir, h, func(emit func(int64) error) error {
+		d.tree.Scan(ln.lo, ln.hi, func(k int64) bool {
 			if err := emit(k); err != nil {
 				scanErr = err
 				return false
@@ -634,20 +811,72 @@ func (d *Tree) checkpointLocked() (CheckpointStats, error) {
 		return CheckpointStats{}, err
 	}
 	stats := CheckpointStats{WALSeq: h, Keys: info.Count, Bytes: info.Bytes, Duration: time.Since(start)}
-	if n, err := snapshot.GC(d.dir, h); err != nil {
+	if n, err := snapshot.GC(ln.dir, h); err != nil {
 		d.logf("durable: snapshot gc: %v", err)
 	} else {
 		stats.SnapshotsGC = n
 	}
-	if n, err := d.log.RemoveThrough(h); err != nil {
+	if n, err := ln.log.RemoveThrough(h); err != nil {
 		d.logf("durable: wal gc: %v", err)
 	} else {
 		stats.SegmentsGC = n
 	}
+	return stats, nil
+}
+
+func (d *Tree) checkpointLocked() (CheckpointStats, error) {
+	start := time.Now()
+	baseline := d.sinceCkpt.Load()
+	var stats CheckpointStats
+	if len(d.lanes) == 1 {
+		var err error
+		if stats, err = d.checkpointLane(d.lanes[0]); err != nil {
+			return CheckpointStats{}, err
+		}
+	} else {
+		// Sharded: snapshot every lane concurrently (each scan pins only
+		// its own shard's epoch), then publish one manifest atomically.
+		// Lane snapshots are individually atomic and self-describing, so a
+		// crash between lane publishes is safe — each lane still recovers
+		// from its own newest snapshot + WAL tail; the manifest rewrite
+		// merely records the new horizons.
+		per := make([]CheckpointStats, len(d.lanes))
+		errs := make([]error, len(d.lanes))
+		var wg sync.WaitGroup
+		for i, ln := range d.lanes {
+			wg.Add(1)
+			go func(i int, ln *lane) {
+				defer wg.Done()
+				per[i], errs[i] = d.checkpointLane(ln)
+			}(i, ln)
+		}
+		wg.Wait()
+		seqs := make([]uint64, len(d.lanes))
+		for i, e := range errs {
+			if e != nil {
+				return CheckpointStats{}, fmt.Errorf("durable: checkpoint shard %d: %w", i, e)
+			}
+			seqs[i] = per[i].WALSeq
+			stats.WALSeq += per[i].WALSeq // lane sum, matching LastSeq's sharded semantics
+			stats.Keys += per[i].Keys
+			stats.Bytes += per[i].Bytes
+			stats.SnapshotsGC += per[i].SnapshotsGC
+			stats.SegmentsGC += per[i].SegmentsGC
+		}
+		m := forestManifest{Version: manifestVersion, Shards: len(d.lanes), CheckpointSeqs: seqs}
+		for _, ln := range d.lanes {
+			m.BoundHi = append(m.BoundHi, ln.hi)
+		}
+		if err := writeManifest(d.dir, m); err != nil {
+			return CheckpointStats{}, fmt.Errorf("durable: publishing forest manifest: %w", err)
+		}
+		stats.Duration = time.Since(start)
+	}
+	h := stats.WALSeq
 	d.sinceCkpt.Add(-baseline)
 	d.lastCkptSeq.Store(h)
-	d.snapshots.Add(1)
-	d.snapshotKeys.Add(info.Count)
+	d.snapshots.Add(uint64(len(d.lanes)))
+	d.snapshotKeys.Add(stats.Keys)
 	d.snapshotHist.observe(stats.Duration)
 	// Checkpoints are rare enough to record unconditionally: a loose span
 	// with no trace identity, visible in /debug/rtrace and the phase
@@ -671,16 +900,20 @@ func (d *Tree) Close() error {
 		return errClosed
 	}
 	var firstErr error
-	if err := d.log.Sync(); err != nil {
-		firstErr = err
+	for _, ln := range d.lanes {
+		if err := ln.log.Sync(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	if firstErr == nil {
 		if _, err := d.checkpointLocked(); err != nil {
 			firstErr = fmt.Errorf("durable: final checkpoint: %w", err)
 		}
 	}
-	if err := d.log.Close(); err != nil && firstErr == nil {
-		firstErr = err
+	for _, ln := range d.lanes {
+		if err := ln.log.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	d.ckptMu.Unlock()
 	d.ckptWG.Wait() // let a straggler auto-checkpoint goroutine observe closed
@@ -699,7 +932,12 @@ func (d *Tree) Crash() error {
 	if !d.closed.CompareAndSwap(false, true) {
 		return errClosed
 	}
-	err := d.log.CloseDirty()
+	var err error
+	for _, ln := range d.lanes {
+		if cerr := ln.log.CloseDirty(); cerr != nil && err == nil {
+			err = cerr
+		}
+	}
 	d.ckptWG.Wait()
 	d.tree.Close()
 	return err

@@ -50,7 +50,7 @@ func (h *latencyHist) snapshot() metrics.LatencySnapshot {
 // the bst_ prefix); histograms land in ExternalLatency with _seconds
 // names and nanosecond buckets (the renderer converts).
 func (d *Tree) MetricsHook(s *metrics.Snapshot) {
-	st := d.log.Stats()
+	st := d.WALStats()
 	s.External["wal_append_total"] += st.Appends
 	s.External["wal_fsync_total"] += st.Fsyncs
 	s.External["wal_group_commits_total"] += st.Groups

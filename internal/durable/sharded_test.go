@@ -1,0 +1,407 @@
+package durable
+
+import (
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"testing"
+
+	bst "repro"
+	"repro/internal/snapshot"
+	"repro/internal/wal"
+)
+
+// shardedOpts returns Options for a 4-shard store over [0, 2^20-1] (an
+// exact power-of-two span, so every shard gets a 2^18-wide slice and every
+// WAL lane sees traffic), the configuration most sharded tests share.
+func shardedOpts() Options {
+	return Options{
+		Sync: wal.SyncFsync,
+		TreeOptions: []bst.Option{
+			bst.WithShards(4),
+			bst.WithShardRange(0, 1<<20-1),
+		},
+	}
+}
+
+func TestShardedCrashRecovers(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	if d.Shards() != 4 {
+		t.Fatalf("Shards = %d, want 4", d.Shards())
+	}
+	rng := rand.New(rand.NewSource(11))
+	want := map[int64]bool{}
+	for i := 0; i < 4000; i++ {
+		k := rng.Int63n(1 << 20)
+		if rng.Intn(4) == 0 {
+			d.Delete(k)
+			delete(want, k)
+		} else {
+			d.Insert(k)
+			want[k] = true
+		}
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatalf("Crash: %v", err)
+	}
+
+	d = openT(t, dir, shardedOpts())
+	defer d.Close()
+	rs := d.RecoveryStats()
+	if rs.ReplayedOps == 0 {
+		t.Fatal("sharded recovery replayed nothing")
+	}
+	if d.Len() != len(want) {
+		t.Fatalf("recovered %d keys, want %d", d.Len(), len(want))
+	}
+	for k := range want {
+		if !d.Contains(k) {
+			t.Fatalf("recovered store missing key %d", k)
+		}
+	}
+	// Every lane must have its own WAL directory.
+	for i := 0; i < 4; i++ {
+		if _, err := os.Stat(shardDir(dir, i)); err != nil {
+			t.Fatalf("lane %d directory missing: %v", i, err)
+		}
+	}
+}
+
+func TestShardedBatchCrashRecovers(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	acc := d.NewAccessor()
+	keys := make([]int64, 2000)
+	out := make([]bst.OpResult, len(keys))
+	for i := range keys {
+		// Stride so every shard of the [0, 1<<20] range is hit.
+		keys[i] = (int64(i) * 521) % (1 << 20)
+	}
+	acc.InsertBatch(keys, out)
+	for i := range out {
+		if out[i].Err != nil {
+			t.Fatalf("InsertBatch[%d]: %v", i, out[i].Err)
+		}
+	}
+	acc.DeleteBatch(keys[:500], out[:500])
+	if err := acc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+
+	d = openT(t, dir, shardedOpts())
+	defer d.Close()
+	want := map[int64]bool{}
+	for _, k := range keys[500:] {
+		want[k] = true
+	}
+	for _, k := range keys[:500] {
+		delete(want, k)
+	}
+	if d.Len() != len(want) {
+		t.Fatalf("recovered %d keys, want %d", d.Len(), len(want))
+	}
+}
+
+// TestShardedBatchOutOfRangeIsolated: a slot rejected by its shard
+// (ErrKeyOutOfRange) must not poison sibling slots' durability acks.
+func TestShardedBatchOutOfRangeIsolated(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	acc := d.NewAccessor()
+	keys := []int64{10, 1 << 18, bst.MaxKey + 1, 1 << 19, (1 << 20) - 1}
+	out := make([]bst.OpResult, len(keys))
+	acc.InsertBatch(keys, out)
+	for i := range keys {
+		if i == 2 {
+			if !errors.Is(out[i].Err, bst.ErrKeyOutOfRange) {
+				t.Fatalf("slot 2: err=%v, want ErrKeyOutOfRange", out[i].Err)
+			}
+			continue
+		}
+		if out[i].Err != nil || !out[i].OK {
+			t.Fatalf("slot %d poisoned by sibling failure: %+v", i, out[i])
+		}
+	}
+	if err := acc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	d = openT(t, dir, shardedOpts())
+	defer d.Close()
+	if d.Len() != 4 {
+		t.Fatalf("recovered %d keys, want 4", d.Len())
+	}
+}
+
+func TestShardedManifestRefusesMismatch(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	d.Insert(42)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		opts Options
+		want string
+	}{
+		{"different shard count", Options{TreeOptions: []bst.Option{
+			bst.WithShards(8), bst.WithShardRange(0, 1<<20)}}, "shard count"},
+		{"different range", Options{TreeOptions: []bst.Option{
+			bst.WithShards(4), bst.WithShardRange(0, 1<<21)}}, "routing bound"},
+		{"unsharded reopen", Options{}, "sharded store"},
+	}
+	for _, tc := range cases {
+		if _, err := Open(dir, tc.opts); err == nil {
+			t.Fatalf("%s: Open succeeded, want refusal", tc.name)
+		} else if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: err = %v, want mention of %q", tc.name, err, tc.want)
+		}
+	}
+
+	// And the matching config still opens.
+	d = openT(t, dir, shardedOpts())
+	defer d.Close()
+	if !d.Contains(42) {
+		t.Fatal("matching reopen lost data")
+	}
+}
+
+func TestShardedRefusesUnshardedDir(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, Options{Sync: wal.SyncFsync})
+	d.Insert(7)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Open(dir, shardedOpts()); err == nil {
+		t.Fatal("sharded open over an unsharded store must be refused")
+	}
+}
+
+func TestShardedCheckpointPerLane(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	for i := int64(0); i < 2000; i++ {
+		d.Insert((i * 521) % (1 << 20))
+	}
+	st, err := d.Checkpoint()
+	if err != nil {
+		t.Fatalf("Checkpoint: %v", err)
+	}
+	if st.Keys != uint64(d.Len()) {
+		t.Fatalf("checkpoint keys = %d, want %d", st.Keys, d.Len())
+	}
+	// Every lane must hold its own snapshot, and the manifest must record
+	// per-lane horizons.
+	for i := 0; i < 4; i++ {
+		snaps, err := snapshot.List(shardDir(dir, i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(snaps) == 0 {
+			t.Fatalf("lane %d has no snapshot after checkpoint", i)
+		}
+	}
+	m, ok, err := loadManifest(dir)
+	if err != nil || !ok {
+		t.Fatalf("manifest missing after checkpoint: ok=%v err=%v", ok, err)
+	}
+	if len(m.CheckpointSeqs) != 4 {
+		t.Fatalf("manifest CheckpointSeqs = %v", m.CheckpointSeqs)
+	}
+	var sum uint64
+	for _, s := range m.CheckpointSeqs {
+		sum += s
+	}
+	if sum == 0 {
+		t.Fatal("no lane recorded a checkpoint horizon")
+	}
+
+	// Mutate past the checkpoint, crash, and verify snapshot+tail recovery.
+	for i := int64(0); i < 100; i++ {
+		d.Insert(1<<20 - 1 - i)
+	}
+	wantLen := d.Len()
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	d = openT(t, dir, shardedOpts())
+	defer d.Close()
+	rs := d.RecoveryStats()
+	if rs.SnapshotKeys == 0 {
+		t.Fatal("recovery ignored lane snapshots")
+	}
+	if d.Len() != wantLen {
+		t.Fatalf("recovered %d keys, want %d", d.Len(), wantLen)
+	}
+}
+
+func TestShardedSeqsAggregate(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	defer d.Close()
+	for i := int64(0); i < 400; i++ {
+		d.Insert((i * 2621) % (1 << 20))
+	}
+	// LastSeq sums lanes, so it must equal the number of logged mutations.
+	if got := d.LastSeq(); got != 400 {
+		t.Fatalf("LastSeq = %d, want 400", got)
+	}
+	if got := d.DurableSeq(); got != 400 {
+		t.Fatalf("DurableSeq = %d, want 400 (fsync acks already returned)", got)
+	}
+	ws := d.WALStats()
+	if ws.Appends != 400 {
+		t.Fatalf("WALStats.Appends = %d, want 400", ws.Appends)
+	}
+}
+
+func TestShardedReplicationGated(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	defer d.Close()
+	if err := d.ReplayWAL(0, func(wal.Record) error { return nil }); !errors.Is(err, ErrSharded) {
+		t.Fatalf("ReplayWAL err = %v, want ErrSharded", err)
+	}
+	if err := d.ApplyRecord(wal.Record{Seq: 1, Op: opInsert, Key: 5}); !errors.Is(err, ErrSharded) {
+		t.Fatalf("ApplyRecord err = %v, want ErrSharded", err)
+	}
+	if err := d.ApplySnapshot([]int64{1, 2, 3}, 3); !errors.Is(err, ErrSharded) {
+		t.Fatalf("ApplySnapshot err = %v, want ErrSharded", err)
+	}
+}
+
+// TestShardedScanMatchesState: merged scan over a recovered sharded store
+// yields the exact sorted survivor set.
+func TestShardedScanMatchesState(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	rng := rand.New(rand.NewSource(23))
+	want := map[int64]bool{}
+	for i := 0; i < 3000; i++ {
+		k := rng.Int63n(1 << 20)
+		if rng.Intn(3) == 0 {
+			d.Delete(k)
+			delete(want, k)
+		} else {
+			d.Insert(k)
+			want[k] = true
+		}
+	}
+	if err := d.Crash(); err != nil {
+		t.Fatal(err)
+	}
+	d = openT(t, dir, shardedOpts())
+	defer d.Close()
+	got := keysOf(d)
+	if len(got) != len(want) {
+		t.Fatalf("scan yielded %d keys, want %d", len(got), len(want))
+	}
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("sharded scan stream not sorted")
+	}
+	for _, k := range got {
+		if !want[k] {
+			t.Fatalf("scan yielded ghost key %d", k)
+		}
+	}
+}
+
+// TestShardedConcurrentRecovers is the sharded variant of the mixed
+// workload crash test: many goroutines, singles and batches, crash, then
+// an exact-state audit.
+func TestShardedConcurrentRecovers(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, Options{
+		Sync: wal.SyncNone,
+		TreeOptions: []bst.Option{
+			bst.WithShards(4), bst.WithShardRange(0, 1<<16-1), bst.WithReclamation(),
+		},
+	})
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			acc := d.NewAccessor()
+			defer acc.Close()
+			rng := rand.New(rand.NewSource(int64(w) * 977))
+			ks := make([]int64, 64)
+			out := make([]bst.OpResult, 64)
+			for i := 0; i < 60; i++ {
+				for j := range ks {
+					ks[j] = rng.Int63n(1 << 16)
+				}
+				acc.InsertBatch(ks, out)
+				acc.DeleteBatch(ks[:16], out[:16])
+				acc.Insert(rng.Int63n(1 << 16))
+				acc.Delete(rng.Int63n(1 << 16))
+			}
+		}(w)
+	}
+	wg.Wait()
+	want := keysOf(d)
+	if err := d.Close(); err != nil { // clean close: fsync all lanes
+		t.Fatal(err)
+	}
+
+	d = openT(t, dir, Options{Sync: wal.SyncNone, TreeOptions: []bst.Option{
+		bst.WithShards(4), bst.WithShardRange(0, 1<<16-1)}})
+	defer d.Close()
+	got := keysOf(d)
+	if len(got) != len(want) {
+		t.Fatalf("recovered %d keys, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("key mismatch at %d: %d != %d", i, got[i], want[i])
+		}
+	}
+}
+
+// TestShardedLaneLayout: lane directories only ever hold that lane's WAL
+// segments and snapshots — nothing leaks to the top level besides the
+// manifest.
+func TestShardedLaneLayout(t *testing.T) {
+	dir := t.TempDir()
+	d := openT(t, dir, shardedOpts())
+	for i := int64(0); i < 100; i++ {
+		d.Insert(i * 4099)
+	}
+	if _, err := d.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			if !strings.HasPrefix(e.Name(), "shard-") {
+				t.Fatalf("unexpected directory %s at top level", e.Name())
+			}
+			continue
+		}
+		if e.Name() != manifestName {
+			t.Fatalf("unexpected top-level file %s (WAL/snapshots must live in lanes)", e.Name())
+		}
+	}
+	if _, err := os.Stat(filepath.Join(shardDir(dir, 0), manifestName)); err == nil {
+		t.Fatal("lane directories must not hold nested manifests")
+	}
+}

@@ -71,6 +71,11 @@ type Config struct {
 	// CASOnly makes the NM tree emulate BTS with a CAS loop (ablation:
 	// the paper's CAS-only remark).
 	CASOnly bool
+	// Shards > 1 partitions the NM tree's key space across this many
+	// independent trees (internal/forest), each with its own arena and
+	// epoch domain; the other targets ignore it. ArenaCapacity is the
+	// TOTAL budget, split evenly across shards.
+	Shards int
 	// BatchSize > 1 makes each worker draw operations in groups of this
 	// size and issue them through the accessor's batch entry points
 	// (sorted path-sharing seeks); accessors without batch support fall

@@ -7,7 +7,9 @@ import (
 	"repro/internal/cgl"
 	"repro/internal/core"
 	"repro/internal/efrb"
+	"repro/internal/forest"
 	"repro/internal/hjbst"
+	"repro/internal/keys"
 	"repro/internal/kst"
 	"repro/internal/nmboxed"
 )
@@ -31,6 +33,10 @@ const defaultArenaCapacity = 1 << 26
 type nmInstance struct{ t *core.Tree }
 
 func (i nmInstance) NewAccessor() Accessor { return i.t.NewHandle() }
+
+type forestInstance struct{ f *forest.Forest }
+
+func (i forestInstance) NewAccessor() Accessor { return i.f.NewHandle() }
 
 type nmBoxedInstance struct{ t *nmboxed.Tree }
 
@@ -64,7 +70,22 @@ func Targets() []Target {
 			if capacity == 0 {
 				capacity = defaultArenaCapacity
 			}
-			return nmInstance{core.New(core.Config{Capacity: capacity, Reclaim: cfg.Reclaim, CASOnly: cfg.CASOnly, Metrics: cfg.Metrics})}
+			tc := core.Config{Capacity: capacity, Reclaim: cfg.Reclaim, CASOnly: cfg.CASOnly, Metrics: cfg.Metrics}
+			if cfg.Shards > 1 {
+				// Route only the benchmark's key range: the split boundaries
+				// then tile [0, KeyRange) evenly, so a uniform workload loads
+				// the shards evenly.
+				fc := forest.Config{Shards: cfg.Shards, Tree: tc}
+				if cfg.KeyRange > 0 {
+					fc.Lo, fc.Hi = keys.Map(0), keys.Map(cfg.KeyRange-1)
+				}
+				f, err := forest.New(fc)
+				if err != nil {
+					panic(fmt.Sprintf("harness: forest target: %v", err))
+				}
+				return forestInstance{f}
+			}
+			return nmInstance{core.New(tc)}
 		}},
 		{Name: TargetNMBoxed, New: func(cfg Config) Instance {
 			return nmBoxedInstance{nmboxed.New()}

@@ -486,10 +486,10 @@ func (s *Server) handleConn(c net.Conn) {
 	defer wire.PutBuf(out)
 
 	var (
-		win        []pendingResp
-		nwin       int
-		lastTicket wal.Ticket
-		maxSeq     uint64
+		win     []pendingResp
+		nwin    int
+		tickets wal.TicketSet
+		maxSeq  uint64
 	)
 	stage := func(payload []byte, t wal.Ticket, seq uint64) {
 		if nwin < len(win) {
@@ -499,9 +499,10 @@ func (s *Server) handleConn(c net.Conn) {
 			win = append(win, pendingResp{payload: append([]byte(nil), payload...), seq: seq})
 		}
 		nwin++
-		if !t.Empty() {
-			lastTicket = t
-		}
+		// One ticket per WAL lane: a sharded store routes each mutation to
+		// its key's lane, and waiting on one lane's newest ticket says
+		// nothing about a sibling lane — the set keeps the newest per lane.
+		tickets.Add(t)
 		if seq > maxSeq {
 			maxSeq = seq
 		}
@@ -514,14 +515,15 @@ func (s *Server) handleConn(c net.Conn) {
 		// the sampled request currently tracked (under pipelining, the last
 		// sampled request staged into this window — see rtrace.Conn).
 		defer tr.EndRequest()
-		if !lastTicket.Empty() {
+		if !tickets.Empty() {
 			walStart := time.Now()
-			if _, err := lastTicket.Wait(); err != nil {
+			if err := tickets.Wait(); err != nil {
 				// Durability unknown for the window's mutations: acknowledge
 				// nothing and sever the connection — a dropped response is a
 				// retryable transport error to the client, never a false ack.
 				s.log.Error("wal wait failed; severing connection", "conn", tr.ID(), "err", err)
 				nwin = 0
+				tickets.Reset()
 				return false
 			}
 			tr.Span(rtrace.KWALWait, walStart, int64(maxSeq))
@@ -562,7 +564,8 @@ func (s *Server) handleConn(c net.Conn) {
 				return false
 			}
 		}
-		nwin, lastTicket, maxSeq = 0, wal.Ticket{}, 0
+		nwin, maxSeq = 0, 0
+		tickets.Reset()
 		return bw.Flush() == nil
 	}
 	// Registered after bw.Flush's defer, so it runs first (LIFO): a drain

@@ -1,0 +1,62 @@
+package wal
+
+// TicketSet tracks the newest ticket per log across a window of
+// operations. With a single log, "wait on the window's last ticket" covers
+// the whole window because group commits fsync in sequence order — but a
+// sharded store appends to one WAL lane per shard, and a ticket from lane
+// A says nothing about lane B's durability. A TicketSet keeps one ticket
+// per distinct log (sequence numbers are monotonic per log, so the newest
+// ticket dominates every earlier one from the same log) and Wait blocks on
+// each, restoring the one-wait-per-window batching with per-lane
+// correctness. The zero value is ready to use; windows are expected to
+// touch few lanes, so the set is a small slice scanned linearly.
+//
+// A TicketSet is not safe for concurrent use; each connection/window owns
+// its own.
+type TicketSet struct {
+	ts []Ticket
+}
+
+// Add folds one ticket into the set. Empty tickets are ignored; error
+// tickets are kept so Wait surfaces the failure.
+func (s *TicketSet) Add(t Ticket) {
+	if t.Empty() {
+		return
+	}
+	for i := range s.ts {
+		if s.ts[i].l == t.l {
+			// Same log: keep the newer ticket (or any error ticket — all
+			// error tickets have a nil log and one failure severs the
+			// window anyway).
+			if t.err != nil || t.seq >= s.ts[i].seq {
+				s.ts[i] = t
+			}
+			return
+		}
+	}
+	s.ts = append(s.ts, t)
+}
+
+// Empty reports whether no ticket has been added since the last Reset.
+func (s *TicketSet) Empty() bool { return len(s.ts) == 0 }
+
+// Wait blocks until every tracked log has made its newest tracked record
+// durable, returning the first error encountered (after attempting every
+// lane, so one failed lane does not leave another's wait abandoned).
+func (s *TicketSet) Wait() error {
+	var firstErr error
+	for i := range s.ts {
+		if _, err := s.ts[i].Wait(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	return firstErr
+}
+
+// Reset clears the set for the next window, retaining capacity.
+func (s *TicketSet) Reset() {
+	for i := range s.ts {
+		s.ts[i] = Ticket{}
+	}
+	s.ts = s.ts[:0]
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/forest"
 	"repro/internal/metrics"
 )
 
@@ -105,11 +106,14 @@ func (t *Tree) Metrics() Metrics {
 }
 
 func (t *Tree) metricsRegistry() *metrics.Registry {
-	c, ok := t.b.(*core.Tree)
-	if !ok {
+	switch b := t.b.(type) {
+	case *core.Tree:
+		return b.Metrics()
+	case *forest.Forest:
+		return b.Metrics()
+	default:
 		return nil
 	}
-	return c.Metrics()
 }
 
 func fromSnapshot(s metrics.Snapshot) Metrics {

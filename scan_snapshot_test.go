@@ -25,12 +25,27 @@ import (
 // flags, node recycling, rotations of the external structure — while the
 // scans run. Runs under -race in `make ci`.
 func TestScanNeverResurrectsAckedBatchedDelete(t *testing.T) {
+	scanResurrectionCheck(t, bst.New(bst.WithCapacity(1<<20), bst.WithReclamation()))
+}
+
+// TestShardedScanNeverResurrectsAckedBatchedDelete is the same property
+// over a forest: the merged Scan pins one epoch per shard, the batched
+// deletes split at shard boundaries and run per-shard — an acked delete
+// that completed before ANY shard's pin must never surface in the merged
+// stream, no matter which shard it routed to.
+func TestShardedScanNeverResurrectsAckedBatchedDelete(t *testing.T) {
+	scanResurrectionCheck(t, bst.New(bst.WithCapacity(1<<20), bst.WithReclamation(),
+		bst.WithShards(4), bst.WithShardRange(0, 2*scanVictims)))
+}
+
+const scanVictims = 4000 // even keys 0, 2, 4, ...
+
+func scanResurrectionCheck(t *testing.T, tree *bst.Tree) {
 	const (
-		victims   = 4000 // even keys 0, 2, 4, ...
-		noiseKeys = 512  // odd keys 1, 3, 5, ...
+		victims   = scanVictims
+		noiseKeys = 512 // odd keys 1, 3, 5, ...
 		batch     = 64
 	)
-	tree := bst.New(bst.WithCapacity(1<<20), bst.WithReclamation())
 	defer tree.Close()
 
 	setup := tree.NewAccessor()

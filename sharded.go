@@ -1,0 +1,89 @@
+package bst
+
+import (
+	"repro/internal/forest"
+	"repro/internal/keys"
+	"repro/internal/metrics"
+)
+
+// Sharding options. WithShards partitions the key space across several
+// independent core trees (a "forest"): each shard owns its own arena,
+// reclamation domain, and WAL lane (when wrapped by internal/durable), so
+// write throughput scales with shard count instead of funneling through
+// one allocator and one group-commit line. Only the default
+// NatarajanMittal algorithm shards; other algorithms ignore these options.
+
+// WithShards splits the key space across n independent trees (n is rounded
+// up to a power of two; 0 and 1 keep the single-tree layout). Point
+// operations route by a range split — one subtract and one shift in the
+// hot path. Scan merges per-shard iterators into one sorted stream. Each
+// operation remains individually linearizable; operations on different
+// shards are as independent as operations on one tree (see DESIGN.md §14
+// for the exact consistency scope).
+func WithShards(n int) Option { return func(c *config) { c.shards = n } }
+
+// WithShardRange declares the expected user key range [lo, hi] (inclusive)
+// for shard balancing. The range split cuts this span evenly across
+// shards; keys outside it remain storable but clamp to the first/last
+// shard. Without it the full int64 space is split, which balances uniform
+// random keys but routes a small dense range (say [0, 1e6)) to one shard.
+func WithShardRange(lo, hi int64) Option {
+	return func(c *config) {
+		c.shardLo, c.shardHi = lo, hi
+		c.shardRange = true
+	}
+}
+
+// newForest builds the sharded backend for New.
+func newForest(cfg config, reg *metrics.Registry) (*forest.Forest, error) {
+	fc := forest.Config{Shards: cfg.shards}
+	if cfg.shardRange {
+		lo, hi := cfg.shardLo, cfg.shardHi
+		if hi > MaxKey {
+			hi = MaxKey
+		}
+		if lo > hi {
+			lo = hi
+		}
+		fc.Lo, fc.Hi = keys.Map(lo), keys.Map(hi)
+	}
+	fc.Tree.Capacity = cfg.capacity
+	fc.Tree.Reclaim = cfg.reclaim
+	fc.Tree.Metrics = reg
+	return forest.New(fc)
+}
+
+// Shards reports the tree's effective shard count: 1 for every unsharded
+// tree, the rounded power-of-two count for a forest.
+func (t *Tree) Shards() int {
+	if f, ok := t.b.(*forest.Forest); ok {
+		return f.Shards()
+	}
+	return 1
+}
+
+// ShardOf reports which shard stores key (always 0 when unsharded). The
+// mapping is stable for the lifetime of the tree; the durable layer keys
+// its WAL lanes on it.
+func (t *Tree) ShardOf(key int64) int {
+	if f, ok := t.b.(*forest.Forest); ok {
+		return f.ShardOf(mapKey(key))
+	}
+	return 0
+}
+
+// ShardKeyRange returns the inclusive user key range routed to shard i
+// (the full storable range when unsharded). Checkpoints scan one shard by
+// passing these bounds to Scan.
+func (t *Tree) ShardKeyRange(i int) (lo, hi int64) {
+	if f, ok := t.b.(*forest.Forest); ok {
+		ulo, uhi := f.Bounds(i)
+		return keys.Unmap(ulo), keys.Unmap(uhi)
+	}
+	if i != 0 {
+		panic("bst: shard index out of range on unsharded tree")
+	}
+	return minInt64, MaxKey
+}
+
+const minInt64 = -1 << 63

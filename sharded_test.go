@@ -1,0 +1,194 @@
+package bst_test
+
+import (
+	"errors"
+	"math/rand"
+	"sort"
+	"sync"
+	"testing"
+
+	bst "repro"
+)
+
+func TestShardedBasicOps(t *testing.T) {
+	s := bst.New(bst.WithShards(4), bst.WithShardRange(0, 1<<20), bst.WithReclamation())
+	defer s.Close()
+	if s.Shards() != 4 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+	rng := rand.New(rand.NewSource(1))
+	want := map[int64]bool{}
+	for i := 0; i < 5000; i++ {
+		k := rng.Int63n(1 << 21) // half the keys clamp into the edge shard
+		if rng.Intn(4) == 0 {
+			s.Delete(k)
+			delete(want, k)
+		} else {
+			s.Insert(k)
+			want[k] = true
+		}
+	}
+	for k := range want {
+		if !s.Contains(k) {
+			t.Fatalf("key %d missing", k)
+		}
+	}
+	if s.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", s.Len(), len(want))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShardedRoundsUp(t *testing.T) {
+	s := bst.New(bst.WithShards(3))
+	defer s.Close()
+	if s.Shards() != 4 {
+		t.Fatalf("Shards(3) should round to 4, got %d", s.Shards())
+	}
+}
+
+func TestShardKeyRangeCoversSpace(t *testing.T) {
+	s := bst.New(bst.WithShards(8), bst.WithShardRange(0, 1<<30))
+	defer s.Close()
+	lo0, _ := s.ShardKeyRange(0)
+	if lo0 != -1<<63 {
+		t.Fatalf("shard 0 must start at MinInt64, got %d", lo0)
+	}
+	_, hiN := s.ShardKeyRange(s.Shards() - 1)
+	if hiN != bst.MaxKey {
+		t.Fatalf("last shard must end at MaxKey, got %d", hiN)
+	}
+	for i := 0; i < s.Shards(); i++ {
+		lo, hi := s.ShardKeyRange(i)
+		if s.ShardOf(lo) != i || s.ShardOf(hi) != i {
+			t.Fatalf("shard %d bounds [%d,%d] do not route home (%d, %d)",
+				i, lo, hi, s.ShardOf(lo), s.ShardOf(hi))
+		}
+		if i > 0 {
+			_, prevHi := s.ShardKeyRange(i - 1)
+			if lo != prevHi+1 {
+				t.Fatalf("gap between shard %d and %d", i-1, i)
+			}
+		}
+	}
+}
+
+func TestUnshardedShardAccessors(t *testing.T) {
+	s := bst.New()
+	defer s.Close()
+	if s.Shards() != 1 || s.ShardOf(42) != 0 {
+		t.Fatal("unsharded tree must report one shard")
+	}
+	lo, hi := s.ShardKeyRange(0)
+	if lo != -1<<63 || hi != bst.MaxKey {
+		t.Fatalf("unsharded range [%d,%d]", lo, hi)
+	}
+}
+
+func TestShardedScanMergedSorted(t *testing.T) {
+	s := bst.New(bst.WithShards(4), bst.WithShardRange(0, 99999))
+	defer s.Close()
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 3000; i++ {
+		s.Insert(rng.Int63n(100000))
+	}
+	var got []int64
+	s.Scan(250, 90000, func(k int64) bool { got = append(got, k); return true })
+	if !sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] }) {
+		t.Fatal("sharded Scan stream not sorted")
+	}
+	for _, k := range got {
+		if k < 250 || k > 90000 {
+			t.Fatalf("scan leaked out-of-range key %d", k)
+		}
+	}
+	// Early termination across shard boundary.
+	n := 0
+	s.Scan(0, 99999, func(int64) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early-stop scan yielded %d", n)
+	}
+}
+
+func TestShardedAccessorBatches(t *testing.T) {
+	s := bst.New(bst.WithShards(4), bst.WithShardRange(0, 1<<16), bst.WithMetrics(0))
+	defer s.Close()
+	a := s.NewAccessor()
+	defer a.Close()
+	keys := make([]int64, 500)
+	for i := range keys {
+		keys[i] = int64(i * 131)
+	}
+	keys[7] = bst.MaxKey + 1 // out-of-range key must fail only its slot
+	out := make([]bst.OpResult, len(keys))
+	a.InsertBatch(keys, out)
+	for i := range keys {
+		if i == 7 {
+			if !errors.Is(out[i].Err, bst.ErrKeyOutOfRange) {
+				t.Fatalf("slot 7: err=%v, want ErrKeyOutOfRange", out[i].Err)
+			}
+			continue
+		}
+		if out[i].Err != nil || !out[i].OK {
+			t.Fatalf("slot %d: ok=%v err=%v", i, out[i].OK, out[i].Err)
+		}
+	}
+	a.ContainsBatch(keys, out)
+	for i := range keys {
+		if i == 7 {
+			continue
+		}
+		if !out[i].OK {
+			t.Fatalf("contains slot %d false", i)
+		}
+	}
+	a.DeleteBatch(keys, out)
+	for i := range keys {
+		if i == 7 {
+			continue
+		}
+		if !out[i].OK {
+			t.Fatalf("delete slot %d false", i)
+		}
+	}
+	m := s.Metrics()
+	if !m.Enabled {
+		t.Fatal("metrics should be enabled")
+	}
+	if m.Gauges["forest_shards"] != 4 {
+		t.Fatalf("forest_shards gauge = %v", m.Gauges["forest_shards"])
+	}
+}
+
+func TestShardedConcurrentAccessors(t *testing.T) {
+	s := bst.New(bst.WithShards(8), bst.WithShardRange(0, 1<<16), bst.WithReclamation())
+	defer s.Close()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			a := s.NewAccessor()
+			defer a.Close()
+			rng := rand.New(rand.NewSource(int64(w)))
+			ks := make([]int64, 128)
+			out := make([]bst.OpResult, 128)
+			for i := 0; i < 100; i++ {
+				for j := range ks {
+					ks[j] = rng.Int63n(1 << 16)
+				}
+				a.InsertBatch(ks, out)
+				a.ContainsBatch(ks, out)
+				a.DeleteBatch(ks, out)
+				a.Insert(rng.Int63n(1 << 16))
+				a.Delete(rng.Int63n(1 << 16))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
