@@ -11,18 +11,21 @@
 # promote the follower, audit every acked mutation on the new leader), a
 # fuzz smoke over the wire-frame and WAL-record decoders, the tracing
 # overhead gate (flight recorder installed with sampling off must stay
-# within 1% of untraced, sampled hot path must not allocate), and a short
-# durable benchmark cell (BENCH_durable_smoke.json).
+# within 1% of untraced, sampled hot path must not allocate), a short
+# durable benchmark cell (BENCH_durable_smoke.json), and the
+# order-statistics gates (Exact-mode linearizability bracket checker and
+# the CountRange-vs-scan ≥10x speedup floor).
 
 GO ?= go
 
 .PHONY: ci fmt-check vet build test race serve-smoke batch-stress \
 	crash-stress failover-stress chaos fuzz-smoke trace-overhead \
-	bench-durable-smoke shard-smoke bench-shard-smoke stress clean-data
+	bench-durable-smoke shard-smoke bench-shard-smoke aggregate-stress \
+	aggregate-smoke stress clean-data
 
 ci: fmt-check vet build test race serve-smoke batch-stress crash-stress \
 	failover-stress chaos fuzz-smoke trace-overhead bench-durable-smoke \
-	shard-smoke bench-shard-smoke
+	shard-smoke bench-shard-smoke aggregate-stress aggregate-smoke
 
 fmt-check:
 	@out=$$(gofmt -l .); \
@@ -111,6 +114,8 @@ fuzz-smoke:
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplAck$$' -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplSnapshot$$' -fuzztime 5s
 	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeReplStatus$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeAggregate$$' -fuzztime 5s
+	$(GO) test ./internal/wire -run '^$$' -fuzz '^FuzzDecodeAggregateResponse$$' -fuzztime 5s
 	$(GO) test ./internal/wal -run '^$$' -fuzz '^FuzzRecordDecode$$' -fuzztime 10s
 
 # The tracing overhead gate, both halves: with a recorder installed but
@@ -146,6 +151,24 @@ bench-shard-smoke:
 	$(GO) run ./cmd/bstbench -shards 1,8 -keyranges 100000 -workloads mixed \
 		-threads 2,8 -duration 200ms -json BENCH_shard_smoke.json
 
+# The order-statistics linearizability gate: Exact-mode Rank/CountRange
+# bracket-checked against concurrent inserts and deletes on the indexed
+# single tree and the sharded forest, plus a quiescent scan-equality
+# audit (bststress -aggregate rounds).
+aggregate-stress:
+	@out=$$($(GO) run ./cmd/bststress -aggregate -targets nm -duration 5s) || { echo "$$out"; exit 1; }; \
+	echo "$$out" | tail -1
+
+# The order-statistics speedup gate: over 1M keys, CountRange through the
+# lazily refreshed summary must beat counting a Scan by ≥10x (measured
+# headroom is orders of magnitude — the floor only catches a broken
+# summary path silently degrading to the scan). The JSON lands in
+# BENCH_aggregate_smoke.json for the CI artifact upload.
+aggregate-smoke:
+	@out=$$($(GO) run ./cmd/bstbench -aggregate -keyranges 1000000 -duration 200ms \
+		-agg-min-speedup 10 -json BENCH_aggregate_smoke.json) || { echo "$$out"; exit 1; }; \
+	echo "$$out" | tail -1
+
 # Longer soak, including the capacity exhaust/recover round and the
 # network serving soak (not part of ci).
 stress:
@@ -155,7 +178,8 @@ stress:
 # dirs left by interrupted runs (bstserve -data dirs are never touched —
 # only the well-known temp prefixes used by the tools here).
 clean-data:
-	rm -f BENCH_durable_smoke.json BENCH_shard_smoke.json crash_round.log \
+	rm -f BENCH_durable_smoke.json BENCH_shard_smoke.json \
+		BENCH_aggregate_smoke.json crash_round.log \
 		failover_round.log chaos_round.log shard_crash_round.log
 	rm -rf $${TMPDIR:-/tmp}/bst-crash-data-* $${TMPDIR:-/tmp}/bst-crash-addr-* \
 		$${TMPDIR:-/tmp}/bst-crash-clock-* $${TMPDIR:-/tmp}/bstbench-durable-* \

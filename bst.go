@@ -42,6 +42,7 @@ import (
 	"repro/internal/kst"
 	"repro/internal/metrics"
 	"repro/internal/nmboxed"
+	"repro/internal/orderstat"
 )
 
 // MaxKey is the largest storable key (the top of the int64 range is
@@ -188,6 +189,7 @@ type config struct {
 	shardLo       int64
 	shardHi       int64
 	shardRange    bool
+	orderstat     bool
 }
 
 // Option configures New.
@@ -217,6 +219,13 @@ func WithArity(k int) Option { return func(c *config) { c.arity = k } }
 type Tree struct {
 	algo Algorithm
 	b    backend
+
+	// Order-statistics indexes (WithOrderStatistics, NatarajanMittal
+	// only): ix serves a single core tree, agg merges a sharded forest's
+	// per-shard indexes. Both nil when order statistics are off — every
+	// aggregate method then answers ErrNoOrderStats.
+	ix  *orderstat.Index
+	agg *forest.Aggregates
 }
 
 // New creates a concurrent BST (Natarajan–Mittal unless overridden).
@@ -238,8 +247,24 @@ func New(opts ...Option) *Tree {
 				panic(fmt.Sprintf("bst: %v", err))
 			}
 			t.b = f
+			if cfg.orderstat {
+				agg, err := forest.NewAggregates(f)
+				if err != nil {
+					panic(fmt.Sprintf("bst: %v", err))
+				}
+				t.agg = agg
+			}
 		} else {
-			t.b = core.New(core.Config{Capacity: cfg.capacity, Reclaim: cfg.reclaim, Metrics: reg})
+			ct := core.New(core.Config{Capacity: cfg.capacity, Reclaim: cfg.reclaim,
+				Metrics: reg, TrackDirty: cfg.orderstat})
+			t.b = ct
+			if cfg.orderstat {
+				ix, err := orderstat.New(ct)
+				if err != nil {
+					panic(fmt.Sprintf("bst: %v", err))
+				}
+				t.ix = ix
+			}
 		}
 	case NatarajanMittalBoxed:
 		t.b = nmboxed.New()
@@ -479,6 +504,12 @@ func (t *Tree) Stats() Stats {
 // operation is in flight. After Close the tree must not be used. Close is
 // idempotent and a no-op for algorithms without reclamation state.
 func (t *Tree) Close() error {
+	if t.ix != nil {
+		t.ix.Close()
+	}
+	if t.agg != nil {
+		t.agg.Close()
+	}
 	switch b := t.b.(type) {
 	case *core.Tree:
 		b.Close()

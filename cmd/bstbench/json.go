@@ -44,7 +44,16 @@ type cellJSON struct {
 	// baseline, else the WAL sync policy ("fsync", "interval", "none").
 	// Empty for non-durable cells. (bst-bench/v1: new field, never
 	// renamed.)
-	SyncPolicy      string    `json:"sync_policy,omitempty"`
+	SyncPolicy string `json:"sync_policy,omitempty"`
+	// AggMethod marks an -aggregate mode cell: the query method measured
+	// ("scan-count", "count-exact", "count-stale", "rank-exact",
+	// "select-exact", "sum-exact"). ops_per_sec is queries/sec for these
+	// cells. (bst-bench/v1: new field, never renamed.)
+	AggMethod string `json:"agg_method,omitempty"`
+	// AggWriters is the concurrent mutator count churning the tree during
+	// an -aggregate cell (0 = quiescent). (bst-bench/v1: new field, never
+	// renamed.)
+	AggWriters      int       `json:"agg_writers,omitempty"`
 	OpsPerSec       []float64 `json:"ops_per_sec"`
 	MedianOpsPerSec float64   `json:"median_ops_per_sec"`
 	// Metrics holds the cell's telemetry deltas summed across reps

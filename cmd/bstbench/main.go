@@ -61,6 +61,9 @@ func main() {
 		shardsFlag    = flag.String("shards", "", "comma-separated shard counts; when set, measure the nm tree sharded across these counts (shard-mode table) instead of the Figure 4 grid")
 		durableMode   = flag.Bool("durable", false, "measure durability overhead on the nm tree (in-memory baseline vs WAL sync policies fsync/interval/none) instead of the Figure 4 grid")
 		batchSizes    = flag.String("batchsizes", "1,8,64", "comma-separated batch sizes for -batch mode (1 = single-op baseline)")
+		aggMode       = flag.Bool("aggregate", false, "measure order-statistics queries (rank/select/count/sum) vs the scan baseline on an indexed nm tree instead of the Figure 4 grid")
+		aggWriters    = flag.Int("agg-writers", 0, "concurrent mutators churning the tree during -aggregate cells (0 = quiescent)")
+		aggMinSpeedup = flag.Float64("agg-min-speedup", 0, "fail unless count-exact beats scan-count by this factor at the largest key range (0 = no assertion)")
 		metricsOn     = flag.Bool("metrics", false, "enable live contention telemetry on the nm tree (counters + sampled latency histograms)")
 		metricsAddr   = flag.String("metrics-addr", "", "serve /metrics (Prometheus) and /debug/vars (JSON) on this address while running (implies -metrics)")
 		traceFile     = flag.String("trace", "", "write a runtime/trace capture of the whole run to this file")
@@ -105,6 +108,17 @@ func main() {
 	var doc *benchJSON
 	if *jsonPath != "" {
 		doc = newBenchJSON(duration.String(), *reps, *seed, *zipfS, *reclaim, !*noPrefill, *metricsOn)
+	}
+
+	if *aggMode {
+		runAggregateMode(keyRanges, *aggWriters, *reps, *duration, *seed, *aggMinSpeedup, csvTable, doc)
+		if *csv {
+			fmt.Print(csvTable.CSV())
+		}
+		if doc != nil {
+			fatal(doc.write(*jsonPath))
+		}
+		return
 	}
 
 	if *durableMode {

@@ -73,6 +73,7 @@ func main() {
 		capacity     = flag.Int("capacity", 1<<20, "arena bound in nodes (0 = unbounded)")
 		reclaim      = flag.Bool("reclaim", true, "enable epoch-based node reclamation")
 		shards       = flag.Int("shards", 1, "partition the key space across this many independent trees (rounded up to a power of two; incompatible with replication)")
+		orderStats   = flag.Bool("order-stats", false, "maintain the order-statistics index so clients can issue rank/select/count/sum aggregate queries (OpAggregate); without it those queries answer no-index")
 		maxInFlight  = flag.Int("max-inflight", 256, "admission cap: concurrently executing requests before shedding")
 		deadline     = flag.Duration("deadline", time.Second, "default per-request deadline for requests that carry none")
 		readTimeout  = flag.Duration("read-timeout", 60*time.Second, "per-frame read deadline (idle + slow-loris bound)")
@@ -115,6 +116,9 @@ func main() {
 	}
 	if *reclaim {
 		opts = append(opts, bst.WithReclamation())
+	}
+	if *orderStats {
+		opts = append(opts, bst.WithOrderStatistics())
 	}
 	if *shards > 1 {
 		// Replication ships one dense WAL sequence; a sharded store has one

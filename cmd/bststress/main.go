@@ -78,6 +78,7 @@ func main() {
 		batch       = flag.Bool("batch", false, "also check linearizability of batched operations racing single ops (targets with batch entry points)")
 		metricsAddr = flag.String("metrics", "", "serve live telemetry on this address (/metrics Prometheus, /debug/vars JSON) while stressing")
 		traceFile   = flag.String("trace", "", "write a runtime/trace capture (rounds appear as tasks with per-check regions)")
+		aggregate   = flag.Bool("aggregate", false, "also check Exact-mode order-statistics linearizability: rank/count bracket checker racing concurrent inserts and deletes on indexed single and sharded trees")
 		crash       = flag.Bool("crash", false, "also run the durability gate: kill -9 a durable fsync server mid-load, recover, audit every acked mutation, and clock a 1M-key recovery")
 		crashShards = flag.Int("crash-shards", 1, "shard count for the -crash round's durable store (>1 = per-shard WAL lanes, parallel lane replay on recovery)")
 
@@ -217,6 +218,14 @@ func main() {
 				if err := serveRound(*workers, *keySpace, uint64(round)); err != nil {
 					failures++
 					fmt.Printf("FAIL [serve] nm round %d: %v\n", round, err)
+				}
+			})
+		}
+		if *aggregate {
+			runCheck(ctx, "aggregate", "nm", func() {
+				if err := aggregateRound(*workers, uint64(round)); err != nil {
+					failures++
+					fmt.Printf("FAIL [aggregate] nm round %d: %v\n", round, err)
 				}
 			})
 		}

@@ -1,16 +1,24 @@
-// orderindex: a concurrent ordered index for an in-memory event store.
+// orderindex: order-statistics analytics over a concurrent event index.
 //
 // Scenario (the paper's motivating workload class — ordered data under
-// concurrent modification): ingestion goroutines append events keyed by
-// timestamp while query goroutines run point lookups and expiry goroutines
-// retire old events. An ordered dictionary is exactly what a BST provides
-// and what hash maps cannot: after the run we answer "earliest / latest
-// event" and time-window queries from the same structure the writers used.
+// concurrent modification): replaying a day's event log from partitioned
+// storage into an in-memory index keyed by timestamp. Partitions
+// interleave, so events arrive shuffled even though the timestamps cover
+// a dense range — which also happens to be the friendly insertion order
+// for an unbalanced external BST (sorted arrival would build a spine).
+//
+// While ingesters replay, a live dashboard polls window counts with a
+// bounded-staleness budget: those queries serve from the cached summary
+// and never stall the writers. After the replay settles, the analytics
+// pass answers the questions a plain ordered set cannot without an O(n)
+// walk — percentiles via Select, "events before t" via Rank — and times
+// CountRange against the Scan-and-count it replaces, printing the
+// speedup.
 package main
 
 import (
 	"fmt"
-	"runtime"
+	"math/rand"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -19,133 +27,143 @@ import (
 )
 
 const (
-	ingesters  = 4
-	queriers   = 2
-	expirers   = 1
-	eventsEach = 25_000
-	windowSize = 10_000 // expiry retires events older than this many ticks
+	ingesters   = 4
+	totalEvents = 200_000
+	staleBudget = 2048 // dashboard tolerance: answers may lag ≤ this many mutations
+	speedupQ    = 200  // timed window-count queries per method
 )
 
 func main() {
-	// Timestamps arrive in ascending order — the degenerate case for an
-	// *unbalanced* BST (every insert extends one long right spine, making
-	// operations O(n); the paper's evaluation uses uniformly random keys
-	// where expected depth is O(log n)). Ordered monotonic keys are
-	// exactly what the library's balanced baseline is for: the Bronson
-	// et al. relaxed AVL tree keeps the index logarithmic regardless of
-	// key order, behind the same Set interface.
-	index := bst.New(bst.WithAlgorithm(bst.Bronson))
+	index := bst.New(
+		bst.WithOrderStatistics(),
+		bst.WithReclamation(),
+		bst.WithCapacity(1<<20),
+	)
+	defer index.Close()
 
-	var clock atomic.Int64 // logical time: one tick per ingested event
-	var ingested, expired, hits, misses atomic.Int64
+	// The replay feed: timestamps 0..N-1, shuffled the way interleaved
+	// partition reads scramble them, split across ingester goroutines.
+	rng := rand.New(rand.NewSource(1))
+	feed := rng.Perm(totalEvents)
 
-	start := time.Now()
+	var ingested atomic.Int64
 	var wg sync.WaitGroup
-
-	// Ingesters: each event gets a unique logical timestamp key.
+	start := time.Now()
+	share := totalEvents / ingesters
 	for w := 0; w < ingesters; w++ {
 		wg.Add(1)
-		go func() {
+		go func(part []int) {
 			defer wg.Done()
 			a := index.NewAccessor()
-			for i := 0; i < eventsEach; i++ {
-				ts := clock.Add(1)
-				if a.Insert(ts) {
+			defer a.Close()
+			for _, ts := range part {
+				if a.Insert(int64(ts)) {
 					ingested.Add(1)
 				}
 			}
-		}()
+		}(feed[w*share : (w+1)*share])
 	}
 
-	// Expirers: retire everything older than the sliding window.
+	// Live dashboard: window counts during ingest, bounded-stale so each
+	// poll reads the cached summary instead of forcing a refresh wave.
 	done := make(chan struct{})
-	for w := 0; w < expirers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			a := index.NewAccessor()
-			next := int64(1)
-			for {
-				select {
-				case <-done:
-					return
-				default:
-				}
-				horizon := clock.Load() - windowSize
-				if next > horizon {
-					runtime.Gosched() // nothing old enough yet
-					continue
-				}
-				for next <= horizon {
-					if a.Delete(next) {
-						expired.Add(1)
-					}
-					next++
-				}
-			}
-		}()
-	}
-
-	// Queriers: point lookups biased to the live window.
-	for w := 0; w < queriers; w++ {
-		wg.Add(1)
-		go func(seed int64) {
-			defer wg.Done()
-			a := index.NewAccessor()
-			x := uint64(seed)
-			for {
-				select {
-				case <-done:
-					return
-				default:
-				}
-				now := clock.Load()
-				if now == 0 {
-					continue
-				}
-				x = x*6364136223846793005 + 1442695040888963407
-				ts := now - int64(x%(windowSize*2))
-				if ts < 1 {
-					ts = 1
-				}
-				if a.Contains(ts) {
-					hits.Add(1)
-				} else {
-					misses.Add(1)
-				}
-			}
-		}(int64(w) + 1)
-	}
-
-	// Wait for the ingest goroutines to finish, then stop the rest.
-	waitIngest := make(chan struct{})
+	var polls atomic.Int64
+	var dash sync.WaitGroup
+	dash.Add(1)
 	go func() {
-		for clock.Load() < int64(ingesters*eventsEach) {
-			time.Sleep(time.Millisecond)
+		defer dash.Done()
+		stale := bst.BoundedStale(staleBudget)
+		for {
+			select {
+			case <-done:
+				return
+			default:
+			}
+			if _, err := index.CountRange(0, totalEvents/2, stale); err != nil {
+				panic(err)
+			}
+			polls.Add(1)
 		}
-		close(waitIngest)
 	}()
-	<-waitIngest
+
+	wg.Wait() // ingesters drain first; the dashboard polls the whole time
 	close(done)
-	wg.Wait()
+	dash.Wait()
 	elapsed := time.Since(start)
-
-	// Quiescent ordered queries over the surviving window.
-	earliest, _ := index.Min()
-	latest, _ := index.Max()
-	var inWindow int
-	index.AscendRange(latest-windowSize, latest, func(int64) bool { inWindow++; return true })
-
-	fmt.Printf("ingested %d events in %v (%.0f events/s) with %d queriers and %d expirers\n",
+	fmt.Printf("replayed %d events in %v (%.0f events/s) with %d live dashboard polls alongside\n",
 		ingested.Load(), elapsed.Round(time.Millisecond),
-		float64(ingested.Load())/elapsed.Seconds(), queriers, expirers)
-	fmt.Printf("expired  %d events; index now holds %d\n", expired.Load(), index.Len())
-	fmt.Printf("query    %d hits / %d misses during ingest\n", hits.Load(), misses.Load())
-	fmt.Printf("ordered  earliest=%d latest=%d, %d events in final window\n", earliest, latest, inWindow)
+		float64(ingested.Load())/elapsed.Seconds(), polls.Load())
+
+	// Quiescent analytics, Exact mode: one refresh wave linearizes the
+	// summary against every completed insert, then each answer is O(log n).
+	exact := bst.Exact
+	n, err := index.CountRange(0, totalEvents, exact)
+	must(err)
+	median := selectTS(index, n/2)
+	p99 := selectTS(index, n*99/100)
+	beforeNoon, err := index.Rank(totalEvents/2, exact)
+	must(err)
+	fmt.Printf("analytics n=%d: median ts=%d, p99 ts=%d, %d events before noon\n",
+		n, median, p99, beforeNoon)
+
+	// The headline: window counts via the summary vs the scan they
+	// replace, same random windows for both.
+	windows := make([][2]int64, speedupQ)
+	for i := range windows {
+		lo := int64(rng.Intn(totalEvents))
+		windows[i] = [2]int64{lo, lo + int64(rng.Intn(totalEvents/4+1))}
+	}
+	scanStart := time.Now()
+	var scanTotal int
+	for _, w := range windows {
+		index.Scan(w[0], w[1], func(int64) bool { scanTotal++; return true })
+	}
+	scanD := time.Since(scanStart)
+	countStart := time.Now()
+	var countTotal int
+	for _, w := range windows {
+		c, err := index.CountRange(w[0], w[1], exact)
+		must(err)
+		countTotal += c
+	}
+	countD := time.Since(countStart)
+	if scanTotal != countTotal {
+		panic(fmt.Sprintf("scan counted %d events, CountRange %d", scanTotal, countTotal))
+	}
+	fmt.Printf("window counts ×%d (agreeing on %d events): scan %v, CountRange %v — %.0fx faster\n",
+		speedupQ, countTotal, scanD.Round(time.Microsecond), countD.Round(time.Microsecond),
+		float64(scanD)/float64(countD))
+
+	// Retention: drop the oldest quarter, then show the next exact
+	// aggregate already linearizes against the deletes.
+	cutoff := int64(totalEvents / 4)
+	a := index.NewAccessor()
+	for ts := int64(0); ts < cutoff; ts++ {
+		a.Delete(ts)
+	}
+	a.Close()
+	left, err := index.Rank(cutoff, exact)
+	must(err)
+	total, err := index.CountRange(0, totalEvents, exact)
+	must(err)
+	fmt.Printf("retention: dropped events below ts=%d; rank(cutoff)=%d, %d remain\n",
+		cutoff, left, total)
 
 	if err := index.Validate(); err != nil {
 		fmt.Println("VALIDATION FAILED:", err)
 		return
 	}
 	fmt.Println("index structure validated")
+}
+
+func selectTS(index *bst.Tree, i int) int64 {
+	ts, err := index.Select(i, bst.Exact)
+	must(err)
+	return ts
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
 }

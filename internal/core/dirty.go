@@ -1,0 +1,84 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// The dirty counter is the only thing the lock-free write paths contribute
+// to the order-statistics subsystem (internal/orderstat): one per-handle,
+// cache-line-padded, single-writer counter bumped after every successful
+// insert or delete, exactly the internal/metrics sharding pattern. Writers
+// never CAS a shared summary word — the whole point of the lazy
+// augmentation design is that the paper's one-CAS insert and three-atomic
+// delete stay untouched — so the counter is a plain store over a load on a
+// line owned by one goroutine, and reading the total is a sum over shards
+// that is exact once the tree is quiescent and monotonically
+// under-approximate while it is not.
+//
+// The ordering contract the orderstat layer depends on: a mutation's bump
+// happens before the mutating call returns. Any mutation whose caller has
+// been acknowledged is therefore visible in Total() — which is what lets a
+// cached summary whose CleanDirty equals Total() answer exactly.
+
+// DirtyShard is one handle's private mutation counter. Only the owning
+// handle writes it; Total readers only load. The pad keeps two shards from
+// sharing a cache line, so bumps never ping-pong lines between writers.
+type DirtyShard struct {
+	n atomic.Uint64
+	_ [56]byte
+}
+
+// Bump records one successful mutation. Single-writer: a store over a load
+// is one cache hit on an owned line, not an RMW.
+func (s *DirtyShard) Bump() { s.n.Store(s.n.Load() + 1) }
+
+// DirtyCounter aggregates the per-handle shards. Shard registration and
+// retirement take a mutex (handle creation is off the hot path); Total is
+// a locked sum so a shard can never be summed twice or lost while a
+// retirement folds it into base.
+type DirtyCounter struct {
+	mu     sync.Mutex
+	shards []*DirtyShard
+	base   uint64 // counts folded in from retired shards
+}
+
+// NewShard registers and returns a fresh shard for one handle.
+func (d *DirtyCounter) NewShard() *DirtyShard {
+	s := &DirtyShard{}
+	d.mu.Lock()
+	d.shards = append(d.shards, s)
+	d.mu.Unlock()
+	return s
+}
+
+// Retire folds a handle's shard into the base total and drops it from the
+// shard list, so closed handles do not accumulate. Idempotent per shard
+// only if called once; callers nil their reference after retiring.
+func (d *DirtyCounter) Retire(s *DirtyShard) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.base += s.n.Load()
+	for i, sh := range d.shards {
+		if sh == s {
+			d.shards[i] = d.shards[len(d.shards)-1]
+			d.shards = d.shards[:len(d.shards)-1]
+			return
+		}
+	}
+}
+
+// Total returns the number of successful mutations recorded so far. It is
+// monotonically non-decreasing, exact when the tree is quiescent, and
+// never ahead of the mutations that have actually completed — a mutation
+// still inside its call may or may not be counted yet, but one whose call
+// returned always is.
+func (d *DirtyCounter) Total() uint64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	n := d.base
+	for _, s := range d.shards {
+		n += s.n.Load()
+	}
+	return n
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+// TestDirtyCountsCompletedMutations pins the orderstat soundness anchor:
+// every successful insert/delete — point or batched, helped or not — is
+// counted by the time its call returns, and failed/no-op calls are not.
+func TestDirtyCountsCompletedMutations(t *testing.T) {
+	tr := New(Config{Capacity: 1 << 16, Reclaim: true, TrackDirty: true})
+	defer tr.Close()
+	d := tr.Dirty()
+	if d == nil {
+		t.Fatal("Dirty() = nil on a TrackDirty tree")
+	}
+
+	if !tr.Insert(keys.Map(1)) || d.Total() != 1 {
+		t.Fatalf("after Insert(1): total = %d, want 1", d.Total())
+	}
+	if tr.Insert(keys.Map(1)) || d.Total() != 1 {
+		t.Fatalf("duplicate insert bumped: total = %d, want 1", d.Total())
+	}
+	if tr.Delete(keys.Map(2)) || d.Total() != 1 {
+		t.Fatalf("absent delete bumped: total = %d, want 1", d.Total())
+	}
+	if !tr.Delete(keys.Map(1)) || d.Total() != 2 {
+		t.Fatalf("after Delete(1): total = %d, want 2", d.Total())
+	}
+
+	ks := make([]uint64, 8)
+	for i := range ks {
+		ks[i] = keys.Map(int64(10 + i))
+	}
+	out := make([]bool, len(ks))
+	errs := make([]error, len(ks))
+	tr.InsertBatch(ks, out, errs)
+	if d.Total() != 2+8 {
+		t.Fatalf("after InsertBatch: total = %d, want 10", d.Total())
+	}
+	tr.InsertBatch(ks, out, errs) // all duplicates: no bumps
+	if d.Total() != 10 {
+		t.Fatalf("duplicate batch bumped: total = %d, want 10", d.Total())
+	}
+	tr.DeleteBatch(ks[:4], out[:4])
+	if d.Total() != 14 {
+		t.Fatalf("after DeleteBatch: total = %d, want 14", d.Total())
+	}
+}
+
+// TestDirtySurvivesHandleChurn checks the shard lifecycle: closing a
+// handle folds its counts into the base total rather than dropping them.
+func TestDirtySurvivesHandleChurn(t *testing.T) {
+	tr := New(Config{Capacity: 1 << 20, Reclaim: true, TrackDirty: true})
+	defer tr.Close()
+	const workers, each = 8, 500
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			h := tr.NewHandle()
+			defer h.Close() // retire mid-test: counts must fold into base
+			for i := 0; i < each; i++ {
+				h.Insert(keys.Map(int64(w*each + i)))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := tr.Dirty().Total(); got != workers*each {
+		t.Fatalf("total after handle churn = %d, want %d", got, workers*each)
+	}
+}

@@ -121,6 +121,11 @@ type Handle struct {
 	tick  uint64
 	mmask uint64
 
+	// ds is this handle's private dirty shard (Config.TrackDirty);
+	// successful mutations bump it before returning so the orderstat
+	// layer can tell whether its cached summaries have been overtaken.
+	ds *DirtyShard
+
 	// stepHook, when non-nil, is invoked immediately before every atomic
 	// step of this handle's operations (and at each seek). It exists for
 	// the exhaustive interleaving explorer in schedule_test.go, which
@@ -166,7 +171,22 @@ func (h *Handle) Close() {
 		h.t.met.Retire(h.m)
 		h.m = nil
 	}
+	if h.ds != nil {
+		h.t.dirty.Retire(h.ds)
+		h.ds = nil
+	}
 	runtime.SetFinalizer(h, nil)
+}
+
+// bumpDirty records one successful mutation on the handle's dirty shard.
+// It must run before the mutating call returns: the orderstat layer's
+// exactness test is "no completed mutation is uncounted", which holds
+// precisely because the bump happens on the completing goroutine between
+// the linearization point and the return.
+func (h *Handle) bumpDirty() {
+	if h.ds != nil {
+		h.ds.Bump()
+	}
 }
 
 // seek is Algorithm 1: traverse from the root to a leaf, maintaining the
@@ -457,6 +477,7 @@ func (h *Handle) tryInsert(key uint64) (bool, error) {
 			h.spareInternal, h.spareLeaf = 0, 0
 			h.unpin()
 			h.Stats.Inserts++
+			h.bumpDirty()
 			return true, nil
 		}
 		h.Stats.CASFailed++
@@ -542,6 +563,7 @@ func (h *Handle) delete(key uint64) bool {
 				if h.cleanup(key, sr) {
 					h.unpin()
 					h.Stats.Deletes++
+					h.bumpDirty()
 					return true
 				}
 			} else {
@@ -564,11 +586,13 @@ func (h *Handle) delete(key uint64) bool {
 			if sr.leaf != leaf {
 				h.unpin()
 				h.Stats.Deletes++
+				h.bumpDirty()
 				return true
 			}
 			if h.cleanup(key, sr) {
 				h.unpin()
 				h.Stats.Deletes++
+				h.bumpDirty()
 				return true
 			}
 		}

@@ -111,6 +111,12 @@ type Config struct {
 	// registers a snapshot hook folding in arena and epoch telemetry.
 	// When nil every instrumentation site costs one nil check.
 	Metrics *metrics.Registry
+	// TrackDirty gives every handle a private sharded mutation counter
+	// (see dirty.go) that successful inserts and deletes bump before
+	// returning. The order-statistics layer (internal/orderstat) reads
+	// the total to decide whether its cached summaries are still exact.
+	// When false the hot paths pay one nil check per successful mutation.
+	TrackDirty bool
 }
 
 // DefaultCapacity is the arena capacity used when Config.Capacity is zero.
@@ -127,6 +133,7 @@ type Tree struct {
 	epoch   *reclaim.Domain[uint32] // grace periods for arena-slot recycling; nil when !cfg.Reclaim
 	fp      *failpoint.Set          // fault injection; nil in production
 	met     *metrics.Registry       // live telemetry; nil when disabled
+	dirty   *DirtyCounter           // mutation counter for orderstat; nil when !cfg.TrackDirty
 	handles sync.Pool               // fallback handles for direct Tree method calls
 
 	// Tree-level Stats totals folded in from pooled handles at Put time,
@@ -144,6 +151,9 @@ func New(cfg Config) *Tree {
 		cfg.Capacity = DefaultCapacity
 	}
 	t := &Tree{ar: arena.New[node](cfg.Capacity), cfg: cfg, fp: cfg.Failpoints, met: cfg.Metrics}
+	if cfg.TrackDirty {
+		t.dirty = &DirtyCounter{}
+	}
 	if cfg.Reclaim {
 		t.epoch = reclaim.NewDomain[uint32]()
 		// A handle that closes mid-grace-period (pool churn, finalizer)
@@ -261,13 +271,16 @@ func (t *Tree) newHandle(block int, sharedFree bool) *Handle {
 		h.m = t.met.NewShard()
 		h.mmask = t.met.SampleMask()
 	}
+	if t.dirty != nil {
+		h.ds = t.dirty.NewShard()
+	}
 	// Safety net for handles that are dropped instead of Closed (the
 	// convenience-method pool sheds handles at GC): deregister the epoch
 	// slot so the domain's slot list cannot grow without bound, donate the
 	// allocator's unused indices back to the arena's shared pool so a
 	// dropped handle never strands capacity, and retire the metrics shard
 	// so the registry stays bounded without losing the handle's counts.
-	met := t.met
+	met, dirty := t.met, t.dirty
 	runtime.SetFinalizer(h, func(h *Handle) {
 		if h.slot != nil {
 			h.slot.Close()
@@ -275,6 +288,9 @@ func (t *Tree) newHandle(block int, sharedFree bool) *Handle {
 		h.al.Release()
 		if h.m != nil {
 			met.Retire(h.m)
+		}
+		if h.ds != nil {
+			dirty.Retire(h.ds)
 		}
 	})
 	return h
@@ -379,6 +395,11 @@ func (t *Tree) Range(lo, hi uint64, yield func(key uint64) bool) {
 // Metrics returns the tree's telemetry registry, or nil when the tree was
 // built without Config.Metrics.
 func (t *Tree) Metrics() *metrics.Registry { return t.met }
+
+// Dirty returns the tree's mutation counter, or nil when the tree was
+// built without Config.TrackDirty. The order-statistics layer compares
+// Total() across a summary rebuild to decide whether the summary is exact.
+func (t *Tree) Dirty() *DirtyCounter { return t.dirty }
 
 // Close retires the tree's reclamation domain (when reclamation is on):
 // every still-registered epoch slot — explicit handles that were never

@@ -595,6 +595,26 @@ func (d *Tree) Health() bst.Health { return d.tree.Health() }
 // registry). Mutating through it bypasses the WAL; don't.
 func (d *Tree) Underlying() *bst.Tree { return d.tree }
 
+// Order-statistics pass-throughs: aggregates are reads, so nothing is
+// logged, and a durable store fronting an indexed tree stays indexed over
+// the wire (the server discovers the capability by type assertion).
+
+// Rank passes through to the tree's order-statistics index.
+func (d *Tree) Rank(key int64, c bst.Consistency) (int, error) { return d.tree.Rank(key, c) }
+
+// Select passes through to the tree's order-statistics index.
+func (d *Tree) Select(i int, c bst.Consistency) (int64, error) { return d.tree.Select(i, c) }
+
+// CountRange passes through to the tree's order-statistics index.
+func (d *Tree) CountRange(lo, hi int64, c bst.Consistency) (int, error) {
+	return d.tree.CountRange(lo, hi, c)
+}
+
+// SumRange passes through to the tree's order-statistics index.
+func (d *Tree) SumRange(lo, hi int64, c bst.Consistency) (int64, error) {
+	return d.tree.SumRange(lo, hi, c)
+}
+
 // Dir returns the data directory (snapshots + WAL segments live there).
 func (d *Tree) Dir() string { return d.dir }
 

@@ -1,0 +1,124 @@
+package forest
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/keys"
+)
+
+func newAggForest(t *testing.T, shards int) (*Forest, *Aggregates) {
+	t.Helper()
+	cfg := Config{Shards: shards, Lo: keys.Map(0), Hi: keys.Map(1 << 20)}
+	cfg.Tree.Capacity = 1 << 20
+	cfg.Tree.Reclaim = true
+	cfg.Tree.TrackDirty = true
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	a, err := NewAggregates(f)
+	if err != nil {
+		t.Fatalf("NewAggregates: %v", err)
+	}
+	t.Cleanup(func() { a.Close(); f.Close() })
+	return f, a
+}
+
+// TestForestAggregatesMatchBruteForce cross-checks the shard merges —
+// rank as prefix-of-whole-shards + in-shard rank, boundary-spanning
+// counts and sums, forest-wide select — against a sorted reference.
+func TestForestAggregatesMatchBruteForce(t *testing.T) {
+	f, a := newAggForest(t, 4)
+	rng := rand.New(rand.NewSource(11))
+	ref := map[int64]bool{}
+	for i := 0; i < 4000; i++ {
+		k := int64(rng.Intn(1 << 20))
+		if rng.Intn(4) == 0 {
+			f.Delete(keys.Map(k))
+			delete(ref, k)
+		} else {
+			f.Insert(keys.Map(k))
+			ref[k] = true
+		}
+	}
+	sorted := make([]int64, 0, len(ref))
+	for k := range ref {
+		sorted = append(sorted, k)
+	}
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	if got := a.Len(true, 0); got != len(sorted) {
+		t.Fatalf("Len = %d, want %d", got, len(sorted))
+	}
+	for trial := 0; trial < 50; trial++ {
+		k := int64(rng.Intn(1 << 20))
+		wantRank := sort.Search(len(sorted), func(i int) bool { return sorted[i] >= k })
+		if got := a.Rank(keys.Map(k), true, 0); got != wantRank {
+			t.Fatalf("Rank(%d) = %d, want %d (key routes to shard %d)",
+				k, got, wantRank, f.ShardOf(keys.Map(k)))
+		}
+
+		// Ranges sized to span shard boundaries more often than not.
+		lo := int64(rng.Intn(1 << 20))
+		hi := lo + int64(rng.Intn(1<<19))
+		wantCount, wantSum := 0, int64(0)
+		for _, v := range sorted {
+			if v >= lo && v <= hi {
+				wantCount++
+				wantSum += v
+			}
+		}
+		if got := a.Count(keys.Map(lo), keys.Map(hi), true, 0); got != wantCount {
+			t.Fatalf("Count(%d,%d) = %d, want %d (shards %d..%d)",
+				lo, hi, got, wantCount, f.ShardOf(keys.Map(lo)), f.ShardOf(keys.Map(hi)))
+		}
+		if got := a.Sum(keys.Map(lo), keys.Map(hi), true, 0); got != wantSum {
+			t.Fatalf("Sum(%d,%d) = %d, want %d", lo, hi, got, wantSum)
+		}
+
+		i := rng.Intn(len(sorted))
+		u, ok := a.Select(i, true, 0)
+		if !ok || keys.Unmap(u) != sorted[i] {
+			t.Fatalf("Select(%d) = (%d,%v), want %d", i, keys.Unmap(u), ok, sorted[i])
+		}
+	}
+	if _, ok := a.Select(len(sorted), true, 0); ok {
+		t.Fatal("Select(len) reported ok")
+	}
+
+	// The planned visit yields the same sorted stream as a merged Range.
+	var viaVisit, viaRange []uint64
+	a.Visit(keys.Map(0), keys.Map(1<<20), true, 0, func(u uint64) bool {
+		viaVisit = append(viaVisit, u)
+		return true
+	})
+	f.Range(keys.Map(0), keys.Map(1<<20), func(u uint64) bool {
+		viaRange = append(viaRange, u)
+		return true
+	})
+	if len(viaVisit) != len(viaRange) {
+		t.Fatalf("Visit yielded %d keys, Range %d", len(viaVisit), len(viaRange))
+	}
+	for i := range viaVisit {
+		if viaVisit[i] != viaRange[i] {
+			t.Fatalf("Visit[%d] = %d, Range[%d] = %d", i, viaVisit[i], i, viaRange[i])
+		}
+	}
+}
+
+// TestForestAggregatesRequireTrackDirty: one untracked shard fails the
+// whole construction (and leaks no walker handles from the built prefix).
+func TestForestAggregatesRequireTrackDirty(t *testing.T) {
+	cfg := Config{Shards: 2}
+	cfg.Tree.Capacity = 1 << 12
+	f, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	defer f.Close()
+	if _, err := NewAggregates(f); err == nil {
+		t.Fatal("NewAggregates succeeded without TrackDirty")
+	}
+}

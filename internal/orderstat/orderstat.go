@@ -1,0 +1,268 @@
+// Package orderstat is the lazily-refreshed order-statistics layer over
+// the lock-free external BST (internal/core): rank, select, count-in-range
+// and sum-in-range in O(log n), without adding a single atomic instruction
+// to the paper's insert and delete hot paths.
+//
+// # Why writers never CAS summary words
+//
+// The classic augmented-tree design stores a subtree size in every
+// internal node and has writers update the sizes on the path they touched.
+// In the NM-BST that is a non-starter: an insert is one CAS and a delete
+// is three atomics precisely because nothing above the operation's edge is
+// written, and a delete's splice CAS can excise a whole chain of tagged
+// nodes whose ancestors' summaries would all need fixing — by whichever of
+// several racing helpers happens to win. Making writers maintain exact
+// summaries would reintroduce the multi-word coordination the paper's
+// design eliminates.
+//
+// Instead, writers only bump a per-handle sharded dirty counter
+// (core.Config.TrackDirty — the internal/metrics single-writer pattern:
+// one padded cache line per handle, plain store over load, no RMW), and a
+// refresher reconciles summaries in waves:
+//
+//	d0 := dirty.Total()            // before the walk
+//	keys := epoch-pinned in-order walk (core.Handle.Range)
+//	summaries := bottom-up build over keys
+//	publish Summary{..., CleanDirty: d0}
+//
+// A wave runs under the same epoch pin as any Scan, so it sees every key
+// whose insert completed before the pin and is indifferent to racers —
+// the scan's usual weak-consistency contract. Reading d0 *before* the
+// walk makes CleanDirty a sound freshness token: if dirty.Total() still
+// equals CleanDirty at query time, no mutation has completed since before
+// the wave began (bumps happen before mutating calls return), so the
+// summary covers every completed mutation and answering from it is
+// equivalent to running a fresh epoch-pinned scan at the query's
+// linearization point.
+//
+// # The summary shape
+//
+// The wave's product is the in-order key sequence plus its prefix-sum
+// array — which IS a balanced summary tree, stored implicitly: segment
+// [a,b) of the sorted keys is a node whose subtree summaries are all O(1)
+// (count = b-a, sum = Prefix[b]-Prefix[a], min = Keys[a], max =
+// Keys[b-1]), and whose children are the half-open halves around the
+// midpoint. Queries descend this tree, pruning subtrees wholly outside
+// the requested range and consuming whole-subtree summaries for subtrees
+// wholly inside, so every query is O(log n) — even when the live tree is
+// a degenerate spine (sequential inserts build one: the external BST does
+// not rebalance). Building it is one sorted append per key: the bottom-up
+// reconciliation is the prefix-sum pass, there are no per-node words for
+// writers to race on, and publishing is one atomic pointer store, so
+// readers are lock-free and never observe a half-built summary.
+//
+// # Consistency menu
+//
+//   - Exact: serve the cached summary iff CleanDirty == dirty.Total(),
+//     else run (or join) a refresh wave and answer from its result. Cost:
+//     O(log n) when clean, one O(n) wave amortized over all concurrent
+//     exact queries when not.
+//   - BoundedStale(m): serve the cached summary iff at most m mutations
+//     have completed since it was built. Each completed mutation moves
+//     any count, rank or selection index by at most 1, so every answer is
+//     within m (plus in-flight racers) of an exact one.
+package orderstat
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/core"
+	"repro/internal/keys"
+)
+
+// ErrNotTracked reports an Index built over a tree without
+// core.Config.TrackDirty: with no dirty counter there is no freshness
+// token, and every staleness bound would be a lie.
+var ErrNotTracked = errors.New("orderstat: tree was built without TrackDirty")
+
+// Summary is one published wave: the tree's in-order key sequence at the
+// wave's epoch pin, its user-key prefix sums, and the dirty total read
+// before the walk. Immutable once published; readers share it lock-free.
+type Summary struct {
+	// Keys is the mapped (internal uint64) key sequence, ascending.
+	Keys []uint64
+	// Prefix[i] is the sum of the first i user keys (int64 wraparound
+	// semantics on overflow, like any int64 sum). len(Prefix) == len(Keys)+1.
+	Prefix []int64
+	// CleanDirty is the dirty counter total read before the wave's walk
+	// began. The summary is exact while the counter still reads this.
+	CleanDirty uint64
+	// Wave numbers the refresh that built this summary (diagnostics).
+	Wave uint64
+}
+
+// Index is the order-statistics accessor for one core tree. All methods
+// are safe for concurrent use; queries on a clean summary are lock-free.
+type Index struct {
+	t     *core.Tree
+	dirty *core.DirtyCounter
+
+	// mu serializes refresh waves and guards h, the wave walker handle.
+	mu sync.Mutex
+	h  *core.Handle
+
+	cur    atomic.Pointer[Summary]
+	waves  atomic.Uint64 // refresh waves run (diagnostics)
+	served atomic.Uint64 // queries answered from a cached summary
+	closed bool
+}
+
+// New builds an Index over t. The tree must have been created with
+// Config.TrackDirty; the index registers one long-lived handle for its
+// refresh walks.
+func New(t *core.Tree) (*Index, error) {
+	if t.Dirty() == nil {
+		return nil, ErrNotTracked
+	}
+	ix := &Index{t: t, dirty: t.Dirty(), h: t.NewHandle()}
+	ix.cur.Store(&Summary{Prefix: []int64{0}}) // empty tree, never-written token
+	return ix, nil
+}
+
+// Close releases the index's walker handle. The index must be quiescent.
+func (ix *Index) Close() {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	if !ix.closed {
+		ix.h.Close()
+		ix.closed = true
+	}
+}
+
+// Waves returns how many refresh waves have run (diagnostics).
+func (ix *Index) Waves() uint64 { return ix.waves.Load() }
+
+// Served returns how many queries were answered from a cached summary
+// without triggering a wave (diagnostics; the cache-hit numerator).
+func (ix *Index) Served() uint64 { return ix.served.Load() }
+
+// Acquire returns a summary satisfying the requested consistency: exact
+// (no completed mutation uncounted) or bounded-stale (at most maxDirty
+// completed mutations uncounted). A summary that fails the test triggers
+// a refresh wave; concurrent acquirers join the same wave via mu.
+func (ix *Index) Acquire(exact bool, maxDirty uint64) *Summary {
+	s := ix.cur.Load()
+	lag := ix.dirty.Total() - s.CleanDirty
+	if s.CleanDirty == 0 && len(s.Keys) == 0 && s.Wave == 0 {
+		// The constructor's placeholder: only trust it when the tree has
+		// truly never been written (lag covers that), never as "clean".
+		if lag == 0 && !exact {
+			ix.served.Add(1)
+			return s
+		}
+	} else if lag == 0 || (!exact && lag <= maxDirty) {
+		ix.served.Add(1)
+		return s
+	}
+	return ix.Refresh()
+}
+
+// Refresh runs one wave: read the dirty total, walk the tree in order
+// under an epoch pin, rebuild the summary, publish it. Returns the
+// published summary (which may be a concurrent wave's result that is
+// already clean enough). Allocates O(n); superseded summaries are garbage
+// collected once their readers finish — readers never block a wave.
+func (ix *Index) Refresh() *Summary {
+	ix.mu.Lock()
+	defer ix.mu.Unlock()
+	d0 := ix.dirty.Total()
+	if s := ix.cur.Load(); s.CleanDirty == d0 && s.Wave > 0 {
+		// A wave we queued behind already covers every mutation completed
+		// before our dirty read; rebuilding would produce the same answer.
+		return s
+	}
+	n := len(ix.cur.Load().Keys)
+	ks := make([]uint64, 0, n+n/8+16)
+	ix.h.Range(0, keys.Map(keys.MaxUser), func(u uint64) bool {
+		ks = append(ks, u)
+		return true
+	})
+	prefix := make([]int64, len(ks)+1)
+	for i, u := range ks {
+		prefix[i+1] = prefix[i] + keys.Unmap(u)
+	}
+	s := &Summary{Keys: ks, Prefix: prefix, CleanDirty: d0, Wave: ix.waves.Add(1)}
+	ix.cur.Store(s)
+	return s
+}
+
+// --- Queries. All are pruning descents over the implicit balanced
+// summary tree: segment [a,b) prunes when wholly outside [lo,hi] (its
+// min/max summaries decide in O(1)) and contributes its whole-subtree
+// summary when wholly inside, so only the two boundary paths split.
+
+// Len returns the number of keys the summary covers.
+func (s *Summary) Len() int { return len(s.Keys) }
+
+// Rank returns the number of keys strictly less than u — a descent that
+// prunes every subtree wholly below u (count taken from its summary) and
+// wholly at-or-above u (contributes nothing).
+func (s *Summary) Rank(u uint64) int {
+	a, b := 0, len(s.Keys)
+	rank := 0
+	for a < b {
+		m := int(uint(a+b) >> 1)
+		if s.Keys[m] < u {
+			rank += m + 1 - a // left half + midpoint: wholly below u
+			a = m + 1
+		} else {
+			b = m
+		}
+	}
+	return rank
+}
+
+// Select returns the i-th smallest key (0-based); ok is false when i is
+// out of range. O(1): the implicit tree's in-order sequence is the array.
+func (s *Summary) Select(i int) (uint64, bool) {
+	if i < 0 || i >= len(s.Keys) {
+		return 0, false
+	}
+	return s.Keys[i], true
+}
+
+// Count returns the number of keys in [lo, hi] (inclusive, matching the
+// tree's Range): the rank descent run at both boundaries.
+func (s *Summary) Count(lo, hi uint64) int {
+	if lo > hi {
+		return 0
+	}
+	c := s.Rank(hi+1) - s.Rank(lo)
+	if hi == ^uint64(0) { // Rank(hi+1) would wrap; nothing exceeds hi
+		c = len(s.Keys) - s.Rank(lo)
+	}
+	return c
+}
+
+// Sum returns the sum of the user (unmapped int64) keys in [lo, hi],
+// with int64 wraparound on overflow. The boundary descents reduce to
+// prefix-sum lookups: a wholly-inside subtree contributes
+// Prefix[b]-Prefix[a] in O(1).
+func (s *Summary) Sum(lo, hi uint64) int64 {
+	if lo > hi {
+		return 0
+	}
+	a := s.Rank(lo)
+	b := len(s.Keys)
+	if hi != ^uint64(0) {
+		b = s.Rank(hi + 1)
+	}
+	return s.Prefix[b] - s.Prefix[a]
+}
+
+// Visit yields the summary's keys in [lo, hi] ascending — the planner
+// behind the indexed scan: the descent seeks directly to the range's
+// first key, skipping every subtree wholly outside the range, where a
+// plain tree scan would walk and discard them.
+func (s *Summary) Visit(lo, hi uint64, yield func(u uint64) bool) {
+	if lo > hi {
+		return
+	}
+	for i := s.Rank(lo); i < len(s.Keys) && s.Keys[i] <= hi; i++ {
+		if !yield(s.Keys[i]) {
+			return
+		}
+	}
+}

@@ -220,6 +220,8 @@ type Counters struct {
 	Fenced        uint64 // writes refused with StatusFenced (deposed leader)
 	ReplLag       uint64 // OpLookupAt requests answered StatusReplLag
 	ReplDegraded  uint64 // response windows degraded by a semi-sync ack timeout
+	Aggregates    uint64 // OpAggregate requests admitted and executed
+	NoIndex       uint64 // OpAggregate requests answered StatusNoIndex
 	InFlight      int64  // requests currently holding an admission slot
 	OpenConns     int64  // currently open connections
 	Draining      bool
@@ -243,6 +245,8 @@ type counters struct {
 	fenced        atomic.Uint64
 	replLag       atomic.Uint64
 	replDegraded  atomic.Uint64
+	aggregates    atomic.Uint64
+	noIndex       atomic.Uint64
 	inFlight      atomic.Int64
 	openConns     atomic.Int64
 }
@@ -354,6 +358,8 @@ func (s *Server) Counters() Counters {
 		Fenced:        s.stats.fenced.Load(),
 		ReplLag:       s.stats.replLag.Load(),
 		ReplDegraded:  s.stats.replDegraded.Load(),
+		Aggregates:    s.stats.aggregates.Load(),
+		NoIndex:       s.stats.noIndex.Load(),
 		InFlight:      s.stats.inFlight.Load(),
 		OpenConns:     s.stats.openConns.Load(),
 		Draining:      s.draining.Load(),
@@ -620,6 +626,12 @@ func (s *Server) handleConn(c net.Conn) {
 				}
 				*out = wire.AppendResponse((*out)[:0], resp)
 			}
+		} else if req.Op == wire.OpAggregate {
+			// Aggregates answer through their own response shape (the value
+			// tail), so they take their own dispatch path beside OpBatch.
+			var ar wire.AggregateResponse
+			ar, poisoned = s.dispatchAggregate(req, frame, tr)
+			*out = wire.AppendAggregateResponse((*out)[:0], ar)
 		} else {
 			var resp wire.Response
 			resp, ticket, seq, poisoned = s.dispatch(acc, req, tr)

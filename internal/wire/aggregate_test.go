@@ -1,0 +1,137 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rtrace"
+)
+
+func TestAggregateRequestRoundTrip(t *testing.T) {
+	traced := rtrace.Context{TraceID: 0xdecafbad, SpanID: 5, Flags: rtrace.FlagSampled}
+	for _, q := range []AggregateRequest{
+		{ID: 1, DeadlineMS: 50, Kind: AggRank, Mode: AggModeExact, Key: 42},
+		{ID: 2, Kind: AggSelect, Mode: AggModeStale, MaxDirty: 128, Key: 7},
+		{ID: 3, Kind: AggCount, Mode: AggModeExact, Key: -100, To: 100},
+		{ID: 4, Kind: AggSum, Mode: AggModeStale, MaxDirty: 1 << 40, Key: 0, To: 1 << 50},
+		{ID: 5, Kind: AggCount, Mode: AggModeExact, Key: -1, To: 1, Trace: traced},
+	} {
+		frame := AppendAggregateRequest(nil, q)
+		got, err := DecodeAggregate(frame)
+		if err != nil {
+			t.Fatalf("DecodeAggregate(%+v): %v", q, err)
+		}
+		if got != q {
+			t.Fatalf("round trip changed the request: %+v -> %+v", q, got)
+		}
+		// The generic decoder must still read the base header (the server's
+		// conn loop decodes it first to learn the op).
+		base, err := DecodeRequest(frame)
+		if err != nil || base.Op != OpAggregate || base.ID != q.ID || base.Trace != q.Trace {
+			t.Fatalf("DecodeRequest on aggregate frame: %+v, %v", base, err)
+		}
+	}
+}
+
+func TestDecodeAggregateRejects(t *testing.T) {
+	good := AppendAggregateRequest(nil, AggregateRequest{ID: 9, Kind: AggRank, Mode: AggModeExact, Key: 1})
+	for i := 0; i < len(good); i++ {
+		if _, err := DecodeAggregate(good[:i]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation at %d: err = %v, want ErrTruncated", i, err)
+		}
+	}
+	if _, err := DecodeAggregate(append(append([]byte{}, good...), 0)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("trailing byte: err = %v, want ErrTruncated", err)
+	}
+
+	badKind := append([]byte{}, good...)
+	badKind[reqBaseLen] = 99
+	if _, err := DecodeAggregate(badKind); !errors.Is(err, ErrBadAggregate) {
+		t.Fatalf("kind 99: err = %v, want ErrBadAggregate", err)
+	}
+	badMode := append([]byte{}, good...)
+	badMode[reqBaseLen+1] = 7
+	if _, err := DecodeAggregate(badMode); !errors.Is(err, ErrBadAggregate) {
+		t.Fatalf("mode 7: err = %v, want ErrBadAggregate", err)
+	}
+	notAgg := AppendRequest(nil, Request{ID: 1, Op: OpInsert, Key: 3})
+	if _, err := DecodeAggregate(notAgg); !errors.Is(err, ErrBadAggregate) && !errors.Is(err, ErrTruncated) {
+		t.Fatalf("non-aggregate op: err = %v", err)
+	}
+}
+
+func TestAggregateResponseRoundTrip(t *testing.T) {
+	for _, p := range []AggregateResponse{
+		{ID: 1, Status: StatusOK, Value: 12345},
+		{ID: 2, Status: StatusOK, Value: -1},
+		{ID: 3, Status: StatusNoIndex},
+		{ID: 4, Status: StatusDeadlineExceeded},
+		{ID: 5, Status: StatusOverloaded},
+	} {
+		frame := AppendAggregateResponse(nil, p)
+		got, err := DecodeAggregateResponse(frame)
+		if err != nil {
+			t.Fatalf("DecodeAggregateResponse(%+v): %v", p, err)
+		}
+		if got != p {
+			t.Fatalf("round trip changed the response: %+v -> %+v", p, got)
+		}
+	}
+	// Error statuses carry no value tail; a value on them is a framing bug.
+	frame := AppendAggregateResponse(nil, AggregateResponse{ID: 6, Status: StatusNoIndex})
+	if _, err := DecodeAggregateResponse(append(frame, 1, 2, 3)); !errors.Is(err, ErrTruncated) {
+		t.Fatalf("junk after error status: err = %v, want ErrTruncated", err)
+	}
+	ok := AppendAggregateResponse(nil, AggregateResponse{ID: 7, Status: StatusOK, Value: 9})
+	for i := 0; i < len(ok); i++ {
+		if _, err := DecodeAggregateResponse(ok[:i]); !errors.Is(err, ErrTruncated) {
+			t.Fatalf("truncation at %d: err = %v, want ErrTruncated", i, err)
+		}
+	}
+}
+
+func FuzzDecodeAggregate(f *testing.F) {
+	traced := rtrace.Context{TraceID: 0xfeed, SpanID: 2, Flags: rtrace.FlagSampled}
+	f.Add(AppendAggregateRequest(nil, AggregateRequest{ID: 1, Kind: AggRank, Mode: AggModeExact, Key: 42}))
+	f.Add(AppendAggregateRequest(nil, AggregateRequest{ID: 2, Kind: AggCount, Mode: AggModeStale, MaxDirty: 64, Key: -5, To: 5}))
+	f.Add(AppendAggregateRequest(nil, AggregateRequest{ID: 3, Kind: AggSum, Mode: AggModeExact, Key: 0, To: 1 << 30, Trace: traced}))
+	f.Add(AppendAggregateRequest(nil, AggregateRequest{ID: 4, Kind: AggSelect, Mode: AggModeStale, Key: 10})[:reqBaseLen+3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		q, err := DecodeAggregate(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) && !errors.Is(err, ErrBadAggregate) {
+				t.Fatalf("DecodeAggregate: unexpected error class %v", err)
+			}
+			return
+		}
+		q2, err := DecodeAggregate(AppendAggregateRequest(nil, q))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded aggregate: %v", err)
+		}
+		if q2 != q {
+			t.Fatalf("round trip changed the request: %+v -> %+v", q, q2)
+		}
+	})
+}
+
+func FuzzDecodeAggregateResponse(f *testing.F) {
+	f.Add(AppendAggregateResponse(nil, AggregateResponse{ID: 1, Status: StatusOK, Value: 77}))
+	f.Add(AppendAggregateResponse(nil, AggregateResponse{ID: 2, Status: StatusNoIndex}))
+	f.Add(AppendAggregateResponse(nil, AggregateResponse{ID: 3, Status: StatusOK, Value: -9})[:respBaseLen+3])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeAggregateResponse(data)
+		if err != nil {
+			if !errors.Is(err, ErrTruncated) {
+				t.Fatalf("DecodeAggregateResponse: unexpected error class %v", err)
+			}
+			return
+		}
+		p2, err := DecodeAggregateResponse(AppendAggregateResponse(nil, p))
+		if err != nil {
+			t.Fatalf("re-decode of re-encoded response: %v", err)
+		}
+		if p2 != p {
+			t.Fatalf("round trip changed the response: %+v -> %+v", p, p2)
+		}
+	})
+}

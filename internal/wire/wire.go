@@ -98,6 +98,12 @@ const (
 	// until its applied sequence reaches minSeq (read-your-writes on a
 	// follower) or the deadline expires (StatusReplLag).
 	OpLookupAt uint8 = 10
+
+	// OpAggregate is an order-statistics query (rank/select/count/sum over
+	// a key range). The request tail and the dedicated response codec live
+	// in aggregate.go; the response value is a single int64, so the generic
+	// Response shape does not apply.
+	OpAggregate uint8 = 12
 )
 
 // MaxBatchOps bounds the operations one OpBatch frame may carry. At 9
@@ -121,6 +127,8 @@ func OpName(op uint8) string {
 		return "batch"
 	case OpLookupAt:
 		return "lookup-at"
+	case OpAggregate:
+		return "aggregate"
 	default:
 		return fmt.Sprintf("op(%d)", op)
 	}
@@ -172,6 +180,11 @@ const (
 	// StatusNotLeader ("" when the deposed node has not yet heard who
 	// won). Retry against the named leader.
 	StatusFenced
+	// StatusNoIndex: an OpAggregate reached a server whose store was built
+	// without order statistics (bst.WithOrderStatistics). Permanent for
+	// this server — the client surfaces it as ErrNoOrderStats rather than
+	// retrying.
+	StatusNoIndex
 )
 
 func (s Status) String() string {
@@ -198,6 +211,8 @@ func (s Status) String() string {
 		return "repl-lag"
 	case StatusFenced:
 		return "fenced"
+	case StatusNoIndex:
+		return "no-index"
 	default:
 		return fmt.Sprintf("status(%d)", uint8(s))
 	}

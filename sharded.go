@@ -50,6 +50,7 @@ func newForest(cfg config, reg *metrics.Registry) (*forest.Forest, error) {
 	fc.Tree.Capacity = cfg.capacity
 	fc.Tree.Reclaim = cfg.reclaim
 	fc.Tree.Metrics = reg
+	fc.Tree.TrackDirty = cfg.orderstat
 	return forest.New(fc)
 }
 
